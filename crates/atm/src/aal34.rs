@@ -1,0 +1,513 @@
+//! AAL3/4 — the ATM adaptation layer the paper's driver and adapter
+//! implement ("the Class 3/4 ATM Adaptation Layer (AAL), which is
+//! responsible for all segmentation and reassembly of datagrams and
+//! the detection of transmission errors and dropped cells", §1.1).
+//!
+//! Two sublayers (ITU-T I.363):
+//!
+//! - **CPCS** frames the datagram: a 4-byte header (CPI, BTag,
+//!   BASize) and a 4-byte trailer (AL, ETag, Length), with the
+//!   payload padded to a 4-byte multiple. BTag must equal ETag.
+//! - **SAR** carries the CPCS-PDU in 44-byte cell payloads. Each
+//!   SAR-PDU has a 2-byte header — segment type (BOM/COM/EOM/SSM),
+//!   4-bit sequence number, 10-bit MID — and a 2-byte trailer with a
+//!   6-bit length indicator and a **CRC-10** covering the whole
+//!   SAR-PDU.
+//!
+//! The reassembler detects every error class the paper's §4.2.1
+//! analysis assigns to this layer: per-cell CRC failures, sequence
+//! gaps from dropped cells, length mismatches, and tag mismatches
+//! from interleaved or lost frames.
+
+use cksum::crc::crc10_bits;
+
+use crate::cell::{Cell, CellHeader, CELL_PAYLOAD};
+
+/// SAR payload bytes per cell (48 minus 2-byte header and 2-byte
+/// trailer).
+pub const SAR_PAYLOAD: usize = 44;
+
+/// CPCS overhead: 4-byte header plus 4-byte trailer.
+pub const CPCS_OVERHEAD: usize = 8;
+
+/// Segment type codes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SegType {
+    /// Beginning of message.
+    Bom = 0b10,
+    /// Continuation of message.
+    Com = 0b00,
+    /// End of message.
+    Eom = 0b01,
+    /// Single-segment message.
+    Ssm = 0b11,
+}
+
+/// Errors detected by the AAL3/4 receiver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Aal34Error {
+    /// SAR-PDU CRC-10 failure (bit corruption within a cell).
+    Crc,
+    /// Sequence number gap — a cell was lost.
+    Sequence,
+    /// COM or EOM arrived with no reassembly in progress.
+    Orphan,
+    /// BOM arrived while a message was already in progress.
+    MidCollision,
+    /// CPCS BTag and ETag differ.
+    TagMismatch,
+    /// CPCS Length disagrees with the received byte count.
+    LengthMismatch,
+    /// SAR length indicator out of range for the segment type.
+    BadLengthIndicator,
+    /// Reassembled data exceeded the advertised buffer allocation.
+    Overflow,
+}
+
+/// Segmentation: turns a datagram into a train of cells.
+///
+/// # Examples
+///
+/// ```
+/// use atm::{Aal34Segmenter, Aal34Reassembler};
+///
+/// let mut seg = Aal34Segmenter::new(0, 42, 7);
+/// let cells = seg.segment(b"a complete datagram");
+/// let mut reasm = Aal34Reassembler::new();
+/// let mut out = None;
+/// for cell in cells {
+///     if let Some(d) = reasm.push(&cell).unwrap() {
+///         out = Some(d);
+///     }
+/// }
+/// assert_eq!(out.unwrap(), b"a complete datagram");
+/// ```
+pub struct Aal34Segmenter {
+    vpi: u8,
+    vci: u16,
+    mid: u16,
+    btag: u8,
+    sn: u8,
+}
+
+impl Aal34Segmenter {
+    /// Creates a segmenter for one virtual channel and MID.
+    #[must_use]
+    pub fn new(vpi: u8, vci: u16, mid: u16) -> Self {
+        Aal34Segmenter {
+            vpi,
+            vci,
+            mid: mid & 0x3ff,
+            btag: 0,
+            sn: 0,
+        }
+    }
+
+    /// Number of cells a datagram of `len` bytes occupies.
+    #[must_use]
+    pub fn cells_for(len: usize) -> usize {
+        let cpcs = CPCS_OVERHEAD + len.div_ceil(4) * 4;
+        cpcs.div_ceil(SAR_PAYLOAD)
+    }
+
+    /// Builds the CPCS-PDU for a datagram.
+    fn cpcs_pdu(&mut self, data: &[u8]) -> Vec<u8> {
+        let padded = data.len().div_ceil(4) * 4;
+        let mut pdu = Vec::with_capacity(CPCS_OVERHEAD + padded);
+        self.btag = self.btag.wrapping_add(1);
+        // Header: CPI, BTag, BASize (buffer allocation hint).
+        pdu.push(0); // CPI: only value 0 is defined.
+        pdu.push(self.btag);
+        pdu.extend_from_slice(&(padded as u16).to_be_bytes());
+        pdu.extend_from_slice(data);
+        pdu.resize(4 + padded, 0);
+        // Trailer: AL (alignment), ETag, Length.
+        pdu.push(0);
+        pdu.push(self.btag);
+        pdu.extend_from_slice(&(data.len() as u16).to_be_bytes());
+        pdu
+    }
+
+    /// Segments a datagram into cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics on datagrams longer than 65535 bytes (the CPCS Length
+    /// field width).
+    pub fn segment(&mut self, data: &[u8]) -> Vec<Cell> {
+        assert!(
+            data.len() <= u16::MAX as usize,
+            "datagram too long for AAL3/4"
+        );
+        let pdu = self.cpcs_pdu(data);
+        let n_cells = pdu.len().div_ceil(SAR_PAYLOAD);
+        let mut cells = Vec::with_capacity(n_cells);
+        for (i, chunk) in pdu.chunks(SAR_PAYLOAD).enumerate() {
+            let st = if n_cells == 1 {
+                SegType::Ssm
+            } else if i == 0 {
+                SegType::Bom
+            } else if i == n_cells - 1 {
+                SegType::Eom
+            } else {
+                SegType::Com
+            };
+            cells.push(self.sar_cell(st, chunk));
+            self.sn = (self.sn + 1) & 0xf;
+        }
+        cells
+    }
+
+    fn sar_cell(&self, st: SegType, chunk: &[u8]) -> Cell {
+        let mut payload = [0u8; CELL_PAYLOAD];
+        // SAR header: ST(2) SN(4) MID(10).
+        payload[0] = ((st as u8) << 6) | (self.sn << 2) | ((self.mid >> 8) as u8 & 0x3);
+        payload[1] = (self.mid & 0xff) as u8;
+        payload[2..2 + chunk.len()].copy_from_slice(chunk);
+        // SAR trailer: LI(6) CRC(10). The CRC covers header, payload
+        // and LI — 46 bytes plus 6 bits.
+        let li = chunk.len() as u8;
+        payload[46] = li << 2;
+        let crc = crc10_bits(&payload, 46 * 8 + 6);
+        payload[46] |= (crc >> 8) as u8;
+        payload[47] = (crc & 0xff) as u8;
+        let header = CellHeader {
+            gfc: 0,
+            vpi: self.vpi,
+            vci: self.vci,
+            pt: 0,
+            clp: false,
+        };
+        Cell::new(header, payload)
+    }
+}
+
+/// Statistics kept by the reassembler.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Aal34Stats {
+    /// Cells accepted.
+    pub cells_ok: u64,
+    /// Cells rejected by the CRC-10.
+    pub cells_crc_bad: u64,
+    /// Datagrams delivered.
+    pub datagrams_ok: u64,
+    /// Datagrams dropped (any reason).
+    pub datagrams_dropped: u64,
+}
+
+struct Partial {
+    sn_expect: u8,
+    buf: Vec<u8>,
+    basize: usize,
+    btag: u8,
+}
+
+/// Reassembly state machine for one virtual channel.
+///
+/// `push` consumes cells in arrival order and yields a complete
+/// datagram when an EOM/SSM validates. On error the in-progress
+/// message is discarded and the error returned; the caller decides
+/// whether to count or log it (the driver counts, like real drivers).
+#[derive(Default)]
+pub struct Aal34Reassembler {
+    partial: Option<Partial>,
+    stats: Aal34Stats,
+}
+
+impl Aal34Reassembler {
+    /// Creates an idle reassembler.
+    #[must_use]
+    pub fn new() -> Self {
+        Aal34Reassembler::default()
+    }
+
+    /// Statistics snapshot.
+    #[must_use]
+    pub fn stats(&self) -> Aal34Stats {
+        self.stats
+    }
+
+    /// Consumes one cell. Returns `Ok(Some(datagram))` when a message
+    /// completes, `Ok(None)` while in progress, and `Err(..)` when the
+    /// cell or message is invalid (the partial message is dropped).
+    pub fn push(&mut self, cell: &Cell) -> Result<Option<Vec<u8>>, Aal34Error> {
+        let payload = cell.payload();
+        // CRC-10 first: it covers everything else we parse.
+        let li = payload[46] >> 2;
+        let crc = (u16::from(payload[46] & 0x3) << 8) | u16::from(payload[47]);
+        if crc10_bits(payload, 46 * 8 + 6) != crc {
+            self.stats.cells_crc_bad += 1;
+            self.drop_partial();
+            return Err(Aal34Error::Crc);
+        }
+        self.stats.cells_ok += 1;
+        let st = payload[0] >> 6;
+        let sn = (payload[0] >> 2) & 0xf;
+        let li = li as usize;
+        let data = &payload[2..46];
+        match st {
+            0b10 => self.on_bom(sn, li, data),
+            0b00 => self.on_com(sn, li, data),
+            0b01 => self.on_eom(sn, li, data),
+            0b11 => {
+                // Single-segment message: header and trailer in one cell.
+                self.drop_partial();
+                self.partial = Some(Partial {
+                    sn_expect: (sn + 1) & 0xf,
+                    buf: Vec::new(),
+                    basize: usize::MAX,
+                    btag: 0,
+                });
+                self.ingest(li, data)?;
+                self.finish()
+            }
+            _ => unreachable!("2-bit field"),
+        }
+    }
+
+    fn on_bom(&mut self, sn: u8, li: usize, data: &[u8]) -> Result<Option<Vec<u8>>, Aal34Error> {
+        if self.partial.is_some() {
+            self.drop_partial();
+            // Start the new message anyway, as real reassemblers do,
+            // but report the collision.
+            self.start(sn, li, data)?;
+            return Err(Aal34Error::MidCollision);
+        }
+        self.start(sn, li, data)?;
+        Ok(None)
+    }
+
+    fn start(&mut self, sn: u8, li: usize, data: &[u8]) -> Result<(), Aal34Error> {
+        if li != SAR_PAYLOAD {
+            return Err(Aal34Error::BadLengthIndicator);
+        }
+        self.partial = Some(Partial {
+            sn_expect: (sn + 1) & 0xf,
+            buf: Vec::new(),
+            basize: usize::MAX,
+            btag: 0,
+        });
+        self.ingest(li, data)
+    }
+
+    fn on_com(&mut self, sn: u8, li: usize, data: &[u8]) -> Result<Option<Vec<u8>>, Aal34Error> {
+        let Some(p) = self.partial.as_mut() else {
+            self.stats.datagrams_dropped += 1;
+            return Err(Aal34Error::Orphan);
+        };
+        if p.sn_expect != sn {
+            self.drop_partial();
+            return Err(Aal34Error::Sequence);
+        }
+        p.sn_expect = (sn + 1) & 0xf;
+        if li != SAR_PAYLOAD {
+            self.drop_partial();
+            return Err(Aal34Error::BadLengthIndicator);
+        }
+        self.ingest(li, data)?;
+        Ok(None)
+    }
+
+    fn on_eom(&mut self, sn: u8, li: usize, data: &[u8]) -> Result<Option<Vec<u8>>, Aal34Error> {
+        let Some(p) = self.partial.as_mut() else {
+            self.stats.datagrams_dropped += 1;
+            return Err(Aal34Error::Orphan);
+        };
+        if p.sn_expect != sn {
+            self.drop_partial();
+            return Err(Aal34Error::Sequence);
+        }
+        if !(4..=SAR_PAYLOAD).contains(&li) {
+            self.drop_partial();
+            return Err(Aal34Error::BadLengthIndicator);
+        }
+        self.ingest(li, data)?;
+        self.finish()
+    }
+
+    /// Appends `li` bytes of SAR payload, parsing the CPCS header on
+    /// first contact and enforcing the buffer allocation size.
+    fn ingest(&mut self, li: usize, data: &[u8]) -> Result<(), Aal34Error> {
+        let p = self.partial.as_mut().expect("ingest with active partial");
+        p.buf.extend_from_slice(&data[..li]);
+        if p.basize == usize::MAX && p.buf.len() >= 4 {
+            p.btag = p.buf[1];
+            p.basize = usize::from(u16::from_be_bytes([p.buf[2], p.buf[3]]));
+        }
+        if p.basize != usize::MAX && p.buf.len() > 4 + p.basize + 4 {
+            self.drop_partial();
+            return Err(Aal34Error::Overflow);
+        }
+        Ok(())
+    }
+
+    /// Validates the CPCS framing and yields the datagram.
+    fn finish(&mut self) -> Result<Option<Vec<u8>>, Aal34Error> {
+        let p = self.partial.take().expect("finish with active partial");
+        let buf = p.buf;
+        if buf.len() < CPCS_OVERHEAD {
+            self.stats.datagrams_dropped += 1;
+            return Err(Aal34Error::LengthMismatch);
+        }
+        let etag = buf[buf.len() - 3];
+        let length = usize::from(u16::from_be_bytes([buf[buf.len() - 2], buf[buf.len() - 1]]));
+        if etag != p.btag {
+            self.stats.datagrams_dropped += 1;
+            return Err(Aal34Error::TagMismatch);
+        }
+        let padded = buf.len() - CPCS_OVERHEAD;
+        if length > padded || padded != length.div_ceil(4) * 4 {
+            self.stats.datagrams_dropped += 1;
+            return Err(Aal34Error::LengthMismatch);
+        }
+        self.stats.datagrams_ok += 1;
+        Ok(Some(buf[4..4 + length].to_vec()))
+    }
+
+    fn drop_partial(&mut self) {
+        if self.partial.take().is_some() {
+            self.stats.datagrams_dropped += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> Vec<u8> {
+        let mut seg = Aal34Segmenter::new(0, 5, 1);
+        let mut reasm = Aal34Reassembler::new();
+        let mut out = None;
+        for cell in seg.segment(data) {
+            if let Some(d) = reasm.push(&cell).expect("clean channel") {
+                out = Some(d);
+            }
+        }
+        out.expect("datagram completes")
+    }
+
+    #[test]
+    fn roundtrip_various_sizes() {
+        for n in [
+            0usize, 1, 3, 4, 35, 36, 37, 44, 88, 100, 1400, 4040, 8040, 9188,
+        ] {
+            let data: Vec<u8> = (0..n).map(|i| (i * 7 + 1) as u8).collect();
+            assert_eq!(roundtrip(&data), data, "size {n}");
+        }
+    }
+
+    #[test]
+    fn cell_counts_match_formula() {
+        for n in [4usize, 20, 80, 200, 500, 1400, 4000, 8000] {
+            let mut seg = Aal34Segmenter::new(0, 5, 1);
+            let data = vec![0u8; n];
+            let cells = seg.segment(&data);
+            assert_eq!(cells.len(), Aal34Segmenter::cells_for(n), "size {n}");
+        }
+        // The paper's 4-byte case: 4+8 CPCS bytes = 12 -> one cell (SSM).
+        assert_eq!(Aal34Segmenter::cells_for(4), 1);
+        // A 4000-byte TCP packet (4040 with headers): 4048 -> 92 cells.
+        assert_eq!(Aal34Segmenter::cells_for(4040), 92);
+    }
+
+    #[test]
+    fn sequence_numbers_wrap_mod_16() {
+        let mut seg = Aal34Segmenter::new(0, 5, 1);
+        let cells = seg.segment(&vec![0u8; 2000]); // 46 cells.
+        assert!(cells.len() > 16);
+        let mut reasm = Aal34Reassembler::new();
+        let mut done = false;
+        for cell in &cells {
+            if reasm.push(cell).unwrap().is_some() {
+                done = true;
+            }
+        }
+        assert!(done);
+    }
+
+    #[test]
+    fn lost_cell_detected_as_sequence_gap() {
+        let mut seg = Aal34Segmenter::new(0, 5, 1);
+        let mut cells = seg.segment(&vec![0xabu8; 1000]);
+        cells.remove(cells.len() / 2); // Drop a COM cell.
+        let mut reasm = Aal34Reassembler::new();
+        let mut errs = Vec::new();
+        for cell in &cells {
+            if let Err(e) = reasm.push(cell) {
+                errs.push(e);
+            }
+        }
+        assert!(errs.contains(&Aal34Error::Sequence), "{errs:?}");
+        assert_eq!(reasm.stats().datagrams_ok, 0);
+    }
+
+    #[test]
+    fn corrupted_payload_detected_by_crc10() {
+        let mut seg = Aal34Segmenter::new(0, 5, 1);
+        let mut cells = seg.segment(&vec![0x5au8; 500]);
+        // Flip a payload bit in the middle cell.
+        let idx = cells.len() / 2;
+        let mut raw = cells[idx].to_bytes();
+        raw[20] ^= 0x04;
+        cells[idx] = Cell::from_bytes(&raw).expect("header untouched");
+        let mut reasm = Aal34Reassembler::new();
+        let mut saw_crc = false;
+        for cell in &cells {
+            if reasm.push(cell) == Err(Aal34Error::Crc) {
+                saw_crc = true;
+            }
+        }
+        assert!(saw_crc);
+        assert_eq!(reasm.stats().cells_crc_bad, 1);
+        assert_eq!(reasm.stats().datagrams_ok, 0);
+    }
+
+    #[test]
+    fn orphan_cells_rejected() {
+        let mut seg = Aal34Segmenter::new(0, 5, 1);
+        let cells = seg.segment(&vec![0u8; 500]);
+        let mut reasm = Aal34Reassembler::new();
+        // Push a COM without its BOM.
+        assert_eq!(reasm.push(&cells[1]), Err(Aal34Error::Orphan));
+    }
+
+    #[test]
+    fn interleaved_boms_reported() {
+        let mut seg = Aal34Segmenter::new(0, 5, 1);
+        let first = seg.segment(&vec![1u8; 500]);
+        let mut seg2 = Aal34Segmenter::new(0, 5, 1);
+        let second = seg2.segment(&vec![2u8; 500]);
+        let mut reasm = Aal34Reassembler::new();
+        reasm.push(&first[0]).unwrap();
+        assert_eq!(reasm.push(&second[0]), Err(Aal34Error::MidCollision));
+        // The second message still completes.
+        let mut out = None;
+        for c in &second[1..] {
+            if let Some(d) = reasm.push(c).unwrap() {
+                out = Some(d);
+            }
+        }
+        assert_eq!(out.unwrap(), vec![2u8; 500]);
+    }
+
+    #[test]
+    fn back_to_back_datagrams() {
+        let mut seg = Aal34Segmenter::new(0, 5, 1);
+        let a: Vec<u8> = (0..4136u32).map(|i| i as u8).collect();
+        let b: Vec<u8> = (0..3944u32).map(|i| (i ^ 0x5a) as u8).collect();
+        let mut cells = seg.segment(&a);
+        cells.extend(seg.segment(&b));
+        let mut reasm = Aal34Reassembler::new();
+        let mut got = Vec::new();
+        for cell in &cells {
+            if let Some(d) = reasm.push(cell).unwrap() {
+                got.push(d);
+            }
+        }
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], a);
+        assert_eq!(got[1], b);
+        assert_eq!(reasm.stats().datagrams_ok, 2);
+    }
+}

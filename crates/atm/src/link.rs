@@ -1,0 +1,227 @@
+//! The point-to-point fiber link.
+//!
+//! The paper's hosts communicated "over a switchless private ATM
+//! network" — two TCA-100s connected back to back with TAXI fiber at
+//! 140 Mbit/s. The link model provides cell timing plus the error
+//! processes of the §4.2.1 analysis:
+//!
+//! - **bit errors** at a configurable BER (the paper quotes fiber
+//!   rates around 10⁻¹² — "one bit error in 3 hours" at 100 Mbit/s);
+//! - **cell loss** (ATM "does not guarantee freedom from cell loss");
+//! - a **controller-corruption** process modelling the paper's second
+//!   error source (a buggy controller corrupting data between host
+//!   and controller memory *after* the CRC is checked/before it is
+//!   computed — the one class a link CRC cannot catch).
+
+use simkit::{SimRng, SimTime};
+
+use crate::cell::{Cell, CELL_SIZE};
+
+/// Configuration of one fiber direction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkConfig {
+    /// Line rate in bits per second (TAXI: 140 Mbit/s).
+    pub bit_rate: f64,
+    /// One-way propagation delay.
+    pub propagation: SimTime,
+    /// Bit error rate (probability per transmitted bit).
+    pub ber: f64,
+    /// Independent whole-cell loss probability.
+    pub cell_loss: f64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            bit_rate: 140e6,
+            // A few tens of metres of fiber: ~0.2 µs.
+            propagation: SimTime::from_ns(200),
+            ber: 0.0,
+            cell_loss: 0.0,
+        }
+    }
+}
+
+impl LinkConfig {
+    /// Time for one 53-byte cell to serialize onto the wire.
+    #[must_use]
+    pub fn cell_time(&self) -> SimTime {
+        SimTime::from_us_f64(CELL_SIZE as f64 * 8.0 / self.bit_rate * 1e6)
+    }
+}
+
+/// What the link did to a cell.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LinkFault {
+    /// Delivered unmodified.
+    Clean(Cell),
+    /// Delivered with one or more flipped bits.
+    Corrupted(Cell),
+    /// Dropped entirely.
+    Lost,
+}
+
+/// One direction of the fiber.
+#[derive(Clone, Debug)]
+pub struct FiberLink {
+    /// Link parameters.
+    pub config: LinkConfig,
+    rng: SimRng,
+    /// Cells carried (including lost/corrupted).
+    pub cells_carried: u64,
+    /// Cells dropped by the loss process.
+    pub cells_lost: u64,
+    /// Cells delivered with bit corruption.
+    pub cells_corrupted: u64,
+}
+
+impl FiberLink {
+    /// Creates a link with the given config and deterministic seed.
+    #[must_use]
+    pub fn new(config: LinkConfig, seed: u64) -> Self {
+        FiberLink {
+            config,
+            rng: SimRng::seed_stream(seed, 0xa7),
+            cells_carried: 0,
+            cells_lost: 0,
+            cells_corrupted: 0,
+        }
+    }
+
+    /// Carries one cell, applying the loss then error processes.
+    pub fn carry(&mut self, mut cell: Cell) -> LinkFault {
+        self.cells_carried += 1;
+        if self.rng.chance(self.config.cell_loss) {
+            self.cells_lost += 1;
+            return LinkFault::Lost;
+        }
+        let nbits = (CELL_SIZE * 8) as u64;
+        let flips = self.rng.binomial_small_p(nbits, self.config.ber);
+        if flips == 0 {
+            return LinkFault::Clean(cell);
+        }
+        // Flip `flips` *distinct* bits (re-flipping the same bit
+        // would undo the corruption).
+        let mut chosen = Vec::with_capacity(flips as usize);
+        while chosen.len() < flips as usize && chosen.len() < CELL_SIZE * 8 {
+            let bit = self.rng.next_below(nbits as u32) as usize;
+            if !chosen.contains(&bit) {
+                chosen.push(bit);
+                cell.flip_bit(bit);
+            }
+        }
+        self.cells_corrupted += 1;
+        LinkFault::Corrupted(cell)
+    }
+
+    /// Arrival time at the far adapter for a cell whose last bit left
+    /// the sender's wire at `wire_exit`.
+    #[must_use]
+    pub fn arrival(&self, wire_exit: SimTime) -> SimTime {
+        wire_exit + self.config.propagation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{CellHeader, CELL_PAYLOAD};
+
+    fn a_cell() -> Cell {
+        Cell::new(
+            CellHeader {
+                gfc: 0,
+                vpi: 0,
+                vci: 1,
+                pt: 0,
+                clp: false,
+            },
+            [0x5a; CELL_PAYLOAD],
+        )
+    }
+
+    #[test]
+    fn cell_time_at_taxi_rate() {
+        let c = LinkConfig::default();
+        let t = c.cell_time().as_us_f64();
+        // 424 bits at 140 Mbit/s ≈ 3.03 µs.
+        assert!((t - 3.03).abs() < 0.01, "{t}");
+    }
+
+    #[test]
+    fn clean_link_delivers_everything() {
+        let mut link = FiberLink::new(LinkConfig::default(), 1);
+        for _ in 0..1000 {
+            match link.carry(a_cell()) {
+                LinkFault::Clean(c) => assert_eq!(c, a_cell()),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(link.cells_lost, 0);
+        assert_eq!(link.cells_corrupted, 0);
+    }
+
+    #[test]
+    fn lossy_link_drops_at_rate() {
+        let mut link = FiberLink::new(
+            LinkConfig {
+                cell_loss: 0.1,
+                ..LinkConfig::default()
+            },
+            7,
+        );
+        let mut lost = 0;
+        for _ in 0..10_000 {
+            if link.carry(a_cell()) == LinkFault::Lost {
+                lost += 1;
+            }
+        }
+        assert!((800..1200).contains(&lost), "{lost}");
+        assert_eq!(link.cells_lost, lost as u64);
+    }
+
+    #[test]
+    fn noisy_link_corrupts() {
+        let mut link = FiberLink::new(
+            LinkConfig {
+                ber: 1e-3, // 424 bits/cell -> ~35% of cells hit.
+                ..LinkConfig::default()
+            },
+            11,
+        );
+        let mut corrupted = 0;
+        for _ in 0..1000 {
+            match link.carry(a_cell()) {
+                LinkFault::Corrupted(c) => {
+                    corrupted += 1;
+                    assert_ne!(c, a_cell());
+                }
+                LinkFault::Clean(c) => assert_eq!(c, a_cell()),
+                LinkFault::Lost => panic!("no loss configured"),
+            }
+        }
+        assert!((200..500).contains(&corrupted), "{corrupted}");
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let cfg = LinkConfig {
+            ber: 1e-4,
+            cell_loss: 0.01,
+            ..LinkConfig::default()
+        };
+        let run = |seed| {
+            let mut link = FiberLink::new(cfg, seed);
+            (0..500).map(|_| link.carry(a_cell())).collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn arrival_adds_propagation() {
+        let link = FiberLink::new(LinkConfig::default(), 1);
+        let t = link.arrival(SimTime::from_us(10));
+        assert_eq!(t, SimTime::from_us(10) + SimTime::from_ns(200));
+    }
+}

@@ -1,0 +1,314 @@
+//! An output-queued ATM switch.
+//!
+//! The paper's testbed was a *switchless* private fiber, but its
+//! §4.2.1 analysis reasons about switched paths: the first potential
+//! error source is "errors introduced by switches in transferring
+//! data between their input and output ports", and the defence is
+//! that "AAL payload checksums are end-to-end, i.e., intermediate
+//! switches do not recompute the checksum". This model lets the
+//! reproduction quantify both halves of that argument:
+//!
+//! - cells are forwarded through a **VC table** (VPI/VCI rewriting,
+//!   with the HEC recomputed for the new header — header protection
+//!   is hop-by-hop);
+//! - the **payload is carried untouched** — a corruption injected by
+//!   the fabric is invisible to the switch itself and must be caught
+//!   by the end-to-end AAL CRC;
+//! - cells pay a fixed **switching latency** plus **output-queue**
+//!   serialization at the port's line rate, with tail drop beyond the
+//!   queue's capacity.
+
+use std::collections::HashMap;
+
+use simkit::{SimRng, SimTime};
+
+use crate::cell::{Cell, CellHeader};
+
+/// Route entry: where a VC leaves the switch and as what.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VcRoute {
+    /// Output port.
+    pub out_port: usize,
+    /// Outgoing VPI.
+    pub out_vpi: u8,
+    /// Outgoing VCI.
+    pub out_vci: u16,
+}
+
+/// Configuration of a switch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SwitchConfig {
+    /// Fixed fabric transit latency per cell.
+    pub latency: SimTime,
+    /// Cell serialization time on each output port (line rate).
+    pub cell_time: SimTime,
+    /// Output queue capacity in cells (tail drop beyond).
+    pub queue_cells: usize,
+    /// Probability that the fabric corrupts a payload bit in a cell —
+    /// the §4.2.1 error source #1.
+    pub corrupt_prob: f64,
+}
+
+impl Default for SwitchConfig {
+    fn default() -> Self {
+        SwitchConfig {
+            // A first-generation ATM switch: ~10 µs port-to-port.
+            latency: SimTime::from_us(10),
+            // 140 Mbit/s TAXI ports.
+            cell_time: SimTime::from_ns(3_029),
+            queue_cells: 256,
+            corrupt_prob: 0.0,
+        }
+    }
+}
+
+/// Per-output-port queue state.
+#[derive(Clone, Debug, Default)]
+struct OutPort {
+    busy_until: SimTime,
+}
+
+/// What the switch did with a cell.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SwitchOutcome {
+    /// Forwarded: leaves `out_port` fully serialized at `departure`.
+    Forwarded {
+        /// Output port.
+        out_port: usize,
+        /// Time the last bit leaves the output port.
+        departure: SimTime,
+        /// The (possibly rewritten, possibly corrupted) cell.
+        cell: Cell,
+    },
+    /// No VC table entry: cell discarded.
+    UnknownVc,
+    /// Output queue full: tail drop.
+    QueueFull,
+}
+
+/// The switch.
+pub struct AtmSwitch {
+    /// Configuration.
+    pub config: SwitchConfig,
+    routes: HashMap<(usize, u8, u16), VcRoute>,
+    ports: Vec<OutPort>,
+    rng: SimRng,
+    /// Cells forwarded.
+    pub forwarded: u64,
+    /// Cells dropped for unknown VCs.
+    pub unknown_vc_drops: u64,
+    /// Cells dropped on full output queues.
+    pub queue_drops: u64,
+    /// Cells whose payload the fabric corrupted (invisibly).
+    pub corrupted: u64,
+}
+
+impl AtmSwitch {
+    /// Creates a switch with `n_ports` ports.
+    #[must_use]
+    pub fn new(n_ports: usize, config: SwitchConfig, seed: u64) -> Self {
+        AtmSwitch {
+            config,
+            routes: HashMap::new(),
+            ports: vec![OutPort::default(); n_ports],
+            rng: SimRng::seed_stream(seed, 0x5c),
+            forwarded: 0,
+            unknown_vc_drops: 0,
+            queue_drops: 0,
+            corrupted: 0,
+        }
+    }
+
+    /// Installs a VC: cells arriving on `in_port` with `(vpi, vci)`
+    /// leave via `route`.
+    pub fn add_vc(&mut self, in_port: usize, vpi: u8, vci: u16, route: VcRoute) {
+        assert!(route.out_port < self.ports.len(), "output port exists");
+        self.routes.insert((in_port, vpi, vci), route);
+    }
+
+    /// Forwards one cell arriving on `in_port` at `arrival`.
+    pub fn forward(&mut self, in_port: usize, arrival: SimTime, cell: &Cell) -> SwitchOutcome {
+        let h = cell.header();
+        let Some(route) = self.routes.get(&(in_port, h.vpi, h.vci)).copied() else {
+            self.unknown_vc_drops += 1;
+            return SwitchOutcome::UnknownVc;
+        };
+        let port = &mut self.ports[route.out_port];
+        // Queue occupancy at arrival: cells not yet serialized.
+        let backlog = port
+            .busy_until
+            .saturating_since(arrival)
+            .as_ns()
+            .div_ceil(self.config.cell_time.as_ns().max(1)) as usize;
+        if backlog >= self.config.queue_cells {
+            self.queue_drops += 1;
+            return SwitchOutcome::QueueFull;
+        }
+        // VPI/VCI rewrite with a fresh HEC (header protection is
+        // hop-by-hop); the payload is copied through untouched.
+        let new_header = CellHeader {
+            vpi: route.out_vpi,
+            vci: route.out_vci,
+            ..h
+        };
+        let mut out = Cell::new(new_header, *cell.payload());
+        if self.rng.chance(self.config.corrupt_prob) {
+            // Fabric corruption: a payload bit, after the HEC was
+            // computed — exactly what an end-to-end AAL CRC exists
+            // to catch.
+            let bit = 40 + self.rng.next_below(48 * 8) as usize;
+            out.flip_bit(bit);
+            self.corrupted += 1;
+        }
+        let start = (arrival + self.config.latency).max(port.busy_until);
+        let departure = start + self.config.cell_time;
+        port.busy_until = departure;
+        self.forwarded += 1;
+        SwitchOutcome::Forwarded {
+            out_port: route.out_port,
+            departure,
+            cell: out,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CELL_PAYLOAD;
+
+    fn cell(vci: u16) -> Cell {
+        Cell::new(
+            CellHeader {
+                gfc: 0,
+                vpi: 0,
+                vci,
+                pt: 0,
+                clp: false,
+            },
+            [0x5a; CELL_PAYLOAD],
+        )
+    }
+
+    fn switch() -> AtmSwitch {
+        let mut sw = AtmSwitch::new(4, SwitchConfig::default(), 1);
+        sw.add_vc(
+            0,
+            0,
+            42,
+            VcRoute {
+                out_port: 1,
+                out_vpi: 0,
+                out_vci: 77,
+            },
+        );
+        sw
+    }
+
+    #[test]
+    fn forwards_and_rewrites() {
+        let mut sw = switch();
+        let out = sw.forward(0, SimTime::from_us(100), &cell(42));
+        let SwitchOutcome::Forwarded {
+            out_port,
+            departure,
+            cell: c,
+        } = out
+        else {
+            panic!("{out:?}")
+        };
+        assert_eq!(out_port, 1);
+        assert_eq!(c.header().vci, 77, "VCI rewritten");
+        assert!(c.header_ok(), "HEC recomputed for the new header");
+        assert_eq!(c.payload(), cell(42).payload(), "payload untouched");
+        assert_eq!(
+            departure,
+            SimTime::from_us(110) + SwitchConfig::default().cell_time
+        );
+    }
+
+    #[test]
+    fn unknown_vc_dropped() {
+        let mut sw = switch();
+        assert_eq!(
+            sw.forward(0, SimTime::ZERO, &cell(99)),
+            SwitchOutcome::UnknownVc
+        );
+        assert_eq!(sw.unknown_vc_drops, 1);
+    }
+
+    #[test]
+    fn output_queue_serializes() {
+        let mut sw = switch();
+        let t = SimTime::from_us(1);
+        let d1 = match sw.forward(0, t, &cell(42)) {
+            SwitchOutcome::Forwarded { departure, .. } => departure,
+            o => panic!("{o:?}"),
+        };
+        let d2 = match sw.forward(0, t, &cell(42)) {
+            SwitchOutcome::Forwarded { departure, .. } => departure,
+            o => panic!("{o:?}"),
+        };
+        assert_eq!(d2, d1 + SwitchConfig::default().cell_time);
+    }
+
+    #[test]
+    fn queue_overflow_tail_drops() {
+        let mut sw = AtmSwitch::new(
+            2,
+            SwitchConfig {
+                queue_cells: 4,
+                ..SwitchConfig::default()
+            },
+            2,
+        );
+        sw.add_vc(
+            0,
+            0,
+            42,
+            VcRoute {
+                out_port: 1,
+                out_vpi: 0,
+                out_vci: 42,
+            },
+        );
+        let t = SimTime::from_us(1);
+        let mut drops = 0;
+        for _ in 0..10 {
+            if sw.forward(0, t, &cell(42)) == SwitchOutcome::QueueFull {
+                drops += 1;
+            }
+        }
+        assert!(drops > 0, "a burst into one port must tail-drop");
+        assert_eq!(sw.queue_drops, drops);
+    }
+
+    #[test]
+    fn fabric_corruption_keeps_header_valid() {
+        let mut sw = AtmSwitch::new(
+            2,
+            SwitchConfig {
+                corrupt_prob: 1.0,
+                ..SwitchConfig::default()
+            },
+            3,
+        );
+        sw.add_vc(
+            0,
+            0,
+            42,
+            VcRoute {
+                out_port: 1,
+                out_vpi: 0,
+                out_vci: 42,
+            },
+        );
+        let SwitchOutcome::Forwarded { cell: c, .. } = sw.forward(0, SimTime::ZERO, &cell(42))
+        else {
+            panic!()
+        };
+        assert!(c.header_ok(), "corruption hits the payload, not the header");
+        assert_ne!(c.payload(), cell(42).payload());
+        assert_eq!(sw.corrupted, 1);
+    }
+}

@@ -1,0 +1,68 @@
+//! Native execution of the Table 5 routines on this machine.
+//!
+//! Absolute numbers are of course orders of magnitude faster than a
+//! 25 MHz R3000; what must carry over — and what the paper's §4.1
+//! argument rests on — is the *shape*: all four routines linear in
+//! size, the optimized checksum clearly beating the halfword one, and
+//! the integrated copy+checksum beating a copy followed by a separate
+//! checksum pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+/// The paper's transfer sizes.
+const SIZES: [usize; 8] = [4, 20, 80, 200, 500, 1400, 4000, 8000];
+
+fn payload(n: usize) -> Vec<u8> {
+    (0..n).map(|i| (i * 31 + 7) as u8).collect()
+}
+
+fn bench_cksum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5");
+    for &n in &SIZES {
+        let data = payload(n);
+        group.throughput(Throughput::Bytes(n as u64));
+        group.bench_with_input(BenchmarkId::new("ultrix_cksum", n), &data, |b, d| {
+            b.iter(|| cksum::ultrix_cksum(black_box(d)))
+        });
+        group.bench_with_input(BenchmarkId::new("optimized_cksum", n), &data, |b, d| {
+            b.iter(|| cksum::optimized_cksum(black_box(d)))
+        });
+        group.bench_with_input(BenchmarkId::new("bcopy", n), &data, |b, d| {
+            let mut dst = vec![0u8; n];
+            b.iter(|| {
+                dst.copy_from_slice(black_box(d));
+                black_box(&dst);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("copy_then_cksum", n), &data, |b, d| {
+            let mut dst = vec![0u8; n];
+            b.iter(|| {
+                dst.copy_from_slice(black_box(d));
+                cksum::optimized_cksum(black_box(&dst))
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("integrated_copy_cksum", n),
+            &data,
+            |b, d| {
+                let mut dst = vec![0u8; n];
+                b.iter(|| cksum::copy_and_cksum(black_box(d), black_box(&mut dst)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_partial_combine(c: &mut Criterion) {
+    // The send-side integration's combine step: sum partials of an
+    // 8000-byte message split into two clusters.
+    let a = cksum::PartialChecksum::over(&payload(4096));
+    let b = cksum::PartialChecksum::over(&payload(3904));
+    c.bench_function("partial_combine_2_clusters", |bch| {
+        bch.iter(|| black_box(a).append(black_box(b)))
+    });
+}
+
+criterion_group!(benches, bench_cksum, bench_partial_combine);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! End-to-end experiment benches: one per table, timing how fast the
+//! simulator regenerates each configuration. These double as a
+//! regression guard — each iteration runs the complete two-host
+//! simulation (50 RPC round trips) and asserts payload integrity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use latency_core::experiment::{Experiment, NetKind};
+use std::hint::black_box;
+
+fn quick(net: NetKind, size: usize) -> Experiment {
+    let mut e = Experiment::rpc(net, size);
+    e.iterations = 50;
+    e.warmup = 4;
+    e
+}
+
+fn bench_rtt_atm_vs_ether(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_rtt");
+    group.sample_size(10);
+    for &size in &[200usize, 8000] {
+        group.bench_with_input(BenchmarkId::new("atm", size), &size, |b, &n| {
+            b.iter(|| {
+                let r = quick(NetKind::Atm, n).run(black_box(1));
+                assert_eq!(r.verify_failures, 0);
+                r.mean_rtt_us()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ether", size), &size, |b, &n| {
+            b.iter(|| {
+                let r = quick(NetKind::Ether, n).run(black_box(1));
+                assert_eq!(r.verify_failures, 0);
+                r.mean_rtt_us()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_checksum_configs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables6_7_configs");
+    group.sample_size(10);
+    group.bench_function("standard", |b| {
+        b.iter(|| quick(NetKind::Atm, 8000).run(1).mean_rtt_us())
+    });
+    group.bench_function("integrated", |b| {
+        b.iter(|| {
+            quick(NetKind::Atm, 8000)
+                .with_integrated_checksum()
+                .run(1)
+                .mean_rtt_us()
+        })
+    });
+    group.bench_function("eliminated", |b| {
+        b.iter(|| {
+            quick(NetKind::Atm, 8000)
+                .without_checksum()
+                .run(1)
+                .mean_rtt_us()
+        })
+    });
+    group.finish();
+}
+
+fn bench_prediction_configs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_prediction");
+    group.sample_size(10);
+    group.bench_function("with", |b| {
+        b.iter(|| quick(NetKind::Atm, 200).run(1).mean_rtt_us())
+    });
+    group.bench_function("without", |b| {
+        b.iter(|| {
+            quick(NetKind::Atm, 200)
+                .without_prediction()
+                .run(1)
+                .mean_rtt_us()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rtt_atm_vs_ether,
+    bench_checksum_configs,
+    bench_prediction_configs
+);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! The buffer subsystem under the microscope: allocation (§2.2.1's
+//! ≈7 µs pair on the DECstation), the socket-layer fill at each paper
+//! size, and the `m_copy` asymmetry (deep copy vs refcount) behind
+//! the Table 2 mcopy row.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mbuf::chain::ultrix_uses_clusters;
+use mbuf::{Chain, Mbuf, MbufPool};
+use std::hint::black_box;
+
+fn payload(n: usize) -> Vec<u8> {
+    (0..n).map(|i| (i * 13 + 5) as u8).collect()
+}
+
+fn bench_alloc_free(c: &mut Criterion) {
+    let pool = MbufPool::new();
+    c.bench_function("mbuf_alloc_free_pair", |b| {
+        b.iter(|| {
+            let m = Mbuf::get(black_box(&pool));
+            drop(black_box(m));
+        })
+    });
+    c.bench_function("cluster_alloc_free_pair", |b| {
+        b.iter(|| {
+            let m = Mbuf::getcl(black_box(&pool));
+            drop(black_box(m));
+        })
+    });
+}
+
+fn bench_fill(c: &mut Criterion) {
+    let pool = MbufPool::new();
+    let mut group = c.benchmark_group("sosend_fill");
+    for &n in &[200usize, 500, 1400, 4000, 8000] {
+        let data = payload(n);
+        group.throughput(Throughput::Bytes(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, d| {
+            b.iter(|| Chain::from_user_data(&pool, black_box(d), ultrix_uses_clusters(d.len())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mcopy(c: &mut Criterion) {
+    let pool = MbufPool::new();
+    let mut group = c.benchmark_group("m_copy");
+    // The cliff the paper's mcopy row shows: deep copy below 1 KB,
+    // refcount above.
+    let (small, _) = Chain::from_user_data(&pool, &payload(500), false);
+    group.bench_function("small_500B_deep_copy", |b| {
+        b.iter(|| small.copy_range(&pool, 0, 500))
+    });
+    let (big, _) = Chain::from_user_data(&pool, &payload(8000), true);
+    group.bench_function("cluster_8000B_refcount", |b| {
+        b.iter(|| big.copy_range(&pool, 0, 8000))
+    });
+    group.finish();
+}
+
+fn bench_chain_checksum(c: &mut Criterion) {
+    let pool = MbufPool::new();
+    let mut group = c.benchmark_group("chain_checksum");
+    let (chain, _) = Chain::from_user_data(&pool, &payload(8000), true);
+    group.bench_function("walk_8000B", |b| b.iter(|| chain.checksum_walk()));
+    let (stored, _) = Chain::from_user_data_cksum(&pool, &payload(8000), true);
+    group.bench_function("stored_combine_8000B", |b| {
+        b.iter(|| stored.stored_checksum())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_alloc_free,
+    bench_fill,
+    bench_mcopy,
+    bench_chain_checksum
+);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Real PCB demultiplexing cost: the §3 comparison between the BSD
+//! linear list (with and without the one-entry cache) and the hash
+//! table the paper recommends.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tcpip::config::PcbOrg;
+use tcpip::pcb::{PcbKey, PcbTable};
+
+fn deep_key(n: usize) -> PcbKey {
+    PcbKey {
+        laddr: [10, 0, 0, 1],
+        lport: 6000 + (n - 1) as u16,
+        faddr: [10, 9, 9, 9],
+        fport: 7000 + (n - 1) as u16,
+    }
+}
+
+fn bench_list_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pcb_list_search");
+    for n in [20usize, 100, 250, 1000] {
+        let mut table = PcbTable::new(PcbOrg::List, false);
+        table.add_ambient(n);
+        let key = deep_key(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| table.lookup(black_box(&key)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_organizations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pcb_orgs_250_entries");
+    let key = deep_key(250);
+
+    let mut list = PcbTable::new(PcbOrg::List, false);
+    list.add_ambient(250);
+    group.bench_function("list_no_cache", |b| b.iter(|| list.lookup(black_box(&key))));
+
+    let mut cached = PcbTable::new(PcbOrg::List, true);
+    cached.add_ambient(250);
+    let _ = cached.lookup(&key); // Prime the cache.
+    group.bench_function("list_with_cache_hit", |b| {
+        b.iter(|| cached.lookup(black_box(&key)))
+    });
+
+    let mut hash = PcbTable::new(PcbOrg::Hash, false);
+    hash.add_ambient(250);
+    group.bench_function("hash", |b| b.iter(|| hash.lookup(black_box(&key))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_list_scaling, bench_organizations);
+criterion_main!(benches);

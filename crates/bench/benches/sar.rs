@@ -1,0 +1,66 @@
+//! ATM adaptation layer throughput: segmentation and reassembly with
+//! real CRCs, AAL3/4 (the paper's adapter) against AAL5 (cited in
+//! §4.2.1 as the other CRC-bearing AAL).
+
+use atm::{aal5_segment, Aal34Reassembler, Aal34Segmenter, Aal5Reassembler};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn payload(n: usize) -> Vec<u8> {
+    (0..n).map(|i| (i * 7 + 3) as u8).collect()
+}
+
+fn bench_segment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("segmentation");
+    for &n in &[200usize, 1400, 4040, 8040] {
+        let data = payload(n);
+        group.throughput(Throughput::Bytes(n as u64));
+        group.bench_with_input(BenchmarkId::new("aal34", n), &data, |b, d| {
+            let mut seg = Aal34Segmenter::new(0, 42, 1);
+            b.iter(|| seg.segment(black_box(d)))
+        });
+        group.bench_with_input(BenchmarkId::new("aal5", n), &data, |b, d| {
+            b.iter(|| aal5_segment(0, 42, black_box(d)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sar_roundtrip");
+    for &n in &[1400usize, 8040] {
+        let data = payload(n);
+        group.throughput(Throughput::Bytes(n as u64));
+        group.bench_with_input(BenchmarkId::new("aal34", n), &data, |b, d| {
+            b.iter(|| {
+                let mut seg = Aal34Segmenter::new(0, 42, 1);
+                let cells = seg.segment(black_box(d));
+                let mut reasm = Aal34Reassembler::new();
+                let mut out = None;
+                for cell in &cells {
+                    if let Some(x) = reasm.push(cell).unwrap() {
+                        out = Some(x);
+                    }
+                }
+                black_box(out)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("aal5", n), &data, |b, d| {
+            b.iter(|| {
+                let cells = aal5_segment(0, 42, black_box(d));
+                let mut reasm = Aal5Reassembler::new(9188);
+                let mut out = None;
+                for cell in &cells {
+                    if let Some(x) = reasm.push(cell).unwrap() {
+                        out = Some(x);
+                    }
+                }
+                black_box(out)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_segment, bench_roundtrip);
+criterion_main!(benches);

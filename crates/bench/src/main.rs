@@ -1,0 +1,738 @@
+//! `repro` — regenerates every table and figure of *Latency Analysis
+//! of TCP on an ATM Network* from the simulation, printing measured
+//! values side by side with the paper's published numbers.
+//!
+//! ```sh
+//! repro [all|table1|table2|table3|table4|table5|table6|table7|pcb|mbuf|predict|errors]
+//!       [churn|ablation|switch|ethernet-errors|trace]
+//!       [--iterations N] [--reps N] [--json FILE] [--full]
+//! ```
+//!
+//! The second group are extension experiments beyond the paper's
+//! tables; `repro all` runs the tables, `repro extras` the extensions.
+//!
+//! `--full` uses the paper's methodology scale (40 000 iterations ×
+//! 3 repetitions); the default is a fast pass that produces the same
+//! means (the simulation is deterministic, so extra iterations only
+//! confirm stability).
+
+mod report;
+
+use latency_core::experiment::{Experiment, NetKind};
+use latency_core::{faults, micro, paper, tables};
+use report::Report;
+
+/// Command-line options.
+struct Opts {
+    what: Vec<String>,
+    iterations: u64,
+    reps: u64,
+    json: Option<String>,
+}
+
+fn parse_args() -> Opts {
+    let mut what = Vec::new();
+    let mut iterations = 1500;
+    let mut reps = 1;
+    let mut json = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--iterations" => {
+                iterations = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--iterations N");
+            }
+            "--reps" => {
+                reps = args.next().and_then(|v| v.parse().ok()).expect("--reps N");
+            }
+            "--json" => json = Some(args.next().expect("--json FILE")),
+            "--full" => {
+                iterations = 40_000;
+                reps = 3;
+            }
+            other if !other.starts_with('-') => what.push(other.to_string()),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    if what.is_empty() {
+        what.push("all".to_string());
+    }
+    Opts {
+        what,
+        iterations,
+        reps,
+        json,
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let mut report = Report::new(opts.iterations, opts.reps);
+    let all = opts.what.iter().any(|w| w == "all");
+    let want = |k: &str| all || opts.what.iter().any(|w| w == k);
+
+    if want("table1") {
+        table1(&mut report, &opts);
+    }
+    if want("table2") || want("table3") {
+        tables_2_3(&mut report, &opts);
+    }
+    if want("table4") {
+        table4(&mut report, &opts);
+    }
+    if want("table5") {
+        table5(&mut report);
+    }
+    if want("table6") {
+        table6(&mut report, &opts);
+    }
+    if want("table7") {
+        table7(&mut report, &opts);
+    }
+    if want("pcb") {
+        pcb(&mut report);
+    }
+    if want("mbuf") {
+        mbuf_bench(&mut report);
+    }
+    if want("predict") {
+        predict_stats(&mut report, &opts);
+    }
+    if want("errors") {
+        errors(&mut report, &opts);
+    }
+    let extras = opts.what.iter().any(|w| w == "extras");
+    let want_x = |k: &str| extras || opts.what.iter().any(|w| w == k);
+    if want_x("churn") {
+        churn_exp(&mut report);
+    }
+    if want_x("ablation") {
+        ablation_exp(&mut report, &opts);
+    }
+    if want_x("switch") {
+        switch_exp(&mut report, &opts);
+    }
+    if want_x("ethernet-errors") {
+        ethernet_errors(&mut report, &opts);
+    }
+    if want_x("udp") {
+        udp_exp(&mut report, &opts);
+    }
+    if want_x("trace") {
+        trace_timeline();
+    }
+
+    if let Some(path) = &opts.json {
+        report.write_json(path);
+        eprintln!("machine-readable results written to {path}");
+    }
+}
+
+fn churn_exp(report: &mut Report) {
+    eprintln!("churn: live connections under both PCB organizations...");
+    use tcpip::config::PcbOrg;
+    let mut text = String::from(
+        "connection churn: server TCP-input cost for a segment on the OLDEST
+         of n live connections (three-way handshakes, real SYN options)
+",
+    );
+    text.push_str(&format!(
+        "{:>6} | {:>14} {:>14} {:>14}
+",
+        "conns", "list(us)", "list+cache(us)", "hash(us)"
+    ));
+    for &n in &[5usize, 25, 100, 250] {
+        let list = latency_core::churn::churn(n, PcbOrg::List);
+        let hash = latency_core::churn::churn(n, PcbOrg::Hash);
+        text.push_str(&format!(
+            "{n:>6} | {:>14.1} {:>14.1} {:>14.1}
+",
+            list.oldest_input_us, list.cached_input_us, hash.oldest_input_us
+        ));
+    }
+    text.push_str(
+        "=> the list organization pays ~1.28 us per connection on a cache
+   miss; the hash table is flat, as the paper predicted (§3).
+",
+    );
+    println!("{text}");
+    report.text("churn", text);
+}
+
+fn ablation_exp(report: &mut Report, opts: &Opts) {
+    eprintln!("ablation: CPU scaling, checksum algorithms, MSS rounding...");
+    let iters = opts.iterations.min(400);
+    let pts = latency_core::ablation::cpu_scaling(&[1.0, 2.0, 4.0, 10.0, 40.0], iters);
+    let mut text = String::from(
+        "CPU scaling (host speedup over the 25 MHz R3000; wire fixed at 140 Mbit/s)
+",
+    );
+    text.push_str(&format!(
+        "{:>8} | {:>10} {:>10} {:>16}
+",
+        "speedup", "rtt4(us)", "rtt8k(us)", "elim saving(%)"
+    ));
+    for p in &pts {
+        text.push_str(&format!(
+            "{:>8.0} | {:>10.0} {:>10.0} {:>16.1}
+",
+            p.speedup, p.rtt4_us, p.rtt8k_us, p.elim_saving_pct
+        ));
+    }
+    text.push_str(
+        "=> a wire/adapter latency floor remains; the checksum question
+   fades as CPUs outrun the link (§1's technology question, forwards).
+
+",
+    );
+    let impls = latency_core::ablation::checksum_impls(8000, iters);
+    text.push_str(
+        "kernel checksum algorithm at 8000 B:
+",
+    );
+    for (which, rtt) in impls {
+        text.push_str(&format!(
+            "  {which:?}: {rtt:.0} us
+"
+        ));
+    }
+    let (two, one) = latency_core::ablation::mss_rounding(iters);
+    text.push_str(&format!(
+        "
+MSS rounding at 8000 B: two 4096-byte segments {two:.0} us vs one
+         8192-MSS segment {one:.0} us — the page-sized segments WIN by
+         pipelining receive processing against wire time.
+"
+    ));
+    println!("{text}");
+    report.text("ablation", text);
+}
+
+fn switch_exp(report: &mut Report, opts: &Opts) {
+    eprintln!("switch: switched vs switchless path...");
+    let iters = opts.iterations.min(500);
+    let mut text = String::from(
+        "ATM switch in the path (the paper's testbed was switchless)
+",
+    );
+    text.push_str(&format!(
+        "{:>6} | {:>12} {:>12} {:>8}
+",
+        "size", "direct(us)", "switched(us)", "delta"
+    ));
+    for &size in &[4usize, 1400, 8000] {
+        let mut d = Experiment::rpc(NetKind::Atm, size);
+        d.iterations = iters;
+        let mut s =
+            Experiment::rpc(NetKind::Atm, size).through_switch(atm::SwitchConfig::default());
+        s.iterations = iters;
+        let direct = d.run(1).mean_rtt_us();
+        let switched = s.run(1).mean_rtt_us();
+        text.push_str(&format!(
+            "{size:>6} | {direct:>12.0} {switched:>12.0} {:>8.0}
+",
+            switched - direct
+        ));
+    }
+    // Fabric corruption is caught end to end even without the TCP
+    // checksum (§4.2.1 error source #1).
+    let mut e = Experiment::rpc(NetKind::Atm, 1400).without_checksum();
+    e.iterations = iters;
+    e.switch = Some(atm::SwitchConfig {
+        corrupt_prob: 0.001,
+        ..atm::SwitchConfig::default()
+    });
+    let r = e.run(1);
+    text.push_str(&format!(
+        "
+fabric corruption, TCP checksum OFF: {} AAL3/4 drops, {} app-visible
+         corruptions — the end-to-end AAL CRC covers the switch, as §4.2.1 argues.
+",
+        r.client_nic.aal_drops + r.server_nic.aal_drops,
+        r.verify_failures
+    ));
+    println!("{text}");
+    report.text("switch", text);
+}
+
+fn ethernet_errors(report: &mut Report, opts: &Opts) {
+    eprintln!("ethernet-errors: the departmental-Ethernet observation...");
+    let iters = opts.iterations.min(300);
+    let local = faults::departmental_ethernet(1e-5, 0.0, iters, 9);
+    let mixed = faults::departmental_ethernet(1e-5, 0.005, iters, 10);
+    let text = format!(
+        "departmental Ethernet (§4.2.1): errors caught by the FCS vs TCP
+         local traffic only : CRC {} / TCP {}  (paper: TCP detected none)
+         with WAN traffic   : CRC {} / TCP {}  (paper: TCP ~100x fewer)
+",
+        local.caught_by_crc, local.caught_by_tcp, mixed.caught_by_crc, mixed.caught_by_tcp
+    );
+    println!("{text}");
+    report.text("ethernet_errors", text);
+}
+
+fn udp_exp(report: &mut Report, opts: &Opts) {
+    eprintln!("udp: TCP vs UDP RPC latency...");
+    let iters = opts.iterations.min(800);
+    let mut text = String::from(
+        "RPC echo over ATM: TCP vs UDP (extension; the comparison behind
+         §1's 'is TCP a viable transport for RPC?')
+",
+    );
+    text.push_str(&format!(
+        "{:>6} | {:>9} {:>9} {:>12}
+",
+        "size", "tcp(us)", "udp(us)", "tcp extra(%)"
+    ));
+    for &size in &paper::SIZES {
+        let mut t = Experiment::rpc(NetKind::Atm, size);
+        t.iterations = iters;
+        let mut u = Experiment::udp_rpc(NetKind::Atm, size);
+        u.iterations = iters;
+        let tcp = t.run(1).mean_rtt_us();
+        let udp = u.run(1).mean_rtt_us();
+        text.push_str(&format!(
+            "{size:>6} | {tcp:>9.0} {udp:>9.0} {:>12.1}
+",
+            (tcp / udp - 1.0) * 100.0
+        ));
+    }
+    text.push_str(
+        "=> TCP costs ~30% over a bare datagram exchange at small sizes — the
+         price of reliability state, mcopy and the heavier input path — and
+         the gap closes with size until TCP WINS at 8 KB: its two page-sized
+         segments pipeline receive processing against wire time, while the
+         single large UDP datagram serializes. Same order of magnitude
+         throughout, supporting the paper's 'viable for RPC' conclusion.
+",
+    );
+    println!("{text}");
+    report.text("udp", text);
+}
+
+/// Prints an annotated timeline of one 1400-byte RPC iteration —
+/// every probe interval the instrumentation recorded, in order.
+fn trace_timeline() {
+    let mut e = Experiment::rpc(NetKind::Atm, 1400);
+    e.iterations = 1;
+    e.warmup = 2;
+    // Rebuild at the world level to keep the recorder.
+    use latency_core::app::{App, Role};
+    use latency_core::nic::{AtmNic, Nic};
+    use latency_core::world::{run_world, World};
+    let costs = e.costs.clone();
+    let apps = [
+        App::new(Role::RpcClient, e.size, e.iterations, e.warmup),
+        App::new(Role::RpcServer, e.size, u64::MAX / 4, 0),
+    ];
+    let nics = [
+        Nic::Atm(AtmNic::new(
+            atm::FiberLink::new(atm::LinkConfig::default(), 1),
+            costs.clone(),
+            42,
+            1,
+        )),
+        Nic::Atm(AtmNic::new(
+            atm::FiberLink::new(atm::LinkConfig::default(), 2),
+            costs.clone(),
+            42,
+            2,
+        )),
+    ];
+    let sim = run_world(World::new(e.cfg, costs, nics, apps));
+    println!("timeline of one 1400-byte RPC iteration (client side, us relative to write()):");
+    let rec = &sim.world.hosts[0].kernel.spans;
+    let t0 = rec
+        .marks()
+        .iter()
+        .find(|(m, _)| *m == tcpip::Mark::WriteStart)
+        .map_or(simkit::SimTime::ZERO, |&(_, t)| t);
+    let mut events: Vec<(f64, String)> = rec
+        .spans()
+        .iter()
+        .map(|s| {
+            (
+                s.start.saturating_since(t0).as_us_f64(),
+                format!(
+                    "{:>9.1} ..{:>9.1}  {:?}",
+                    s.start.saturating_since(t0).as_us_f64(),
+                    s.end.saturating_since(t0).as_us_f64(),
+                    s.kind
+                ),
+            )
+        })
+        .collect();
+    events.extend(rec.marks().iter().map(|&(m, t)| {
+        (
+            t.saturating_since(t0).as_us_f64(),
+            format!(
+                "{:>9.1}              * {m:?}",
+                t.saturating_since(t0).as_us_f64()
+            ),
+        )
+    }));
+    events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    for (_, line) in events {
+        println!("{line}");
+    }
+}
+
+fn rpc(net: NetKind, size: usize, opts: &Opts) -> Experiment {
+    let mut e = Experiment::rpc(net, size);
+    e.iterations = opts.iterations;
+    // Ethernet at 8 KB is ~20 ms per iteration of simulated time; cap
+    // the slow substrate so full runs stay pleasant.
+    if net == NetKind::Ether {
+        e.iterations = e.iterations.min(4_000);
+    }
+    e.warmup = 16;
+    e
+}
+
+fn table1(report: &mut Report, opts: &Opts) {
+    eprintln!("table1: ATM vs Ethernet sweep...");
+    let mut atm = Vec::new();
+    let mut eth = Vec::new();
+    for &size in &paper::SIZES {
+        atm.push(
+            rpc(NetKind::Atm, size, opts)
+                .run_reps(opts.reps)
+                .mean_rtt_us(),
+        );
+        eth.push(
+            rpc(NetKind::Ether, size, opts)
+                .run_reps(opts.reps)
+                .mean_rtt_us(),
+        );
+    }
+    let text = tables::rtt_comparison(
+        "Table 1: ATM vs Ethernet round-trip times",
+        "Ether",
+        "ATM",
+        &paper::SIZES,
+        &eth,
+        &atm,
+        &paper::T1_ETHERNET_RTT,
+        &paper::T1_ATM_RTT,
+    );
+    println!("{text}");
+    report.series("table1.atm_rtt_us", &atm, &paper::T1_ATM_RTT);
+    report.series("table1.ether_rtt_us", &eth, &paper::T1_ETHERNET_RTT);
+    report.text("table1", text);
+}
+
+fn tables_2_3(report: &mut Report, opts: &Opts) {
+    eprintln!("table2/3: breakdown sweep...");
+    let mut txs = Vec::new();
+    let mut rxs = Vec::new();
+    for &size in &paper::SIZES {
+        let r = rpc(NetKind::Atm, size, opts).run_reps(opts.reps);
+        txs.push(r.tx);
+        rxs.push(r.rx);
+    }
+    let t2 = tables::table2(&paper::SIZES, &txs);
+    let t3 = tables::table3(&paper::SIZES, &rxs);
+    println!("{t2}");
+    println!("{t3}");
+    report.series(
+        "table2.total_us",
+        &txs.iter().map(|t| t.total()).collect::<Vec<_>>(),
+        &paper::t2::TOTAL,
+    );
+    report.series(
+        "table3.total_us",
+        &rxs.iter().map(|t| t.total()).collect::<Vec<_>>(),
+        &paper::t3::TOTAL,
+    );
+    report.text("table2", t2);
+    report.text("table3", t3);
+}
+
+fn table4(report: &mut Report, opts: &Opts) {
+    eprintln!("table4: header prediction on/off...");
+    let mut with = Vec::new();
+    let mut without = Vec::new();
+    for &size in &paper::SIZES {
+        with.push(
+            rpc(NetKind::Atm, size, opts)
+                .run_reps(opts.reps)
+                .mean_rtt_us(),
+        );
+        without.push(
+            rpc(NetKind::Atm, size, opts)
+                .without_prediction()
+                .run_reps(opts.reps)
+                .mean_rtt_us(),
+        );
+    }
+    let text = tables::rtt_comparison(
+        "Table 4: effect of header prediction",
+        "NoPred",
+        "Pred",
+        &paper::SIZES,
+        &without,
+        &with,
+        &paper::T4_NO_PREDICTION_RTT,
+        &paper::T1_ATM_RTT,
+    );
+    println!("{text}");
+    let fig = tables::ascii_figure(
+        "Figure 1: Effects of Header Prediction (round-trip time, us)",
+        &paper::SIZES,
+        &[("with prediction", &with), ("without prediction", &without)],
+        16,
+    );
+    println!("{fig}");
+    report.series(
+        "table4.no_prediction_rtt_us",
+        &without,
+        &paper::T4_NO_PREDICTION_RTT,
+    );
+    report.text("table4", text);
+    report.text("figure1", fig);
+}
+
+fn table5(report: &mut Report) {
+    eprintln!("table5: user-level copy & checksum (modelled DECstation costs)...");
+    let costs = decstation::CostModel::calibrated();
+    let rows = micro::table5_model(&costs, &paper::SIZES);
+    let mut text = String::from("Table 5: copy and checksum costs (modelled us, measured/paper)\n");
+    text.push_str(&format!(
+        "{:>6} | {:>13} {:>13} {:>13} {:>13} {:>8}\n",
+        "size", "ULTRIXcksum", "bcopy", "opt.cksum", "integrated", "save%"
+    ));
+    let mut integ_series = Vec::new();
+    for (i, &size) in paper::SIZES.iter().enumerate() {
+        let [u, b, o, g] = rows[i];
+        let save = (1.0 - g / (b + o)) * 100.0;
+        text.push_str(&format!(
+            "{size:>6} | {u:>6.0}/{:<6.0} {b:>6.0}/{:<6.0} {o:>6.0}/{:<6.0} {g:>6.0}/{:<6.0} {save:>8.1}\n",
+            paper::t5::ULTRIX_CKSUM[i],
+            paper::t5::BCOPY[i],
+            paper::t5::OPT_CKSUM[i],
+            paper::t5::INTEGRATED[i],
+        ));
+        integ_series.push(g);
+    }
+    println!("{text}");
+    // Figure 2: the three strategies for copy+checksum.
+    let copy_ultrix: Vec<f64> = paper::SIZES
+        .iter()
+        .enumerate()
+        .map(|(i, _)| rows[i][0] + rows[i][1])
+        .collect();
+    let copy_opt: Vec<f64> = paper::SIZES
+        .iter()
+        .enumerate()
+        .map(|(i, _)| rows[i][2] + rows[i][1])
+        .collect();
+    let fig = tables::ascii_figure(
+        "Figure 2: Copy and Checksum Measurements (us)",
+        &paper::SIZES,
+        &[
+            ("copy & ULTRIX checksum", &copy_ultrix),
+            ("copy & optimized checksum", &copy_opt),
+            ("integrated copy & checksum", &integ_series),
+        ],
+        16,
+    );
+    println!("{fig}");
+    // Native shape check: the real routines on this machine.
+    let mut native = String::from("Native (this machine) checksum routine times, ns/call:\n");
+    native.push_str(&format!(
+        "{:>6} {:>12} {:>12} {:>12}\n",
+        "size", "ultrix", "optimized", "copy+cksum"
+    ));
+    for &size in &paper::SIZES {
+        let [u, o, i] = micro::native_cksum_ns(size, 2000);
+        native.push_str(&format!("{size:>6} {u:>12.0} {o:>12.0} {i:>12.0}\n"));
+    }
+    println!("{native}");
+    report.series(
+        "table5.integrated_us",
+        &integ_series,
+        &paper::t5::INTEGRATED,
+    );
+    report.text("table5", text);
+    report.text("figure2", fig);
+    report.text("table5_native", native);
+}
+
+fn table6(report: &mut Report, opts: &Opts) {
+    eprintln!("table6: integrated copy-and-checksum kernel...");
+    let mut base = Vec::new();
+    let mut integ = Vec::new();
+    for &size in &paper::SIZES {
+        base.push(
+            rpc(NetKind::Atm, size, opts)
+                .run_reps(opts.reps)
+                .mean_rtt_us(),
+        );
+        integ.push(
+            rpc(NetKind::Atm, size, opts)
+                .with_integrated_checksum()
+                .run_reps(opts.reps)
+                .mean_rtt_us(),
+        );
+    }
+    let text = tables::rtt_comparison(
+        "Table 6: standard vs combined copy-and-checksum round trips",
+        "Std",
+        "Combined",
+        &paper::SIZES,
+        &base,
+        &integ,
+        &paper::T1_ATM_RTT,
+        &paper::T6_COMBINED_RTT,
+    );
+    println!("{text}");
+    report.series("table6.combined_rtt_us", &integ, &paper::T6_COMBINED_RTT);
+    report.text("table6", text);
+}
+
+fn table7(report: &mut Report, opts: &Opts) {
+    eprintln!("table7: checksum elimination...");
+    let mut base = Vec::new();
+    let mut none = Vec::new();
+    for &size in &paper::SIZES {
+        base.push(
+            rpc(NetKind::Atm, size, opts)
+                .run_reps(opts.reps)
+                .mean_rtt_us(),
+        );
+        none.push(
+            rpc(NetKind::Atm, size, opts)
+                .without_checksum()
+                .run_reps(opts.reps)
+                .mean_rtt_us(),
+        );
+    }
+    let text = tables::rtt_comparison(
+        "Table 7: round trips with and without the TCP checksum",
+        "Cksum",
+        "NoCksum",
+        &paper::SIZES,
+        &base,
+        &none,
+        &paper::T1_ATM_RTT,
+        &paper::T7_NO_CKSUM_RTT,
+    );
+    println!("{text}");
+    report.series("table7.no_cksum_rtt_us", &none, &paper::T7_NO_CKSUM_RTT);
+    report.text("table7", text);
+}
+
+fn pcb(report: &mut Report) {
+    eprintln!("pcb: lookup scaling (§3)...");
+    let costs = decstation::CostModel::calibrated();
+    let lengths = [20usize, 50, 100, 250, 500, 750, 1000];
+    let pts = micro::pcb_lookup_sweep(&costs, &lengths);
+    let fit = micro::pcb_lookup_fit(&pts).expect("fit");
+    let mut text = String::from(
+        "PCB linear-search cost (paper: 20 -> 26 us, 1000 -> 1280 us, ~1.3 us/entry)\n",
+    );
+    text.push_str(&format!(
+        "{:>8} {:>12} {:>12}\n",
+        "entries", "model(us)", "steps"
+    ));
+    for p in &pts {
+        text.push_str(&format!(
+            "{:>8} {:>12.1} {:>12}\n",
+            p.entries, p.model_us, p.real_steps
+        ));
+    }
+    text.push_str(&format!(
+        "fit: {:.3} us/entry (r^2 = {:.6}); paper: ~{} us/entry\n",
+        fit.slope,
+        fit.r_squared,
+        paper::PCB_PER_ENTRY_US
+    ));
+    println!("{text}");
+    report.scalar("pcb.slope_us_per_entry", fit.slope, paper::PCB_PER_ENTRY_US);
+    report.text("pcb", text);
+}
+
+fn mbuf_bench(report: &mut Report) {
+    eprintln!("mbuf: allocator microbenchmark (§2.2.1)...");
+    let costs = decstation::CostModel::calibrated();
+    let us = micro::mbuf_pair_cost_us(&costs);
+    let text = format!(
+        "mbuf allocate+free pair: {us:.1} us (paper: just over {} us)\n",
+        paper::MBUF_ALLOC_FREE_US
+    );
+    println!("{text}");
+    report.scalar("mbuf.alloc_free_pair_us", us, paper::MBUF_ALLOC_FREE_US);
+    report.text("mbuf", text);
+}
+
+fn predict_stats(report: &mut Report, opts: &Opts) {
+    eprintln!("predict: fast-path statistics (§3)...");
+    let r = rpc(NetKind::Atm, 200, opts).run(1);
+    let rpc_rate = 100.0 * (r.client_tcp.predict_data_hits + r.client_tcp.predict_ack_hits) as f64
+        / r.client_tcp.predict_checks.max(1) as f64;
+    let b = Experiment::bulk(NetKind::Atm, 4000, opts.iterations.min(2_000)).run(1);
+    let bulk_rate =
+        100.0 * b.server_tcp.predict_data_hits as f64 / b.server_tcp.predict_checks.max(1) as f64;
+    let r8k = rpc(NetKind::Atm, 8000, opts).run(1);
+    let second_seg =
+        100.0 * r8k.client_tcp.predict_data_hits as f64 / (2.0 * r8k.rtts.len() as f64);
+    let text = format!(
+        "header-prediction fast path hit rates:\n\
+         RPC 200 B client:         {rpc_rate:>5.1}%  (paper: fails for piggybacked-ACK RPC)\n\
+         bulk 4000 B receiver:     {bulk_rate:>5.1}%  (paper: the case it was built for)\n\
+         RPC 8000 B data segments: {second_seg:>5.1}%  (paper: succeeds for half: the 2nd of 2)\n"
+    );
+    println!("{text}");
+    report.scalar("predict.rpc_rate_pct", rpc_rate, 0.0);
+    report.scalar("predict.bulk_rate_pct", bulk_rate, 100.0);
+    report.scalar("predict.second_segment_pct", second_seg, 50.0);
+    report.text("predict", text);
+}
+
+fn errors(report: &mut Report, opts: &Opts) {
+    eprintln!("errors: §4.2.1 detection layering...");
+    let iters = opts.iterations.min(300);
+    let mut text =
+        String::from("fault injection (RPC 1400 B): which layer detects each error class\n");
+    text.push_str(&format!(
+        "{:<34} {:>8} {:>5} {:>5} {:>5} {:>5} {:>7}\n",
+        "class", "injected", "HEC", "AAL", "TCP", "app", "rexmit"
+    ));
+    let mut row = |name: &str, r: &faults::DetectionReport| {
+        text.push_str(&format!(
+            "{name:<34} {:>8} {:>5} {:>5} {:>5} {:>5} {:>7}\n",
+            r.injected_link,
+            r.caught_hec,
+            r.caught_aal,
+            r.caught_tcp,
+            r.reached_app,
+            r.retransmissions
+        ));
+    };
+    row("fiber BER 1e-5", &faults::link_bit_errors(1e-5, iters, 2));
+    row("fiber BER 1e-4", &faults::link_bit_errors(1e-4, iters, 3));
+    row("cell loss 0.2%", &faults::cell_loss(0.002, iters, 4));
+    let on = faults::controller_corruption(0.03, true, iters, 5);
+    let off = faults::controller_corruption(0.03, false, iters, 6);
+    row("controller corruption, cksum ON", &on);
+    row("controller corruption, cksum OFF", &off);
+    text.push_str(
+        "=> link errors never pass AAL3/4; controller corruption passes every\n\
+         link CRC and reaches the application once the TCP checksum is off —\n\
+         the boundary condition of the paper's elimination argument.\n",
+    );
+    println!("{text}");
+    report.scalar(
+        "errors.controller_app_hits_cksum_on",
+        on.reached_app as f64,
+        0.0,
+    );
+    report.scalar(
+        "errors.controller_app_hits_cksum_off",
+        off.reached_app as f64,
+        1.0,
+    );
+    report.text("errors", text);
+}

@@ -1,0 +1,95 @@
+//! Machine-readable result collection for the `repro` binary.
+//!
+//! Every table the binary prints is also recorded here as measured
+//! series paired with the paper's values, and can be dumped as JSON
+//! (used to generate `EXPERIMENTS.md`).
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// One measured series against the paper's.
+#[derive(Serialize)]
+pub struct Series {
+    /// Measured values (one per paper size, usually).
+    pub measured: Vec<f64>,
+    /// The paper's published values.
+    pub paper: Vec<f64>,
+    /// Per-point relative error in percent.
+    pub err_pct: Vec<f64>,
+}
+
+/// One scalar comparison.
+#[derive(Serialize)]
+pub struct Scalar {
+    /// Measured value.
+    pub measured: f64,
+    /// The paper's value (0 when the paper gives no number).
+    pub paper: f64,
+}
+
+/// The full report.
+#[derive(Serialize)]
+pub struct Report {
+    /// Iterations per repetition used for the runs.
+    pub iterations: u64,
+    /// Repetitions averaged.
+    pub reps: u64,
+    /// Named series.
+    pub series: BTreeMap<String, Series>,
+    /// Named scalars.
+    pub scalars: BTreeMap<String, Scalar>,
+    /// Rendered table texts.
+    pub texts: BTreeMap<String, String>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    #[must_use]
+    pub fn new(iterations: u64, reps: u64) -> Self {
+        Report {
+            iterations,
+            reps,
+            series: BTreeMap::new(),
+            scalars: BTreeMap::new(),
+            texts: BTreeMap::new(),
+        }
+    }
+
+    /// Records a measured-vs-paper series.
+    pub fn series(&mut self, name: &str, measured: &[f64], paper: &[f64]) {
+        let err_pct = measured
+            .iter()
+            .zip(paper)
+            .map(|(&m, &p)| if p == 0.0 { 0.0 } else { (m - p) / p * 100.0 })
+            .collect();
+        self.series.insert(
+            name.to_string(),
+            Series {
+                measured: measured.to_vec(),
+                paper: paper.to_vec(),
+                err_pct,
+            },
+        );
+    }
+
+    /// Records a scalar comparison.
+    pub fn scalar(&mut self, name: &str, measured: f64, paper: f64) {
+        self.scalars
+            .insert(name.to_string(), Scalar { measured, paper });
+    }
+
+    /// Records a rendered table.
+    pub fn text(&mut self, name: &str, text: String) {
+        self.texts.insert(name.to_string(), text);
+    }
+
+    /// Writes the report as pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written.
+    pub fn write_json(&self, path: &str) {
+        let json = serde_json::to_string_pretty(self).expect("report serializes");
+        std::fs::write(path, json).expect("write report file");
+    }
+}

@@ -1,0 +1,257 @@
+//! The three checksum implementations studied by the paper, plus a
+//! byte-model reference.
+//!
+//! All routines return the *sum* (a [`Sum16`], not complemented) so
+//! they can participate in partial-sum combination; callers that want
+//! the wire checksum apply [`Sum16::finish`].
+//!
+//! Performance notes (these are the properties the paper measures; the
+//! Rust routines preserve the *relative* structure):
+//!
+//! - [`ultrix_cksum`] walks the buffer 16 bits at a time — one load,
+//!   one add, one carry per halfword, the access pattern of the stock
+//!   ULTRIX 4.2A `in_cksum`.
+//! - [`optimized_cksum`] reads 64-bit words in an unrolled loop,
+//!   accumulating carries implicitly in a wide register — the Kay &
+//!   Pasquale style rewrite (they used 32-bit words on the R3000; on a
+//!   modern machine the natural wide unit is 64 bits, the structure is
+//!   identical).
+//! - [`copy_and_cksum`] performs the copy and the summation in a single
+//!   pass so the data crosses the memory system once, the Clark et al.
+//!   integration the paper implements in §4.1.
+
+use crate::sum::{fold64, Sum16};
+
+/// Reference implementation: two bytes at a time via the [`Sum16`]
+/// primitive. Used as the correctness oracle in tests.
+#[must_use]
+pub fn naive_cksum(data: &[u8]) -> Sum16 {
+    Sum16::over(data)
+}
+
+/// The stock ULTRIX 4.2A style algorithm: halfword-at-a-time
+/// accumulation with explicit per-iteration folding.
+///
+/// # Examples
+///
+/// ```
+/// use cksum::{naive_cksum, ultrix_cksum};
+///
+/// let data: Vec<u8> = (0..=255).collect();
+/// assert_eq!(ultrix_cksum(&data), naive_cksum(&data));
+/// ```
+#[must_use]
+pub fn ultrix_cksum(data: &[u8]) -> Sum16 {
+    let mut acc: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for half in &mut chunks {
+        acc += u32::from(u16::from_be_bytes([half[0], half[1]]));
+        // The ULTRIX loop folds the carry on every iteration rather
+        // than deferring it — one of the reasons it is slow.
+        acc = (acc & 0xffff) + (acc >> 16);
+    }
+    if let [last] = chunks.remainder() {
+        acc += u32::from(u16::from_be_bytes([*last, 0]));
+        acc = (acc & 0xffff) + (acc >> 16);
+    }
+    Sum16::from_raw(acc as u16)
+}
+
+/// Sums a buffer of even length that is a whole number of native
+/// 64-bit words, deferring carries to a 128-bit accumulator.
+#[inline]
+fn sum_words_native(words: &[u8]) -> u64 {
+    debug_assert_eq!(words.len() % 8, 0);
+    let mut acc: u128 = 0;
+    // Unroll by four words (32 bytes) — mirrors the original loop
+    // unrolling; the remainder loop handles the tail words.
+    let mut iter = words.chunks_exact(32);
+    for block in &mut iter {
+        // Unaligned loads are fine on the targets we build for.
+        let a = u64::from_ne_bytes(block[0..8].try_into().unwrap());
+        let b = u64::from_ne_bytes(block[8..16].try_into().unwrap());
+        let c = u64::from_ne_bytes(block[16..24].try_into().unwrap());
+        let d = u64::from_ne_bytes(block[24..32].try_into().unwrap());
+        acc += u128::from(a) + u128::from(b) + u128::from(c) + u128::from(d);
+    }
+    for word in iter.remainder().chunks_exact(8) {
+        acc += u128::from(u64::from_ne_bytes(word.try_into().unwrap()));
+    }
+    // Fold 128 -> 64 with end-around carry.
+    let folded = (acc & u128::from(u64::MAX)) + (acc >> 64);
+    let folded = (folded & u128::from(u64::MAX)) + (folded >> 64);
+    folded as u64
+}
+
+/// Converts a native-endian wide ones-complement sum into the
+/// big-endian [`Sum16`] convention.
+#[inline]
+fn native_sum_to_be(acc: u64) -> Sum16 {
+    let s = fold64(acc);
+    if cfg!(target_endian = "little") {
+        // Summing native little-endian halfwords computes the byte-
+        // swapped big-endian sum; ones-complement addition commutes
+        // with byte swapping, so one final swap corrects it.
+        Sum16::from_raw(s.rotate_left(8))
+    } else {
+        Sum16::from_raw(s)
+    }
+}
+
+/// The optimized (unrolled, word-at-a-time) checksum.
+///
+/// Structure follows the Kay & Pasquale rewrite the paper adopts:
+/// wide loads, deferred carries, unrolled main loop, scalar tail.
+///
+/// # Examples
+///
+/// ```
+/// use cksum::{naive_cksum, optimized_cksum};
+///
+/// let data = vec![0xa5u8; 8000];
+/// assert_eq!(optimized_cksum(&data), naive_cksum(&data));
+/// ```
+#[must_use]
+pub fn optimized_cksum(data: &[u8]) -> Sum16 {
+    let words_len = data.len() & !7;
+    let head = native_sum_to_be(sum_words_native(&data[..words_len]));
+    let tail = &data[words_len..];
+    if tail.is_empty() {
+        return head;
+    }
+    // The tail (< 8 bytes) begins at an even offset, so its big-endian
+    // halfword sum combines without a swap.
+    head.add(Sum16::over(tail))
+}
+
+/// Integrated copy-and-checksum: copies `src` into `dst` and returns
+/// the ones-complement sum of the data, touching each byte once.
+///
+/// This is the §4.1 integration. The destination must be at least as
+/// long as the source; only `src.len()` bytes are written.
+///
+/// # Panics
+///
+/// Panics if `dst` is shorter than `src`.
+///
+/// # Examples
+///
+/// ```
+/// use cksum::{copy_and_cksum, naive_cksum};
+///
+/// let src = b"the quick brown fox";
+/// let mut dst = vec![0u8; src.len()];
+/// let sum = copy_and_cksum(src, &mut dst);
+/// assert_eq!(&dst, src);
+/// assert_eq!(sum, naive_cksum(src));
+/// ```
+#[must_use]
+pub fn copy_and_cksum(src: &[u8], dst: &mut [u8]) -> Sum16 {
+    assert!(
+        dst.len() >= src.len(),
+        "copy_and_cksum destination too short: {} < {}",
+        dst.len(),
+        src.len()
+    );
+    let words_len = src.len() & !7;
+    let mut acc: u128 = 0;
+    let mut src_words = src[..words_len].chunks_exact(8);
+    let mut dst_words = dst[..words_len].chunks_exact_mut(8);
+    for (s, d) in (&mut src_words).zip(&mut dst_words) {
+        let w = u64::from_ne_bytes(s.try_into().unwrap());
+        d.copy_from_slice(&w.to_ne_bytes());
+        acc += u128::from(w);
+    }
+    let folded = (acc & u128::from(u64::MAX)) + (acc >> 64);
+    let folded = ((folded & u128::from(u64::MAX)) + (folded >> 64)) as u64;
+    let head = native_sum_to_be(folded);
+    let tail = &src[words_len..];
+    if tail.is_empty() {
+        return head;
+    }
+    dst[words_len..src.len()].copy_from_slice(tail);
+    head.add(Sum16::over(tail))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_algos(data: &[u8]) -> [Sum16; 3] {
+        let mut dst = vec![0u8; data.len()];
+        let c = copy_and_cksum(data, &mut dst);
+        assert_eq!(dst, data, "copy must be exact");
+        [ultrix_cksum(data), optimized_cksum(data), c]
+    }
+
+    #[test]
+    fn algorithms_agree_on_paper_sizes() {
+        // The eight transfer sizes used throughout the paper.
+        for size in [4usize, 20, 80, 200, 500, 1400, 4000, 8000] {
+            let data: Vec<u8> = (0..size).map(|i| (i * 31 + 7) as u8).collect();
+            let expect = naive_cksum(&data);
+            for got in all_algos(&data) {
+                assert_eq!(got, expect, "size {size}");
+            }
+        }
+    }
+
+    #[test]
+    fn algorithms_agree_on_odd_and_small_lengths() {
+        for size in 0usize..70 {
+            let data: Vec<u8> = (0..size).map(|i| (i * 131 + 17) as u8).collect();
+            let expect = naive_cksum(&data);
+            for got in all_algos(&data) {
+                assert_eq!(got, expect, "size {size}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_ones_and_all_zeroes() {
+        let zeros = vec![0u8; 1000];
+        assert_eq!(optimized_cksum(&zeros).value(), 0);
+        let ones = vec![0xffu8; 1000];
+        assert_eq!(optimized_cksum(&ones).value(), 0xffff);
+        assert_eq!(ultrix_cksum(&ones).value(), 0xffff);
+    }
+
+    #[test]
+    fn known_vector() {
+        // RFC 1071 example data.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(optimized_cksum(&data).value(), 0xddf2);
+        assert_eq!(ultrix_cksum(&data).value(), 0xddf2);
+    }
+
+    #[test]
+    fn copy_and_cksum_into_larger_destination() {
+        let src = [1u8, 2, 3];
+        let mut dst = [0u8; 8];
+        let s = copy_and_cksum(&src, &mut dst);
+        assert_eq!(&dst[..3], &src);
+        assert_eq!(&dst[3..], &[0; 5]);
+        assert_eq!(s, naive_cksum(&src));
+    }
+
+    #[test]
+    #[should_panic(expected = "destination too short")]
+    fn copy_and_cksum_short_destination_panics() {
+        let mut dst = [0u8; 2];
+        let _ = copy_and_cksum(&[1, 2, 3], &mut dst);
+    }
+
+    #[test]
+    fn single_bit_corruption_is_detected() {
+        // The Internet checksum catches all single-bit errors.
+        let data: Vec<u8> = (0..200).map(|i| (i * 7) as u8).collect();
+        let clean = optimized_cksum(&data);
+        for byte in (0..data.len()).step_by(17) {
+            for bit in 0..8 {
+                let mut bad = data.clone();
+                bad[byte] ^= 1 << bit;
+                assert_ne!(optimized_cksum(&bad), clean, "byte {byte} bit {bit}");
+            }
+        }
+    }
+}

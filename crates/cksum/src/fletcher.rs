@@ -1,0 +1,207 @@
+//! Fletcher checksums — the alternate algorithms of RFC 1146.
+//!
+//! §4.2 adopts the Alternate Checksum Option as the negotiation
+//! vehicle for checksum *elimination*; RFC 1146 itself defines two
+//! positive alternatives, the 8-bit and 16-bit Fletcher checksums.
+//! They are implemented here so the negotiation machinery has real
+//! algorithms to negotiate, and because they make an instructive
+//! comparison point: Fletcher's sums are position-sensitive (they
+//! catch the byte-swap and reordering errors the ones-complement sum
+//! is blind to) at a cost of two accumulators per byte.
+//!
+//! Both follow RFC 1146's formulation: two mod-255 (or mod-65535)
+//! accumulators, with the check bytes chosen so a verifier summing
+//! the whole segment (data plus check bytes) gets zero in both
+//! accumulators.
+
+/// The 8-bit Fletcher state: `a` is the running byte sum, `b` the
+/// running sum of `a` (both mod 255).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct Fletcher8 {
+    a: u32,
+    b: u32,
+}
+
+impl Fletcher8 {
+    /// Fresh state.
+    #[must_use]
+    pub fn new() -> Self {
+        Fletcher8::default()
+    }
+
+    /// Absorbs bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        // Defer the mod-255 reduction: with a,b < 255 and chunks of
+        // ≤ 5802 bytes, b stays below 2^32 (255·n + 255·n·(n+1)/2).
+        for chunk in data.chunks(4096) {
+            for &byte in chunk {
+                self.a += u32::from(byte);
+                self.b += self.a;
+            }
+            self.a %= 255;
+            self.b %= 255;
+        }
+    }
+
+    /// The two check bytes to append so the whole verifies to zero.
+    ///
+    /// Absorbing bytes `x` then `y` gives `a' = a + x + y` and
+    /// `b' = b + (a + x) + a'`; requiring both ≡ 0 (mod 255) yields
+    /// `x ≡ −(a + b)` and `y ≡ −(a + x)`.
+    #[must_use]
+    pub fn check_bytes(mut self) -> [u8; 2] {
+        self.a %= 255;
+        self.b %= 255;
+        let x = (510 - self.a - self.b) % 255;
+        let y = (255 - (self.a + x) % 255) % 255;
+        [x as u8, y as u8]
+    }
+
+    /// One-shot checksum of `data`.
+    #[must_use]
+    pub fn over(data: &[u8]) -> [u8; 2] {
+        let mut f = Fletcher8::new();
+        f.update(data);
+        f.check_bytes()
+    }
+
+    /// Verifies a buffer whose final two bytes are its check bytes.
+    #[must_use]
+    pub fn verify(data_with_check: &[u8]) -> bool {
+        let mut f = Fletcher8::new();
+        f.update(data_with_check);
+        f.a.is_multiple_of(255) && f.b.is_multiple_of(255)
+    }
+}
+
+/// The 16-bit Fletcher checksum over 16-bit words (odd trailing byte
+/// padded with zero), mod 65535.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Fletcher16 {
+    a: u64,
+    b: u64,
+}
+
+impl Fletcher16 {
+    /// Fresh state.
+    #[must_use]
+    pub fn new() -> Self {
+        Fletcher16::default()
+    }
+
+    /// Absorbs bytes (big-endian 16-bit words).
+    pub fn update(&mut self, data: &[u8]) {
+        let mut words = data.chunks_exact(2);
+        for w in &mut words {
+            self.a += u64::from(u16::from_be_bytes([w[0], w[1]]));
+            self.b += self.a;
+            if self.b >= 1 << 56 {
+                self.a %= 65_535;
+                self.b %= 65_535;
+            }
+        }
+        if let [last] = words.remainder() {
+            self.a += u64::from(u16::from_be_bytes([*last, 0]));
+            self.b += self.a;
+        }
+        self.a %= 65_535;
+        self.b %= 65_535;
+    }
+
+    /// The two check words to append so the whole verifies to zero.
+    #[must_use]
+    pub fn check_words(self) -> [u16; 2] {
+        let x = (131_070 - self.a - self.b) % 65_535;
+        let a_needed = (65_535 - (self.a + x) % 65_535) % 65_535;
+        [x as u16, a_needed as u16]
+    }
+
+    /// Verifies a buffer whose final four bytes are its check words.
+    #[must_use]
+    pub fn verify(data_with_check: &[u8]) -> bool {
+        let mut f = Fletcher16::new();
+        f.update(data_with_check);
+        f.a.is_multiple_of(65_535) && f.b.is_multiple_of(65_535)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 23 + 11) as u8).collect()
+    }
+
+    #[test]
+    fn fletcher8_roundtrip() {
+        for n in [0usize, 1, 2, 3, 100, 1400, 8000] {
+            let mut buf = payload(n);
+            let check = Fletcher8::over(&buf);
+            buf.extend_from_slice(&check);
+            assert!(Fletcher8::verify(&buf), "size {n}");
+        }
+    }
+
+    #[test]
+    fn fletcher8_detects_corruption_and_swaps() {
+        let mut buf = payload(200);
+        buf.extend_from_slice(&Fletcher8::over(&payload(200)));
+        for i in (0..200).step_by(13) {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x04;
+            assert!(!Fletcher8::verify(&bad), "flip at {i}");
+        }
+        // A byte swap — invisible to the ones-complement Internet sum
+        // when within a word boundary pattern — is caught by Fletcher.
+        let mut swapped = buf.clone();
+        swapped.swap(10, 50);
+        assert!(buf[10] != buf[50]);
+        assert!(!Fletcher8::verify(&swapped));
+    }
+
+    #[test]
+    fn fletcher16_roundtrip() {
+        for n in [0usize, 1, 2, 5, 200, 1400, 8000] {
+            let mut buf = payload(n);
+            if buf.len() % 2 == 1 {
+                buf.push(0); // RFC 1146 pads to a word boundary.
+            }
+            let mut f = Fletcher16::new();
+            f.update(&buf);
+            let [x, y] = f.check_words();
+            buf.extend_from_slice(&x.to_be_bytes());
+            buf.extend_from_slice(&y.to_be_bytes());
+            assert!(Fletcher16::verify(&buf), "size {n}");
+        }
+    }
+
+    #[test]
+    fn fletcher16_detects_word_reordering() {
+        // The Internet checksum famously cannot see word reorderings;
+        // Fletcher-16 can.
+        let mut buf = payload(64);
+        let internet_before = crate::optimized_cksum(&buf);
+        let mut f = Fletcher16::new();
+        f.update(&buf);
+        let fw = f.check_words();
+        // Swap two 16-bit words.
+        buf.swap(2, 6);
+        buf.swap(3, 7);
+        let internet_after = crate::optimized_cksum(&buf);
+        assert_eq!(internet_before, internet_after, "ones-complement is blind");
+        let mut f2 = Fletcher16::new();
+        f2.update(&buf);
+        assert_ne!(fw, f2.check_words(), "Fletcher sees position");
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data = payload(1000);
+        let mut inc = Fletcher8::new();
+        for chunk in data.chunks(37) {
+            inc.update(chunk);
+        }
+        assert_eq!(inc.check_bytes(), Fletcher8::over(&data));
+    }
+}

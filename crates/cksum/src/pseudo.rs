@@ -1,0 +1,87 @@
+//! The TCP/UDP pseudo-header contribution to the transport checksum.
+//!
+//! The TCP checksum covers the TCP header and data *plus* a
+//! pseudo-header drawn from the IP layer: source and destination
+//! addresses, the protocol number, and the TCP segment length (RFC 793
+//! §3.1). The paper's checksum rows (Tables 2 and 3) are computed over
+//! "the data and the TCP/IP header (20 bytes for TCP header + 20 bytes
+//! for IP overlay + length of TCP options)" — the "IP overlay" being
+//! exactly this pseudo-header material.
+
+use crate::sum::Sum16;
+
+/// IP protocol number for TCP.
+pub const IPPROTO_TCP: u8 = 6;
+
+/// IP protocol number for UDP.
+pub const IPPROTO_UDP: u8 = 17;
+
+/// Computes the ones-complement sum of the IPv4 pseudo-header.
+///
+/// `transport_len` is the length of the transport header plus payload
+/// in bytes.
+///
+/// # Examples
+///
+/// ```
+/// use cksum::{pseudo_header_sum, Sum16};
+/// use cksum::pseudo::IPPROTO_TCP;
+///
+/// let ph = pseudo_header_sum([10, 0, 0, 1], [10, 0, 0, 2], IPPROTO_TCP, 40);
+/// // Combine with the segment sum, then complement for the wire.
+/// let seg = Sum16::over(&[0u8; 40]);
+/// let _wire = ph.add(seg).finish();
+/// ```
+#[must_use]
+pub fn pseudo_header_sum(src: [u8; 4], dst: [u8; 4], proto: u8, transport_len: u16) -> Sum16 {
+    Sum16::ZERO
+        .add_word(u16::from_be_bytes([src[0], src[1]]))
+        .add_word(u16::from_be_bytes([src[2], src[3]]))
+        .add_word(u16::from_be_bytes([dst[0], dst[1]]))
+        .add_word(u16::from_be_bytes([dst[2], dst[3]]))
+        .add_word(u16::from(proto))
+        .add_word(transport_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algos::naive_cksum;
+
+    /// Builds the pseudo-header as laid out on the wire and checks the
+    /// shortcut sum against a byte-level computation.
+    #[test]
+    fn matches_byte_layout() {
+        let src = [192, 168, 1, 10];
+        let dst = [192, 168, 1, 20];
+        let proto = IPPROTO_TCP;
+        let tlen: u16 = 1234;
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&src);
+        bytes.extend_from_slice(&dst);
+        bytes.push(0);
+        bytes.push(proto);
+        bytes.extend_from_slice(&tlen.to_be_bytes());
+        assert_eq!(
+            pseudo_header_sum(src, dst, proto, tlen),
+            naive_cksum(&bytes)
+        );
+    }
+
+    #[test]
+    fn differs_when_any_field_changes() {
+        let base = pseudo_header_sum([1, 2, 3, 4], [5, 6, 7, 8], IPPROTO_TCP, 100);
+        assert_ne!(
+            base,
+            pseudo_header_sum([1, 2, 3, 5], [5, 6, 7, 8], IPPROTO_TCP, 100)
+        );
+        assert_ne!(
+            base,
+            pseudo_header_sum([1, 2, 3, 4], [5, 6, 7, 8], IPPROTO_UDP, 100)
+        );
+        assert_ne!(
+            base,
+            pseudo_header_sum([1, 2, 3, 4], [5, 6, 7, 8], IPPROTO_TCP, 101)
+        );
+    }
+}

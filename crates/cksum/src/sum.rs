@@ -1,0 +1,273 @@
+//! The ones-complement 16-bit sum underlying the Internet checksum.
+//!
+//! Terminology used throughout the crate:
+//!
+//! - the **sum** is the ones-complement addition of the data viewed as
+//!   big-endian 16-bit words (an odd trailing byte is padded with a
+//!   zero *low* byte, i.e. it forms the high byte of the final word);
+//! - the **checksum** transmitted in a header is the ones-complement
+//!   (bitwise NOT) of the sum.
+//!
+//! [`Sum16`] is the running sum. It supports accumulation, RFC 1071
+//! partial-sum combination via byte-swapping (see
+//! [`Sum16::swapped`]), and RFC 1624 incremental update.
+
+/// A ones-complement 16-bit running sum (not yet complemented).
+///
+/// # Examples
+///
+/// ```
+/// use cksum::Sum16;
+///
+/// // RFC 1071 worked example: 00 01 f2 03 f4 f5 f6 f7.
+/// let s = Sum16::over(&[0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7]);
+/// assert_eq!(s.value(), 0xddf2);
+/// assert_eq!(s.finish(), 0x220d);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct Sum16(u16);
+
+impl Sum16 {
+    /// The additive identity.
+    pub const ZERO: Sum16 = Sum16(0);
+
+    /// Creates a sum from a raw 16-bit value.
+    #[inline]
+    #[must_use]
+    pub const fn from_raw(v: u16) -> Self {
+        Sum16(v)
+    }
+
+    /// The raw 16-bit sum (not complemented).
+    #[inline]
+    #[must_use]
+    pub const fn value(self) -> u16 {
+        self.0
+    }
+
+    /// The checksum as transmitted: the ones-complement of the sum.
+    #[inline]
+    #[must_use]
+    pub const fn finish(self) -> u16 {
+        !self.0
+    }
+
+    /// Whether a sum computed over data *that already includes its
+    /// checksum field* verifies.
+    ///
+    /// A correct packet sums to `0xffff` (negative zero in ones-
+    /// complement arithmetic).
+    #[inline]
+    #[must_use]
+    pub const fn is_valid(self) -> bool {
+        self.0 == 0xffff
+    }
+
+    /// Ones-complement addition of two sums (end-around carry).
+    #[inline]
+    #[must_use]
+    pub const fn add(self, other: Sum16) -> Sum16 {
+        let wide = self.0 as u32 + other.0 as u32;
+        Sum16(((wide & 0xffff) + (wide >> 16)) as u16)
+    }
+
+    /// Adds a single big-endian 16-bit word.
+    #[inline]
+    #[must_use]
+    pub const fn add_word(self, word: u16) -> Sum16 {
+        self.add(Sum16(word))
+    }
+
+    /// Ones-complement subtraction: removes a component from a
+    /// combined sum (`self − other`, i.e. addition of the bitwise
+    /// complement).
+    ///
+    /// Used by the receive-side integrated checksum: the driver sums
+    /// the whole datagram during its copy; TCP subtracts the 40-byte
+    /// header sum to get the payload sum. Note the usual ones-
+    /// complement caveat: a result congruent to zero may come out as
+    /// either `0x0000` or `0xffff`; compare with
+    /// [`Sum16::congruent`], not `==`, after subtracting.
+    #[inline]
+    #[must_use]
+    pub const fn sub(self, other: Sum16) -> Sum16 {
+        self.add(Sum16(!other.0))
+    }
+
+    /// Whether two sums are congruent as ones-complement values
+    /// (`0x0000` and `0xffff` both represent zero).
+    #[inline]
+    #[must_use]
+    pub const fn congruent(self, other: Sum16) -> bool {
+        self.0 == other.0
+            || (self.0 == 0 && other.0 == 0xffff)
+            || (self.0 == 0xffff && other.0 == 0)
+    }
+
+    /// Byte-swaps the sum.
+    ///
+    /// RFC 1071 §2(B): if a partial sum was computed starting at an odd
+    /// byte offset within the enclosing packet, it enters the combined
+    /// sum byte-swapped. This is what lets the mbuf-resident partial
+    /// checksums of the paper's send-side integration be combined
+    /// regardless of chunk alignment.
+    #[inline]
+    #[must_use]
+    pub const fn swapped(self) -> Sum16 {
+        Sum16(self.0.rotate_left(8))
+    }
+
+    /// Computes the sum over a byte slice (reference path; the
+    /// optimized routines live in [`crate::algos`]).
+    #[must_use]
+    pub fn over(data: &[u8]) -> Sum16 {
+        let mut acc: u32 = 0;
+        let mut chunks = data.chunks_exact(2);
+        for pair in &mut chunks {
+            acc += u32::from(u16::from_be_bytes([pair[0], pair[1]]));
+        }
+        if let [last] = chunks.remainder() {
+            acc += u32::from(u16::from_be_bytes([*last, 0]));
+        }
+        Sum16(fold32(acc))
+    }
+
+    /// RFC 1624 incremental update: returns the sum of a packet in
+    /// which the 16-bit word `old` was replaced by `new`, given the
+    /// packet's previous sum.
+    ///
+    /// Used by the IP layer when rewriting TTL-adjacent fields, and
+    /// tested as an invariant of the algebra.
+    #[inline]
+    #[must_use]
+    pub const fn update_word(self, old: u16, new: u16) -> Sum16 {
+        // sum' = sum - old + new in ones-complement arithmetic;
+        // subtraction is addition of the complement.
+        self.add(Sum16(!old)).add(Sum16(new))
+    }
+}
+
+/// Folds a 32-bit accumulator into 16 bits with end-around carries.
+#[inline]
+#[must_use]
+pub const fn fold32(mut acc: u32) -> u16 {
+    acc = (acc & 0xffff) + (acc >> 16);
+    acc = (acc & 0xffff) + (acc >> 16);
+    acc as u16
+}
+
+/// Folds a 64-bit accumulator into 16 bits with end-around carries.
+#[inline]
+#[must_use]
+pub const fn fold64(acc: u64) -> u16 {
+    let acc = (acc & 0xffff_ffff) + (acc >> 32);
+    let acc = (acc & 0xffff_ffff) + (acc >> 32);
+    fold32(acc as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_worked_example() {
+        let s = Sum16::over(&[0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7]);
+        assert_eq!(s.value(), 0xddf2);
+        assert_eq!(s.finish(), 0x220d);
+    }
+
+    #[test]
+    fn odd_length_pads_low_byte() {
+        // 0xab alone forms the word 0xab00.
+        assert_eq!(Sum16::over(&[0xab]).value(), 0xab00);
+        assert_eq!(Sum16::over(&[0x12, 0x34, 0xab]).value(), 0xbd34);
+    }
+
+    #[test]
+    fn empty_sum_is_zero() {
+        assert_eq!(Sum16::over(&[]), Sum16::ZERO);
+        assert_eq!(Sum16::ZERO.finish(), 0xffff);
+    }
+
+    #[test]
+    fn end_around_carry() {
+        // 0xffff + 0x0001 wraps to 0x0001 in ones-complement addition.
+        assert_eq!(Sum16::from_raw(0xffff).add_word(1).value(), 0x0001);
+        // 0x8000 + 0x8000 = 0x10000 -> 0x0001.
+        assert_eq!(Sum16::from_raw(0x8000).add_word(0x8000).value(), 0x0001);
+    }
+
+    #[test]
+    fn addition_is_commutative_and_associative() {
+        let a = Sum16::from_raw(0x1234);
+        let b = Sum16::from_raw(0xfedc);
+        let c = Sum16::from_raw(0x8001);
+        assert_eq!(a.add(b), b.add(a));
+        assert_eq!(a.add(b).add(c), a.add(b.add(c)));
+    }
+
+    #[test]
+    fn packet_with_embedded_checksum_verifies() {
+        let mut pkt = vec![0xde, 0xad, 0xbe, 0xef, 0x01];
+        // Pad to even length before inserting a checksum mid-packet is
+        // not required; append at even offset here.
+        pkt.push(0x02);
+        let c = Sum16::over(&pkt).finish();
+        pkt.extend_from_slice(&c.to_be_bytes());
+        assert!(Sum16::over(&pkt).is_valid());
+    }
+
+    #[test]
+    fn swapped_models_odd_offset_combination() {
+        // Sum over [a, b, c, d] equals sum(a,b) + sum(c,d); if the
+        // second fragment starts at an odd offset, it must be swapped.
+        let whole = Sum16::over(&[0x01, 0x02, 0x03, 0x04, 0x05]);
+        let left = Sum16::over(&[0x01, 0x02, 0x03]); // Odd length: 0102 + 0300.
+                                                     // Right fragment begins at offset 3 (odd): bytes 04 05 are the
+                                                     // low byte of word 2 and high byte of word 3.
+        let right = Sum16::over(&[0x04, 0x05]);
+        assert_eq!(left.add(right.swapped()), whole);
+    }
+
+    #[test]
+    fn incremental_update_matches_recompute() {
+        let mut pkt = vec![0x45, 0x00, 0x00, 0x54, 0x1c, 0x46, 0x40, 0x00];
+        let before = Sum16::over(&pkt);
+        let old = u16::from_be_bytes([pkt[4], pkt[5]]);
+        let new = 0xbeefu16;
+        pkt[4..6].copy_from_slice(&new.to_be_bytes());
+        let after = Sum16::over(&pkt);
+        assert_eq!(before.update_word(old, new).finish(), after.finish());
+    }
+
+    #[test]
+    fn subtraction_inverts_addition_up_to_congruence() {
+        for (a, b) in [
+            (0x1234u16, 0x9abcu16),
+            (0, 0),
+            (0xffff, 1),
+            (0x8000, 0x8000),
+        ] {
+            let sa = Sum16::from_raw(a);
+            let sb = Sum16::from_raw(b);
+            let back = sa.add(sb).sub(sb);
+            assert!(back.congruent(sa), "{a:#x} {b:#x} -> {back:?}");
+        }
+    }
+
+    #[test]
+    fn congruence_classes() {
+        assert!(Sum16::from_raw(0).congruent(Sum16::from_raw(0xffff)));
+        assert!(Sum16::from_raw(5).congruent(Sum16::from_raw(5)));
+        assert!(!Sum16::from_raw(5).congruent(Sum16::from_raw(6)));
+    }
+
+    #[test]
+    fn fold_helpers() {
+        // 0xffff + 0x0001 with end-around carry is 0x0001.
+        assert_eq!(fold32(0x0001_ffff), 0x0001);
+        assert_eq!(fold32(0xffff_ffff), 0xffff);
+        assert_eq!(fold64(u64::MAX), 0xffff);
+        assert_eq!(fold64(0x1_0000_0000), 0x0001);
+    }
+}

@@ -1,0 +1,33 @@
+//! Calibration sweep: measured vs paper for the baseline system.
+use latency_core::experiment::{Experiment, NetKind};
+use latency_core::paper;
+
+fn main() {
+    println!("size | RTT atm  paper  err% | RTT eth   paper   err%");
+    let mut txs = Vec::new();
+    let mut rxs = Vec::new();
+    for (i, &n) in paper::SIZES.iter().enumerate() {
+        let mut e = Experiment::rpc(NetKind::Atm, n);
+        e.iterations = 200;
+        e.warmup = 8;
+        let r = e.run(1);
+        let mut ee = Experiment::rpc(NetKind::Ether, n);
+        ee.iterations = 100;
+        ee.warmup = 8;
+        let re = ee.run(1);
+        println!(
+            "{:>5} | {:>7.0} {:>6.0} {:>5.1} | {:>7.0} {:>7.0} {:>5.1}",
+            n,
+            r.mean_rtt_us(),
+            paper::T1_ATM_RTT[i],
+            (r.mean_rtt_us() - paper::T1_ATM_RTT[i]) / paper::T1_ATM_RTT[i] * 100.0,
+            re.mean_rtt_us(),
+            paper::T1_ETHERNET_RTT[i],
+            (re.mean_rtt_us() - paper::T1_ETHERNET_RTT[i]) / paper::T1_ETHERNET_RTT[i] * 100.0
+        );
+        txs.push(r.tx);
+        rxs.push(r.rx);
+    }
+    println!("\n{}", latency_core::tables::table2(&paper::SIZES, &txs));
+    println!("{}", latency_core::tables::table3(&paper::SIZES, &rxs));
+}

@@ -1,0 +1,29 @@
+use latency_core::experiment::{Experiment, NetKind};
+use latency_core::paper;
+
+fn main() {
+    println!("size | base  nopred paper  | integ  paper | nocksum paper");
+    for (i, &n) in paper::SIZES.iter().enumerate() {
+        let mk = |f: fn(Experiment) -> Experiment| {
+            let mut e = f(Experiment::rpc(NetKind::Atm, n));
+            e.iterations = 150;
+            e.warmup = 8;
+            e
+        };
+        let base = mk(|e| e).run(1).mean_rtt_us();
+        let nopred = mk(|e| e.without_prediction()).run(1).mean_rtt_us();
+        let integ = mk(|e| e.with_integrated_checksum()).run(1).mean_rtt_us();
+        let nock = mk(|e| e.without_checksum()).run(1).mean_rtt_us();
+        println!(
+            "{:>5} | {:>5.0} {:>6.0} {:>6.0} | {:>6.0} {:>5.0} | {:>6.0} {:>6.0}",
+            n,
+            base,
+            nopred,
+            paper::T4_NO_PREDICTION_RTT[i],
+            integ,
+            paper::T6_COMBINED_RTT[i],
+            nock,
+            paper::T7_NO_CKSUM_RTT[i]
+        );
+    }
+}

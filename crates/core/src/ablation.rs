@@ -1,0 +1,151 @@
+//! Ablations: design-choice sweeps beyond the paper's tables.
+//!
+//! - [`cpu_scaling`]: the paper's motivating observation — "with
+//!   faster network hardware, the disparity between software and
+//!   hardware costs is even greater" — run forwards: scale the host
+//!   CPU and watch the round trip approach the wire floor.
+//! - [`checksum_impls`]: the kernel checksum algorithm alone (ULTRIX
+//!   halfword vs stock BSD vs optimized), holding everything else
+//!   fixed — the §4.1 rewrite, measured as latency.
+//! - [`mss_rounding`]: the BSD page-capped MSS (the measured system's
+//!   4096-byte segments) versus full BSD cluster rounding (8192),
+//!   which sends the 8000-byte message in one segment. (Spoiler: the
+//!   two-segment configuration wins — receive processing of the first
+//!   segment pipelines against the second's wire time.)
+
+use decstation::{ChecksumImpl, CostModel};
+
+use crate::experiment::{Experiment, NetKind};
+use tcpip::ChecksumMode;
+
+/// One point of the CPU-scaling sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct CpuPoint {
+    /// CPU speedup factor over the DECstation 5000/200.
+    pub speedup: f64,
+    /// RTT at 4 bytes (µs).
+    pub rtt4_us: f64,
+    /// RTT at 8000 bytes (µs).
+    pub rtt8k_us: f64,
+    /// Saving from checksum elimination at 8000 bytes (%).
+    pub elim_saving_pct: f64,
+}
+
+/// Sweeps host CPU speed; the wire and FIFO drain rates stay fixed.
+#[must_use]
+pub fn cpu_scaling(speedups: &[f64], iterations: u64) -> Vec<CpuPoint> {
+    speedups
+        .iter()
+        .map(|&f| {
+            let costs = CostModel::calibrated().scaled_cpu(f);
+            let run = |size: usize, mode: Option<ChecksumMode>| {
+                let mut e = Experiment::rpc(NetKind::Atm, size);
+                e.iterations = iterations;
+                e.costs = costs.clone();
+                if let Some(m) = mode {
+                    e.cfg.checksum = m;
+                }
+                e.run(1).mean_rtt_us()
+            };
+            let rtt4 = run(4, None);
+            let rtt8k = run(8000, None);
+            let rtt8k_none = run(8000, Some(ChecksumMode::None));
+            CpuPoint {
+                speedup: f,
+                rtt4_us: rtt4,
+                rtt8k_us: rtt8k,
+                elim_saving_pct: (1.0 - rtt8k_none / rtt8k) * 100.0,
+            }
+        })
+        .collect()
+}
+
+/// RTTs for the three kernel checksum implementations at one size.
+#[must_use]
+pub fn checksum_impls(size: usize, iterations: u64) -> [(ChecksumImpl, f64); 3] {
+    let impls = [
+        ChecksumImpl::Ultrix,
+        ChecksumImpl::Bsd,
+        ChecksumImpl::Optimized,
+    ];
+    impls.map(|which| {
+        let mut e = Experiment::rpc(NetKind::Atm, size);
+        e.iterations = iterations;
+        e.cfg.checksum = ChecksumMode::Standard(which);
+        (which, e.run(1).mean_rtt_us())
+    })
+}
+
+/// RTT at 8000 bytes with the page-capped MSS (two segments, the
+/// measured system) versus full cluster rounding (one segment).
+#[must_use]
+pub fn mss_rounding(iterations: u64) -> (f64, f64) {
+    let mut capped = Experiment::rpc(NetKind::Atm, 8000);
+    capped.iterations = iterations;
+    let mut full = Experiment::rpc(NetKind::Atm, 8000);
+    full.iterations = iterations;
+    full.cfg.mss_one_cluster = false;
+    (capped.run(1).mean_rtt_us(), full.run(1).mean_rtt_us())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faster_cpus_approach_the_wire_floor() {
+        let pts = cpu_scaling(&[1.0, 4.0, 16.0], 30);
+        assert!(pts[1].rtt4_us < pts[0].rtt4_us / 2.5);
+        assert!(pts[2].rtt4_us < pts[1].rtt4_us);
+        // The floor: even infinite CPU cannot beat the wire + FIFO
+        // drain time (~2×6 us at 4 B), so scaling is sub-linear by 16×.
+        assert!(
+            pts[2].rtt4_us > pts[0].rtt4_us / 32.0,
+            "a latency floor must remain: {:.1}",
+            pts[2].rtt4_us
+        );
+    }
+
+    #[test]
+    fn elimination_matters_less_on_fast_cpus() {
+        let pts = cpu_scaling(&[1.0, 16.0], 30);
+        assert!(
+            pts[1].elim_saving_pct < pts[0].elim_saving_pct,
+            "checksum cost shrinks with the CPU: {:.1}% -> {:.1}%",
+            pts[0].elim_saving_pct,
+            pts[1].elim_saving_pct
+        );
+    }
+
+    #[test]
+    fn checksum_algorithm_ordering() {
+        let r = checksum_impls(8000, 30);
+        let (u, b, o) = (r[0].1, r[1].1, r[2].1);
+        assert!(
+            u > b && b > o,
+            "ULTRIX {u:.0} > BSD {b:.0} > optimized {o:.0}"
+        );
+        // The ULTRIX algorithm costs ~0.2 µs/B against 0.094: at 8 KB
+        // in both directions that is a millisecond-class difference.
+        assert!(u - o > 1000.0, "{:.0}", u - o);
+    }
+
+    #[test]
+    fn two_page_segments_beat_one_big_segment() {
+        let (two_seg, one_seg) = mss_rounding(30);
+        // An emergent pipelining result: one 8040-byte datagram saves
+        // the second segment's per-packet overhead, but the receiver
+        // then cannot start its (large) driver + checksum work until
+        // the whole datagram has arrived. With two page-sized
+        // segments, processing of the first overlaps the second's
+        // wire time, and the overlap outweighs the extra overhead —
+        // so the measured system's page-capped MSS was not actually
+        // leaving latency on the table.
+        assert!(
+            two_seg < one_seg,
+            "two segments {two_seg:.0} vs one {one_seg:.0}"
+        );
+        // But not by an unbounded amount (same data, same wire).
+        assert!(one_seg - two_seg < 2_500.0);
+    }
+}

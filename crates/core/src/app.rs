@@ -1,0 +1,168 @@
+//! The benchmark processes.
+//!
+//! §1.2: "The client connected to the server using TCP, started a
+//! timer, and then repeatedly executed the following steps: it sent
+//! *size* bytes to the server, and then waited to receive *size*
+//! bytes from the server." The server echoes. Payload bytes are
+//! patterned and verified end-to-end on every iteration.
+//!
+//! The bulk workload (a one-way transfer with a consuming reader)
+//! exists to demonstrate the other side of §3: header prediction
+//! *does* fire for unidirectional traffic.
+
+use simkit::SimTime;
+
+/// Progress state of a process between events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AppState {
+    /// Ready to issue the next write.
+    WantWrite,
+    /// Blocked in write for buffer space (`offset` bytes already
+    /// accepted).
+    BlockedInWrite(usize),
+    /// Reading until the expected byte count arrives.
+    WantRead,
+    /// All iterations complete.
+    Done,
+}
+
+/// Statistics one process accumulates.
+#[derive(Clone, Debug, Default)]
+pub struct AppStats {
+    /// Completed request/response iterations (client) or messages
+    /// (bulk receiver).
+    pub iterations: u64,
+    /// Per-iteration round-trip times (client only; measured
+    /// iterations only).
+    pub rtts: Vec<SimTime>,
+    /// Payload verification failures.
+    pub verify_failures: u64,
+    /// Bytes transferred.
+    pub bytes: u64,
+}
+
+/// A benchmark process.
+pub struct App {
+    /// Role-specific behaviour.
+    pub role: Role,
+    /// Current state.
+    pub state: AppState,
+    /// Message size.
+    pub size: usize,
+    /// Measured iterations to run.
+    pub iterations: u64,
+    /// Warm-up iterations (not timed, spans disabled).
+    pub warmup: u64,
+    /// Iterations completed so far (including warm-up).
+    pub done_count: u64,
+    /// Bytes received toward the current message.
+    pub got: Vec<u8>,
+    /// Timer start of the current iteration (client).
+    pub t_start: SimTime,
+    /// Statistics.
+    pub stats: AppStats,
+}
+
+/// Process roles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// RPC client: write `size`, read `size`, repeat.
+    RpcClient,
+    /// RPC server: read `size`, echo it back, repeat.
+    RpcServer,
+    /// Bulk sender: stream `iterations × size` bytes.
+    BulkSender,
+    /// Bulk receiver: consume everything.
+    BulkReceiver,
+    /// RPC client over UDP datagrams (one datagram per message; the
+    /// comparison §1's "is TCP viable for RPC?" question implies).
+    UdpRpcClient,
+    /// RPC echo server over UDP.
+    UdpRpcServer,
+}
+
+impl App {
+    /// Creates a process.
+    #[must_use]
+    pub fn new(role: Role, size: usize, iterations: u64, warmup: u64) -> Self {
+        let state = match role {
+            Role::RpcClient | Role::BulkSender | Role::UdpRpcClient => AppState::WantWrite,
+            Role::RpcServer | Role::BulkReceiver | Role::UdpRpcServer => AppState::WantRead,
+        };
+        App {
+            role,
+            state,
+            size,
+            iterations,
+            warmup,
+            done_count: 0,
+            got: Vec::new(),
+            t_start: SimTime::ZERO,
+            stats: AppStats::default(),
+        }
+    }
+
+    /// The deterministic request pattern for iteration `i`.
+    #[must_use]
+    pub fn pattern(size: usize, i: u64) -> Vec<u8> {
+        (0..size)
+            .map(|b| (b as u64).wrapping_mul(31).wrapping_add(i * 7 + 1) as u8)
+            .collect()
+    }
+
+    /// Whether this process has finished all its iterations.
+    #[must_use]
+    pub fn finished(&self) -> bool {
+        self.state == AppState::Done
+    }
+
+    /// Whether the current iteration is past warm-up (i.e. timed).
+    #[must_use]
+    pub fn measuring(&self) -> bool {
+        self.done_count >= self.warmup
+    }
+
+    /// Total iterations including warm-up.
+    #[must_use]
+    pub fn total_iterations(&self) -> u64 {
+        self.iterations + self.warmup
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_states_by_role() {
+        assert_eq!(
+            App::new(Role::RpcClient, 4, 1, 0).state,
+            AppState::WantWrite
+        );
+        assert_eq!(App::new(Role::RpcServer, 4, 1, 0).state, AppState::WantRead);
+        assert_eq!(
+            App::new(Role::BulkSender, 4, 1, 0).state,
+            AppState::WantWrite
+        );
+        assert_eq!(
+            App::new(Role::BulkReceiver, 4, 1, 0).state,
+            AppState::WantRead
+        );
+    }
+
+    #[test]
+    fn pattern_is_deterministic_and_iteration_dependent() {
+        assert_eq!(App::pattern(100, 3), App::pattern(100, 3));
+        assert_ne!(App::pattern(100, 3), App::pattern(100, 4));
+        assert_eq!(App::pattern(0, 1), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn measuring_after_warmup() {
+        let mut app = App::new(Role::RpcClient, 4, 10, 2);
+        assert!(!app.measuring());
+        app.done_count = 2;
+        assert!(app.measuring());
+        assert_eq!(app.total_iterations(), 12);
+    }
+}

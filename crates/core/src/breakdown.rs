@@ -1,0 +1,226 @@
+//! Applying the paper's measurement methodology to recorded spans.
+//!
+//! Transmit (Table 2): spans are summed from the entry into write()
+//! to the instant "the ATM adapter is signaled to send the last byte
+//! of data" — everything later overlaps network transmission.
+//!
+//! Receive (Table 3): "We only measure the portion of the receive
+//! processing that actually contributes to the overall latency. This
+//! is the time from the arrival of the last group of ATM cells
+//! comprising the last TCP segment of a data transfer to the time
+//! when the read system call returns." Accordingly every receive
+//! span is clipped to the window `[last segment arrival, read
+//! return]`; work that overlapped the sender's transmission (e.g.
+//! the driver processing of the first of two back-to-back segments)
+//! is excluded exactly as the paper excluded it.
+
+use simkit::SimTime;
+use tcpip::{Mark, SpanKind, SpanRecorder};
+
+/// Average transmit-side breakdown (µs), one field per Table 2 row.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TxBreakdown {
+    /// User: write() to TCP entry.
+    pub user: f64,
+    /// TCP: checksum.
+    pub cksum: f64,
+    /// TCP: mcopy.
+    pub mcopy: f64,
+    /// TCP: remaining segment processing.
+    pub segment: f64,
+    /// IP output.
+    pub ip: f64,
+    /// Driver (the paper's ATM row).
+    pub driver: f64,
+}
+
+impl TxBreakdown {
+    /// Sum of the rows (the paper's Total).
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.user + self.cksum + self.mcopy + self.segment + self.ip + self.driver
+    }
+
+    /// The TCP sub-total (checksum + mcopy + segment).
+    #[must_use]
+    pub fn tcp_total(&self) -> f64 {
+        self.cksum + self.mcopy + self.segment
+    }
+}
+
+/// Average receive-side breakdown (µs), one field per Table 3 row.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RxBreakdown {
+    /// Driver + adapter (the paper's ATM row).
+    pub driver: f64,
+    /// IP queue + software-interrupt scheduling.
+    pub ipq: f64,
+    /// IP input.
+    pub ip: f64,
+    /// TCP checksum verification.
+    pub cksum: f64,
+    /// TCP remaining input processing.
+    pub segment: f64,
+    /// Run-queue wait.
+    pub wakeup: f64,
+    /// soreceive + copyout + return.
+    pub user: f64,
+}
+
+impl RxBreakdown {
+    /// Sum of the rows (the paper's Total).
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.driver + self.ipq + self.ip + self.cksum + self.segment + self.wakeup + self.user
+    }
+
+    /// The TCP sub-total (checksum + segment).
+    #[must_use]
+    pub fn tcp_total(&self) -> f64 {
+        self.cksum + self.segment
+    }
+}
+
+/// Computes per-iteration breakdowns from a client-side recorder and
+/// averages them.
+///
+/// Iterations are delimited by `WriteStart`/`ReadReturn` mark pairs.
+/// Returns `(tx, rx, iterations_used)`.
+#[must_use]
+pub fn compute_breakdowns(rec: &SpanRecorder) -> (TxBreakdown, RxBreakdown, usize) {
+    let writes: Vec<SimTime> = rec
+        .marks()
+        .iter()
+        .filter(|(m, _)| *m == Mark::WriteStart)
+        .map(|&(_, t)| t)
+        .collect();
+    let returns: Vec<SimTime> = rec
+        .marks()
+        .iter()
+        .filter(|(m, _)| *m == Mark::ReadReturn)
+        .map(|&(_, t)| t)
+        .collect();
+    let n = writes.len().min(returns.len());
+    let mut tx = TxBreakdown::default();
+    let mut rx = RxBreakdown::default();
+    let mut used = 0usize;
+    for i in 0..n {
+        let w = writes[i];
+        let r = returns[i];
+        if r <= w {
+            continue;
+        }
+        // Transmit: the write() system call's own work — clipped to
+        // [WriteStart, WriteEnd] so that ACKs emitted later from
+        // interrupt context (which the paper's send-side probes never
+        // saw) don't pollute the rows.
+        let we = rec.first_mark_after(Mark::WriteEnd, w).unwrap_or(r).min(r);
+        tx.user += rec.clipped_total(SpanKind::TxUser, w, we).as_us_f64();
+        tx.cksum += rec
+            .clipped_total(SpanKind::TxTcpChecksum, w, we)
+            .as_us_f64();
+        tx.mcopy += rec.clipped_total(SpanKind::TxTcpMcopy, w, we).as_us_f64();
+        tx.segment += rec.clipped_total(SpanKind::TxTcpSegment, w, we).as_us_f64();
+        tx.ip += rec.clipped_total(SpanKind::TxIp, w, we).as_us_f64();
+        tx.driver += rec.clipped_total(SpanKind::TxDriver, w, we).as_us_f64();
+        // Receive: clip to [last segment arrival, read return].
+        let Some(t_arr) = rec.last_mark_before(Mark::SegmentArrived, r) else {
+            continue;
+        };
+        if t_arr < w {
+            continue;
+        }
+        rx.driver += rec.clipped_total(SpanKind::RxDriver, t_arr, r).as_us_f64();
+        rx.ipq += rec.clipped_total(SpanKind::RxIpq, t_arr, r).as_us_f64();
+        rx.ip += rec.clipped_total(SpanKind::RxIp, t_arr, r).as_us_f64();
+        rx.cksum += rec
+            .clipped_total(SpanKind::RxTcpChecksum, t_arr, r)
+            .as_us_f64();
+        rx.segment += rec
+            .clipped_total(SpanKind::RxTcpSegment, t_arr, r)
+            .as_us_f64();
+        rx.wakeup += rec.clipped_total(SpanKind::RxWakeup, t_arr, r).as_us_f64();
+        rx.user += rec.clipped_total(SpanKind::RxUser, t_arr, r).as_us_f64();
+        used += 1;
+    }
+    if used > 0 {
+        let k = used as f64;
+        tx.user /= k;
+        tx.cksum /= k;
+        tx.mcopy /= k;
+        tx.segment /= k;
+        tx.ip /= k;
+        tx.driver /= k;
+        rx.driver /= k;
+        rx.ipq /= k;
+        rx.ip /= k;
+        rx.cksum /= k;
+        rx.segment /= k;
+        rx.wakeup /= k;
+        rx.user /= k;
+    }
+    (tx, rx, used)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_recorder_yields_zero() {
+        let rec = SpanRecorder::new();
+        let (tx, rx, n) = compute_breakdowns(&rec);
+        assert_eq!(n, 0);
+        assert_eq!(tx.total(), 0.0);
+        assert_eq!(rx.total(), 0.0);
+    }
+
+    #[test]
+    fn single_iteration_breakdown() {
+        let mut rec = SpanRecorder::new();
+        rec.enabled = true;
+        let us = SimTime::from_us;
+        rec.mark(Mark::WriteStart, us(0));
+        rec.span(SpanKind::TxUser, us(0), us(45));
+        rec.span(SpanKind::TxTcpChecksum, us(45), us(55));
+        rec.span(SpanKind::TxIp, us(55), us(90));
+        rec.span(SpanKind::TxDriver, us(90), us(113));
+        rec.mark(Mark::TxSignalled, us(113));
+        // Response arrives at 600; driver work partly before (it
+        // started on an earlier segment at 550).
+        rec.span(SpanKind::RxDriver, us(550), us(650));
+        rec.mark(Mark::SegmentArrived, us(600));
+        rec.span(SpanKind::RxIp, us(650), us(690));
+        rec.span(SpanKind::RxUser, us(690), us(754));
+        rec.mark(Mark::ReadReturn, us(754));
+        let (tx, rx, n) = compute_breakdowns(&rec);
+        assert_eq!(n, 1);
+        assert!((tx.user - 45.0).abs() < 1e-9);
+        assert!((tx.total() - 113.0).abs() < 1e-9);
+        // Only the post-arrival half of the driver span counts.
+        assert!((rx.driver - 50.0).abs() < 1e-9, "{}", rx.driver);
+        assert!((rx.ip - 40.0).abs() < 1e-9);
+        assert!((rx.user - 64.0).abs() < 1e-9);
+        assert!((rx.total() - 154.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn averaging_across_iterations() {
+        let mut rec = SpanRecorder::new();
+        rec.enabled = true;
+        let us = SimTime::from_us;
+        for i in 0..2u64 {
+            let base = us(i * 1000);
+            rec.mark(Mark::WriteStart, base);
+            let dur = if i == 0 { 40 } else { 60 };
+            rec.span(SpanKind::TxUser, base, base + us(dur));
+            rec.mark(Mark::SegmentArrived, base + us(500));
+            rec.span(SpanKind::RxUser, base + us(500), base + us(520));
+            rec.mark(Mark::ReadReturn, base + us(520));
+        }
+        let (tx, rx, n) = compute_breakdowns(&rec);
+        assert_eq!(n, 2);
+        assert!((tx.user - 50.0).abs() < 1e-9);
+        assert!((rx.user - 20.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,174 @@
+//! Connection churn: the §3 PCB-organization question asked with
+//! live connections instead of a static list.
+//!
+//! The paper measures the linear PCB search in isolation and argues a
+//! hash table "could eliminate the lookup problem entirely". Here we
+//! drive real three-way handshakes through two kernels until `n`
+//! connections exist, then run one RPC exchange over the *oldest*
+//! connection — the worst case for the list organization (oldest =
+//! deepest, since BSD inserts at the head) — and report the TCP input
+//! cost under each organization.
+//!
+//! This also exercises the full handshake path: SYN options, MSS
+//! negotiation, embryonic-connection retransmission state.
+
+use decstation::CostModel;
+use simkit::SimTime;
+use tcpip::config::PcbOrg;
+use tcpip::{CaptureDriver, Kernel, PcbKey, StackConfig};
+
+/// Result of one churn run.
+#[derive(Clone, Copy, Debug)]
+pub struct ChurnResult {
+    /// Connections established.
+    pub connections: usize,
+    /// PCB entries in the server table at the end.
+    pub server_pcbs: usize,
+    /// Simulated cost (µs) of the server's TCP input for one segment
+    /// on the *oldest* connection, including demultiplexing.
+    pub oldest_input_us: f64,
+    /// Same with the single-entry PCB cache primed (second segment).
+    pub cached_input_us: f64,
+}
+
+/// Establishes `n` connections by real handshakes and probes lookup
+/// cost on the oldest one.
+///
+/// # Panics
+///
+/// Panics if any handshake fails to complete — that would be a
+/// protocol bug.
+#[must_use]
+pub fn churn(n: usize, org: PcbOrg) -> ChurnResult {
+    let cfg = StackConfig {
+        pcb_org: org,
+        ambient_pcbs: 0,
+        ..StackConfig::default()
+    };
+    let costs = CostModel::calibrated();
+    let mut client = Kernel::new(cfg, costs.clone());
+    let mut server = Kernel::new(cfg, costs);
+    let mut dc = CaptureDriver::new(9188);
+    let mut ds = CaptureDriver::new(9188);
+    let _listener = server.listen([10, 0, 0, 2], 4242);
+
+    let mut t = SimTime::from_ms(1);
+    let shuttle =
+        |from: &mut CaptureDriver, to: &mut Kernel, to_drv: &mut CaptureDriver, t: &mut SimTime| {
+            let pkts: Vec<_> = from.packets.drain(..).collect();
+            for p in pkts {
+                let (chain, _) = mbuf::Chain::from_user_data(&to.pool, &p, p.len() > 1024);
+                if let Some(at) = to.enqueue_ip(*t, chain) {
+                    let _ = to.ipintr(at, to_drv);
+                }
+                *t += SimTime::from_us(500);
+            }
+        };
+
+    let mut client_socks = Vec::with_capacity(n);
+    for i in 0..n {
+        let key = PcbKey {
+            laddr: [10, 0, 0, 1],
+            lport: 10_000 + i as u16,
+            faddr: [10, 0, 0, 2],
+            fport: 4242,
+        };
+        let sc = client.connect(t, key, &mut dc);
+        shuttle(&mut dc, &mut server, &mut ds, &mut t); // SYN.
+        shuttle(&mut ds, &mut client, &mut dc, &mut t); // SYN-ACK.
+        shuttle(&mut dc, &mut server, &mut ds, &mut t); // ACK.
+        assert!(client.is_established(sc), "handshake {i} completed");
+        client_socks.push(sc);
+        t += SimTime::from_ms(1);
+    }
+
+    // Probe: send one segment on the OLDEST connection and measure
+    // the server's softintr (IP + demux + TCP input) cost.
+    let oldest = client_socks[0];
+    let probe = |client: &mut Kernel,
+                 server: &mut Kernel,
+                 dc: &mut CaptureDriver,
+                 ds: &mut CaptureDriver,
+                 t: &mut SimTime| {
+        let _ = client.syscall_write(*t, oldest, &[7u8; 64], dc);
+        let p = dc.packets.remove(0);
+        let (chain, _) = mbuf::Chain::from_user_data(&server.pool, &p, false);
+        let at = server
+            .enqueue_ip(*t + SimTime::from_ms(1), chain)
+            .expect("softintr");
+        let out = server.ipintr(at, ds);
+        let cost = out.done_at.saturating_since(at).as_us_f64();
+        // Drain the (delayed) response ACKs so the next probe is clean.
+        *t += SimTime::from_secs(1);
+        let _ = server.check_timers(*t, ds);
+        let pkts: Vec<_> = ds.packets.drain(..).collect();
+        for p in pkts {
+            let (chain, _) = mbuf::Chain::from_user_data(&client.pool, &p, false);
+            if let Some(at) = client.enqueue_ip(*t, chain) {
+                let _ = client.ipintr(at, dc);
+            }
+        }
+        dc.packets.clear();
+        *t += SimTime::from_secs(1);
+        cost
+    };
+    let first = probe(&mut client, &mut server, &mut dc, &mut ds, &mut t);
+    let second = probe(&mut client, &mut server, &mut dc, &mut ds, &mut t);
+
+    ChurnResult {
+        connections: n,
+        server_pcbs: server.pcbs.len(),
+        oldest_input_us: first,
+        cached_input_us: second,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handshakes_populate_both_tables() {
+        let r = churn(20, PcbOrg::List);
+        assert_eq!(r.connections, 20);
+        // Listener + 20 spawned connections.
+        assert_eq!(r.server_pcbs, 21);
+    }
+
+    #[test]
+    fn list_lookup_cost_grows_with_table() {
+        let small = churn(5, PcbOrg::List);
+        let large = churn(150, PcbOrg::List);
+        // The oldest connection sits ~n deep: the 150-connection case
+        // pays ~145 more entries at ~1.28 us each.
+        let delta = large.oldest_input_us - small.oldest_input_us;
+        assert!(
+            delta > 100.0,
+            "expected ~185 us of extra search, got {delta:.1}"
+        );
+    }
+
+    #[test]
+    fn hash_lookup_cost_is_flat() {
+        let small = churn(5, PcbOrg::Hash);
+        let large = churn(150, PcbOrg::Hash);
+        let delta = (large.oldest_input_us - small.oldest_input_us).abs();
+        assert!(
+            delta < 10.0,
+            "hash must be size-independent, delta {delta:.1}"
+        );
+    }
+
+    #[test]
+    fn pcb_cache_hides_the_list_depth() {
+        let r = churn(150, PcbOrg::List);
+        // The second segment on the same connection hits the
+        // single-entry cache: the deep search is gone.
+        assert!(
+            r.oldest_input_us - r.cached_input_us > 100.0,
+            "first {:.1} vs cached {:.1}",
+            r.oldest_input_us,
+            r.cached_input_us
+        );
+    }
+}

@@ -1,0 +1,502 @@
+//! Runnable experiments: one per configuration the paper measures.
+//!
+//! An [`Experiment`] describes a two-host run (network, message
+//! size, stack configuration, fault injection); [`Experiment::run`]
+//! executes it deterministically for a seed, and
+//! [`Experiment::run_reps`] averages several repetitions as the
+//! paper did ("we ran 40000 iterations for at least 3 repetitions
+//! and took the average").
+
+use atm::{FiberLink, LinkConfig};
+use decstation::CostModel;
+use ether::{EtherWire, WireConfig};
+use simkit::SimTime;
+use tcpip::tcb::TcpStats;
+use tcpip::{ChecksumMode, KernelStats, StackConfig};
+
+use crate::app::{App, Role};
+use crate::breakdown::{compute_breakdowns, RxBreakdown, TxBreakdown};
+use crate::nic::{AtmNic, EtherNic, Nic};
+use crate::stats;
+use crate::world::{run_world, World};
+
+/// Which substrate carries the traffic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetKind {
+    /// FORE TCA-100 over 140 Mbit/s TAXI fiber (AAL3/4).
+    Atm,
+    /// LANCE over 10 Mbit/s Ethernet.
+    Ether,
+}
+
+/// The benchmark shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// The paper's RPC echo ping-pong (§1.2).
+    Rpc,
+    /// Unidirectional bulk transfer (validates §3's explanation of
+    /// when header prediction fires).
+    Bulk,
+    /// The same RPC echo over UDP datagrams (extension: the
+    /// comparison implicit in §1's "is TCP viable for RPC?").
+    UdpRpc,
+}
+
+/// A configured experiment.
+#[derive(Clone, Debug)]
+pub struct Experiment {
+    /// Substrate.
+    pub net: NetKind,
+    /// Workload shape.
+    pub workload: Workload,
+    /// Message size in bytes.
+    pub size: usize,
+    /// Timed iterations per repetition.
+    pub iterations: u64,
+    /// Untimed warm-up iterations.
+    pub warmup: u64,
+    /// Stack configuration (checksum mode, prediction, PCBs...).
+    pub cfg: StackConfig,
+    /// Host cost model.
+    pub costs: CostModel,
+    /// Link bit error rate.
+    pub ber: f64,
+    /// Link cell/frame loss probability.
+    pub cell_loss: f64,
+    /// Controller corruption probability per received datagram (the
+    /// §4.2.1 error class no link CRC can catch).
+    pub controller_corrupt: f64,
+    /// Route both directions through an ATM switch (the paper's
+    /// testbed was switchless).
+    pub switch: Option<atm::SwitchConfig>,
+    /// Gateway-injection probability per Ethernet frame (the §4.2.1
+    /// third error source; Ethernet only).
+    pub gateway_corrupt: f64,
+}
+
+impl Experiment {
+    /// The paper's RPC benchmark on the given network and size, with
+    /// the baseline kernel configuration.
+    #[must_use]
+    pub fn rpc(net: NetKind, size: usize) -> Self {
+        Experiment {
+            net,
+            workload: Workload::Rpc,
+            size,
+            iterations: 400,
+            warmup: 8,
+            cfg: StackConfig::default(),
+            costs: CostModel::calibrated(),
+            ber: 0.0,
+            cell_loss: 0.0,
+            controller_corrupt: 0.0,
+            switch: None,
+            gateway_corrupt: 0.0,
+        }
+    }
+
+    /// The RPC echo over UDP (sizes must fit one datagram in the
+    /// MTU).
+    #[must_use]
+    pub fn udp_rpc(net: NetKind, size: usize) -> Self {
+        let mut e = Experiment::rpc(net, size);
+        e.workload = Workload::UdpRpc;
+        e
+    }
+
+    /// A unidirectional bulk transfer of `messages × size` bytes.
+    #[must_use]
+    pub fn bulk(net: NetKind, size: usize, messages: u64) -> Self {
+        let mut e = Experiment::rpc(net, size);
+        e.workload = Workload::Bulk;
+        e.iterations = messages;
+        e.warmup = 0;
+        e
+    }
+
+    fn build_world(&self, seed: u64) -> World {
+        let apps = match self.workload {
+            Workload::Rpc => [
+                App::new(Role::RpcClient, self.size, self.iterations, self.warmup),
+                App::new(Role::RpcServer, self.size, u64::MAX / 4, 0),
+            ],
+            Workload::Bulk => [
+                App::new(Role::BulkSender, self.size, self.iterations, self.warmup),
+                App::new(Role::BulkReceiver, self.size, self.iterations, self.warmup),
+            ],
+            Workload::UdpRpc => [
+                App::new(Role::UdpRpcClient, self.size, self.iterations, self.warmup),
+                App::new(Role::UdpRpcServer, self.size, u64::MAX / 4, 0),
+            ],
+        };
+        let nics = match self.net {
+            NetKind::Atm => {
+                let lc = LinkConfig {
+                    ber: self.ber,
+                    cell_loss: self.cell_loss,
+                    ..LinkConfig::default()
+                };
+                let mut n0 = AtmNic::new(
+                    FiberLink::new(lc, seed * 2 + 1),
+                    self.costs.clone(),
+                    42,
+                    seed,
+                );
+                let mut n1 = AtmNic::new(
+                    FiberLink::new(lc, seed * 2 + 2),
+                    self.costs.clone(),
+                    42,
+                    seed + 9,
+                );
+                n0.controller_corrupt_prob = self.controller_corrupt;
+                n1.controller_corrupt_prob = self.controller_corrupt;
+                if let Some(swc) = self.switch {
+                    n0.insert_switch(swc, 42, seed * 3 + 1);
+                    n1.insert_switch(swc, 42, seed * 3 + 2);
+                }
+                [Nic::Atm(n0), Nic::Atm(n1)]
+            }
+            NetKind::Ether => {
+                let wc = WireConfig {
+                    ber: self.ber,
+                    ..WireConfig::default()
+                };
+                let mut n0 = EtherNic::new(
+                    EtherWire::new(wc, seed * 2 + 1),
+                    self.costs.clone(),
+                    0,
+                    seed,
+                );
+                let mut n1 = EtherNic::new(
+                    EtherWire::new(wc, seed * 2 + 2),
+                    self.costs.clone(),
+                    1,
+                    seed + 9,
+                );
+                n0.controller_corrupt_prob = self.controller_corrupt;
+                n1.controller_corrupt_prob = self.controller_corrupt;
+                n0.gateway_corrupt_prob = self.gateway_corrupt;
+                n1.gateway_corrupt_prob = self.gateway_corrupt;
+                [Nic::Ether(n0), Nic::Ether(n1)]
+            }
+        };
+        World::new(self.cfg, self.costs.clone(), nics, apps)
+    }
+
+    /// Runs one repetition with the given seed.
+    #[must_use]
+    pub fn run(&self, seed: u64) -> RunResult {
+        let sim = run_world(self.build_world(seed));
+        let events = sim.events_executed();
+        let sim_time = sim.now();
+        let w = sim.world;
+        let client = &w.hosts[0];
+        let server = &w.hosts[1];
+        let (tx, rx, breakdown_iters) = compute_breakdowns(&client.kernel.spans);
+        let (client_nic_stats, server_nic_stats) = (nic_stats(&client.nic), nic_stats(&server.nic));
+        RunResult {
+            rtts: client.app.stats.rtts.clone(),
+            tx,
+            rx,
+            breakdown_iters,
+            verify_failures: client.app.stats.verify_failures + server.app.stats.verify_failures,
+            bytes_moved: client.app.stats.bytes + server.app.stats.bytes,
+            client_tcp: client
+                .kernel
+                .try_tcb(client.sock)
+                .map(|t| t.stats)
+                .unwrap_or_default(),
+            server_tcp: server
+                .kernel
+                .try_tcb(server.sock)
+                .map(|t| t.stats)
+                .unwrap_or_default(),
+            client_kernel: client.kernel.stats,
+            server_kernel: server.kernel.stats,
+            client_nic: client_nic_stats,
+            server_nic: server_nic_stats,
+            events,
+            sim_time,
+        }
+    }
+
+    /// Runs `reps` repetitions (different seeds) and pools the RTT
+    /// samples, as the paper's averaging did.
+    #[must_use]
+    pub fn run_reps(&self, reps: u64) -> RunResult {
+        assert!(reps >= 1);
+        let mut acc = self.run(1);
+        for seed in 2..=reps {
+            let r = self.run(seed);
+            acc.rtts.extend(r.rtts);
+            acc.verify_failures += r.verify_failures;
+            acc.bytes_moved += r.bytes_moved;
+            acc.events += r.events;
+            // Breakdowns: average of averages (equal iteration counts).
+            let k = 2.0;
+            acc.tx = avg_tx(&acc.tx, &r.tx, k);
+            acc.rx = avg_rx(&acc.rx, &r.rx, k);
+        }
+        acc
+    }
+}
+
+fn avg_tx(a: &TxBreakdown, b: &TxBreakdown, _k: f64) -> TxBreakdown {
+    TxBreakdown {
+        user: (a.user + b.user) / 2.0,
+        cksum: (a.cksum + b.cksum) / 2.0,
+        mcopy: (a.mcopy + b.mcopy) / 2.0,
+        segment: (a.segment + b.segment) / 2.0,
+        ip: (a.ip + b.ip) / 2.0,
+        driver: (a.driver + b.driver) / 2.0,
+    }
+}
+
+fn avg_rx(a: &RxBreakdown, b: &RxBreakdown, _k: f64) -> RxBreakdown {
+    RxBreakdown {
+        driver: (a.driver + b.driver) / 2.0,
+        ipq: (a.ipq + b.ipq) / 2.0,
+        ip: (a.ip + b.ip) / 2.0,
+        cksum: (a.cksum + b.cksum) / 2.0,
+        segment: (a.segment + b.segment) / 2.0,
+        wakeup: (a.wakeup + b.wakeup) / 2.0,
+        user: (a.user + b.user) / 2.0,
+    }
+}
+
+/// NIC counters of interest to the fault experiments.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NicStats {
+    /// Cells dropped by the adapter for HEC failures.
+    pub hec_drops: u64,
+    /// Datagrams dropped by AAL3/4 reassembly.
+    pub aal_drops: u64,
+    /// Frames dropped for Ethernet FCS failures.
+    pub fcs_drops: u64,
+    /// Cells lost on the link.
+    pub link_lost: u64,
+    /// Cells/frames corrupted on the link.
+    pub link_corrupted: u64,
+}
+
+fn nic_stats(nic: &Nic) -> NicStats {
+    match nic {
+        Nic::Atm(a) => NicStats {
+            hec_drops: a.hec_drops,
+            aal_drops: a.aal_drops,
+            fcs_drops: 0,
+            link_lost: a.link.cells_lost,
+            link_corrupted: a.link.cells_corrupted,
+        },
+        Nic::Ether(e) => NicStats {
+            hec_drops: 0,
+            aal_drops: 0,
+            fcs_drops: e.fcs_drops,
+            link_lost: 0,
+            link_corrupted: e.wire.frames_corrupted,
+        },
+    }
+}
+
+/// Everything a repetition produced.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Per-iteration round-trip times.
+    pub rtts: Vec<SimTime>,
+    /// Average transmit breakdown (client side).
+    pub tx: TxBreakdown,
+    /// Average receive breakdown (client side).
+    pub rx: RxBreakdown,
+    /// Iterations that contributed to the breakdowns.
+    pub breakdown_iters: usize,
+    /// End-to-end payload verification failures.
+    pub verify_failures: u64,
+    /// Total application bytes moved.
+    pub bytes_moved: u64,
+    /// Client TCP counters.
+    pub client_tcp: TcpStats,
+    /// Server TCP counters.
+    pub server_tcp: TcpStats,
+    /// Client kernel counters.
+    pub client_kernel: KernelStats,
+    /// Server kernel counters.
+    pub server_kernel: KernelStats,
+    /// Client NIC counters.
+    pub client_nic: NicStats,
+    /// Server NIC counters.
+    pub server_nic: NicStats,
+    /// Events executed.
+    pub events: u64,
+    /// Final simulation time.
+    pub sim_time: SimTime,
+}
+
+impl RunResult {
+    /// Mean round-trip time in microseconds.
+    #[must_use]
+    pub fn mean_rtt_us(&self) -> f64 {
+        stats::mean_us(&self.rtts)
+    }
+
+    /// RTT standard deviation in microseconds.
+    #[must_use]
+    pub fn stddev_rtt_us(&self) -> f64 {
+        stats::stddev_us(&self.rtts)
+    }
+}
+
+/// Convenience: the experiment variants of §3 and §4 applied to a
+/// base experiment.
+impl Experiment {
+    /// Disables header prediction (both the PCB cache and the fast
+    /// path), as the §3 comparison kernel did.
+    #[must_use]
+    pub fn without_prediction(mut self) -> Self {
+        self.cfg.header_prediction = false;
+        self
+    }
+
+    /// Switches to the integrated copy-and-checksum kernel (§4.1.1).
+    #[must_use]
+    pub fn with_integrated_checksum(mut self) -> Self {
+        self.cfg.checksum = ChecksumMode::Integrated;
+        self
+    }
+
+    /// Eliminates the TCP checksum (§4.2).
+    #[must_use]
+    pub fn without_checksum(mut self) -> Self {
+        self.cfg.checksum = ChecksumMode::None;
+        self
+    }
+
+    /// Routes the path through an ATM switch with default parameters.
+    #[must_use]
+    pub fn through_switch(mut self, config: atm::SwitchConfig) -> Self {
+        self.switch = Some(config);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(net: NetKind, size: usize) -> Experiment {
+        let mut e = Experiment::rpc(net, size);
+        e.iterations = 30;
+        e.warmup = 4;
+        e
+    }
+
+    #[test]
+    fn rpc_atm_runs_and_verifies() {
+        let r = quick(NetKind::Atm, 200).run(1);
+        assert_eq!(r.rtts.len(), 30);
+        assert_eq!(r.verify_failures, 0);
+        assert!(r.mean_rtt_us() > 300.0, "rtt {}", r.mean_rtt_us());
+        assert!(r.mean_rtt_us() < 5_000.0, "rtt {}", r.mean_rtt_us());
+        assert!(r.breakdown_iters > 0);
+    }
+
+    #[test]
+    fn rpc_ether_slower_than_atm() {
+        let atm = quick(NetKind::Atm, 200).run(1);
+        let eth = quick(NetKind::Ether, 200).run(1);
+        assert_eq!(eth.verify_failures, 0);
+        assert!(
+            eth.mean_rtt_us() > atm.mean_rtt_us() * 1.3,
+            "eth {} vs atm {}",
+            eth.mean_rtt_us(),
+            atm.mean_rtt_us()
+        );
+    }
+
+    #[test]
+    fn eight_kb_sends_two_segments() {
+        let r = quick(NetKind::Atm, 8000).run(1);
+        assert_eq!(r.verify_failures, 0);
+        // Two data segments per direction per iteration.
+        let iters = 34; // 30 + 4 warmup.
+        assert!(r.client_tcp.segs_out >= 2 * iters);
+    }
+
+    #[test]
+    fn determinism() {
+        let a = quick(NetKind::Atm, 500).run(7);
+        let b = quick(NetKind::Atm, 500).run(7);
+        assert_eq!(a.rtts, b.rtts);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn reps_pool_samples() {
+        let mut e = quick(NetKind::Atm, 80);
+        e.iterations = 10;
+        let r = e.run_reps(3);
+        assert_eq!(r.rtts.len(), 30);
+    }
+
+    #[test]
+    fn switched_path_adds_latency_only() {
+        let direct = quick(NetKind::Atm, 200).run(1);
+        let switched = quick(NetKind::Atm, 200)
+            .through_switch(atm::SwitchConfig::default())
+            .run(1);
+        assert_eq!(switched.verify_failures, 0);
+        let delta = switched.mean_rtt_us() - direct.mean_rtt_us();
+        // Two traversals (one per direction) of ~13 us each.
+        assert!((15.0..60.0).contains(&delta), "delta {delta:.1}");
+    }
+
+    #[test]
+    fn switch_fabric_corruption_caught_by_aal() {
+        // §4.2.1 error source #1: the switch corrupts payloads; the
+        // end-to-end AAL3/4 CRC-10 catches every instance even with
+        // the TCP checksum eliminated.
+        let mut e = quick(NetKind::Atm, 1400).without_checksum();
+        e.switch = Some(atm::SwitchConfig {
+            corrupt_prob: 0.002,
+            ..atm::SwitchConfig::default()
+        });
+        let r = e.run(1);
+        assert_eq!(r.verify_failures, 0, "AAL shields the app");
+        let caught = r.client_nic.aal_drops + r.server_nic.aal_drops;
+        assert!(caught > 0, "some cells must have been corrupted: {r:?}");
+    }
+
+    #[test]
+    fn udp_rpc_runs_and_is_faster_than_tcp() {
+        let tcp = quick(NetKind::Atm, 200).run(1);
+        let mut u = Experiment::udp_rpc(NetKind::Atm, 200);
+        u.iterations = 30;
+        u.warmup = 4;
+        let udp = u.run(1);
+        assert_eq!(udp.verify_failures, 0);
+        // UDP skips mcopy, retransmission state, and the heavier TCP
+        // input path: a few hundred µs per round trip.
+        assert!(
+            udp.mean_rtt_us() < tcp.mean_rtt_us() - 200.0,
+            "udp {:.0} vs tcp {:.0}",
+            udp.mean_rtt_us(),
+            tcp.mean_rtt_us()
+        );
+        // But it is the same order: TCP is "viable for RPC" (§1).
+        assert!(udp.mean_rtt_us() > tcp.mean_rtt_us() * 0.5);
+    }
+
+    #[test]
+    fn bulk_transfer_completes() {
+        let mut e = Experiment::bulk(NetKind::Atm, 4000, 50);
+        e.warmup = 0;
+        let r = e.run(1);
+        assert_eq!(r.verify_failures, 0);
+        // The receiver of a unidirectional stream takes the fast
+        // path; the sender's pure ACKs do too (§3).
+        assert!(
+            r.server_tcp.predict_data_hits > 0,
+            "receiver fast path: {:?}",
+            r.server_tcp
+        );
+    }
+}

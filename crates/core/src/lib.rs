@@ -1,0 +1,54 @@
+//! `latency-core` — the experiment harness that reproduces every
+//! measurement in *Latency Analysis of TCP on an ATM Network*
+//! (Wolman, Voelker, Thekkath; USENIX Winter 1994).
+//!
+//! This crate binds the pieces together:
+//!
+//! - [`nic`] implements the network drivers over the [`atm`] and
+//!   [`ether`] substrates, connecting the [`tcpip`] kernel to the
+//!   simulated wire with cut-through FIFO timing;
+//! - [`app`] models the paper's benchmark processes: the RPC
+//!   ping-pong client/server pair (§1.2) plus the unidirectional bulk
+//!   transfer used to validate the header-prediction analysis (§3);
+//! - [`world`] is the two-host discrete-event simulation;
+//! - [`breakdown`] applies the paper's measurement methodology to the
+//!   recorded spans (transmit spans summed per send; receive spans
+//!   clipped to the window after "the arrival of the last group of
+//!   ATM cells comprising the last TCP segment");
+//! - [`experiment`] defines one runnable experiment per table/figure,
+//!   [`tables`] formats them, and [`paper`] embeds the published
+//!   numbers for side-by-side comparison;
+//! - [`micro`] covers the in-text microbenchmarks (PCB lookup
+//!   scaling, mbuf allocation, the Table 5 copy/checksum costs);
+//! - [`faults`] runs the §4.2.1 error-injection study.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use latency_core::experiment::{Experiment, NetKind};
+//!
+//! let mut exp = Experiment::rpc(NetKind::Atm, 200);
+//! exp.iterations = 50;
+//! exp.warmup = 5;
+//! let run = exp.run(1);
+//! assert!(run.mean_rtt_us() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod app;
+pub mod breakdown;
+pub mod churn;
+pub mod experiment;
+pub mod faults;
+pub mod micro;
+pub mod nic;
+pub mod paper;
+pub mod stats;
+pub mod tables;
+pub mod world;
+
+pub use breakdown::{RxBreakdown, TxBreakdown};
+pub use experiment::{Experiment, NetKind, RunResult};
+pub use world::{Host, World};

@@ -1,0 +1,566 @@
+//! Network interface bindings: the ATM (FORE TCA-100 + AAL3/4) and
+//! Ethernet (LANCE) drivers that connect the kernel to the simulated
+//! wire.
+//!
+//! The transmit side implements [`tcpip::TxDriver`]: it charges
+//! driver CPU time, models the cut-through FIFO (ATM) or the
+//! descriptor ring (Ethernet), applies the link fault processes, and
+//! stages *deliveries* — per-datagram cell trains with arrival times
+//! — that the world loop turns into events.
+//!
+//! The receive side is a plain function called from the arrival event
+//! handler: it charges the hardware-interrupt costs, runs real
+//! reassembly (AAL3/4 CRC-10 / Ethernet FCS over real bytes), builds
+//! the mbuf chain (with stored partial checksums in the integrated
+//! configuration), and hands the datagram to the kernel's IP queue.
+
+use atm::{
+    Aal34Reassembler, Aal34Segmenter, AtmSwitch, FiberLink, ForeTca100, LinkFault, SwitchOutcome,
+    VcRoute,
+};
+use decstation::CostModel;
+use ether::{EtherAddr, EtherFrame, EtherWire, LanceAdapter, ETHERTYPE_IP};
+use mbuf::chain::ultrix_uses_clusters;
+use mbuf::Chain;
+use simkit::{CpuBand, SimTime};
+use tcpip::{Kernel, Mark, SpanKind, SpanRecorder, TxDriver};
+
+/// The default ATM MTU (RFC 1626 style, "close to 9K" per §1.2).
+pub const ATM_MTU: usize = 9188;
+
+/// The Ethernet MTU.
+pub const ETHER_MTU: usize = 1500;
+
+/// A staged delivery: one datagram's worth of link traffic headed to
+/// the peer.
+pub struct Delivery {
+    /// Arrival time of the last cell/frame at the peer's adapter.
+    pub arrival: SimTime,
+    /// The payload as it survived the link.
+    pub payload: DeliveryPayload,
+}
+
+/// What arrives at the peer.
+pub enum DeliveryPayload {
+    /// ATM: the cell train with per-cell arrival times and faults.
+    Cells(Vec<(SimTime, LinkFault)>),
+    /// Ethernet: the frame bytes as delivered.
+    Frame(Vec<u8>),
+}
+
+/// The ATM interface of one host.
+pub struct AtmNic {
+    /// The FORE TCA-100 adapter.
+    pub adapter: ForeTca100,
+    /// AAL3/4 segmentation state.
+    pub seg: Aal34Segmenter,
+    /// AAL3/4 reassembly state.
+    pub reasm: Aal34Reassembler,
+    /// The outbound fiber.
+    pub link: FiberLink,
+    /// Driver cost constants (host-local copy).
+    pub costs: CostModel,
+    /// Staged deliveries for the world loop to schedule.
+    pub staged: Vec<Delivery>,
+    /// Cells discarded for HEC (header CRC) failures.
+    pub hec_drops: u64,
+    /// Datagrams dropped by AAL3/4 reassembly (CRC-10, sequence...).
+    pub aal_drops: u64,
+    /// Controller-corruption probability per datagram on receive —
+    /// the §4.2.1 "second error source" (bit flips between controller
+    /// and host memory, past all link CRCs).
+    pub controller_corrupt_prob: f64,
+    /// An ATM switch on this direction's path (the paper's testbed
+    /// was switchless; §4.2.1 reasons about switched paths).
+    pub switch: Option<AtmSwitch>,
+    rng: simkit::SimRng,
+}
+
+impl AtmNic {
+    /// Builds an ATM interface over the given outbound link.
+    #[must_use]
+    pub fn new(link: FiberLink, costs: CostModel, vci: u16, seed: u64) -> Self {
+        let cell_time = link.config.cell_time();
+        AtmNic {
+            adapter: ForeTca100::new(cell_time),
+            seg: Aal34Segmenter::new(0, vci, 1),
+            reasm: Aal34Reassembler::new(),
+            link,
+            costs,
+            staged: Vec::new(),
+            hec_drops: 0,
+            aal_drops: 0,
+            controller_corrupt_prob: 0.0,
+            switch: None,
+            rng: simkit::SimRng::seed_stream(seed, 0xc0),
+        }
+    }
+
+    /// Routes this direction through an ATM switch: the VC used by
+    /// the segmenter is installed port 0 → port 1 unchanged.
+    pub fn insert_switch(&mut self, config: atm::SwitchConfig, vci: u16, seed: u64) {
+        let mut sw = AtmSwitch::new(2, config, seed);
+        sw.add_vc(
+            0,
+            0,
+            vci,
+            VcRoute {
+                out_port: 1,
+                out_vpi: 0,
+                out_vci: vci,
+            },
+        );
+        self.switch = Some(sw);
+    }
+}
+
+impl TxDriver for AtmNic {
+    fn mtu(&self) -> usize {
+        ATM_MTU
+    }
+
+    /// §2.2: the TxDriver span runs "up to when the ATM adapter is
+    /// signaled to send the last byte of data"; everything after that
+    /// overlaps network transmission. With the cut-through FIFO the
+    /// signal *is* the completion of the last programmed-I/O cell
+    /// copy, which the FIFO may backpressure to wire speed.
+    fn transmit(&mut self, now: SimTime, packet: &Chain, spans: &mut SpanRecorder) -> SimTime {
+        let bytes = packet.to_vec();
+        let cells = self.seg.segment(&bytes);
+        let mut cursor = now + SimTime::from_us_f64(self.costs.atm_tx_fixed_us);
+        let per_cell = SimTime::from_us_f64(self.costs.atm_tx_per_cell_us);
+        let mut train = Vec::with_capacity(cells.len());
+        let mut last_arrival = SimTime::ZERO;
+        for cell in cells {
+            let admit = self.adapter.tx.admit(cursor, per_cell);
+            cursor = admit.copy_end;
+            let fault = self.link.carry(cell);
+            let mut arrival = self.link.arrival(admit.wire_exit);
+            // An intermediate switch adds fabric latency, output-queue
+            // serialization, VC rewriting, and possibly fabric
+            // corruption or drops.
+            let fault = match (&mut self.switch, fault) {
+                (None, f) => f,
+                (Some(_), LinkFault::Lost) => LinkFault::Lost,
+                (Some(sw), LinkFault::Clean(c) | LinkFault::Corrupted(c)) => {
+                    let was_corrupt = sw.config.corrupt_prob > 0.0;
+                    match sw.forward(0, arrival, &c) {
+                        SwitchOutcome::Forwarded {
+                            departure, cell, ..
+                        } => {
+                            arrival = departure + self.link.config.propagation;
+                            if was_corrupt && cell.payload() != c.payload() {
+                                LinkFault::Corrupted(cell)
+                            } else {
+                                LinkFault::Clean(cell)
+                            }
+                        }
+                        SwitchOutcome::UnknownVc | SwitchOutcome::QueueFull => LinkFault::Lost,
+                    }
+                }
+            };
+            last_arrival = last_arrival.max(arrival);
+            train.push((arrival, fault));
+        }
+        spans.span(SpanKind::TxDriver, now, cursor);
+        spans.mark(Mark::TxSignalled, cursor);
+        self.staged.push(Delivery {
+            arrival: last_arrival,
+            payload: DeliveryPayload::Cells(train),
+        });
+        cursor
+    }
+}
+
+/// Receive-side hard-interrupt processing for one arrived ATM
+/// datagram (called by the world loop at the last-cell arrival
+/// event). Returns the softintr dispatch time if one must be
+/// scheduled.
+pub fn atm_receive(
+    kernel: &mut Kernel,
+    nic: &mut AtmNic,
+    now: SimTime,
+    train: &[(SimTime, LinkFault)],
+) -> Option<SimTime> {
+    kernel.spans.mark(Mark::SegmentArrived, now);
+    // The driver drains the whole RX FIFO under one interrupt. Cells
+    // that arrive while the service routine is still running (the
+    // back-to-back-segment case) are picked up by the ongoing drain
+    // loop rather than by a fresh interrupt: charge the fixed
+    // interrupt cost only when the CPU's driver work had finished.
+    let continuation = kernel.cpu.busy_until() > now;
+    let start = now.max(kernel.cpu.busy_until());
+    let mut datagrams = Vec::new();
+    let mut cells_processed = 0usize;
+    for (_, fault) in train {
+        let cell = match fault {
+            LinkFault::Lost => continue,
+            LinkFault::Clean(c) => c.clone(),
+            LinkFault::Corrupted(c) => {
+                if !c.header_ok() {
+                    // The adapter discards cells with HEC failures.
+                    nic.hec_drops += 1;
+                    continue;
+                }
+                c.clone()
+            }
+        };
+        if !nic.adapter.rx.arrive(cell.clone()) {
+            // RX FIFO overflow: the cell is gone; reassembly will
+            // notice the sequence gap.
+            continue;
+        }
+        cells_processed += 1;
+        // The driver drains the FIFO under this interrupt.
+        let _ = nic.adapter.rx.drain_up_to(1);
+        match nic.reasm.push(&cell) {
+            Ok(Some(dgram)) => datagrams.push(dgram),
+            Ok(None) => {}
+            // Orphan COM/EOM cells are trailing consequences of an
+            // error already counted on the same datagram.
+            Err(atm::Aal34Error::Orphan) => {}
+            Err(_) => nic.aal_drops += 1,
+        }
+    }
+    // Driver CPU: fixed per interrupt plus per-cell SAR + copy work.
+    let fixed = if continuation {
+        0.0
+    } else {
+        nic.costs.atm_rx_fixed_us
+    };
+    let mut us = fixed + nic.costs.atm_rx_per_cell_us * cells_processed as f64;
+    let integrated = matches!(kernel.cfg.checksum, tcpip::ChecksumMode::Integrated);
+    if integrated {
+        // §4.1.1: the combined copy-and-checksum runs in the driver's
+        // device→mbuf copy; each payload byte costs the integration
+        // delta, plus the fixed restructuring overhead.
+        let bytes: usize = datagrams.iter().map(Vec::len).sum();
+        us += nic.costs.integrated_delta_per_byte_us * bytes as f64
+            + nic.costs.integrated_rx_fixed_us * datagrams.len() as f64;
+    }
+    let end = start + SimTime::from_us_f64(us);
+    kernel.spans.span(SpanKind::RxDriver, start, end);
+    kernel.cpu.occupy(start, end, CpuBand::HardIntr);
+
+    let mut softintr_at = None;
+    for mut dgram in datagrams {
+        // The §4.2.1 controller-corruption fault: bits flipped while
+        // moving data from controller to host memory — after every
+        // link-level CRC has been checked.
+        if nic.controller_corrupt_prob > 0.0 && nic.rng.chance(nic.controller_corrupt_prob) {
+            let bit = nic.rng.next_below((dgram.len() * 8) as u32) as usize;
+            dgram[bit / 8] ^= 1 << (bit % 8);
+        }
+        let use_clusters = ultrix_uses_clusters(dgram.len());
+        let (mut chain, _) = Chain::from_user_data(&kernel.pool, &dgram, use_clusters);
+        if integrated {
+            chain.store_partial_checksums();
+        }
+        if let Some(at) = kernel.enqueue_ip(end, chain) {
+            softintr_at = Some(softintr_at.map_or(at, |t: SimTime| t.min(at)));
+        }
+    }
+    if continuation {
+        // Datagrams completed by an earlier interrupt of this drain
+        // are handed to IP together with ours, at the end.
+        kernel.retime_ipq(end);
+    }
+    softintr_at
+}
+
+/// The Ethernet interface of one host.
+pub struct EtherNic {
+    /// The LANCE controller.
+    pub lance: LanceAdapter,
+    /// The outbound wire.
+    pub wire: EtherWire,
+    /// Source MAC.
+    pub addr: EtherAddr,
+    /// Destination MAC (two-host segment).
+    pub peer: EtherAddr,
+    /// Driver cost constants.
+    pub costs: CostModel,
+    /// Staged deliveries.
+    pub staged: Vec<Delivery>,
+    /// Frames dropped for FCS errors.
+    pub fcs_drops: u64,
+    /// Controller-corruption probability per frame on receive.
+    pub controller_corrupt_prob: f64,
+    /// Gateway-injection probability per frame on transmit: the
+    /// §4.2.1 third error source — "erroneous data injected into the
+    /// network through external gateways or bridges". The corruption
+    /// happens *before* framing, so the local FCS is computed over
+    /// already-bad bytes and validates; only the end-to-end TCP
+    /// checksum can catch it.
+    pub gateway_corrupt_prob: f64,
+    rng: simkit::SimRng,
+}
+
+impl EtherNic {
+    /// Builds an Ethernet interface over the given outbound wire.
+    #[must_use]
+    pub fn new(wire: EtherWire, costs: CostModel, host_id: u8, seed: u64) -> Self {
+        EtherNic {
+            lance: LanceAdapter::new(),
+            wire,
+            addr: EtherAddr::from_host_id(host_id),
+            peer: EtherAddr::from_host_id(host_id ^ 1),
+            costs,
+            staged: Vec::new(),
+            fcs_drops: 0,
+            controller_corrupt_prob: 0.0,
+            gateway_corrupt_prob: 0.0,
+            rng: simkit::SimRng::seed_stream(seed, 0xe1),
+        }
+    }
+}
+
+impl TxDriver for EtherNic {
+    fn mtu(&self) -> usize {
+        ETHER_MTU
+    }
+
+    fn transmit(&mut self, now: SimTime, packet: &Chain, spans: &mut SpanRecorder) -> SimTime {
+        let mut payload = packet.to_vec();
+        debug_assert!(payload.len() <= ETHER_MTU, "TCP MSS keeps IP under the MTU");
+        if self.gateway_corrupt_prob > 0.0 && self.rng.chance(self.gateway_corrupt_prob) {
+            // Corrupt a payload bit before framing: the FCS will be
+            // computed over the corrupted bytes and verify fine.
+            let bit = 40 * 8
+                + self
+                    .rng
+                    .next_below(((payload.len() - 40) * 8).max(8) as u32)
+                    as usize;
+            let bit = bit.min(payload.len() * 8 - 1);
+            payload[bit / 8] ^= 1 << (bit % 8);
+        }
+        let frame = EtherFrame {
+            dst: self.peer,
+            src: self.addr,
+            ethertype: ETHERTYPE_IP,
+            payload,
+        };
+        let wire_bytes = frame.encode();
+        // Driver work: descriptor + copy into the DMA buffer.
+        let cost = SimTime::from_us_f64(
+            self.costs.eth_tx_fixed_us + self.costs.eth_tx_per_byte_us * wire_bytes.len() as f64,
+        );
+        let granted = self.lance.claim_tx_slot(now);
+        let cursor = granted + cost;
+        let (delivered_at, delivered) = self.wire.carry(cursor, wire_bytes);
+        self.lance.tx_complete(delivered_at);
+        spans.span(SpanKind::TxDriver, now, cursor);
+        spans.mark(Mark::TxSignalled, cursor);
+        self.staged.push(Delivery {
+            arrival: delivered_at,
+            payload: DeliveryPayload::Frame(delivered),
+        });
+        cursor
+    }
+}
+
+/// Receive-side processing for one Ethernet frame.
+pub fn ether_receive(
+    kernel: &mut Kernel,
+    nic: &mut EtherNic,
+    now: SimTime,
+    wire_bytes: &[u8],
+) -> Option<SimTime> {
+    kernel.spans.mark(Mark::SegmentArrived, now);
+    nic.lance.rx_packet();
+    let start = now.max(kernel.cpu.busy_until());
+    let mut us = nic.costs.eth_rx_fixed_us + nic.costs.eth_rx_per_byte_us * wire_bytes.len() as f64;
+
+    // Real FCS verification over the delivered bytes.
+    let frame = match EtherFrame::decode(wire_bytes, None) {
+        Ok(f) => Some(f),
+        Err(_) => {
+            nic.fcs_drops += 1;
+            None
+        }
+    };
+    let integrated = matches!(kernel.cfg.checksum, tcpip::ChecksumMode::Integrated);
+    if integrated {
+        if let Some(f) = &frame {
+            us += nic.costs.integrated_delta_per_byte_us * f.payload.len() as f64
+                + nic.costs.integrated_rx_fixed_us;
+        }
+    }
+    let end = start + SimTime::from_us_f64(us);
+    kernel.spans.span(SpanKind::RxDriver, start, end);
+    kernel.cpu.occupy(start, end, CpuBand::HardIntr);
+
+    let frame = frame?;
+    let mut payload = frame.payload;
+    if nic.controller_corrupt_prob > 0.0 && nic.rng.chance(nic.controller_corrupt_prob) {
+        let bit = nic.rng.next_below((payload.len() * 8) as u32) as usize;
+        payload[bit / 8] ^= 1 << (bit % 8);
+    }
+    let use_clusters = ultrix_uses_clusters(payload.len());
+    let (mut chain, _) = Chain::from_user_data(&kernel.pool, &payload, use_clusters);
+    if integrated {
+        chain.store_partial_checksums();
+    }
+    kernel.enqueue_ip(end, chain)
+}
+
+/// A host's network interface.
+#[allow(clippy::large_enum_variant)] // Two long-lived instances per world.
+pub enum Nic {
+    /// FORE TCA-100 over TAXI fiber.
+    Atm(AtmNic),
+    /// LANCE over 10 Mbit/s Ethernet.
+    Ether(EtherNic),
+}
+
+impl Nic {
+    /// Interface MTU.
+    #[must_use]
+    pub fn mtu(&self) -> usize {
+        match self {
+            Nic::Atm(_) => ATM_MTU,
+            Nic::Ether(_) => ETHER_MTU,
+        }
+    }
+
+    /// Drains the staged deliveries.
+    pub fn take_staged(&mut self) -> Vec<Delivery> {
+        match self {
+            Nic::Atm(a) => std::mem::take(&mut a.staged),
+            Nic::Ether(e) => std::mem::take(&mut e.staged),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atm::LinkConfig;
+    use decstation::CostModel;
+    use ether::WireConfig;
+    use tcpip::StackConfig;
+
+    fn kernel() -> Kernel {
+        Kernel::new(StackConfig::default(), CostModel::calibrated())
+    }
+
+    fn atm_nic(seed: u64) -> AtmNic {
+        AtmNic::new(
+            FiberLink::new(LinkConfig::default(), seed),
+            CostModel::calibrated(),
+            42,
+            seed,
+        )
+    }
+
+    #[test]
+    fn atm_transmit_stages_one_delivery_per_datagram() {
+        let mut k = kernel();
+        let mut nic = atm_nic(1);
+        let (chain, _) = Chain::from_user_data(&k.pool, &vec![7u8; 540], false);
+        let done = nic.transmit(SimTime::ZERO, &chain, &mut k.spans);
+        assert!(done > SimTime::ZERO);
+        assert_eq!(nic.staged.len(), 1);
+        let d = &nic.staged[0];
+        // 540 + 8 CPCS = 548 -> 13 cells.
+        match &d.payload {
+            DeliveryPayload::Cells(train) => assert_eq!(train.len(), 13),
+            DeliveryPayload::Frame(_) => panic!("wrong payload kind"),
+        }
+        assert!(d.arrival > done, "wire lags the host for small packets");
+    }
+
+    #[test]
+    fn atm_large_packet_is_wire_limited() {
+        let mut k = kernel();
+        let mut nic = atm_nic(2);
+        let (chain, _) = Chain::from_user_data(&k.pool, &vec![7u8; 8040], true);
+        let t0 = SimTime::ZERO;
+        let done = nic.transmit(t0, &chain, &mut k.spans);
+        // 8048 CPCS bytes -> 183 cells; the 36-cell FIFO forces the
+        // host to pace at wire speed for the tail: > 147 cell times.
+        let cell_time = LinkConfig::default().cell_time();
+        assert!(done > cell_time * 140, "done {done}");
+        assert!(nic.adapter.tx.stall_time > SimTime::ZERO);
+    }
+
+    #[test]
+    fn atm_roundtrip_through_receive() {
+        let mut ka = kernel();
+        let mut kb = kernel();
+        let mut na = atm_nic(3);
+        let mut nb = atm_nic(4);
+        // Use na to send, nb to receive.
+        let payload: Vec<u8> = (0..777).map(|i| (i % 253) as u8).collect();
+        let (chain, _) = Chain::from_user_data(&ka.pool, &payload, false);
+        let _ = na.transmit(SimTime::ZERO, &chain, &mut ka.spans);
+        let d = na.staged.pop().unwrap();
+        let DeliveryPayload::Cells(train) = d.payload else {
+            panic!("cells expected")
+        };
+        let soft = atm_receive(&mut kb, &mut nb, d.arrival, &train);
+        assert!(soft.is_some(), "datagram enqueued raises softintr");
+        assert_eq!(kb.stats.ipq_enqueued, 1);
+        assert_eq!(nb.aal_drops, 0);
+        assert_eq!(nb.reasm.stats().datagrams_ok, 1);
+    }
+
+    #[test]
+    fn ether_roundtrip_with_fcs() {
+        let mut ka = kernel();
+        let mut kb = kernel();
+        let mut na = EtherNic::new(
+            EtherWire::new(WireConfig::default(), 5),
+            CostModel::calibrated(),
+            0,
+            5,
+        );
+        let mut nb = EtherNic::new(
+            EtherWire::new(WireConfig::default(), 6),
+            CostModel::calibrated(),
+            1,
+            6,
+        );
+        let payload: Vec<u8> = (0..540).map(|i| (i % 199) as u8).collect();
+        let (chain, _) = Chain::from_user_data(&ka.pool, &payload, false);
+        let done = na.transmit(SimTime::ZERO, &chain, &mut ka.spans);
+        assert!(done >= SimTime::from_us(255));
+        let d = na.staged.pop().unwrap();
+        let DeliveryPayload::Frame(bytes) = d.payload else {
+            panic!("frame expected")
+        };
+        let soft = ether_receive(&mut kb, &mut nb, d.arrival, &bytes);
+        assert!(soft.is_some());
+        assert_eq!(nb.fcs_drops, 0);
+        assert_eq!(kb.stats.ipq_enqueued, 1);
+    }
+
+    #[test]
+    fn corrupted_frame_dropped_by_fcs() {
+        let mut ka = kernel();
+        let mut kb = kernel();
+        let mut na = EtherNic::new(
+            EtherWire::new(WireConfig::default(), 7),
+            CostModel::calibrated(),
+            0,
+            7,
+        );
+        let mut nb = EtherNic::new(
+            EtherWire::new(WireConfig::default(), 8),
+            CostModel::calibrated(),
+            1,
+            8,
+        );
+        let (chain, _) = Chain::from_user_data(&ka.pool, &[1u8; 100], false);
+        let _ = na.transmit(SimTime::ZERO, &chain, &mut ka.spans);
+        let d = na.staged.pop().unwrap();
+        let DeliveryPayload::Frame(mut bytes) = d.payload else {
+            panic!("frame expected")
+        };
+        bytes[30] ^= 0x08;
+        let soft = ether_receive(&mut kb, &mut nb, d.arrival, &bytes);
+        assert!(soft.is_none(), "dropped frames never reach IP");
+        assert_eq!(nb.fcs_drops, 1);
+        assert_eq!(kb.stats.ipq_enqueued, 0);
+    }
+}

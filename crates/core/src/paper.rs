@@ -1,0 +1,166 @@
+//! The paper's published numbers, embedded for side-by-side
+//! comparison in the repro reports and the calibration tests.
+//!
+//! Source: Wolman, Voelker, Thekkath, *Latency Analysis of TCP on an
+//! ATM Network*, USENIX Winter 1994 — Tables 1–7 and the §3
+//! microbenchmark figures.
+
+/// The eight transfer sizes used throughout the paper.
+pub const SIZES: [usize; 8] = [4, 20, 80, 200, 500, 1400, 4000, 8000];
+
+/// Table 1: round-trip times over Ethernet (µs).
+pub const T1_ETHERNET_RTT: [f64; 8] = [
+    1940.0, 2337.0, 2590.0, 2804.0, 4101.0, 6554.0, 13168.0, 22141.0,
+];
+
+/// Table 1 / Table 4 "Prediction": round-trip times over ATM (µs) —
+/// the baseline system.
+pub const T1_ATM_RTT: [f64; 8] = [
+    1021.0, 1039.0, 1289.0, 1520.0, 2140.0, 2976.0, 5891.0, 10636.0,
+];
+
+/// Table 2 rows: transmit-side breakdown (µs).
+pub mod t2 {
+    /// User (write() to TCP).
+    pub const USER: [f64; 8] = [45.0, 45.0, 48.0, 67.0, 121.0, 99.0, 174.0, 400.0];
+    /// TCP checksum.
+    pub const CKSUM: [f64; 8] = [10.0, 12.0, 23.0, 42.0, 90.0, 209.0, 576.0, 1149.0];
+    /// TCP mcopy.
+    pub const MCOPY: [f64; 8] = [5.1, 5.7, 26.0, 41.0, 80.0, 29.0, 30.0, 41.0];
+    /// TCP segment (remaining output processing).
+    pub const SEGMENT: [f64; 8] = [62.0, 65.0, 63.0, 65.0, 71.0, 63.0, 65.0, 72.0];
+    /// TCP total.
+    pub const TCP_TOTAL: [f64; 8] = [77.0, 81.0, 112.0, 148.0, 241.0, 301.0, 671.0, 1262.0];
+    /// IP output.
+    pub const IP: [f64; 8] = [35.0, 34.0, 35.0, 35.0, 36.0, 36.0, 38.0, 36.0];
+    /// ATM driver.
+    pub const ATM: [f64; 8] = [23.0, 24.0, 39.0, 47.0, 71.0, 96.0, 215.0, 498.0];
+    /// Total.
+    pub const TOTAL: [f64; 8] = [180.0, 184.0, 234.0, 297.0, 469.0, 532.0, 1098.0, 2196.0];
+}
+
+/// Table 3 rows: receive-side breakdown (µs).
+pub mod t3 {
+    /// ATM driver + adapter.
+    pub const ATM: [f64; 8] = [46.0, 46.0, 70.0, 99.0, 164.0, 363.0, 920.0, 1783.0];
+    /// IP queue (software-interrupt scheduling).
+    pub const IPQ: [f64; 8] = [22.0, 22.0, 22.0, 22.0, 23.0, 45.0, 46.0, 50.0];
+    /// IP input.
+    pub const IP: [f64; 8] = [40.0, 40.0, 62.0, 62.0, 62.0, 53.0, 54.0, 43.0];
+    /// TCP checksum.
+    pub const CKSUM: [f64; 8] = [10.0, 12.0, 23.0, 40.0, 82.0, 211.0, 578.0, 1172.0];
+    /// TCP segment (remaining input processing).
+    pub const SEGMENT: [f64; 8] = [135.0, 135.0, 138.0, 141.0, 158.0, 142.0, 143.0, 59.0];
+    /// TCP total.
+    pub const TCP_TOTAL: [f64; 8] = [145.0, 147.0, 161.0, 181.0, 240.0, 353.0, 721.0, 1231.0];
+    /// Process wakeup.
+    pub const WAKEUP: [f64; 8] = [46.0, 47.0, 47.0, 50.0, 49.0, 51.0, 58.0, 67.0];
+    /// User (soreceive + copyout).
+    pub const USER: [f64; 8] = [64.0, 65.0, 89.0, 81.0, 102.0, 124.0, 199.0, 468.0];
+    /// Total.
+    pub const TOTAL: [f64; 8] = [363.0, 367.0, 451.0, 495.0, 640.0, 989.0, 1998.0, 3642.0];
+}
+
+/// Table 4: RTT with header prediction disabled (µs). (The enabled
+/// column equals [`T1_ATM_RTT`].)
+pub const T4_NO_PREDICTION_RTT: [f64; 8] = [
+    1110.0, 1127.0, 1324.0, 1560.0, 2186.0, 2962.0, 5950.0, 11477.0,
+];
+
+/// Table 5: user-level copy and checksum costs (µs).
+pub mod t5 {
+    /// Stock ULTRIX checksum.
+    pub const ULTRIX_CKSUM: [f64; 8] = [5.0, 7.0, 20.0, 43.0, 104.0, 283.0, 807.0, 1605.0];
+    /// ULTRIX bcopy.
+    pub const BCOPY: [f64; 8] = [4.0, 5.0, 11.0, 20.0, 47.0, 124.0, 350.0, 698.0];
+    /// Copy + ULTRIX checksum (sum of the two).
+    pub const ULTRIX_TOTAL: [f64; 8] = [9.0, 12.0, 31.0, 63.0, 151.0, 407.0, 1157.0, 2303.0];
+    /// Optimized checksum.
+    pub const OPT_CKSUM: [f64; 8] = [3.0, 4.0, 9.0, 21.0, 49.0, 134.0, 378.0, 754.0];
+    /// Integrated copy and checksum.
+    pub const INTEGRATED: [f64; 8] = [3.0, 5.0, 10.0, 24.0, 56.0, 153.0, 430.0, 864.0];
+    /// Percentage saving of integrated vs copy + optimized checksum.
+    pub const SAVING_PCT: [f64; 8] = [57.0, 44.0, 50.0, 41.0, 42.0, 41.0, 41.0, 40.0];
+}
+
+/// Table 6: RTT with the combined copy-and-checksum kernel (µs). The
+/// standard column equals [`T1_ATM_RTT`].
+pub const T6_COMBINED_RTT: [f64; 8] = [
+    1249.0, 1256.0, 1477.0, 1707.0, 2222.0, 2691.0, 4644.0, 8062.0,
+];
+
+/// Table 7: RTT with the TCP checksum eliminated (µs).
+pub const T7_NO_CKSUM_RTT: [f64; 8] = [
+    1020.0, 1020.0, 1233.0, 1392.0, 1808.0, 2083.0, 3633.0, 6233.0,
+];
+
+/// §3: PCB linear search costs — 20 entries ≈ 26 µs, 1000 ≈ 1280 µs,
+/// "just less than 1.3 µs" per entry.
+pub const PCB_SEARCH_20_US: f64 = 26.0;
+/// See [`PCB_SEARCH_20_US`].
+pub const PCB_SEARCH_1000_US: f64 = 1280.0;
+/// Per-entry search cost (µs).
+pub const PCB_PER_ENTRY_US: f64 = 1.3;
+
+/// §2.2.1: one mbuf allocate + free ≈ 7 µs.
+pub const MBUF_ALLOC_FREE_US: f64 = 7.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Cross-check internal consistency of the embedded data.
+    #[test]
+    fn tcp_totals_are_row_sums() {
+        for i in 0..8 {
+            let t2sum = t2::CKSUM[i] + t2::MCOPY[i] + t2::SEGMENT[i];
+            assert!(
+                (t2sum - t2::TCP_TOTAL[i]).abs() <= 2.0,
+                "t2 col {i}: {t2sum} vs {}",
+                t2::TCP_TOTAL[i]
+            );
+            let t3sum = t3::CKSUM[i] + t3::SEGMENT[i];
+            assert!(
+                (t3sum - t3::TCP_TOTAL[i]).abs() <= 2.0,
+                "t3 col {i}: {t3sum} vs {}",
+                t3::TCP_TOTAL[i]
+            );
+        }
+    }
+
+    #[test]
+    fn grand_totals_are_row_sums() {
+        for i in 0..8 {
+            let t2sum = t2::USER[i] + t2::TCP_TOTAL[i] + t2::IP[i] + t2::ATM[i];
+            assert!((t2sum - t2::TOTAL[i]).abs() <= 3.0, "t2 col {i}");
+            let t3sum = t3::ATM[i]
+                + t3::IPQ[i]
+                + t3::IP[i]
+                + t3::TCP_TOTAL[i]
+                + t3::WAKEUP[i]
+                + t3::USER[i];
+            assert!((t3sum - t3::TOTAL[i]).abs() <= 3.0, "t3 col {i}: {t3sum}");
+        }
+    }
+
+    #[test]
+    fn table5_totals() {
+        for i in 0..8 {
+            let sum = t5::ULTRIX_CKSUM[i] + t5::BCOPY[i];
+            assert!((sum - t5::ULTRIX_TOTAL[i]).abs() <= 1.0, "col {i}");
+        }
+    }
+
+    /// The headline claims of the abstract/States: 24% saving at 8 KB
+    /// for the combined checksum, 41% for elimination, 47% ATM vs
+    /// Ethernet at 4 bytes.
+    #[test]
+    fn headline_percentages() {
+        let comb = (1.0 - T6_COMBINED_RTT[7] / T1_ATM_RTT[7]) * 100.0;
+        assert!((comb - 24.0).abs() < 1.0, "{comb}");
+        let elim = (1.0 - T7_NO_CKSUM_RTT[7] / T1_ATM_RTT[7]) * 100.0;
+        assert!((elim - 41.0).abs() < 1.0, "{elim}");
+        let atm4 = (1.0 - T1_ATM_RTT[0] / T1_ETHERNET_RTT[0]) * 100.0;
+        assert!((atm4 - 47.0).abs() < 1.0, "{atm4}");
+    }
+}

@@ -1,0 +1,210 @@
+//! Table and figure rendering: each function regenerates one of the
+//! paper's tables as formatted text, side by side with the published
+//! values, plus simple ASCII renderings of Figures 1 and 2.
+
+use crate::breakdown::{RxBreakdown, TxBreakdown};
+use crate::paper;
+use crate::stats::{pct_decrease, pct_error};
+
+/// Renders a Table 1 / 4 / 6 / 7 style RTT comparison: two measured
+/// series against two published series.
+#[must_use]
+#[allow(clippy::too_many_arguments)] // A table formatter naturally takes its columns.
+pub fn rtt_comparison(
+    title: &str,
+    col_a: &str,
+    col_b: &str,
+    sizes: &[usize],
+    a_us: &[f64],
+    b_us: &[f64],
+    paper_a: &[f64],
+    paper_b: &[f64],
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!(
+        "{:>6} | {:>10} {:>10} {:>7} | {:>10} {:>10} {:>7} | {:>7} {:>7}\n",
+        "size",
+        format!("{col_a}(us)"),
+        format!("{col_b}(us)"),
+        "dec%",
+        "paperA",
+        "paperB",
+        "dec%",
+        "errA%",
+        "errB%"
+    ));
+    for (i, &n) in sizes.iter().enumerate() {
+        out.push_str(&format!(
+            "{:>6} | {:>10.0} {:>10.0} {:>7.1} | {:>10.0} {:>10.0} {:>7.1} | {:>7.1} {:>7.1}\n",
+            n,
+            a_us[i],
+            b_us[i],
+            pct_decrease(a_us[i], b_us[i]),
+            paper_a[i],
+            paper_b[i],
+            pct_decrease(paper_a[i], paper_b[i]),
+            pct_error(a_us[i], paper_a[i]),
+            pct_error(b_us[i], paper_b[i]),
+        ));
+    }
+    out
+}
+
+/// Renders the Table 2 transmit breakdown for all sizes.
+#[must_use]
+pub fn table2(sizes: &[usize], rows: &[TxBreakdown]) -> String {
+    let mut out = String::new();
+    out.push_str("Table 2: transmit-side breakdown (measured vs paper, us)\n");
+    out.push_str(&format!(
+        "{:>6} | {:>11} {:>11} {:>11} {:>11} {:>11} {:>11} {:>13}\n",
+        "size", "User", "cksum", "mcopy", "segment", "IP", "ATM", "Total"
+    ));
+    for (i, &n) in sizes.iter().enumerate() {
+        let b = &rows[i];
+        let cell = |got: f64, want: f64| format!("{got:>5.0}/{want:<5.0}");
+        out.push_str(&format!(
+            "{:>6} | {} {} {} {} {} {} {}\n",
+            n,
+            cell(b.user, paper::t2::USER[i]),
+            cell(b.cksum, paper::t2::CKSUM[i]),
+            cell(b.mcopy, paper::t2::MCOPY[i]),
+            cell(b.segment, paper::t2::SEGMENT[i]),
+            cell(b.ip, paper::t2::IP[i]),
+            cell(b.driver, paper::t2::ATM[i]),
+            format!("{:>6.0}/{:<6.0}", b.total(), paper::t2::TOTAL[i]),
+        ));
+    }
+    out
+}
+
+/// Renders the Table 3 receive breakdown for all sizes.
+#[must_use]
+pub fn table3(sizes: &[usize], rows: &[RxBreakdown]) -> String {
+    let mut out = String::new();
+    out.push_str("Table 3: receive-side breakdown (measured vs paper, us)\n");
+    out.push_str(&format!(
+        "{:>6} | {:>11} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11} {:>13}\n",
+        "size", "ATM", "IPQ", "IP", "cksum", "segment", "Wakeup", "User", "Total"
+    ));
+    for (i, &n) in sizes.iter().enumerate() {
+        let b = &rows[i];
+        let cell = |got: f64, want: f64| format!("{got:>5.0}/{want:<5.0}");
+        out.push_str(&format!(
+            "{:>6} | {} {} {} {} {} {} {} {}\n",
+            n,
+            cell(b.driver, paper::t3::ATM[i]),
+            cell(b.ipq, paper::t3::IPQ[i]),
+            cell(b.ip, paper::t3::IP[i]),
+            cell(b.cksum, paper::t3::CKSUM[i]),
+            cell(b.segment, paper::t3::SEGMENT[i]),
+            cell(b.wakeup, paper::t3::WAKEUP[i]),
+            cell(b.user, paper::t3::USER[i]),
+            format!("{:>6.0}/{:<6.0}", b.total(), paper::t3::TOTAL[i]),
+        ));
+    }
+    out
+}
+
+/// Renders an ASCII scatter/line figure: several named series over
+/// the size axis (log-ish spacing, like the paper's figures).
+#[must_use]
+pub fn ascii_figure(
+    title: &str,
+    sizes: &[usize],
+    series: &[(&str, &[f64])],
+    height: usize,
+) -> String {
+    let mut out = format!("{title}\n");
+    let max = series
+        .iter()
+        .flat_map(|(_, ys)| ys.iter().copied())
+        .fold(0.0f64, f64::max)
+        .max(1.0);
+    let glyphs = ['*', '+', 'o', 'x', '#', '@'];
+    let width = sizes.len();
+    let mut grid = vec![vec![' '; width * 8]; height];
+    for (si, (_, ys)) in series.iter().enumerate() {
+        for (xi, &y) in ys.iter().enumerate() {
+            let row = ((y / max) * (height as f64 - 1.0)).round() as usize;
+            let row = height - 1 - row.min(height - 1);
+            let col = xi * 8 + 4;
+            grid[row][col] = glyphs[si % glyphs.len()];
+        }
+    }
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{max:>9.0} |")
+        } else if r == height - 1 {
+            format!("{:>9.0} |", 0.0)
+        } else {
+            format!("{:>9} |", "")
+        };
+        out.push_str(&label);
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>9} +", ""));
+    out.push_str(&"-".repeat(width * 8));
+    out.push('\n');
+    out.push_str(&format!("{:>10}", ""));
+    for &n in sizes {
+        out.push_str(&format!("{n:>7} "));
+    }
+    out.push('\n');
+    for (si, (name, _)) in series.iter().enumerate() {
+        out.push_str(&format!("    {} {}\n", glyphs[si % glyphs.len()], name));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtt_comparison_renders_all_rows() {
+        let s = rtt_comparison(
+            "Table 1",
+            "Ether",
+            "ATM",
+            &paper::SIZES,
+            &paper::T1_ETHERNET_RTT,
+            &paper::T1_ATM_RTT,
+            &paper::T1_ETHERNET_RTT,
+            &paper::T1_ATM_RTT,
+        );
+        assert_eq!(s.lines().count(), 2 + 8);
+        assert!(s.contains("1021"));
+        // Self-comparison shows zero error.
+        assert!(s.contains("0.0"));
+    }
+
+    #[test]
+    fn breakdown_tables_render() {
+        let tx = vec![TxBreakdown::default(); 8];
+        let rx = vec![RxBreakdown::default(); 8];
+        let t2 = table2(&paper::SIZES, &tx);
+        let t3 = table3(&paper::SIZES, &rx);
+        assert!(t2.contains("mcopy"));
+        assert!(t3.contains("Wakeup"));
+        assert_eq!(t2.lines().count(), 10);
+        assert_eq!(t3.lines().count(), 10);
+    }
+
+    #[test]
+    fn figure_renders_with_legend() {
+        let ys1: Vec<f64> = paper::T1_ATM_RTT.to_vec();
+        let ys2: Vec<f64> = paper::T4_NO_PREDICTION_RTT.to_vec();
+        let fig = ascii_figure(
+            "Figure 1",
+            &paper::SIZES,
+            &[("with prediction", &ys1), ("without prediction", &ys2)],
+            12,
+        );
+        assert!(fig.contains("Figure 1"));
+        assert!(fig.contains("with prediction"));
+        assert!(fig.contains('*'));
+        assert!(fig.lines().count() >= 12 + 4);
+    }
+}

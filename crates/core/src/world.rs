@@ -1,0 +1,449 @@
+//! The two-host discrete-event world.
+//!
+//! A [`World`] is two DECstations — client and server — joined by a
+//! pair of unidirectional links (ATM fiber or Ethernet). Events move
+//! datagrams between them:
+//!
+//! 1. an **app step** runs a benchmark process until it blocks
+//!    (issuing writes and reads through the kernel, which charges
+//!    CPU time and stages link deliveries);
+//! 2. a **datagram arrival** runs the receiving host's hardware
+//!    interrupt (driver + reassembly) and may schedule
+//! 3. a **software interrupt** (`ipintr`: IP + TCP input), which may
+//!    wake the blocked process, scheduling another app step;
+//! 4. **TCP timers** (delayed ACK, retransmit) fire as events.
+//!
+//! Each host's CPU serializes all of its work through the busy-until
+//! timeline in [`simkit::Cpu`], which is what turns the paper's IPQ
+//! and Wakeup rows — and the transmit/receive overlap of the 8000-
+//! byte case — into emergent measurements rather than inputs.
+
+use simkit::{Scheduler, Sim, SimTime};
+use tcpip::config::tcp_mss;
+use tcpip::{Kernel, Mark, PcbKey, SockId, StackConfig};
+
+use crate::app::{App, AppState, Role};
+use crate::nic::{atm_receive, ether_receive, Delivery, DeliveryPayload, Nic};
+
+/// One simulated host.
+pub struct Host {
+    /// The kernel (stack + CPU + spans).
+    pub kernel: Kernel,
+    /// The network interface.
+    pub nic: Nic,
+    /// The benchmark process.
+    pub app: App,
+    /// The process's socket.
+    pub sock: SockId,
+    /// Earliest scheduled TCP timer event, to avoid duplicates.
+    timer_at: Option<SimTime>,
+}
+
+/// The simulation world: exactly two hosts, index 0 (client) and 1
+/// (server).
+pub struct World {
+    /// The hosts.
+    pub hosts: Vec<Host>,
+    /// Set when measurement (post-warm-up) began.
+    pub measuring: bool,
+}
+
+impl World {
+    /// Builds a world over pre-built NICs and apps. The connection is
+    /// established administratively with BSD MSS rules; sequence
+    /// state is aligned across the pair.
+    #[must_use]
+    pub fn new(
+        cfg: StackConfig,
+        costs: decstation::CostModel,
+        nics: [Nic; 2],
+        apps: [App; 2],
+    ) -> World {
+        let mtu = nics[0].mtu();
+        let mss = tcp_mss(mtu, cfg.mss_one_cluster);
+        let mut kernels = [Kernel::new(cfg, costs.clone()), Kernel::new(cfg, costs)];
+        // UDP workloads bind datagram sockets instead of a connection.
+        if apps[0].role == Role::UdpRpcClient {
+            let sock_c = kernels[0].udp_bind([10, 0, 0, 1], 1055, true);
+            let sock_s = kernels[1].udp_bind([10, 0, 0, 2], 4242, true);
+            let [kc, ks] = kernels;
+            let [nic_c, nic_s] = nics;
+            let [app_c, app_s] = apps;
+            return World {
+                hosts: vec![
+                    Host {
+                        kernel: kc,
+                        nic: nic_c,
+                        app: app_c,
+                        sock: sock_c,
+                        timer_at: None,
+                    },
+                    Host {
+                        kernel: ks,
+                        nic: nic_s,
+                        app: app_s,
+                        sock: sock_s,
+                        timer_at: None,
+                    },
+                ],
+                measuring: false,
+            };
+        }
+        let key_c = PcbKey {
+            laddr: [10, 0, 0, 1],
+            lport: 1055,
+            faddr: [10, 0, 0, 2],
+            fport: 4242,
+        };
+        let key_s = PcbKey {
+            laddr: [10, 0, 0, 2],
+            lport: 4242,
+            faddr: [10, 0, 0, 1],
+            fport: 1055,
+        };
+        let sock_c = kernels[0].create_connection(key_c, mss);
+        let sock_s = kernels[1].create_connection(key_s, mss);
+        // Align administrative sequence numbers: each side's rcv_nxt
+        // must equal the peer's snd_nxt.
+        let (c_snd, c_rcv) = {
+            let t = kernels[0].tcb(sock_c);
+            (t.snd_nxt, t.rcv_nxt)
+        };
+        {
+            let t = kernels[1].tcb_mut(sock_s);
+            t.rcv_nxt = c_snd;
+            t.snd_una = c_rcv;
+            t.snd_nxt = c_rcv;
+            t.snd_max = c_rcv;
+        }
+        let [kc, ks] = kernels;
+        let [nic_c, nic_s] = nics;
+        let [app_c, app_s] = apps;
+        World {
+            hosts: vec![
+                Host {
+                    kernel: kc,
+                    nic: nic_c,
+                    app: app_c,
+                    sock: sock_c,
+                    timer_at: None,
+                },
+                Host {
+                    kernel: ks,
+                    nic: nic_s,
+                    app: app_s,
+                    sock: sock_s,
+                    timer_at: None,
+                },
+            ],
+            measuring: false,
+        }
+    }
+
+    /// Whether every process has finished.
+    #[must_use]
+    pub fn finished(&self) -> bool {
+        self.hosts.iter().all(|h| h.app.finished())
+    }
+}
+
+/// Runs a world to completion; returns the simulation for inspection.
+///
+/// # Panics
+///
+/// Panics if the event queue drains while a process is still waiting
+/// — a protocol deadlock, which the tests treat as a bug.
+pub fn run_world(world: World) -> Sim<World> {
+    let mut sim = Sim::new(world);
+    sim.schedule(SimTime::ZERO, "app-start-client", |w, s| app_step(w, s, 0));
+    sim.schedule(SimTime::ZERO, "app-start-server", |w, s| app_step(w, s, 1));
+    sim.run();
+    assert!(
+        sim.world.finished(),
+        "deadlock: event queue empty, apps not finished \
+         (client {:?} iter {}, server {:?} iter {})",
+        sim.world.hosts[0].app.state,
+        sim.world.hosts[0].app.done_count,
+        sim.world.hosts[1].app.state,
+        sim.world.hosts[1].app.done_count,
+    );
+    sim
+}
+
+/// [`run_world`] without the completion assertion (debug tooling).
+#[must_use]
+pub fn run_world_no_assert(world: World) -> Sim<World> {
+    let mut sim = Sim::new(world);
+    sim.schedule(SimTime::ZERO, "app-start-client", |w, s| app_step(w, s, 0));
+    sim.schedule(SimTime::ZERO, "app-start-server", |w, s| app_step(w, s, 1));
+    sim.run();
+    sim
+}
+
+/// Schedules staged deliveries and (re)arms the TCP timer after any
+/// kernel interaction on host `h`.
+fn flush_host(w: &mut World, s: &mut Scheduler<World>, h: usize) {
+    let peer = 1 - h;
+    for Delivery { arrival, payload } in w.hosts[h].nic.take_staged() {
+        match payload {
+            DeliveryPayload::Cells(train) => {
+                s.schedule_at(arrival.max(s.now()), "atm-arrival", move |w, s| {
+                    on_atm_arrival(w, s, peer, train);
+                });
+            }
+            DeliveryPayload::Frame(bytes) => {
+                s.schedule_at(arrival.max(s.now()), "eth-arrival", move |w, s| {
+                    on_eth_arrival(w, s, peer, bytes);
+                });
+            }
+        }
+    }
+    if let Some(dl) = w.hosts[h].kernel.next_deadline() {
+        let stale = w.hosts[h].timer_at.is_none_or(|t| dl < t || t <= s.now());
+        if stale {
+            w.hosts[h].timer_at = Some(dl);
+            let at = dl.max(s.now());
+            s.schedule_at(at, "tcp-timer", move |w, s| on_timer(w, s, h));
+        }
+    }
+}
+
+/// ATM datagram arrival: the hardware interrupt.
+fn on_atm_arrival(
+    w: &mut World,
+    s: &mut Scheduler<World>,
+    h: usize,
+    train: Vec<(SimTime, atm::LinkFault)>,
+) {
+    let host = &mut w.hosts[h];
+    let Nic::Atm(nic) = &mut host.nic else {
+        panic!("ATM delivery to a non-ATM host");
+    };
+    if let Some(at) = atm_receive(&mut host.kernel, nic, s.now(), &train) {
+        s.schedule_at(at, "softintr", move |w, s| on_softintr(w, s, h));
+    }
+}
+
+/// Ethernet frame arrival: the hardware interrupt.
+fn on_eth_arrival(w: &mut World, s: &mut Scheduler<World>, h: usize, bytes: Vec<u8>) {
+    let host = &mut w.hosts[h];
+    let Nic::Ether(nic) = &mut host.nic else {
+        panic!("Ethernet delivery to a non-Ethernet host");
+    };
+    if let Some(at) = ether_receive(&mut host.kernel, nic, s.now(), &bytes) {
+        s.schedule_at(at, "softintr", move |w, s| on_softintr(w, s, h));
+    }
+}
+
+/// The software interrupt: IP/TCP input, wakeups, responses.
+fn on_softintr(w: &mut World, s: &mut Scheduler<World>, h: usize) {
+    let host = &mut w.hosts[h];
+    let out = match &mut host.nic {
+        Nic::Atm(nic) => host.kernel.ipintr(s.now(), nic),
+        Nic::Ether(nic) => host.kernel.ipintr(s.now(), nic),
+    };
+    flush_host(w, s, h);
+    for (_, run_at) in out.wakeups.iter().chain(out.writer_wakeups.iter()) {
+        let at = (*run_at).max(s.now());
+        s.schedule_at(at, "app-wakeup", move |w, s| app_step(w, s, h));
+    }
+}
+
+/// A TCP timer event.
+fn on_timer(w: &mut World, s: &mut Scheduler<World>, h: usize) {
+    w.hosts[h].timer_at = None;
+    let host = &mut w.hosts[h];
+    let _ = match &mut host.nic {
+        Nic::Atm(nic) => host.kernel.check_timers(s.now(), nic),
+        Nic::Ether(nic) => host.kernel.check_timers(s.now(), nic),
+    };
+    flush_host(w, s, h);
+}
+
+/// Runs a process until it blocks or finishes.
+fn app_step(w: &mut World, s: &mut Scheduler<World>, h: usize) {
+    app_step_inner(w, s, h);
+    // When the RPC client finishes, the benchmark is over: the echo
+    // server (which would otherwise block in read forever)
+    // terminates too.
+    if w.hosts[0].app.state == AppState::Done
+        && matches!(w.hosts[1].app.role, Role::RpcServer | Role::UdpRpcServer)
+    {
+        w.hosts[1].app.state = AppState::Done;
+    }
+}
+
+fn app_step_inner(w: &mut World, s: &mut Scheduler<World>, h: usize) {
+    let mut now = s.now();
+    loop {
+        // Borrow checker dance: each arm re-borrows the host.
+        let state = w.hosts[h].app.state;
+        match state {
+            AppState::Done => break,
+            AppState::WantWrite | AppState::BlockedInWrite(_) => {
+                let host = &mut w.hosts[h];
+                if host.app.done_count >= host.app.total_iterations() {
+                    host.app.state = AppState::Done;
+                    break;
+                }
+                // Enable measurement once warm-up completes (client
+                // drives this for both hosts).
+                if h == 0 && host.app.measuring() && !w.measuring {
+                    w.measuring = true;
+                    for host in &mut w.hosts {
+                        host.kernel.spans.enabled = true;
+                    }
+                }
+                let host = &mut w.hosts[h];
+                let offset = match state {
+                    AppState::BlockedInWrite(n) => n,
+                    _ => 0,
+                };
+                let data = match host.app.role {
+                    // The server echoes what it received.
+                    Role::RpcServer | Role::UdpRpcServer => host.app.got.clone(),
+                    _ => App::pattern(host.app.size, host.app.done_count),
+                };
+                if offset == 0 && matches!(host.app.role, Role::RpcClient | Role::UdpRpcClient) {
+                    // Start the iteration timer: read the clock just
+                    // before write(), as the benchmark did.
+                    host.app.t_start = now.max(host.kernel.cpu.busy_until()).quantized();
+                }
+                let udp = matches!(host.app.role, Role::UdpRpcClient | Role::UdpRpcServer);
+                let out = {
+                    let Host {
+                        kernel, nic, sock, ..
+                    } = host;
+                    let peer: [u8; 4] = if h == 0 { [10, 0, 0, 2] } else { [10, 0, 0, 1] };
+                    let pport = if h == 0 { 4242 } else { 1055 };
+                    match (udp, nic) {
+                        (false, Nic::Atm(n)) => {
+                            kernel.syscall_write(now, *sock, &data[offset..], n)
+                        }
+                        (false, Nic::Ether(n)) => {
+                            kernel.syscall_write(now, *sock, &data[offset..], n)
+                        }
+                        (true, Nic::Atm(n)) => kernel.udp_sendto(now, *sock, peer, pport, &data, n),
+                        (true, Nic::Ether(n)) => {
+                            kernel.udp_sendto(now, *sock, peer, pport, &data, n)
+                        }
+                    }
+                };
+                flush_host(w, s, h);
+                let host = &mut w.hosts[h];
+                now = out.done_at;
+                if out.blocked {
+                    host.app.state = AppState::BlockedInWrite(offset + out.accepted);
+                    break;
+                }
+                // Write complete: what next depends on the role.
+                match host.app.role {
+                    Role::RpcClient | Role::UdpRpcClient => {
+                        host.app.got.clear();
+                        host.app.state = AppState::WantRead;
+                    }
+                    Role::RpcServer | Role::UdpRpcServer => {
+                        host.app.done_count += 1;
+                        host.app.got.clear();
+                        host.app.state = AppState::WantRead;
+                    }
+                    Role::BulkSender => {
+                        host.app.done_count += 1;
+                        host.app.stats.iterations += 1;
+                        host.app.stats.bytes += host.app.size as u64;
+                        // Clear any blocked-write offset carried here.
+                        host.app.state = AppState::WantWrite;
+                    }
+                    Role::BulkReceiver => unreachable!("receivers don't write"),
+                }
+            }
+            AppState::WantRead => {
+                let host = &mut w.hosts[h];
+                let want = host.app.size - host.app.got.len();
+                let udp = matches!(host.app.role, Role::UdpRpcClient | Role::UdpRpcServer);
+                let out = {
+                    let Host {
+                        kernel, nic, sock, ..
+                    } = host;
+                    if udp {
+                        kernel.udp_recvfrom(now, *sock)
+                    } else {
+                        match nic {
+                            Nic::Atm(n) => kernel.syscall_read(now, *sock, want, n),
+                            Nic::Ether(n) => kernel.syscall_read(now, *sock, want, n),
+                        }
+                    }
+                };
+                flush_host(w, s, h);
+                let host = &mut w.hosts[h];
+                if out.blocked {
+                    break;
+                }
+                now = out.done_at;
+                host.app.got.extend_from_slice(&out.data);
+                host.app.stats.bytes += out.data.len() as u64;
+                if host.app.got.len() < host.app.size {
+                    continue;
+                }
+                // A full message arrived.
+                match host.app.role {
+                    Role::UdpRpcClient => {
+                        host.kernel.spans.mark(Mark::ReadReturn, now);
+                        let expect = App::pattern(host.app.size, host.app.done_count);
+                        if host.app.got != expect {
+                            host.app.stats.verify_failures += 1;
+                        }
+                        if host.app.measuring() {
+                            let rtt = now.quantized().saturating_since(host.app.t_start);
+                            host.app.stats.rtts.push(rtt);
+                            host.app.stats.iterations += 1;
+                        }
+                        host.app.done_count += 1;
+                        host.app.state = AppState::WantWrite;
+                    }
+                    Role::UdpRpcServer => {
+                        let expect = App::pattern(host.app.size, host.app.done_count);
+                        if host.app.got != expect {
+                            host.app.stats.verify_failures += 1;
+                        }
+                        host.app.state = AppState::WantWrite;
+                    }
+                    Role::RpcClient => {
+                        host.kernel.spans.mark(Mark::ReadReturn, now);
+                        let expect = App::pattern(host.app.size, host.app.done_count);
+                        if host.app.got != expect {
+                            host.app.stats.verify_failures += 1;
+                        }
+                        if host.app.measuring() {
+                            let rtt = now.quantized().saturating_since(host.app.t_start);
+                            host.app.stats.rtts.push(rtt);
+                            host.app.stats.iterations += 1;
+                        }
+                        host.app.done_count += 1;
+                        host.app.state = AppState::WantWrite;
+                    }
+                    Role::RpcServer => {
+                        let expect = App::pattern(host.app.size, host.app.done_count);
+                        if host.app.got != expect {
+                            host.app.stats.verify_failures += 1;
+                        }
+                        host.app.state = AppState::WantWrite;
+                    }
+                    Role::BulkReceiver => {
+                        let expect = App::pattern(host.app.size, host.app.done_count);
+                        if host.app.got != expect {
+                            host.app.stats.verify_failures += 1;
+                        }
+                        host.app.done_count += 1;
+                        host.app.stats.iterations += 1;
+                        host.app.got.clear();
+                        if host.app.done_count >= host.app.total_iterations() {
+                            host.app.state = AppState::Done;
+                        }
+                    }
+                    Role::BulkSender => unreachable!("senders don't read"),
+                }
+            }
+        }
+    }
+}

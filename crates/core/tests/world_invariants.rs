@@ -1,0 +1,149 @@
+//! Whole-world invariants checked after complete experiment runs:
+//! the single CPU never runs two instrumented sections at once, the
+//! buffer subsystem doesn't leak, and the recorded spans account for
+//! the CPU time the hosts charged.
+
+use latency_core::experiment::{Experiment, NetKind};
+use latency_core::world::run_world;
+use tcpip::SpanKind;
+
+/// Span kinds that represent CPU execution (as opposed to queueing or
+/// scheduling latency).
+const CPU_KINDS: [SpanKind; 11] = [
+    SpanKind::TxUser,
+    SpanKind::TxTcpChecksum,
+    SpanKind::TxTcpMcopy,
+    SpanKind::TxTcpSegment,
+    SpanKind::TxIp,
+    SpanKind::TxDriver,
+    SpanKind::RxDriver,
+    SpanKind::RxIp,
+    SpanKind::RxTcpChecksum,
+    SpanKind::RxTcpSegment,
+    SpanKind::RxUser,
+];
+
+fn run(size: usize) -> simkit::Sim<latency_core::world::World> {
+    let mut e = Experiment::rpc(NetKind::Atm, size);
+    e.iterations = 25;
+    e.warmup = 4;
+    // Rebuild at world level to keep the state for inspection.
+    use latency_core::app::{App, Role};
+    use latency_core::nic::{AtmNic, Nic};
+    let costs = e.costs.clone();
+    let apps = [
+        App::new(Role::RpcClient, size, e.iterations, e.warmup),
+        App::new(Role::RpcServer, size, u64::MAX / 4, 0),
+    ];
+    let nics = [
+        Nic::Atm(AtmNic::new(
+            atm::FiberLink::new(atm::LinkConfig::default(), 1),
+            costs.clone(),
+            42,
+            1,
+        )),
+        Nic::Atm(AtmNic::new(
+            atm::FiberLink::new(atm::LinkConfig::default(), 2),
+            costs.clone(),
+            42,
+            2,
+        )),
+    ];
+    run_world(latency_core::world::World::new(e.cfg, costs, nics, apps))
+}
+
+/// CPU-kind spans on one host never overlap: one processor, one
+/// section at a time.
+#[test]
+fn cpu_spans_never_overlap() {
+    for size in [200usize, 8000] {
+        let sim = run(size);
+        for host in &sim.world.hosts {
+            let mut spans: Vec<_> = host
+                .kernel
+                .spans
+                .spans()
+                .iter()
+                .filter(|s| CPU_KINDS.contains(&s.kind))
+                .collect();
+            spans.sort_by_key(|s| (s.start, s.end));
+            for w in spans.windows(2) {
+                assert!(
+                    w[0].end <= w[1].start,
+                    "size {size}: {:?} [{:?}..{:?}] overlaps {:?} [{:?}..{:?}]",
+                    w[0].kind,
+                    w[0].start,
+                    w[0].end,
+                    w[1].kind,
+                    w[1].start,
+                    w[1].end,
+                );
+            }
+        }
+    }
+}
+
+/// The mbuf subsystem returns every buffer: after the run, the only
+/// outstanding storage belongs to still-open socket buffers (empty in
+/// a completed RPC run).
+#[test]
+fn no_mbuf_leaks_after_run() {
+    let sim = run(1400);
+    for (i, host) in sim.world.hosts.iter().enumerate() {
+        assert_eq!(
+            host.kernel.rcv_buffered(host.sock),
+            0,
+            "host {i} receive buffer drained"
+        );
+        assert_eq!(
+            host.kernel.snd_buffered(host.sock),
+            0,
+            "host {i} send buffer acked and freed"
+        );
+        let stats = host.kernel.pool.stats();
+        assert_eq!(stats.mbufs_outstanding(), 0, "host {i}: {stats:?}");
+        assert_eq!(stats.clusters_outstanding(), 0, "host {i}: {stats:?}");
+    }
+}
+
+/// The CPU's accounted busy time equals the sum of CPU-kind span
+/// durations (nothing charged without a probe, nothing probed without
+/// a charge) — within the warm-up slice that probes skipped.
+#[test]
+fn cpu_accounting_matches_spans() {
+    let sim = run(500);
+    let client = &sim.world.hosts[0];
+    let span_total: f64 = client
+        .kernel
+        .spans
+        .spans()
+        .iter()
+        .filter(|s| CPU_KINDS.contains(&s.kind))
+        .map(|s| (s.end - s.start).as_us_f64())
+        .sum();
+    let busy = client.kernel.cpu.stats().total_busy().as_us_f64();
+    // The recorder was enabled only after warm-up (4 of 29
+    // iterations), so spans cover ≈ 25/29 of the charged time.
+    let expected_fraction = 25.0 / 29.0;
+    let fraction = span_total / busy;
+    assert!(
+        (fraction - expected_fraction).abs() < 0.05,
+        "span {span_total:.0} us vs busy {busy:.0} us (fraction {fraction:.3})"
+    );
+}
+
+/// Round-trip statistics are stable: the stddev across measured
+/// iterations of a clean deterministic run is negligible.
+#[test]
+fn steady_state_is_steady() {
+    let mut e = Experiment::rpc(NetKind::Atm, 500);
+    e.iterations = 50;
+    e.warmup = 8;
+    let r = e.run(1);
+    assert!(
+        r.stddev_rtt_us() < r.mean_rtt_us() * 0.01,
+        "mean {:.1} stddev {:.2}",
+        r.mean_rtt_us(),
+        r.stddev_rtt_us()
+    );
+}

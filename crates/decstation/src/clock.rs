@@ -1,0 +1,89 @@
+//! The measurement clock.
+//!
+//! The paper read a free-running real-time clock with a **40 ns
+//! period** on a TurboChannel card (the controller of the DEC SRC AN-1
+//! network; the AN-1 network itself was not used, only its clock). The
+//! clock was mapped into user space, so reading it was a pointer
+//! dereference; kernel probes read it the same way.
+//!
+//! [`TurboChannelClock`] reproduces the measurement semantics: reads
+//! quantize the simulated time down to the 40 ns tick, and each read
+//! can charge the (tiny) dereference cost so that heavy instrumentation
+//! perturbs the simulation the way real instrumentation perturbed the
+//! original system.
+
+use simkit::SimTime;
+
+/// The 40 ns TurboChannel measurement clock.
+///
+/// # Examples
+///
+/// ```
+/// use decstation::TurboChannelClock;
+/// use simkit::SimTime;
+///
+/// let clock = TurboChannelClock::default();
+/// let t = clock.read(SimTime::from_ns(1_019));
+/// assert_eq!(t.as_ns(), 1_000);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct TurboChannelClock {
+    /// Cost of one clock read (a memory-mapped load), charged by
+    /// callers that model probe overhead. Roughly one uncached
+    /// TurboChannel read on the DECstation.
+    pub read_cost: SimTime,
+}
+
+impl Default for TurboChannelClock {
+    fn default() -> Self {
+        TurboChannelClock {
+            // ~0.5 µs for an uncached I/O-space load.
+            read_cost: SimTime::from_ns(500),
+        }
+    }
+}
+
+impl TurboChannelClock {
+    /// Reads the clock at simulated time `now`: the value is `now`
+    /// quantized to the 40 ns period.
+    #[must_use]
+    pub fn read(&self, now: SimTime) -> SimTime {
+        now.quantized()
+    }
+
+    /// The interval between two clock reads, as the instrumentation
+    /// would compute it.
+    #[must_use]
+    pub fn elapsed(&self, start: SimTime, end: SimTime) -> SimTime {
+        self.read(end).saturating_since(self.read(start))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_quantizes_down() {
+        let c = TurboChannelClock::default();
+        assert_eq!(c.read(SimTime::from_ns(79)).as_ns(), 40);
+        assert_eq!(c.read(SimTime::from_ns(80)).as_ns(), 80);
+    }
+
+    #[test]
+    fn elapsed_is_quantized_difference() {
+        let c = TurboChannelClock::default();
+        let e = c.elapsed(SimTime::from_ns(45), SimTime::from_ns(1_210));
+        // 1200 - 40 = 1160.
+        assert_eq!(e.as_ns(), 1_160);
+    }
+
+    #[test]
+    fn elapsed_never_negative() {
+        let c = TurboChannelClock::default();
+        assert_eq!(
+            c.elapsed(SimTime::from_ns(100), SimTime::from_ns(60)),
+            SimTime::ZERO
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Least-squares linear fitting.
+//!
+//! Used two ways: offline, to derive the [`CostModel`] constants from
+//! the paper's tables (the fits are recorded in the field docs); and
+//! online, by the experiment harness to report slopes such as the PCB
+//! lookup cost per entry (§3: "the cost per element ... is just less
+//! than 1.3 µs") and the effective per-byte rates of the checksum
+//! experiments.
+//!
+//! [`CostModel`]: crate::CostModel
+
+/// Result of a simple linear regression `y ≈ slope * x + intercept`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinearFit {
+    /// Slope (e.g. µs per byte).
+    pub slope: f64,
+    /// Intercept (e.g. fixed µs).
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]`.
+    pub r_squared: f64,
+}
+
+/// Fits `y ≈ slope * x + intercept` by ordinary least squares.
+///
+/// Returns `None` when fewer than two points are given or all `x`
+/// values coincide (the slope is then undefined).
+///
+/// # Examples
+///
+/// ```
+/// use decstation::linear_fit;
+///
+/// let xs = [20.0, 100.0, 1000.0];
+/// let ys = [26.0, 130.0, 1280.0];
+/// let fit = linear_fit(&xs, &ys).unwrap();
+/// assert!((fit.slope - 1.28).abs() < 0.02);
+/// assert!(fit.r_squared > 0.999);
+/// ```
+#[must_use]
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mean_x;
+        let dy = y - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    Some(LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line() {
+        let xs: Vec<f64> = (0..10).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 1.0).collect();
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!((fit.slope - 3.0).abs() < 1e-12);
+        assert!((fit.intercept - 1.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_pcb_numbers() {
+        // §3: 20 entries -> 26 µs, 1000 entries -> 1280 µs; "just less
+        // than 1.3 µs" per entry.
+        let fit = linear_fit(&[20.0, 1000.0], &[26.0, 1280.0]).unwrap();
+        assert!((fit.slope - 1.2795).abs() < 1e-3, "{}", fit.slope);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(linear_fit(&[], &[]).is_none());
+        assert!(linear_fit(&[1.0], &[2.0]).is_none());
+        assert!(linear_fit(&[1.0, 1.0], &[2.0, 3.0]).is_none());
+        assert!(linear_fit(&[1.0, 2.0], &[2.0]).is_none());
+    }
+
+    #[test]
+    fn constant_y_has_zero_slope() {
+        let fit = linear_fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.intercept, 5.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn noisy_fit_r_squared_below_one() {
+        let fit = linear_fit(&[1.0, 2.0, 3.0, 4.0], &[1.0, 2.5, 2.6, 4.2]).unwrap();
+        assert!(fit.r_squared < 1.0);
+        assert!(fit.r_squared > 0.8);
+    }
+}

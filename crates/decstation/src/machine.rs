@@ -1,0 +1,52 @@
+//! Static facts about the measured machine, used for documentation,
+//! sanity checks, and derived quantities.
+
+/// Description of a workstation host.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Machine {
+    /// Marketing name.
+    pub name: &'static str,
+    /// CPU clock in MHz.
+    pub cpu_mhz: u32,
+    /// CPU microarchitecture.
+    pub cpu: &'static str,
+    /// I/O bus.
+    pub bus: &'static str,
+    /// VM page size in bytes (equals the mbuf cluster size).
+    pub page_size: usize,
+}
+
+impl Machine {
+    /// Nanoseconds per CPU cycle.
+    #[must_use]
+    pub fn cycle_ns(&self) -> f64 {
+        1_000.0 / f64::from(self.cpu_mhz)
+    }
+}
+
+/// The paper's host: DECstation 5000/200, 25 MHz MIPS R3000,
+/// TurboChannel, 4 KB pages.
+pub const DECSTATION_5000_200: Machine = Machine {
+    name: "DECstation 5000/200",
+    cpu_mhz: 25,
+    cpu: "MIPS R3000",
+    bus: "TurboChannel",
+    page_size: 4096,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_time() {
+        // 25 MHz is a 40 ns cycle — the same period as the
+        // measurement clock, pleasantly.
+        assert!((DECSTATION_5000_200.cycle_ns() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn page_is_cluster_sized() {
+        assert_eq!(DECSTATION_5000_200.page_size, 4096);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests of the mbuf subsystem invariants the protocol
+//! stack relies on.
+
+use mbuf::chain::{expected_mbuf_count, ultrix_uses_clusters};
+use mbuf::{Chain, MbufPool};
+use proptest::prelude::*;
+
+fn payload(n: usize, seed: u8) -> Vec<u8> {
+    (0..n)
+        .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Data survives a fill round-trip regardless of buffer kind, and
+    /// mbuf counts match the closed form.
+    #[test]
+    fn fill_roundtrip(n in 0usize..20_000, seed in any::<u8>()) {
+        let pool = MbufPool::new();
+        let data = payload(n, seed);
+        let use_cl = ultrix_uses_clusters(n);
+        let (chain, cost) = Chain::from_user_data(&pool, &data, use_cl);
+        prop_assert!(chain.data_equals(&data));
+        prop_assert_eq!(chain.len(), n);
+        prop_assert_eq!(cost.bytes_copied, n);
+        prop_assert_eq!(chain.mbuf_count(), expected_mbuf_count(n));
+    }
+
+    /// `copy_range` of any subrange reproduces that subrange and never
+    /// copies bytes out of clusters.
+    #[test]
+    fn copy_range_correct(
+        n in 1usize..20_000,
+        a in 0.0f64..1.0,
+        b in 0.0f64..1.0,
+        seed in any::<u8>(),
+    ) {
+        let pool = MbufPool::new();
+        let data = payload(n, seed);
+        let use_cl = ultrix_uses_clusters(n);
+        let (chain, _) = Chain::from_user_data(&pool, &data, use_cl);
+        let off = ((n as f64) * a) as usize;
+        let len = (((n - off) as f64) * b) as usize;
+        let (copy, cost) = chain.copy_range(&pool, off, len);
+        prop_assert!(copy.data_equals(&data[off..off + len]));
+        if use_cl {
+            prop_assert_eq!(cost.bytes_copied, 0, "clusters must share");
+        } else {
+            prop_assert_eq!(cost.bytes_copied, len, "small mbufs must deep-copy");
+        }
+    }
+
+    /// Trimming then reading yields the suffix; emptied mbufs are freed.
+    #[test]
+    fn trim_front_is_suffix(n in 1usize..8_000, frac in 0.0f64..1.0, seed in any::<u8>()) {
+        let pool = MbufPool::new();
+        let data = payload(n, seed);
+        let (mut chain, _) = Chain::from_user_data(&pool, &data, ultrix_uses_clusters(n));
+        let cut = ((n as f64) * frac) as usize;
+        let _ = chain.trim_front(cut);
+        prop_assert_eq!(chain.len(), n - cut);
+        prop_assert!(chain.data_equals(&data[cut..]));
+    }
+
+    /// copy_out agrees with to_vec on arbitrary windows.
+    #[test]
+    fn copy_out_window(n in 1usize..8_000, a in 0.0f64..1.0, b in 0.0f64..1.0, seed in any::<u8>()) {
+        let pool = MbufPool::new();
+        let data = payload(n, seed);
+        let (chain, _) = Chain::from_user_data(&pool, &data, ultrix_uses_clusters(n));
+        let off = ((n as f64) * a) as usize;
+        let len = (((n - off) as f64) * b) as usize;
+        let mut dst = vec![0u8; len];
+        let _ = chain.copy_out(off, &mut dst);
+        prop_assert_eq!(&dst[..], &data[off..off + len]);
+    }
+
+    /// The integrated fill stores partial checksums that combine to
+    /// the checksum of the whole, for any size.
+    #[test]
+    fn integrated_fill_checksums(n in 0usize..20_000, seed in any::<u8>()) {
+        let pool = MbufPool::new();
+        let data = payload(n, seed);
+        let (chain, _) = Chain::from_user_data_cksum(&pool, &data, ultrix_uses_clusters(n));
+        let stored = chain.stored_checksum().expect("partials present");
+        prop_assert_eq!(stored, cksum::optimized_cksum(&data));
+        let (walked, bytes) = chain.checksum_walk();
+        prop_assert_eq!(walked, stored);
+        prop_assert_eq!(bytes, n);
+    }
+
+    /// No operation sequence leaks buffers.
+    #[test]
+    fn no_leaks(n in 1usize..10_000, cut_frac in 0.0f64..1.0, seed in any::<u8>()) {
+        let pool = MbufPool::new();
+        {
+            let data = payload(n, seed);
+            let (chain, _) = Chain::from_user_data(&pool, &data, ultrix_uses_clusters(n));
+            let (mut copy, _) = chain.copy_range(&pool, 0, n);
+            let _ = copy.prepend_header(&pool, &[0u8; 40]);
+            let _ = copy.trim_front(((n as f64) * cut_frac) as usize + 40);
+            drop(chain);
+        }
+        let s = pool.stats();
+        prop_assert_eq!(s.mbufs_outstanding(), 0);
+        prop_assert_eq!(s.clusters_outstanding(), 0);
+    }
+}

@@ -1,0 +1,337 @@
+//! The discrete-event engine.
+//!
+//! [`Sim`] owns a priority queue of timestamped events and a
+//! user-supplied *world* — the mutable state the events act upon. Each
+//! event is a boxed `FnOnce(&mut W, &mut Scheduler<W>)`; handlers stage
+//! follow-up events on the [`Scheduler`], which the engine merges into
+//! the queue when the handler returns.
+//!
+//! Two events at the same timestamp execute in the order they were
+//! scheduled (FIFO tie-break via a monotone sequence number), which
+//! makes every simulation run fully deterministic.
+
+use core::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// The type of an event handler.
+///
+/// The first argument is the simulation world, the second a
+/// [`Scheduler`] for staging follow-up events.
+pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Scheduler<W>)>;
+
+/// An event staged for execution.
+struct QueuedEvent<W> {
+    /// Absolute execution time.
+    at: SimTime,
+    /// FIFO tie-breaker among equal timestamps.
+    seq: u64,
+    /// Static label for tracing and panic messages.
+    label: &'static str,
+    handler: EventFn<W>,
+}
+
+// The heap is a max-heap; invert the ordering to pop the earliest
+// (time, seq) first.
+impl<W> PartialEq for QueuedEvent<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<W> Eq for QueuedEvent<W> {}
+
+impl<W> PartialOrd for QueuedEvent<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<W> Ord for QueuedEvent<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Staging area handed to event handlers for scheduling follow-up work.
+///
+/// Times passed to [`Scheduler::schedule_at`] must not be earlier than
+/// the current simulation time; scheduling into the past is a logic
+/// error and panics, since it would silently corrupt causality.
+pub struct Scheduler<W> {
+    now: SimTime,
+    staged: Vec<(SimTime, &'static str, EventFn<W>)>,
+}
+
+impl<W> Scheduler<W> {
+    /// Current simulation time (the timestamp of the running event).
+    #[inline]
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Stages an event to run `delay` after the current time.
+    pub fn schedule<F>(&mut self, delay: SimTime, label: &'static str, f: F)
+    where
+        F: FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    {
+        self.schedule_at(self.now + delay, label, f);
+    }
+
+    /// Stages an event to run at the absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time.
+    pub fn schedule_at<F>(&mut self, at: SimTime, label: &'static str, f: F)
+    where
+        F: FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    {
+        assert!(
+            at >= self.now,
+            "event '{label}' scheduled into the past: {at:?} < now {:?}",
+            self.now
+        );
+        self.staged.push((at, label, Box::new(f)));
+    }
+}
+
+/// The simulation: an event queue plus the world `W` it drives.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::{Sim, SimTime};
+///
+/// let mut sim = Sim::new(0u32);
+/// sim.schedule(SimTime::from_us(1), "tick", |w: &mut u32, s| {
+///     *w += 1;
+///     // Events may schedule further events.
+///     s.schedule(SimTime::from_us(1), "tock", |w: &mut u32, _| *w += 10);
+/// });
+/// sim.run();
+/// assert_eq!(sim.world, 11);
+/// assert_eq!(sim.now(), SimTime::from_us(2));
+/// ```
+pub struct Sim<W> {
+    /// The simulation world, freely accessible between runs.
+    pub world: W,
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<QueuedEvent<W>>,
+    executed: u64,
+}
+
+impl<W> Sim<W> {
+    /// Creates a simulation at time zero over the given world.
+    #[must_use]
+    pub fn new(world: W) -> Self {
+        Sim {
+            world,
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            executed: 0,
+        }
+    }
+
+    /// Current simulation time.
+    #[inline]
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    #[inline]
+    #[must_use]
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently pending.
+    #[inline]
+    #[must_use]
+    pub fn events_pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules an event `delay` after the current time.
+    pub fn schedule<F>(&mut self, delay: SimTime, label: &'static str, f: F)
+    where
+        F: FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    {
+        self.schedule_at(self.now + delay, label, f);
+    }
+
+    /// Schedules an event at the absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time.
+    pub fn schedule_at<F>(&mut self, at: SimTime, label: &'static str, f: F)
+    where
+        F: FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    {
+        assert!(
+            at >= self.now,
+            "event '{label}' scheduled into the past: {at:?} < now {:?}",
+            self.now
+        );
+        self.queue.push(QueuedEvent {
+            at,
+            seq: self.seq,
+            label,
+            handler: Box::new(f),
+        });
+        self.seq += 1;
+    }
+
+    /// Executes the next pending event, if any.
+    ///
+    /// Returns `true` if an event ran, `false` if the queue was empty.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.now, "event '{}' violates causality", ev.label);
+        self.now = ev.at;
+        self.executed += 1;
+        let mut sched = Scheduler {
+            now: self.now,
+            staged: Vec::new(),
+        };
+        (ev.handler)(&mut self.world, &mut sched);
+        for (at, label, f) in sched.staged {
+            self.queue.push(QueuedEvent {
+                at,
+                seq: self.seq,
+                label,
+                handler: f,
+            });
+            self.seq += 1;
+        }
+        true
+    }
+
+    /// Runs until the event queue is empty.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs until the queue is empty or the clock passes `deadline`.
+    ///
+    /// Events at exactly `deadline` still execute; the first event
+    /// strictly beyond it is left in the queue.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(ev) = self.queue.peek() {
+            if ev.at > deadline {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    /// Runs until `pred` over the world becomes true (checked after
+    /// every event) or the queue empties. Returns whether the predicate
+    /// was satisfied.
+    pub fn run_while<P: FnMut(&W) -> bool>(&mut self, mut keep_going: P) -> bool {
+        while keep_going(&self.world) {
+            if !self.step() {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim = Sim::new(Vec::new());
+        sim.schedule(SimTime::from_us(3), "c", |w: &mut Vec<u32>, _| w.push(3));
+        sim.schedule(SimTime::from_us(1), "a", |w: &mut Vec<u32>, _| w.push(1));
+        sim.schedule(SimTime::from_us(2), "b", |w: &mut Vec<u32>, _| w.push(2));
+        sim.run();
+        assert_eq!(sim.world, vec![1, 2, 3]);
+        assert_eq!(sim.events_executed(), 3);
+    }
+
+    #[test]
+    fn equal_timestamps_run_fifo() {
+        let mut sim = Sim::new(Vec::new());
+        for i in 0..10u32 {
+            sim.schedule(SimTime::from_us(7), "same", move |w: &mut Vec<u32>, _| {
+                w.push(i)
+            });
+        }
+        sim.run();
+        assert_eq!(sim.world, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handlers_can_chain_events() {
+        let mut sim = Sim::new(0u64);
+        fn tick(w: &mut u64, s: &mut Scheduler<u64>) {
+            *w += 1;
+            if *w < 100 {
+                s.schedule(SimTime::from_us(1), "tick", tick);
+            }
+        }
+        sim.schedule(SimTime::ZERO, "tick", tick);
+        sim.run();
+        assert_eq!(sim.world, 100);
+        assert_eq!(sim.now(), SimTime::from_us(99));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline_inclusive() {
+        let mut sim = Sim::new(Vec::new());
+        for us in [1u64, 2, 3, 4] {
+            sim.schedule(SimTime::from_us(us), "e", move |w: &mut Vec<u64>, _| {
+                w.push(us)
+            });
+        }
+        sim.run_until(SimTime::from_us(2));
+        assert_eq!(sim.world, vec![1, 2]);
+        assert_eq!(sim.events_pending(), 2);
+        sim.run();
+        assert_eq!(sim.world, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn run_while_predicate() {
+        let mut sim = Sim::new(0u32);
+        for _ in 0..10 {
+            sim.schedule(SimTime::from_us(1), "inc", |w: &mut u32, _| *w += 1);
+        }
+        let satisfied = sim.run_while(|w| *w < 4);
+        assert!(satisfied);
+        assert_eq!(sim.world, 4);
+        let exhausted = sim.run_while(|w| *w < 1000);
+        assert!(!exhausted);
+        assert_eq!(sim.world, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut sim = Sim::new(());
+        sim.schedule(SimTime::from_us(5), "later", |_: &mut (), s| {
+            s.schedule_at(SimTime::from_us(1), "past", |_, _| {});
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn step_on_empty_queue_returns_false() {
+        let mut sim = Sim::new(());
+        assert!(!sim.step());
+        assert_eq!(sim.now(), SimTime::ZERO);
+    }
+}

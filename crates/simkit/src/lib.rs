@@ -1,0 +1,49 @@
+//! `simkit` — a small, deterministic discrete-event simulation engine.
+//!
+//! This crate provides the substrate on which the rest of the
+//! `tcp-atm-latency` reproduction runs: a virtual clock with 40 ns
+//! granularity (matching the TurboChannel real-time clock used by the
+//! paper), an event queue with deterministic tie-breaking, a simple CPU
+//! occupancy model used to serialize "kernel work" on each simulated
+//! host, a deterministic pseudo-random number generator for error
+//! injection, and a lightweight trace ring buffer.
+//!
+//! # Design
+//!
+//! Events are boxed closures of type [`EventFn`] executed against a
+//! user-supplied world type `W`. Handlers cannot touch the event queue
+//! directly (that would alias the engine borrow); instead they receive a
+//! [`Scheduler`] into which new events are staged and merged after the
+//! handler returns. This keeps the engine free of interior mutability
+//! while still allowing handlers to schedule arbitrary follow-up work.
+//!
+//! # Examples
+//!
+//! ```
+//! use simkit::{Sim, SimTime};
+//!
+//! struct World {
+//!     fired: Vec<u32>,
+//! }
+//!
+//! let mut sim = Sim::new(World { fired: Vec::new() });
+//! sim.schedule(SimTime::from_us(5), "later", |w: &mut World, _s| w.fired.push(2));
+//! sim.schedule(SimTime::from_us(1), "sooner", |w: &mut World, _s| w.fired.push(1));
+//! sim.run();
+//! assert_eq!(sim.world.fired, vec![1, 2]);
+//! assert_eq!(sim.now(), SimTime::from_us(5));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cpu;
+pub mod engine;
+pub mod rng;
+pub mod time;
+pub mod trace;
+
+pub use cpu::{Cpu, CpuBand, CpuStats};
+pub use engine::{EventFn, Scheduler, Sim};
+pub use rng::SimRng;
+pub use time::SimTime;
+pub use trace::{TraceBuffer, TraceEvent, TraceLevel};

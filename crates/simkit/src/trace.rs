@@ -1,0 +1,199 @@
+//! A lightweight trace ring buffer.
+//!
+//! The original study debugged its kernel instrumentation by extracting
+//! timestamped event logs through added system calls. The simulator
+//! keeps an in-memory equivalent: a bounded ring of `(time, level,
+//! category, message)` records that protocol components append to and
+//! tests/tools inspect. Tracing is off (capacity 0) by default so the
+//! hot measurement loops pay nothing.
+
+use std::collections::VecDeque;
+
+use crate::time::SimTime;
+
+/// Severity of a trace record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum TraceLevel {
+    /// Fine-grained event flow (cell arrivals, mbuf moves).
+    #[default]
+    Debug,
+    /// Notable protocol events (segment sent, fast path taken).
+    Info,
+    /// Abnormal events (checksum failure, cell drop, retransmit).
+    Warn,
+}
+
+/// One trace record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulation time the record was appended.
+    pub at: SimTime,
+    /// Severity.
+    pub level: TraceLevel,
+    /// Static component tag, e.g. `"tcp"`, `"atm-drv"`.
+    pub category: &'static str,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// A bounded ring of trace records.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::{SimTime, TraceBuffer, TraceLevel};
+///
+/// let mut tb = TraceBuffer::with_capacity(2);
+/// tb.push(SimTime::ZERO, TraceLevel::Info, "tcp", "syn sent".into());
+/// tb.push(SimTime::from_us(1), TraceLevel::Info, "tcp", "syn+ack".into());
+/// tb.push(SimTime::from_us(2), TraceLevel::Warn, "tcp", "rexmit".into());
+/// // Capacity 2: the oldest record was evicted.
+/// assert_eq!(tb.len(), 2);
+/// assert_eq!(tb.iter().next().unwrap().message, "syn+ack");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TraceBuffer {
+    records: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+    min_level: TraceLevel,
+}
+
+impl TraceBuffer {
+    /// Creates a disabled buffer (capacity zero, drops everything).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates a buffer retaining at most `capacity` records.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceBuffer {
+            records: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+            min_level: TraceLevel::Debug,
+        }
+    }
+
+    /// Sets the minimum level retained; lower-level records are counted
+    /// as dropped.
+    pub fn set_min_level(&mut self, level: TraceLevel) {
+        self.min_level = level;
+    }
+
+    /// Whether the buffer retains anything at all.
+    #[inline]
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Appends a record, evicting the oldest if at capacity.
+    pub fn push(
+        &mut self,
+        at: SimTime,
+        level: TraceLevel,
+        category: &'static str,
+        message: String,
+    ) {
+        if self.capacity == 0 || level < self.min_level {
+            self.dropped += 1;
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(TraceEvent {
+            at,
+            level,
+            category,
+            message,
+        });
+    }
+
+    /// Number of retained records.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no records are retained.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of records dropped (filtered or evicted).
+    #[inline]
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates over retained records, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.records.iter()
+    }
+
+    /// Clears retained records (the dropped counter is preserved).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(tb: &mut TraceBuffer, us: u64, level: TraceLevel, msg: &str) {
+        tb.push(SimTime::from_us(us), level, "test", msg.to_string());
+    }
+
+    #[test]
+    fn disabled_buffer_drops_everything() {
+        let mut tb = TraceBuffer::disabled();
+        rec(&mut tb, 0, TraceLevel::Warn, "x");
+        assert!(tb.is_empty());
+        assert!(!tb.is_enabled());
+        assert_eq!(tb.dropped(), 1);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut tb = TraceBuffer::with_capacity(3);
+        for i in 0..5 {
+            rec(&mut tb, i, TraceLevel::Info, &format!("m{i}"));
+        }
+        assert_eq!(tb.len(), 3);
+        let msgs: Vec<_> = tb.iter().map(|e| e.message.as_str()).collect();
+        assert_eq!(msgs, ["m2", "m3", "m4"]);
+        assert_eq!(tb.dropped(), 2);
+    }
+
+    #[test]
+    fn min_level_filters() {
+        let mut tb = TraceBuffer::with_capacity(10);
+        tb.set_min_level(TraceLevel::Warn);
+        rec(&mut tb, 0, TraceLevel::Debug, "d");
+        rec(&mut tb, 0, TraceLevel::Info, "i");
+        rec(&mut tb, 0, TraceLevel::Warn, "w");
+        assert_eq!(tb.len(), 1);
+        assert_eq!(tb.iter().next().unwrap().level, TraceLevel::Warn);
+    }
+
+    #[test]
+    fn clear_retains_drop_count() {
+        let mut tb = TraceBuffer::with_capacity(1);
+        rec(&mut tb, 0, TraceLevel::Info, "a");
+        rec(&mut tb, 1, TraceLevel::Info, "b");
+        assert_eq!(tb.dropped(), 1);
+        tb.clear();
+        assert!(tb.is_empty());
+        assert_eq!(tb.dropped(), 1);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests for the discrete-event engine: the determinism and
+//! causality guarantees everything else is built on.
+
+use proptest::prelude::*;
+use simkit::{Cpu, CpuBand, Sim, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Events execute in nondecreasing time order regardless of the
+    /// order they were scheduled, and ties preserve FIFO order.
+    #[test]
+    fn execution_order_is_causal(times in proptest::collection::vec(0u64..10_000, 1..200)) {
+        let mut sim = Sim::new(Vec::<(u64, usize)>::new());
+        for (i, &t) in times.iter().enumerate() {
+            sim.schedule(
+                SimTime::from_us(t),
+                "ev",
+                move |w: &mut Vec<(u64, usize)>, _| w.push((t, i)),
+            );
+        }
+        sim.run();
+        let log = &sim.world;
+        prop_assert_eq!(log.len(), times.len());
+        for pair in log.windows(2) {
+            prop_assert!(pair[0].0 <= pair[1].0, "time order");
+            if pair[0].0 == pair[1].0 {
+                prop_assert!(pair[0].1 < pair[1].1, "FIFO tie-break");
+            }
+        }
+    }
+
+    /// Chained scheduling from handlers preserves causality too.
+    #[test]
+    fn chained_events_respect_time(delays in proptest::collection::vec(1u64..100, 1..50)) {
+        struct W {
+            delays: Vec<u64>,
+            idx: usize,
+            stamps: Vec<SimTime>,
+        }
+        fn step(w: &mut W, s: &mut simkit::Scheduler<W>) {
+            w.stamps.push(s.now());
+            if w.idx < w.delays.len() {
+                let d = w.delays[w.idx];
+                w.idx += 1;
+                s.schedule(SimTime::from_us(d), "step", step);
+            }
+        }
+        let mut sim = Sim::new(W { delays: delays.clone(), idx: 0, stamps: Vec::new() });
+        sim.schedule(SimTime::ZERO, "step", step);
+        sim.run();
+        prop_assert_eq!(sim.world.stamps.len(), delays.len() + 1);
+        let total: u64 = delays.iter().sum();
+        prop_assert_eq!(sim.now(), SimTime::from_us(total));
+        for w in sim.world.stamps.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+
+    /// The CPU never overlaps two work items and accounts every
+    /// microsecond it runs.
+    #[test]
+    fn cpu_serializes_all_work(
+        reqs in proptest::collection::vec((0u64..1000, 1u64..200), 1..60),
+    ) {
+        let mut cpu = Cpu::new();
+        let mut intervals = Vec::new();
+        let mut total = SimTime::ZERO;
+        // Requests must be presented in nondecreasing arrival order,
+        // as the event loop does.
+        let mut sorted = reqs.clone();
+        sorted.sort();
+        for (at, cost) in sorted {
+            let (s, e) = cpu.acquire(SimTime::from_us(at), SimTime::from_us(cost), CpuBand::Process);
+            prop_assert!(s >= SimTime::from_us(at));
+            prop_assert_eq!(e - s, SimTime::from_us(cost));
+            intervals.push((s, e));
+            total += SimTime::from_us(cost);
+        }
+        for w in intervals.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0, "no overlap");
+        }
+        prop_assert_eq!(cpu.stats().total_busy(), total);
+    }
+
+    /// Quantization is idempotent, monotone, and never in the future.
+    #[test]
+    fn clock_quantization(ns in any::<u64>()) {
+        let t = SimTime::from_ns(ns);
+        let q = t.quantized();
+        prop_assert!(q <= t);
+        prop_assert_eq!(q.quantized(), q);
+        prop_assert_eq!(q.as_ns() % 40, 0);
+        prop_assert!(t.as_ns() - q.as_ns() < 40);
+    }
+}

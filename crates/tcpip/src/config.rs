@@ -1,0 +1,147 @@
+//! Stack configuration: the experiment knobs of the paper.
+
+use decstation::ChecksumImpl;
+
+/// How the TCP checksum is handled (§4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChecksumMode {
+    /// Compute the checksum in the TCP layer by walking the data,
+    /// using the selected algorithm. The paper's baseline is
+    /// `Standard(ChecksumImpl::Bsd)`.
+    Standard(ChecksumImpl),
+    /// §4.1.1: integrate the checksum with a data copy — on transmit
+    /// during the user→mbuf copy (partial checksums stored per mbuf),
+    /// on receive during the device→mbuf copy in the driver.
+    Integrated,
+    /// §4.2: both ends negotiated checksum elimination (Kay &
+    /// Pasquale's Alternate Checksum Option); the field is sent as
+    /// zero and not verified. Only AAL/link CRCs protect the data.
+    None,
+}
+
+impl ChecksumMode {
+    /// Whether TCP verifies payload checksums on input.
+    #[must_use]
+    pub fn verifies(self) -> bool {
+        !matches!(self, ChecksumMode::None)
+    }
+}
+
+/// PCB lookup organization (§3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PcbOrg {
+    /// BSD's linked list with most-recent-creation at the head.
+    List,
+    /// The hash table the paper suggests "could eliminate the lookup
+    /// problem entirely".
+    Hash,
+}
+
+/// Per-host stack configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StackConfig {
+    /// Checksum handling.
+    pub checksum: ChecksumMode,
+    /// Header prediction: the PCB cache *and* the precomputed-header
+    /// fast path (§3 disables both together, as we do).
+    pub header_prediction: bool,
+    /// PCB organization.
+    pub pcb_org: PcbOrg,
+    /// Number of ambient PCBs ahead of the benchmark connection in
+    /// the list (standard daemons; §3 found "less than 50" on
+    /// workstations). They cost lookup time on a cache miss.
+    pub ambient_pcbs: usize,
+    /// TCP_NODELAY (disable Nagle). The RPC benchmark sets it.
+    pub nodelay: bool,
+    /// Cap the MSS at one mbuf cluster (4096), reproducing the
+    /// measured system's page-sized segments: the paper's 8000-byte
+    /// case sends exactly two packets.
+    pub mss_one_cluster: bool,
+    /// Socket send/receive buffer size.
+    pub sockbuf: usize,
+    /// Initial send sequence number (exposed so tests can start near
+    /// the wrap point).
+    pub iss: u32,
+    /// Delayed-ACK timeout (BSD fasttimo, 200 ms).
+    pub delack_us: u64,
+    /// Retransmission timeout floor (BSD slowtimo granularity gives
+    /// an effective 500 ms minimum initially).
+    pub rto_min_us: u64,
+}
+
+impl Default for StackConfig {
+    fn default() -> Self {
+        StackConfig {
+            checksum: ChecksumMode::Standard(ChecksumImpl::Bsd),
+            header_prediction: true,
+            pcb_org: PcbOrg::List,
+            ambient_pcbs: 12,
+            nodelay: true,
+            mss_one_cluster: true,
+            sockbuf: 16 * 1024,
+            iss: 0x0001_0000,
+            delack_us: 200_000,
+            rto_min_us: 500_000,
+        }
+    }
+}
+
+/// Computes the TCP MSS for an interface MTU, BSD style: subtract
+/// the 40-byte header, then round down to a multiple of the cluster
+/// size when larger than a cluster, optionally capping at one cluster
+/// (see [`StackConfig::mss_one_cluster`]).
+#[must_use]
+pub fn tcp_mss(mtu: usize, mss_one_cluster: bool) -> usize {
+    let mss = mtu.saturating_sub(40);
+    if mss <= mbuf::MCLBYTES {
+        return mss;
+    }
+    let rounded = mss / mbuf::MCLBYTES * mbuf::MCLBYTES;
+    if mss_one_cluster {
+        rounded.min(mbuf::MCLBYTES)
+    } else {
+        rounded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_papers_baseline() {
+        let c = StackConfig::default();
+        assert_eq!(c.checksum, ChecksumMode::Standard(ChecksumImpl::Bsd));
+        assert!(c.header_prediction);
+        assert_eq!(c.pcb_org, PcbOrg::List);
+        assert!(c.nodelay, "RPC benchmark disables Nagle");
+    }
+
+    #[test]
+    fn mss_for_atm_mtu() {
+        // 9188-byte ATM MTU: page-capped MSS is one cluster.
+        assert_eq!(tcp_mss(9188, true), 4096);
+        // Without the cap, BSD rounding gives two clusters.
+        assert_eq!(tcp_mss(9188, false), 8192);
+    }
+
+    #[test]
+    fn mss_for_ethernet_mtu() {
+        // 1500 - 40: below a cluster, no rounding.
+        assert_eq!(tcp_mss(1500, true), 1460);
+        assert_eq!(tcp_mss(1500, false), 1460);
+    }
+
+    #[test]
+    fn mss_tiny_mtu() {
+        assert_eq!(tcp_mss(40, true), 0);
+        assert_eq!(tcp_mss(576, true), 536);
+    }
+
+    #[test]
+    fn checksum_mode_verifies() {
+        assert!(ChecksumMode::Standard(ChecksumImpl::Bsd).verifies());
+        assert!(ChecksumMode::Integrated.verifies());
+        assert!(!ChecksumMode::None.verifies());
+    }
+}

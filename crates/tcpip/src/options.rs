@@ -1,0 +1,254 @@
+//! TCP options and connection-establishment segments.
+//!
+//! Two options matter to the reproduction:
+//!
+//! - **MSS** (kind 2): carried in SYNs; both sides offer
+//!   `tcp_mss(mtu)` and use the minimum — this is where the BSD
+//!   cluster rounding of [`crate::config::tcp_mss`] enters the
+//!   connection.
+//! - **Alternate Checksum Request** (kind 14, RFC 1146): §4.2 adopts
+//!   Kay & Pasquale's "mechanism using the Alternate Checksum Option
+//!   to negotiate connections that do not use the checksum". We use
+//!   checksum number 0 for the standard TCP checksum and the private
+//!   number 255 for *no checksum*; elimination is in force only when
+//!   **both** SYNs request it, and only then is sending a zero
+//!   checksum field legal on the connection.
+//!
+//! Options ride only on SYN segments here, as in the paper's system;
+//! established-flow segments use the bare 40-byte header, keeping the
+//! "20 bytes TCP + 20 bytes IP" accounting of the checksum rows.
+
+use crate::hdr::{flags, TcpIpHeader};
+
+/// TCP option kinds used.
+pub mod kind {
+    /// End of option list.
+    pub const EOL: u8 = 0;
+    /// No-operation (padding).
+    pub const NOP: u8 = 1;
+    /// Maximum segment size.
+    pub const MSS: u8 = 2;
+    /// Alternate checksum request (RFC 1146).
+    pub const ALT_CKSUM_REQ: u8 = 14;
+}
+
+/// Alternate-checksum numbers (RFC 1146 §2 plus our private value).
+pub mod altck {
+    /// Standard TCP checksum.
+    pub const TCP: u8 = 0;
+    /// Private: checksum elimination (§4.2; both ends must request).
+    pub const NONE: u8 = 255;
+}
+
+/// A parsed TCP option.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TcpOption {
+    /// Maximum segment size offer.
+    Mss(u16),
+    /// Alternate checksum request with the given checksum number.
+    AltChecksum(u8),
+}
+
+/// Encodes options, padded with NOPs to a 4-byte boundary.
+#[must_use]
+pub fn encode_options(opts: &[TcpOption]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for o in opts {
+        match *o {
+            TcpOption::Mss(mss) => {
+                out.push(kind::MSS);
+                out.push(4);
+                out.extend_from_slice(&mss.to_be_bytes());
+            }
+            TcpOption::AltChecksum(n) => {
+                out.push(kind::ALT_CKSUM_REQ);
+                out.push(3);
+                out.push(n);
+            }
+        }
+    }
+    while out.len() % 4 != 0 {
+        out.push(kind::NOP);
+    }
+    out
+}
+
+/// Parses an options region (ignoring unknown kinds, as TCP must).
+#[must_use]
+pub fn parse_options(mut b: &[u8]) -> Vec<TcpOption> {
+    let mut out = Vec::new();
+    while let Some(&k) = b.first() {
+        match k {
+            kind::EOL => break,
+            kind::NOP => b = &b[1..],
+            _ => {
+                let Some(&len) = b.get(1) else { break };
+                let len = len as usize;
+                if len < 2 || len > b.len() {
+                    break;
+                }
+                match k {
+                    kind::MSS if len == 4 => {
+                        out.push(TcpOption::Mss(u16::from_be_bytes([b[2], b[3]])));
+                    }
+                    kind::ALT_CKSUM_REQ if len == 3 => {
+                        out.push(TcpOption::AltChecksum(b[2]));
+                    }
+                    _ => {}
+                }
+                b = &b[len..];
+            }
+        }
+    }
+    out
+}
+
+/// Builds a SYN (or SYN-ACK) segment with options as raw wire bytes.
+///
+/// The TCP checksum always covers SYN segments (negotiation cannot
+/// assume its own outcome), computed over header + options.
+#[must_use]
+pub fn encode_syn(hdr: &TcpIpHeader, opts: &[TcpOption]) -> Vec<u8> {
+    debug_assert!(hdr.flags & flags::SYN != 0, "encode_syn wants a SYN");
+    let optbytes = encode_options(opts);
+    let tcp_len = 20 + optbytes.len();
+    let mut h = *hdr;
+    h.ip_len = (20 + tcp_len) as u16;
+    h.tcp_cksum = 0;
+    let mut wire = Vec::with_capacity(40 + optbytes.len());
+    wire.extend_from_slice(&h.encode());
+    // Patch the data offset for the options.
+    wire[32] = (((tcp_len / 4) as u8) << 4) | (wire[32] & 0x0f);
+    wire.extend_from_slice(&optbytes);
+    // IP header checksum over the patched length already correct
+    // (encode used the new ip_len); TCP checksum over header+options.
+    let tcp_sum = cksum::optimized_cksum(&wire[20..]);
+    let pseudo = cksum::pseudo_header_sum(h.src, h.dst, 6, tcp_len as u16);
+    let cks = pseudo.add(tcp_sum).finish();
+    wire[36..38].copy_from_slice(&cks.to_be_bytes());
+    wire
+}
+
+/// Parses a segment that may carry options. Returns the fixed header,
+/// the options, and the total header length (IP + TCP + options).
+#[must_use]
+pub fn decode_with_options(wire: &[u8]) -> Option<(TcpIpHeader, Vec<TcpOption>, usize)> {
+    if wire.len() < 40 {
+        return None;
+    }
+    let hdr = TcpIpHeader::decode(wire)?;
+    let doff = (wire[32] >> 4) as usize * 4;
+    if doff < 20 || 20 + doff > wire.len() {
+        return None;
+    }
+    let opts = parse_options(&wire[40..20 + doff]);
+    Some((hdr, opts, 20 + doff))
+}
+
+/// Verifies the TCP checksum of a SYN segment (header + options, no
+/// payload).
+#[must_use]
+pub fn syn_checksum_ok(wire: &[u8]) -> bool {
+    if wire.len() < 40 {
+        return false;
+    }
+    let tcp_len = (wire.len() - 20) as u16;
+    let src: [u8; 4] = wire[12..16].try_into().expect("4");
+    let dst: [u8; 4] = wire[16..20].try_into().expect("4");
+    let total =
+        cksum::pseudo_header_sum(src, dst, 6, tcp_len).add(cksum::optimized_cksum(&wire[20..]));
+    total.is_valid() || total.value() == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn syn_hdr() -> TcpIpHeader {
+        TcpIpHeader {
+            ip_len: 40,
+            ip_id: 1,
+            ttl: 30,
+            src: [10, 0, 0, 1],
+            dst: [10, 0, 0, 2],
+            sport: 1055,
+            dport: 4242,
+            seq: 1000,
+            ack: 0,
+            flags: flags::SYN,
+            win: 16384,
+            tcp_cksum: 0,
+        }
+    }
+
+    #[test]
+    fn options_roundtrip() {
+        let opts = [TcpOption::Mss(4096), TcpOption::AltChecksum(altck::NONE)];
+        let bytes = encode_options(&opts);
+        assert_eq!(bytes.len() % 4, 0);
+        assert_eq!(parse_options(&bytes), opts.to_vec());
+    }
+
+    #[test]
+    fn empty_options() {
+        assert!(encode_options(&[]).is_empty());
+        assert!(parse_options(&[]).is_empty());
+    }
+
+    #[test]
+    fn unknown_options_skipped() {
+        // Kind 8 (timestamps), len 10, then MSS.
+        let mut b = vec![8u8, 10];
+        b.extend_from_slice(&[0; 8]);
+        b.extend_from_slice(&encode_options(&[TcpOption::Mss(1460)]));
+        assert_eq!(parse_options(&b), vec![TcpOption::Mss(1460)]);
+    }
+
+    #[test]
+    fn syn_encode_decode() {
+        let opts = [TcpOption::Mss(4096), TcpOption::AltChecksum(altck::NONE)];
+        let wire = encode_syn(&syn_hdr(), &opts);
+        assert_eq!(wire.len(), 40 + 8);
+        assert!(syn_checksum_ok(&wire));
+        let (hdr, parsed, hlen) = decode_with_options(&wire).unwrap();
+        assert_eq!(hdr.flags, flags::SYN);
+        assert_eq!(hdr.seq, 1000);
+        assert_eq!(parsed, opts.to_vec());
+        assert_eq!(hlen, 48);
+        assert_eq!(usize::from(hdr.ip_len), wire.len());
+    }
+
+    #[test]
+    fn corrupted_syn_fails_checksum() {
+        let wire0 = encode_syn(&syn_hdr(), &[TcpOption::Mss(4096)]);
+        for byte in 20..wire0.len() {
+            let mut wire = wire0.clone();
+            wire[byte] ^= 0x01;
+            assert!(!syn_checksum_ok(&wire), "byte {byte}");
+        }
+    }
+
+    #[test]
+    fn truncated_options_dont_panic() {
+        let mut b = encode_options(&[TcpOption::Mss(1460)]);
+        b.truncate(3);
+        let _ = parse_options(&b); // Must not panic; result best-effort.
+                                   // Length byte exceeding the buffer.
+        let b = vec![kind::MSS, 40, 1];
+        assert!(parse_options(&b).is_empty());
+        // Zero length byte.
+        let b = vec![kind::MSS, 0, 1, 2];
+        assert!(parse_options(&b).is_empty());
+    }
+
+    #[test]
+    fn plain_segment_decodes_with_no_options() {
+        let mut h = syn_hdr();
+        h.flags = flags::ACK;
+        let wire = h.encode();
+        let (hdr, opts, hlen) = decode_with_options(&wire).unwrap();
+        assert_eq!(hdr.flags, flags::ACK);
+        assert!(opts.is_empty());
+        assert_eq!(hlen, 40);
+    }
+}

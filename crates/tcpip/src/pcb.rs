@@ -1,0 +1,308 @@
+//! Protocol control block lookup (§3).
+//!
+//! BSD demultiplexes incoming TCP segments by searching a linked list
+//! of PCBs; "the insertion algorithm ... places the most recent
+//! creation at the head of the list" and lookup is linear. In front
+//! of the list sits a **single-entry cache** of the most recently
+//! used PCB — one half of what "header prediction" means in the BSD
+//! code. The paper measures the linear search at "just less than
+//! 1.3 µs" per entry on the DECstation and suggests "a simple hash
+//! table implementation could eliminate the lookup problem entirely";
+//! both organizations are implemented.
+//!
+//! The table stores connection *keys*; the TCP state itself lives in
+//! [`crate::tcb::Tcb`], indexed by the id this table returns.
+
+use std::collections::HashMap;
+
+use crate::config::PcbOrg;
+
+/// A connection 4-tuple.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PcbKey {
+    /// Local address.
+    pub laddr: [u8; 4],
+    /// Local port.
+    pub lport: u16,
+    /// Foreign address.
+    pub faddr: [u8; 4],
+    /// Foreign port.
+    pub fport: u16,
+}
+
+/// Outcome of a lookup, carrying what it cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LookupReceipt {
+    /// The PCB id, if found.
+    pub id: Option<usize>,
+    /// Whether the single-entry cache hit.
+    pub cache_hit: bool,
+    /// 1-based position reached in the linear search (0 when the
+    /// cache hit or the hash organization was used).
+    pub search_len: usize,
+    /// Whether the hash organization served the lookup.
+    pub hashed: bool,
+}
+
+/// The PCB table.
+#[derive(Clone, Debug)]
+pub struct PcbTable {
+    /// Linear list of (key, id), most recent creation first.
+    list: Vec<(PcbKey, usize)>,
+    /// Hash index, maintained in parallel (used when `org` is Hash).
+    hash: HashMap<PcbKey, usize>,
+    /// One-entry cache of the most recently used PCB.
+    cache: Option<(PcbKey, usize)>,
+    /// Whether the cache is consulted (disabled together with header
+    /// prediction in the §3 experiment).
+    pub use_cache: bool,
+    /// Organization used for the full lookup.
+    pub org: PcbOrg,
+    next_id: usize,
+    /// Lookups that hit the cache.
+    pub cache_hits: u64,
+    /// Lookups that went to the full search.
+    pub cache_misses: u64,
+}
+
+impl PcbTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(org: PcbOrg, use_cache: bool) -> Self {
+        PcbTable {
+            list: Vec::new(),
+            hash: HashMap::new(),
+            cache: None,
+            use_cache,
+            org,
+            next_id: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+        }
+    }
+
+    /// Inserts a new PCB at the head of the list (BSD behaviour) and
+    /// returns its id.
+    pub fn insert(&mut self, key: PcbKey) -> usize {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.list.insert(0, (key, id));
+        self.hash.insert(key, id);
+        id
+    }
+
+    /// Removes a PCB by key.
+    pub fn remove(&mut self, key: &PcbKey) -> Option<usize> {
+        if let Some((ck, _)) = self.cache {
+            if ck == *key {
+                self.cache = None;
+            }
+        }
+        self.hash.remove(key);
+        let pos = self.list.iter().position(|(k, _)| k == key)?;
+        Some(self.list.remove(pos).1)
+    }
+
+    /// Number of PCBs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// Looks up a connection, updating the cache, and reports what
+    /// the search cost.
+    pub fn lookup(&mut self, key: &PcbKey) -> LookupReceipt {
+        if self.use_cache {
+            if let Some((ck, id)) = self.cache {
+                if ck == *key {
+                    self.cache_hits += 1;
+                    return LookupReceipt {
+                        id: Some(id),
+                        cache_hit: true,
+                        search_len: 0,
+                        hashed: false,
+                    };
+                }
+            }
+            self.cache_misses += 1;
+        }
+        let receipt = match self.org {
+            PcbOrg::Hash => LookupReceipt {
+                id: self.hash.get(key).copied(),
+                cache_hit: false,
+                search_len: 0,
+                hashed: true,
+            },
+            PcbOrg::List => {
+                let mut found = None;
+                let mut steps = 0;
+                for (i, (k, id)) in self.list.iter().enumerate() {
+                    steps = i + 1;
+                    if k == key {
+                        found = Some(*id);
+                        break;
+                    }
+                }
+                LookupReceipt {
+                    id: found,
+                    cache_hit: false,
+                    search_len: steps,
+                    hashed: false,
+                }
+            }
+        };
+        if let Some(id) = receipt.id {
+            if self.use_cache {
+                self.cache = Some((*key, id));
+            }
+        }
+        receipt
+    }
+
+    /// Looks up a listening (wildcard-foreign) PCB for `laddr:lport`.
+    /// Listeners are few, so the scan is linear under either
+    /// organization, as in BSD (which fell back to wildcard matching
+    /// during the same list walk).
+    #[must_use]
+    pub fn lookup_wildcard(&self, laddr: [u8; 4], lport: u16) -> Option<usize> {
+        self.list
+            .iter()
+            .find(|(k, _)| {
+                k.faddr == [0, 0, 0, 0] && k.fport == 0 && k.lport == lport && k.laddr == laddr
+            })
+            .map(|&(_, id)| id)
+    }
+
+    /// Fills the table with `n` ambient connections (the "standard
+    /// ULTRIX daemons" of the test environment), inserted after any
+    /// existing entries so the benchmark connection — created last —
+    /// sits at the head, "since recently created connections go at
+    /// the head of the list".
+    pub fn add_ambient(&mut self, n: usize) {
+        for i in 0..n {
+            let key = PcbKey {
+                laddr: [10, 0, 0, 1],
+                lport: 6000 + i as u16,
+                faddr: [10, 9, 9, 9],
+                fport: 7000 + i as u16,
+            };
+            let id = self.next_id;
+            self.next_id += 1;
+            // Ambient daemons predate the benchmark: append at the tail.
+            self.list.push((key, id));
+            self.hash.insert(key, id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(p: u16) -> PcbKey {
+        PcbKey {
+            laddr: [10, 0, 0, 1],
+            lport: p,
+            faddr: [10, 0, 0, 2],
+            fport: 4242,
+        }
+    }
+
+    #[test]
+    fn insert_places_at_head() {
+        let mut t = PcbTable::new(PcbOrg::List, false);
+        t.insert(key(1));
+        t.insert(key(2));
+        let r = t.lookup(&key(2));
+        assert_eq!(r.search_len, 1, "most recent creation is at the head");
+        let r = t.lookup(&key(1));
+        assert_eq!(r.search_len, 2);
+    }
+
+    #[test]
+    fn cache_hit_after_first_lookup() {
+        let mut t = PcbTable::new(PcbOrg::List, true);
+        t.insert(key(1));
+        t.add_ambient(30);
+        let first = t.lookup(&key(1));
+        assert!(!first.cache_hit);
+        assert_eq!(first.search_len, 1);
+        let second = t.lookup(&key(1));
+        assert!(second.cache_hit);
+        assert_eq!(second.search_len, 0);
+        assert_eq!(t.cache_hits, 1);
+        assert_eq!(t.cache_misses, 1);
+    }
+
+    #[test]
+    fn cache_disabled_always_searches() {
+        let mut t = PcbTable::new(PcbOrg::List, false);
+        t.add_ambient(10);
+        t.insert(key(1));
+        for _ in 0..3 {
+            let r = t.lookup(&key(1));
+            assert!(!r.cache_hit);
+            assert_eq!(r.search_len, 1, "benchmark pcb is newest, at head");
+        }
+        assert_eq!(t.cache_hits, 0);
+    }
+
+    #[test]
+    fn ambient_pcbs_lengthen_misses_for_older_connections() {
+        let mut t = PcbTable::new(PcbOrg::List, false);
+        t.insert(key(9)); // Oldest.
+        t.add_ambient(25);
+        // key(9) is at the head (ambient appended at tail).
+        assert_eq!(t.lookup(&key(9)).search_len, 1);
+        // An ambient daemon connection is deep in the list.
+        let daemon = PcbKey {
+            laddr: [10, 0, 0, 1],
+            lport: 6024,
+            faddr: [10, 9, 9, 9],
+            fport: 7024,
+        };
+        assert_eq!(t.lookup(&daemon).search_len, 26);
+    }
+
+    #[test]
+    fn hash_lookup_has_no_search_length() {
+        let mut t = PcbTable::new(PcbOrg::Hash, false);
+        t.add_ambient(1000);
+        t.insert(key(5));
+        let r = t.lookup(&key(5));
+        assert!(r.hashed);
+        assert_eq!(r.search_len, 0);
+        assert_eq!(r.id, Some(1000));
+    }
+
+    #[test]
+    fn missing_key_reports_full_scan() {
+        let mut t = PcbTable::new(PcbOrg::List, true);
+        t.add_ambient(7);
+        let r = t.lookup(&key(99));
+        assert_eq!(r.id, None);
+        assert_eq!(r.search_len, 7);
+        // A failed lookup must not poison the cache.
+        t.insert(key(99));
+        assert!(!t.lookup(&key(99)).cache_hit);
+        assert!(t.lookup(&key(99)).cache_hit);
+    }
+
+    #[test]
+    fn remove_clears_cache() {
+        let mut t = PcbTable::new(PcbOrg::List, true);
+        t.insert(key(1));
+        let _ = t.lookup(&key(1));
+        assert_eq!(t.remove(&key(1)), Some(0));
+        let r = t.lookup(&key(1));
+        assert_eq!(r.id, None);
+        assert!(!r.cache_hit);
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! TCP sequence-number arithmetic.
+//!
+//! Sequence numbers live on a 2³² circle; comparisons are modular
+//! (RFC 793 / the BSD `SEQ_LT` macros). Getting these right matters
+//! for the wraparound property tests — the benchmark's 40 000 × 8 KB
+//! iterations push several hundred megabytes through one connection,
+//! so sequence wrap is actually exercised.
+
+/// `a < b` on the sequence circle.
+#[inline]
+#[must_use]
+pub fn seq_lt(a: u32, b: u32) -> bool {
+    (a.wrapping_sub(b) as i32) < 0
+}
+
+/// `a <= b` on the sequence circle.
+#[inline]
+#[must_use]
+pub fn seq_le(a: u32, b: u32) -> bool {
+    (a.wrapping_sub(b) as i32) <= 0
+}
+
+/// `a > b` on the sequence circle.
+#[inline]
+#[must_use]
+pub fn seq_gt(a: u32, b: u32) -> bool {
+    (a.wrapping_sub(b) as i32) > 0
+}
+
+/// `a >= b` on the sequence circle.
+#[inline]
+#[must_use]
+pub fn seq_ge(a: u32, b: u32) -> bool {
+    (a.wrapping_sub(b) as i32) >= 0
+}
+
+/// Distance from `a` forward to `b` (how many bytes `b` is ahead).
+#[inline]
+#[must_use]
+pub fn seq_diff(a: u32, b: u32) -> u32 {
+    b.wrapping_sub(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_ordering() {
+        assert!(seq_lt(1, 2));
+        assert!(!seq_lt(2, 2));
+        assert!(seq_le(2, 2));
+        assert!(seq_gt(5, 2));
+        assert!(seq_ge(5, 5));
+    }
+
+    #[test]
+    fn wraparound_ordering() {
+        let near_top = u32::MAX - 10;
+        let wrapped = 5u32;
+        assert!(seq_lt(near_top, wrapped));
+        assert!(seq_gt(wrapped, near_top));
+        assert!(seq_ge(wrapped, near_top));
+        assert!(!seq_lt(wrapped, near_top));
+    }
+
+    #[test]
+    fn diff_wraps() {
+        assert_eq!(seq_diff(u32::MAX - 1, 3), 5);
+        assert_eq!(seq_diff(10, 10), 0);
+        assert_eq!(seq_diff(10, 14), 4);
+    }
+
+    #[test]
+    fn antisymmetry_near_the_edge() {
+        for delta in 1u32..100 {
+            let a = u32::MAX - 50;
+            let b = a.wrapping_add(delta);
+            assert!(seq_lt(a, b), "delta {delta}");
+            assert!(!seq_lt(b, a), "delta {delta}");
+        }
+    }
+}

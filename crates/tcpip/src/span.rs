@@ -1,0 +1,227 @@
+//! Latency spans: the paper's probe points.
+//!
+//! §1.2/§2.2: the authors bracketed each layer of the transmit and
+//! receive paths with reads of the 40 ns TurboChannel clock. The
+//! [`SpanRecorder`] reproduces that: protocol code records
+//! `(kind, start, end)` intervals and point [`Mark`]s; the experiment
+//! harness aggregates them with the paper's methodology (on the
+//! receive side, only the portion of each span after the arrival of
+//! the last cell group of the last segment "actually contributes to
+//! the overall latency" and is counted).
+
+use simkit::SimTime;
+
+/// The instrumented code sections (rows of Tables 2 and 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SpanKind {
+    /// Transmit: write() to entry into TCP output (user copy +
+    /// socket layer).
+    TxUser,
+    /// Transmit: TCP checksum over header and data.
+    TxTcpChecksum,
+    /// Transmit: the retransmission copy of the socket buffer.
+    TxTcpMcopy,
+    /// Transmit: remaining TCP output processing.
+    TxTcpSegment,
+    /// Transmit: IP output.
+    TxIp,
+    /// Transmit: ATM (or Ethernet) driver until the adapter is
+    /// signalled to send the last byte.
+    TxDriver,
+    /// Receive: driver + adapter work (SAR, copy to mbufs).
+    RxDriver,
+    /// Receive: IP input queue residence (software interrupt
+    /// scheduling).
+    RxIpq,
+    /// Receive: IP input processing.
+    RxIp,
+    /// Receive: TCP checksum verification.
+    RxTcpChecksum,
+    /// Receive: remaining TCP input processing.
+    RxTcpSegment,
+    /// Receive: run-queue wait from wakeup to the process running.
+    RxWakeup,
+    /// Receive: soreceive + copy to user + syscall return.
+    RxUser,
+}
+
+/// Point events used to delimit measurement windows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Mark {
+    /// The benchmark process entered write().
+    WriteStart,
+    /// The write() system call returned (end of the transmit path).
+    WriteEnd,
+    /// The adapter was signalled to send the last byte of the last
+    /// segment of a send call.
+    TxSignalled,
+    /// The last cell group of a TCP segment arrived at the adapter.
+    SegmentArrived,
+    /// read() returned to the benchmark process with the full
+    /// response.
+    ReadReturn,
+}
+
+/// One recorded interval.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Which code section.
+    pub kind: SpanKind,
+    /// Section entry time.
+    pub start: SimTime,
+    /// Section exit time.
+    pub end: SimTime,
+}
+
+/// Collects spans and marks for one host.
+///
+/// Recording is O(1) per event into growing vectors; the harness
+/// clears the recorder between repetitions.
+#[derive(Clone, Debug, Default)]
+pub struct SpanRecorder {
+    spans: Vec<SpanEvent>,
+    marks: Vec<(Mark, SimTime)>,
+    /// When false, recording is a no-op (warm-up iterations).
+    pub enabled: bool,
+}
+
+impl SpanRecorder {
+    /// Creates a disabled recorder (enable for measured iterations).
+    #[must_use]
+    pub fn new() -> Self {
+        SpanRecorder::default()
+    }
+
+    /// Records an interval.
+    pub fn span(&mut self, kind: SpanKind, start: SimTime, end: SimTime) {
+        debug_assert!(end >= start, "span {kind:?} ends before it starts");
+        if self.enabled {
+            self.spans.push(SpanEvent { kind, start, end });
+        }
+    }
+
+    /// Records a point event.
+    pub fn mark(&mut self, mark: Mark, at: SimTime) {
+        if self.enabled {
+            self.marks.push((mark, at));
+        }
+    }
+
+    /// All recorded intervals.
+    #[must_use]
+    pub fn spans(&self) -> &[SpanEvent] {
+        &self.spans
+    }
+
+    /// All recorded marks.
+    #[must_use]
+    pub fn marks(&self) -> &[(Mark, SimTime)] {
+        &self.marks
+    }
+
+    /// Clears everything.
+    pub fn clear(&mut self) {
+        self.spans.clear();
+        self.marks.clear();
+    }
+
+    /// Sum of span time of `kind` within the window `[from, to]`,
+    /// clipping intervals at the window edges — the paper's "only the
+    /// portion that actually contributes" rule.
+    #[must_use]
+    pub fn clipped_total(&self, kind: SpanKind, from: SimTime, to: SimTime) -> SimTime {
+        let mut total = SimTime::ZERO;
+        for s in &self.spans {
+            if s.kind != kind {
+                continue;
+            }
+            let lo = s.start.max(from);
+            let hi = s.end.min(to);
+            if hi > lo {
+                total += hi - lo;
+            }
+        }
+        total
+    }
+
+    /// Last occurrence of a mark at or before `at`.
+    #[must_use]
+    pub fn last_mark_before(&self, mark: Mark, at: SimTime) -> Option<SimTime> {
+        self.marks
+            .iter()
+            .filter(|(m, t)| *m == mark && *t <= at)
+            .map(|&(_, t)| t)
+            .next_back()
+    }
+
+    /// First occurrence of a mark at or after `at`.
+    #[must_use]
+    pub fn first_mark_after(&self, mark: Mark, at: SimTime) -> Option<SimTime> {
+        self.marks
+            .iter()
+            .find(|(m, t)| *m == mark && *t >= at)
+            .map(|&(_, t)| t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> SimTime {
+        SimTime::from_us(n)
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let mut r = SpanRecorder::new();
+        r.span(SpanKind::TxUser, us(0), us(5));
+        r.mark(Mark::WriteStart, us(0));
+        assert!(r.spans().is_empty());
+        assert!(r.marks().is_empty());
+    }
+
+    #[test]
+    fn clipping_at_window_edges() {
+        let mut r = SpanRecorder::new();
+        r.enabled = true;
+        r.span(SpanKind::RxDriver, us(0), us(10));
+        r.span(SpanKind::RxDriver, us(20), us(30));
+        r.span(SpanKind::RxIp, us(12), us(14));
+        // Window [5, 25]: first span contributes 5, second 5, RxIp 2.
+        assert_eq!(r.clipped_total(SpanKind::RxDriver, us(5), us(25)), us(10));
+        assert_eq!(r.clipped_total(SpanKind::RxIp, us(5), us(25)), us(2));
+        // Window entirely before a span contributes zero.
+        assert_eq!(r.clipped_total(SpanKind::RxIp, us(0), us(10)), us(0));
+    }
+
+    #[test]
+    fn mark_queries() {
+        let mut r = SpanRecorder::new();
+        r.enabled = true;
+        r.mark(Mark::SegmentArrived, us(10));
+        r.mark(Mark::SegmentArrived, us(20));
+        r.mark(Mark::ReadReturn, us(30));
+        assert_eq!(
+            r.last_mark_before(Mark::SegmentArrived, us(25)),
+            Some(us(20))
+        );
+        assert_eq!(
+            r.last_mark_before(Mark::SegmentArrived, us(15)),
+            Some(us(10))
+        );
+        assert_eq!(r.first_mark_after(Mark::ReadReturn, us(15)), Some(us(30)));
+        assert_eq!(r.first_mark_after(Mark::WriteStart, us(0)), None);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut r = SpanRecorder::new();
+        r.enabled = true;
+        r.span(SpanKind::TxIp, us(0), us(1));
+        r.mark(Mark::WriteStart, us(0));
+        r.clear();
+        assert!(r.spans().is_empty());
+        assert!(r.marks().is_empty());
+    }
+}

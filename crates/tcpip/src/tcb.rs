@@ -1,0 +1,711 @@
+//! The TCP control block and protocol decisions.
+//!
+//! This is the BSD 4.4 alpha TCP the paper studies, reduced to the
+//! established-connection data path plus the machinery the
+//! experiments exercise:
+//!
+//! - segmentation against MSS, the send window and the congestion
+//!   window, with Nagle's algorithm (disabled by the RPC benchmark);
+//! - **header prediction** exactly as §3 describes it: the fast path
+//!   succeeds only for a pure in-sequence ACK (the sender of a
+//!   unidirectional transfer) or a pure in-sequence data segment
+//!   acknowledging nothing new (the receiver of one). The RPC
+//!   round-trip — "data with a piggybacked acknowledgment" — fails
+//!   both predicates;
+//! - ACK processing with duplicate-ACK fast retransmit and slow-start
+//!   congestion control (needed by the cell-loss experiments);
+//! - out-of-order segment reassembly;
+//! - delayed ACKs (every-other-segment in bulk transfers) and
+//!   retransmission timing.
+//!
+//! The control block makes protocol *decisions*; the
+//! [`crate::kernel::Kernel`] owns buffers, charges costs, and moves
+//! real bytes.
+
+use mbuf::Chain;
+use simkit::SimTime;
+
+use crate::config::StackConfig;
+use crate::hdr::{flags, TcpIpHeader};
+use crate::pcb::PcbKey;
+use crate::seq::{seq_diff, seq_gt, seq_le, seq_lt};
+
+/// What the header-prediction check concluded (§3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Prediction {
+    /// Pure in-sequence ACK: take the sender-side fast path.
+    FastAck,
+    /// Pure in-sequence data acknowledging nothing new: take the
+    /// receiver-side fast path.
+    FastData,
+    /// Anything else — including the RPC case of data with a
+    /// piggybacked ACK — takes the slow path.
+    Slow,
+}
+
+/// Counters the experiments read.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TcpStats {
+    /// Segments transmitted (including retransmissions).
+    pub segs_out: u64,
+    /// Data segments received.
+    pub segs_in: u64,
+    /// Pure ACKs transmitted.
+    pub acks_only_out: u64,
+    /// Header-prediction evaluations.
+    pub predict_checks: u64,
+    /// Fast path taken for pure data.
+    pub predict_data_hits: u64,
+    /// Fast path taken for pure ACKs.
+    pub predict_ack_hits: u64,
+    /// Retransmissions (timer or fast retransmit).
+    pub rexmits: u64,
+    /// Segments dropped for bad TCP checksums.
+    pub cksum_drops: u64,
+    /// Out-of-order segments queued.
+    pub ooo_segments: u64,
+}
+
+/// Connection state (the subset of the RFC 793 machine the
+/// experiments exercise; teardown is administrative).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TcpState {
+    /// Passive open: waiting for a SYN (wildcard PCB).
+    Listen,
+    /// Active open: SYN sent, waiting for SYN-ACK.
+    SynSent,
+    /// Passive side: SYN received, SYN-ACK sent, waiting for ACK.
+    SynReceived,
+    /// Data transfer.
+    Established,
+    /// Active close: FIN sent, waiting for its ACK (and the peer's
+    /// FIN).
+    FinWait1,
+    /// Our FIN is acknowledged; waiting for the peer's FIN.
+    FinWait2,
+    /// Passive close: peer's FIN received; the application has not
+    /// closed yet.
+    CloseWait,
+    /// Passive close: our FIN sent after theirs, awaiting its ACK.
+    LastAck,
+    /// Both FINs exchanged; draining the 2MSL quiet period.
+    TimeWait,
+    /// Gone; the PCB is reclaimed.
+    Closed,
+}
+
+/// One TCP connection.
+pub struct Tcb {
+    /// Connection state.
+    pub state: TcpState,
+    /// Demultiplexing key.
+    pub key: PcbKey,
+    /// Id in the PCB table.
+    pub id: usize,
+    /// Maximum segment size (negotiated).
+    pub mss: usize,
+    /// Send unacknowledged.
+    pub snd_una: u32,
+    /// Send next.
+    pub snd_nxt: u32,
+    /// Highest sequence sent (for retransmit bookkeeping).
+    pub snd_max: u32,
+    /// Peer's advertised window.
+    pub snd_wnd: usize,
+    /// Congestion window.
+    pub cwnd: usize,
+    /// Slow-start threshold.
+    pub ssthresh: usize,
+    /// Receive next (expected sequence).
+    pub rcv_nxt: u32,
+    /// Window size advertised in the last segment we sent.
+    pub rcv_adv_wnd: usize,
+    /// Duplicate-ACK counter.
+    pub dupacks: u32,
+    /// A delayed ACK is pending.
+    pub delack: bool,
+    /// An ACK must be sent immediately.
+    pub acknow: bool,
+    /// Out-of-order segments awaiting the gap fill: `(seq, chain)`.
+    pub reasm: Vec<(u32, Chain)>,
+    /// Retransmit deadline, when data is in flight.
+    pub rexmt_deadline: Option<SimTime>,
+    /// Persist (zero-window probe) deadline, when the peer closed its
+    /// window while we still have data to send.
+    pub persist_deadline: Option<SimTime>,
+    /// Exponential backoff shift.
+    pub rexmt_shift: u32,
+    /// IP identification counter.
+    pub ip_id: u16,
+    /// Counters.
+    pub stats: TcpStats,
+    nodelay: bool,
+}
+
+impl Tcb {
+    /// Creates an established control block (the harness sets up the
+    /// connection administratively; the paper measures established-
+    /// connection traffic only).
+    #[must_use]
+    pub fn established(key: PcbKey, id: usize, mss: usize, cfg: &StackConfig) -> Self {
+        let iss = cfg.iss;
+        Tcb {
+            state: TcpState::Established,
+            key,
+            id,
+            mss,
+            snd_una: iss,
+            snd_nxt: iss,
+            snd_max: iss,
+            snd_wnd: cfg.sockbuf,
+            // Established and warm: past slow start, as the paper's
+            // steady-state measurements are.
+            cwnd: cfg.sockbuf,
+            ssthresh: cfg.sockbuf,
+            rcv_nxt: iss ^ 0x5a5a_0000,
+            rcv_adv_wnd: cfg.sockbuf,
+            dupacks: 0,
+            delack: false,
+            acknow: false,
+            reasm: Vec::new(),
+            rexmt_deadline: None,
+            persist_deadline: None,
+            rexmt_shift: 0,
+            ip_id: 1,
+            stats: TcpStats::default(),
+            nodelay: cfg.nodelay,
+        }
+    }
+
+    /// Creates a listener control block (passive open on a wildcard
+    /// key).
+    #[must_use]
+    pub fn listener(key: PcbKey, id: usize, cfg: &StackConfig) -> Self {
+        let mut t = Tcb::established(key, id, 536, cfg);
+        t.state = TcpState::Listen;
+        t
+    }
+
+    /// Creates a control block in SYN-SENT (active open). `iss` is
+    /// randomized by the caller per connection.
+    #[must_use]
+    pub fn syn_sent(key: PcbKey, id: usize, mss_offer: usize, iss: u32, cfg: &StackConfig) -> Self {
+        let mut t = Tcb::established(key, id, mss_offer, cfg);
+        t.state = TcpState::SynSent;
+        t.snd_una = iss;
+        t.snd_nxt = iss;
+        t.snd_max = iss;
+        t.rcv_nxt = 0;
+        t
+    }
+
+    /// Bytes in flight.
+    #[must_use]
+    pub fn flight_size(&self) -> usize {
+        seq_diff(self.snd_una, self.snd_nxt) as usize
+    }
+
+    /// Decides the next transmission given `sndbuf_len` bytes
+    /// buffered: returns `(offset_in_sndbuf, len)` or `None` when
+    /// nothing should be sent now (empty, window-limited, or Nagle).
+    #[must_use]
+    pub fn next_send(&self, sndbuf_len: usize) -> Option<(usize, usize)> {
+        let offset = seq_diff(self.snd_una, self.snd_nxt) as usize;
+        let avail = sndbuf_len.saturating_sub(offset);
+        let wnd = self.snd_wnd.min(self.cwnd);
+        let allowed = wnd.saturating_sub(offset);
+        let len = avail.min(allowed).min(self.mss);
+        if len == 0 {
+            return None;
+        }
+        // Nagle: hold sub-MSS segments while data is outstanding
+        // (TCP_NODELAY bypasses; the RPC benchmark sets it).
+        if len < self.mss && offset > 0 && !self.nodelay {
+            return None;
+        }
+        Some((offset, len))
+    }
+
+    /// Builds the header for a data segment of `len` bytes at
+    /// `offset` into the send buffer, advertising `rcv_space`.
+    pub fn build_data_header(
+        &mut self,
+        offset: usize,
+        len: usize,
+        rcv_space: usize,
+    ) -> TcpIpHeader {
+        let seq = self.snd_una.wrapping_add(offset as u32);
+        self.ip_id = self.ip_id.wrapping_add(1);
+        let win = rcv_space.min(usize::from(u16::MAX)) as u16;
+        self.rcv_adv_wnd = usize::from(win);
+        TcpIpHeader {
+            ip_len: (40 + len) as u16,
+            ip_id: self.ip_id,
+            ttl: 30,
+            src: self.key.laddr,
+            dst: self.key.faddr,
+            sport: self.key.lport,
+            dport: self.key.fport,
+            seq,
+            ack: self.rcv_nxt,
+            flags: flags::ACK | if len > 0 { flags::PSH } else { 0 },
+            win,
+            tcp_cksum: 0,
+        }
+    }
+
+    /// Registers that a data segment `[seq, seq+len)` was handed to
+    /// IP.
+    pub fn note_sent(&mut self, seq: u32, len: usize, now: SimTime, rto: SimTime) {
+        let end = seq.wrapping_add(len as u32);
+        if seq_gt(end, self.snd_nxt) {
+            self.snd_nxt = end;
+        }
+        if seq_gt(end, self.snd_max) {
+            self.snd_max = end;
+        }
+        self.stats.segs_out += 1;
+        self.delack = false;
+        self.acknow = false;
+        if self.rexmt_deadline.is_none() && len > 0 {
+            self.rexmt_deadline = Some(now + rto);
+        }
+    }
+
+    /// The §3 header-prediction predicate, evaluated against an
+    /// incoming header. Mirrors BSD `tcp_input`'s fast-path test.
+    #[must_use]
+    pub fn predict(&self, h: &TcpIpHeader, payload_len: usize) -> Prediction {
+        let flags_ok = h.flags & !(flags::PSH) == flags::ACK;
+        let base = flags_ok
+            && h.seq == self.rcv_nxt
+            && h.win > 0
+            && usize::from(h.win) == self.snd_wnd
+            && self.snd_nxt == self.snd_max;
+        if !base {
+            return Prediction::Slow;
+        }
+        if payload_len == 0 {
+            // Pure ACK that acks new data, within bounds, with no
+            // congestion-window growth pending.
+            if seq_gt(h.ack, self.snd_una)
+                && seq_le(h.ack, self.snd_max)
+                && self.cwnd >= self.snd_wnd
+            {
+                return Prediction::FastAck;
+            }
+        } else if h.ack == self.snd_una && self.reasm.is_empty() && payload_len <= self.rcv_adv_wnd
+        {
+            // Pure in-sequence data acknowledging nothing new.
+            return Prediction::FastData;
+        }
+        Prediction::Slow
+    }
+
+    /// Processes the acknowledgment field. Returns the number of
+    /// newly acknowledged bytes (to drop from the send buffer) and
+    /// whether a fast retransmit should fire.
+    pub fn process_ack(&mut self, ack: u32, peer_win: u16) -> AckOutcome {
+        self.snd_wnd = usize::from(peer_win);
+        if seq_le(ack, self.snd_una) {
+            // Not a new ACK: count duplicates when data is in flight.
+            if ack == self.snd_una && self.flight_size() > 0 {
+                self.dupacks += 1;
+                if self.dupacks == 3 {
+                    // Fast retransmit: halve the window, resend from
+                    // snd_una.
+                    self.ssthresh = (self.flight_size() / 2).max(2 * self.mss);
+                    self.cwnd = self.ssthresh;
+                    self.snd_nxt = self.snd_una;
+                    return AckOutcome {
+                        newly_acked: 0,
+                        fast_retransmit: true,
+                    };
+                }
+            }
+            return AckOutcome {
+                newly_acked: 0,
+                fast_retransmit: false,
+            };
+        }
+        if seq_gt(ack, self.snd_max) {
+            // Acks data we never sent; ignore (a real stack would
+            // respond with an ACK).
+            return AckOutcome {
+                newly_acked: 0,
+                fast_retransmit: false,
+            };
+        }
+        let newly = seq_diff(self.snd_una, ack) as usize;
+        self.snd_una = ack;
+        if seq_lt(self.snd_nxt, self.snd_una) {
+            self.snd_nxt = self.snd_una;
+        }
+        self.dupacks = 0;
+        self.rexmt_shift = 0;
+        self.rexmt_deadline = None; // Kernel re-arms if data remains.
+                                    // Congestion window growth: slow start then linear.
+        if self.cwnd < self.ssthresh {
+            self.cwnd += self.mss;
+        } else {
+            self.cwnd += (self.mss * self.mss / self.cwnd).max(1);
+        }
+        AckOutcome {
+            newly_acked: newly,
+            fast_retransmit: false,
+        }
+    }
+
+    /// Accepts a data segment. In-order data (plus any reassembly-
+    /// queue continuation it unblocks) is returned for appending to
+    /// the receive buffer; out-of-order data is queued; stale data is
+    /// dropped.
+    pub fn process_data(&mut self, seq: u32, mut chain: Chain) -> DataOutcome {
+        let len = chain.len();
+        if len == 0 {
+            return DataOutcome {
+                deliver: Vec::new(),
+                acknow: false,
+            };
+        }
+        self.stats.segs_in += 1;
+        let end = seq.wrapping_add(len as u32);
+        if seq_le(end, self.rcv_nxt) {
+            // Entirely old: a retransmission we already have. ACK now
+            // so the peer resynchronizes.
+            self.acknow = true;
+            return DataOutcome {
+                deliver: Vec::new(),
+                acknow: true,
+            };
+        }
+        if seq_lt(seq, self.rcv_nxt) {
+            // Partial overlap: trim the stale prefix.
+            let stale = seq_diff(seq, self.rcv_nxt) as usize;
+            let _ = chain.trim_front(stale);
+            return self.accept_in_order(chain);
+        }
+        if seq == self.rcv_nxt {
+            return self.accept_in_order(chain);
+        }
+        // A gap: queue out of order, ACK immediately (dup ACK driving
+        // the peer's fast retransmit).
+        self.stats.ooo_segments += 1;
+        self.acknow = true;
+        let pos = self
+            .reasm
+            .iter()
+            .position(|(s, _)| seq_lt(seq, *s))
+            .unwrap_or(self.reasm.len());
+        self.reasm.insert(pos, (seq, chain));
+        DataOutcome {
+            deliver: Vec::new(),
+            acknow: true,
+        }
+    }
+
+    fn accept_in_order(&mut self, chain: Chain) -> DataOutcome {
+        let mut deliver = Vec::new();
+        self.rcv_nxt = self.rcv_nxt.wrapping_add(chain.len() as u32);
+        deliver.push(chain);
+        // Drain the reassembly queue as the gap closes.
+        while let Some(pos) = self.reasm.iter().position(|(s, c)| {
+            seq_le(*s, self.rcv_nxt) && seq_gt(s.wrapping_add(c.len() as u32), self.rcv_nxt)
+        }) {
+            let (s, mut c) = self.reasm.remove(pos);
+            let stale = seq_diff(s, self.rcv_nxt) as usize;
+            let _ = c.trim_front(stale);
+            self.rcv_nxt = self.rcv_nxt.wrapping_add(c.len() as u32);
+            deliver.push(c);
+        }
+        // Discard fully stale queue entries.
+        self.reasm
+            .retain(|(s, c)| seq_gt(s.wrapping_add(c.len() as u32), self.rcv_nxt));
+        // BSD 4.3-style ACK policy: every second segment acks
+        // immediately; otherwise a delayed ACK is scheduled.
+        if self.delack {
+            self.delack = false;
+            self.acknow = true;
+        } else {
+            self.delack = true;
+        }
+        DataOutcome {
+            deliver,
+            acknow: self.acknow,
+        }
+    }
+
+    /// Whether a window update should be sent after the reader
+    /// drained the receive buffer (BSD sends one when the advertised
+    /// window can grow by two segments or more).
+    #[must_use]
+    pub fn window_update_due(&self, rcv_space: usize) -> bool {
+        rcv_space >= self.rcv_adv_wnd + 2 * self.mss
+    }
+
+    /// Builds a pure ACK / window-update header.
+    pub fn build_ack_header(&mut self, rcv_space: usize) -> TcpIpHeader {
+        self.delack = false;
+        self.acknow = false;
+        self.stats.acks_only_out += 1;
+        self.build_data_header(seq_diff(self.snd_una, self.snd_nxt) as usize, 0, rcv_space)
+    }
+}
+
+/// Result of ACK processing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AckOutcome {
+    /// Bytes to drop from the front of the send buffer.
+    pub newly_acked: usize,
+    /// Resend from `snd_una` immediately.
+    pub fast_retransmit: bool,
+}
+
+/// Result of data acceptance.
+pub struct DataOutcome {
+    /// Chains to append to the receive buffer, in order.
+    pub deliver: Vec<Chain>,
+    /// An ACK must be sent immediately.
+    pub acknow: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbuf::MbufPool;
+
+    fn cfg() -> StackConfig {
+        StackConfig::default()
+    }
+
+    fn tcb() -> Tcb {
+        let key = PcbKey {
+            laddr: [10, 0, 0, 1],
+            lport: 1055,
+            faddr: [10, 0, 0, 2],
+            fport: 4242,
+        };
+        Tcb::established(key, 0, 4096, &cfg())
+    }
+
+    fn chain_of(pool: &MbufPool, n: usize) -> Chain {
+        let data: Vec<u8> = (0..n).map(|i| i as u8).collect();
+        Chain::from_user_data(pool, &data, n > 1024).0
+    }
+
+    fn data_hdr(t: &Tcb, seq: u32, len: usize, ack: u32) -> TcpIpHeader {
+        TcpIpHeader {
+            ip_len: (40 + len) as u16,
+            ip_id: 9,
+            ttl: 30,
+            src: t.key.faddr,
+            dst: t.key.laddr,
+            sport: t.key.fport,
+            dport: t.key.lport,
+            seq,
+            ack,
+            flags: flags::ACK | flags::PSH,
+            win: 16384,
+            tcp_cksum: 0,
+        }
+    }
+
+    #[test]
+    fn segmentation_respects_mss_and_window() {
+        let mut t = tcb();
+        // 8000 bytes buffered: first segment is one MSS.
+        assert_eq!(t.next_send(8000), Some((0, 4096)));
+        t.note_sent(t.snd_nxt, 4096, SimTime::ZERO, SimTime::from_ms(500));
+        assert_eq!(t.next_send(8000), Some((4096, 3904)));
+        t.note_sent(t.snd_nxt, 3904, SimTime::ZERO, SimTime::from_ms(500));
+        assert_eq!(t.next_send(8000), None, "everything in flight");
+    }
+
+    #[test]
+    fn window_limits_sending() {
+        let mut t = tcb();
+        t.snd_wnd = 1000;
+        assert_eq!(t.next_send(8000), Some((0, 1000)));
+        t.note_sent(t.snd_nxt, 1000, SimTime::ZERO, SimTime::from_ms(500));
+        assert_eq!(t.next_send(8000), None, "window full");
+    }
+
+    #[test]
+    fn nagle_holds_trailing_fragment_without_nodelay() {
+        let mut c = cfg();
+        c.nodelay = false;
+        let key = tcb().key;
+        let mut t = Tcb::established(key, 0, 4096, &c);
+        assert_eq!(t.next_send(5000), Some((0, 4096)));
+        t.note_sent(t.snd_nxt, 4096, SimTime::ZERO, SimTime::from_ms(500));
+        assert_eq!(t.next_send(5000), None, "Nagle holds the 904-byte tail");
+        // The ACK frees it (the kernel also drops the acked bytes
+        // from the send buffer, so 904 remain).
+        let _ = t.process_ack(t.snd_una.wrapping_add(4096), 16384);
+        assert_eq!(t.next_send(904), Some((0, 904)));
+    }
+
+    #[test]
+    fn ack_advances_and_grows_cwnd() {
+        let mut t = tcb();
+        t.cwnd = 4096;
+        t.ssthresh = 100_000;
+        t.note_sent(t.snd_nxt, 4096, SimTime::ZERO, SimTime::from_ms(500));
+        let una = t.snd_una;
+        let out = t.process_ack(una.wrapping_add(4096), 16384);
+        assert_eq!(out.newly_acked, 4096);
+        assert!(!out.fast_retransmit);
+        assert_eq!(t.snd_una, una.wrapping_add(4096));
+        assert_eq!(t.cwnd, 8192, "slow start doubles per ack");
+        assert_eq!(t.flight_size(), 0);
+    }
+
+    #[test]
+    fn triple_dupack_triggers_fast_retransmit() {
+        let mut t = tcb();
+        t.note_sent(t.snd_nxt, 4096, SimTime::ZERO, SimTime::from_ms(500));
+        t.note_sent(t.snd_nxt, 4096, SimTime::ZERO, SimTime::from_ms(500));
+        let una = t.snd_una;
+        for i in 0..2 {
+            let out = t.process_ack(una, 16384);
+            assert!(!out.fast_retransmit, "dup {i}");
+        }
+        let out = t.process_ack(una, 16384);
+        assert!(out.fast_retransmit);
+        assert_eq!(t.snd_nxt, t.snd_una, "resend from snd_una");
+        assert!(t.cwnd <= 4096 * 2);
+    }
+
+    #[test]
+    fn prediction_fast_ack() {
+        let mut t = tcb();
+        t.note_sent(t.snd_nxt, 1000, SimTime::ZERO, SimTime::from_ms(500));
+        let mut h = data_hdr(&t, t.rcv_nxt, 0, t.snd_una.wrapping_add(1000));
+        h.flags = flags::ACK;
+        h.win = t.snd_wnd as u16;
+        assert_eq!(t.predict(&h, 0), Prediction::FastAck);
+    }
+
+    #[test]
+    fn prediction_fast_data() {
+        let t = tcb();
+        let mut h = data_hdr(&t, t.rcv_nxt, 500, t.snd_una);
+        h.win = t.snd_wnd as u16;
+        assert_eq!(t.predict(&h, 500), Prediction::FastData);
+    }
+
+    #[test]
+    fn rpc_piggyback_defeats_prediction() {
+        // §3: "one receives data with a piggybacked acknowledgment,
+        // and this does not arise in a single sender, high throughput
+        // style of communication".
+        let mut t = tcb();
+        t.note_sent(t.snd_nxt, 1000, SimTime::ZERO, SimTime::from_ms(500));
+        let mut h = data_hdr(&t, t.rcv_nxt, 500, t.snd_una.wrapping_add(1000));
+        h.win = t.snd_wnd as u16;
+        // Data present AND the ack advances: neither fast path fits.
+        assert_eq!(t.predict(&h, 500), Prediction::Slow);
+    }
+
+    #[test]
+    fn prediction_fails_out_of_sequence() {
+        let t = tcb();
+        let mut h = data_hdr(&t, t.rcv_nxt.wrapping_add(100), 500, t.snd_una);
+        h.win = t.snd_wnd as u16;
+        assert_eq!(t.predict(&h, 500), Prediction::Slow);
+    }
+
+    #[test]
+    fn in_order_data_delivers_and_alternates_acks() {
+        let pool = MbufPool::new();
+        let mut t = tcb();
+        let r1 = t.process_data(t.rcv_nxt, chain_of(&pool, 100));
+        assert_eq!(r1.deliver.len(), 1);
+        assert!(!r1.acknow, "first segment: delayed ack");
+        assert!(t.delack);
+        let r2 = t.process_data(t.rcv_nxt, chain_of(&pool, 100));
+        assert!(r2.acknow, "second segment: ack now (every other)");
+    }
+
+    #[test]
+    fn out_of_order_data_queues_then_drains() {
+        let pool = MbufPool::new();
+        let mut t = tcb();
+        let base = t.rcv_nxt;
+        // Segment 2 arrives first.
+        let r = t.process_data(base.wrapping_add(100), chain_of(&pool, 100));
+        assert!(r.deliver.is_empty());
+        assert!(r.acknow, "gap triggers immediate ack");
+        assert_eq!(t.stats.ooo_segments, 1);
+        // Segment 1 fills the gap; both deliver.
+        let r = t.process_data(base, chain_of(&pool, 100));
+        let total: usize = r.deliver.iter().map(Chain::len).sum();
+        assert_eq!(total, 200);
+        assert_eq!(t.rcv_nxt, base.wrapping_add(200));
+        assert!(t.reasm.is_empty());
+    }
+
+    #[test]
+    fn duplicate_data_acked_not_delivered() {
+        let pool = MbufPool::new();
+        let mut t = tcb();
+        let base = t.rcv_nxt;
+        let _ = t.process_data(base, chain_of(&pool, 100));
+        let r = t.process_data(base, chain_of(&pool, 100));
+        assert!(r.deliver.is_empty());
+        assert!(r.acknow);
+    }
+
+    #[test]
+    fn partial_overlap_trimmed() {
+        let pool = MbufPool::new();
+        let mut t = tcb();
+        let base = t.rcv_nxt;
+        let _ = t.process_data(base, chain_of(&pool, 100));
+        // Retransmission covering [50, 150): only [100, 150) is new.
+        let r = t.process_data(base.wrapping_add(50), chain_of(&pool, 100));
+        let total: usize = r.deliver.iter().map(Chain::len).sum();
+        assert_eq!(total, 50);
+        assert_eq!(t.rcv_nxt, base.wrapping_add(150));
+    }
+
+    #[test]
+    fn sequence_wrap_during_transfer() {
+        let pool = MbufPool::new();
+        let mut c = cfg();
+        c.iss = u32::MAX - 2000;
+        let key = tcb().key;
+        let mut t = Tcb::established(key, 0, 4096, &c);
+        t.rcv_nxt = u32::MAX - 1000;
+        let base = t.rcv_nxt;
+        let r = t.process_data(base, chain_of(&pool, 4000));
+        assert_eq!(r.deliver.len(), 1);
+        assert_eq!(t.rcv_nxt, base.wrapping_add(4000), "wrapped cleanly");
+        // Sender side wrap.
+        assert_eq!(t.next_send(8000), Some((0, 4096)));
+        t.note_sent(t.snd_nxt, 4096, SimTime::ZERO, SimTime::from_ms(500));
+        let out = t.process_ack(t.snd_una.wrapping_add(4096), 16384);
+        assert_eq!(out.newly_acked, 4096);
+    }
+
+    #[test]
+    fn window_update_policy() {
+        let mut t = tcb();
+        t.rcv_adv_wnd = 4096;
+        assert!(!t.window_update_due(4096 + 4096));
+        assert!(t.window_update_due(4096 + 2 * 4096));
+    }
+
+    #[test]
+    fn build_headers_are_valid() {
+        let mut t = tcb();
+        let h = t.build_data_header(0, 500, 8192);
+        assert_eq!(h.payload_len(), 500);
+        assert_eq!(h.flags, flags::ACK | flags::PSH);
+        let enc = h.encode();
+        assert!(TcpIpHeader::decode(&enc).is_some());
+        let a = t.build_ack_header(8192);
+        assert_eq!(a.payload_len(), 0);
+        assert_eq!(t.stats.acks_only_out, 1);
+    }
+}

@@ -1,0 +1,204 @@
+//! UDP — the thin transport the paper's RPC question is implicitly
+//! measured against.
+//!
+//! §1 asks "Can we provide evidence that TCP is a viable option for a
+//! transport layer for RPC?" — viable, that is, compared to the
+//! datagram transports contemporary RPC systems actually used. §4.2
+//! also leans on UDP practice: "It is already common practice to
+//! eliminate the UDP checksum for local area NFS traffic", which is
+//! why the UDP checksum is *optional on a per-socket basis* here (a
+//! zero checksum field means "not computed", per RFC 768 — no
+//! negotiation needed, unlike TCP's Alternate Checksum option).
+//!
+//! The implementation is deliberately faithful to the era: an 8-byte
+//! header over IPv4, no fragmentation (the caller respects the MTU),
+//! per-socket receive queues, and the same instrumented cost model as
+//! the TCP path.
+
+use cksum::{optimized_cksum, pseudo_header_sum, Sum16};
+
+/// IP protocol number for UDP.
+pub const IPPROTO_UDP: u8 = 17;
+
+/// Combined IPv4 + UDP header size.
+pub const UDPIP_HDR_LEN: usize = 28;
+
+/// The decoded combined IPv4 + UDP header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UdpIpHeader {
+    /// IP total length (header + UDP header + data).
+    pub ip_len: u16,
+    /// IP identification.
+    pub ip_id: u16,
+    /// Source address.
+    pub src: [u8; 4],
+    /// Destination address.
+    pub dst: [u8; 4],
+    /// Source port.
+    pub sport: u16,
+    /// Destination port.
+    pub dport: u16,
+    /// UDP checksum as carried; 0 means "not computed" (RFC 768).
+    pub udp_cksum: u16,
+}
+
+impl UdpIpHeader {
+    /// Payload bytes.
+    #[must_use]
+    pub fn payload_len(&self) -> usize {
+        usize::from(self.ip_len).saturating_sub(UDPIP_HDR_LEN)
+    }
+
+    /// UDP length field (header + payload).
+    #[must_use]
+    pub fn udp_len(&self) -> u16 {
+        self.ip_len - 20
+    }
+
+    /// Encodes to 28 wire bytes with a valid IP header checksum.
+    #[must_use]
+    pub fn encode(&self) -> [u8; UDPIP_HDR_LEN] {
+        let mut b = [0u8; UDPIP_HDR_LEN];
+        b[0] = 0x45;
+        b[2..4].copy_from_slice(&self.ip_len.to_be_bytes());
+        b[4..6].copy_from_slice(&self.ip_id.to_be_bytes());
+        b[8] = 30; // TTL.
+        b[9] = IPPROTO_UDP;
+        b[12..16].copy_from_slice(&self.src);
+        b[16..20].copy_from_slice(&self.dst);
+        let ipck = Sum16::over(&b[..20]).finish();
+        b[10..12].copy_from_slice(&ipck.to_be_bytes());
+        b[20..22].copy_from_slice(&self.sport.to_be_bytes());
+        b[22..24].copy_from_slice(&self.dport.to_be_bytes());
+        b[24..26].copy_from_slice(&self.udp_len().to_be_bytes());
+        b[26..28].copy_from_slice(&self.udp_cksum.to_be_bytes());
+        b
+    }
+
+    /// Decodes 28 wire bytes; `None` on a bad IP header or non-UDP
+    /// protocol.
+    #[must_use]
+    pub fn decode(b: &[u8]) -> Option<UdpIpHeader> {
+        if b.len() < UDPIP_HDR_LEN || b[0] != 0x45 || b[9] != IPPROTO_UDP {
+            return None;
+        }
+        if !Sum16::over(&b[..20]).is_valid() {
+            return None;
+        }
+        Some(UdpIpHeader {
+            ip_len: u16::from_be_bytes([b[2], b[3]]),
+            ip_id: u16::from_be_bytes([b[4], b[5]]),
+            src: b[12..16].try_into().expect("4 bytes"),
+            dst: b[16..20].try_into().expect("4 bytes"),
+            sport: u16::from_be_bytes([b[20], b[21]]),
+            dport: u16::from_be_bytes([b[22], b[23]]),
+            udp_cksum: u16::from_be_bytes([b[26], b[27]]),
+        })
+    }
+
+    /// The wire UDP checksum for a payload sum (pseudo-header + UDP
+    /// header + payload). RFC 768: a computed checksum of zero is
+    /// transmitted as all-ones, since zero means "none".
+    #[must_use]
+    pub fn udp_checksum_with(&self, payload_sum: Sum16) -> u16 {
+        let mut zeroed = *self;
+        zeroed.udp_cksum = 0;
+        let enc = zeroed.encode();
+        let hdr_sum = optimized_cksum(&enc[20..28]);
+        let c = pseudo_header_sum(self.src, self.dst, IPPROTO_UDP, self.udp_len())
+            .add(hdr_sum)
+            .add(payload_sum)
+            .finish();
+        if c == 0 {
+            0xffff
+        } else {
+            c
+        }
+    }
+
+    /// Verifies the carried checksum; a zero field always passes
+    /// ("checksum not computed").
+    #[must_use]
+    pub fn udp_checksum_ok(&self, payload_sum: Sum16) -> bool {
+        if self.udp_cksum == 0 {
+            return true;
+        }
+        let enc = self.encode();
+        let hdr_sum = optimized_cksum(&enc[20..28]);
+        let total = pseudo_header_sum(self.src, self.dst, IPPROTO_UDP, self.udp_len())
+            .add(hdr_sum)
+            .add(payload_sum);
+        total.is_valid() || total.value() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cksum::naive_cksum;
+
+    fn hdr(n: usize) -> UdpIpHeader {
+        UdpIpHeader {
+            ip_len: (UDPIP_HDR_LEN + n) as u16,
+            ip_id: 3,
+            src: [10, 0, 0, 1],
+            dst: [10, 0, 0, 2],
+            sport: 700,
+            dport: 2049, // NFS, in the spirit of §4.2.
+            udp_cksum: 0,
+        }
+    }
+
+    #[test]
+    fn roundtrip_with_checksum() {
+        let payload = vec![7u8; 300];
+        let mut h = hdr(300);
+        h.udp_cksum = h.udp_checksum_with(naive_cksum(&payload));
+        let enc = h.encode();
+        let back = UdpIpHeader::decode(&enc).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(back.payload_len(), 300);
+        assert!(back.udp_checksum_ok(naive_cksum(&payload)));
+    }
+
+    #[test]
+    fn zero_checksum_means_none() {
+        let h = hdr(100);
+        assert_eq!(h.udp_cksum, 0);
+        // Any payload "verifies" when no checksum was computed.
+        assert!(h.udp_checksum_ok(naive_cksum(&[1, 2, 3])));
+    }
+
+    #[test]
+    fn computed_zero_becomes_all_ones() {
+        // Craft a payload whose total sums to zero-complement: easier
+        // to just assert the substitution rule directly.
+        let h = hdr(2);
+        for b0 in 0..=255u8 {
+            let c = h.udp_checksum_with(naive_cksum(&[b0, 0]));
+            assert_ne!(c, 0, "computed checksum never transmitted as 0");
+        }
+    }
+
+    #[test]
+    fn corruption_detected_when_checksummed() {
+        let payload = vec![9u8; 200];
+        let mut h = hdr(200);
+        h.udp_cksum = h.udp_checksum_with(naive_cksum(&payload));
+        let mut bad = payload.clone();
+        bad[50] ^= 0x40;
+        assert!(!h.udp_checksum_ok(naive_cksum(&bad)));
+    }
+
+    #[test]
+    fn rejects_tcp_packets() {
+        let enc = hdr(10).encode();
+        let mut tcp = enc;
+        tcp[9] = 6;
+        tcp[10] = 0;
+        tcp[11] = 0;
+        let c = Sum16::over(&tcp[..20]).finish();
+        tcp[10..12].copy_from_slice(&c.to_be_bytes());
+        assert!(UdpIpHeader::decode(&tcp).is_none());
+    }
+}

@@ -1,0 +1,65 @@
+//! Quickstart: run the paper's benchmark once and print a full
+//! latency breakdown.
+//!
+//! This reproduces, in miniature, what §2 of the paper does: a pair
+//! of DECstations on a private ATM fiber run an RPC echo ping-pong,
+//! and every layer's contribution to the round trip is measured with
+//! 40 ns probes.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use tcp_atm_latency::{Experiment, NetKind};
+
+fn main() {
+    let size = 200; // A typical small RPC payload (§1.2).
+    let mut exp = Experiment::rpc(NetKind::Atm, size);
+    exp.iterations = 1000;
+    exp.warmup = 20;
+
+    println!(
+        "Running {} iterations of a {size}-byte RPC echo over ATM...\n",
+        exp.iterations
+    );
+    let run = exp.run(1);
+
+    println!(
+        "round-trip time : {:.0} us (stddev {:.1})",
+        run.mean_rtt_us(),
+        run.stddev_rtt_us()
+    );
+    println!(
+        "payload checks  : {} failures in {} iterations",
+        run.verify_failures,
+        run.rtts.len()
+    );
+    println!("sim events      : {}\n", run.events);
+
+    println!("transmit side (paper's Table 2 rows):");
+    println!("  User (write->TCP) : {:>7.1} us", run.tx.user);
+    println!("  TCP checksum      : {:>7.1} us", run.tx.cksum);
+    println!("  TCP mcopy         : {:>7.1} us", run.tx.mcopy);
+    println!("  TCP segment       : {:>7.1} us", run.tx.segment);
+    println!("  IP                : {:>7.1} us", run.tx.ip);
+    println!("  ATM driver        : {:>7.1} us", run.tx.driver);
+    println!("  total             : {:>7.1} us\n", run.tx.total());
+
+    println!("receive side (paper's Table 3 rows):");
+    println!("  ATM driver        : {:>7.1} us", run.rx.driver);
+    println!("  IP queue          : {:>7.1} us", run.rx.ipq);
+    println!("  IP                : {:>7.1} us", run.rx.ip);
+    println!("  TCP checksum      : {:>7.1} us", run.rx.cksum);
+    println!("  TCP segment       : {:>7.1} us", run.rx.segment);
+    println!("  wakeup            : {:>7.1} us", run.rx.wakeup);
+    println!("  User (read)       : {:>7.1} us", run.rx.user);
+    println!("  total             : {:>7.1} us", run.rx.total());
+
+    println!(
+        "\nheader prediction: {} checks, {} data fast-paths, {} ack fast-paths",
+        run.client_tcp.predict_checks,
+        run.client_tcp.predict_data_hits,
+        run.client_tcp.predict_ack_hits
+    );
+    println!("(the RPC piggybacked-ACK pattern defeats the fast path, as §3 found)");
+}

@@ -1,0 +1,44 @@
+//! ATM versus Ethernet round-trip latency across the paper's eight
+//! transfer sizes — the Table 1 experiment.
+//!
+//! ```sh
+//! cargo run --release --example rpc_latency [iterations]
+//! ```
+
+use tcp_atm_latency::{paper, tables, Experiment, NetKind};
+
+fn main() {
+    let iterations: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400);
+
+    let mut atm = Vec::new();
+    let mut eth = Vec::new();
+    for &size in &paper::SIZES {
+        let mut a = Experiment::rpc(NetKind::Atm, size);
+        a.iterations = iterations;
+        atm.push(a.run(1).mean_rtt_us());
+        let mut e = Experiment::rpc(NetKind::Ether, size);
+        e.iterations = iterations.min(200);
+        eth.push(e.run(1).mean_rtt_us());
+        eprintln!("  measured {size} bytes...");
+    }
+
+    println!();
+    println!(
+        "{}",
+        tables::rtt_comparison(
+            "Table 1: ATM vs Ethernet round-trip latency",
+            "Ether",
+            "ATM",
+            &paper::SIZES,
+            &eth,
+            &atm,
+            &paper::T1_ETHERNET_RTT,
+            &paper::T1_ATM_RTT,
+        )
+    );
+    println!("The low-latency FORE interface roughly halves small-message RTT,");
+    println!("as the paper found (47-55% decrease).");
+}

@@ -1,0 +1,97 @@
+//! Closing the calibration loop: re-derive the cost-model constants
+//! from the embedded paper tables by least squares and check that
+//! `CostModel::calibrated()` carries those fits.
+//!
+//! This is the guard that keeps the DESIGN.md §4 calibration story
+//! honest — if someone nudges a constant to make one output table
+//! look better, this test pins it back to the paper's own data.
+
+use tcp_atm_latency::decstation::{linear_fit, CostModel};
+use tcp_atm_latency::paper;
+
+fn sizes_f64() -> Vec<f64> {
+    paper::SIZES.iter().map(|&n| n as f64).collect()
+}
+
+/// The four Table 5 rates: the calibrated linear costs must match
+/// least-squares fits of the paper's own numbers.
+#[test]
+fn table5_rates_match_least_squares() {
+    let m = CostModel::calibrated();
+    let xs = sizes_f64();
+    let cases = [
+        (&m.ua_ultrix_cksum, &paper::t5::ULTRIX_CKSUM, "ultrix"),
+        (&m.ua_bcopy, &paper::t5::BCOPY, "bcopy"),
+        (&m.ua_opt_cksum, &paper::t5::OPT_CKSUM, "optimized"),
+        (&m.ua_integrated, &paper::t5::INTEGRATED, "integrated"),
+    ];
+    for (cost, col, name) in cases {
+        let fit = linear_fit(&xs, &col[..]).expect("fit");
+        assert!(
+            fit.r_squared > 0.9995,
+            "{name}: the paper's column must itself be linear (r2 {:.6})",
+            fit.r_squared
+        );
+        let slope_err = (cost.per_byte_us - fit.slope).abs() / fit.slope;
+        assert!(
+            slope_err < 0.03,
+            "{name}: calibrated {} vs fitted {:.4} us/B",
+            cost.per_byte_us,
+            fit.slope
+        );
+        assert!(
+            (cost.fixed_us - fit.intercept).abs() < 4.0,
+            "{name}: calibrated intercept {} vs fitted {:.2}",
+            cost.fixed_us,
+            fit.intercept
+        );
+    }
+}
+
+/// The in-kernel checksum rate is pinned by the Table 2/3 checksum
+/// rows over data + 40 header bytes.
+#[test]
+fn kernel_checksum_rate_matches_tables_2_and_3() {
+    let m = CostModel::calibrated();
+    let xs: Vec<f64> = paper::SIZES.iter().map(|&n| (n + 40) as f64).collect();
+    for (col, name) in [(&paper::t2::CKSUM, "t2"), (&paper::t3::CKSUM, "t3")] {
+        let fit = linear_fit(&xs, &col[..]).expect("fit");
+        let err = (m.kcksum_bsd.per_byte_us - fit.slope).abs() / fit.slope;
+        assert!(
+            err < 0.03,
+            "{name}: calibrated {} vs fitted {:.4} us/B",
+            m.kcksum_bsd.per_byte_us,
+            fit.slope
+        );
+    }
+}
+
+/// The PCB per-entry cost is pinned by the §3 endpoints.
+#[test]
+fn pcb_constants_match_section3() {
+    let m = CostModel::calibrated();
+    let fit = linear_fit(
+        &[20.0, 1000.0],
+        &[paper::PCB_SEARCH_20_US, paper::PCB_SEARCH_1000_US],
+    )
+    .expect("fit");
+    assert!((m.pcb_lookup_per_entry_us - fit.slope).abs() < 0.01);
+}
+
+/// Derived, not fitted: the §4.1 headline relationships follow from
+/// the fitted rates (sanity that the fits are mutually consistent).
+#[test]
+fn derived_section41_relationships() {
+    let m = CostModel::calibrated();
+    // "optimized checksum takes 96 us to checksum 1 KB of data, and
+    // the copy takes 91 us. The combined ... takes 111 us."
+    assert!((m.ua_opt_cksum.us(1024, 0) - 96.0).abs() < 6.0);
+    assert!((m.ua_bcopy.us(1024, 0) - 91.0).abs() < 6.0);
+    assert!((m.ua_integrated.us(1024, 0) - 111.0).abs() < 6.0);
+    // "the savings from the combined algorithm ... on the DECstation
+    // 5000/200 is 68%": combined(111) vs cksum(96) + copy(91) = 187;
+    // the saved second pass is 76/111 ≈ 68% of the combined cost.
+    let saved = m.ua_opt_cksum.us(1024, 0) + m.ua_bcopy.us(1024, 0) - m.ua_integrated.us(1024, 0);
+    let pct = saved / m.ua_integrated.us(1024, 0) * 100.0;
+    assert!((55.0..80.0).contains(&pct), "{pct:.0}%");
+}
