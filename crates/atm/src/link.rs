@@ -73,6 +73,9 @@ pub struct FiberLink {
     pub cells_lost: u64,
     /// Cells delivered with bit corruption.
     pub cells_corrupted: u64,
+    /// Raw-cell capture tap (`LinkCell`): every delivered 53-byte
+    /// cell, stamped at its arrival time. Zero-cost unless armed.
+    pub taps: simcap::TapSet,
 }
 
 impl FiberLink {
@@ -85,6 +88,7 @@ impl FiberLink {
             cells_carried: 0,
             cells_lost: 0,
             cells_corrupted: 0,
+            taps: simcap::TapSet::off(),
         }
     }
 
@@ -119,6 +123,21 @@ impl FiberLink {
     #[must_use]
     pub fn arrival(&self, wire_exit: SimTime) -> SimTime {
         wire_exit + self.config.propagation
+    }
+
+    /// [`FiberLink::carry`] plus the arrival computation, feeding the
+    /// `LinkCell` capture tap: delivered cells (clean or corrupted)
+    /// are recorded with their 53 raw bytes at the arrival timestamp.
+    pub fn carry_at(&mut self, wire_exit: SimTime, cell: Cell) -> (SimTime, LinkFault) {
+        let at = self.arrival(wire_exit);
+        let fault = self.carry(cell);
+        if self.taps.wants(simcap::TapPoint::LinkCell) {
+            if let LinkFault::Clean(c) | LinkFault::Corrupted(c) = &fault {
+                self.taps
+                    .record(simcap::TapPoint::LinkCell, at, c.to_bytes().to_vec());
+            }
+        }
+        (at, fault)
     }
 }
 

@@ -2,13 +2,13 @@
 //!
 //! Every table the binary prints is also recorded here as measured
 //! series paired with the paper's values, and can be dumped as JSON
-//! (used to generate `EXPERIMENTS.md`).
+//! (used to generate `EXPERIMENTS.md`). The JSON is emitted by hand —
+//! the build must work with no registry access, so no serde.
 
-use serde::Serialize;
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 
 /// One measured series against the paper's.
-#[derive(Serialize)]
 pub struct Series {
     /// Measured values (one per paper size, usually).
     pub measured: Vec<f64>,
@@ -19,7 +19,6 @@ pub struct Series {
 }
 
 /// One scalar comparison.
-#[derive(Serialize)]
 pub struct Scalar {
     /// Measured value.
     pub measured: f64,
@@ -28,7 +27,6 @@ pub struct Scalar {
 }
 
 /// The full report.
-#[derive(Serialize)]
 pub struct Report {
     /// Iterations per repetition used for the runs.
     pub iterations: u64,
@@ -83,13 +81,140 @@ impl Report {
         self.texts.insert(name.to_string(), text);
     }
 
+    /// Renders the report as pretty-printed JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"iterations\": {},", self.iterations);
+        let _ = writeln!(out, "  \"reps\": {},", self.reps);
+        out.push_str("  \"series\": {");
+        emit_map(&mut out, &self.series, |out, s| {
+            out.push_str("{\n");
+            emit_num_array(out, "measured", &s.measured, 6);
+            out.push_str(",\n");
+            emit_num_array(out, "paper", &s.paper, 6);
+            out.push_str(",\n");
+            emit_num_array(out, "err_pct", &s.err_pct, 6);
+            out.push_str("\n    }");
+        });
+        out.push_str(",\n  \"scalars\": {");
+        emit_map(&mut out, &self.scalars, |out, s| {
+            let _ = write!(
+                out,
+                "{{ \"measured\": {}, \"paper\": {} }}",
+                json_num(s.measured),
+                json_num(s.paper)
+            );
+        });
+        out.push_str(",\n  \"texts\": {");
+        emit_map(&mut out, &self.texts, |out, t| {
+            out.push_str(&json_string(t));
+        });
+        out.push_str("\n}\n");
+        out
+    }
+
     /// Writes the report as pretty JSON.
     ///
     /// # Panics
     ///
     /// Panics if the file cannot be written.
     pub fn write_json(&self, path: &str) {
-        let json = serde_json::to_string_pretty(self).expect("report serializes");
-        std::fs::write(path, json).expect("write report file");
+        std::fs::write(path, self.to_json()).expect("write report file");
+    }
+}
+
+/// Emits the entries of a map as `"key": <value>` pairs; the caller
+/// has already written the opening `{` and writes the closing brace's
+/// line itself.
+fn emit_map<V>(out: &mut String, map: &BTreeMap<String, V>, mut emit: impl FnMut(&mut String, &V)) {
+    let mut first = true;
+    for (k, v) in map {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n    ");
+        out.push_str(&json_string(k));
+        out.push_str(": ");
+        emit(out, v);
+    }
+    if map.is_empty() {
+        out.push('}');
+    } else {
+        out.push_str("\n  }");
+    }
+}
+
+fn emit_num_array(out: &mut String, name: &str, xs: &[f64], indent: usize) {
+    let pad = " ".repeat(indent);
+    let _ = write!(out, "{pad}\"{name}\": [");
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&json_num(*x));
+    }
+    out.push(']');
+}
+
+/// Finite-number JSON rendering; NaN/inf become null (like serde_json).
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        // Shortest representation that round-trips.
+        let s = format!("{x}");
+        if s.contains('.') || s.contains('e') || s.contains('E') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_structure() {
+        let mut r = Report::new(10, 2);
+        r.series("s1", &[1.5, 2.0], &[1.0, 0.0]);
+        r.scalar("x", 3.25, 0.0);
+        r.text("t", "line1\nline\"2\"".to_string());
+        let j = r.to_json();
+        assert!(j.contains("\"iterations\": 10,"));
+        assert!(j.contains("\"measured\": [1.5, 2.0]"));
+        assert!(j.contains("\"err_pct\": [50.0, 0.0]"));
+        assert!(j.contains("\"x\": { \"measured\": 3.25, \"paper\": 0.0 }"));
+        assert!(j.contains("line1\\nline\\\"2\\\""));
+        // Balanced braces/brackets, since nothing nests beyond depth 2.
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "unbalanced JSON: {j}"
+        );
     }
 }

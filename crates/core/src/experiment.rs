@@ -186,7 +186,16 @@ impl Experiment {
     /// Runs one repetition with the given seed.
     #[must_use]
     pub fn run(&self, seed: u64) -> RunResult {
-        let sim = run_world(self.build_world(seed));
+        self.run_sim(seed, false).0
+    }
+
+    /// Runs one repetition, optionally with every capture tap armed,
+    /// and returns the final world alongside the results (the capture
+    /// harness drains the taps from it).
+    pub(crate) fn run_sim(&self, seed: u64, capture: bool) -> (RunResult, World) {
+        let mut world = self.build_world(seed);
+        world.capture = capture;
+        let sim = run_world(world);
         let events = sim.events_executed();
         let sim_time = sim.now();
         let w = sim.world;
@@ -194,7 +203,7 @@ impl Experiment {
         let server = &w.hosts[1];
         let (tx, rx, breakdown_iters) = compute_breakdowns(&client.kernel.spans);
         let (client_nic_stats, server_nic_stats) = (nic_stats(&client.nic), nic_stats(&server.nic));
-        RunResult {
+        let result = RunResult {
             rtts: client.app.stats.rtts.clone(),
             tx,
             rx,
@@ -217,7 +226,8 @@ impl Experiment {
             server_nic: server_nic_stats,
             events,
             sim_time,
-        }
+        };
+        (result, w)
     }
 
     /// Runs `reps` repetitions (different seeds) and pools the RTT

@@ -20,7 +20,12 @@
 //!   numbers for side-by-side comparison;
 //! - [`micro`] covers the in-text microbenchmarks (PCB lookup
 //!   scaling, mbuf allocation, the Table 5 copy/checksum costs);
-//! - [`faults`] runs the §4.2.1 error-injection study.
+//! - [`faults`] runs the §4.2.1 error-injection study;
+//! - [`capture`] re-derives the latency tables a second, independent
+//!   way: packet taps at the layer boundaries feed pcap/pcapng
+//!   captures, and RFC 1242 same-packet matching across taps must
+//!   reproduce the inline accounting to within one 40 ns clock tick
+//!   per span.
 //!
 //! # Quickstart
 //!
@@ -39,6 +44,7 @@
 pub mod ablation;
 pub mod app;
 pub mod breakdown;
+pub mod capture;
 pub mod churn;
 pub mod experiment;
 pub mod faults;
@@ -50,5 +56,6 @@ pub mod tables;
 pub mod world;
 
 pub use breakdown::{RxBreakdown, TxBreakdown};
+pub use capture::{CaptureRun, HostCapture};
 pub use experiment::{Experiment, NetKind, RunResult};
 pub use world::{Host, World};

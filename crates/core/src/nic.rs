@@ -73,6 +73,9 @@ pub struct AtmNic {
     /// An ATM switch on this direction's path (the paper's testbed
     /// was switchless; §4.2.1 reasons about switched paths).
     pub switch: Option<AtmSwitch>,
+    /// Datagram-level capture taps (`NicDmaTx`, `Wire`, `NicDmaRx`).
+    /// Zero-cost unless armed; cell-level capture lives on the link.
+    pub taps: simcap::TapSet,
     rng: simkit::SimRng,
 }
 
@@ -92,6 +95,7 @@ impl AtmNic {
             aal_drops: 0,
             controller_corrupt_prob: 0.0,
             switch: None,
+            taps: simcap::TapSet::off(),
             rng: simkit::SimRng::seed_stream(seed, 0xc0),
         }
     }
@@ -134,8 +138,7 @@ impl TxDriver for AtmNic {
         for cell in cells {
             let admit = self.adapter.tx.admit(cursor, per_cell);
             cursor = admit.copy_end;
-            let fault = self.link.carry(cell);
-            let mut arrival = self.link.arrival(admit.wire_exit);
+            let (mut arrival, fault) = self.link.carry_at(admit.wire_exit, cell);
             // An intermediate switch adds fabric latency, output-queue
             // serialization, VC rewriting, and possibly fabric
             // corruption or drops.
@@ -164,6 +167,12 @@ impl TxDriver for AtmNic {
         }
         spans.span(SpanKind::TxDriver, now, cursor);
         spans.mark(Mark::TxSignalled, cursor);
+        if self.taps.wants(simcap::TapPoint::NicDmaTx) {
+            // The datagram leaves host memory when the adapter is
+            // signalled to send its last byte — the same instant
+            // `TxSignalled` marks.
+            self.taps.record(simcap::TapPoint::NicDmaTx, cursor, bytes);
+        }
         self.staged.push(Delivery {
             arrival: last_arrival,
             payload: DeliveryPayload::Cells(train),
@@ -192,7 +201,7 @@ pub fn atm_receive(
     let start = now.max(kernel.cpu.busy_until());
     let mut datagrams = Vec::new();
     let mut cells_processed = 0usize;
-    for (_, fault) in train {
+    for (cell_at, fault) in train {
         let cell = match fault {
             LinkFault::Lost => continue,
             LinkFault::Clean(c) => c.clone(),
@@ -214,7 +223,15 @@ pub fn atm_receive(
         // The driver drains the FIFO under this interrupt.
         let _ = nic.adapter.rx.drain_up_to(1);
         match nic.reasm.push(&cell) {
-            Ok(Some(dgram)) => datagrams.push(dgram),
+            Ok(Some(dgram)) => {
+                if nic.taps.wants(simcap::TapPoint::Wire) {
+                    // Datagram granularity on the wire: stamped at the
+                    // arrival of its completing (EOM) cell.
+                    nic.taps
+                        .record(simcap::TapPoint::Wire, *cell_at, dgram.clone());
+                }
+                datagrams.push(dgram);
+            }
             Ok(None) => {}
             // Orphan COM/EOM cells are trailing consequences of an
             // error already counted on the same datagram.
@@ -250,6 +267,12 @@ pub fn atm_receive(
         if nic.controller_corrupt_prob > 0.0 && nic.rng.chance(nic.controller_corrupt_prob) {
             let bit = nic.rng.next_below((dgram.len() * 8) as u32) as usize;
             dgram[bit / 8] ^= 1 << (bit % 8);
+        }
+        if nic.taps.wants(simcap::TapPoint::NicDmaRx) {
+            // DMA into host memory is complete when the driver's
+            // interrupt work ends and the datagram joins the IP queue.
+            nic.taps
+                .record(simcap::TapPoint::NicDmaRx, end, dgram.clone());
         }
         let use_clusters = ultrix_uses_clusters(dgram.len());
         let (mut chain, _) = Chain::from_user_data(&kernel.pool, &dgram, use_clusters);
@@ -293,6 +316,9 @@ pub struct EtherNic {
     /// already-bad bytes and validates; only the end-to-end TCP
     /// checksum can catch it.
     pub gateway_corrupt_prob: f64,
+    /// Datagram-level capture taps (`NicDmaTx`, `Wire`, `NicDmaRx`).
+    /// Zero-cost unless armed; frame-level capture lives on the wire.
+    pub taps: simcap::TapSet,
     rng: simkit::SimRng,
 }
 
@@ -310,6 +336,7 @@ impl EtherNic {
             fcs_drops: 0,
             controller_corrupt_prob: 0.0,
             gateway_corrupt_prob: 0.0,
+            taps: simcap::TapSet::off(),
             rng: simkit::SimRng::seed_stream(seed, 0xe1),
         }
     }
@@ -347,6 +374,12 @@ impl TxDriver for EtherNic {
         );
         let granted = self.lance.claim_tx_slot(now);
         let cursor = granted + cost;
+        if self.taps.wants(simcap::TapPoint::NicDmaTx) {
+            // The IP datagram as handed to the LANCE, stamped when the
+            // copy into the DMA buffer completes (`TxSignalled`).
+            self.taps
+                .record(simcap::TapPoint::NicDmaTx, cursor, frame.payload.clone());
+        }
         let (delivered_at, delivered) = self.wire.carry(cursor, wire_bytes);
         self.lance.tx_complete(delivered_at);
         spans.span(SpanKind::TxDriver, now, cursor);
@@ -367,6 +400,12 @@ pub fn ether_receive(
     wire_bytes: &[u8],
 ) -> Option<SimTime> {
     kernel.spans.mark(Mark::SegmentArrived, now);
+    if nic.taps.wants(simcap::TapPoint::Wire) {
+        // The frame exactly as the wire delivered it (FCS included,
+        // corruption applied), stamped at arrival.
+        nic.taps
+            .record(simcap::TapPoint::Wire, now, wire_bytes.to_vec());
+    }
     nic.lance.rx_packet();
     let start = now.max(kernel.cpu.busy_until());
     let mut us = nic.costs.eth_rx_fixed_us + nic.costs.eth_rx_per_byte_us * wire_bytes.len() as f64;
@@ -395,6 +434,12 @@ pub fn ether_receive(
     if nic.controller_corrupt_prob > 0.0 && nic.rng.chance(nic.controller_corrupt_prob) {
         let bit = nic.rng.next_below((payload.len() * 8) as u32) as usize;
         payload[bit / 8] ^= 1 << (bit % 8);
+    }
+    if nic.taps.wants(simcap::TapPoint::NicDmaRx) {
+        // FCS-verified IP datagram as DMAed into host memory, stamped
+        // when the driver's interrupt work ends.
+        nic.taps
+            .record(simcap::TapPoint::NicDmaRx, end, payload.clone());
     }
     let use_clusters = ultrix_uses_clusters(payload.len());
     let (mut chain, _) = Chain::from_user_data(&kernel.pool, &payload, use_clusters);
@@ -429,6 +474,37 @@ impl Nic {
             Nic::Atm(a) => std::mem::take(&mut a.staged),
             Nic::Ether(e) => std::mem::take(&mut e.staged),
         }
+    }
+
+    /// Configures and arms every NIC- and medium-level capture tap
+    /// (datagram taps on the NIC, raw cells/frames on the link).
+    pub fn arm_taps(&mut self) {
+        match self {
+            Nic::Atm(a) => {
+                a.taps = simcap::TapSet::all();
+                a.taps.arm();
+                a.link.taps = simcap::TapSet::all();
+                a.link.taps.arm();
+            }
+            Nic::Ether(e) => {
+                e.taps = simcap::TapSet::all();
+                e.taps.arm();
+                e.wire.taps = simcap::TapSet::all();
+                e.wire.taps.arm();
+            }
+        }
+    }
+
+    /// Drains every frame captured by this NIC and its medium, merged
+    /// in timestamp order (stable within equal timestamps).
+    pub fn take_taps(&mut self) -> Vec<simcap::CapturedFrame> {
+        let (mut frames, medium) = match self {
+            Nic::Atm(a) => (a.taps.take(), a.link.taps.take()),
+            Nic::Ether(e) => (e.taps.take(), e.wire.taps.take()),
+        };
+        frames.extend(medium);
+        frames.sort_by_key(|f| f.at);
+        frames
     }
 }
 

@@ -63,6 +63,7 @@ pub fn table2(sizes: &[usize], rows: &[TxBreakdown]) -> String {
     for (i, &n) in sizes.iter().enumerate() {
         let b = &rows[i];
         let cell = |got: f64, want: f64| format!("{got:>5.0}/{want:<5.0}");
+        let total = format!("{:>6.0}/{:<6.0}", b.total(), paper::t2::TOTAL[i]);
         out.push_str(&format!(
             "{:>6} | {} {} {} {} {} {} {}\n",
             n,
@@ -72,7 +73,7 @@ pub fn table2(sizes: &[usize], rows: &[TxBreakdown]) -> String {
             cell(b.segment, paper::t2::SEGMENT[i]),
             cell(b.ip, paper::t2::IP[i]),
             cell(b.driver, paper::t2::ATM[i]),
-            format!("{:>6.0}/{:<6.0}", b.total(), paper::t2::TOTAL[i]),
+            total,
         ));
     }
     out
@@ -90,6 +91,7 @@ pub fn table3(sizes: &[usize], rows: &[RxBreakdown]) -> String {
     for (i, &n) in sizes.iter().enumerate() {
         let b = &rows[i];
         let cell = |got: f64, want: f64| format!("{got:>5.0}/{want:<5.0}");
+        let total = format!("{:>6.0}/{:<6.0}", b.total(), paper::t3::TOTAL[i]);
         out.push_str(&format!(
             "{:>6} | {} {} {} {} {} {} {} {}\n",
             n,
@@ -100,7 +102,7 @@ pub fn table3(sizes: &[usize], rows: &[RxBreakdown]) -> String {
             cell(b.segment, paper::t3::SEGMENT[i]),
             cell(b.wakeup, paper::t3::WAKEUP[i]),
             cell(b.user, paper::t3::USER[i]),
-            format!("{:>6.0}/{:<6.0}", b.total(), paper::t3::TOTAL[i]),
+            total,
         ));
     }
     out

@@ -46,6 +46,9 @@ pub struct World {
     pub hosts: Vec<Host>,
     /// Set when measurement (post-warm-up) began.
     pub measuring: bool,
+    /// When true, every capture tap (kernel, NIC, medium) is armed at
+    /// measurement start, alongside the span recorders.
+    pub capture: bool,
 }
 
 impl World {
@@ -87,6 +90,7 @@ impl World {
                     },
                 ],
                 measuring: false,
+                capture: false,
             };
         }
         let key_c = PcbKey {
@@ -137,6 +141,7 @@ impl World {
                 },
             ],
             measuring: false,
+            capture: false,
         }
     }
 
@@ -290,8 +295,16 @@ fn app_step_inner(w: &mut World, s: &mut Scheduler<World>, h: usize) {
                 // drives this for both hosts).
                 if h == 0 && host.app.measuring() && !w.measuring {
                     w.measuring = true;
+                    let capture = w.capture;
                     for host in &mut w.hosts {
                         host.kernel.spans.enabled = true;
+                        if capture {
+                            // Captures cover exactly the measured
+                            // iterations, like the span recorders.
+                            host.kernel.taps = simcap::TapSet::all();
+                            host.kernel.taps.arm();
+                            host.nic.arm_taps();
+                        }
                     }
                 }
                 let host = &mut w.hosts[h];

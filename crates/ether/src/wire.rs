@@ -52,6 +52,10 @@ pub struct EtherWire {
     pub frames_carried: u64,
     /// Frames delivered corrupted.
     pub frames_corrupted: u64,
+    /// Raw-frame capture tap (`LinkFrame`): every delivered frame
+    /// (FCS included, corruption applied), stamped at its delivery
+    /// time. Zero-cost unless armed.
+    pub taps: simcap::TapSet,
 }
 
 impl EtherWire {
@@ -64,6 +68,7 @@ impl EtherWire {
             rng: SimRng::seed_stream(seed, 0xe0),
             frames_carried: 0,
             frames_corrupted: 0,
+            taps: simcap::TapSet::off(),
         }
     }
 
@@ -87,7 +92,12 @@ impl EtherWire {
                 }
             }
         }
-        (end + self.config.propagation, wire)
+        let delivery = end + self.config.propagation;
+        if self.taps.wants(simcap::TapPoint::LinkFrame) {
+            self.taps
+                .record(simcap::TapPoint::LinkFrame, delivery, wire.clone());
+        }
+        (delivery, wire)
     }
 }
 

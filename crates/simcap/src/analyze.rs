@@ -1,0 +1,283 @@
+//! Per-hop latency from pairs of captures.
+//!
+//! RFC 1242 defines latency via the same packet observed at two
+//! measurement points. The analyzer parses both captures, matches
+//! segments by (src, dst, sport, dport, seq, ack) with FIFO order for
+//! duplicates (retransmissions), and reduces the timestamp deltas to
+//! a distribution: min / median / p99 / max plus a log2 histogram —
+//! tails, not just the means the paper's tables report.
+
+use crate::packet::{parse, TcpKey};
+use crate::pcap::Capture;
+use std::collections::{HashMap, VecDeque};
+
+/// An ordered latency sample set (nanoseconds; signed so a reversed
+/// tap pair is visible instead of wrapping).
+#[derive(Clone, Debug, Default)]
+pub struct LatencyDist {
+    samples: Vec<i64>,
+}
+
+impl LatencyDist {
+    /// Builds a distribution (sorts the samples).
+    #[must_use]
+    pub fn from_samples(mut samples: Vec<i64>) -> Self {
+        samples.sort_unstable();
+        LatencyDist { samples }
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Smallest sample in ns (0 when empty).
+    #[must_use]
+    pub fn min_ns(&self) -> i64 {
+        self.samples.first().copied().unwrap_or(0)
+    }
+
+    /// Largest sample in ns (0 when empty).
+    #[must_use]
+    pub fn max_ns(&self) -> i64 {
+        self.samples.last().copied().unwrap_or(0)
+    }
+
+    /// Nearest-rank percentile in ns (0 when empty).
+    #[must_use]
+    pub fn percentile_ns(&self, p: f64) -> i64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        #[allow(
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss,
+            clippy::cast_precision_loss
+        )]
+        let rank = ((p / 100.0 * self.samples.len() as f64).ceil() as usize).max(1);
+        self.samples[rank.min(self.samples.len()) - 1]
+    }
+
+    /// Median in ns.
+    #[must_use]
+    pub fn median_ns(&self) -> i64 {
+        self.percentile_ns(50.0)
+    }
+
+    /// 99th percentile in ns.
+    #[must_use]
+    pub fn p99_ns(&self) -> i64 {
+        self.percentile_ns(99.0)
+    }
+
+    /// Mean in µs.
+    #[must_use]
+    pub fn mean_us(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.samples.iter().map(|&s| s as f64).sum::<f64>() / self.samples.len() as f64 / 1000.0
+        }
+    }
+
+    /// Log2 histogram: `(lo_ns, hi_ns, count)` per occupied power-of-
+    /// two bucket, negatives pooled into a leading `(min, 0)` bucket.
+    #[must_use]
+    pub fn histogram(&self) -> Vec<(i64, i64, usize)> {
+        if self.samples.is_empty() {
+            return Vec::new();
+        }
+        let negatives = self.samples.iter().filter(|&&s| s < 0).count();
+        let mut buckets: HashMap<u32, usize> = HashMap::new();
+        for &s in &self.samples {
+            if s >= 0 {
+                let idx = 64 - u64::try_from(s).unwrap().leading_zeros(); // 0 for s==0
+                *buckets.entry(idx).or_default() += 1;
+            }
+        }
+        let mut out = Vec::new();
+        if negatives > 0 {
+            out.push((self.min_ns(), 0, negatives));
+        }
+        let mut idxs: Vec<u32> = buckets.keys().copied().collect();
+        idxs.sort_unstable();
+        for idx in idxs {
+            let lo = if idx == 0 { 0 } else { 1i64 << (idx - 1) };
+            let hi = 1i64 << idx;
+            out.push((lo, hi, buckets[&idx]));
+        }
+        out
+    }
+
+    /// The raw sorted samples.
+    #[must_use]
+    pub fn samples(&self) -> &[i64] {
+        &self.samples
+    }
+}
+
+/// The result of matching one capture pair.
+#[derive(Clone, Debug, Default)]
+pub struct HopReport {
+    /// Segments observed at both taps.
+    pub matched: usize,
+    /// Parseable TCP segments in A with no partner in B.
+    pub unmatched_a: usize,
+    /// Parseable TCP segments in B with no partner in A.
+    pub unmatched_b: usize,
+    /// Frames in A that were not parseable TCP segments.
+    pub skipped_a: usize,
+    /// Frames in B that were not parseable TCP segments.
+    pub skipped_b: usize,
+    /// Latency distribution over matched pairs (`t_B - t_A`).
+    pub dist: LatencyDist,
+}
+
+fn parse_all(cap: &Capture) -> (Vec<(u64, TcpKey)>, usize) {
+    let mut parsed = Vec::new();
+    let mut skipped = 0usize;
+    for (ns, bytes) in &cap.records {
+        match parse(cap.linktype, bytes) {
+            Some(key) => parsed.push((*ns, key)),
+            None => skipped += 1,
+        }
+    }
+    (parsed, skipped)
+}
+
+/// Matches segments of `a` against `b` and reduces the deltas.
+///
+/// With `data_only`, segments without payload (pure ACKs) are ignored
+/// on both sides — useful when the taps straddle a layer that emits
+/// its own ACKs.
+#[must_use]
+pub fn hop_between(a: &Capture, b: &Capture, data_only: bool) -> HopReport {
+    let (mut pa, skipped_a) = parse_all(a);
+    let (mut pb, skipped_b) = parse_all(b);
+    if data_only {
+        pa.retain(|(_, k)| k.has_payload());
+        pb.retain(|(_, k)| k.has_payload());
+    }
+    let mut by_id: HashMap<_, VecDeque<u64>> = HashMap::new();
+    for (ns, key) in &pb {
+        by_id.entry(key.match_id()).or_default().push_back(*ns);
+    }
+    let total_b = pb.len();
+    let mut deltas = Vec::new();
+    let mut unmatched_a = 0usize;
+    for (ns_a, key) in &pa {
+        match by_id.get_mut(&key.match_id()).and_then(VecDeque::pop_front) {
+            #[allow(clippy::cast_possible_wrap)]
+            Some(ns_b) => deltas.push(ns_b as i64 - *ns_a as i64),
+            None => unmatched_a += 1,
+        }
+    }
+    HopReport {
+        matched: deltas.len(),
+        unmatched_a,
+        unmatched_b: total_b - deltas.len(),
+        skipped_a,
+        skipped_b,
+        dist: LatencyDist::from_samples(deltas),
+    }
+}
+
+/// Renders a one-line min/median/p99/max summary in µs.
+#[must_use]
+pub fn summary_line(r: &HopReport) -> String {
+    #[allow(clippy::cast_precision_loss)]
+    let us = |ns: i64| ns as f64 / 1000.0;
+    format!(
+        "n={:<6} min {:>9.3} µs   median {:>9.3} µs   p99 {:>9.3} µs   max {:>9.3} µs",
+        r.matched,
+        us(r.dist.min_ns()),
+        us(r.dist.median_ns()),
+        us(r.dist.p99_ns()),
+        us(r.dist.max_ns()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pcap::LINKTYPE_RAW;
+
+    fn seg(seq: u32, payload: &[u8]) -> Vec<u8> {
+        let total = 40 + payload.len();
+        let mut b = vec![0u8; total];
+        b[0] = 0x45;
+        b[2..4].copy_from_slice(&u16::try_from(total).unwrap().to_be_bytes());
+        b[9] = 6;
+        b[12..16].copy_from_slice(&[10, 0, 0, 1]);
+        b[16..20].copy_from_slice(&[10, 0, 0, 2]);
+        b[20..22].copy_from_slice(&1000u16.to_be_bytes());
+        b[22..24].copy_from_slice(&2000u16.to_be_bytes());
+        b[24..28].copy_from_slice(&seq.to_be_bytes());
+        b[32] = 5 << 4;
+        b[40..].copy_from_slice(payload);
+        b
+    }
+
+    #[test]
+    fn fifo_matching_and_percentiles() {
+        // Two copies of seq=1 (a retransmission) plus one of seq=2.
+        let a = Capture {
+            linktype: LINKTYPE_RAW,
+            records: vec![
+                (100, seg(1, b"x")),
+                (200, seg(1, b"x")),
+                (300, seg(2, b"y")),
+                (400, vec![0u8; 4]), // unparseable
+            ],
+        };
+        let b = Capture {
+            linktype: LINKTYPE_RAW,
+            records: vec![
+                (150, seg(1, b"x")),
+                (290, seg(1, b"x")),
+                (360, seg(2, b"y")),
+            ],
+        };
+        let r = hop_between(&a, &b, false);
+        assert_eq!(r.matched, 3);
+        assert_eq!(r.unmatched_a, 0);
+        assert_eq!(r.unmatched_b, 0);
+        assert_eq!(r.skipped_a, 1);
+        // FIFO pairs: 150-100=50, 290-200=90, 360-300=60.
+        assert_eq!(r.dist.samples(), &[50, 60, 90]);
+        assert_eq!(r.dist.min_ns(), 50);
+        assert_eq!(r.dist.median_ns(), 60);
+        assert_eq!(r.dist.p99_ns(), 90);
+        assert_eq!(r.dist.max_ns(), 90);
+    }
+
+    #[test]
+    fn data_only_filters_pure_acks() {
+        let a = Capture {
+            linktype: LINKTYPE_RAW,
+            records: vec![(0, seg(5, b"")), (40, seg(6, b"d"))],
+        };
+        let b = Capture {
+            linktype: LINKTYPE_RAW,
+            records: vec![(90, seg(6, b"d"))],
+        };
+        let r = hop_between(&a, &b, true);
+        assert_eq!(r.matched, 1);
+        assert_eq!(r.unmatched_a, 0);
+        assert_eq!(r.dist.samples(), &[50]);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let d = LatencyDist::from_samples(vec![-5, 0, 1, 3, 700]);
+        let h = d.histogram();
+        assert_eq!(h[0], (-5, 0, 1)); // negatives
+        assert!(h.contains(&(0, 1, 1))); // 0
+        assert!(h.contains(&(1, 2, 1))); // 1
+        assert!(h.contains(&(2, 4, 1))); // 3
+        assert!(h.contains(&(512, 1024, 1))); // 700
+    }
+}

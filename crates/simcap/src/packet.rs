@@ -1,0 +1,169 @@
+//! TCP segment parsing for capture matching.
+//!
+//! Extracts the RFC 1242-style identity of a TCP segment — (src, dst,
+//! sport, dport, seq, ack) — from raw-IP or Ethernet capture records,
+//! so the analyzer can recognize "the same packet" at two taps.
+
+use crate::pcap::{LINKTYPE_EN10MB, LINKTYPE_RAW};
+
+/// The identity of one TCP segment as seen on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TcpKey {
+    /// IPv4 source address.
+    pub src: [u8; 4],
+    /// IPv4 destination address.
+    pub dst: [u8; 4],
+    /// TCP source port.
+    pub sport: u16,
+    /// TCP destination port.
+    pub dport: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgment number.
+    pub ack: u32,
+    /// TCP flags (not part of the match identity; kept for filters).
+    pub flags: u8,
+    /// TCP payload length in bytes (not part of the match identity).
+    pub payload_len: u16,
+}
+
+impl TcpKey {
+    /// The match identity per RFC 1242-style same-packet correlation:
+    /// (src, dst, sport, dport, seq, ack).
+    #[must_use]
+    pub fn match_id(&self) -> ([u8; 4], [u8; 4], u16, u16, u32, u32) {
+        (
+            self.src, self.dst, self.sport, self.dport, self.seq, self.ack,
+        )
+    }
+
+    /// True when the segment carries payload bytes.
+    #[must_use]
+    pub fn has_payload(&self) -> bool {
+        self.payload_len > 0
+    }
+}
+
+fn be16(b: &[u8], at: usize) -> Option<u16> {
+    Some(u16::from_be_bytes(b.get(at..at + 2)?.try_into().ok()?))
+}
+
+fn be32(b: &[u8], at: usize) -> Option<u32> {
+    Some(u32::from_be_bytes(b.get(at..at + 4)?.try_into().ok()?))
+}
+
+/// Parses a TCP segment from a raw IPv4 datagram. Trailing bytes past
+/// the IP total length (Ethernet padding, FCS) are ignored.
+#[must_use]
+pub fn parse_raw_ip(b: &[u8]) -> Option<TcpKey> {
+    if b.len() < 20 || b[0] >> 4 != 4 {
+        return None;
+    }
+    let ihl = usize::from(b[0] & 0x0f) * 4;
+    if ihl < 20 || b.len() < ihl {
+        return None;
+    }
+    let ip_len = usize::from(be16(b, 2)?);
+    if ip_len < ihl || ip_len > b.len() {
+        return None;
+    }
+    if b[9] != 6 {
+        return None; // not TCP
+    }
+    let src = b.get(12..16)?.try_into().ok()?;
+    let dst = b.get(16..20)?.try_into().ok()?;
+    let t = ihl; // TCP header offset
+    let data_off = usize::from(*b.get(t + 12)? >> 4) * 4;
+    if data_off < 20 || ip_len < ihl + data_off {
+        return None;
+    }
+    Some(TcpKey {
+        src,
+        dst,
+        sport: be16(b, t)?,
+        dport: be16(b, t + 2)?,
+        seq: be32(b, t + 4)?,
+        ack: be32(b, t + 8)?,
+        flags: *b.get(t + 13)?,
+        payload_len: u16::try_from(ip_len - ihl - data_off).ok()?,
+    })
+}
+
+/// Parses a TCP segment from an Ethernet II frame (FCS tolerated).
+#[must_use]
+pub fn parse_ethernet(b: &[u8]) -> Option<TcpKey> {
+    if b.len() < 14 || be16(b, 12)? != 0x0800 {
+        return None;
+    }
+    parse_raw_ip(&b[14..])
+}
+
+/// Parses according to the capture's link type.
+#[must_use]
+pub fn parse(linktype: u32, bytes: &[u8]) -> Option<TcpKey> {
+    match linktype {
+        LINKTYPE_RAW => parse_raw_ip(bytes),
+        LINKTYPE_EN10MB => parse_ethernet(bytes),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal 20+20 TCP/IP datagram with the given identity.
+    pub fn make_segment(
+        src: [u8; 4],
+        dst: [u8; 4],
+        sport: u16,
+        dport: u16,
+        seq: u32,
+        ack: u32,
+        payload: &[u8],
+    ) -> Vec<u8> {
+        let total = 40 + payload.len();
+        let mut b = vec![0u8; total];
+        b[0] = 0x45;
+        b[2..4].copy_from_slice(&u16::try_from(total).unwrap().to_be_bytes());
+        b[8] = 64; // ttl
+        b[9] = 6; // TCP
+        b[12..16].copy_from_slice(&src);
+        b[16..20].copy_from_slice(&dst);
+        b[20..22].copy_from_slice(&sport.to_be_bytes());
+        b[22..24].copy_from_slice(&dport.to_be_bytes());
+        b[24..28].copy_from_slice(&seq.to_be_bytes());
+        b[28..32].copy_from_slice(&ack.to_be_bytes());
+        b[32] = 5 << 4; // data offset
+        b[33] = 0x10; // ACK
+        b[40..].copy_from_slice(payload);
+        b
+    }
+
+    #[test]
+    fn parses_raw_and_ethernet() {
+        let seg = make_segment([10, 0, 0, 1], [10, 0, 0, 2], 1234, 80, 7, 9, b"abc");
+        let k = parse(LINKTYPE_RAW, &seg).unwrap();
+        assert_eq!(k.sport, 1234);
+        assert_eq!(k.seq, 7);
+        assert_eq!(k.payload_len, 3);
+        assert!(k.has_payload());
+
+        let mut eth = vec![0u8; 12];
+        eth.extend_from_slice(&0x0800u16.to_be_bytes());
+        eth.extend_from_slice(&seg);
+        eth.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef]); // FCS past ip_len
+        let k2 = parse(LINKTYPE_EN10MB, &eth).unwrap();
+        assert_eq!(k.match_id(), k2.match_id());
+        assert_eq!(k2.payload_len, 3);
+    }
+
+    #[test]
+    fn rejects_non_tcp() {
+        let mut seg = make_segment([1, 1, 1, 1], [2, 2, 2, 2], 1, 2, 3, 4, b"");
+        seg[9] = 17; // UDP
+        assert!(parse(LINKTYPE_RAW, &seg).is_none());
+        assert!(parse(LINKTYPE_RAW, &[0u8; 8]).is_none());
+        assert!(parse(999, &seg).is_none());
+    }
+}

@@ -1,0 +1,224 @@
+//! Tap points and capture buffers.
+//!
+//! A [`TapSet`] sits at a layer boundary (socket, TCP, NIC DMA, wire)
+//! and records serialized frames with 40 ns-quantized virtual
+//! timestamps. Following the `simkit::trace` convention, a tap that
+//! is not armed costs one branch per potential record and allocates
+//! nothing, so instrumented code paths are free in ordinary runs.
+
+use simkit::time::SimTime;
+
+/// Where in the stack a frame was observed.
+///
+/// The first seven mirror the paper's kernel probe points (§2.2):
+/// the socket-layer entry/exit, the TCP output/input boundary, the
+/// driver DMA hand-off, and the wire itself. The two `Link*` points
+/// are raw medium captures recorded inside the `atm` / `ether`
+/// substrate crates (53-byte cells, Ethernet frames with FCS).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TapPoint {
+    /// `sosend` entry: user data accepted into the socket buffer.
+    SockSend,
+    /// TCP output: a finished segment (TCP/IP header prepended),
+    /// before IP-layer spend.
+    TcpSend,
+    /// Driver transmit: the datagram handed to the NIC, stamped when
+    /// the device signals transmit completion.
+    NicDmaTx,
+    /// Wire arrival at the receiving NIC (datagram granularity; for
+    /// ATM this is the arrival of the last cell of the datagram).
+    Wire,
+    /// Receive driver completion: the reassembled datagram as the
+    /// driver enqueues it for the IP input queue.
+    NicDmaRx,
+    /// TCP input: the segment as `tcp_input` first sees it
+    /// (header still attached).
+    TcpRecv,
+    /// `soreceive` return: user data leaving the socket buffer.
+    SockRecv,
+    /// Raw ATM cells (53 bytes) as they leave the fiber.
+    LinkCell,
+    /// Raw Ethernet frames (with FCS) as they leave the wire.
+    LinkFrame,
+}
+
+impl TapPoint {
+    /// All tap points, in stack order.
+    pub const ALL: [TapPoint; 9] = [
+        TapPoint::SockSend,
+        TapPoint::TcpSend,
+        TapPoint::NicDmaTx,
+        TapPoint::Wire,
+        TapPoint::NicDmaRx,
+        TapPoint::TcpRecv,
+        TapPoint::SockRecv,
+        TapPoint::LinkCell,
+        TapPoint::LinkFrame,
+    ];
+
+    /// Bit position in a [`TapSet`] mask.
+    #[must_use]
+    pub fn bit(self) -> u16 {
+        1 << (self as u16)
+    }
+
+    /// Short stable name (used for capture file names).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TapPoint::SockSend => "sock_send",
+            TapPoint::TcpSend => "tcp_send",
+            TapPoint::NicDmaTx => "nic_dma_tx",
+            TapPoint::Wire => "wire",
+            TapPoint::NicDmaRx => "nic_dma_rx",
+            TapPoint::TcpRecv => "tcp_recv",
+            TapPoint::SockRecv => "sock_recv",
+            TapPoint::LinkCell => "link_cell",
+            TapPoint::LinkFrame => "link_frame",
+        }
+    }
+}
+
+/// One observed frame: tap point, 40 ns-quantized virtual time, bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CapturedFrame {
+    /// Where the frame was observed.
+    pub tap: TapPoint,
+    /// When (quantized to the 40 ns TurboChannel clock on record).
+    pub at: SimTime,
+    /// The serialized frame exactly as the layer saw it.
+    pub bytes: Vec<u8>,
+}
+
+/// A set of taps plus the frames they captured, in observation order.
+///
+/// Two gates must both be open for a record to happen: the tap point
+/// must be in the configured `mask`, and the set must be `armed`.
+/// Harnesses configure the mask up front and arm at measurement
+/// start, mirroring how the span recorder skips warmup iterations.
+#[derive(Clone, Debug, Default)]
+pub struct TapSet {
+    mask: u16,
+    armed: bool,
+    frames: Vec<CapturedFrame>,
+}
+
+impl TapSet {
+    /// A set with no taps configured — every record is a single
+    /// always-false branch (the zero-cost disabled state).
+    #[must_use]
+    pub fn off() -> Self {
+        TapSet::default()
+    }
+
+    /// A set with every tap point configured (still needs arming).
+    #[must_use]
+    pub fn all() -> Self {
+        TapSet {
+            mask: u16::MAX,
+            armed: false,
+            frames: Vec::new(),
+        }
+    }
+
+    /// A set with exactly the given tap points configured.
+    #[must_use]
+    pub fn only(points: &[TapPoint]) -> Self {
+        TapSet {
+            mask: points.iter().fold(0, |m, p| m | p.bit()),
+            armed: false,
+            frames: Vec::new(),
+        }
+    }
+
+    /// Starts recording (idempotent).
+    pub fn arm(&mut self) {
+        self.armed = true;
+    }
+
+    /// Stops recording without discarding captured frames.
+    pub fn disarm(&mut self) {
+        self.armed = false;
+    }
+
+    /// Whether a record at `p` would be kept. Instrumented code uses
+    /// this to skip serialization work when the tap is cold.
+    #[inline]
+    #[must_use]
+    pub fn wants(&self, p: TapPoint) -> bool {
+        self.armed && self.mask & p.bit() != 0
+    }
+
+    /// Records a frame if the tap is hot. The timestamp is quantized
+    /// to the 40 ns clock, exactly like the paper's timestamp probes.
+    pub fn record(&mut self, p: TapPoint, at: SimTime, bytes: Vec<u8>) {
+        if self.wants(p) {
+            self.frames.push(CapturedFrame {
+                tap: p,
+                at: at.quantized(),
+                bytes,
+            });
+        }
+    }
+
+    /// All captured frames in observation order.
+    #[must_use]
+    pub fn frames(&self) -> &[CapturedFrame] {
+        &self.frames
+    }
+
+    /// Frames observed at one tap point, in order.
+    pub fn at(&self, p: TapPoint) -> impl Iterator<Item = &CapturedFrame> {
+        self.frames.iter().filter(move |f| f.tap == p)
+    }
+
+    /// Takes the captured frames, leaving the set configured.
+    pub fn take(&mut self) -> Vec<CapturedFrame> {
+        std::mem::take(&mut self.frames)
+    }
+
+    /// Number of captured frames.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True when nothing has been captured.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = TapSet::off();
+        t.arm();
+        assert!(!t.wants(TapPoint::Wire));
+        t.record(TapPoint::Wire, SimTime::from_ns(123), vec![1, 2, 3]);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn unarmed_records_nothing() {
+        let mut t = TapSet::all();
+        assert!(!t.wants(TapPoint::Wire));
+        t.record(TapPoint::Wire, SimTime::from_ns(123), vec![1, 2, 3]);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn armed_quantizes_timestamps() {
+        let mut t = TapSet::only(&[TapPoint::TcpSend]);
+        t.arm();
+        t.record(TapPoint::TcpSend, SimTime::from_ns(123), vec![9]);
+        t.record(TapPoint::Wire, SimTime::from_ns(200), vec![8]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.frames()[0].at, SimTime::from_ns(120));
+        assert_eq!(t.at(TapPoint::TcpSend).count(), 1);
+    }
+}

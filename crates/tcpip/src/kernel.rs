@@ -182,6 +182,10 @@ pub struct Kernel {
     pub cpu: Cpu,
     /// Probe recorder.
     pub spans: SpanRecorder,
+    /// Packet-capture taps at the kernel layer boundaries
+    /// (`SockSend`, `TcpSend`, `TcpRecv`, `SockRecv`). Zero-cost
+    /// unless armed; see `simcap`.
+    pub taps: simcap::TapSet,
     /// PCB table.
     pub pcbs: PcbTable,
     /// Counters.
@@ -207,6 +211,7 @@ impl Kernel {
             pool: MbufPool::new(),
             cpu: Cpu::new(),
             spans: SpanRecorder::new(),
+            taps: simcap::TapSet::off(),
             pcbs,
             stats: KernelStats::default(),
             conns: Vec::new(),
@@ -333,6 +338,10 @@ impl Kernel {
         if crate::seq::seq_gt(conn.tcb.snd_nxt, conn.tcb.snd_max) {
             conn.tcb.snd_max = conn.tcb.snd_nxt;
         }
+        if self.taps.wants(simcap::TapPoint::TcpSend) {
+            self.taps
+                .record(simcap::TapPoint::TcpSend, cursor, chain.to_vec());
+        }
         drv.transmit(cursor, &chain, &mut self.spans)
     }
 
@@ -404,6 +413,10 @@ impl Kernel {
         let blocked = accepted < data.len();
         let use_clusters = ultrix_uses_clusters(data.len());
         let to_copy = &data[..accepted];
+        if self.taps.wants(simcap::TapPoint::SockSend) {
+            self.taps
+                .record(simcap::TapPoint::SockSend, start, to_copy.to_vec());
+        }
         let (chain, fill_cost) = match self.cfg.checksum {
             ChecksumMode::Integrated => {
                 Chain::from_user_data_cksum(&self.pool, to_copy, use_clusters)
@@ -496,6 +509,10 @@ impl Kernel {
             cursor += seg_cost;
 
             let _hdr_cost = seg.prepend_header(&self.pool, &hdr.encode());
+            if self.taps.wants(simcap::TapPoint::TcpSend) {
+                self.taps
+                    .record(simcap::TapPoint::TcpSend, cursor, seg.to_vec());
+            }
             let conn = &mut self.conns[sock];
             conn.tcb.note_sent(hdr.seq, len, cursor, rto);
 
@@ -560,6 +577,10 @@ impl Kernel {
             .span(SpanKind::TxTcpSegment, cursor, cursor + seg_cost);
         cursor += seg_cost;
         let _ = seg.prepend_header(&self.pool, &hdr.encode());
+        if self.taps.wants(simcap::TapPoint::TcpSend) {
+            self.taps
+                .record(simcap::TapPoint::TcpSend, cursor, seg.to_vec());
+        }
         let ip_cost = SimTime::from_us_f64(self.costs.ip_out_us);
         self.spans.span(SpanKind::TxIp, cursor, cursor + ip_cost);
         cursor += ip_cost;
@@ -758,6 +779,15 @@ impl Kernel {
             }
         }
 
+        // Capture the full segment (header attached) before the chain
+        // is trimmed and consumed; recorded below at the time TCP
+        // input processing completes.
+        let tap_bytes = if self.taps.wants(simcap::TapPoint::TcpRecv) {
+            Some(chain.to_vec())
+        } else {
+            None
+        };
+
         // Strip the 40-byte header; the payload chain is what gets
         // appended to the receive buffer.
         let _ = chain.trim_front(TCPIP_HDR_LEN);
@@ -891,6 +921,9 @@ impl Kernel {
             }
         }
         self.spans.span(SpanKind::RxTcpSegment, seg_start, cursor);
+        if let Some(bytes) = tap_bytes {
+            self.taps.record(simcap::TapPoint::TcpRecv, cursor, bytes);
+        }
 
         // Wakeups: the process is placed on the run queue now; it
         // runs after the softintr completes plus the scheduler
@@ -1018,6 +1051,13 @@ impl Kernel {
         if conn.tcb.window_update_due(space) {
             conn.tcb.acknow = true;
             cursor = self.tcp_output(cursor, sock, drv);
+        }
+
+        // The probe point is the return to user space, after any
+        // window-update output — the same instant `ReadReturn` marks.
+        if self.taps.wants(simcap::TapPoint::SockRecv) {
+            self.taps
+                .record(simcap::TapPoint::SockRecv, cursor, data.clone());
         }
 
         self.cpu.occupy(start, cursor, CpuBand::Process);
@@ -1171,6 +1211,10 @@ impl Kernel {
         self.spans
             .span(SpanKind::TxTcpSegment, cursor, cursor + seg_cost);
         cursor += seg_cost;
+        if self.taps.wants(simcap::TapPoint::TcpSend) {
+            self.taps
+                .record(simcap::TapPoint::TcpSend, cursor, seg.to_vec());
+        }
         let ip_cost = SimTime::from_us_f64(self.costs.ip_out_us);
         self.spans.span(SpanKind::TxIp, cursor, cursor + ip_cost);
         cursor += ip_cost;
@@ -1302,6 +1346,10 @@ impl Kernel {
         let start = now.max(self.cpu.busy_until());
         let mut cursor = start;
         self.spans.mark(Mark::WriteStart, cursor);
+        if self.taps.wants(simcap::TapPoint::SockSend) {
+            self.taps
+                .record(simcap::TapPoint::SockSend, start, data.to_vec());
+        }
         // Socket-layer copy, as for TCP.
         let use_clusters = ultrix_uses_clusters(data.len());
         let (mut chain, fill) = Chain::from_user_data(&self.pool, data, use_clusters);
@@ -1348,6 +1396,10 @@ impl Kernel {
             .span(SpanKind::TxTcpSegment, cursor, cursor + udp_cost);
         cursor += udp_cost;
         let _ = chain.prepend_header(&self.pool, &hdr.encode());
+        if self.taps.wants(simcap::TapPoint::TcpSend) {
+            self.taps
+                .record(simcap::TapPoint::TcpSend, cursor, chain.to_vec());
+        }
         let ip_cost = SimTime::from_us_f64(self.costs.ip_out_us);
         self.spans.span(SpanKind::TxIp, cursor, cursor + ip_cost);
         cursor += ip_cost;
@@ -1380,6 +1432,10 @@ impl Kernel {
             .eval(data.len(), 1 + data.len() / mbuf::MCLBYTES);
         self.spans.span(SpanKind::RxUser, cursor, cursor + cost);
         cursor += cost;
+        if self.taps.wants(simcap::TapPoint::SockRecv) {
+            self.taps
+                .record(simcap::TapPoint::SockRecv, cursor, data.clone());
+        }
         self.cpu.occupy(start, cursor, CpuBand::Process);
         RxSyscallOutcome {
             done_at: cursor,
@@ -1586,6 +1642,10 @@ impl Kernel {
         self.spans
             .span(SpanKind::TxTcpSegment, cursor, cursor + seg_cost);
         cursor += seg_cost;
+        if self.taps.wants(simcap::TapPoint::TcpSend) {
+            self.taps
+                .record(simcap::TapPoint::TcpSend, cursor, seg.to_vec());
+        }
         let ip_cost = SimTime::from_us_f64(self.costs.ip_out_us);
         self.spans.span(SpanKind::TxIp, cursor, cursor + ip_cost);
         cursor += ip_cost;

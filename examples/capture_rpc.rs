@@ -1,0 +1,95 @@
+//! Capture-based latency analysis of the RPC benchmark: run the
+//! 1-byte and 1460-byte workloads with every packet tap armed, write
+//! standard pcap files, and print the capture-derived per-hop table
+//! next to the inline span accounting — the two independent
+//! methodologies must agree to within one 40 ns clock tick per span.
+//!
+//! ```sh
+//! cargo run --release --example capture_rpc [out_dir]
+//! ```
+//!
+//! With an `out_dir`, one pcap per (host, tap) is written there;
+//! inspect them with tcpdump/Wireshark, or compare any two with
+//! `cargo run --release -p simcap --bin capdiff -- A.pcap B.pcap`.
+
+use tcp_atm_latency::capture::{assert_capture_matches_inline, hop_table, CaptureRun};
+use tcp_atm_latency::simcap::TapPoint;
+use tcp_atm_latency::{Experiment, NetKind};
+
+fn analyze(size: usize, out_dir: Option<&str>) {
+    let mut e = Experiment::rpc(NetKind::Atm, size);
+    e.iterations = 200;
+    let run: CaptureRun = e.run_captured(1);
+
+    println!(
+        "== {size}-byte RPC over ATM ({} iterations) ==",
+        e.iterations
+    );
+    println!(
+        "   mean RTT {:.1} µs, {} frames captured on the client",
+        run.result.mean_rtt_us(),
+        run.client.frames.len(),
+    );
+
+    println!("\n   per-hop latency from the captures (RFC 1242 matching):");
+    for row in hop_table(&run) {
+        let d = &row.report.dist;
+        println!(
+            "     {:<28} n={:<4} min {:>8.2}  median {:>8.2}  p99 {:>8.2}  max {:>8.2} µs",
+            row.label,
+            row.report.matched,
+            d.min_ns() as f64 / 1000.0,
+            d.median_ns() as f64 / 1000.0,
+            d.p99_ns() as f64 / 1000.0,
+            d.max_ns() as f64 / 1000.0,
+        );
+    }
+
+    println!("\n   capture-derived spans vs inline accounting (client side):");
+    let cmp = assert_capture_matches_inline(&run);
+    println!(
+        "     {:<38} {:>10} {:>10} {:>9}",
+        "span", "capture µs", "inline µs", "max dev"
+    );
+    for s in &cmp.spans {
+        println!(
+            "     {:<38} {:>10.3} {:>10.3} {:>6} ns",
+            s.label, s.capture_us, s.inline_us, s.max_dev_ns
+        );
+    }
+    println!(
+        "   agreement within one 40 ns tick per span over {} iterations ✓",
+        cmp.iterations
+    );
+
+    if let Some(dir) = out_dir {
+        std::fs::create_dir_all(dir).expect("create capture directory");
+        let mut written = 0usize;
+        for (host, cap) in [("client", &run.client), ("server", &run.server)] {
+            for p in TapPoint::ALL {
+                let bytes = cap.pcap(p);
+                if simcap::read_any(&bytes).map(|c| c.records.is_empty()) != Ok(false) {
+                    continue;
+                }
+                let path = format!("{dir}/{size}B_{host}_{}.pcap", p.name());
+                std::fs::write(&path, bytes).expect("write pcap");
+                written += 1;
+            }
+        }
+        println!("   wrote {written} pcap files to {dir}/");
+        println!(
+            "   e.g.: capdiff {dir}/{size}B_client_tcp_send.pcap \\\n\
+             \x20               {dir}/{size}B_server_tcp_recv.pcap"
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let out_dir = std::env::args().nth(1);
+    for size in [1, 1460] {
+        analyze(size, out_dir.as_deref());
+    }
+    println!("Both workloads: the latency tables re-derived from wire captures");
+    println!("match the paper-style inline probes tick for tick.");
+}

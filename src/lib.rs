@@ -24,7 +24,8 @@
 //! | [`atm`] | 53-byte cells, AAL3/4 and AAL5 SAR, FORE TCA-100 FIFO model, fiber link with fault injection |
 //! | [`ether`] | Ethernet baseline: real framing + FCS, 10 Mbit/s wire, LANCE-class controller model |
 //! | [`tcpip`] | The BSD-style stack: sockets, TCP with header prediction, PCB management, IP queue, span instrumentation |
-//! | [`latency_core`] | Experiments, workloads, breakdown methodology, paper data, fault studies |
+//! | [`simcap`] | Packet capture: layer-boundary taps, dependency-free pcap/pcapng I/O, RFC 1242 same-packet latency analysis, the `capdiff` CLI |
+//! | [`latency_core`] | Experiments, workloads, breakdown methodology, paper data, fault studies, capture cross-check |
 //!
 //! ## Quickstart
 //!
@@ -52,9 +53,11 @@ pub use decstation;
 pub use ether;
 pub use latency_core;
 pub use mbuf;
+pub use simcap;
 pub use simkit;
 pub use tcpip;
 
+pub use latency_core::capture::{CaptureRun, HostCapture};
 pub use latency_core::experiment::{Experiment, NetKind, RunResult, Workload};
-pub use latency_core::{ablation, breakdown, churn, faults, micro, paper, tables};
+pub use latency_core::{ablation, breakdown, capture, churn, faults, micro, paper, tables};
 pub use tcpip::{ChecksumMode, StackConfig};

@@ -1,0 +1,217 @@
+//! Offline stand-in for the `criterion` benchmark crate.
+//!
+//! Implements the API subset the `repro-bench` benches use (see
+//! `vendor/README.md`): `criterion_group!` / `criterion_main!`,
+//! `Criterion::benchmark_group` / `bench_function`, `BenchmarkGroup`
+//! with `sample_size` / `throughput` / `bench_with_input` /
+//! `bench_function` / `finish`, `Bencher::iter`, `BenchmarkId`, and
+//! `Throughput`.
+//!
+//! Each benchmark runs a short warmup, then a fixed number of timed
+//! samples, and prints the mean wall-clock ns per iteration (plus
+//! MB/s when a byte throughput was declared). There is no outlier
+//! analysis, HTML report, or statistical machinery — the point is
+//! that `cargo bench` compiles and produces comparable numbers with
+//! no network access.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Declared throughput for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A parameterised benchmark name, printed as `function/parameter`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter.
+    pub fn new<P: fmt::Display>(function: &str, parameter: P) -> Self {
+        BenchmarkId {
+            full: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: u64,
+    /// Mean ns/iter over the timed samples, set by [`Bencher::iter`].
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Runs `routine` through warmup plus `samples` timed batches and
+    /// records the mean ns per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..2 {
+            std::hint::black_box(routine());
+        }
+        // Batch until a sample takes >= ~1ms so Instant overhead is
+        // amortised for nanosecond-scale routines.
+        let mut batch: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed.as_micros() >= 1000 || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        let mut total_ns: u128 = 0;
+        let mut iters: u128 = 0;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            total_ns += t.elapsed().as_nanos();
+            iters += u128::from(batch);
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.mean_ns = total_ns as f64 / iters as f64;
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: u64,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = (n as u64).max(1);
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<I: fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.samples,
+            mean_ns: 0.0,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), b.mean_ns, self.throughput);
+        self
+    }
+
+    /// Runs a benchmark that borrows an input value.
+    pub fn bench_with_input<I: fmt::Display, D: ?Sized, F: FnMut(&mut Bencher, &D)>(
+        &mut self,
+        id: I,
+        input: &D,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.samples,
+            mean_ns: 0.0,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), b.mean_ns, self.throughput);
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Benchmark runner handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 20,
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: 20,
+            mean_ns: 0.0,
+        };
+        f(&mut b);
+        report(name, b.mean_ns, None);
+        self
+    }
+}
+
+fn report(name: &str, mean_ns: f64, throughput: Option<Throughput>) {
+    match throughput {
+        #[allow(clippy::cast_precision_loss)]
+        Some(Throughput::Bytes(bytes)) if mean_ns > 0.0 => {
+            let mb_s = bytes as f64 / mean_ns * 1000.0;
+            println!("{name:<44} {mean_ns:>12.1} ns/iter  {mb_s:>9.1} MB/s");
+        }
+        _ => println!("{name:<44} {mean_ns:>12.1} ns/iter"),
+    }
+}
+
+/// Declares a group function that runs each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` to run the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+/// Opaque value barrier, re-exported for compatibility.
+pub use std::hint::black_box;

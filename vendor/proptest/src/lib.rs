@@ -1,0 +1,354 @@
+//! Offline stand-in for the `proptest` property-testing crate.
+//!
+//! Implements exactly the API subset this workspace uses (see
+//! `vendor/README.md`): the `proptest!` macro, `prop_assert!` /
+//! `prop_assert_eq!`, `ProptestConfig::with_cases`, `any::<T>()`,
+//! integer and float range strategies, `collection::vec`,
+//! `option::of`, `array::uniform32`, and tuple strategies.
+//!
+//! Inputs come from a deterministic splitmix64 stream seeded from the
+//! test name and case index, so every run explores the same cases and
+//! any failure reproduces exactly. There is no shrinking: the failing
+//! case prints its inputs via the normal assertion message.
+
+/// Test-runner plumbing: configuration and the deterministic RNG.
+pub mod test_runner {
+    /// Per-test configuration (subset: case count only).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    /// Deterministic splitmix64 generator.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds from a test name and case index (FNV-1a over the name).
+        #[must_use]
+        pub fn deterministic(name: &str, case: u32) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng {
+                state: h ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            }
+        }
+
+        /// Next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+}
+
+pub use test_runner::{Config as ProptestConfig, TestRng};
+
+/// A value generator. The shim generates directly (no value trees, no
+/// shrinking).
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+    /// Draws one value from the deterministic stream.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The canonical strategy for `T` (`any::<u8>()`, `any::<bool>()`, ...).
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    #[allow(clippy::cast_precision_loss)]
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let frac = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + frac * (self.end - self.start)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+/// Collection strategies (`collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for a `Vec` with element strategy `S` and a length range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// A `Vec` whose length is drawn from `len` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.generate(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`option::of`).
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Option<T>`.
+    pub struct OptionStrategy<S>(S);
+
+    /// `None` roughly one time in four, `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+/// Fixed-size array strategies (`array::uniform32`).
+pub mod array {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `[T; 32]`.
+    pub struct Uniform32<S>(S);
+
+    /// An array of 32 values drawn from `inner`.
+    pub fn uniform32<S: Strategy>(inner: S) -> Uniform32<S> {
+        Uniform32(inner)
+    }
+
+    impl<S: Strategy> Strategy for Uniform32<S> {
+        type Value = [S::Value; 32];
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            std::array::from_fn(|_| self.0.generate(rng))
+        }
+    }
+}
+
+/// Asserts a condition inside a property (panics with the message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property (panics with the message).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; mut $var:ident in $strat:expr) => {
+        let mut $var = $crate::Strategy::generate(&($strat), &mut $rng);
+    };
+    ($rng:ident; mut $var:ident in $strat:expr, $($rest:tt)*) => {
+        let mut $var = $crate::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $var:ident in $strat:expr) => {
+        let $var = $crate::Strategy::generate(&($strat), &mut $rng);
+    };
+    ($rng:ident; $var:ident in $strat:expr, $($rest:tt)*) => {
+        let $var = $crate::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            for __case in 0..__cfg.cases {
+                #[allow(unused_mut)]
+                let mut __rng =
+                    $crate::TestRng::deterministic(stringify!($name), __case);
+                $crate::__proptest_bind!(__rng; $($params)*);
+                $body
+            }
+        }
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Declares property tests: each `fn name(x in strategy, ...) { .. }`
+/// becomes a `#[test]` running `cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// The usual glob import: strategies, config, and the macros.
+pub mod prelude {
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, Arbitrary, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = crate::TestRng::deterministic("t", 3);
+        let mut b = crate::TestRng::deterministic("t", 3);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_in_bounds(x in 3u8..9, y in 10usize..2000, f in 0.0f64..1.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((10..2000).contains(&y));
+            prop_assert!((0.0..1.0).contains(&f), "f = {f}");
+        }
+
+        #[test]
+        fn vec_len_respected(mut v in crate::collection::vec(any::<u8>(), 1..20)) {
+            v.push(0);
+            prop_assert!(v.len() >= 2 && v.len() <= 20);
+        }
+
+        #[test]
+        fn tuples_and_options(
+            pair in (0u64..1000, 1u64..200),
+            opt in crate::option::of(0usize..424),
+            arr in crate::array::uniform32(any::<u8>()),
+            raw in any::<[u8; 4]>(),
+        ) {
+            prop_assert!(pair.0 < 1000 && pair.1 >= 1);
+            if let Some(v) = opt {
+                prop_assert!(v < 424);
+            }
+            prop_assert_eq!(arr.len(), 32);
+            prop_assert_eq!(raw.len(), 4);
+        }
+    }
+}
