@@ -5,36 +5,51 @@
 //! ```sh
 //! repro [all|table1|table2|table3|table4|table5|table6|table7|pcb|mbuf|predict|errors]
 //!       [churn|ablation|switch|ethernet-errors|trace]
-//!       [--iterations N] [--reps N] [--json FILE] [--full]
+//!       [--iterations N] [--reps N] [--jobs N] [--json FILE]
+//!       [--sweep-json FILE] [--full] [--quick]
 //! ```
 //!
 //! The second group are extension experiments beyond the paper's
 //! tables; `repro all` runs the tables, `repro extras` the extensions.
 //!
 //! `--full` uses the paper's methodology scale (40 000 iterations ×
-//! 3 repetitions); the default is a fast pass that produces the same
-//! means (the simulation is deterministic, so extra iterations only
-//! confirm stability).
+//! 3 repetitions); `--quick` is the CI fast pass (200 × 1); the
+//! default produces the same means (the simulation is deterministic,
+//! so extra iterations only confirm stability).
+//!
+//! The table experiments are declared as one grid and executed by the
+//! deterministic parallel sweep runner (`crates/sweep`): cells shared
+//! between tables (the ATM baseline appears in Tables 1, 2/3, 4, 6
+//! and 7) run once, `--jobs N` fans the grid across N workers
+//! (default: available parallelism), and the printed tables are
+//! byte-identical at every worker count. `--sweep-json` dumps the
+//! per-cell report (mean/stddev/min/max, events, host wall-clock).
 
 mod report;
 
 use latency_core::experiment::{Experiment, NetKind};
 use latency_core::{faults, micro, paper, tables};
 use report::Report;
+use sweep::grid::Variant;
+use sweep::{Sweep, SweepResults};
 
 /// Command-line options.
 struct Opts {
     what: Vec<String>,
     iterations: u64,
     reps: u64,
+    jobs: usize,
     json: Option<String>,
+    sweep_json: Option<String>,
 }
 
 fn parse_args() -> Opts {
     let mut what = Vec::new();
     let mut iterations = 1500;
     let mut reps = 1;
+    let mut jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut json = None;
+    let mut sweep_json = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -47,10 +62,19 @@ fn parse_args() -> Opts {
             "--reps" => {
                 reps = args.next().and_then(|v| v.parse().ok()).expect("--reps N");
             }
+            "--jobs" => {
+                jobs = args.next().and_then(|v| v.parse().ok()).expect("--jobs N");
+                assert!(jobs >= 1, "--jobs needs at least one worker");
+            }
             "--json" => json = Some(args.next().expect("--json FILE")),
+            "--sweep-json" => sweep_json = Some(args.next().expect("--sweep-json FILE")),
             "--full" => {
                 iterations = 40_000;
                 reps = 3;
+            }
+            "--quick" => {
+                iterations = 200;
+                reps = 1;
             }
             other if !other.starts_with('-') => what.push(other.to_string()),
             other => panic!("unknown flag {other}"),
@@ -63,7 +87,9 @@ fn parse_args() -> Opts {
         what,
         iterations,
         reps,
+        jobs,
         json,
+        sweep_json,
     }
 }
 
@@ -73,23 +99,87 @@ fn main() {
     let all = opts.what.iter().any(|w| w == "all");
     let want = |k: &str| all || opts.what.iter().any(|w| w == k);
 
+    // Phase 1: declare the full grid up front. `ensure` deduplicates
+    // cells shared between tables — the ATM baseline appears in
+    // Tables 1, 2/3, 4, 6 and 7 but runs once.
+    let mut sw = Sweep::new("repro");
     if want("table1") {
-        table1(&mut report, &opts);
+        for &size in &paper::SIZES {
+            declare_rpc(&mut sw, NetKind::Atm, size, Variant::Base, &opts);
+            declare_rpc(&mut sw, NetKind::Ether, size, Variant::Base, &opts);
+        }
     }
     if want("table2") || want("table3") {
-        tables_2_3(&mut report, &opts);
+        for &size in &paper::SIZES {
+            declare_rpc(&mut sw, NetKind::Atm, size, Variant::Base, &opts);
+        }
     }
     if want("table4") {
-        table4(&mut report, &opts);
+        for &size in &paper::SIZES {
+            declare_rpc(&mut sw, NetKind::Atm, size, Variant::Base, &opts);
+            declare_rpc(&mut sw, NetKind::Atm, size, Variant::NoPrediction, &opts);
+        }
+    }
+    if want("table6") {
+        for &size in &paper::SIZES {
+            declare_rpc(&mut sw, NetKind::Atm, size, Variant::Base, &opts);
+            declare_rpc(
+                &mut sw,
+                NetKind::Atm,
+                size,
+                Variant::IntegratedChecksum,
+                &opts,
+            );
+        }
+    }
+    if want("table7") {
+        for &size in &paper::SIZES {
+            declare_rpc(&mut sw, NetKind::Atm, size, Variant::Base, &opts);
+            declare_rpc(&mut sw, NetKind::Atm, size, Variant::NoChecksum, &opts);
+        }
+    }
+
+    // Phase 2: one deterministic parallel run over the merged grid.
+    let grid = if sw.is_empty() {
+        None
+    } else {
+        eprintln!(
+            "sweep: {} cell(s) across {} worker(s)...",
+            sw.len(),
+            opts.jobs
+        );
+        Some(sw.run(opts.jobs))
+    };
+    if let Some(path) = &opts.sweep_json {
+        match &grid {
+            Some(grid) => {
+                std::fs::write(path, grid.to_json()).expect("write sweep json");
+                eprintln!("sweep report written to {path}");
+            }
+            None => eprintln!("sweep-json: no grid cells were declared; nothing written"),
+        }
+    }
+
+    // Phase 3: render the tables, in table order, from the merged
+    // results. Rendering recomputes each cell's key; `expect` turns
+    // any declaration/rendering mismatch into a named panic.
+    if want("table1") {
+        table1(&mut report, &opts, grid.as_ref().expect("grid"));
+    }
+    if want("table2") || want("table3") {
+        tables_2_3(&mut report, &opts, grid.as_ref().expect("grid"));
+    }
+    if want("table4") {
+        table4(&mut report, &opts, grid.as_ref().expect("grid"));
     }
     if want("table5") {
         table5(&mut report);
     }
     if want("table6") {
-        table6(&mut report, &opts);
+        table6(&mut report, &opts, grid.as_ref().expect("grid"));
     }
     if want("table7") {
-        table7(&mut report, &opts);
+        table7(&mut report, &opts, grid.as_ref().expect("grid"));
     }
     if want("pcb") {
         pcb(&mut report);
@@ -379,34 +469,48 @@ fn trace_timeline() {
     }
 }
 
-fn rpc(net: NetKind, size: usize, opts: &Opts) -> Experiment {
-    let mut e = Experiment::rpc(net, size);
-    e.iterations = opts.iterations;
+fn effective_iterations(net: NetKind, opts: &Opts) -> u64 {
     // Ethernet at 8 KB is ~20 ms per iteration of simulated time; cap
     // the slow substrate so full runs stay pleasant.
     if net == NetKind::Ether {
-        e.iterations = e.iterations.min(4_000);
+        opts.iterations.min(4_000)
+    } else {
+        opts.iterations
     }
+}
+
+fn rpc(net: NetKind, size: usize, opts: &Opts) -> Experiment {
+    let mut e = Experiment::rpc(net, size);
+    e.iterations = effective_iterations(net, opts);
     e.warmup = 16;
     e
 }
 
-fn table1(report: &mut Report, opts: &Opts) {
-    eprintln!("table1: ATM vs Ethernet sweep...");
-    let mut atm = Vec::new();
-    let mut eth = Vec::new();
-    for &size in &paper::SIZES {
-        atm.push(
-            rpc(NetKind::Atm, size, opts)
-                .run_reps(opts.reps)
-                .mean_rtt_us(),
-        );
-        eth.push(
-            rpc(NetKind::Ether, size, opts)
-                .run_reps(opts.reps)
-                .mean_rtt_us(),
-        );
-    }
+/// The grid key of an RPC cell. Declaration and rendering both go
+/// through this, so a key mismatch between the two is impossible.
+fn rpc_key(net: NetKind, size: usize, v: Variant, opts: &Opts) -> String {
+    sweep::grid::rpc_cell_key(net, size, v, effective_iterations(net, opts), opts.reps)
+}
+
+fn declare_rpc(sw: &mut Sweep, net: NetKind, size: usize, v: Variant, opts: &Opts) {
+    sw.ensure(
+        rpc_key(net, size, v, opts),
+        v.apply(rpc(net, size, opts)),
+        opts.reps,
+    );
+}
+
+fn table1(report: &mut Report, opts: &Opts, grid: &SweepResults) {
+    eprintln!("table1: ATM vs Ethernet rendering...");
+    let mean = |net, size| grid.mean_us(&rpc_key(net, size, Variant::Base, opts));
+    let atm: Vec<f64> = paper::SIZES
+        .iter()
+        .map(|&s| mean(NetKind::Atm, s))
+        .collect();
+    let eth: Vec<f64> = paper::SIZES
+        .iter()
+        .map(|&s| mean(NetKind::Ether, s))
+        .collect();
     let text = tables::rtt_comparison(
         "Table 1: ATM vs Ethernet round-trip times",
         "Ether",
@@ -423,12 +527,14 @@ fn table1(report: &mut Report, opts: &Opts) {
     report.text("table1", text);
 }
 
-fn tables_2_3(report: &mut Report, opts: &Opts) {
-    eprintln!("table2/3: breakdown sweep...");
+fn tables_2_3(report: &mut Report, opts: &Opts, grid: &SweepResults) {
+    eprintln!("table2/3: breakdown rendering...");
     let mut txs = Vec::new();
     let mut rxs = Vec::new();
     for &size in &paper::SIZES {
-        let r = rpc(NetKind::Atm, size, opts).run_reps(opts.reps);
+        let r = &grid
+            .expect(&rpc_key(NetKind::Atm, size, Variant::Base, opts))
+            .result;
         txs.push(r.tx);
         rxs.push(r.rx);
     }
@@ -450,22 +556,13 @@ fn tables_2_3(report: &mut Report, opts: &Opts) {
     report.text("table3", t3);
 }
 
-fn table4(report: &mut Report, opts: &Opts) {
+fn table4(report: &mut Report, opts: &Opts, grid: &SweepResults) {
     eprintln!("table4: header prediction on/off...");
     let mut with = Vec::new();
     let mut without = Vec::new();
     for &size in &paper::SIZES {
-        with.push(
-            rpc(NetKind::Atm, size, opts)
-                .run_reps(opts.reps)
-                .mean_rtt_us(),
-        );
-        without.push(
-            rpc(NetKind::Atm, size, opts)
-                .without_prediction()
-                .run_reps(opts.reps)
-                .mean_rtt_us(),
-        );
+        with.push(grid.mean_us(&rpc_key(NetKind::Atm, size, Variant::Base, opts)));
+        without.push(grid.mean_us(&rpc_key(NetKind::Atm, size, Variant::NoPrediction, opts)));
     }
     let text = tables::rtt_comparison(
         "Table 4: effect of header prediction",
@@ -560,22 +657,18 @@ fn table5(report: &mut Report) {
     report.text("table5_native", native);
 }
 
-fn table6(report: &mut Report, opts: &Opts) {
+fn table6(report: &mut Report, opts: &Opts, grid: &SweepResults) {
     eprintln!("table6: integrated copy-and-checksum kernel...");
     let mut base = Vec::new();
     let mut integ = Vec::new();
     for &size in &paper::SIZES {
-        base.push(
-            rpc(NetKind::Atm, size, opts)
-                .run_reps(opts.reps)
-                .mean_rtt_us(),
-        );
-        integ.push(
-            rpc(NetKind::Atm, size, opts)
-                .with_integrated_checksum()
-                .run_reps(opts.reps)
-                .mean_rtt_us(),
-        );
+        base.push(grid.mean_us(&rpc_key(NetKind::Atm, size, Variant::Base, opts)));
+        integ.push(grid.mean_us(&rpc_key(
+            NetKind::Atm,
+            size,
+            Variant::IntegratedChecksum,
+            opts,
+        )));
     }
     let text = tables::rtt_comparison(
         "Table 6: standard vs combined copy-and-checksum round trips",
@@ -592,22 +685,13 @@ fn table6(report: &mut Report, opts: &Opts) {
     report.text("table6", text);
 }
 
-fn table7(report: &mut Report, opts: &Opts) {
+fn table7(report: &mut Report, opts: &Opts, grid: &SweepResults) {
     eprintln!("table7: checksum elimination...");
     let mut base = Vec::new();
     let mut none = Vec::new();
     for &size in &paper::SIZES {
-        base.push(
-            rpc(NetKind::Atm, size, opts)
-                .run_reps(opts.reps)
-                .mean_rtt_us(),
-        );
-        none.push(
-            rpc(NetKind::Atm, size, opts)
-                .without_checksum()
-                .run_reps(opts.reps)
-                .mean_rtt_us(),
-        );
+        base.push(grid.mean_us(&rpc_key(NetKind::Atm, size, Variant::Base, opts)));
+        none.push(grid.mean_us(&rpc_key(NetKind::Atm, size, Variant::NoChecksum, opts)));
     }
     let text = tables::rtt_comparison(
         "Table 7: round trips with and without the TCP checksum",

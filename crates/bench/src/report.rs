@@ -53,12 +53,14 @@ impl Report {
         }
     }
 
-    /// Records a measured-vs-paper series.
+    /// Records a measured-vs-paper series. Points where the paper
+    /// gives no number (0.0) have no defined relative error; they
+    /// render as `null` (see `json_num`) rather than a masking `0.0`.
     pub fn series(&mut self, name: &str, measured: &[f64], paper: &[f64]) {
         let err_pct = measured
             .iter()
             .zip(paper)
-            .map(|(&m, &p)| if p == 0.0 { 0.0 } else { (m - p) / p * 100.0 })
+            .map(|(&m, &p)| latency_core::stats::pct_error(m, p))
             .collect();
         self.series.insert(
             name.to_string(),
@@ -207,7 +209,9 @@ mod tests {
         let j = r.to_json();
         assert!(j.contains("\"iterations\": 10,"));
         assert!(j.contains("\"measured\": [1.5, 2.0]"));
-        assert!(j.contains("\"err_pct\": [50.0, 0.0]"));
+        // The second point's paper value is 0.0: relative error is
+        // undefined there, and must surface as null, not 0.
+        assert!(j.contains("\"err_pct\": [50.0, null]"));
         assert!(j.contains("\"x\": { \"measured\": 3.25, \"paper\": 0.0 }"));
         assert!(j.contains("line1\\nline\\\"2\\\""));
         // Balanced braces/brackets, since nothing nests beyond depth 2.

@@ -234,10 +234,23 @@ impl Experiment {
     /// samples, as the paper's averaging did.
     #[must_use]
     pub fn run_reps(&self, reps: u64) -> RunResult {
+        self.run_reps_seeded(0, reps)
+    }
+
+    /// [`Experiment::run_reps`] with repetition seeds derived from
+    /// `base_seed`: repetition `r` (1-based) runs with seed
+    /// `base_seed + r`.
+    ///
+    /// The sweep runner derives `base_seed` from each cell's stable
+    /// grid key, so a cell's results depend only on its own
+    /// configuration — never on which worker ran it or in what order
+    /// (`run_reps` is the `base_seed = 0` special case).
+    #[must_use]
+    pub fn run_reps_seeded(&self, base_seed: u64, reps: u64) -> RunResult {
         assert!(reps >= 1);
-        let mut acc = self.run(1);
-        for seed in 2..=reps {
-            let r = self.run(seed);
+        let mut acc = self.run(base_seed.wrapping_add(1));
+        for rep in 2..=reps {
+            let r = self.run(base_seed.wrapping_add(rep));
             acc.rtts.extend(r.rtts);
             acc.verify_failures += r.verify_failures;
             acc.bytes_moved += r.bytes_moved;
@@ -250,6 +263,11 @@ impl Experiment {
         acc
     }
 }
+
+// Sweep workers receive experiments and hand back results across
+// thread boundaries; keep both plain data.
+const _: () = simkit::assert_world_send::<Experiment>();
+const _: () = simkit::assert_world_send::<RunResult>();
 
 fn avg_tx(a: &TxBreakdown, b: &TxBreakdown, _k: f64) -> TxBreakdown {
     TxBreakdown {

@@ -6,6 +6,16 @@ use crate::breakdown::{RxBreakdown, TxBreakdown};
 use crate::paper;
 use crate::stats::{pct_decrease, pct_error};
 
+/// Formats a percentage column entry; NaN (zero baseline, see
+/// [`pct_decrease`]) renders as `n/a`.
+fn pct_cell(x: f64) -> String {
+    if x.is_nan() {
+        format!("{:>7}", "n/a")
+    } else {
+        format!("{x:>7.1}")
+    }
+}
+
 /// Renders a Table 1 / 4 / 6 / 7 style RTT comparison: two measured
 /// series against two published series.
 #[must_use]
@@ -36,16 +46,16 @@ pub fn rtt_comparison(
     ));
     for (i, &n) in sizes.iter().enumerate() {
         out.push_str(&format!(
-            "{:>6} | {:>10.0} {:>10.0} {:>7.1} | {:>10.0} {:>10.0} {:>7.1} | {:>7.1} {:>7.1}\n",
+            "{:>6} | {:>10.0} {:>10.0} {} | {:>10.0} {:>10.0} {} | {} {}\n",
             n,
             a_us[i],
             b_us[i],
-            pct_decrease(a_us[i], b_us[i]),
+            pct_cell(pct_decrease(a_us[i], b_us[i])),
             paper_a[i],
             paper_b[i],
-            pct_decrease(paper_a[i], paper_b[i]),
-            pct_error(a_us[i], paper_a[i]),
-            pct_error(b_us[i], paper_b[i]),
+            pct_cell(pct_decrease(paper_a[i], paper_b[i])),
+            pct_cell(pct_error(a_us[i], paper_a[i])),
+            pct_cell(pct_error(b_us[i], paper_b[i])),
         ));
     }
     out
@@ -180,6 +190,25 @@ mod tests {
         assert!(s.contains("1021"));
         // Self-comparison shows zero error.
         assert!(s.contains("0.0"));
+    }
+
+    #[test]
+    fn zero_baseline_renders_na_not_zero() {
+        // A broken (all-zero) measured baseline must be visible as
+        // n/a in the percentage columns, not pass as "0.0% change".
+        let zeros = [0.0; 8];
+        let s = rtt_comparison(
+            "broken",
+            "A",
+            "B",
+            &paper::SIZES,
+            &zeros,
+            &paper::T1_ATM_RTT,
+            &paper::T1_ETHERNET_RTT,
+            &paper::T1_ATM_RTT,
+        );
+        assert!(s.contains("n/a"), "{s}");
+        assert!(!s.contains("NaN"), "{s}");
     }
 
     #[test]

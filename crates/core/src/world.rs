@@ -51,6 +51,11 @@ pub struct World {
     pub capture: bool,
 }
 
+// The parallel sweep runner builds and runs one world per cell inside
+// a worker thread; the world (not the Sim — event closures stay
+// thread-local) must be able to cross threads.
+const _: () = simkit::assert_world_send::<World>();
+
 impl World {
     /// Builds a world over pre-built NICs and apps. The connection is
     /// established administratively with BSD MSS rules; sequence

@@ -6,7 +6,7 @@
 //! cluster pages — "they hold 4 KB of data, the size of a memory page,
 //! whereas normal mbufs hold only 108 bytes" (§2.2.1).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use cksum::PartialChecksum;
 
@@ -38,7 +38,7 @@ pub enum MbufKind {
 /// returns the page to the pool statistics.
 struct ClusterPage {
     data: Box<[u8; MCLBYTES]>,
-    pool: Rc<PoolInner>,
+    pool: Arc<PoolInner>,
 }
 
 impl Drop for ClusterPage {
@@ -55,7 +55,7 @@ enum Storage {
         len: usize,
     },
     Cluster {
-        page: Rc<ClusterPage>,
+        page: Arc<ClusterPage>,
         off: usize,
         len: usize,
     },
@@ -96,7 +96,7 @@ pub struct Mbuf {
     /// Valid only while the data is unchanged; every mutating
     /// operation clears it.
     pub partial_cksum: Option<PartialChecksum>,
-    pool: Rc<PoolInner>,
+    pool: Arc<PoolInner>,
 }
 
 impl Drop for Mbuf {
@@ -118,7 +118,7 @@ impl Mbuf {
             },
             pkthdr: None,
             partial_cksum: None,
-            pool: Rc::clone(&pool.inner),
+            pool: Arc::clone(&pool.inner),
         }
     }
 
@@ -145,16 +145,16 @@ impl Mbuf {
         PoolInner::bump(&pool.inner.clusters_allocated);
         Mbuf {
             storage: Storage::Cluster {
-                page: Rc::new(ClusterPage {
+                page: Arc::new(ClusterPage {
                     data: Box::new([0; MCLBYTES]),
-                    pool: Rc::clone(&pool.inner),
+                    pool: Arc::clone(&pool.inner),
                 }),
                 off: 0,
                 len: 0,
             },
             pkthdr: None,
             partial_cksum: None,
-            pool: Rc::clone(&pool.inner),
+            pool: Arc::clone(&pool.inner),
         }
     }
 
@@ -178,7 +178,7 @@ impl Mbuf {
     pub fn is_shared(&self) -> bool {
         match &self.storage {
             Storage::Small { .. } => false,
-            Storage::Cluster { page, .. } => Rc::strong_count(page) > 1,
+            Storage::Cluster { page, .. } => Arc::strong_count(page) > 1,
         }
     }
 
@@ -239,7 +239,7 @@ impl Mbuf {
                 *len += n;
             }
             Storage::Cluster { page, off, len } => {
-                let page = Rc::get_mut(page)
+                let page = Arc::get_mut(page)
                     .expect("append to a shared cluster page would corrupt peer data");
                 page.data[*off + *len..*off + *len + n].copy_from_slice(&src[..n]);
                 *len += n;
@@ -270,7 +270,7 @@ impl Mbuf {
                 buf[*off..*off + n].copy_from_slice(src);
             }
             Storage::Cluster { page, off, len } => {
-                let page = Rc::get_mut(page)
+                let page = Arc::get_mut(page)
                     .expect("prepend to a shared cluster page would corrupt peer data");
                 *off -= n;
                 *len += n;
@@ -325,13 +325,13 @@ impl Mbuf {
                 PoolInner::bump(&pool.inner.cluster_refs);
                 Mbuf {
                     storage: Storage::Cluster {
-                        page: Rc::clone(page),
+                        page: Arc::clone(page),
                         off: off + start,
                         len,
                     },
                     pkthdr: None,
                     partial_cksum: None,
-                    pool: Rc::clone(&pool.inner),
+                    pool: Arc::clone(&pool.inner),
                 }
             }
         }

@@ -6,9 +6,15 @@
 //! prices allocator events from the [`OpCost`](crate::OpCost) receipts;
 //! this module provides the shared statistics that let tests and the
 //! harness assert on allocator behaviour (and on the absence of leaks).
+//!
+//! The counters are atomics behind an [`Arc`] so a whole simulated
+//! world — pools, chains and all — is `Send` and can be fanned out
+//! across sweep worker threads. At runtime each pool still belongs to
+//! exactly one world on one thread; relaxed ordering is all the
+//! statistics need.
 
-use core::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Cumulative allocator statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -41,11 +47,11 @@ impl PoolStats {
 
 #[derive(Default)]
 pub(crate) struct PoolInner {
-    pub(crate) mbufs_allocated: Cell<u64>,
-    pub(crate) mbufs_freed: Cell<u64>,
-    pub(crate) clusters_allocated: Cell<u64>,
-    pub(crate) clusters_freed: Cell<u64>,
-    pub(crate) cluster_refs: Cell<u64>,
+    pub(crate) mbufs_allocated: AtomicU64,
+    pub(crate) mbufs_freed: AtomicU64,
+    pub(crate) clusters_allocated: AtomicU64,
+    pub(crate) clusters_freed: AtomicU64,
+    pub(crate) cluster_refs: AtomicU64,
 }
 
 /// Handle to a host's mbuf allocator.
@@ -68,7 +74,7 @@ pub(crate) struct PoolInner {
 /// ```
 #[derive(Clone, Default)]
 pub struct MbufPool {
-    pub(crate) inner: Rc<PoolInner>,
+    pub(crate) inner: Arc<PoolInner>,
 }
 
 impl MbufPool {
@@ -82,18 +88,18 @@ impl MbufPool {
     #[must_use]
     pub fn stats(&self) -> PoolStats {
         PoolStats {
-            mbufs_allocated: self.inner.mbufs_allocated.get(),
-            mbufs_freed: self.inner.mbufs_freed.get(),
-            clusters_allocated: self.inner.clusters_allocated.get(),
-            clusters_freed: self.inner.clusters_freed.get(),
-            cluster_refs: self.inner.cluster_refs.get(),
+            mbufs_allocated: self.inner.mbufs_allocated.load(Ordering::Relaxed),
+            mbufs_freed: self.inner.mbufs_freed.load(Ordering::Relaxed),
+            clusters_allocated: self.inner.clusters_allocated.load(Ordering::Relaxed),
+            clusters_freed: self.inner.clusters_freed.load(Ordering::Relaxed),
+            cluster_refs: self.inner.cluster_refs.load(Ordering::Relaxed),
         }
     }
 }
 
 impl PoolInner {
-    pub(crate) fn bump(cell: &Cell<u64>) {
-        cell.set(cell.get() + 1);
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -107,6 +113,16 @@ mod tests {
         assert_eq!(pool.stats(), PoolStats::default());
         assert_eq!(pool.stats().mbufs_outstanding(), 0);
         assert_eq!(pool.stats().clusters_outstanding(), 0);
+    }
+
+    #[test]
+    fn pools_mbufs_and_chains_are_send() {
+        // Sweep workers move whole worlds (pools and chains included)
+        // across threads; this must keep compiling.
+        fn check<T: Send>() {}
+        check::<MbufPool>();
+        check::<crate::Mbuf>();
+        check::<crate::Chain>();
     }
 
     #[test]

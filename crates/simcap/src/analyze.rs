@@ -45,18 +45,31 @@ impl LatencyDist {
     }
 
     /// Nearest-rank percentile in ns (0 when empty).
+    ///
+    /// `p` is interpreted on `(0, 100]`: anything at or below zero —
+    /// including NaN — is clamped to the minimum sample, anything at
+    /// or above 100 to the maximum, so out-of-range requests can never
+    /// index past the sample vector (a one-sample distribution returns
+    /// that sample for every `p`).
     #[must_use]
     pub fn percentile_ns(&self, p: f64) -> i64 {
         if self.samples.is_empty() {
             return 0;
+        }
+        if p.is_nan() || p <= 0.0 {
+            return self.min_ns();
+        }
+        if p >= 100.0 {
+            return self.max_ns();
         }
         #[allow(
             clippy::cast_possible_truncation,
             clippy::cast_sign_loss,
             clippy::cast_precision_loss
         )]
-        let rank = ((p / 100.0 * self.samples.len() as f64).ceil() as usize).max(1);
-        self.samples[rank.min(self.samples.len()) - 1]
+        let rank =
+            ((p / 100.0 * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
+        self.samples[rank - 1]
     }
 
     /// Median in ns.
@@ -268,6 +281,34 @@ mod tests {
         assert_eq!(r.matched, 1);
         assert_eq!(r.unmatched_a, 0);
         assert_eq!(r.dist.samples(), &[50]);
+    }
+
+    #[test]
+    fn percentile_boundaries() {
+        let d = LatencyDist::from_samples(vec![30, 10, 20]);
+        // p=100 is exactly the maximum; tiny p the minimum.
+        assert_eq!(d.percentile_ns(100.0), 30);
+        assert_eq!(d.percentile_ns(1e-9), 10);
+        // Out-of-range and non-finite p clamp instead of indexing
+        // outside the samples.
+        assert_eq!(d.percentile_ns(0.0), 10);
+        assert_eq!(d.percentile_ns(-5.0), 10);
+        assert_eq!(d.percentile_ns(250.0), 30);
+        assert_eq!(d.percentile_ns(f64::NAN), 10);
+        assert_eq!(d.percentile_ns(f64::INFINITY), 30);
+        assert_eq!(d.percentile_ns(f64::NEG_INFINITY), 10);
+    }
+
+    #[test]
+    fn percentile_of_a_single_sample_never_indexes_out_of_bounds() {
+        let d = LatencyDist::from_samples(vec![7]);
+        for p in [-1.0, 0.0, 1e-12, 0.5, 50.0, 99.999, 100.0, 1e6, f64::NAN] {
+            assert_eq!(d.percentile_ns(p), 7, "p = {p}");
+        }
+        assert_eq!(d.median_ns(), 7);
+        assert_eq!(d.p99_ns(), 7);
+        // Empty stays the documented 0.
+        assert_eq!(LatencyDist::default().percentile_ns(50.0), 0);
     }
 
     #[test]

@@ -234,18 +234,37 @@ impl<W> Sim<W> {
         }
     }
 
-    /// Runs until `pred` over the world becomes true (checked after
-    /// every event) or the queue empties. Returns whether the predicate
-    /// was satisfied.
+    /// Executes pending events while `keep_going` returns `true`,
+    /// checking the predicate **after** every executed event.
+    ///
+    /// Returns `true` when the predicate stopped the run (it returned
+    /// `false` after some event), and `false` when the queue drained
+    /// first — including a queue that was empty on entry, in which
+    /// case zero events run and the predicate is never called. When
+    /// the queue is non-empty at least one event executes, even if
+    /// `keep_going` would already have returned `false` beforehand.
     pub fn run_while<P: FnMut(&W) -> bool>(&mut self, mut keep_going: P) -> bool {
-        while keep_going(&self.world) {
+        loop {
             if !self.step() {
                 return false;
             }
+            if !keep_going(&self.world) {
+                return true;
+            }
         }
-        true
     }
 }
+
+/// Compile-time witness that a world type can be fanned out across
+/// sweep worker threads.
+///
+/// A [`Sim`] itself is never sent anywhere — its event queue holds
+/// non-`Send` boxed closures, so each worker builds and runs its own
+/// simulation locally. The only requirement parallel sweeps place on a
+/// simulation is therefore that the *world* (and whatever results are
+/// extracted from it) crosses threads: assert it once, next to the
+/// world type, as `const _: () = simkit::assert_world_send::<MyWorld>();`.
+pub const fn assert_world_send<W: Send>() {}
 
 #[cfg(test)]
 mod tests {
@@ -313,9 +332,24 @@ mod tests {
         let satisfied = sim.run_while(|w| *w < 4);
         assert!(satisfied);
         assert_eq!(sim.world, 4);
+        // The predicate is consulted only after an event executes: one
+        // that is already false still lets exactly one event run.
+        let satisfied = sim.run_while(|w| *w < 1);
+        assert!(satisfied);
+        assert_eq!(sim.world, 5);
         let exhausted = sim.run_while(|w| *w < 1000);
         assert!(!exhausted);
         assert_eq!(sim.world, 10);
+    }
+
+    #[test]
+    fn run_while_on_an_empty_queue_reports_drained() {
+        // Zero events ran, so the result must be "queue drained", not
+        // "predicate satisfied" — and the predicate is never called.
+        let mut sim = Sim::new(0u32);
+        let drained = !sim.run_while(|_| panic!("predicate called with no events"));
+        assert!(drained);
+        assert_eq!(sim.events_executed(), 0);
     }
 
     #[test]

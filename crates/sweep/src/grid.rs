@@ -1,0 +1,137 @@
+//! Declarative grid axes and stable cell keys.
+//!
+//! A cell key is the *identity* of one experiment configuration:
+//! network × message size × kernel variant × scale. The key does three
+//! jobs at once — it deduplicates cells shared between tables (the ATM
+//! baseline appears in Tables 1, 2/3, 4, 6 and 7 but runs once), it
+//! derives the cell's RNG seed (see [`crate::cell_seed`]), and it
+//! names the cell in `sweep.json`. Keys must therefore be functions of
+//! configuration only, never of execution order.
+
+use latency_core::experiment::{Experiment, NetKind};
+
+/// The paper's kernel variants, as a grid axis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Variant {
+    /// The baseline BSD 4.4 alpha kernel.
+    Base,
+    /// Header prediction disabled (§3, Table 4).
+    NoPrediction,
+    /// Integrated copy-and-checksum (§4.1.1, Table 6).
+    IntegratedChecksum,
+    /// TCP checksum eliminated (§4.2, Table 7).
+    NoChecksum,
+}
+
+impl Variant {
+    /// Every variant, in table order.
+    pub const ALL: [Variant; 4] = [
+        Variant::Base,
+        Variant::NoPrediction,
+        Variant::IntegratedChecksum,
+        Variant::NoChecksum,
+    ];
+
+    /// The key fragment naming this variant.
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            Variant::Base => "base",
+            Variant::NoPrediction => "nopred",
+            Variant::IntegratedChecksum => "integrated",
+            Variant::NoChecksum => "nocksum",
+        }
+    }
+
+    /// Applies the variant to a baseline experiment.
+    #[must_use]
+    pub fn apply(self, e: Experiment) -> Experiment {
+        match self {
+            Variant::Base => e,
+            Variant::NoPrediction => e.without_prediction(),
+            Variant::IntegratedChecksum => e.with_integrated_checksum(),
+            Variant::NoChecksum => e.without_checksum(),
+        }
+    }
+}
+
+/// The key fragment naming a network substrate.
+#[must_use]
+pub fn net_tag(net: NetKind) -> &'static str {
+    match net {
+        NetKind::Atm => "atm",
+        NetKind::Ether => "ether",
+    }
+}
+
+/// The stable key of an RPC grid cell.
+///
+/// Includes the scale (`iterations` × `reps`) because changing either
+/// changes the measured distribution; two cells differing only in
+/// scale are different cells.
+#[must_use]
+pub fn rpc_cell_key(
+    net: NetKind,
+    size: usize,
+    variant: Variant,
+    iterations: u64,
+    reps: u64,
+) -> String {
+    format!(
+        "rpc/{}/{size}/{}/i{iterations}r{reps}",
+        net_tag(net),
+        variant.tag()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_stable_and_distinct_across_the_grid() {
+        let mut seen = std::collections::BTreeSet::new();
+        for net in [NetKind::Atm, NetKind::Ether] {
+            for size in [4usize, 1400, 8000] {
+                for v in Variant::ALL {
+                    assert!(seen.insert(rpc_cell_key(net, size, v, 400, 1)));
+                }
+            }
+        }
+        assert_eq!(seen.len(), 2 * 3 * 4);
+        // Scale is part of the identity.
+        assert_ne!(
+            rpc_cell_key(NetKind::Atm, 4, Variant::Base, 400, 1),
+            rpc_cell_key(NetKind::Atm, 4, Variant::Base, 400, 3),
+        );
+        // And the format itself is part of the sweep.json contract.
+        assert_eq!(
+            rpc_cell_key(NetKind::Atm, 1400, Variant::NoChecksum, 1500, 3),
+            "rpc/atm/1400/nocksum/i1500r3"
+        );
+    }
+
+    #[test]
+    fn variants_apply_the_matching_kernel_config() {
+        use tcpip::ChecksumMode;
+        let base = Experiment::rpc(NetKind::Atm, 200);
+        assert!(
+            !Variant::NoPrediction
+                .apply(base.clone())
+                .cfg
+                .header_prediction
+        );
+        assert_eq!(
+            Variant::IntegratedChecksum.apply(base.clone()).cfg.checksum,
+            ChecksumMode::Integrated
+        );
+        assert_eq!(
+            Variant::NoChecksum.apply(base.clone()).cfg.checksum,
+            ChecksumMode::None
+        );
+        assert_eq!(
+            Variant::Base.apply(base.clone()).cfg.checksum,
+            base.cfg.checksum
+        );
+    }
+}

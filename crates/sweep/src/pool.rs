@@ -1,0 +1,112 @@
+//! A tiny dependency-free fork/join pool over `std::thread::scope`.
+//!
+//! The paper's tables are products of a *grid* of independent runs, so
+//! the unit of parallelism is one grid cell. Workers pull cell indices
+//! from a shared atomic counter (a work queue with no allocation and
+//! no channel), compute locally, and hand `(index, result)` pairs back
+//! through their join handles; the caller then writes every result
+//! into its original slot. Scheduling therefore affects only *when* a
+//! cell runs, never *what* it computes or where its result lands —
+//! which is what lets [`crate::Sweep::run`] promise byte-identical
+//! output at any worker count.
+//!
+//! No registry access is available to this build, so there is no
+//! rayon; this is the whole pool, matching the `vendor/` philosophy.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs `f` over every item on up to `jobs` worker threads and
+/// returns the results **in item order**, regardless of which worker
+/// ran which item or in what interleaving.
+///
+/// `f` receives `(index, &item)`. With `jobs == 1` (or one item) no
+/// thread is spawned at all: the items run inline on the caller's
+/// thread, which doubles as the reference sequential execution that
+/// parallel runs must reproduce.
+///
+/// # Panics
+///
+/// Panics if `jobs == 0`, or propagates a panic from `f` (the
+/// remaining workers finish their current item first).
+pub fn run_ordered<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    assert!(jobs >= 1, "a sweep needs at least one worker");
+    let jobs = jobs.min(items.len().max(1));
+    if jobs == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        out.push((i, f(i, item)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    // Merge back into item order: each index was claimed exactly once.
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for chunk in per_worker {
+        for (i, r) in chunk {
+            debug_assert!(slots[i].is_none(), "cell {i} computed twice");
+            slots[i] = Some(r);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("every cell claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_item_order_at_any_job_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for jobs in [1, 2, 3, 8, 64, 200] {
+            let got = run_ordered(&items, jobs, |_, &x| x * x + 1);
+            assert_eq!(got, expect, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_grids() {
+        let none: Vec<u32> = Vec::new();
+        assert!(run_ordered(&none, 4, |_, &x| x).is_empty());
+        assert_eq!(run_ordered(&[41u32], 4, |_, &x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn index_matches_item() {
+        let items: Vec<usize> = (0..40).collect();
+        let got = run_ordered(&items, 7, |i, &x| {
+            assert_eq!(i, x);
+            i
+        });
+        assert_eq!(got, items);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_jobs_panics() {
+        let _ = run_ordered(&[1], 0, |_, &x: &i32| x);
+    }
+}

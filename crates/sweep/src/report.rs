@@ -1,0 +1,162 @@
+//! `sweep.json`: the machine-readable sweep report.
+//!
+//! Two renderings share one cell section:
+//!
+//! - [`SweepResults::canonical_json`] is the **deterministic
+//!   artifact**: per-cell seed, sample count, mean/stddev/min/max RTT,
+//!   events executed and final simulated time, in grid order. It is
+//!   byte-identical across runs and across `--jobs` values, and is
+//!   what the determinism property test compares.
+//! - [`SweepResults::to_json`] is the canonical section plus the
+//!   things that legitimately vary run to run: the worker count and
+//!   per-cell host wall-clock (how long the cell took to *compute*,
+//!   which is how the speedup claim in the acceptance criteria is
+//!   checked). Tooling that diffs sweep reports must diff the
+//!   canonical form.
+//!
+//! Emitted by hand, no serde: the build works with no registry access.
+
+use std::fmt::Write as _;
+
+use crate::SweepResults;
+
+/// Finite-number JSON rendering; NaN/inf become null (like serde_json).
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        // Shortest representation that round-trips.
+        let s = format!("{x}");
+        if s.contains('.') || s.contains('e') || s.contains('E') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The shared `"cells"` object, in grid order.
+fn emit_cells(r: &SweepResults, out: &mut String) {
+    out.push_str("  \"cells\": {");
+    let mut first = true;
+    for c in &r.outcomes {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\n    {}: {{ ", json_string(&c.key));
+        let _ = write!(out, "\"seed\": {}, ", c.seed);
+        let _ = write!(out, "\"reps\": {}, ", c.reps);
+        let _ = write!(out, "\"samples\": {}, ", c.result.rtts.len());
+        let _ = write!(out, "\"mean_us\": {}, ", json_num(c.result.mean_rtt_us()));
+        let _ = write!(
+            out,
+            "\"stddev_us\": {}, ",
+            json_num(c.result.stddev_rtt_us())
+        );
+        let _ = write!(
+            out,
+            "\"min_us\": {}, ",
+            json_num(latency_core::stats::min_us(&c.result.rtts))
+        );
+        let _ = write!(
+            out,
+            "\"max_us\": {}, ",
+            json_num(latency_core::stats::max_us(&c.result.rtts))
+        );
+        let _ = write!(out, "\"events\": {}, ", c.result.events);
+        let _ = write!(
+            out,
+            "\"sim_time_us\": {}, ",
+            json_num(c.result.sim_time.as_us_f64())
+        );
+        let _ = write!(out, "\"verify_failures\": {} }}", c.result.verify_failures);
+    }
+    if r.outcomes.is_empty() {
+        out.push('}');
+    } else {
+        out.push_str("\n  }");
+    }
+}
+
+impl SweepResults {
+    /// The deterministic report: byte-identical for a given grid at
+    /// any `--jobs` value (and across repeated runs).
+    #[must_use]
+    pub fn canonical_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"name\": {},", json_string(&self.name));
+        emit_cells(self, &mut out);
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// The full report: the canonical cells plus per-cell host
+    /// wall-clock nanoseconds and the worker count — the fields that
+    /// may differ between runs.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"name\": {},", json_string(&self.name));
+        let _ = writeln!(out, "  \"jobs\": {},", self.jobs);
+        emit_cells(self, &mut out);
+        out.push_str(",\n  \"timing\": {");
+        let mut first = true;
+        let mut total = 0u64;
+        for c in &self.outcomes {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\n    {}: {}", json_string(&c.key), c.wall_ns);
+            total += c.wall_ns;
+        }
+        if !self.outcomes.is_empty() {
+            out.push_str(",\n    ");
+        }
+        let _ = write!(out, "\"total_cell_wall_ns\": {total}, ");
+        let _ = write!(out, "\"sweep_wall_ns\": {}", self.wall_ns);
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_num_matches_serde_conventions() {
+        assert_eq!(json_num(1.5), "1.5");
+        assert_eq!(json_num(3.0), "3.0");
+        assert_eq!(json_num(f64::NAN), "null");
+        assert_eq!(json_num(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+}

@@ -1,0 +1,80 @@
+//! Sweep grid: declare the paper's variant × size grid once, run it
+//! across every core, and read the merged results back by key.
+//!
+//! The `repro` binary uses exactly this machinery for Tables 1–7; the
+//! example shrinks it to a 3-size × 4-variant grid so it finishes in
+//! seconds. The printed numbers are byte-identical at any `jobs`
+//! value — each cell's RNG seed comes from its grid key, not from
+//! execution order, and results merge back in declaration order.
+//!
+//! ```sh
+//! cargo run --release --example sweep_grid
+//! ```
+
+use tcp_atm_latency::sweep::grid::{rpc_cell_key, Variant};
+use tcp_atm_latency::sweep::Sweep;
+use tcp_atm_latency::{Experiment, NetKind};
+
+fn main() {
+    const SIZES: [usize; 3] = [200, 1400, 8000];
+    const ITERATIONS: u64 = 300;
+
+    // Phase 1: declare the grid. Keys carry the full cell identity
+    // (network / size / variant / scale), so `ensure` deduplicates
+    // cells shared between tables and every cell seeds itself.
+    let mut sw = Sweep::new("example");
+    for &size in &SIZES {
+        for v in Variant::ALL {
+            let mut e = Experiment::rpc(NetKind::Atm, size);
+            e.iterations = ITERATIONS;
+            e.warmup = 8;
+            sw.ensure(
+                rpc_cell_key(NetKind::Atm, size, v, ITERATIONS, 1),
+                v.apply(e),
+                1,
+            );
+        }
+    }
+
+    // Phase 2: fan the cells out. Workers pull from a shared queue;
+    // the merge is in grid order, so any worker count gives the same
+    // report.
+    let jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!("running {} cells on {} worker(s)...\n", sw.len(), jobs);
+    let results = sw.run(jobs);
+
+    // Phase 3: read back by key.
+    println!(
+        "{:>6} | {:>9} {:>9} {:>11} {:>9}",
+        "size", "base(us)", "nopred", "integrated", "nocksum"
+    );
+    for &size in &SIZES {
+        let mean =
+            |v: Variant| results.mean_us(&rpc_cell_key(NetKind::Atm, size, v, ITERATIONS, 1));
+        println!(
+            "{size:>6} | {:>9.0} {:>9.0} {:>11.0} {:>9.0}",
+            mean(Variant::Base),
+            mean(Variant::NoPrediction),
+            mean(Variant::IntegratedChecksum),
+            mean(Variant::NoChecksum)
+        );
+    }
+
+    // The deterministic artifact: identical for every `jobs` value.
+    let canon = results.canonical_json();
+    assert_eq!(canon, sw.run(1).canonical_json());
+    println!(
+        "\ncanonical report: {} bytes, byte-identical to the jobs=1 run",
+        canon.len()
+    );
+    println!(
+        "host wall-clock:  {:.1} ms total, {:.1} ms summed over cells",
+        results.wall_ns as f64 / 1e6,
+        results
+            .outcomes
+            .iter()
+            .map(|o| o.wall_ns as f64)
+            .sum::<f64>()
+            / 1e6
+    );
+}

@@ -26,6 +26,7 @@
 //! | [`tcpip`] | The BSD-style stack: sockets, TCP with header prediction, PCB management, IP queue, span instrumentation |
 //! | [`simcap`] | Packet capture: layer-boundary taps, dependency-free pcap/pcapng I/O, RFC 1242 same-packet latency analysis, the `capdiff` CLI |
 //! | [`latency_core`] | Experiments, workloads, breakdown methodology, paper data, fault studies, capture cross-check |
+//! | [`sweep`] | Deterministic parallel sweep runner: declarative experiment grids, key-derived seeding, grid-order merge |
 //!
 //! ## Quickstart
 //!
@@ -55,6 +56,7 @@ pub use latency_core;
 pub use mbuf;
 pub use simcap;
 pub use simkit;
+pub use sweep;
 pub use tcpip;
 
 pub use latency_core::capture::{CaptureRun, HostCapture};
