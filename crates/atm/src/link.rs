@@ -73,6 +73,11 @@ pub struct FiberLink {
     pub cells_lost: u64,
     /// Cells delivered with bit corruption.
     pub cells_corrupted: u64,
+    /// Optional Gilbert–Elliott burst-loss process (faultkit). When
+    /// armed, burst drops are counted in `cells_lost` alongside the
+    /// i.i.d. process; when absent the link behaves exactly as before
+    /// (no extra RNG draws).
+    pub burst: Option<faultkit::LossProcess>,
     /// Raw-cell capture tap (`LinkCell`): every delivered 53-byte
     /// cell, stamped at its arrival time. Zero-cost unless armed.
     pub taps: simcap::TapSet,
@@ -88,13 +93,25 @@ impl FiberLink {
             cells_carried: 0,
             cells_lost: 0,
             cells_corrupted: 0,
+            burst: None,
             taps: simcap::TapSet::off(),
         }
+    }
+
+    /// Arms a deterministic burst-loss process on this direction.
+    pub fn arm_burst_loss(&mut self, model: faultkit::GilbertElliott, seed: u64) {
+        self.burst = Some(faultkit::LossProcess::new(model, seed));
     }
 
     /// Carries one cell, applying the loss then error processes.
     pub fn carry(&mut self, mut cell: Cell) -> LinkFault {
         self.cells_carried += 1;
+        if let Some(burst) = self.burst.as_mut() {
+            if burst.drop_next() {
+                self.cells_lost += 1;
+                return LinkFault::Lost;
+            }
+        }
         if self.rng.chance(self.config.cell_loss) {
             self.cells_lost += 1;
             return LinkFault::Lost;
@@ -167,15 +184,31 @@ mod tests {
         assert!((t - 3.03).abs() < 0.01, "{t}");
     }
 
+    /// Tallies every [`LinkFault`] variant as a count — no variant is
+    /// "unexpected", so no fault outcome can panic here.
+    fn tally(link: &mut FiberLink, cells: usize) -> (u64, u64, u64) {
+        let (mut clean, mut corrupted, mut lost) = (0u64, 0u64, 0u64);
+        for _ in 0..cells {
+            match link.carry(a_cell()) {
+                LinkFault::Clean(c) => {
+                    assert_eq!(c, a_cell());
+                    clean += 1;
+                }
+                LinkFault::Corrupted(c) => {
+                    assert_ne!(c, a_cell());
+                    corrupted += 1;
+                }
+                LinkFault::Lost => lost += 1,
+            }
+        }
+        (clean, corrupted, lost)
+    }
+
     #[test]
     fn clean_link_delivers_everything() {
         let mut link = FiberLink::new(LinkConfig::default(), 1);
-        for _ in 0..1000 {
-            match link.carry(a_cell()) {
-                LinkFault::Clean(c) => assert_eq!(c, a_cell()),
-                other => panic!("unexpected {other:?}"),
-            }
-        }
+        let (clean, corrupted, lost) = tally(&mut link, 1000);
+        assert_eq!((clean, corrupted, lost), (1000, 0, 0));
         assert_eq!(link.cells_lost, 0);
         assert_eq!(link.cells_corrupted, 0);
     }
@@ -208,18 +241,10 @@ mod tests {
             },
             11,
         );
-        let mut corrupted = 0;
-        for _ in 0..1000 {
-            match link.carry(a_cell()) {
-                LinkFault::Corrupted(c) => {
-                    corrupted += 1;
-                    assert_ne!(c, a_cell());
-                }
-                LinkFault::Clean(c) => assert_eq!(c, a_cell()),
-                LinkFault::Lost => panic!("no loss configured"),
-            }
-        }
+        let (clean, corrupted, lost) = tally(&mut link, 1000);
         assert!((200..500).contains(&corrupted), "{corrupted}");
+        assert_eq!(clean + corrupted, 1000);
+        assert_eq!(lost, 0, "no loss configured, every drop is counted");
     }
 
     #[test]
@@ -235,6 +260,30 @@ mod tests {
         };
         assert_eq!(run(3), run(3));
         assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn burst_loss_process_drops_in_runs_and_counts() {
+        let mut link = FiberLink::new(LinkConfig::default(), 1);
+        link.arm_burst_loss(
+            faultkit::GilbertElliott {
+                p_good_to_bad: 0.02,
+                p_bad_to_good: 0.1,
+                loss_good: 0.0,
+                loss_bad: 1.0,
+            },
+            9,
+        );
+        let (clean, corrupted, lost) = tally(&mut link, 10_000);
+        assert_eq!(corrupted, 0);
+        assert_eq!(clean + lost, 10_000);
+        assert!(lost > 200, "bad state should drop cells: {lost}");
+        assert_eq!(link.cells_lost, lost);
+        assert_eq!(
+            link.burst.as_ref().map(|b| b.cells_dropped),
+            Some(lost),
+            "all drops attributed to the burst process"
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //!
 //! ```sh
 //! repro [all|table1|table2|table3|table4|table5|table6|table7|pcb|mbuf|predict|errors]
-//!       [churn|ablation|switch|ethernet-errors|trace]
+//!       [faults|churn|ablation|switch|ethernet-errors|trace]
 //!       [--iterations N] [--reps N] [--jobs N] [--json FILE]
 //!       [--sweep-json FILE] [--full] [--quick]
 //! ```
@@ -98,6 +98,8 @@ fn main() {
     let mut report = Report::new(opts.iterations, opts.reps);
     let all = opts.what.iter().any(|w| w == "all");
     let want = |k: &str| all || opts.what.iter().any(|w| w == k);
+    let extras = opts.what.iter().any(|w| w == "extras");
+    let want_x = |k: &str| extras || opts.what.iter().any(|w| w == k);
 
     // Phase 1: declare the full grid up front. `ensure` deduplicates
     // cells shared between tables — the ATM baseline appears in
@@ -137,6 +139,9 @@ fn main() {
             declare_rpc(&mut sw, NetKind::Atm, size, Variant::Base, &opts);
             declare_rpc(&mut sw, NetKind::Atm, size, Variant::NoChecksum, &opts);
         }
+    }
+    if want_x("faults") {
+        declare_faults(&mut sw, &opts);
     }
 
     // Phase 2: one deterministic parallel run over the merged grid.
@@ -193,8 +198,9 @@ fn main() {
     if want("errors") {
         errors(&mut report, &opts);
     }
-    let extras = opts.what.iter().any(|w| w == "extras");
-    let want_x = |k: &str| extras || opts.what.iter().any(|w| w == k);
+    if want_x("faults") {
+        faults_study(&mut report, &opts, grid.as_ref().expect("grid"));
+    }
     if want_x("churn") {
         churn_exp(&mut report);
     }
@@ -218,6 +224,62 @@ fn main() {
         report.write_json(path);
         eprintln!("machine-readable results written to {path}");
     }
+}
+
+/// The message sizes of the loss-recovery study: one single-segment
+/// size and one that the 9180-byte ATM MSS still carries whole but
+/// whose longer 176-cell train gives bursts more to bite on.
+const FAULT_SIZES: [usize; 2] = [1400, 8000];
+
+fn fault_iters(opts: &Opts) -> u64 {
+    // Faulted runs pay real retransmission timeouts (hundreds of ms of
+    // simulated time each); cap the scale so `--full` stays pleasant.
+    opts.iterations.min(400)
+}
+
+/// The grid key of a loss-recovery cell. Declaration and rendering
+/// share this, exactly like the table cells.
+fn fault_key(scenario: &str, size: usize, opts: &Opts) -> String {
+    sweep::grid::fault_cell_key(scenario, size, fault_iters(opts), opts.reps)
+}
+
+fn declare_faults(sw: &mut Sweep, opts: &Opts) {
+    for sc in latency_core::recovery::scenarios() {
+        for &size in &FAULT_SIZES {
+            sw.ensure(
+                fault_key(sc.name, size, opts),
+                latency_core::recovery::experiment(&sc, size, fault_iters(opts)),
+                opts.reps,
+            );
+        }
+    }
+}
+
+fn faults_study(report: &mut Report, opts: &Opts, grid: &SweepResults) {
+    eprintln!("faults: loss-recovery latency study...");
+    use latency_core::recovery;
+    let mut rows = Vec::new();
+    for &size in &FAULT_SIZES {
+        let clean_mean = grid
+            .expect(&fault_key("clean", size, opts))
+            .result
+            .mean_rtt_us();
+        for sc in recovery::scenarios() {
+            let r = &grid.expect(&fault_key(sc.name, size, opts)).result;
+            rows.push(recovery::reduce(sc.name, size, r, clean_mean));
+        }
+    }
+    let mut text = recovery::format_table(&rows);
+    let corrupted: u64 = rows.iter().map(|r| r.verify_failures).sum();
+    text.push_str(&format!(
+        "payload verification failures across every scenario: {corrupted}\n"
+    ));
+    assert_eq!(
+        corrupted, 0,
+        "faults must cost latency, never integrity: {rows:?}"
+    );
+    println!("{text}");
+    report.text("faults", text);
 }
 
 fn churn_exp(report: &mut Report) {

@@ -59,6 +59,10 @@ pub struct App {
     pub got: Vec<u8>,
     /// Timer start of the current iteration (client).
     pub t_start: SimTime,
+    /// Set when the kernel aborted this process's connection (the
+    /// retransmit limit fired): the process terminated on a syscall
+    /// error instead of completing its iterations.
+    pub aborted: bool,
     /// Statistics.
     pub stats: AppStats,
 }
@@ -98,6 +102,7 @@ impl App {
             done_count: 0,
             got: Vec::new(),
             t_start: SimTime::ZERO,
+            aborted: false,
             stats: AppStats::default(),
         }
     }

@@ -72,6 +72,10 @@ pub struct Experiment {
     /// Gateway-injection probability per Ethernet frame (the §4.2.1
     /// third error source; Ethernet only).
     pub gateway_corrupt: f64,
+    /// Scheduled fault processes (faultkit): burst loss, train
+    /// shaping, RX contention, FIFO/pool limits. `None` is clean; the
+    /// i.i.d. knobs above remain for the §4.2.1 detection study.
+    pub faults: Option<faultkit::FaultSchedule>,
 }
 
 impl Experiment {
@@ -92,6 +96,7 @@ impl Experiment {
             controller_corrupt: 0.0,
             switch: None,
             gateway_corrupt: 0.0,
+            faults: None,
         }
     }
 
@@ -154,6 +159,13 @@ impl Experiment {
                     n0.insert_switch(swc, 42, seed * 3 + 1);
                     n1.insert_switch(swc, 42, seed * 3 + 2);
                 }
+                if let Some(f) = &self.faults {
+                    // Per-direction seeds match the link seeds; the
+                    // fault processes draw from their own RNG streams,
+                    // so they never collide with the BER streams.
+                    n0.arm_faults(f, seed * 2 + 1);
+                    n1.arm_faults(f, seed * 2 + 2);
+                }
                 [Nic::Atm(n0), Nic::Atm(n1)]
             }
             NetKind::Ether => {
@@ -177,16 +189,40 @@ impl Experiment {
                 n1.controller_corrupt_prob = self.controller_corrupt;
                 n0.gateway_corrupt_prob = self.gateway_corrupt;
                 n1.gateway_corrupt_prob = self.gateway_corrupt;
+                if let Some(f) = &self.faults {
+                    n0.arm_faults(f, seed * 2 + 1);
+                    n1.arm_faults(f, seed * 2 + 2);
+                }
                 [Nic::Ether(n0), Nic::Ether(n1)]
             }
         };
-        World::new(self.cfg, self.costs.clone(), nics, apps)
+        let mut world = World::new(self.cfg, self.costs.clone(), nics, apps);
+        if let Some(limit) = self.faults.as_ref().and_then(|f| f.mbuf_limit) {
+            // The mbuf cap is per host pool: allocations beyond it
+            // fail with ENOBUFS on the fallible (receive) paths.
+            for host in &mut world.hosts {
+                host.kernel.pool.set_limit(Some(limit));
+            }
+        }
+        world
     }
 
     /// Runs one repetition with the given seed.
     #[must_use]
     pub fn run(&self, seed: u64) -> RunResult {
-        self.run_sim(seed, false).0
+        let (mut result, world) = self.run_sim(seed, false);
+        let pools = (
+            world.hosts[0].kernel.pool.clone(),
+            world.hosts[1].kernel.pool.clone(),
+        );
+        // Teardown frees every chain still held by sockets, queues and
+        // adapters; whatever remains outstanding is a genuine leak.
+        drop(world);
+        result.mbufs_leaked = (
+            pools.0.stats().mbufs_outstanding(),
+            pools.1.stats().mbufs_outstanding(),
+        );
+        result
     }
 
     /// Runs one repetition, optionally with every capture tap armed,
@@ -224,6 +260,14 @@ impl Experiment {
             server_kernel: server.kernel.stats,
             client_nic: client_nic_stats,
             server_nic: server_nic_stats,
+            enobufs: (
+                client.kernel.pool.stats().enobufs_drops,
+                server.kernel.pool.stats().enobufs_drops,
+            ),
+            aborted: client.app.aborted
+                || server.app.aborted
+                || client.kernel.stats.conn_aborts + server.kernel.stats.conn_aborts > 0,
+            mbufs_leaked: (0, 0),
             events,
             sim_time,
         };
@@ -255,6 +299,11 @@ impl Experiment {
             acc.verify_failures += r.verify_failures;
             acc.bytes_moved += r.bytes_moved;
             acc.events += r.events;
+            acc.enobufs.0 += r.enobufs.0;
+            acc.enobufs.1 += r.enobufs.1;
+            acc.aborted |= r.aborted;
+            acc.mbufs_leaked.0 += r.mbufs_leaked.0;
+            acc.mbufs_leaked.1 += r.mbufs_leaked.1;
             // Breakdowns: average of averages (equal iteration counts).
             let k = 2.0;
             acc.tx = avg_tx(&acc.tx, &r.tx, k);
@@ -305,6 +354,10 @@ pub struct NicStats {
     pub link_lost: u64,
     /// Cells/frames corrupted on the link.
     pub link_corrupted: u64,
+    /// Cells shed by RX FIFO overrun at the adapter.
+    pub rx_overflow_drops: u64,
+    /// Received datagrams/frames shed for mbuf exhaustion (ENOBUFS).
+    pub enobufs_drops: u64,
 }
 
 fn nic_stats(nic: &Nic) -> NicStats {
@@ -315,13 +368,17 @@ fn nic_stats(nic: &Nic) -> NicStats {
             fcs_drops: 0,
             link_lost: a.link.cells_lost,
             link_corrupted: a.link.cells_corrupted,
+            rx_overflow_drops: a.adapter.rx.overflow_drops,
+            enobufs_drops: a.enobufs_drops,
         },
         Nic::Ether(e) => NicStats {
             hec_drops: 0,
             aal_drops: 0,
             fcs_drops: e.fcs_drops,
-            link_lost: 0,
+            link_lost: e.wire.frames_lost,
             link_corrupted: e.wire.frames_corrupted,
+            rx_overflow_drops: 0,
+            enobufs_drops: e.enobufs_drops,
         },
     }
 }
@@ -353,6 +410,19 @@ pub struct RunResult {
     pub client_nic: NicStats,
     /// Server NIC counters.
     pub server_nic: NicStats,
+    /// ENOBUFS allocation failures per host pool (client, server).
+    pub enobufs: (u64, u64),
+    /// Whether a connection was aborted by the retransmit limit: the
+    /// run terminated early on a clean `ETIMEDOUT` instead of
+    /// completing its iterations (the liveness guarantee under
+    /// unsurvivable fault schedules).
+    pub aborted: bool,
+    /// Mbufs still outstanding per host pool (client, server) *after*
+    /// the world was torn down. Non-zero means a leak: every code
+    /// path — including every fault path — must return its buffers.
+    /// Filled by [`Experiment::run`]; zero when the world outlives the
+    /// result (the capture harness).
+    pub mbufs_leaked: (u64, u64),
     /// Events executed.
     pub events: u64,
     /// Final simulation time.
@@ -402,6 +472,14 @@ impl Experiment {
     #[must_use]
     pub fn through_switch(mut self, config: atm::SwitchConfig) -> Self {
         self.switch = Some(config);
+        self
+    }
+
+    /// Attaches a faultkit schedule (burst loss, train shaping, RX
+    /// contention, FIFO/pool limits), armed per host at build time.
+    #[must_use]
+    pub fn with_faults(mut self, faults: faultkit::FaultSchedule) -> Self {
+        self.faults = Some(faults);
         self
     }
 }

@@ -149,8 +149,12 @@ mod tests {
 
     #[test]
     fn noisy_fiber_is_caught_below_tcp() {
-        // A catastrophically noisy fiber: ~1 bit error per ~30 cells.
-        let r = link_bit_errors(1e-4, 20, 2);
+        // A very noisy fiber: ~1 bit error per ~120 cells, i.e. a
+        // ~25% corruption chance per 34-cell RPC packet — enough that
+        // AAL drops and retransmissions are certain, but far from the
+        // ~12-consecutive-loss run that would (correctly, per the
+        // retransmit limit) abort the connection.
+        let r = link_bit_errors(2e-5, 20, 2);
         assert!(r.injected_link > 0, "{r:?}");
         assert!(r.caught_aal + r.caught_hec > 0, "{r:?}");
         assert_eq!(r.reached_app, 0, "AAL3/4 shields the app: {r:?}");

@@ -51,6 +51,7 @@ pub mod faults;
 pub mod micro;
 pub mod nic;
 pub mod paper;
+pub mod recovery;
 pub mod stats;
 pub mod tables;
 pub mod world;

@@ -76,6 +76,15 @@ pub struct AtmNic {
     /// Datagram-level capture taps (`NicDmaTx`, `Wire`, `NicDmaRx`).
     /// Zero-cost unless armed; cell-level capture lives on the link.
     pub taps: simcap::TapSet,
+    /// Train shaper (faultkit): reorder/duplicate/jitter applied to
+    /// each staged cell train. `None` is transparent.
+    pub shaper: Option<faultkit::TrainShaper>,
+    /// RX drain contention (faultkit): stalls the FIFO drain so a
+    /// small FIFO overruns. `None` never stalls.
+    pub contention: Option<faultkit::ContentionProcess>,
+    /// Received datagrams shed because the mbuf pool refused the
+    /// allocation (`ENOBUFS` backpressure, not a crash).
+    pub enobufs_drops: u64,
     rng: simkit::SimRng,
 }
 
@@ -96,7 +105,29 @@ impl AtmNic {
             controller_corrupt_prob: 0.0,
             switch: None,
             taps: simcap::TapSet::off(),
+            shaper: None,
+            contention: None,
+            enobufs_drops: 0,
             rng: simkit::SimRng::seed_stream(seed, 0xc0),
+        }
+    }
+
+    /// Arms the ATM-relevant parts of a fault schedule on this
+    /// interface: burst loss on the outbound fiber, the train shaper,
+    /// RX drain contention, and the RX FIFO capacity override. The
+    /// mbuf limit is pool-wide and armed by the experiment, not here.
+    pub fn arm_faults(&mut self, faults: &faultkit::FaultSchedule, seed: u64) {
+        if let Some(model) = faults.atm_loss {
+            self.link.arm_burst_loss(model, seed);
+        }
+        if faults.train.any() {
+            self.shaper = Some(faultkit::TrainShaper::new(faults.train, seed));
+        }
+        if let Some(cfg) = faults.rx_contention {
+            self.contention = Some(faultkit::ContentionProcess::new(cfg, seed));
+        }
+        if let Some(cells) = faults.rx_fifo_cells {
+            self.adapter.rx = atm::RxFifo::new(cells);
         }
     }
 
@@ -165,6 +196,13 @@ impl TxDriver for AtmNic {
             last_arrival = last_arrival.max(arrival);
             train.push((arrival, fault));
         }
+        if let Some(shaper) = self.shaper.as_mut() {
+            shaper.shape(&mut train);
+            last_arrival = train
+                .iter()
+                .map(|&(t, _)| t)
+                .fold(SimTime::ZERO, SimTime::max);
+        }
         spans.span(SpanKind::TxDriver, now, cursor);
         spans.mark(Mark::TxSignalled, cursor);
         if self.taps.wants(simcap::TapPoint::NicDmaTx) {
@@ -214,29 +252,42 @@ pub fn atm_receive(
                 c.clone()
             }
         };
-        if !nic.adapter.rx.arrive(cell.clone()) {
-            // RX FIFO overflow: the cell is gone; reassembly will
-            // notice the sequence gap.
+        // On overflow the arriving cell is gone (counted by the
+        // adapter) and reassembly will notice the sequence gap — but
+        // the service opportunity below still happens, so a full FIFO
+        // clears as soon as the host stops stalling rather than
+        // blackholing every later cell.
+        let _ = nic.adapter.rx.arrive(cell);
+        if nic
+            .contention
+            .as_mut()
+            .is_some_and(faultkit::ContentionProcess::stalled_next)
+        {
+            // DMA/bus contention stalls the drain for this arrival:
+            // the cell sits in the FIFO as backlog. If enough stalls
+            // pile up, later arrivals overrun the FIFO above.
             continue;
         }
-        cells_processed += 1;
-        // The driver drains the FIFO under this interrupt.
-        let _ = nic.adapter.rx.drain_up_to(1);
-        match nic.reasm.push(&cell) {
-            Ok(Some(dgram)) => {
-                if nic.taps.wants(simcap::TapPoint::Wire) {
-                    // Datagram granularity on the wire: stamped at the
-                    // arrival of its completing (EOM) cell.
-                    nic.taps
-                        .record(simcap::TapPoint::Wire, *cell_at, dgram.clone());
+        // The driver drains the FIFO — the whole backlog — under this
+        // interrupt.
+        for cell in nic.adapter.rx.drain() {
+            cells_processed += 1;
+            match nic.reasm.push(&cell) {
+                Ok(Some(dgram)) => {
+                    if nic.taps.wants(simcap::TapPoint::Wire) {
+                        // Datagram granularity on the wire: stamped at
+                        // the arrival of its completing (EOM) cell.
+                        nic.taps
+                            .record(simcap::TapPoint::Wire, *cell_at, dgram.clone());
+                    }
+                    datagrams.push(dgram);
                 }
-                datagrams.push(dgram);
+                Ok(None) => {}
+                // Orphan COM/EOM cells are trailing consequences of an
+                // error already counted on the same datagram.
+                Err(atm::Aal34Error::Orphan) => {}
+                Err(_) => nic.aal_drops += 1,
             }
-            Ok(None) => {}
-            // Orphan COM/EOM cells are trailing consequences of an
-            // error already counted on the same datagram.
-            Err(atm::Aal34Error::Orphan) => {}
-            Err(_) => nic.aal_drops += 1,
         }
     }
     // Driver CPU: fixed per interrupt plus per-cell SAR + copy work.
@@ -275,7 +326,14 @@ pub fn atm_receive(
                 .record(simcap::TapPoint::NicDmaRx, end, dgram.clone());
         }
         let use_clusters = ultrix_uses_clusters(dgram.len());
-        let (mut chain, _) = Chain::from_user_data(&kernel.pool, &dgram, use_clusters);
+        let Ok((mut chain, _)) = Chain::try_from_user_data(&kernel.pool, &dgram, use_clusters)
+        else {
+            // ENOBUFS: the pool is at its limit, so the driver sheds
+            // the datagram instead of allocating past it — BSD's
+            // receive-path backpressure. TCP retransmits.
+            nic.enobufs_drops += 1;
+            continue;
+        };
         if integrated {
             chain.store_partial_checksums();
         }
@@ -319,6 +377,9 @@ pub struct EtherNic {
     /// Datagram-level capture taps (`NicDmaTx`, `Wire`, `NicDmaRx`).
     /// Zero-cost unless armed; frame-level capture lives on the wire.
     pub taps: simcap::TapSet,
+    /// Received frames shed because the mbuf pool refused the
+    /// allocation (`ENOBUFS` backpressure, not a crash).
+    pub enobufs_drops: u64,
     rng: simkit::SimRng,
 }
 
@@ -337,7 +398,16 @@ impl EtherNic {
             controller_corrupt_prob: 0.0,
             gateway_corrupt_prob: 0.0,
             taps: simcap::TapSet::off(),
+            enobufs_drops: 0,
             rng: simkit::SimRng::seed_stream(seed, 0xe1),
+        }
+    }
+
+    /// Arms the Ethernet-relevant parts of a fault schedule: burst
+    /// frame loss on the outbound wire.
+    pub fn arm_faults(&mut self, faults: &faultkit::FaultSchedule, seed: u64) {
+        if let Some(model) = faults.ether_loss {
+            self.wire.arm_burst_loss(model, seed);
         }
     }
 }
@@ -384,10 +454,15 @@ impl TxDriver for EtherNic {
         self.lance.tx_complete(delivered_at);
         spans.span(SpanKind::TxDriver, now, cursor);
         spans.mark(Mark::TxSignalled, cursor);
-        self.staged.push(Delivery {
-            arrival: delivered_at,
-            payload: DeliveryPayload::Frame(delivered),
-        });
+        if let Some(bytes) = delivered {
+            self.staged.push(Delivery {
+                arrival: delivered_at,
+                payload: DeliveryPayload::Frame(bytes),
+            });
+        }
+        // A burst-lost frame stages no delivery: the wire time is
+        // consumed but nothing arrives; TCP's retransmit timer is the
+        // recovery path.
         cursor
     }
 }
@@ -442,7 +517,12 @@ pub fn ether_receive(
             .record(simcap::TapPoint::NicDmaRx, end, payload.clone());
     }
     let use_clusters = ultrix_uses_clusters(payload.len());
-    let (mut chain, _) = Chain::from_user_data(&kernel.pool, &payload, use_clusters);
+    let Ok((mut chain, _)) = Chain::try_from_user_data(&kernel.pool, &payload, use_clusters) else {
+        // ENOBUFS: shed the frame rather than allocate past the pool
+        // limit; TCP retransmits.
+        nic.enobufs_drops += 1;
+        return None;
+    };
     if integrated {
         chain.store_partial_checksums();
     }

@@ -268,6 +268,13 @@ fn on_timer(w: &mut World, s: &mut Scheduler<World>, h: usize) {
         Nic::Ether(nic) => host.kernel.check_timers(s.now(), nic),
     };
     flush_host(w, s, h);
+    // A timer may have aborted a connection (retransmit limit) and
+    // woken the blocked process so it can observe the error: without
+    // this wakeup an aborted run would hang instead of terminating.
+    for (_sock, run_at) in w.hosts[h].kernel.take_timer_wakeups() {
+        let at = run_at.max(s.now());
+        s.schedule_at(at, "abort-wakeup", move |w, s| app_step(w, s, h));
+    }
 }
 
 /// Runs a process until it blocks or finishes.
@@ -280,6 +287,15 @@ fn app_step(w: &mut World, s: &mut Scheduler<World>, h: usize) {
         && matches!(w.hosts[1].app.role, Role::RpcServer | Role::UdpRpcServer)
     {
         w.hosts[1].app.state = AppState::Done;
+    }
+    // Liveness under faults: an aborted connection can make no further
+    // progress on either side (a real stack would RST the peer), so
+    // the whole benchmark terminates rather than leaving the peer
+    // blocked forever.
+    if w.hosts.iter().any(|h| h.app.aborted) {
+        for host in &mut w.hosts {
+            host.app.state = AppState::Done;
+        }
     }
 }
 
@@ -350,6 +366,13 @@ fn app_step_inner(w: &mut World, s: &mut Scheduler<World>, h: usize) {
                 flush_host(w, s, h);
                 let host = &mut w.hosts[h];
                 now = out.done_at;
+                if out.error.is_some() {
+                    // The connection was aborted (ETIMEDOUT): the
+                    // write fails cleanly and the process exits.
+                    host.app.aborted = true;
+                    host.app.state = AppState::Done;
+                    break;
+                }
                 if out.blocked {
                     host.app.state = AppState::BlockedInWrite(offset + out.accepted);
                     break;
@@ -394,6 +417,12 @@ fn app_step_inner(w: &mut World, s: &mut Scheduler<World>, h: usize) {
                 };
                 flush_host(w, s, h);
                 let host = &mut w.hosts[h];
+                if out.error.is_some() {
+                    // Read on an aborted connection: error, exit.
+                    host.app.aborted = true;
+                    host.app.state = AppState::Done;
+                    break;
+                }
                 if out.blocked {
                     break;
                 }

@@ -21,7 +21,7 @@ use cksum::{PartialChecksum, Sum16};
 
 use crate::cost::OpCost;
 use crate::mbuf::{Mbuf, PktHdr, MCLBYTES, MHLEN, MLEN};
-use crate::pool::MbufPool;
+use crate::pool::{Enobufs, MbufPool};
 
 /// The ULTRIX 4.2A socket layer switches from ordinary mbufs to
 /// cluster mbufs once the transfer exceeds 1 KB (§2.2.1).
@@ -86,6 +86,28 @@ impl Chain {
         use_clusters: bool,
     ) -> (Chain, OpCost) {
         Self::fill(pool, data, use_clusters, true)
+    }
+
+    /// Fallible [`Chain::from_user_data`]: checks the pool's limit
+    /// before each allocation and returns [`Enobufs`] when exhausted.
+    /// A partially built chain is dropped (its mbufs return to the
+    /// pool), so the receive path's failure mode is one counted drop,
+    /// never a leak or a panic.
+    pub fn try_from_user_data(
+        pool: &MbufPool,
+        data: &[u8],
+        use_clusters: bool,
+    ) -> Result<(Chain, OpCost), Enobufs> {
+        let needed = expected_mbuf_count(data.len()) as u64;
+        if let Some(limit) = pool.limit() {
+            let outstanding = pool.stats().mbufs_outstanding();
+            if outstanding + needed > limit {
+                // Single counted refusal for the whole packet.
+                pool.note_enobufs();
+                return Err(Enobufs);
+            }
+        }
+        Ok(Self::fill(pool, data, use_clusters, false))
     }
 
     fn fill(pool: &MbufPool, data: &[u8], use_clusters: bool, cksum: bool) -> (Chain, OpCost) {
@@ -638,6 +660,22 @@ mod tests {
         let cost = chain.append_bytes(&pool, &payload(200), false);
         assert!(cost.mbufs_allocated >= 1);
         assert_eq!(chain.len(), 280);
+    }
+
+    #[test]
+    fn try_from_user_data_respects_the_pool_limit() {
+        let pool = MbufPool::new();
+        pool.set_limit(Some(3));
+        // 500 bytes needs 5 small mbufs: refused, nothing allocated.
+        assert!(Chain::try_from_user_data(&pool, &payload(500), false).is_err());
+        let s = pool.stats();
+        assert_eq!(s.mbufs_outstanding(), 0);
+        assert_eq!(s.enobufs_drops, 1);
+        // A small packet still fits.
+        let (chain, _) = Chain::try_from_user_data(&pool, &payload(50), false).expect("fits");
+        assert!(chain.data_equals(&payload(50)));
+        drop(chain);
+        assert_eq!(pool.stats().mbufs_outstanding(), 0);
     }
 
     #[test]

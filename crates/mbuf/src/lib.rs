@@ -53,4 +53,4 @@ pub mod pool;
 pub use chain::Chain;
 pub use cost::OpCost;
 pub use mbuf::{Mbuf, MbufKind, MCLBYTES, MHLEN, MLEN, MSIZE};
-pub use pool::{MbufPool, PoolStats};
+pub use pool::{Enobufs, MbufPool, PoolStats};

@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 use cksum::PartialChecksum;
 
-use crate::pool::{MbufPool, PoolInner};
+use crate::pool::{Enobufs, MbufPool, PoolInner};
 
 /// Total size of an mbuf including its header (BSD `MSIZE`).
 pub const MSIZE: usize = 128;
@@ -156,6 +156,26 @@ impl Mbuf {
             partial_cksum: None,
             pool: Arc::clone(&pool.inner),
         }
+    }
+
+    /// Fallible [`Mbuf::get`]: refuses with [`Enobufs`] when the pool
+    /// is at its configured limit. Used by the receive/interrupt path,
+    /// which in BSD sheds load rather than blocking.
+    pub fn try_get(pool: &MbufPool) -> Result<Mbuf, Enobufs> {
+        pool.admit()?;
+        Ok(Mbuf::get(pool))
+    }
+
+    /// Fallible [`Mbuf::gethdr`].
+    pub fn try_gethdr(pool: &MbufPool) -> Result<Mbuf, Enobufs> {
+        pool.admit()?;
+        Ok(Mbuf::gethdr(pool))
+    }
+
+    /// Fallible [`Mbuf::getcl`].
+    pub fn try_getcl(pool: &MbufPool) -> Result<Mbuf, Enobufs> {
+        pool.admit()?;
+        Ok(Mbuf::getcl(pool))
     }
 
     /// The storage kind.

@@ -16,6 +16,21 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// Typed allocation-failure signal: the pool is at its configured
+/// limit. BSD returns `ENOBUFS` from the allocator in this situation;
+/// callers on the receive path drop the packet (a counted drop that
+/// TCP recovers from by retransmission), never panic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Enobufs;
+
+impl std::fmt::Display for Enobufs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ENOBUFS: mbuf pool exhausted")
+    }
+}
+
+impl std::error::Error for Enobufs {}
+
 /// Cumulative allocator statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PoolStats {
@@ -29,6 +44,9 @@ pub struct PoolStats {
     pub clusters_freed: u64,
     /// Cluster reference-count bumps (shared copies).
     pub cluster_refs: u64,
+    /// Fallible allocations refused because the pool was at its
+    /// limit (each is one [`Enobufs`] returned to a caller).
+    pub enobufs_drops: u64,
 }
 
 impl PoolStats {
@@ -52,6 +70,10 @@ pub(crate) struct PoolInner {
     pub(crate) clusters_allocated: AtomicU64,
     pub(crate) clusters_freed: AtomicU64,
     pub(crate) cluster_refs: AtomicU64,
+    /// Maximum mbufs outstanding for *fallible* allocations; 0 means
+    /// unlimited (the default, matching the pre-faultkit behaviour).
+    pub(crate) limit: AtomicU64,
+    pub(crate) enobufs_drops: AtomicU64,
 }
 
 /// Handle to a host's mbuf allocator.
@@ -93,6 +115,51 @@ impl MbufPool {
             clusters_allocated: self.inner.clusters_allocated.load(Ordering::Relaxed),
             clusters_freed: self.inner.clusters_freed.load(Ordering::Relaxed),
             cluster_refs: self.inner.cluster_refs.load(Ordering::Relaxed),
+            enobufs_drops: self.inner.enobufs_drops.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Caps the number of outstanding mbufs that *fallible*
+    /// allocations ([`crate::Mbuf::try_get`] and friends) may reach;
+    /// `None` removes the cap. The infallible allocators are
+    /// unaffected — they model BSD's reserved kernel map, so the
+    /// transmit path (which already holds its data) never fails, while
+    /// the receive/interrupt path sheds load with [`Enobufs`].
+    pub fn set_limit(&self, limit: Option<u64>) {
+        self.inner
+            .limit
+            .store(limit.unwrap_or(0), Ordering::Relaxed);
+    }
+
+    /// The configured cap, if any.
+    #[must_use]
+    pub fn limit(&self) -> Option<u64> {
+        match self.inner.limit.load(Ordering::Relaxed) {
+            0 => None,
+            n => Some(n),
+        }
+    }
+
+    /// Records one refused allocation (used when a caller detects
+    /// exhaustion for a multi-mbuf request before allocating).
+    pub(crate) fn note_enobufs(&self) {
+        PoolInner::bump(&self.inner.enobufs_drops);
+    }
+
+    /// Whether a fallible allocation may proceed right now. On refusal
+    /// the `enobufs_drops` counter is bumped.
+    pub(crate) fn admit(&self) -> Result<(), Enobufs> {
+        let limit = self.inner.limit.load(Ordering::Relaxed);
+        if limit == 0 {
+            return Ok(());
+        }
+        let allocated = self.inner.mbufs_allocated.load(Ordering::Relaxed);
+        let freed = self.inner.mbufs_freed.load(Ordering::Relaxed);
+        if allocated - freed < limit {
+            Ok(())
+        } else {
+            PoolInner::bump(&self.inner.enobufs_drops);
+            Err(Enobufs)
         }
     }
 }
@@ -131,5 +198,39 @@ mod tests {
         let alias = pool.clone();
         PoolInner::bump(&pool.inner.mbufs_allocated);
         assert_eq!(alias.stats().mbufs_allocated, 1);
+    }
+
+    #[test]
+    fn unlimited_pool_always_admits() {
+        let pool = MbufPool::new();
+        assert_eq!(pool.limit(), None);
+        for _ in 0..1000 {
+            assert_eq!(pool.admit(), Ok(()));
+        }
+        assert_eq!(pool.stats().enobufs_drops, 0);
+    }
+
+    #[test]
+    fn limited_pool_refuses_at_the_cap_and_counts() {
+        let pool = MbufPool::new();
+        pool.set_limit(Some(2));
+        assert_eq!(pool.limit(), Some(2));
+        let Ok(a) = crate::Mbuf::try_get(&pool) else {
+            panic!("first allocation fits under the limit");
+        };
+        let Ok(_b) = crate::Mbuf::try_get(&pool) else {
+            panic!("second allocation fits under the limit");
+        };
+        assert!(crate::Mbuf::try_get(&pool).is_err());
+        assert_eq!(pool.stats().enobufs_drops, 1);
+        // Freeing makes room again.
+        drop(a);
+        assert!(crate::Mbuf::try_get(&pool).is_ok());
+        // Lifting the cap restores unlimited behaviour.
+        pool.set_limit(None);
+        for _ in 0..10 {
+            assert!(pool.admit().is_ok());
+        }
+        assert_eq!(pool.stats().enobufs_drops, 1);
     }
 }

@@ -84,6 +84,16 @@ pub fn rpc_cell_key(
     )
 }
 
+/// The stable key of a loss-recovery study cell
+/// ([`latency_core::recovery`]): fault scenario × message size ×
+/// scale. The scenario *name* is the configuration axis — renaming a
+/// scenario or changing its schedule changes what the cell measures,
+/// and the name is the stable proxy for that identity.
+#[must_use]
+pub fn fault_cell_key(scenario: &str, size: usize, iterations: u64, reps: u64) -> String {
+    format!("faults/{scenario}/{size}/i{iterations}r{reps}")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,6 +119,20 @@ mod tests {
             rpc_cell_key(NetKind::Atm, 1400, Variant::NoChecksum, 1500, 3),
             "rpc/atm/1400/nocksum/i1500r3"
         );
+    }
+
+    #[test]
+    fn fault_keys_are_stable_and_scenario_scoped() {
+        assert_eq!(
+            fault_cell_key("light-bursts", 1400, 200, 2),
+            "faults/light-bursts/1400/i200r2"
+        );
+        let mut seen = std::collections::BTreeSet::new();
+        for sc in latency_core::recovery::scenarios() {
+            assert!(seen.insert(fault_cell_key(sc.name, 1400, 200, 1)));
+        }
+        // A fault cell can never collide with an RPC cell.
+        assert!(!fault_cell_key("clean", 1400, 200, 1).starts_with("rpc/"));
     }
 
     #[test]

@@ -67,6 +67,11 @@ pub struct StackConfig {
     /// Retransmission timeout floor (BSD slowtimo granularity gives
     /// an effective 500 ms minimum initially).
     pub rto_min_us: u64,
+    /// Retransmission limit: when the backoff shift has reached this
+    /// value and the retransmit timer fires again, the connection is
+    /// aborted with `ETIMEDOUT` (BSD `TCP_MAXRXTSHIFT`). Guarantees
+    /// every faulted run terminates instead of retrying forever.
+    pub max_rexmt_shift: u32,
 }
 
 impl Default for StackConfig {
@@ -82,6 +87,7 @@ impl Default for StackConfig {
             iss: 0x0001_0000,
             delack_us: 200_000,
             rto_min_us: 500_000,
+            max_rexmt_shift: 12,
         }
     }
 }

@@ -32,7 +32,7 @@ use crate::config::{ChecksumMode, StackConfig};
 use crate::hdr::{TcpIpHeader, TCPIP_HDR_LEN};
 use crate::pcb::{PcbKey, PcbTable};
 use crate::span::{Mark, SpanKind, SpanRecorder};
-use crate::tcb::{Prediction, Tcb};
+use crate::tcb::{ConnError, Prediction, Tcb};
 
 /// Index of a connection within a kernel.
 pub type SockId = usize;
@@ -105,6 +105,9 @@ pub struct TxOutcome {
     pub accepted: usize,
     /// The process blocked waiting for buffer space.
     pub blocked: bool,
+    /// The connection's pending `so_error`, delivered instead of data
+    /// transfer: the write failed and will never succeed.
+    pub error: Option<ConnError>,
 }
 
 /// Outcome of a read syscall.
@@ -116,6 +119,9 @@ pub struct RxSyscallOutcome {
     pub data: Vec<u8>,
     /// The process blocked waiting for data.
     pub blocked: bool,
+    /// The connection's pending `so_error`, delivered instead of
+    /// data: the connection is dead and no more data will arrive.
+    pub error: Option<ConnError>,
 }
 
 /// Outcome of the software interrupt.
@@ -154,6 +160,9 @@ pub struct KernelStats {
     pub delack_fires: u64,
     /// Retransmission timeouts fired.
     pub rto_fires: u64,
+    /// Connections aborted after exhausting the retransmission limit
+    /// (each left `ETIMEDOUT` in `so_error`, never a hang).
+    pub conn_aborts: u64,
 }
 
 /// A bound UDP socket.
@@ -198,6 +207,10 @@ pub struct Kernel {
     /// Earliest time the software interrupt may begin (dispatch
     /// latency from the most recent enqueue).
     ipq_ready_at: SimTime,
+    /// Wakeups produced by [`Kernel::check_timers`] (a connection
+    /// abort wakes its blocked process so it observes `so_error`).
+    /// The binding drains these with [`Kernel::take_timer_wakeups`].
+    timer_wakeups: Vec<(SockId, SimTime)>,
 }
 
 impl Kernel {
@@ -219,6 +232,7 @@ impl Kernel {
             ipq: VecDeque::new(),
             softintr_pending: false,
             ipq_ready_at: SimTime::ZERO,
+            timer_wakeups: Vec::new(),
         };
         k.pcbs.add_ambient(k.cfg.ambient_pcbs);
         k
@@ -309,8 +323,7 @@ impl Kernel {
         ack: bool,
         drv: &mut dyn TxDriver,
     ) -> SimTime {
-        let rto = SimTime::from_us(self.cfg.rto_min_us)
-            * (1u64 << self.conns[sock].tcb.rexmt_shift.min(6));
+        let rto = self.conns[sock].tcb.rto(&self.cfg);
         let conn = &mut self.conns[sock];
         let rcv_space = conn.sock.rcv.space();
         let mut hdr = conn.tcb.build_data_header(0, 0, rcv_space);
@@ -404,6 +417,16 @@ impl Kernel {
     ) -> TxOutcome {
         let start = now.max(self.cpu.busy_until());
         let mut cursor = start;
+        // A dead connection delivers its pending error instead of
+        // accepting data (BSD sosend checks so_error first).
+        if let Some(err) = self.conns[sock].tcb.so_error {
+            return TxOutcome {
+                done_at: cursor,
+                accepted: 0,
+                blocked: false,
+                error: Some(err),
+            };
+        }
         self.spans.mark(Mark::WriteStart, cursor);
 
         // Socket layer: build the mbuf chain (the uiomove copies) and
@@ -460,14 +483,14 @@ impl Kernel {
             done_at: cursor,
             accepted,
             blocked,
+            error: None,
         }
     }
 
     /// Runs `tcp_output` for a connection: emits as many segments as
     /// the window, MSS and Nagle permit. Returns the advanced cursor.
     fn tcp_output(&mut self, mut cursor: SimTime, sock: SockId, drv: &mut dyn TxDriver) -> SimTime {
-        let rto = SimTime::from_us(self.cfg.rto_min_us)
-            * (1u64 << self.conns[sock].tcb.rexmt_shift.min(6));
+        let rto = self.conns[sock].tcb.rto(&self.cfg);
         let mut first_segment = true;
         loop {
             let conn = &mut self.conns[sock];
@@ -872,7 +895,7 @@ impl Kernel {
         match prediction {
             Prediction::FastAck => {
                 conn.tcb.stats.predict_ack_hits += 1;
-                let res = conn.tcb.process_ack(hdr.ack, hdr.win);
+                let res = conn.tcb.process_ack(hdr.ack, hdr.win, cursor);
                 let _ = conn.sock.snd.drop_front(res.newly_acked);
                 if conn.sock.proc_state == crate::socket::ProcState::BlockedInWrite
                     && conn.sock.snd.space() > 0
@@ -894,7 +917,7 @@ impl Kernel {
             }
             Prediction::Slow => {
                 let mbufs = chain.mbuf_count();
-                let ack_res = conn.tcb.process_ack(hdr.ack, hdr.win);
+                let ack_res = conn.tcb.process_ack(hdr.ack, hdr.win, cursor);
                 let _ = conn.sock.snd.drop_front(ack_res.newly_acked);
                 if ack_res.newly_acked > 0
                     && conn.sock.proc_state == crate::socket::ProcState::BlockedInWrite
@@ -1025,7 +1048,17 @@ impl Kernel {
         let mut cursor = start;
         let conn = &mut self.conns[sock];
         let avail = conn.sock.rcv.len();
+        // Deliver buffered data first; once drained, a dead connection
+        // returns its pending error (BSD soreceive's so_error check).
         if avail == 0 {
+            if let Some(err) = conn.tcb.so_error {
+                return RxSyscallOutcome {
+                    done_at: cursor,
+                    data: Vec::new(),
+                    blocked: false,
+                    error: Some(err),
+                };
+            }
             conn.sock.proc_state = crate::socket::ProcState::BlockedInRead;
             // Entering the kernel and sleeping costs a few µs; folded
             // into the wakeup constant as the paper's probes did.
@@ -1033,6 +1066,7 @@ impl Kernel {
                 done_at: cursor,
                 data: Vec::new(),
                 blocked: true,
+                error: None,
             };
         }
         let take = want.min(avail);
@@ -1065,6 +1099,7 @@ impl Kernel {
             done_at: cursor,
             data,
             blocked: false,
+            error: None,
         }
     }
 
@@ -1121,10 +1156,25 @@ impl Kernel {
             let conn = &mut self.conns[sock];
             if let Some(dl) = conn.tcb.rexmt_deadline {
                 use crate::tcb::TcpState;
+                // Retransmission limit (BSD TCP_MAXRXTSHIFT): when the
+                // backoff is already at the cap and the timer fires
+                // again, drop the connection with ETIMEDOUT. This is
+                // the liveness guarantee — no fault schedule can make
+                // a run retry forever.
+                if dl <= now
+                    && conn.tcb.rexmt_shift >= self.cfg.max_rexmt_shift
+                    && conn.tcb.state != TcpState::Closed
+                {
+                    self.abort_connection(sock, cursor.max(now));
+                    continue;
+                }
                 if dl <= now && matches!(conn.tcb.state, TcpState::FinWait1 | TcpState::LastAck) {
-                    // FIN retransmission.
+                    // FIN retransmission (backed off like data, so the
+                    // abort limit above is reachable).
                     self.stats.rto_fires += 1;
                     conn.tcb.stats.rexmits += 1;
+                    conn.tcb.rexmt_shift = (conn.tcb.rexmt_shift + 1).min(self.cfg.max_rexmt_shift);
+                    conn.tcb.note_retransmit();
                     conn.tcb.snd_nxt = conn.tcb.snd_una;
                     conn.tcb.rexmt_deadline = None;
                     cursor = self.send_fin(cursor.max(now), sock, drv);
@@ -1135,7 +1185,8 @@ impl Kernel {
                     // Handshake retransmission.
                     self.stats.rto_fires += 1;
                     conn.tcb.stats.rexmits += 1;
-                    conn.tcb.rexmt_shift = (conn.tcb.rexmt_shift + 1).min(12);
+                    conn.tcb.rexmt_shift = (conn.tcb.rexmt_shift + 1).min(self.cfg.max_rexmt_shift);
+                    conn.tcb.note_retransmit();
                     conn.tcb.snd_nxt = conn.tcb.snd_una;
                     conn.tcb.rexmt_deadline = None;
                     let synack = conn.tcb.state == crate::tcb::TcpState::SynReceived;
@@ -1143,10 +1194,13 @@ impl Kernel {
                     continue;
                 }
                 if dl <= now && conn.tcb.flight_size() > 0 {
-                    // RTO: back off, shrink the window, resend.
+                    // RTO: back off, shrink the window, resend. Karn:
+                    // the retransmit cancels the RTT measurement and
+                    // pins the recovery point.
                     self.stats.rto_fires += 1;
                     conn.tcb.stats.rexmits += 1;
-                    conn.tcb.rexmt_shift = (conn.tcb.rexmt_shift + 1).min(12);
+                    conn.tcb.rexmt_shift = (conn.tcb.rexmt_shift + 1).min(self.cfg.max_rexmt_shift);
+                    conn.tcb.note_retransmit();
                     conn.tcb.ssthresh = (conn.tcb.flight_size() / 2).max(2 * conn.tcb.mss);
                     conn.tcb.cwnd = conn.tcb.mss;
                     conn.tcb.snd_nxt = conn.tcb.snd_una;
@@ -1188,7 +1242,7 @@ impl Kernel {
 
     /// Emits a FIN|ACK segment; the FIN consumes one sequence number.
     fn send_fin(&mut self, mut cursor: SimTime, sock: SockId, drv: &mut dyn TxDriver) -> SimTime {
-        let rto = SimTime::from_us(self.cfg.rto_min_us);
+        let rto = self.conns[sock].tcb.rto(&self.cfg);
         let conn = &mut self.conns[sock];
         let rcv_space = conn.sock.rcv.space();
         let offset = crate::seq::seq_diff(conn.tcb.snd_una, conn.tcb.snd_nxt) as usize;
@@ -1298,8 +1352,37 @@ impl Kernel {
         let _ = self.pcbs.remove(&key);
         self.conns[sock].tcb.state = crate::tcb::TcpState::Closed;
         self.conns[sock].tcb.rexmt_deadline = None;
+        self.conns[sock].tcb.persist_deadline = None;
         self.conns[sock].delack_deadline = None;
         self.conns[sock].time_wait_deadline = None;
+    }
+
+    /// Drops a connection that exhausted its retransmission limit:
+    /// reclaims the PCB, posts `ETIMEDOUT` in `so_error`, and wakes
+    /// any blocked process so it observes the error instead of
+    /// sleeping forever.
+    fn abort_connection(&mut self, sock: SockId, now: SimTime) {
+        self.stats.conn_aborts += 1;
+        self.reclaim(sock);
+        let conn = &mut self.conns[sock];
+        conn.tcb.so_error = Some(ConnError::TimedOut);
+        if conn.sock.proc_state != crate::socket::ProcState::Running {
+            conn.sock.proc_state = crate::socket::ProcState::Running;
+            let run_at = now + SimTime::from_us_f64(self.costs.wakeup_us);
+            self.timer_wakeups.push((sock, run_at));
+        }
+    }
+
+    /// Drains the wakeups produced by timer processing (connection
+    /// aborts waking blocked readers/writers).
+    pub fn take_timer_wakeups(&mut self) -> Vec<(SockId, SimTime)> {
+        std::mem::take(&mut self.timer_wakeups)
+    }
+
+    /// The connection's pending socket error, if it was aborted.
+    #[must_use]
+    pub fn so_error(&self, sock: SockId) -> Option<ConnError> {
+        self.conns.get(sock).and_then(|c| c.tcb.so_error)
     }
 
     // ------------------------------------------------------------------
@@ -1410,6 +1493,7 @@ impl Kernel {
             done_at: cursor,
             accepted: data.len(),
             blocked: false,
+            error: None,
         }
     }
 
@@ -1424,6 +1508,7 @@ impl Kernel {
                 done_at: cursor,
                 data: Vec::new(),
                 blocked: true,
+                error: None,
             };
         };
         let cost = self
@@ -1441,6 +1526,7 @@ impl Kernel {
             done_at: cursor,
             data,
             blocked: false,
+            error: None,
         }
     }
 
@@ -1676,7 +1762,10 @@ mod tests {
     use crate::config::tcp_mss;
 
     fn pair() -> (Kernel, Kernel, SockId, SockId) {
-        let cfg = StackConfig::default();
+        pair_cfg(StackConfig::default())
+    }
+
+    fn pair_cfg(cfg: StackConfig) -> (Kernel, Kernel, SockId, SockId) {
         let costs = CostModel::calibrated();
         let mut a = Kernel::new(cfg, costs.clone());
         let mut b = Kernel::new(cfg, costs);
@@ -1909,6 +1998,121 @@ mod tests {
         let at = b.enqueue_ip(SimTime::from_secs(2), chain).unwrap();
         let _ = b.ipintr(at, &mut db);
         assert_eq!(b.rcv_buffered(0), 700);
+    }
+
+    #[test]
+    fn rto_backoff_doubles_per_fire_until_acked() {
+        let (mut a, _b, sa, _sb) = pair();
+        let cfg = a.cfg;
+        let mut da = CaptureDriver::new(9188);
+        let _ = a.syscall_write(SimTime::ZERO, sa, &[5u8; 700], &mut da);
+        da.packets.clear(); // The network keeps losing everything.
+        for fire in 1..=4u32 {
+            let dl = a.next_deadline().expect("rexmt armed");
+            let _ = a.check_timers(dl + SimTime::from_us(1), &mut da);
+            assert_eq!(da.packets.len(), 1, "one retransmission per fire");
+            da.packets.clear();
+            assert_eq!(a.tcb(sa).rexmt_shift, fire, "backoff shift grows");
+            assert_eq!(
+                a.tcb(sa).rto(&cfg),
+                SimTime::from_us(cfg.rto_min_us) * (1u64 << fire),
+                "RTO doubles per fire"
+            );
+            assert_eq!(
+                a.tcb(sa).rexmt_recover,
+                Some(a.tcb(sa).snd_max),
+                "Karn recovery point pinned"
+            );
+        }
+        assert_eq!(a.stats.rto_fires, 4);
+        assert_eq!(a.stats.conn_aborts, 0, "well short of the limit");
+    }
+
+    #[test]
+    fn retransmit_limit_aborts_instead_of_hanging() {
+        // A tight limit keeps the test fast; the mechanism is the same
+        // at the default 12.
+        let cfg = StackConfig {
+            max_rexmt_shift: 3,
+            ..StackConfig::default()
+        };
+        let (mut a, _b, sa, _sb) = pair_cfg(cfg);
+        let mut da = CaptureDriver::new(9188);
+        let _ = a.syscall_write(SimTime::ZERO, sa, &[9u8; 300], &mut da);
+        da.packets.clear();
+        // The application now waits for a response that will never
+        // come; the abort must wake it rather than hang it.
+        let r = a.syscall_read(SimTime::ZERO, sa, 100, &mut da);
+        assert!(r.blocked);
+        // Every retransmission is also lost; the timer escalates to
+        // the abort in a bounded number of fires.
+        let mut fires = 0;
+        while let Some(dl) = a.next_deadline() {
+            let _ = a.check_timers(dl + SimTime::from_us(1), &mut da);
+            da.packets.clear();
+            fires += 1;
+            assert!(fires < 16, "timer processing must terminate");
+            if a.so_error(sa).is_some() {
+                break;
+            }
+        }
+        assert_eq!(a.stats.rto_fires, 3, "one fire per shift up to the limit");
+        assert_eq!(a.stats.conn_aborts, 1);
+        assert_eq!(a.so_error(sa), Some(crate::tcb::ConnError::TimedOut));
+        assert!(a.is_closed(sa), "PCB reclaimed");
+        assert_eq!(a.next_deadline(), None, "no timers survive the abort");
+        // The blocked reader was woken to observe the error.
+        let wakeups = a.take_timer_wakeups();
+        assert_eq!(wakeups.len(), 1);
+        assert_eq!(wakeups[0].0, sa);
+        let r = a.syscall_read(wakeups[0].1, sa, 100, &mut da);
+        assert!(!r.blocked, "reader returns instead of sleeping forever");
+        assert_eq!(r.error, Some(crate::tcb::ConnError::TimedOut));
+        // Writes fail the same way.
+        let w = a.syscall_write(wakeups[0].1, sa, &[1u8; 10], &mut da);
+        assert_eq!(w.error, Some(crate::tcb::ConnError::TimedOut));
+        assert_eq!(w.accepted, 0);
+    }
+
+    #[test]
+    fn fast_retransmit_recovers_leading_burst_drop() {
+        let (mut a, mut b, sa, sb) = pair();
+        let mut da = CaptureDriver::new(9188);
+        let mut db = CaptureDriver::new(9188);
+        let data: Vec<u8> = (0..16_000).map(|i| (i % 239) as u8).collect();
+        let w = a.syscall_write(SimTime::ZERO, sa, &data, &mut da);
+        assert_eq!(w.accepted, 16_000);
+        assert_eq!(da.packets.len(), 4, "four MSS segments in flight");
+        // A burst at the head of the train: the first segment's cells
+        // are lost; the following three arrive out of order.
+        let mut t = SimTime::from_ms(1);
+        let pkts: Vec<_> = da.packets.drain(..).collect();
+        for p in &pkts[1..] {
+            let (chain, _) = Chain::from_user_data(&b.pool, p, p.len() > 1024);
+            if let Some(at) = b.enqueue_ip(t, chain) {
+                let _ = b.ipintr(at, &mut db);
+            }
+            t += SimTime::from_ms(1);
+        }
+        assert_eq!(b.tcb(sb).stats.ooo_segments, 3, "gap queued out of order");
+        let dups: Vec<_> = db.packets.drain(..).collect();
+        assert!(dups.len() >= 3, "each gap arrival forced a duplicate ACK");
+        for p in dups {
+            let (chain, _) = Chain::from_user_data(&a.pool, &p, false);
+            if let Some(at) = a.enqueue_ip(t, chain) {
+                let _ = a.ipintr(at, &mut da);
+            }
+            t += SimTime::from_ms(1);
+        }
+        assert!(
+            a.tcb(sa).stats.rexmits >= 1,
+            "third duplicate ACK triggered fast retransmit"
+        );
+        assert_eq!(a.stats.rto_fires, 0, "recovery did not wait for the timer");
+        // The retransmission fills the gap; everything delivers.
+        pump(&mut a, &mut b, sa, sb, &mut da, &mut db);
+        let got = b.syscall_read(t + SimTime::from_ms(5), sb, 16_000, &mut db);
+        assert_eq!(got.data, data, "payload intact after burst recovery");
     }
 
     #[test]

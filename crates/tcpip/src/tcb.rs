@@ -30,6 +30,26 @@ use crate::hdr::{flags, TcpIpHeader};
 use crate::pcb::PcbKey;
 use crate::seq::{seq_diff, seq_gt, seq_le, seq_lt};
 
+/// Typed connection error delivered to the application instead of a
+/// hang: the socket's `so_error`, returned by the next read/write
+/// syscall after the connection dies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConnError {
+    /// The retransmission limit was exhausted (BSD `ETIMEDOUT`): the
+    /// peer stopped acknowledging and the connection was dropped.
+    TimedOut,
+}
+
+impl std::fmt::Display for ConnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConnError::TimedOut => write!(f, "ETIMEDOUT: retransmission limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for ConnError {}
+
 /// What the header-prediction check concluded (§3).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Prediction {
@@ -135,6 +155,25 @@ pub struct Tcb {
     pub persist_deadline: Option<SimTime>,
     /// Exponential backoff shift.
     pub rexmt_shift: u32,
+    /// Smoothed round-trip time, microseconds (BSD `t_srtt`).
+    pub srtt_us: f64,
+    /// Smoothed mean deviation, microseconds (BSD `t_rttvar`).
+    pub rttvar_us: f64,
+    /// RTT samples folded into the estimator.
+    pub rtt_samples: u64,
+    /// The segment currently being timed: `(end_seq, sent_at)`. Karn's
+    /// algorithm: only *first* transmissions are timed; any retransmit
+    /// cancels the measurement so an ACK for the old or the new copy
+    /// cannot poison the estimator.
+    pub rtt_timed: Option<(u32, SimTime)>,
+    /// Karn's algorithm, second half: after a retransmission the
+    /// backed-off RTO is kept until an ACK covers `snd_max` as of the
+    /// retransmit (the recovery point). Acks of the retransmitted data
+    /// itself are ambiguous and must not reset the backoff.
+    pub rexmt_recover: Option<u32>,
+    /// Pending socket error (BSD `so_error`): set when the connection
+    /// is aborted, delivered by the next read/write syscall.
+    pub so_error: Option<ConnError>,
     /// IP identification counter.
     pub ip_id: u16,
     /// Counters.
@@ -171,6 +210,12 @@ impl Tcb {
             rexmt_deadline: None,
             persist_deadline: None,
             rexmt_shift: 0,
+            srtt_us: 0.0,
+            rttvar_us: 0.0,
+            rtt_samples: 0,
+            rtt_timed: None,
+            rexmt_recover: None,
+            so_error: None,
             ip_id: 1,
             stats: TcpStats::default(),
             nodelay: cfg.nodelay,
@@ -258,6 +303,11 @@ impl Tcb {
     /// IP.
     pub fn note_sent(&mut self, seq: u32, len: usize, now: SimTime, rto: SimTime) {
         let end = seq.wrapping_add(len as u32);
+        // Karn: time only first transmissions (seq at snd_max), one
+        // segment at a time.
+        if len > 0 && seq == self.snd_max && self.rtt_timed.is_none() {
+            self.rtt_timed = Some((end, now));
+        }
         if seq_gt(end, self.snd_nxt) {
             self.snd_nxt = end;
         }
@@ -270,6 +320,45 @@ impl Tcb {
         if self.rexmt_deadline.is_none() && len > 0 {
             self.rexmt_deadline = Some(now + rto);
         }
+    }
+
+    /// Registers a retransmission for Karn's algorithm: cancel the
+    /// in-flight RTT measurement (an ACK would be ambiguous) and hold
+    /// the backed-off RTO until an ACK covers everything sent so far.
+    pub fn note_retransmit(&mut self) {
+        self.rtt_timed = None;
+        self.rexmt_recover = Some(self.snd_max);
+    }
+
+    /// The current retransmission timeout: `srtt + 4·rttvar` (BSD's
+    /// estimator) clamped to `[rto_min, 64 s]`, doubled per backoff
+    /// shift. With no samples yet the floor applies, which on this
+    /// LAN (RTTs well under a millisecond against a 500 ms floor) is
+    /// also the steady state — clean-run timing is unchanged by the
+    /// estimator.
+    #[must_use]
+    pub fn rto(&self, cfg: &StackConfig) -> SimTime {
+        let floor = cfg.rto_min_us as f64;
+        let base_us = if self.rtt_samples > 0 {
+            (self.srtt_us + 4.0 * self.rttvar_us).clamp(floor, 64_000_000.0)
+        } else {
+            floor
+        };
+        SimTime::from_us_f64(base_us) * (1u64 << self.rexmt_shift.min(6))
+    }
+
+    /// Folds one RTT sample (microseconds) into the smoothed
+    /// estimator, BSD-style: gain 1/8 on srtt, 1/4 on the deviation.
+    fn rtt_update(&mut self, sample_us: f64) {
+        if self.rtt_samples == 0 {
+            self.srtt_us = sample_us;
+            self.rttvar_us = sample_us / 2.0;
+        } else {
+            let delta = sample_us - self.srtt_us;
+            self.srtt_us += delta / 8.0;
+            self.rttvar_us += (delta.abs() - self.rttvar_us) / 4.0;
+        }
+        self.rtt_samples += 1;
     }
 
     /// The §3 header-prediction predicate, evaluated against an
@@ -305,7 +394,7 @@ impl Tcb {
     /// Processes the acknowledgment field. Returns the number of
     /// newly acknowledged bytes (to drop from the send buffer) and
     /// whether a fast retransmit should fire.
-    pub fn process_ack(&mut self, ack: u32, peer_win: u16) -> AckOutcome {
+    pub fn process_ack(&mut self, ack: u32, peer_win: u16, now: SimTime) -> AckOutcome {
         self.snd_wnd = usize::from(peer_win);
         if seq_le(ack, self.snd_una) {
             // Not a new ACK: count duplicates when data is in flight.
@@ -313,10 +402,12 @@ impl Tcb {
                 self.dupacks += 1;
                 if self.dupacks == 3 {
                     // Fast retransmit: halve the window, resend from
-                    // snd_una.
+                    // snd_una. Karn: the resend invalidates any RTT
+                    // measurement and pins the recovery point.
                     self.ssthresh = (self.flight_size() / 2).max(2 * self.mss);
                     self.cwnd = self.ssthresh;
                     self.snd_nxt = self.snd_una;
+                    self.note_retransmit();
                     return AckOutcome {
                         newly_acked: 0,
                         fast_retransmit: true,
@@ -336,13 +427,30 @@ impl Tcb {
                 fast_retransmit: false,
             };
         }
+        // RTT sample: the timed segment is fully acknowledged and was
+        // never retransmitted (note_retransmit clears the timer).
+        if let Some((end, sent_at)) = self.rtt_timed {
+            if seq_le(end, ack) {
+                let sample_us = (now - sent_at).as_us_f64();
+                self.rtt_update(sample_us);
+                self.rtt_timed = None;
+            }
+        }
         let newly = seq_diff(self.snd_una, ack) as usize;
         self.snd_una = ack;
         if seq_lt(self.snd_nxt, self.snd_una) {
             self.snd_nxt = self.snd_una;
         }
         self.dupacks = 0;
-        self.rexmt_shift = 0;
+        // Karn: keep the backed-off RTO until the ACK covers the
+        // recovery point; an ACK of retransmitted data is ambiguous.
+        match self.rexmt_recover {
+            Some(recover) if seq_lt(ack, recover) => {}
+            _ => {
+                self.rexmt_shift = 0;
+                self.rexmt_recover = None;
+            }
+        }
         self.rexmt_deadline = None; // Kernel re-arms if data remains.
                                     // Congestion window growth: slow start then linear.
         if self.cwnd < self.ssthresh {
@@ -541,7 +649,7 @@ mod tests {
         assert_eq!(t.next_send(5000), None, "Nagle holds the 904-byte tail");
         // The ACK frees it (the kernel also drops the acked bytes
         // from the send buffer, so 904 remain).
-        let _ = t.process_ack(t.snd_una.wrapping_add(4096), 16384);
+        let _ = t.process_ack(t.snd_una.wrapping_add(4096), 16384, SimTime::ZERO);
         assert_eq!(t.next_send(904), Some((0, 904)));
     }
 
@@ -552,7 +660,7 @@ mod tests {
         t.ssthresh = 100_000;
         t.note_sent(t.snd_nxt, 4096, SimTime::ZERO, SimTime::from_ms(500));
         let una = t.snd_una;
-        let out = t.process_ack(una.wrapping_add(4096), 16384);
+        let out = t.process_ack(una.wrapping_add(4096), 16384, SimTime::from_us(600));
         assert_eq!(out.newly_acked, 4096);
         assert!(!out.fast_retransmit);
         assert_eq!(t.snd_una, una.wrapping_add(4096));
@@ -567,13 +675,19 @@ mod tests {
         t.note_sent(t.snd_nxt, 4096, SimTime::ZERO, SimTime::from_ms(500));
         let una = t.snd_una;
         for i in 0..2 {
-            let out = t.process_ack(una, 16384);
+            let out = t.process_ack(una, 16384, SimTime::ZERO);
             assert!(!out.fast_retransmit, "dup {i}");
         }
-        let out = t.process_ack(una, 16384);
+        let out = t.process_ack(una, 16384, SimTime::ZERO);
         assert!(out.fast_retransmit);
         assert_eq!(t.snd_nxt, t.snd_una, "resend from snd_una");
         assert!(t.cwnd <= 4096 * 2);
+        assert_eq!(
+            t.rexmt_recover,
+            Some(t.snd_max),
+            "Karn recovery point pinned by the fast retransmit"
+        );
+        assert!(t.rtt_timed.is_none(), "RTT measurement cancelled");
     }
 
     #[test]
@@ -684,8 +798,83 @@ mod tests {
         // Sender side wrap.
         assert_eq!(t.next_send(8000), Some((0, 4096)));
         t.note_sent(t.snd_nxt, 4096, SimTime::ZERO, SimTime::from_ms(500));
-        let out = t.process_ack(t.snd_una.wrapping_add(4096), 16384);
+        let out = t.process_ack(t.snd_una.wrapping_add(4096), 16384, SimTime::ZERO);
         assert_eq!(out.newly_acked, 4096);
+    }
+
+    #[test]
+    fn rto_starts_at_the_floor_and_doubles_with_backoff() {
+        let mut t = tcb();
+        let c = cfg();
+        assert_eq!(
+            t.rto(&c),
+            SimTime::from_us(c.rto_min_us),
+            "no samples: floor"
+        );
+        t.rexmt_shift = 1;
+        assert_eq!(t.rto(&c), SimTime::from_us(c.rto_min_us) * 2);
+        t.rexmt_shift = 3;
+        assert_eq!(t.rto(&c), SimTime::from_us(c.rto_min_us) * 8);
+        // The doubling saturates at shift 6 (64x), as before.
+        t.rexmt_shift = 10;
+        assert_eq!(t.rto(&c), SimTime::from_us(c.rto_min_us) * 64);
+    }
+
+    #[test]
+    fn rtt_samples_feed_the_estimator_but_lan_rtts_stay_floored() {
+        let mut t = tcb();
+        let c = cfg();
+        t.note_sent(t.snd_nxt, 1000, SimTime::ZERO, SimTime::from_ms(500));
+        assert!(t.rtt_timed.is_some(), "first transmission is timed");
+        let una = t.snd_una;
+        let _ = t.process_ack(una.wrapping_add(1000), 16384, SimTime::from_us(600));
+        assert_eq!(t.rtt_samples, 1);
+        assert!((t.srtt_us - 600.0).abs() < 1e-9);
+        assert!((t.rttvar_us - 300.0).abs() < 1e-9);
+        // 600 + 4*300 = 1800 µs, far under the 500 ms floor.
+        assert_eq!(t.rto(&c), SimTime::from_us(c.rto_min_us));
+    }
+
+    #[test]
+    fn karn_no_rtt_sample_from_retransmitted_segment() {
+        let mut t = tcb();
+        t.note_sent(t.snd_nxt, 1000, SimTime::ZERO, SimTime::from_ms(500));
+        // The RTO fires; the kernel resends and notes the retransmit.
+        t.snd_nxt = t.snd_una;
+        t.note_retransmit();
+        t.note_sent(
+            t.snd_nxt,
+            1000,
+            SimTime::from_ms(500),
+            SimTime::from_ms(1000),
+        );
+        assert!(
+            t.rtt_timed.is_none(),
+            "retransmissions are never timed (seq < snd_max)"
+        );
+        let una = t.snd_una;
+        let _ = t.process_ack(una.wrapping_add(1000), 16384, SimTime::from_ms(501));
+        assert_eq!(t.rtt_samples, 0, "ambiguous ACK produced no sample");
+    }
+
+    #[test]
+    fn karn_backoff_held_until_ack_covers_recovery_point() {
+        let mut t = tcb();
+        // Two segments in flight; the first is retransmitted.
+        t.note_sent(t.snd_nxt, 1000, SimTime::ZERO, SimTime::from_ms(500));
+        t.note_sent(t.snd_nxt, 1000, SimTime::ZERO, SimTime::from_ms(500));
+        t.rexmt_shift = 2;
+        t.snd_nxt = t.snd_una;
+        t.note_retransmit();
+        let una = t.snd_una;
+        // ACK of the retransmitted segment only: ambiguous, backoff
+        // must hold.
+        let _ = t.process_ack(una.wrapping_add(1000), 16384, SimTime::from_ms(600));
+        assert_eq!(t.rexmt_shift, 2, "backoff held on ambiguous ACK");
+        // ACK covering the recovery point clears it.
+        let _ = t.process_ack(una.wrapping_add(2000), 16384, SimTime::from_ms(700));
+        assert_eq!(t.rexmt_shift, 0);
+        assert_eq!(t.rexmt_recover, None);
     }
 
     #[test]

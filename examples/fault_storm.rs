@@ -1,0 +1,60 @@
+//! The fault storm: every injector armed at once — sustained
+//! Gilbert–Elliott burst loss, cell reordering, duplication and
+//! jitter in the trains, an 8-cell RX FIFO behind a stalling host —
+//! against the paper's RPC echo workload.
+//!
+//! The point is the robustness contract, demonstrated under the worst
+//! schedule faultkit can express: the run *terminates* (completing or
+//! aborting cleanly on the retransmit limit, never hanging), every
+//! delivered byte verifies, and teardown returns every mbuf.
+//!
+//! ```sh
+//! cargo run --release --example fault_storm
+//! ```
+
+use faultkit::{FaultSchedule, GilbertElliott};
+use latency_core::experiment::{Experiment, NetKind};
+use latency_core::recovery;
+
+fn main() {
+    let storm = FaultSchedule::default()
+        .with_atm_loss(GilbertElliott::heavy_bursts())
+        .with_reorder(0.002)
+        .with_duplicate(0.002)
+        .with_jitter(0.002, 10_000)
+        .with_rx_fifo_cells(8)
+        .with_rx_contention(0.002, 12);
+
+    println!("fault storm: heavy burst loss + reorder + duplicate + jitter");
+    println!("             + 8-cell RX FIFO under drain stalls, all at once\n");
+
+    let mut rows = Vec::new();
+    let mut verify_failures = 0u64;
+    for &size in &[1400usize, 8000] {
+        let clean_sc = recovery::scenario("clean").expect("clean scenario");
+        let clean = recovery::experiment(&clean_sc, size, 120).run(7);
+        let clean_mean = clean.mean_rtt_us();
+
+        let mut e = Experiment::rpc(NetKind::Atm, size).with_faults(storm);
+        e.iterations = 120;
+        e.warmup = 16;
+        let r = e.run(7);
+
+        assert_eq!(
+            r.mbufs_leaked,
+            (0, 0),
+            "the storm must not leak mbufs: {r:?}"
+        );
+        verify_failures += r.verify_failures;
+        rows.push(recovery::reduce("clean", size, &clean, clean_mean));
+        rows.push(recovery::reduce("storm", size, &r, clean_mean));
+    }
+
+    println!("{}", recovery::format_table(&rows));
+    assert_eq!(
+        verify_failures, 0,
+        "the storm may cost thousands of round trips but never integrity"
+    );
+    println!("verification failures: {verify_failures}; mbuf leaks: none.");
+    println!("every run terminated — completed or aborted cleanly, no hangs.");
+}

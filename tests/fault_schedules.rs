@@ -1,0 +1,116 @@
+//! Property tests for the faultkit robustness contract: *any*
+//! deterministic fault schedule — however hostile — yields a run that
+//! terminates (completed or cleanly aborted, never hung), delivers
+//! only verified payload, returns every mbuf at teardown, and
+//! reproduces byte-identically regardless of worker count.
+
+use faultkit::{FaultSchedule, GilbertElliott};
+use latency_core::experiment::{Experiment, NetKind};
+use proptest::prelude::*;
+use sweep::Sweep;
+
+/// Scales a `u16` draw onto `[0, max_prob]`.
+fn prob(raw: u16, max_prob: f64) -> f64 {
+    f64::from(raw) / f64::from(u16::MAX) * max_prob
+}
+
+#[allow(clippy::too_many_arguments)]
+fn schedule(
+    ge: Option<(u16, u16, u16)>,
+    reorder: u16,
+    duplicate: u16,
+    jitter: (u16, u16),
+    fifo_cells: Option<u16>,
+    contention: Option<(u16, u16)>,
+    mbuf_limit: Option<u16>,
+) -> FaultSchedule {
+    let mut f = FaultSchedule::default();
+    if let Some((to_bad, to_good, loss_bad)) = ge {
+        f = f.with_atm_loss(GilbertElliott {
+            p_good_to_bad: prob(to_bad, 0.05),
+            p_bad_to_good: prob(to_good, 1.0),
+            loss_good: 0.0,
+            loss_bad: prob(loss_bad, 1.0),
+        });
+    }
+    f = f
+        .with_reorder(prob(reorder, 0.02))
+        .with_duplicate(prob(duplicate, 0.02))
+        .with_jitter(prob(jitter.0, 0.02), u64::from(jitter.1) * 100);
+    if let Some(cells) = fifo_cells {
+        f = f.with_rx_fifo_cells(usize::from(cells % 64) + 4);
+    }
+    if let Some((stall, burst)) = contention {
+        f = f.with_rx_contention(prob(stall, 0.02), u32::from(burst % 24) + 1);
+    }
+    if let Some(limit) = mbuf_limit {
+        // 0 would mean "no limit" at the pool layer; keep it a real cap.
+        f = f.with_mbuf_limit(u64::from(limit % 64) + 1);
+    }
+    f
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// The liveness/integrity core of the fault model: every schedule
+    /// terminates with either all iterations done or a typed abort;
+    /// whatever payload was delivered verified end to end; teardown
+    /// returns every mbuf; and the same (schedule, seed) reproduces
+    /// the exact event count and RTT samples.
+    #[test]
+    fn any_fault_schedule_degrades_gracefully(
+        ge in proptest::option::of((any::<u16>(), any::<u16>(), any::<u16>())),
+        reorder in any::<u16>(),
+        duplicate in any::<u16>(),
+        jitter in (any::<u16>(), any::<u16>()),
+        fifo_cells in proptest::option::of(any::<u16>()),
+        contention in proptest::option::of((any::<u16>(), any::<u16>())),
+        mbuf_limit in proptest::option::of(any::<u16>()),
+        size_raw in any::<u16>(),
+        seed in any::<u16>(),
+    ) {
+        let faults = schedule(ge, reorder, duplicate, jitter, fifo_cells, contention, mbuf_limit);
+        let size = usize::from(size_raw) % 8000 + 4;
+        let build = || {
+            let mut e = Experiment::rpc(NetKind::Atm, size).with_faults(faults);
+            e.iterations = 10;
+            e.warmup = 2;
+            e
+        };
+        let r = build().run(u64::from(seed));
+        prop_assert_eq!(r.verify_failures, 0, "faults cost time, never integrity");
+        prop_assert!(
+            r.aborted || r.rtts.len() == 10,
+            "terminate by completing or by clean abort: {} iters, aborted={}",
+            r.rtts.len(),
+            r.aborted
+        );
+        prop_assert_eq!(r.mbufs_leaked, (0, 0), "every fault path returns its mbufs");
+        // Determinism: identical schedule + seed, identical universe.
+        let again = build().run(u64::from(seed));
+        prop_assert_eq!(&r.rtts, &again.rtts);
+        prop_assert_eq!(r.events, again.events);
+        prop_assert_eq!(r.enobufs, again.enobufs);
+    }
+}
+
+/// The `repro faults` determinism contract: the fault study's
+/// canonical sweep report is byte-identical at every worker count.
+#[test]
+fn fault_sweep_report_is_byte_identical_across_worker_counts() {
+    let declare = || {
+        let mut sw = Sweep::new("fault-prop");
+        for sc in latency_core::recovery::scenarios() {
+            sw.ensure(
+                sweep::grid::fault_cell_key(sc.name, 1400, 30, 1),
+                latency_core::recovery::experiment(&sc, 1400, 30),
+                1,
+            );
+        }
+        sw
+    };
+    let serial = declare().run(1).canonical_json();
+    let parallel = declare().run(4).canonical_json();
+    assert_eq!(serial, parallel);
+}
