@@ -5,6 +5,7 @@
 //! ```sh
 //! repro [all|table1|table2|table3|table4|table5|table6|table7|pcb|mbuf|predict|errors]
 //!       [faults|churn|ablation|switch|ethernet-errors|trace]
+//!       [verify [--bless] [--golden-dir DIR]] [invariants]
 //!       [--iterations N] [--reps N] [--jobs N] [--json FILE]
 //!       [--sweep-json FILE] [--full] [--quick]
 //! ```
@@ -41,6 +42,8 @@ struct Opts {
     jobs: usize,
     json: Option<String>,
     sweep_json: Option<String>,
+    bless: bool,
+    golden_dir: String,
 }
 
 fn parse_args() -> Opts {
@@ -50,6 +53,8 @@ fn parse_args() -> Opts {
     let mut jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut json = None;
     let mut sweep_json = None;
+    let mut bless = false;
+    let mut golden_dir = String::from("tests/golden");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -68,6 +73,8 @@ fn parse_args() -> Opts {
             }
             "--json" => json = Some(args.next().expect("--json FILE")),
             "--sweep-json" => sweep_json = Some(args.next().expect("--sweep-json FILE")),
+            "--bless" => bless = true,
+            "--golden-dir" => golden_dir = args.next().expect("--golden-dir DIR"),
             "--full" => {
                 iterations = 40_000;
                 reps = 3;
@@ -90,11 +97,19 @@ fn parse_args() -> Opts {
         jobs,
         json,
         sweep_json,
+        bless,
+        golden_dir,
     }
 }
 
 fn main() {
     let opts = parse_args();
+    if opts.what.iter().any(|w| w == "verify") {
+        std::process::exit(cmd_verify(&opts));
+    }
+    if opts.what.iter().any(|w| w == "invariants") {
+        std::process::exit(cmd_invariants(&opts));
+    }
     let mut report = Report::new(opts.iterations, opts.reps);
     let all = opts.what.iter().any(|w| w == "all");
     let want = |k: &str| all || opts.what.iter().any(|w| w == k);
@@ -881,4 +896,235 @@ fn errors(report: &mut Report, opts: &Opts) {
         1.0,
     );
     report.text("errors", text);
+}
+
+// --------------------------------------------------------------------------
+// `repro verify` / `repro invariants` — the oracle subcommands.
+// --------------------------------------------------------------------------
+
+/// Golden comparisons run at the CI quick scale regardless of which
+/// scale flags accompany the command: the blessed files pin their
+/// scale into every cell key, so verifying at any other scale could
+/// only ever report "cell missing".
+fn golden_scale(opts: &Opts) -> Opts {
+    Opts {
+        what: Vec::new(),
+        iterations: 200,
+        reps: 1,
+        jobs: opts.jobs,
+        json: None,
+        sweep_json: None,
+        bless: opts.bless,
+        golden_dir: opts.golden_dir.clone(),
+    }
+}
+
+/// Comparator tolerance for the µs statistics. Grid-pinned integers
+/// (seed, reps, samples, events, verify_failures) always compare
+/// exactly; the simulation is deterministic, so this headroom only
+/// absorbs float-formatting differences, never behaviour.
+const GOLDEN_TOL_US: f64 = 0.05;
+
+/// The two golden grids: every Tables 1–7 cell, and the
+/// loss-recovery study.
+fn golden_grids(q: &Opts) -> [Sweep; 2] {
+    let mut tables = Sweep::new("tables");
+    for &size in &paper::SIZES {
+        for v in Variant::ALL {
+            declare_rpc(&mut tables, NetKind::Atm, size, v, q);
+        }
+        declare_rpc(&mut tables, NetKind::Ether, size, Variant::Base, q);
+    }
+    let mut faults = Sweep::new("faults");
+    declare_faults(&mut faults, q);
+    [tables, faults]
+}
+
+fn cmd_verify(opts: &Opts) -> i32 {
+    let q = golden_scale(opts);
+    let mut code = 0;
+    for grid in golden_grids(&q) {
+        let path = format!("{}/{}_quick.json", q.golden_dir, grid.name);
+        // Read the golden before paying for the live grid, so a
+        // missing or corrupt file fails fast.
+        let golden = if q.bless {
+            None
+        } else {
+            let golden_text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!(
+                        "verify: cannot read {path}: {e}\n\
+                         verify: run `repro verify --bless` to create the goldens"
+                    );
+                    return 2;
+                }
+            };
+            match oracle::parse_report(&golden_text) {
+                Ok(g) => Some(g),
+                Err(e) => {
+                    eprintln!("verify: {path}: {e}");
+                    return 2;
+                }
+            }
+        };
+        eprintln!(
+            "verify: {}: running {} cell(s) across {} worker(s)...",
+            grid.name,
+            grid.len(),
+            q.jobs
+        );
+        let live = grid.run(q.jobs);
+        let live_json = live.canonical_json();
+        let Some(golden) = golden else {
+            std::fs::create_dir_all(&q.golden_dir).expect("create golden dir");
+            std::fs::write(&path, &live_json).expect("write golden file");
+            eprintln!(
+                "verify: blessed {} cell(s) into {path}",
+                live.outcomes.len()
+            );
+            continue;
+        };
+        let live_rep = oracle::parse_report(&live_json).expect("live canonical json parses");
+        let drifts = oracle::compare_reports(&golden, &live_rep, GOLDEN_TOL_US);
+        if drifts.is_empty() {
+            eprintln!(
+                "verify: {}: {} cell(s) match {path}",
+                grid.name,
+                live.outcomes.len()
+            );
+            continue;
+        }
+        code = 1;
+        eprintln!(
+            "verify: {}: {} drift(s) against {path}:",
+            grid.name,
+            drifts.len()
+        );
+        for d in &drifts {
+            eprintln!("  {d}");
+        }
+        shrink_fault_drifts(&live, &drifts);
+    }
+    if code == 0 && !q.bless {
+        eprintln!("verify: clean");
+    }
+    code
+}
+
+/// Integrity anomalies in a drifted fault cell (payload corruption
+/// reaching the application) shrink to a minimal reproducing schedule
+/// before being reported, so the console shows the smallest injector
+/// that still breaks the run rather than the full scenario.
+fn shrink_fault_drifts(live: &SweepResults, drifts: &[oracle::Drift]) {
+    use latency_core::recovery;
+    let mut seen = std::collections::BTreeSet::new();
+    for d in drifts {
+        if !d.key.starts_with("faults/") || !seen.insert(d.key.clone()) {
+            continue;
+        }
+        let Some(out) = live.get(&d.key) else {
+            continue;
+        };
+        if out.result.verify_failures == 0 {
+            continue;
+        }
+        // Key shape: faults/{scenario}/{size}/i{iters}r{reps}.
+        let parts: Vec<&str> = d.key.split('/').collect();
+        let (Some(name), Some(size), Some(iters)) = (
+            parts.get(1),
+            parts.get(2).and_then(|s| s.parse::<usize>().ok()),
+            parts
+                .get(3)
+                .and_then(|s| s.strip_prefix('i'))
+                .and_then(|s| s.split('r').next())
+                .and_then(|s| s.parse::<u64>().ok()),
+        ) else {
+            continue;
+        };
+        let Some(sc) = recovery::scenarios().into_iter().find(|s| s.name == *name) else {
+            continue;
+        };
+        let seed = out.seed;
+        let minimal = oracle::shrink_schedule(sc.faults, |cand| {
+            let probe = recovery::Scenario {
+                name: sc.name,
+                blurb: sc.blurb,
+                faults: *cand,
+            };
+            recovery::experiment(&probe, size, iters)
+                .run(seed)
+                .verify_failures
+                > 0
+        });
+        eprintln!(
+            "  minimal schedule reproducing the corruption in {}: {minimal:?}",
+            d.key
+        );
+    }
+}
+
+fn cmd_invariants(opts: &Opts) -> i32 {
+    use oracle::InvariantSet;
+    let iters = opts.iterations.min(200);
+    let mut cells: Vec<(String, Experiment, InvariantSet)> = Vec::new();
+    for &size in &[4usize, 1400, 8000] {
+        for v in Variant::ALL {
+            let mut e = v.apply(Experiment::rpc(NetKind::Atm, size));
+            e.iterations = iters;
+            e.warmup = 8;
+            cells.push((format!("atm/{size}/{}", v.tag()), e, InvariantSet::all()));
+        }
+    }
+    for &size in &[200usize, 8000] {
+        let mut e = Experiment::rpc(NetKind::Ether, size);
+        e.iterations = iters.min(200);
+        e.warmup = 8;
+        cells.push((format!("ether/{size}/base"), e, InvariantSet::all()));
+    }
+    // Faulted runs too: the invariants must hold under injected loss.
+    // The capture comparator assumes the clean orbit's frame pairing,
+    // so it sits out here; every other checker stays armed.
+    let mut faulted = InvariantSet::all();
+    faulted.capture_agreement = false;
+    for sc in latency_core::recovery::scenarios() {
+        let e = latency_core::recovery::experiment(&sc, 1400, iters.min(60));
+        cells.push((format!("faults/{}/1400", sc.name), e, faulted));
+    }
+    eprintln!(
+        "invariants: {} run(s) across {} worker(s), checkers armed...",
+        cells.len(),
+        opts.jobs
+    );
+    let reports = sweep::pool::run_ordered(&cells, opts.jobs, |_, (name, e, set)| {
+        (
+            name.clone(),
+            oracle::check_experiment(e, sweep::cell_seed(name), set),
+        )
+    });
+    let mut failures = 0usize;
+    for (name, rep) in reports {
+        if let Some(msg) = &rep.capture_skipped {
+            eprintln!("invariants: {name}: capture comparison skipped ({msg})");
+        }
+        if rep.is_clean() {
+            eprintln!(
+                "invariants: {name}: clean ({} event(s) checked)",
+                rep.events_checked
+            );
+        } else {
+            failures += rep.violations.len();
+            eprintln!("invariants: {name}: {} violation(s):", rep.violations.len());
+            for v in &rep.violations {
+                eprintln!("  [{}] {}", v.invariant, v.detail);
+            }
+        }
+    }
+    if failures == 0 {
+        eprintln!("invariants: all clean");
+        0
+    } else {
+        eprintln!("invariants: {failures} violation(s) total");
+        1
+    }
 }

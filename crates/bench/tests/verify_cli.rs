@@ -1,0 +1,76 @@
+//! End-to-end exit-code contract of `repro verify`:
+//!
+//! - `--bless` writes the goldens and succeeds;
+//! - a clean re-run verifies with exit 0;
+//! - any golden drift makes verification exit non-zero;
+//! - missing goldens exit with a distinct code and a hint to bless.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+fn tmp_golden_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("repro-golden-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn verify_roundtrip_and_drift_detection() {
+    let dir = tmp_golden_dir("roundtrip");
+    let dir_s = dir.to_str().expect("utf8 temp path");
+
+    // Bless.
+    let st = repro()
+        .args(["verify", "--bless", "--golden-dir", dir_s])
+        .status()
+        .expect("run repro");
+    assert!(st.success(), "--bless failed: {st:?}");
+    assert!(dir.join("tables_quick.json").is_file());
+    assert!(dir.join("faults_quick.json").is_file());
+
+    // Clean re-run: the simulation is deterministic, so the live grid
+    // must match what was just blessed.
+    let st = repro()
+        .args(["verify", "--golden-dir", dir_s])
+        .status()
+        .expect("run repro");
+    assert!(st.success(), "clean verify failed: {st:?}");
+
+    // Drift: perturb one grid-pinned integer in the golden, as a
+    // changed cost constant or protocol tweak would perturb the live
+    // side. Verification must exit non-zero.
+    let path = dir.join("tables_quick.json");
+    let text = std::fs::read_to_string(&path).expect("read golden");
+    let drifted = text.replacen("\"reps\": 1", "\"reps\": 2", 1);
+    assert_ne!(text, drifted, "golden must contain a reps field");
+    std::fs::write(&path, drifted).expect("write perturbed golden");
+    let st = repro()
+        .args(["verify", "--golden-dir", dir_s])
+        .status()
+        .expect("run repro");
+    assert_eq!(
+        st.code(),
+        Some(1),
+        "perturbed golden must fail verification"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn verify_without_goldens_asks_for_bless() {
+    let dir = tmp_golden_dir("missing");
+    let st = repro()
+        .args(["verify", "--golden-dir", dir.to_str().expect("utf8")])
+        .status()
+        .expect("run repro");
+    assert_eq!(
+        st.code(),
+        Some(2),
+        "missing goldens are a setup error, not a drift"
+    );
+}

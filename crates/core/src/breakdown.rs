@@ -81,6 +81,72 @@ impl RxBreakdown {
     }
 }
 
+/// Per-iteration breakdowns from a client-side recorder, without the
+/// averaging [`compute_breakdowns`] applies on top.
+///
+/// The pairing and clipping rules are identical; iterations that
+/// [`compute_breakdowns`] would skip on the receive side (no segment
+/// arrival inside the window) are omitted entirely here, so each
+/// returned sample has both halves. The oracle's analytic cross-check
+/// compares its closed-form prediction against one converged sample
+/// rather than an average polluted by convergence transients.
+#[must_use]
+pub fn compute_breakdown_samples(rec: &SpanRecorder) -> Vec<(TxBreakdown, RxBreakdown)> {
+    let writes: Vec<SimTime> = rec
+        .marks()
+        .iter()
+        .filter(|(m, _)| *m == Mark::WriteStart)
+        .map(|&(_, t)| t)
+        .collect();
+    let returns: Vec<SimTime> = rec
+        .marks()
+        .iter()
+        .filter(|(m, _)| *m == Mark::ReadReturn)
+        .map(|&(_, t)| t)
+        .collect();
+    let n = writes.len().min(returns.len());
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let w = writes[i];
+        let r = returns[i];
+        if r <= w {
+            continue;
+        }
+        let we = rec.first_mark_after(Mark::WriteEnd, w).unwrap_or(r).min(r);
+        let tx = TxBreakdown {
+            user: rec.clipped_total(SpanKind::TxUser, w, we).as_us_f64(),
+            cksum: rec
+                .clipped_total(SpanKind::TxTcpChecksum, w, we)
+                .as_us_f64(),
+            mcopy: rec.clipped_total(SpanKind::TxTcpMcopy, w, we).as_us_f64(),
+            segment: rec.clipped_total(SpanKind::TxTcpSegment, w, we).as_us_f64(),
+            ip: rec.clipped_total(SpanKind::TxIp, w, we).as_us_f64(),
+            driver: rec.clipped_total(SpanKind::TxDriver, w, we).as_us_f64(),
+        };
+        let Some(t_arr) = rec.last_mark_before(Mark::SegmentArrived, r) else {
+            continue;
+        };
+        if t_arr < w {
+            continue;
+        }
+        let rx = RxBreakdown {
+            driver: rec.clipped_total(SpanKind::RxDriver, t_arr, r).as_us_f64(),
+            ipq: rec.clipped_total(SpanKind::RxIpq, t_arr, r).as_us_f64(),
+            ip: rec.clipped_total(SpanKind::RxIp, t_arr, r).as_us_f64(),
+            cksum: rec
+                .clipped_total(SpanKind::RxTcpChecksum, t_arr, r)
+                .as_us_f64(),
+            segment: rec
+                .clipped_total(SpanKind::RxTcpSegment, t_arr, r)
+                .as_us_f64(),
+            wakeup: rec.clipped_total(SpanKind::RxWakeup, t_arr, r).as_us_f64(),
+            user: rec.clipped_total(SpanKind::RxUser, t_arr, r).as_us_f64(),
+        };
+        out.push((tx, rx));
+    }
+    out
+}
+
 /// Computes per-iteration breakdowns from a client-side recorder and
 /// averages them.
 ///

@@ -396,6 +396,19 @@ pub fn compare_with_inline(run: &CaptureRun) -> Result<Comparison, String> {
         if t_arr < w {
             continue;
         }
+        // Two arrivals inside one window (e.g. a delayed-ACK timer's
+        // pure ACK landing next to the response) break the hop
+        // pairing: the tap queries would mix frames of different
+        // segments. The breakdown methodology skips such iterations,
+        // so the comparison does too.
+        let arrivals = rec
+            .marks()
+            .iter()
+            .filter(|&&(m, t)| m == Mark::SegmentArrived && t >= w && t <= r)
+            .count();
+        if arrivals != 1 {
+            continue;
+        }
         let wire = last_at_or_before(frames, TapPoint::Wire, rq)
             .ok_or_else(|| format!("iteration {i}: no Wire frame before read return"))?;
         let nic_rx = last_at_or_before(frames, TapPoint::NicDmaRx, rq)

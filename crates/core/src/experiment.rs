@@ -225,13 +225,46 @@ impl Experiment {
         result
     }
 
+    /// Runs one repetition with an engine observer installed: `obs`
+    /// fires after every executed event with `(world, time, label)`.
+    /// The observer is read-only, so the results are identical to
+    /// [`Experiment::run`] with the same seed — including the
+    /// post-teardown `mbufs_leaked` accounting, which the oracle's
+    /// mbuf-conservation checker relies on.
+    #[must_use]
+    pub fn run_observed(&self, seed: u64, obs: simkit::ObserverFn<World>) -> RunResult {
+        let (mut result, world) = self.run_sim_with(seed, false, Some(obs));
+        let pools = (
+            world.hosts[0].kernel.pool.clone(),
+            world.hosts[1].kernel.pool.clone(),
+        );
+        drop(world);
+        result.mbufs_leaked = (
+            pools.0.stats().mbufs_outstanding(),
+            pools.1.stats().mbufs_outstanding(),
+        );
+        result
+    }
+
     /// Runs one repetition, optionally with every capture tap armed,
     /// and returns the final world alongside the results (the capture
     /// harness drains the taps from it).
     pub(crate) fn run_sim(&self, seed: u64, capture: bool) -> (RunResult, World) {
+        self.run_sim_with(seed, capture, None)
+    }
+
+    fn run_sim_with(
+        &self,
+        seed: u64,
+        capture: bool,
+        obs: Option<simkit::ObserverFn<World>>,
+    ) -> (RunResult, World) {
         let mut world = self.build_world(seed);
         world.capture = capture;
-        let sim = run_world(world);
+        let sim = match obs {
+            Some(obs) => crate::world::run_world_observed(world, obs),
+            None => run_world(world),
+        };
         let events = sim.events_executed();
         let sim_time = sim.now();
         let w = sim.world;

@@ -56,7 +56,7 @@ pub mod stats;
 pub mod tables;
 pub mod world;
 
-pub use breakdown::{RxBreakdown, TxBreakdown};
+pub use breakdown::{compute_breakdown_samples, RxBreakdown, TxBreakdown};
 pub use capture::{CaptureRun, HostCapture};
 pub use experiment::{Experiment, NetKind, RunResult};
 pub use world::{Host, World};

@@ -190,6 +190,34 @@ pub fn run_world_no_assert(world: World) -> Sim<World> {
     sim
 }
 
+/// [`run_world`] with an engine observer installed for the whole run:
+/// `obs(world, event_time, event_label)` fires after every executed
+/// event. Observation is read-only, so results are identical to
+/// [`run_world`] for the same world — this is how the oracle's
+/// runtime invariant checkers watch a simulation without perturbing
+/// it.
+///
+/// # Panics
+///
+/// Panics on deadlock, exactly like [`run_world`].
+pub fn run_world_observed(world: World, obs: simkit::ObserverFn<World>) -> Sim<World> {
+    let mut sim = Sim::new(world);
+    sim.set_observer(obs);
+    sim.schedule(SimTime::ZERO, "app-start-client", |w, s| app_step(w, s, 0));
+    sim.schedule(SimTime::ZERO, "app-start-server", |w, s| app_step(w, s, 1));
+    sim.run();
+    assert!(
+        sim.world.finished(),
+        "deadlock: event queue empty, apps not finished \
+         (client {:?} iter {}, server {:?} iter {})",
+        sim.world.hosts[0].app.state,
+        sim.world.hosts[0].app.done_count,
+        sim.world.hosts[1].app.state,
+        sim.world.hosts[1].app.done_count,
+    );
+    sim
+}
+
 /// Schedules staged deliveries and (re)arms the TCP timer after any
 /// kernel interaction on host `h`.
 fn flush_host(w: &mut World, s: &mut Scheduler<World>, h: usize) {

@@ -1,0 +1,65 @@
+//! Capture/span agreement under every fault injector.
+//!
+//! The simcap taps are passive: they must never disagree with the
+//! inline span accounting, no matter what faultkit injects under
+//! them. For each recovery scenario the comparator must either agree
+//! within tolerance on every span, or refuse with a reason (its
+//! domain is the single-segment request/response orbit; loss and
+//! reordering can push an iteration outside it). Silently wrong
+//! numbers are the one outcome this test forbids.
+
+use latency_core::capture::compare_with_inline;
+use latency_core::recovery;
+
+#[test]
+fn capture_agrees_or_refuses_under_every_injector() {
+    for sc in recovery::scenarios() {
+        let exp = recovery::experiment(&sc, 1400, 40);
+        let run = exp.run_captured(11);
+        assert_eq!(
+            run.result.verify_failures, 0,
+            "{}: faults may cost latency, never integrity",
+            sc.name
+        );
+        match compare_with_inline(&run) {
+            Ok(cmp) => {
+                assert!(
+                    cmp.iterations > 0,
+                    "{}: comparison used no iterations",
+                    sc.name
+                );
+                for s in &cmp.spans {
+                    assert!(
+                        s.max_dev_ns <= s.tol_ns,
+                        "{}: span '{}' deviates {} ns (tolerance {} ns): \
+                         capture {:.3} µs vs inline {:.3} µs",
+                        sc.name,
+                        s.label,
+                        s.max_dev_ns,
+                        s.tol_ns,
+                        s.capture_us,
+                        s.inline_us,
+                    );
+                }
+            }
+            // A refusal is a documented outcome: the comparator's
+            // domain excludes iterations the injector broke apart.
+            // It must carry a reason.
+            Err(msg) => assert!(!msg.is_empty(), "{}: refusal without a reason", sc.name),
+        }
+    }
+}
+
+#[test]
+fn clean_scenario_capture_never_refuses() {
+    // The clean baseline is squarely inside the comparator's domain;
+    // a refusal there means taps or marks went missing.
+    let scenarios = recovery::scenarios();
+    let clean = scenarios
+        .iter()
+        .find(|s| s.name == "clean")
+        .expect("clean scenario");
+    let run = recovery::experiment(clean, 1400, 40).run_captured(3);
+    let cmp = compare_with_inline(&run).expect("clean capture must compare");
+    assert!(cmp.ok(), "clean capture must agree: {:#?}", cmp.spans);
+}

@@ -1,0 +1,80 @@
+//! The golden-regression acceptance gate: the comparator must catch a
+//! deliberately perturbed cost constant, and must stay silent when
+//! nothing changed.
+//!
+//! This is the library half of `repro verify` — the same parser and
+//! comparator the subcommand uses, driven over a miniature grid so
+//! the demonstration stays fast. The CLI half (exit codes, `--bless`)
+//! lives in `crates/bench/tests/verify_cli.rs`.
+
+use latency_core::{Experiment, NetKind};
+use oracle::{compare_reports, parse_report};
+use sweep::{Sweep, SweepResults};
+
+/// A three-cell grid; `perturb_us` is added to the process-wakeup
+/// cost, a constant every RPC iteration pays twice (once per host),
+/// so any nonzero value must move every cell's mean.
+fn grid(perturb_us: f64) -> SweepResults {
+    let mut sw = Sweep::new("golden-check");
+    for &size in &[200usize, 1400, 8000] {
+        let mut e = Experiment::rpc(NetKind::Atm, size);
+        e.iterations = 30;
+        e.warmup = 4;
+        e.costs.wakeup_us += perturb_us;
+        sw.ensure(format!("rpc/atm/{size}/base/i30r1"), e, 1);
+    }
+    sw.run(1)
+}
+
+#[test]
+fn clean_rerun_has_no_drift() {
+    let golden = parse_report(&grid(0.0).canonical_json()).expect("golden parses");
+    let live = parse_report(&grid(0.0).canonical_json()).expect("live parses");
+    assert!(
+        compare_reports(&golden, &live, 0.05).is_empty(),
+        "identical deterministic runs must verify clean"
+    );
+}
+
+#[test]
+fn perturbed_cost_constant_is_caught() {
+    let golden = parse_report(&grid(0.0).canonical_json()).expect("golden parses");
+    let live = parse_report(&grid(1.0).canonical_json()).expect("live parses");
+    let drifts = compare_reports(&golden, &live, 0.05);
+    assert!(
+        !drifts.is_empty(),
+        "a 1 µs cost-constant perturbation must fail verification"
+    );
+    // The single-segment cells pay the wakeup serially on both hosts,
+    // so their means move by ~2 µs. (At 8000 bytes the wakeup hides
+    // under the second segment's driver/IP processing — receive
+    // pipelining keeps it off the critical path, so that cell may
+    // legitimately not drift.)
+    for &size in &[200usize, 1400] {
+        let key = format!("rpc/atm/{size}/base/i30r1");
+        assert!(
+            drifts.iter().any(|d| d.key == key && d.field == "mean_us"),
+            "expected a mean_us drift for {key}: {drifts:?}"
+        );
+    }
+}
+
+#[test]
+fn golden_files_in_the_repo_parse() {
+    // The blessed goldens under tests/golden/ must always round-trip
+    // through the parser; a hand-edit that breaks the canonical shape
+    // should fail here, not in CI's verify step.
+    for name in ["tables_quick.json", "faults_quick.json"] {
+        let path = format!("{}/../../tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {path}: {e} (run `repro verify --bless`)"));
+        let rep = parse_report(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(!rep.cells.is_empty(), "{name} has no cells");
+        for (key, cell) in &rep.cells {
+            assert_eq!(
+                cell.verify_failures, 0,
+                "{name}: blessed cell {key} records payload corruption"
+            );
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! The acceptance gate for the analytic model: [`oracle::predict`]
+//! must agree with the event-driven simulation for every Tables 1–7
+//! cell — all four kernel variants over the full message-size axis on
+//! ATM, plus the baseline kernel on Ethernet.
+//!
+//! Two levels of agreement are enforced:
+//!
+//! - per-iteration RTTs match **exactly** (the walker replays the
+//!   same absolute timeline, so `pred.rtts[warmup + i]` must equal
+//!   the simulation's `rtts[i]` bit for bit);
+//! - every converged breakdown row matches within one 40 ns clock
+//!   tick, the quantization limit the issue allows per span.
+
+use latency_core::{compute_breakdown_samples, Experiment, NetKind, RxBreakdown, TxBreakdown};
+use oracle::predict;
+use sweep::grid::Variant;
+
+/// The Tables 1–7 message-size axis.
+const SIZES: [usize; 8] = [4, 20, 80, 200, 500, 1400, 4000, 8000];
+
+/// One 40 ns tick, in µs, with float headroom.
+const TOL_US: f64 = 0.0401;
+
+fn tx_rows(t: &TxBreakdown) -> [(&'static str, f64); 6] {
+    [
+        ("tx.user", t.user),
+        ("tx.cksum", t.cksum),
+        ("tx.mcopy", t.mcopy),
+        ("tx.segment", t.segment),
+        ("tx.ip", t.ip),
+        ("tx.driver", t.driver),
+    ]
+}
+
+fn rx_rows(r: &RxBreakdown) -> [(&'static str, f64); 7] {
+    [
+        ("rx.driver", r.driver),
+        ("rx.ipq", r.ipq),
+        ("rx.ip", r.ip),
+        ("rx.cksum", r.cksum),
+        ("rx.segment", r.segment),
+        ("rx.wakeup", r.wakeup),
+        ("rx.user", r.user),
+    ]
+}
+
+fn check_cell(net: NetKind, size: usize, variant: Variant) {
+    let mut exp = variant.apply(Experiment::rpc(net, size));
+    exp.iterations = 10;
+    exp.warmup = 6;
+    let cell = format!("{net:?}/{size}/{variant:?}");
+
+    let pred = predict(&exp).unwrap_or_else(|e| panic!("{cell}: predict refused or diverged: {e}"));
+    let cap = exp.run_captured(0x5eed ^ size as u64);
+    assert_eq!(
+        cap.result.rtts.len() as u64,
+        exp.iterations,
+        "{cell}: simulation did not complete all iterations"
+    );
+
+    // Exact per-iteration RTT alignment.
+    let warmup = exp.warmup as usize;
+    for (i, rtt) in cap.result.rtts.iter().enumerate() {
+        let walked = pred
+            .rtts
+            .get(warmup + i)
+            .unwrap_or_else(|| panic!("{cell}: walker produced only {} rtts", pred.rtts.len()));
+        assert_eq!(
+            rtt.as_ns(),
+            walked.as_ns(),
+            "{cell}: rtt[{i}] sim {} ns vs walker {} ns (delta {} ns)",
+            rtt.as_ns(),
+            walked.as_ns(),
+            rtt.as_ns() as i64 - walked.as_ns() as i64,
+        );
+    }
+
+    // Converged breakdown rows within one tick each.
+    let sim = compute_breakdown_samples(&cap.client_spans);
+    let (sim_tx, sim_rx) = *sim
+        .last()
+        .unwrap_or_else(|| panic!("{cell}: simulation produced no breakdown samples"));
+    for ((name, sim_us), (_, pred_us)) in tx_rows(&sim_tx).iter().zip(tx_rows(&pred.tx).iter()) {
+        assert!(
+            (sim_us - pred_us).abs() <= TOL_US,
+            "{cell}: {name} sim {sim_us:.4} µs vs predicted {pred_us:.4} µs"
+        );
+    }
+    for ((name, sim_us), (_, pred_us)) in rx_rows(&sim_rx).iter().zip(rx_rows(&pred.rx).iter()) {
+        assert!(
+            (sim_us - pred_us).abs() <= TOL_US,
+            "{cell}: {name} sim {sim_us:.4} µs vs predicted {pred_us:.4} µs"
+        );
+    }
+    assert!(
+        (sim_tx.total() - pred.tx.total()).abs() <= TOL_US
+            && (sim_rx.total() - pred.rx.total()).abs() <= TOL_US,
+        "{cell}: totals drift: tx sim {:.4} vs pred {:.4}, rx sim {:.4} vs pred {:.4}",
+        sim_tx.total(),
+        pred.tx.total(),
+        sim_rx.total(),
+        pred.rx.total(),
+    );
+}
+
+#[test]
+fn atm_base_matches_sim() {
+    for size in SIZES {
+        check_cell(NetKind::Atm, size, Variant::Base);
+    }
+}
+
+#[test]
+fn atm_no_prediction_matches_sim() {
+    for size in SIZES {
+        check_cell(NetKind::Atm, size, Variant::NoPrediction);
+    }
+}
+
+#[test]
+fn atm_integrated_checksum_matches_sim() {
+    for size in SIZES {
+        check_cell(NetKind::Atm, size, Variant::IntegratedChecksum);
+    }
+}
+
+#[test]
+fn atm_no_checksum_matches_sim() {
+    for size in SIZES {
+        check_cell(NetKind::Atm, size, Variant::NoChecksum);
+    }
+}
+
+#[test]
+fn ether_base_matches_sim() {
+    for size in SIZES {
+        check_cell(NetKind::Ether, size, Variant::Base);
+    }
+}
+
+#[test]
+fn prediction_is_deterministic_across_seeds() {
+    // The analytic model has no randomness; the sim's clean path must
+    // not either. Two different seeds must produce identical RTTs.
+    let mut exp = Experiment::rpc(NetKind::Atm, 1400);
+    exp.iterations = 6;
+    exp.warmup = 2;
+    let a = exp.run_captured(1).result.rtts;
+    let b = exp.run_captured(999).result.rtts;
+    assert_eq!(a, b, "clean runs must be seed-independent");
+}

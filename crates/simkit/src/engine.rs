@@ -21,6 +21,13 @@ use crate::time::SimTime;
 /// [`Scheduler`] for staging follow-up events.
 pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Scheduler<W>)>;
 
+/// The type of a post-event observer (see [`Sim::set_observer`]).
+///
+/// Called after every executed event with the world, the event's
+/// timestamp, and its label. Observers get a shared borrow only: they
+/// can check invariants but never perturb the simulation.
+pub type ObserverFn<W> = Box<dyn FnMut(&W, SimTime, &'static str)>;
+
 /// An event staged for execution.
 struct QueuedEvent<W> {
     /// Absolute execution time.
@@ -122,6 +129,7 @@ pub struct Sim<W> {
     seq: u64,
     queue: BinaryHeap<QueuedEvent<W>>,
     executed: u64,
+    observer: Option<ObserverFn<W>>,
 }
 
 impl<W> Sim<W> {
@@ -134,7 +142,25 @@ impl<W> Sim<W> {
             seq: 0,
             queue: BinaryHeap::new(),
             executed: 0,
+            observer: None,
         }
+    }
+
+    /// Installs an observer called after every executed event with
+    /// `(world, event_time, event_label)`.
+    ///
+    /// Observation is strictly read-only and fires outside the
+    /// handler, so it cannot change event order, timing, or world
+    /// state — the runtime invariant engine hooks in here. With no
+    /// observer installed (the default) the per-event cost is a
+    /// single `Option` check.
+    pub fn set_observer(&mut self, obs: ObserverFn<W>) {
+        self.observer = Some(obs);
+    }
+
+    /// Removes the observer, if any.
+    pub fn clear_observer(&mut self) {
+        self.observer = None;
     }
 
     /// Current simulation time.
@@ -212,6 +238,9 @@ impl<W> Sim<W> {
                 handler: f,
             });
             self.seq += 1;
+        }
+        if let Some(obs) = self.observer.as_mut() {
+            obs(&self.world, self.now, ev.label);
         }
         true
     }
@@ -367,5 +396,29 @@ mod tests {
         let mut sim = Sim::new(());
         assert!(!sim.step());
         assert_eq!(sim.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn observer_sees_every_event_in_order() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        type Seen = Vec<(u32, u64, &'static str)>;
+        let seen: Rc<RefCell<Seen>> = Rc::default();
+        let log = Rc::clone(&seen);
+        let mut sim = Sim::new(0u32);
+        sim.set_observer(Box::new(move |w, at, label| {
+            log.borrow_mut().push((*w, at.as_ns(), label));
+        }));
+        sim.schedule(SimTime::from_us(2), "b", |w: &mut u32, _| *w += 10);
+        sim.schedule(SimTime::from_us(1), "a", |w: &mut u32, _| *w += 1);
+        sim.run();
+        // The observer runs after each handler, with its effects
+        // already applied, in execution order.
+        assert_eq!(*seen.borrow(), vec![(1, 1000, "a"), (11, 2000, "b")]);
+        sim.clear_observer();
+        sim.schedule(SimTime::from_us(1), "c", |w: &mut u32, _| *w += 100);
+        sim.run();
+        assert_eq!(seen.borrow().len(), 2, "cleared observer stays silent");
     }
 }

@@ -43,7 +43,7 @@ pub mod time;
 pub mod trace;
 
 pub use cpu::{Cpu, CpuBand, CpuStats};
-pub use engine::{assert_world_send, EventFn, Scheduler, Sim};
+pub use engine::{assert_world_send, EventFn, ObserverFn, Scheduler, Sim};
 pub use rng::SimRng;
 pub use time::SimTime;
 pub use trace::{TraceBuffer, TraceEvent, TraceLevel};
