@@ -20,14 +20,14 @@ fn bench_rtt_atm_vs_ether(c: &mut Criterion) {
     for &size in &[200usize, 8000] {
         group.bench_with_input(BenchmarkId::new("atm", size), &size, |b, &n| {
             b.iter(|| {
-                let r = quick(NetKind::Atm, n).run(black_box(1));
+                let r = quick(NetKind::Atm, n).plan().seed(black_box(1)).execute();
                 assert_eq!(r.verify_failures, 0);
                 r.mean_rtt_us()
             })
         });
         group.bench_with_input(BenchmarkId::new("ether", size), &size, |b, &n| {
             b.iter(|| {
-                let r = quick(NetKind::Ether, n).run(black_box(1));
+                let r = quick(NetKind::Ether, n).plan().seed(black_box(1)).execute();
                 assert_eq!(r.verify_failures, 0);
                 r.mean_rtt_us()
             })
@@ -40,13 +40,21 @@ fn bench_checksum_configs(c: &mut Criterion) {
     let mut group = c.benchmark_group("tables6_7_configs");
     group.sample_size(10);
     group.bench_function("standard", |b| {
-        b.iter(|| quick(NetKind::Atm, 8000).run(1).mean_rtt_us())
+        b.iter(|| {
+            quick(NetKind::Atm, 8000)
+                .plan()
+                .seed(1)
+                .execute()
+                .mean_rtt_us()
+        })
     });
     group.bench_function("integrated", |b| {
         b.iter(|| {
             quick(NetKind::Atm, 8000)
                 .with_integrated_checksum()
-                .run(1)
+                .plan()
+                .seed(1)
+                .execute()
                 .mean_rtt_us()
         })
     });
@@ -54,7 +62,9 @@ fn bench_checksum_configs(c: &mut Criterion) {
         b.iter(|| {
             quick(NetKind::Atm, 8000)
                 .without_checksum()
-                .run(1)
+                .plan()
+                .seed(1)
+                .execute()
                 .mean_rtt_us()
         })
     });
@@ -65,13 +75,21 @@ fn bench_prediction_configs(c: &mut Criterion) {
     let mut group = c.benchmark_group("table4_prediction");
     group.sample_size(10);
     group.bench_function("with", |b| {
-        b.iter(|| quick(NetKind::Atm, 200).run(1).mean_rtt_us())
+        b.iter(|| {
+            quick(NetKind::Atm, 200)
+                .plan()
+                .seed(1)
+                .execute()
+                .mean_rtt_us()
+        })
     });
     group.bench_function("without", |b| {
         b.iter(|| {
             quick(NetKind::Atm, 200)
                 .without_prediction()
-                .run(1)
+                .plan()
+                .seed(1)
+                .execute()
                 .mean_rtt_us()
         })
     });

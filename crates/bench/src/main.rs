@@ -5,9 +5,9 @@
 //! ```sh
 //! repro [all|table1|table2|table3|table4|table5|table6|table7|pcb|mbuf|predict|errors]
 //!       [faults|churn|ablation|switch|ethernet-errors|trace]
-//!       [verify [--bless] [--golden-dir DIR]] [invariants]
-//!       [--iterations N] [--reps N] [--jobs N] [--json FILE]
-//!       [--sweep-json FILE] [--full] [--quick]
+//!       [verify [--bless] [--dump-live] [--golden-dir DIR]] [invariants] [bench]
+//!       [--iterations N] [--reps N] [--jobs N] [--seed N] [--json FILE]
+//!       [--sweep-json FILE] [--out-dir DIR] [--full] [--quick]
 //! ```
 //!
 //! The second group are extension experiments beyond the paper's
@@ -17,6 +17,17 @@
 //! 3 repetitions); `--quick` is the CI fast pass (200 × 1); the
 //! default produces the same means (the simulation is deterministic,
 //! so extra iterations only confirm stability).
+//!
+//! The shared flags mean the same thing under every subcommand:
+//! `--jobs N` fans work across N sweep workers; `--quick` selects the
+//! CI scale; `--json FILE` writes that subcommand's machine-readable
+//! results; `--seed N` is the base seed of every directly seeded
+//! experiment (default 1). Sweep-grid cells derive their seeds from
+//! their cell keys instead — that is what pins the blessed goldens —
+//! so `--seed` shifts the directly seeded studies (`predict`,
+//! `switch`, `udp`, `errors`, `invariants`, `bench`) and never the
+//! golden grids. All output files land under `--out-dir` (default
+//! `out/`, created on demand); absolute paths are honoured as given.
 //!
 //! The table experiments are declared as one grid and executed by the
 //! deterministic parallel sweep runner (`crates/sweep`): cells shared
@@ -34,15 +45,26 @@ use report::Report;
 use sweep::grid::Variant;
 use sweep::{Sweep, SweepResults};
 
-/// Command-line options.
+/// Command-line options. The scale/fan-out/seed/output flags are
+/// shared by every subcommand and mean the same thing under each.
 struct Opts {
     what: Vec<String>,
     iterations: u64,
     reps: u64,
     jobs: usize,
+    /// Base seed for directly seeded experiments (grid cells keep
+    /// their key-derived seeds, which is what pins the goldens).
+    seed: u64,
+    /// Whether the scale flags were the `--quick` CI pass.
+    quick: bool,
     json: Option<String>,
     sweep_json: Option<String>,
+    /// Directory every output file is written under.
+    out_dir: String,
     bless: bool,
+    /// `verify --dump-live`: also write each grid's live canonical
+    /// JSON under `--out-dir`, for byte-level comparison in tests/CI.
+    dump_live: bool,
     golden_dir: String,
 }
 
@@ -51,9 +73,13 @@ fn parse_args() -> Opts {
     let mut iterations = 1500;
     let mut reps = 1;
     let mut jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut seed = 1;
+    let mut quick = false;
     let mut json = None;
     let mut sweep_json = None;
+    let mut out_dir = String::from("out");
     let mut bless = false;
+    let mut dump_live = false;
     let mut golden_dir = String::from("tests/golden");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -71,17 +97,24 @@ fn parse_args() -> Opts {
                 jobs = args.next().and_then(|v| v.parse().ok()).expect("--jobs N");
                 assert!(jobs >= 1, "--jobs needs at least one worker");
             }
+            "--seed" => {
+                seed = args.next().and_then(|v| v.parse().ok()).expect("--seed N");
+            }
             "--json" => json = Some(args.next().expect("--json FILE")),
             "--sweep-json" => sweep_json = Some(args.next().expect("--sweep-json FILE")),
+            "--out-dir" => out_dir = args.next().expect("--out-dir DIR"),
             "--bless" => bless = true,
+            "--dump-live" => dump_live = true,
             "--golden-dir" => golden_dir = args.next().expect("--golden-dir DIR"),
             "--full" => {
                 iterations = 40_000;
                 reps = 3;
+                quick = false;
             }
             "--quick" => {
                 iterations = 200;
                 reps = 1;
+                quick = true;
             }
             other if !other.starts_with('-') => what.push(other.to_string()),
             other => panic!("unknown flag {other}"),
@@ -95,11 +128,27 @@ fn parse_args() -> Opts {
         iterations,
         reps,
         jobs,
+        seed,
+        quick,
         json,
         sweep_json,
+        out_dir,
         bless,
+        dump_live,
         golden_dir,
     }
+}
+
+/// Resolves an output file under `--out-dir`, creating the directory.
+/// Absolute paths are honoured as given.
+fn out_path(opts: &Opts, file: &str) -> std::path::PathBuf {
+    let p = std::path::Path::new(file);
+    if p.is_absolute() {
+        return p.to_path_buf();
+    }
+    let dir = std::path::Path::new(&opts.out_dir);
+    std::fs::create_dir_all(dir).expect("create out dir");
+    dir.join(p)
 }
 
 fn main() {
@@ -109,6 +158,9 @@ fn main() {
     }
     if opts.what.iter().any(|w| w == "invariants") {
         std::process::exit(cmd_invariants(&opts));
+    }
+    if opts.what.iter().any(|w| w == "bench") {
+        std::process::exit(cmd_bench(&opts));
     }
     let mut report = Report::new(opts.iterations, opts.reps);
     let all = opts.what.iter().any(|w| w == "all");
@@ -173,8 +225,9 @@ fn main() {
     if let Some(path) = &opts.sweep_json {
         match &grid {
             Some(grid) => {
-                std::fs::write(path, grid.to_json()).expect("write sweep json");
-                eprintln!("sweep report written to {path}");
+                let p = out_path(&opts, path);
+                std::fs::write(&p, grid.to_json()).expect("write sweep json");
+                eprintln!("sweep report written to {}", p.display());
             }
             None => eprintln!("sweep-json: no grid cells were declared; nothing written"),
         }
@@ -232,12 +285,13 @@ fn main() {
         udp_exp(&mut report, &opts);
     }
     if want_x("trace") {
-        trace_timeline();
+        trace_timeline(&opts);
     }
 
     if let Some(path) = &opts.json {
-        report.write_json(path);
-        eprintln!("machine-readable results written to {path}");
+        let p = out_path(&opts, path);
+        report.write_json(&p.to_string_lossy());
+        eprintln!("machine-readable results written to {}", p.display());
     }
 }
 
@@ -395,8 +449,8 @@ fn switch_exp(report: &mut Report, opts: &Opts) {
         let mut s =
             Experiment::rpc(NetKind::Atm, size).through_switch(atm::SwitchConfig::default());
         s.iterations = iters;
-        let direct = d.run(1).mean_rtt_us();
-        let switched = s.run(1).mean_rtt_us();
+        let direct = d.plan().seed(opts.seed).execute().mean_rtt_us();
+        let switched = s.plan().seed(opts.seed).execute().mean_rtt_us();
         text.push_str(&format!(
             "{size:>6} | {direct:>12.0} {switched:>12.0} {:>8.0}
 ",
@@ -411,7 +465,7 @@ fn switch_exp(report: &mut Report, opts: &Opts) {
         corrupt_prob: 0.001,
         ..atm::SwitchConfig::default()
     });
-    let r = e.run(1);
+    let r = e.plan().seed(opts.seed).execute();
     text.push_str(&format!(
         "
 fabric corruption, TCP checksum OFF: {} AAL3/4 drops, {} app-visible
@@ -427,8 +481,8 @@ fabric corruption, TCP checksum OFF: {} AAL3/4 drops, {} app-visible
 fn ethernet_errors(report: &mut Report, opts: &Opts) {
     eprintln!("ethernet-errors: the departmental-Ethernet observation...");
     let iters = opts.iterations.min(300);
-    let local = faults::departmental_ethernet(1e-5, 0.0, iters, 9);
-    let mixed = faults::departmental_ethernet(1e-5, 0.005, iters, 10);
+    let local = faults::departmental_ethernet(1e-5, 0.0, iters, opts.seed.wrapping_add(8));
+    let mixed = faults::departmental_ethernet(1e-5, 0.005, iters, opts.seed.wrapping_add(9));
     let text = format!(
         "departmental Ethernet (§4.2.1): errors caught by the FCS vs TCP
          local traffic only : CRC {} / TCP {}  (paper: TCP detected none)
@@ -458,8 +512,8 @@ fn udp_exp(report: &mut Report, opts: &Opts) {
         t.iterations = iters;
         let mut u = Experiment::udp_rpc(NetKind::Atm, size);
         u.iterations = iters;
-        let tcp = t.run(1).mean_rtt_us();
-        let udp = u.run(1).mean_rtt_us();
+        let tcp = t.plan().seed(opts.seed).execute().mean_rtt_us();
+        let udp = u.plan().seed(opts.seed).execute().mean_rtt_us();
         text.push_str(&format!(
             "{size:>6} | {tcp:>9.0} {udp:>9.0} {:>12.1}
 ",
@@ -481,7 +535,7 @@ fn udp_exp(report: &mut Report, opts: &Opts) {
 
 /// Prints an annotated timeline of one 1400-byte RPC iteration —
 /// every probe interval the instrumentation recorded, in order.
-fn trace_timeline() {
+fn trace_timeline(opts: &Opts) {
     let mut e = Experiment::rpc(NetKind::Atm, 1400);
     e.iterations = 1;
     e.warmup = 2;
@@ -496,16 +550,16 @@ fn trace_timeline() {
     ];
     let nics = [
         Nic::Atm(AtmNic::new(
-            atm::FiberLink::new(atm::LinkConfig::default(), 1),
+            atm::FiberLink::new(atm::LinkConfig::default(), opts.seed),
             costs.clone(),
             42,
-            1,
+            opts.seed,
         )),
         Nic::Atm(AtmNic::new(
-            atm::FiberLink::new(atm::LinkConfig::default(), 2),
+            atm::FiberLink::new(atm::LinkConfig::default(), opts.seed.wrapping_add(1)),
             costs.clone(),
             42,
-            2,
+            opts.seed.wrapping_add(1),
         )),
     ];
     let sim = run_world(World::new(e.cfg, costs, nics, apps));
@@ -830,13 +884,22 @@ fn mbuf_bench(report: &mut Report) {
 
 fn predict_stats(report: &mut Report, opts: &Opts) {
     eprintln!("predict: fast-path statistics (§3)...");
-    let r = rpc(NetKind::Atm, 200, opts).run(1);
+    let r = rpc(NetKind::Atm, 200, opts)
+        .plan()
+        .seed(opts.seed)
+        .execute();
     let rpc_rate = 100.0 * (r.client_tcp.predict_data_hits + r.client_tcp.predict_ack_hits) as f64
         / r.client_tcp.predict_checks.max(1) as f64;
-    let b = Experiment::bulk(NetKind::Atm, 4000, opts.iterations.min(2_000)).run(1);
+    let b = Experiment::bulk(NetKind::Atm, 4000, opts.iterations.min(2_000))
+        .plan()
+        .seed(opts.seed)
+        .execute();
     let bulk_rate =
         100.0 * b.server_tcp.predict_data_hits as f64 / b.server_tcp.predict_checks.max(1) as f64;
-    let r8k = rpc(NetKind::Atm, 8000, opts).run(1);
+    let r8k = rpc(NetKind::Atm, 8000, opts)
+        .plan()
+        .seed(opts.seed)
+        .execute();
     let second_seg =
         100.0 * r8k.client_tcp.predict_data_hits as f64 / (2.0 * r8k.rtts.len() as f64);
     let text = format!(
@@ -872,11 +935,20 @@ fn errors(report: &mut Report, opts: &Opts) {
             r.retransmissions
         ));
     };
-    row("fiber BER 1e-5", &faults::link_bit_errors(1e-5, iters, 2));
-    row("fiber BER 1e-4", &faults::link_bit_errors(1e-4, iters, 3));
-    row("cell loss 0.2%", &faults::cell_loss(0.002, iters, 4));
-    let on = faults::controller_corruption(0.03, true, iters, 5);
-    let off = faults::controller_corruption(0.03, false, iters, 6);
+    row(
+        "fiber BER 1e-5",
+        &faults::link_bit_errors(1e-5, iters, opts.seed.wrapping_add(1)),
+    );
+    row(
+        "fiber BER 1e-4",
+        &faults::link_bit_errors(1e-4, iters, opts.seed.wrapping_add(2)),
+    );
+    row(
+        "cell loss 0.2%",
+        &faults::cell_loss(0.002, iters, opts.seed.wrapping_add(3)),
+    );
+    let on = faults::controller_corruption(0.03, true, iters, opts.seed.wrapping_add(4));
+    let off = faults::controller_corruption(0.03, false, iters, opts.seed.wrapping_add(5));
     row("controller corruption, cksum ON", &on);
     row("controller corruption, cksum OFF", &off);
     text.push_str(
@@ -912,9 +984,15 @@ fn golden_scale(opts: &Opts) -> Opts {
         iterations: 200,
         reps: 1,
         jobs: opts.jobs,
+        // Golden cells are seeded from their keys; the base seed is
+        // pinned so `--seed` can never manufacture a drift.
+        seed: 1,
+        quick: true,
         json: None,
         sweep_json: None,
+        out_dir: opts.out_dir.clone(),
         bless: opts.bless,
+        dump_live: opts.dump_live,
         golden_dir: opts.golden_dir.clone(),
     }
 }
@@ -943,6 +1021,7 @@ fn golden_grids(q: &Opts) -> [Sweep; 2] {
 fn cmd_verify(opts: &Opts) -> i32 {
     let q = golden_scale(opts);
     let mut code = 0;
+    let mut summary: Vec<(String, usize, usize)> = Vec::new();
     for grid in golden_grids(&q) {
         let path = format!("{}/{}_quick.json", q.golden_dir, grid.name);
         // Read the golden before paying for the live grid, so a
@@ -976,6 +1055,11 @@ fn cmd_verify(opts: &Opts) -> i32 {
         );
         let live = grid.run(q.jobs);
         let live_json = live.canonical_json();
+        if q.dump_live {
+            let p = out_path(opts, &format!("{}_live.json", grid.name));
+            std::fs::write(&p, &live_json).expect("write live canonical json");
+            eprintln!("verify: live canonical grid written to {}", p.display());
+        }
         let Some(golden) = golden else {
             std::fs::create_dir_all(&q.golden_dir).expect("create golden dir");
             std::fs::write(&path, &live_json).expect("write golden file");
@@ -983,10 +1067,12 @@ fn cmd_verify(opts: &Opts) -> i32 {
                 "verify: blessed {} cell(s) into {path}",
                 live.outcomes.len()
             );
+            summary.push((grid.name.to_string(), live.outcomes.len(), 0));
             continue;
         };
         let live_rep = oracle::parse_report(&live_json).expect("live canonical json parses");
         let drifts = oracle::compare_reports(&golden, &live_rep, GOLDEN_TOL_US);
+        summary.push((grid.name.to_string(), live.outcomes.len(), drifts.len()));
         if drifts.is_empty() {
             eprintln!(
                 "verify: {}: {} cell(s) match {path}",
@@ -1008,6 +1094,22 @@ fn cmd_verify(opts: &Opts) -> i32 {
     }
     if code == 0 && !q.bless {
         eprintln!("verify: clean");
+    }
+    if let Some(path) = &opts.json {
+        let grids: Vec<String> = summary
+            .iter()
+            .map(|(name, cells, drifts)| {
+                format!("    {{\"grid\": \"{name}\", \"cells\": {cells}, \"drifts\": {drifts}}}")
+            })
+            .collect();
+        let json = format!(
+            "{{\n  \"command\": \"verify\",\n  \"clean\": {},\n  \"grids\": [\n{}\n  ]\n}}\n",
+            code == 0,
+            grids.join(",\n")
+        );
+        let p = out_path(opts, path);
+        std::fs::write(&p, json).expect("write verify json");
+        eprintln!("verify summary written to {}", p.display());
     }
     code
 }
@@ -1053,7 +1155,9 @@ fn shrink_fault_drifts(live: &SweepResults, drifts: &[oracle::Drift]) {
                 faults: *cand,
             };
             recovery::experiment(&probe, size, iters)
-                .run(seed)
+                .plan()
+                .seed(seed)
+                .execute()
                 .verify_failures
                 > 0
         });
@@ -1096,17 +1200,27 @@ fn cmd_invariants(opts: &Opts) -> i32 {
         cells.len(),
         opts.jobs
     );
-    let reports = sweep::pool::run_ordered(&cells, opts.jobs, |_, (name, e, set)| {
+    // `--seed N` shifts every run's base seed uniformly (the default
+    // of 1 keeps the historical key-derived seeds).
+    let offset = opts.seed.wrapping_sub(1);
+    let reports = sweep::pool::run_ordered(&cells, opts.jobs, move |_, (name, e, set)| {
         (
             name.clone(),
-            oracle::check_experiment(e, sweep::cell_seed(name), set),
+            oracle::check_experiment(e, sweep::cell_seed(name).wrapping_add(offset), set),
         )
     });
     let mut failures = 0usize;
+    let mut rows: Vec<String> = Vec::new();
     for (name, rep) in reports {
         if let Some(msg) = &rep.capture_skipped {
             eprintln!("invariants: {name}: capture comparison skipped ({msg})");
         }
+        rows.push(format!(
+            "    {{\"cell\": \"{name}\", \"clean\": {}, \"events_checked\": {}, \"violations\": {}}}",
+            rep.is_clean(),
+            rep.events_checked,
+            rep.violations.len()
+        ));
         if rep.is_clean() {
             eprintln!(
                 "invariants: {name}: clean ({} event(s) checked)",
@@ -1120,6 +1234,16 @@ fn cmd_invariants(opts: &Opts) -> i32 {
             }
         }
     }
+    if let Some(path) = &opts.json {
+        let json = format!(
+            "{{\n  \"command\": \"invariants\",\n  \"clean\": {},\n  \"cells\": [\n{}\n  ]\n}}\n",
+            failures == 0,
+            rows.join(",\n")
+        );
+        let p = out_path(opts, path);
+        std::fs::write(&p, json).expect("write invariants json");
+        eprintln!("invariants summary written to {}", p.display());
+    }
     if failures == 0 {
         eprintln!("invariants: all clean");
         0
@@ -1127,4 +1251,106 @@ fn cmd_invariants(opts: &Opts) -> i32 {
         eprintln!("invariants: {failures} violation(s) total");
         1
     }
+}
+
+/// `repro bench`: the perfkit benchmark suite. Measures engine
+/// events/sec against the frozen pre-calendar-queue engine,
+/// end-to-end simulated-RTT throughput, and whole-grid wall-clock at
+/// several worker counts, then writes `BENCH_5.json` under
+/// `--out-dir` (or to `--json FILE`). `--quick` is the CI scale.
+fn cmd_bench(opts: &Opts) -> i32 {
+    let events = if opts.quick { 400_000 } else { 4_000_000 };
+    eprintln!("bench: engine microbenchmark ({events} events, both engines)...");
+    let engine = perfkit::engine_bench(events, opts.seed);
+
+    let rtt_iters = if opts.quick { 400 } else { 4_000 };
+    eprintln!("bench: end-to-end RTT throughput ({rtt_iters} iterations)...");
+    let rtt = vec![
+        perfkit::measure_rtt(NetKind::Atm, 200, rtt_iters, opts.seed),
+        perfkit::measure_rtt(NetKind::Atm, 8000, rtt_iters / 4, opts.seed),
+        perfkit::measure_rtt(NetKind::Ether, 200, rtt_iters.min(400), opts.seed),
+    ];
+
+    // The Tables 1-7 grid and the faults grid, at several worker
+    // counts up to --jobs. Golden scale pins the cell keys (and thus
+    // the key-derived seeds) regardless of --seed.
+    let mut scale = golden_scale(opts);
+    if !opts.quick {
+        scale.iterations = opts.iterations.min(1_500);
+        scale.reps = opts.reps;
+        scale.quick = false;
+    }
+    let mut jobs_list = vec![1usize];
+    for j in [2, 4, opts.jobs] {
+        if j <= opts.jobs && !jobs_list.contains(&j) {
+            jobs_list.push(j);
+        }
+    }
+    jobs_list.sort_unstable();
+    let mut sweeps = Vec::new();
+    for grid in golden_grids(&scale) {
+        for &jobs in &jobs_list {
+            eprintln!(
+                "bench: sweep '{}' ({} cells) across {} worker(s)...",
+                grid.name,
+                grid.len(),
+                jobs
+            );
+            sweeps.push(perfkit::measure_sweep(&grid, jobs));
+        }
+    }
+
+    let report = perfkit::BenchReport {
+        series: perfkit::BENCH_SERIES,
+        quick: opts.quick,
+        seed: opts.seed,
+        engine,
+        rtt,
+        sweeps,
+    };
+    println!(
+        "bench: engine          {:>12.0} events/s (heap baseline)",
+        report.engine.heap_events_per_sec()
+    );
+    println!(
+        "bench: engine          {:>12.0} events/s (calendar queue)",
+        report.engine.calendar_events_per_sec()
+    );
+    println!(
+        "bench: engine speedup  {:>12.2}x vs the pre-overhaul engine",
+        report.engine.speedup()
+    );
+    for r in &report.rtt {
+        println!(
+            "bench: {:>5} {:>5}B    {:>12.0} RTT/s  {:>12.0} events/s",
+            r.net,
+            r.size,
+            r.rtts_per_sec(),
+            r.events_per_sec()
+        );
+    }
+    for b in &report.sweeps {
+        println!(
+            "bench: {:>6} grid x{} {:>12.3} s     {:>12.0} events/s",
+            b.grid,
+            b.jobs,
+            b.wall_s,
+            b.events_per_sec()
+        );
+    }
+    let file = opts
+        .json
+        .clone()
+        .unwrap_or_else(|| format!("BENCH_{}.json", perfkit::BENCH_SERIES));
+    let p = out_path(opts, &file);
+    std::fs::write(&p, report.to_json()).expect("write bench json");
+    eprintln!("bench report written to {}", p.display());
+    if report.engine.speedup() < 1.5 {
+        eprintln!(
+            "bench: WARNING: engine speedup {:.2}x is below the 1.5x floor this tree claims",
+            report.engine.speedup()
+        );
+        return 1;
+    }
+    0
 }

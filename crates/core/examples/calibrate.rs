@@ -10,11 +10,11 @@ fn main() {
         let mut e = Experiment::rpc(NetKind::Atm, n);
         e.iterations = 200;
         e.warmup = 8;
-        let r = e.run(1);
+        let r = e.plan().seed(1).execute();
         let mut ee = Experiment::rpc(NetKind::Ether, n);
         ee.iterations = 100;
         ee.warmup = 8;
-        let re = ee.run(1);
+        let re = ee.plan().seed(1).execute();
         println!(
             "{:>5} | {:>7.0} {:>6.0} {:>5.1} | {:>7.0} {:>7.0} {:>5.1}",
             n,

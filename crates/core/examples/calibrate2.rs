@@ -10,10 +10,22 @@ fn main() {
             e.warmup = 8;
             e
         };
-        let base = mk(|e| e).run(1).mean_rtt_us();
-        let nopred = mk(|e| e.without_prediction()).run(1).mean_rtt_us();
-        let integ = mk(|e| e.with_integrated_checksum()).run(1).mean_rtt_us();
-        let nock = mk(|e| e.without_checksum()).run(1).mean_rtt_us();
+        let base = mk(|e| e).plan().seed(1).execute().mean_rtt_us();
+        let nopred = mk(|e| e.without_prediction())
+            .plan()
+            .seed(1)
+            .execute()
+            .mean_rtt_us();
+        let integ = mk(|e| e.with_integrated_checksum())
+            .plan()
+            .seed(1)
+            .execute()
+            .mean_rtt_us();
+        let nock = mk(|e| e.without_checksum())
+            .plan()
+            .seed(1)
+            .execute()
+            .mean_rtt_us();
         println!(
             "{:>5} | {:>5.0} {:>6.0} {:>6.0} | {:>6.0} {:>5.0} | {:>6.0} {:>6.0}",
             n,

@@ -45,7 +45,7 @@ pub fn cpu_scaling(speedups: &[f64], iterations: u64) -> Vec<CpuPoint> {
                 if let Some(m) = mode {
                     e.cfg.checksum = m;
                 }
-                e.run(1).mean_rtt_us()
+                e.plan().seed(1).execute().mean_rtt_us()
             };
             let rtt4 = run(4, None);
             let rtt8k = run(8000, None);
@@ -72,7 +72,7 @@ pub fn checksum_impls(size: usize, iterations: u64) -> [(ChecksumImpl, f64); 3] 
         let mut e = Experiment::rpc(NetKind::Atm, size);
         e.iterations = iterations;
         e.cfg.checksum = ChecksumMode::Standard(which);
-        (which, e.run(1).mean_rtt_us())
+        (which, e.plan().seed(1).execute().mean_rtt_us())
     })
 }
 
@@ -85,7 +85,10 @@ pub fn mss_rounding(iterations: u64) -> (f64, f64) {
     let mut full = Experiment::rpc(NetKind::Atm, 8000);
     full.iterations = iterations;
     full.cfg.mss_one_cluster = false;
-    (capped.run(1).mean_rtt_us(), full.run(1).mean_rtt_us())
+    (
+        capped.plan().seed(1).execute().mean_rtt_us(),
+        full.plan().seed(1).execute().mean_rtt_us(),
+    )
 }
 
 #[cfg(test)]

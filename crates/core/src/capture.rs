@@ -113,14 +113,68 @@ pub struct CaptureRun {
 }
 
 impl Experiment {
-    /// [`Experiment::run`] with every capture tap armed for the
-    /// measured iterations. Taps record serialized frames only; they
-    /// never perturb timing, so `result` is identical to an
-    /// uncaptured run of the same seed.
+    /// One captured repetition with the given seed.
+    #[deprecated(note = "use `exp.plan().seed(seed).captured().execute()`")]
     #[must_use]
     pub fn run_captured(&self, seed: u64) -> CaptureRun {
-        let (result, mut w) = self.run_sim(seed, true);
-        let ether = self.net == NetKind::Ether;
+        self.plan().seed(seed).captured().execute()
+    }
+}
+
+impl<'a> crate::experiment::RunPlan<'a> {
+    /// Arms every capture tap: the resulting [`CapturePlan`]'s
+    /// [`execute`](CapturePlan::execute) returns a [`CaptureRun`] with
+    /// both hosts' captures alongside the ordinary results. Taps
+    /// record serialized frames only; they never perturb timing, so
+    /// `result` is identical to an uncaptured plan of the same seed
+    /// (except `mbufs_leaked`, which stays zero because the world must
+    /// outlive the run for the taps to be drained).
+    ///
+    /// A capture is one repetition: the plan's (first-repetition) seed
+    /// is used and [`reps`](crate::experiment::RunPlan::reps) does not
+    /// apply. Armed observers carry over.
+    #[must_use]
+    pub fn captured(self) -> CapturePlan<'a> {
+        CapturePlan {
+            exp: self.exp,
+            seed: self.seed,
+            observers: self.observers,
+        }
+    }
+}
+
+/// A [`crate::experiment::RunPlan`] with every capture tap armed
+/// (built by [`RunPlan::captured`](crate::experiment::RunPlan::captured)).
+pub struct CapturePlan<'a> {
+    exp: &'a Experiment,
+    seed: u64,
+    observers: Vec<simkit::ObserverFn<crate::world::World>>,
+}
+
+impl CapturePlan<'_> {
+    /// Arms a read-only per-event observer (see
+    /// [`RunPlan::observer`](crate::experiment::RunPlan::observer)).
+    #[must_use]
+    pub fn observer(mut self, obs: simkit::ObserverFn<crate::world::World>) -> Self {
+        self.observers.push(obs);
+        self
+    }
+
+    /// Arms an invariant-checking observer (see
+    /// [`RunPlan::invariants`](crate::experiment::RunPlan::invariants)).
+    #[must_use]
+    pub fn invariants(self, obs: simkit::ObserverFn<crate::world::World>) -> Self {
+        self.observer(obs)
+    }
+
+    /// Executes the captured repetition.
+    #[must_use]
+    pub fn execute(self) -> CaptureRun {
+        let shared = crate::experiment::share_observers(self.observers);
+        let (result, mut w) =
+            self.exp
+                .run_sim_with(self.seed, true, crate::experiment::fan_out(&shared));
+        let ether = self.exp.net == NetKind::Ether;
         let client_spans = w.hosts[0].kernel.spans.clone();
         let client = HostCapture::drain(&mut w.hosts[0], ether);
         let server = HostCapture::drain(&mut w.hosts[1], ether);
@@ -500,15 +554,15 @@ mod tests {
 
     #[test]
     fn capture_does_not_perturb_results() {
-        let plain = quick(NetKind::Atm, 200).run(3);
-        let cap = quick(NetKind::Atm, 200).run_captured(3);
+        let plain = quick(NetKind::Atm, 200).plan().seed(3).execute();
+        let cap = quick(NetKind::Atm, 200).plan().seed(3).captured().execute();
         assert_eq!(plain.rtts, cap.result.rtts);
         assert_eq!(plain.events, cap.result.events);
     }
 
     #[test]
     fn capture_agrees_with_inline_breakdown_atm() {
-        let run = quick(NetKind::Atm, 200).run_captured(1);
+        let run = quick(NetKind::Atm, 200).plan().seed(1).captured().execute();
         let cmp = assert_capture_matches_inline(&run);
         assert_eq!(cmp.iterations, 20);
         // The re-derived round trip is the measured RTT itself.
@@ -518,7 +572,11 @@ mod tests {
 
     #[test]
     fn capture_agrees_with_inline_breakdown_ether() {
-        let run = quick(NetKind::Ether, 200).run_captured(1);
+        let run = quick(NetKind::Ether, 200)
+            .plan()
+            .seed(1)
+            .captured()
+            .execute();
         let cmp = assert_capture_matches_inline(&run);
         assert!(cmp.ok());
     }
@@ -527,7 +585,7 @@ mod tests {
     fn hop_table_matches_every_rpc_segment() {
         let e = quick(NetKind::Atm, 200);
         let iters = e.iterations as usize;
-        let run = e.run_captured(1);
+        let run = e.plan().seed(1).captured().execute();
         for row in hop_table(&run) {
             assert_eq!(
                 row.report.matched, iters,
@@ -540,8 +598,8 @@ mod tests {
 
     #[test]
     fn captures_are_deterministic() {
-        let a = quick(NetKind::Atm, 200).run_captured(5);
-        let b = quick(NetKind::Atm, 200).run_captured(5);
+        let a = quick(NetKind::Atm, 200).plan().seed(5).captured().execute();
+        let b = quick(NetKind::Atm, 200).plan().seed(5).captured().execute();
         for p in TapPoint::ALL {
             assert_eq!(a.client.pcap(p), b.client.pcap(p), "{}", p.name());
             assert_eq!(a.server.pcapng(p), b.server.pcapng(p), "{}", p.name());
@@ -550,7 +608,7 @@ mod tests {
 
     #[test]
     fn pcap_round_trips_through_the_readers() {
-        let run = quick(NetKind::Atm, 80).run_captured(2);
+        let run = quick(NetKind::Atm, 80).plan().seed(2).captured().execute();
         for p in [TapPoint::TcpSend, TapPoint::Wire, TapPoint::LinkCell] {
             let direct = run.client.capture(p);
             let via_pcap = simcap::read_any(&run.client.pcap(p)).unwrap();
@@ -563,7 +621,11 @@ mod tests {
 
     #[test]
     fn multi_segment_messages_are_refused() {
-        let run = quick(NetKind::Atm, 8000).run_captured(1);
+        let run = quick(NetKind::Atm, 8000)
+            .plan()
+            .seed(1)
+            .captured()
+            .execute();
         let err = compare_with_inline(&run).unwrap_err();
         assert!(err.contains("single-segment"), "{err}");
     }

@@ -1,11 +1,14 @@
 //! Runnable experiments: one per configuration the paper measures.
 //!
 //! An [`Experiment`] describes a two-host run (network, message
-//! size, stack configuration, fault injection); [`Experiment::run`]
-//! executes it deterministically for a seed, and
-//! [`Experiment::run_reps`] averages several repetitions as the
-//! paper did ("we ran 40000 iterations for at least 3 repetitions
-//! and took the average").
+//! size, stack configuration, fault injection); [`Experiment::plan`]
+//! builds a [`RunPlan`] that executes it deterministically — one
+//! repetition or several averaged ones, as the paper did ("we ran
+//! 40000 iterations for at least 3 repetitions and took the
+//! average"), optionally with read-only per-event observers armed.
+
+use std::cell::RefCell;
+use std::rc::Rc;
 
 use atm::{FiberLink, LinkConfig};
 use decstation::CostModel;
@@ -207,53 +210,36 @@ impl Experiment {
         world
     }
 
+    /// Starts a [`RunPlan`] for this experiment: seed, repetitions,
+    /// observers and capture are all configured on the plan, and
+    /// [`RunPlan::execute`] (or [`crate::capture::CapturePlan::execute`]
+    /// after [`RunPlan::captured`]) runs it.
+    #[must_use]
+    pub fn plan(&self) -> RunPlan<'_> {
+        RunPlan {
+            exp: self,
+            seed: 1,
+            reps: 1,
+            observers: Vec::new(),
+        }
+    }
+
     /// Runs one repetition with the given seed.
+    #[deprecated(note = "use `exp.plan().seed(seed).execute()`")]
     #[must_use]
     pub fn run(&self, seed: u64) -> RunResult {
-        let (mut result, world) = self.run_sim(seed, false);
-        let pools = (
-            world.hosts[0].kernel.pool.clone(),
-            world.hosts[1].kernel.pool.clone(),
-        );
-        // Teardown frees every chain still held by sockets, queues and
-        // adapters; whatever remains outstanding is a genuine leak.
-        drop(world);
-        result.mbufs_leaked = (
-            pools.0.stats().mbufs_outstanding(),
-            pools.1.stats().mbufs_outstanding(),
-        );
-        result
+        self.plan().seed(seed).execute()
     }
 
     /// Runs one repetition with an engine observer installed: `obs`
     /// fires after every executed event with `(world, time, label)`.
-    /// The observer is read-only, so the results are identical to
-    /// [`Experiment::run`] with the same seed — including the
-    /// post-teardown `mbufs_leaked` accounting, which the oracle's
-    /// mbuf-conservation checker relies on.
+    #[deprecated(note = "use `exp.plan().seed(seed).observer(obs).execute()`")]
     #[must_use]
     pub fn run_observed(&self, seed: u64, obs: simkit::ObserverFn<World>) -> RunResult {
-        let (mut result, world) = self.run_sim_with(seed, false, Some(obs));
-        let pools = (
-            world.hosts[0].kernel.pool.clone(),
-            world.hosts[1].kernel.pool.clone(),
-        );
-        drop(world);
-        result.mbufs_leaked = (
-            pools.0.stats().mbufs_outstanding(),
-            pools.1.stats().mbufs_outstanding(),
-        );
-        result
+        self.plan().seed(seed).observer(obs).execute()
     }
 
-    /// Runs one repetition, optionally with every capture tap armed,
-    /// and returns the final world alongside the results (the capture
-    /// harness drains the taps from it).
-    pub(crate) fn run_sim(&self, seed: u64, capture: bool) -> (RunResult, World) {
-        self.run_sim_with(seed, capture, None)
-    }
-
-    fn run_sim_with(
+    pub(crate) fn run_sim_with(
         &self,
         seed: u64,
         capture: bool,
@@ -309,25 +295,111 @@ impl Experiment {
 
     /// Runs `reps` repetitions (different seeds) and pools the RTT
     /// samples, as the paper's averaging did.
+    #[deprecated(note = "use `exp.plan().reps(reps).execute()`")]
     #[must_use]
     pub fn run_reps(&self, reps: u64) -> RunResult {
-        self.run_reps_seeded(0, reps)
+        self.plan().reps(reps).execute()
     }
 
-    /// [`Experiment::run_reps`] with repetition seeds derived from
-    /// `base_seed`: repetition `r` (1-based) runs with seed
-    /// `base_seed + r`.
-    ///
-    /// The sweep runner derives `base_seed` from each cell's stable
-    /// grid key, so a cell's results depend only on its own
-    /// configuration — never on which worker ran it or in what order
-    /// (`run_reps` is the `base_seed = 0` special case).
+    /// Repetition seeds derived from `base_seed`: repetition `r`
+    /// (1-based) runs with seed `base_seed + r`.
+    #[deprecated(note = "use `exp.plan().seed(base_seed.wrapping_add(1)).reps(reps).execute()`")]
     #[must_use]
     pub fn run_reps_seeded(&self, base_seed: u64, reps: u64) -> RunResult {
-        assert!(reps >= 1);
-        let mut acc = self.run(base_seed.wrapping_add(1));
-        for rep in 2..=reps {
-            let r = self.run(base_seed.wrapping_add(rep));
+        self.plan()
+            .seed(base_seed.wrapping_add(1))
+            .reps(reps)
+            .execute()
+    }
+}
+
+/// A declaratively configured execution of an [`Experiment`], built
+/// by [`Experiment::plan`].
+///
+/// The plan subsumes the former `run` / `run_observed` / `run_reps` /
+/// `run_reps_seeded` / `run_captured` family behind one builder:
+///
+/// ```
+/// use latency_core::experiment::{Experiment, NetKind};
+///
+/// let mut exp = Experiment::rpc(NetKind::Atm, 200);
+/// exp.iterations = 20;
+/// exp.warmup = 2;
+/// let one = exp.plan().seed(7).execute(); // formerly `run(7)`
+/// let avg = exp.plan().reps(3).execute(); // formerly `run_reps(3)`
+/// assert_eq!(avg.rtts.len(), 3 * one.rtts.len());
+/// ```
+///
+/// Semantics:
+///
+/// - [`seed`](RunPlan::seed) is the seed of the **first** repetition
+///   (default 1); repetition `r` (1-based) runs with seed
+///   `seed + (r - 1)` (wrapping). A plan's results therefore depend
+///   only on `(experiment, seed, reps)` — never on which thread runs
+///   it or in what order, which is what the sweep runner's
+///   per-cell-key seeding relies on.
+/// - [`reps`](RunPlan::reps) (default 1) pools the RTT samples across
+///   repetitions and averages the layer breakdowns pairwise, exactly
+///   as the paper's "at least 3 repetitions" methodology did.
+/// - [`observer`](RunPlan::observer) arms read-only per-event
+///   observers (any number; they fire in registration order after
+///   every executed event of every repetition). Observers never
+///   perturb the simulation, so an observed plan is bit-identical to
+///   an unobserved one with the same seed — including the
+///   post-teardown `mbufs_leaked` accounting the oracle's
+///   mbuf-conservation checker relies on.
+/// - [`captured`](RunPlan::captured) turns the plan into a
+///   [`crate::capture::CapturePlan`], whose `execute` also returns
+///   both hosts' packet captures.
+pub struct RunPlan<'a> {
+    pub(crate) exp: &'a Experiment,
+    pub(crate) seed: u64,
+    pub(crate) reps: u64,
+    pub(crate) observers: Vec<simkit::ObserverFn<World>>,
+}
+
+impl RunPlan<'_> {
+    /// Sets the seed of the first repetition (default 1); repetition
+    /// `r` (1-based) runs with seed `seed + (r - 1)`, wrapping.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of repetitions (default 1; must stay ≥ 1).
+    #[must_use]
+    pub fn reps(mut self, reps: u64) -> Self {
+        self.reps = reps;
+        self
+    }
+
+    /// Arms a read-only per-event observer: it fires after every
+    /// executed event of every repetition with `(world, time, label)`.
+    #[must_use]
+    pub fn observer(mut self, obs: simkit::ObserverFn<World>) -> Self {
+        self.observers.push(obs);
+        self
+    }
+
+    /// Arms an invariant-checking observer. Behaviourally identical to
+    /// [`RunPlan::observer`]; the separate name keeps call sites honest
+    /// about *why* an observer is armed (this crate cannot depend on
+    /// the oracle, so its runtime checkers arrive as plain observers).
+    #[must_use]
+    pub fn invariants(self, obs: simkit::ObserverFn<World>) -> Self {
+        self.observer(obs)
+    }
+
+    /// Executes the plan: `reps` repetitions starting at `seed`, RTT
+    /// samples pooled and breakdowns averaged.
+    #[must_use]
+    pub fn execute(self) -> RunResult {
+        assert!(self.reps >= 1, "a plan needs at least one repetition");
+        let shared = share_observers(self.observers);
+        let mut acc = run_single(self.exp, self.seed, &shared);
+        for rep in 1..self.reps {
+            let r = run_single(self.exp, self.seed.wrapping_add(rep), &shared);
             acc.rtts.extend(r.rtts);
             acc.verify_failures += r.verify_failures;
             acc.bytes_moved += r.bytes_moved;
@@ -344,6 +416,51 @@ impl Experiment {
         }
         acc
     }
+}
+
+/// A plan's observers, shared across its repetitions (each repetition
+/// builds a fresh engine, so the engine cannot own them outright).
+/// `None` when the plan armed no observer — that path must stay
+/// observer-free so an unobserved plan runs the exact production
+/// event loop.
+pub(crate) type SharedObservers = Option<Rc<RefCell<Vec<simkit::ObserverFn<World>>>>>;
+
+pub(crate) fn share_observers(observers: Vec<simkit::ObserverFn<World>>) -> SharedObservers {
+    if observers.is_empty() {
+        None
+    } else {
+        Some(Rc::new(RefCell::new(observers)))
+    }
+}
+
+/// One boxed trampoline fanning an engine callback out to every armed
+/// observer in registration order.
+pub(crate) fn fan_out(shared: &SharedObservers) -> Option<simkit::ObserverFn<World>> {
+    shared.as_ref().map(|observers| {
+        let observers = Rc::clone(observers);
+        Box::new(move |w: &World, t: SimTime, label: &'static str| {
+            for obs in observers.borrow_mut().iter_mut() {
+                obs(w, t, label);
+            }
+        }) as simkit::ObserverFn<World>
+    })
+}
+
+/// One repetition: build, run, tear down, account for leaks.
+fn run_single(exp: &Experiment, seed: u64, shared: &SharedObservers) -> RunResult {
+    let (mut result, world) = exp.run_sim_with(seed, false, fan_out(shared));
+    let pools = (
+        world.hosts[0].kernel.pool.clone(),
+        world.hosts[1].kernel.pool.clone(),
+    );
+    // Teardown frees every chain still held by sockets, queues and
+    // adapters; whatever remains outstanding is a genuine leak.
+    drop(world);
+    result.mbufs_leaked = (
+        pools.0.stats().mbufs_outstanding(),
+        pools.1.stats().mbufs_outstanding(),
+    );
+    result
 }
 
 // Sweep workers receive experiments and hand back results across
@@ -530,7 +647,7 @@ mod tests {
 
     #[test]
     fn rpc_atm_runs_and_verifies() {
-        let r = quick(NetKind::Atm, 200).run(1);
+        let r = quick(NetKind::Atm, 200).plan().seed(1).execute();
         assert_eq!(r.rtts.len(), 30);
         assert_eq!(r.verify_failures, 0);
         assert!(r.mean_rtt_us() > 300.0, "rtt {}", r.mean_rtt_us());
@@ -540,8 +657,8 @@ mod tests {
 
     #[test]
     fn rpc_ether_slower_than_atm() {
-        let atm = quick(NetKind::Atm, 200).run(1);
-        let eth = quick(NetKind::Ether, 200).run(1);
+        let atm = quick(NetKind::Atm, 200).plan().seed(1).execute();
+        let eth = quick(NetKind::Ether, 200).plan().seed(1).execute();
         assert_eq!(eth.verify_failures, 0);
         assert!(
             eth.mean_rtt_us() > atm.mean_rtt_us() * 1.3,
@@ -553,7 +670,7 @@ mod tests {
 
     #[test]
     fn eight_kb_sends_two_segments() {
-        let r = quick(NetKind::Atm, 8000).run(1);
+        let r = quick(NetKind::Atm, 8000).plan().seed(1).execute();
         assert_eq!(r.verify_failures, 0);
         // Two data segments per direction per iteration.
         let iters = 34; // 30 + 4 warmup.
@@ -562,8 +679,8 @@ mod tests {
 
     #[test]
     fn determinism() {
-        let a = quick(NetKind::Atm, 500).run(7);
-        let b = quick(NetKind::Atm, 500).run(7);
+        let a = quick(NetKind::Atm, 500).plan().seed(7).execute();
+        let b = quick(NetKind::Atm, 500).plan().seed(7).execute();
         assert_eq!(a.rtts, b.rtts);
         assert_eq!(a.events, b.events);
     }
@@ -572,16 +689,18 @@ mod tests {
     fn reps_pool_samples() {
         let mut e = quick(NetKind::Atm, 80);
         e.iterations = 10;
-        let r = e.run_reps(3);
+        let r = e.plan().reps(3).execute();
         assert_eq!(r.rtts.len(), 30);
     }
 
     #[test]
     fn switched_path_adds_latency_only() {
-        let direct = quick(NetKind::Atm, 200).run(1);
+        let direct = quick(NetKind::Atm, 200).plan().seed(1).execute();
         let switched = quick(NetKind::Atm, 200)
             .through_switch(atm::SwitchConfig::default())
-            .run(1);
+            .plan()
+            .seed(1)
+            .execute();
         assert_eq!(switched.verify_failures, 0);
         let delta = switched.mean_rtt_us() - direct.mean_rtt_us();
         // Two traversals (one per direction) of ~13 us each.
@@ -598,7 +717,7 @@ mod tests {
             corrupt_prob: 0.002,
             ..atm::SwitchConfig::default()
         });
-        let r = e.run(1);
+        let r = e.plan().seed(1).execute();
         assert_eq!(r.verify_failures, 0, "AAL shields the app");
         let caught = r.client_nic.aal_drops + r.server_nic.aal_drops;
         assert!(caught > 0, "some cells must have been corrupted: {r:?}");
@@ -606,11 +725,11 @@ mod tests {
 
     #[test]
     fn udp_rpc_runs_and_is_faster_than_tcp() {
-        let tcp = quick(NetKind::Atm, 200).run(1);
+        let tcp = quick(NetKind::Atm, 200).plan().seed(1).execute();
         let mut u = Experiment::udp_rpc(NetKind::Atm, 200);
         u.iterations = 30;
         u.warmup = 4;
-        let udp = u.run(1);
+        let udp = u.plan().seed(1).execute();
         assert_eq!(udp.verify_failures, 0);
         // UDP skips mcopy, retransmission state, and the heavier TCP
         // input path: a few hundred µs per round trip.
@@ -628,7 +747,7 @@ mod tests {
     fn bulk_transfer_completes() {
         let mut e = Experiment::bulk(NetKind::Atm, 4000, 50);
         e.warmup = 0;
-        let r = e.run(1);
+        let r = e.plan().seed(1).execute();
         assert_eq!(r.verify_failures, 0);
         // The receiver of a unidirectional stream takes the fast
         // path; the sender's pure ACKs do too (§3).

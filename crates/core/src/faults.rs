@@ -62,7 +62,7 @@ pub fn link_bit_errors(ber: f64, iterations: u64, seed: u64) -> DetectionReport 
     let mut e = Experiment::rpc(NetKind::Atm, 1400);
     e.iterations = iterations;
     e.ber = ber;
-    DetectionReport::from_run(&e.run(seed))
+    DetectionReport::from_run(&e.plan().seed(seed).execute())
 }
 
 /// Runs the RPC workload under cell loss.
@@ -71,7 +71,7 @@ pub fn cell_loss(prob: f64, iterations: u64, seed: u64) -> DetectionReport {
     let mut e = Experiment::rpc(NetKind::Atm, 1400);
     e.iterations = iterations;
     e.cell_loss = prob;
-    DetectionReport::from_run(&e.run(seed))
+    DetectionReport::from_run(&e.plan().seed(seed).execute())
 }
 
 /// Runs the RPC workload under controller corruption, with or
@@ -89,7 +89,7 @@ pub fn controller_corruption(
     if !with_tcp_checksum {
         e.cfg.checksum = ChecksumMode::None;
     }
-    DetectionReport::from_run(&e.run(seed))
+    DetectionReport::from_run(&e.plan().seed(seed).execute())
 }
 
 /// Detection counts for the departmental-Ethernet observation.
@@ -125,7 +125,7 @@ pub fn departmental_ethernet(
     e.iterations = iterations;
     e.ber = local_ber;
     e.gateway_corrupt = gateway_rate;
-    let r = e.run(seed);
+    let r = e.plan().seed(seed).execute();
     EthernetErrorReport {
         caught_by_crc: r.client_nic.fcs_drops + r.server_nic.fcs_drops,
         caught_by_tcp: r.client_kernel.tcp_cksum_drops + r.server_kernel.tcp_cksum_drops,

@@ -30,12 +30,12 @@
 //! # Quickstart
 //!
 //! ```
-//! use latency_core::experiment::{Experiment, NetKind};
+//! use latency_core::prelude::*;
 //!
 //! let mut exp = Experiment::rpc(NetKind::Atm, 200);
 //! exp.iterations = 50;
 //! exp.warmup = 5;
-//! let run = exp.run(1);
+//! let run = exp.plan().seed(1).execute();
 //! assert!(run.mean_rtt_us() > 0.0);
 //! ```
 
@@ -57,6 +57,24 @@ pub mod tables;
 pub mod world;
 
 pub use breakdown::{compute_breakdown_samples, RxBreakdown, TxBreakdown};
-pub use capture::{CaptureRun, HostCapture};
-pub use experiment::{Experiment, NetKind, RunResult};
+pub use capture::{CapturePlan, CaptureRun, HostCapture};
+pub use experiment::{Experiment, NetKind, RunPlan, RunResult};
 pub use world::{Host, World};
+
+/// One-stop imports for writing experiments: the experiment and plan
+/// builders, the result/breakdown types, the capture harness, and the
+/// fault-injection schedule.
+///
+/// ```
+/// use latency_core::prelude::*;
+///
+/// let run = Experiment::rpc(NetKind::Atm, 200).plan().execute();
+/// assert!(run.mean_rtt_us() > 0.0);
+/// ```
+pub mod prelude {
+    pub use crate::breakdown::{RxBreakdown, TxBreakdown};
+    pub use crate::capture::{CapturePlan, CaptureRun, HostCapture};
+    pub use crate::experiment::{Experiment, NetKind, NicStats, RunPlan, RunResult, Workload};
+    pub use faultkit::{ContentionCfg, FaultSchedule, GilbertElliott, TrainFaults};
+    pub use simkit::SimTime;
+}

@@ -263,7 +263,7 @@ mod tests {
 
     fn quick(sc_name: &str, size: usize, iters: u64) -> RunResult {
         let sc = scenario(sc_name).expect("scenario");
-        experiment(&sc, size, iters).run(11)
+        experiment(&sc, size, iters).plan().seed(11).execute()
     }
 
     #[test]
@@ -285,10 +285,10 @@ mod tests {
             let mut e = Experiment::rpc(NetKind::Atm, 200);
             e.iterations = 25;
             e.warmup = 16;
-            e.run(3)
+            e.plan().seed(3).execute()
         };
         let sc = scenario("clean").expect("clean");
-        let r = experiment(&sc, 200, 25).run(3);
+        let r = experiment(&sc, 200, 25).plan().seed(3).execute();
         assert_eq!(r.rtts, base.rtts);
         assert_eq!(r.events, base.events);
     }

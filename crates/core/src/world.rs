@@ -18,7 +18,7 @@
 //! and Wakeup rows — and the transmit/receive overlap of the 8000-
 //! byte case — into emergent measurements rather than inputs.
 
-use simkit::{Scheduler, Sim, SimTime};
+use simkit::{Scheduler, Sim, SimTime, TimerId};
 use tcpip::config::tcp_mss;
 use tcpip::{Kernel, Mark, PcbKey, SockId, StackConfig};
 
@@ -37,6 +37,9 @@ pub struct Host {
     pub sock: SockId,
     /// Earliest scheduled TCP timer event, to avoid duplicates.
     timer_at: Option<SimTime>,
+    /// Permanent engine timer slot for this host's TCP timer,
+    /// registered by [`run_world`] so re-arming allocates nothing.
+    timer: Option<TimerId>,
 }
 
 /// The simulation world: exactly two hosts, index 0 (client) and 1
@@ -85,6 +88,7 @@ impl World {
                         app: app_c,
                         sock: sock_c,
                         timer_at: None,
+                        timer: None,
                     },
                     Host {
                         kernel: ks,
@@ -92,6 +96,7 @@ impl World {
                         app: app_s,
                         sock: sock_s,
                         timer_at: None,
+                        timer: None,
                     },
                 ],
                 measuring: false,
@@ -136,6 +141,7 @@ impl World {
                     app: app_c,
                     sock: sock_c,
                     timer_at: None,
+                    timer: None,
                 },
                 Host {
                     kernel: ks,
@@ -143,6 +149,7 @@ impl World {
                     app: app_s,
                     sock: sock_s,
                     timer_at: None,
+                    timer: None,
                 },
             ],
             measuring: false,
@@ -164,9 +171,7 @@ impl World {
 /// Panics if the event queue drains while a process is still waiting
 /// — a protocol deadlock, which the tests treat as a bug.
 pub fn run_world(world: World) -> Sim<World> {
-    let mut sim = Sim::new(world);
-    sim.schedule(SimTime::ZERO, "app-start-client", |w, s| app_step(w, s, 0));
-    sim.schedule(SimTime::ZERO, "app-start-server", |w, s| app_step(w, s, 1));
+    let mut sim = prepare_sim(world);
     sim.run();
     assert!(
         sim.world.finished(),
@@ -183,10 +188,26 @@ pub fn run_world(world: World) -> Sim<World> {
 /// [`run_world`] without the completion assertion (debug tooling).
 #[must_use]
 pub fn run_world_no_assert(world: World) -> Sim<World> {
-    let mut sim = Sim::new(world);
-    sim.schedule(SimTime::ZERO, "app-start-client", |w, s| app_step(w, s, 0));
-    sim.schedule(SimTime::ZERO, "app-start-server", |w, s| app_step(w, s, 1));
+    let mut sim = prepare_sim(world);
     sim.run();
+    sim
+}
+
+/// Builds the simulation over a world: registers each host's
+/// permanent TCP-timer slot and schedules the two app-start events.
+///
+/// Both start events and all hot-path follow-ups ("softintr",
+/// "app-wakeup", "abort-wakeup", "tcp-timer") are raw events — a
+/// function pointer plus the host index — so the steady-state event
+/// loop performs no per-event allocation.
+fn prepare_sim(world: World) -> Sim<World> {
+    let mut sim = Sim::new(world);
+    for h in 0..sim.world.hosts.len() {
+        let id = sim.register_timer("tcp-timer", on_timer_raw, h as u64);
+        sim.world.hosts[h].timer = Some(id);
+    }
+    sim.schedule_raw(SimTime::ZERO, "app-start-client", app_step_raw, 0);
+    sim.schedule_raw(SimTime::ZERO, "app-start-server", app_step_raw, 1);
     sim
 }
 
@@ -201,10 +222,8 @@ pub fn run_world_no_assert(world: World) -> Sim<World> {
 ///
 /// Panics on deadlock, exactly like [`run_world`].
 pub fn run_world_observed(world: World, obs: simkit::ObserverFn<World>) -> Sim<World> {
-    let mut sim = Sim::new(world);
+    let mut sim = prepare_sim(world);
     sim.set_observer(obs);
-    sim.schedule(SimTime::ZERO, "app-start-client", |w, s| app_step(w, s, 0));
-    sim.schedule(SimTime::ZERO, "app-start-server", |w, s| app_step(w, s, 1));
     sim.run();
     assert!(
         sim.world.finished(),
@@ -241,9 +260,30 @@ fn flush_host(w: &mut World, s: &mut Scheduler<World>, h: usize) {
         if stale {
             w.hosts[h].timer_at = Some(dl);
             let at = dl.max(s.now());
-            s.schedule_at(at, "tcp-timer", move |w, s| on_timer(w, s, h));
+            match w.hosts[h].timer {
+                // The permanent slot re-arms with zero allocation.
+                Some(id) => s.arm_timer(id, at),
+                // Worlds run outside `run_world` (no slot registered)
+                // still work via a boxed event.
+                None => s.schedule_at(at, "tcp-timer", move |w, s| on_timer(w, s, h)),
+            }
         }
     }
+}
+
+/// Raw-event trampolines: the engine hot path stores these as plain
+/// function pointers with the host index as payload, so scheduling
+/// them allocates nothing.
+fn app_step_raw(w: &mut World, s: &mut Scheduler<World>, h: u64) {
+    app_step(w, s, h as usize);
+}
+
+fn on_softintr_raw(w: &mut World, s: &mut Scheduler<World>, h: u64) {
+    on_softintr(w, s, h as usize);
+}
+
+fn on_timer_raw(w: &mut World, s: &mut Scheduler<World>, h: u64) {
+    on_timer(w, s, h as usize);
 }
 
 /// ATM datagram arrival: the hardware interrupt.
@@ -258,7 +298,7 @@ fn on_atm_arrival(
         panic!("ATM delivery to a non-ATM host");
     };
     if let Some(at) = atm_receive(&mut host.kernel, nic, s.now(), &train) {
-        s.schedule_at(at, "softintr", move |w, s| on_softintr(w, s, h));
+        s.schedule_raw_at(at, "softintr", on_softintr_raw, h as u64);
     }
 }
 
@@ -269,7 +309,7 @@ fn on_eth_arrival(w: &mut World, s: &mut Scheduler<World>, h: usize, bytes: Vec<
         panic!("Ethernet delivery to a non-Ethernet host");
     };
     if let Some(at) = ether_receive(&mut host.kernel, nic, s.now(), &bytes) {
-        s.schedule_at(at, "softintr", move |w, s| on_softintr(w, s, h));
+        s.schedule_raw_at(at, "softintr", on_softintr_raw, h as u64);
     }
 }
 
@@ -283,7 +323,7 @@ fn on_softintr(w: &mut World, s: &mut Scheduler<World>, h: usize) {
     flush_host(w, s, h);
     for (_, run_at) in out.wakeups.iter().chain(out.writer_wakeups.iter()) {
         let at = (*run_at).max(s.now());
-        s.schedule_at(at, "app-wakeup", move |w, s| app_step(w, s, h));
+        s.schedule_raw_at(at, "app-wakeup", app_step_raw, h as u64);
     }
 }
 
@@ -301,7 +341,7 @@ fn on_timer(w: &mut World, s: &mut Scheduler<World>, h: usize) {
     // this wakeup an aborted run would hang instead of terminating.
     for (_sock, run_at) in w.hosts[h].kernel.take_timer_wakeups() {
         let at = run_at.max(s.now());
-        s.schedule_at(at, "abort-wakeup", move |w, s| app_step(w, s, h));
+        s.schedule_raw_at(at, "abort-wakeup", app_step_raw, h as u64);
     }
 }
 

@@ -15,7 +15,7 @@ use latency_core::recovery;
 fn capture_agrees_or_refuses_under_every_injector() {
     for sc in recovery::scenarios() {
         let exp = recovery::experiment(&sc, 1400, 40);
-        let run = exp.run_captured(11);
+        let run = exp.plan().seed(11).captured().execute();
         assert_eq!(
             run.result.verify_failures, 0,
             "{}: faults may cost latency, never integrity",
@@ -59,7 +59,11 @@ fn clean_scenario_capture_never_refuses() {
         .iter()
         .find(|s| s.name == "clean")
         .expect("clean scenario");
-    let run = recovery::experiment(clean, 1400, 40).run_captured(3);
+    let run = recovery::experiment(clean, 1400, 40)
+        .plan()
+        .seed(3)
+        .captured()
+        .execute();
     let cmp = compare_with_inline(&run).expect("clean capture must compare");
     assert!(cmp.ok(), "clean capture must agree: {:#?}", cmp.spans);
 }

@@ -1,0 +1,107 @@
+//! The `RunPlan` builder must reproduce the deprecated `run` family
+//! exactly — same seeds, same pooling, same averaging — so that every
+//! blessed golden survives the API migration bit-for-bit.
+
+#![allow(deprecated)]
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use latency_core::prelude::*;
+
+fn quick(net: NetKind, size: usize) -> Experiment {
+    let mut e = Experiment::rpc(net, size);
+    e.iterations = 25;
+    e.warmup = 3;
+    e
+}
+
+fn assert_same(a: &RunResult, b: &RunResult) {
+    assert_eq!(a.rtts, b.rtts);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.sim_time, b.sim_time);
+    assert_eq!(a.bytes_moved, b.bytes_moved);
+    assert_eq!(a.verify_failures, b.verify_failures);
+    assert_eq!(a.mbufs_leaked, b.mbufs_leaked);
+    assert_eq!(a.breakdown_iters, b.breakdown_iters);
+    // Breakdowns are f64 averages computed by the same fold in the
+    // same order, so they too must be bit-equal.
+    assert_eq!(a.tx.user.to_bits(), b.tx.user.to_bits());
+    assert_eq!(a.tx.cksum.to_bits(), b.tx.cksum.to_bits());
+    assert_eq!(a.rx.user.to_bits(), b.rx.user.to_bits());
+    assert_eq!(a.rx.cksum.to_bits(), b.rx.cksum.to_bits());
+}
+
+#[test]
+fn plan_matches_run() {
+    for seed in [1, 7, 0xdead_beef] {
+        let legacy = quick(NetKind::Atm, 200).run(seed);
+        let plan = quick(NetKind::Atm, 200).plan().seed(seed).execute();
+        assert_same(&plan, &legacy);
+    }
+}
+
+#[test]
+fn plan_matches_run_reps() {
+    let legacy = quick(NetKind::Atm, 80).run_reps(3);
+    let plan = quick(NetKind::Atm, 80).plan().reps(3).execute();
+    assert_same(&plan, &legacy);
+}
+
+#[test]
+fn plan_matches_run_reps_seeded() {
+    // The sweep's per-cell seeding: repetition r of base seed b runs
+    // with seed b + r, i.e. a plan whose first-rep seed is b + 1.
+    for base in [0, 41, u64::MAX - 1] {
+        let legacy = quick(NetKind::Ether, 200).run_reps_seeded(base, 3);
+        let plan = quick(NetKind::Ether, 200)
+            .plan()
+            .seed(base.wrapping_add(1))
+            .reps(3)
+            .execute();
+        assert_same(&plan, &legacy);
+    }
+}
+
+#[test]
+fn observers_do_not_perturb_and_fire_in_order() {
+    let silent = quick(NetKind::Atm, 500).plan().seed(5).execute();
+    let firsts = Rc::new(RefCell::new(Vec::new()));
+    let seconds = Rc::new(RefCell::new(Vec::new()));
+    let (f, s) = (Rc::clone(&firsts), Rc::clone(&seconds));
+    let observed = quick(NetKind::Atm, 500)
+        .plan()
+        .seed(5)
+        .observer(Box::new(move |_, t, _| f.borrow_mut().push(t)))
+        .observer(Box::new(move |w, t, _| {
+            // Registration order: by the time the second observer
+            // fires for event n, the first has already seen it.
+            assert_eq!(w.hosts.len(), 2);
+            s.borrow_mut().push(t);
+        }))
+        .execute();
+    assert_same(&observed, &silent);
+    let firsts = firsts.borrow();
+    assert_eq!(firsts.len() as u64, silent.events);
+    assert_eq!(*firsts, *seconds.borrow());
+}
+
+#[test]
+fn captured_plan_matches_run_captured() {
+    let legacy = quick(NetKind::Atm, 200).run_captured(3);
+    let plan = quick(NetKind::Atm, 200).plan().seed(3).captured().execute();
+    assert_same(&plan.result, &legacy.result);
+    assert_eq!(plan.client.frames.len(), legacy.client.frames.len());
+    assert_eq!(plan.server.frames.len(), legacy.server.frames.len());
+    // The captures themselves are deterministic too: serialize one
+    // tap from each and compare the bytes.
+    for tap in [simcap::TapPoint::Wire, simcap::TapPoint::SockSend] {
+        assert_eq!(plan.client.pcap(tap), legacy.client.pcap(tap));
+    }
+}
+
+#[test]
+#[should_panic(expected = "at least one repetition")]
+fn zero_reps_refused() {
+    let _ = quick(NetKind::Atm, 200).plan().reps(0).execute();
+}

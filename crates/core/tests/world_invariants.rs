@@ -139,7 +139,7 @@ fn steady_state_is_steady() {
     let mut e = Experiment::rpc(NetKind::Atm, 500);
     e.iterations = 50;
     e.warmup = 8;
-    let r = e.run(1);
+    let r = e.plan().seed(1).execute();
     assert!(
         r.stddev_rtt_us() < r.mean_rtt_us() * 0.01,
         "mean {:.1} stddev {:.2}",

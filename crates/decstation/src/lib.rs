@@ -33,6 +33,6 @@ pub mod fit;
 pub mod machine;
 
 pub use clock::TurboChannelClock;
-pub use cost::{ChecksumImpl, CostModel, LinearCost};
+pub use cost::{ChecksumImpl, CostModel, CostTables, LinearCost};
 pub use fit::{linear_fit, LinearFit};
 pub use machine::DECSTATION_5000_200;

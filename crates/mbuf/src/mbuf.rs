@@ -37,13 +37,30 @@ pub enum MbufKind {
 /// A reference-counted cluster page. Dropping the last reference
 /// returns the page to the pool statistics.
 struct ClusterPage {
-    data: Box<[u8; MCLBYTES]>,
+    /// `Some` for the page's whole life; taken only inside `Drop`,
+    /// when the buffer moves to the pool's free list.
+    data: Option<Box<[u8; MCLBYTES]>>,
     pool: Arc<PoolInner>,
+}
+
+impl ClusterPage {
+    #[inline]
+    fn data(&self) -> &[u8; MCLBYTES] {
+        self.data.as_ref().expect("cluster page alive")
+    }
+
+    #[inline]
+    fn data_mut(&mut self) -> &mut [u8; MCLBYTES] {
+        self.data.as_mut().expect("cluster page alive")
+    }
 }
 
 impl Drop for ClusterPage {
     fn drop(&mut self) {
         PoolInner::bump(&self.pool.clusters_freed);
+        if let Some(buf) = self.data.take() {
+            self.pool.recycle_cluster(buf);
+        }
     }
 }
 
@@ -59,6 +76,9 @@ enum Storage {
         off: usize,
         len: usize,
     },
+    /// Transient state seen only inside `Drop`, after the buffer has
+    /// moved to the pool's free list.
+    Reclaimed,
 }
 
 /// Packet-header metadata carried by the first mbuf of a chain.
@@ -102,6 +122,13 @@ pub struct Mbuf {
 impl Drop for Mbuf {
     fn drop(&mut self) {
         PoolInner::bump(&self.pool.mbufs_freed);
+        match core::mem::replace(&mut self.storage, Storage::Reclaimed) {
+            // Small buffers go straight to the free list; cluster
+            // pages recycle when their last reference drops (in
+            // `ClusterPage::drop`).
+            Storage::Small { buf, .. } => self.pool.recycle_small(buf),
+            Storage::Cluster { .. } | Storage::Reclaimed => {}
+        }
     }
 }
 
@@ -112,7 +139,7 @@ impl Mbuf {
         PoolInner::bump(&pool.inner.mbufs_allocated);
         Mbuf {
             storage: Storage::Small {
-                buf: Box::new([0; MLEN]),
+                buf: pool.inner.alloc_small(),
                 off: 0,
                 len: 0,
             },
@@ -146,7 +173,7 @@ impl Mbuf {
         Mbuf {
             storage: Storage::Cluster {
                 page: Arc::new(ClusterPage {
-                    data: Box::new([0; MCLBYTES]),
+                    data: Some(pool.inner.alloc_cluster()),
                     pool: Arc::clone(&pool.inner),
                 }),
                 off: 0,
@@ -184,6 +211,7 @@ impl Mbuf {
         match self.storage {
             Storage::Small { .. } => MbufKind::Small,
             Storage::Cluster { .. } => MbufKind::Cluster,
+            Storage::Reclaimed => unreachable!("reclaimed mbuf"),
         }
     }
 
@@ -199,6 +227,7 @@ impl Mbuf {
         match &self.storage {
             Storage::Small { .. } => false,
             Storage::Cluster { page, .. } => Arc::strong_count(page) > 1,
+            Storage::Reclaimed => unreachable!("reclaimed mbuf"),
         }
     }
 
@@ -207,7 +236,8 @@ impl Mbuf {
     pub fn data(&self) -> &[u8] {
         match &self.storage {
             Storage::Small { buf, off, len } => &buf[*off..*off + *len],
-            Storage::Cluster { page, off, len } => &page.data[*off..*off + *len],
+            Storage::Cluster { page, off, len } => &page.data()[*off..*off + *len],
+            Storage::Reclaimed => unreachable!("reclaimed mbuf"),
         }
     }
 
@@ -216,6 +246,7 @@ impl Mbuf {
     pub fn len(&self) -> usize {
         match &self.storage {
             Storage::Small { len, .. } | Storage::Cluster { len, .. } => *len,
+            Storage::Reclaimed => unreachable!("reclaimed mbuf"),
         }
     }
 
@@ -231,6 +262,7 @@ impl Mbuf {
         match &self.storage {
             Storage::Small { off, len, .. } => MLEN - off - len,
             Storage::Cluster { off, len, .. } => MCLBYTES - off - len,
+            Storage::Reclaimed => unreachable!("reclaimed mbuf"),
         }
     }
 
@@ -239,6 +271,7 @@ impl Mbuf {
     pub fn leading_space(&self) -> usize {
         match &self.storage {
             Storage::Small { off, .. } | Storage::Cluster { off, .. } => *off,
+            Storage::Reclaimed => unreachable!("reclaimed mbuf"),
         }
     }
 
@@ -261,9 +294,10 @@ impl Mbuf {
             Storage::Cluster { page, off, len } => {
                 let page = Arc::get_mut(page)
                     .expect("append to a shared cluster page would corrupt peer data");
-                page.data[*off + *len..*off + *len + n].copy_from_slice(&src[..n]);
+                page.data_mut()[*off + *len..*off + *len + n].copy_from_slice(&src[..n]);
                 *len += n;
             }
+            Storage::Reclaimed => unreachable!("reclaimed mbuf"),
         }
         n
     }
@@ -294,8 +328,9 @@ impl Mbuf {
                     .expect("prepend to a shared cluster page would corrupt peer data");
                 *off -= n;
                 *len += n;
-                page.data[*off..*off + n].copy_from_slice(src);
+                page.data_mut()[*off..*off + n].copy_from_slice(src);
             }
+            Storage::Reclaimed => unreachable!("reclaimed mbuf"),
         }
     }
 
@@ -309,6 +344,7 @@ impl Mbuf {
                 *off += n;
                 *len -= n;
             }
+            Storage::Reclaimed => unreachable!("reclaimed mbuf"),
         }
     }
 
@@ -320,6 +356,7 @@ impl Mbuf {
             Storage::Small { len, .. } | Storage::Cluster { len, .. } => {
                 *len -= n.min(*len);
             }
+            Storage::Reclaimed => unreachable!("reclaimed mbuf"),
         }
     }
 
@@ -334,7 +371,9 @@ impl Mbuf {
     #[must_use]
     pub fn share_cluster_range(&self, pool: &MbufPool, start: usize, len: usize) -> Mbuf {
         match &self.storage {
-            Storage::Small { .. } => panic!("share_cluster_range on an ordinary mbuf"),
+            Storage::Small { .. } | Storage::Reclaimed => {
+                panic!("share_cluster_range on an ordinary mbuf")
+            }
             Storage::Cluster {
                 page,
                 off,

@@ -3,8 +3,8 @@
 //! Pluggable checkers that any experiment can arm. Mirroring
 //! `faultkit::FaultSchedule::is_clean`, the default set is empty and
 //! costs nothing: per-event checkers hook into the engine only
-//! through [`Experiment::run_observed`], which the production
-//! [`Experiment::run`] path never touches, and with an empty set
+//! through a [`latency_core::RunPlan::invariants`] observer, which an
+//! unobserved plan never touches, and with an empty set
 //! [`check_experiment`] runs no simulation at all.
 
 use std::cell::RefCell;
@@ -188,7 +188,7 @@ pub fn check_experiment(exp: &Experiment, seed: u64, set: &InvariantSet) -> Inva
                 }
             }
         });
-        result = Some(exp.run_observed(seed, obs));
+        result = Some(exp.plan().seed(seed).invariants(obs).execute());
         let state = Rc::try_unwrap(state)
             .unwrap_or_else(|_| panic!("observer still alive after run"))
             .into_inner();
@@ -197,7 +197,7 @@ pub fn check_experiment(exp: &Experiment, seed: u64, set: &InvariantSet) -> Inva
     }
 
     if set.capture_agreement {
-        let cap = exp.run_captured(seed);
+        let cap = exp.plan().seed(seed).captured().execute();
         match compare_with_inline(&cap) {
             Ok(cmp) => {
                 if !cmp.ok() {
@@ -221,7 +221,7 @@ pub fn check_experiment(exp: &Experiment, seed: u64, set: &InvariantSet) -> Inva
         }
     }
 
-    let result = result.unwrap_or_else(|| exp.run(seed));
+    let result = result.unwrap_or_else(|| exp.plan().seed(seed).execute());
 
     if set.clock_quantized {
         for (i, rtt) in result.rtts.iter().enumerate() {

@@ -51,7 +51,7 @@ fn check_cell(net: NetKind, size: usize, variant: Variant) {
     let cell = format!("{net:?}/{size}/{variant:?}");
 
     let pred = predict(&exp).unwrap_or_else(|e| panic!("{cell}: predict refused or diverged: {e}"));
-    let cap = exp.run_captured(0x5eed ^ size as u64);
+    let cap = exp.plan().seed(0x5eed ^ size as u64).captured().execute();
     assert_eq!(
         cap.result.rtts.len() as u64,
         exp.iterations,
@@ -145,7 +145,7 @@ fn prediction_is_deterministic_across_seeds() {
     let mut exp = Experiment::rpc(NetKind::Atm, 1400);
     exp.iterations = 6;
     exp.warmup = 2;
-    let a = exp.run_captured(1).result.rtts;
-    let b = exp.run_captured(999).result.rtts;
+    let a = exp.plan().seed(1).captured().execute().result.rtts;
+    let b = exp.plan().seed(999).captured().execute().result.rtts;
     assert_eq!(a, b, "clean runs must be seed-independent");
 }

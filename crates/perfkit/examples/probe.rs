@@ -1,0 +1,98 @@
+//! Delay-spread sensitivity probe for the engine microbenchmark.
+//!
+//! Runs the synthetic churn at several delay spreads and prints both
+//! engines' throughput, to show where the calendar queue wins and
+//! what the bench workload's spread choice means. Not part of
+//! `repro bench`; run with:
+//! `cargo run --release -p perfkit --example probe`
+
+use std::time::Instant;
+
+use simkit::{Sim, SimTime};
+
+const SOURCES: u64 = 64;
+const EVENTS: u64 = 1_000_000;
+
+struct Churn {
+    fired: u64,
+    budget: u64,
+    mix: u64,
+    spread: u64,
+}
+
+impl Churn {
+    #[inline]
+    fn next_delay(&mut self, src: u64) -> Option<SimTime> {
+        self.fired += 1;
+        self.mix = self
+            .mix
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(src);
+        if self.fired >= self.budget {
+            return None;
+        }
+        let ticks = (self.mix >> 33) % self.spread;
+        Some(SimTime::from_ns(40 + ticks * 40))
+    }
+}
+
+fn run_heap(budget: u64, spread: u64) -> (u64, u64) {
+    fn tick(src: u64) -> impl FnOnce(&mut Churn, &mut perfkit::baseline::Scheduler<Churn>) {
+        move |w, s| {
+            if let Some(delay) = w.next_delay(src) {
+                s.schedule(delay, tick(src));
+            }
+        }
+    }
+    let mut sim = perfkit::baseline::HeapSim::new(Churn {
+        fired: 0,
+        budget,
+        mix: 1,
+        spread,
+    });
+    for src in 0..SOURCES {
+        sim.schedule_at(SimTime::from_ns(src * 40), tick(src));
+    }
+    sim.run();
+    (sim.events_executed(), sim.world.mix)
+}
+
+fn run_calendar(budget: u64, spread: u64) -> (u64, u64) {
+    fn tick(w: &mut Churn, s: &mut simkit::Scheduler<Churn>, src: u64) {
+        if let Some(delay) = w.next_delay(src) {
+            s.schedule_raw(delay, "churn", tick, src);
+        }
+    }
+    let mut sim = Sim::new(Churn {
+        fired: 0,
+        budget,
+        mix: 1,
+        spread,
+    });
+    for src in 0..SOURCES {
+        sim.schedule_raw_at(SimTime::from_ns(src * 40), "churn", tick, src);
+    }
+    sim.run();
+    (sim.events_executed(), sim.world.mix)
+}
+
+fn main() {
+    for spread in [16_384u64, 4_096, 1_024, 256, 64] {
+        run_heap(EVENTS / 8, spread);
+        run_calendar(EVENTS / 8, spread);
+        let t = Instant::now();
+        let h = run_heap(EVENTS, spread);
+        let th = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let c = run_calendar(EVENTS, spread);
+        let tc = t.elapsed().as_secs_f64();
+        assert_eq!(h, c);
+        println!(
+            "spread {:>6} ticks: heap {:>10.0} ev/s  calendar {:>10.0} ev/s  speedup {:.2}x",
+            spread,
+            EVENTS as f64 / th,
+            EVENTS as f64 / tc,
+            tc.recip() * th
+        );
+    }
+}

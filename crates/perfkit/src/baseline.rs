@@ -1,0 +1,140 @@
+//! A frozen copy of the pre-calendar-queue simulation engine.
+//!
+//! This is the `simkit::engine` that shipped before the hot-path
+//! overhaul: a `BinaryHeap` priority queue popping boxed `FnOnce`
+//! events in `(time, seq)` order. It is kept here — private to
+//! `perfkit`, never used by the simulation — so `repro bench` can
+//! report the calendar-queue engine's speedup against the engine it
+//! replaced on identical workloads, on the machine the benchmark runs
+//! on. Do not "improve" this module; its whole value is standing
+//! still.
+
+use core::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use simkit::SimTime;
+
+/// A boxed event handler, exactly as the old engine stored every
+/// event (one heap allocation per scheduled event).
+pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Scheduler<W>)>;
+
+struct QueuedEvent<W> {
+    at: SimTime,
+    seq: u64,
+    handler: EventFn<W>,
+}
+
+// The heap is a max-heap; invert the ordering to pop the earliest
+// (time, seq) first.
+impl<W> PartialEq for QueuedEvent<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<W> Eq for QueuedEvent<W> {}
+
+impl<W> PartialOrd for QueuedEvent<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<W> Ord for QueuedEvent<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Staging area handed to event handlers, as in the old engine.
+pub struct Scheduler<W> {
+    now: SimTime,
+    staged: Vec<(SimTime, EventFn<W>)>,
+}
+
+impl<W> Scheduler<W> {
+    /// Current simulation time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Stages an event to run `delay` after the current time.
+    pub fn schedule<F>(&mut self, delay: SimTime, f: F)
+    where
+        F: FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    {
+        self.staged.push((self.now + delay, Box::new(f)));
+    }
+}
+
+/// The old heap-based simulation loop.
+pub struct HeapSim<W> {
+    /// The simulation world.
+    pub world: W,
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<QueuedEvent<W>>,
+    executed: u64,
+}
+
+impl<W> HeapSim<W> {
+    /// Creates a simulation at time zero over the given world.
+    pub fn new(world: W) -> Self {
+        HeapSim {
+            world,
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            executed: 0,
+        }
+    }
+
+    /// Number of events executed so far.
+    #[inline]
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Schedules an event at the absolute time `at`.
+    pub fn schedule_at<F>(&mut self, at: SimTime, f: F)
+    where
+        F: FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    {
+        assert!(at >= self.now, "event scheduled into the past");
+        self.queue.push(QueuedEvent {
+            at,
+            seq: self.seq,
+            handler: Box::new(f),
+        });
+        self.seq += 1;
+    }
+
+    /// Executes the next pending event; `false` when the queue is dry.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        self.now = ev.at;
+        self.executed += 1;
+        let mut sched = Scheduler {
+            now: self.now,
+            staged: Vec::new(),
+        };
+        (ev.handler)(&mut self.world, &mut sched);
+        for (at, f) in sched.staged {
+            self.queue.push(QueuedEvent {
+                at,
+                seq: self.seq,
+                handler: f,
+            });
+            self.seq += 1;
+        }
+        true
+    }
+
+    /// Runs until the event queue is empty.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+}

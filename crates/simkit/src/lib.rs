@@ -10,12 +10,18 @@
 //!
 //! # Design
 //!
-//! Events are boxed closures of type [`EventFn`] executed against a
-//! user-supplied world type `W`. Handlers cannot touch the event queue
-//! directly (that would alias the engine borrow); instead they receive a
-//! [`Scheduler`] into which new events are staged and merged after the
-//! handler returns. This keeps the engine free of interior mutability
-//! while still allowing handlers to schedule arbitrary follow-up work.
+//! Events are either boxed closures of type [`EventFn`] or
+//! allocation-free *raw* events ([`RawEventFn`]: a function pointer
+//! plus a `u64` payload), executed against a user-supplied world type
+//! `W`. Handlers cannot touch the event queue directly (that would
+//! alias the engine borrow); instead they receive a [`Scheduler`] into
+//! which new events are staged and merged after the handler returns.
+//! This keeps the engine free of interior mutability while still
+//! allowing handlers to schedule arbitrary follow-up work.
+//!
+//! Internally the queue is a calendar/bucket structure over a
+//! slab-allocated event arena with permanent, re-armable timer slots
+//! ([`TimerId`]); see [`engine`] for why determinism is preserved.
 //!
 //! # Examples
 //!
@@ -43,7 +49,7 @@ pub mod time;
 pub mod trace;
 
 pub use cpu::{Cpu, CpuBand, CpuStats};
-pub use engine::{assert_world_send, EventFn, ObserverFn, Scheduler, Sim};
+pub use engine::{assert_world_send, EventFn, ObserverFn, RawEventFn, Scheduler, Sim, TimerId};
 pub use rng::SimRng;
 pub use time::SimTime;
 pub use trace::{TraceBuffer, TraceEvent, TraceLevel};

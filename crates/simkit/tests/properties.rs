@@ -83,6 +83,61 @@ proptest! {
         prop_assert_eq!(cpu.stats().total_busy(), total);
     }
 
+    /// The calendar queue pops the exact total order `(at, seq)` that
+    /// a sorted reference model predicts, across a mix of boxed
+    /// events, raw events, and timer-slot firings — including
+    /// clustered times that force bucket rebuilds and sparse times
+    /// that force the direct-search fallback.
+    #[test]
+    fn calendar_queue_matches_reference_order(
+        evs in proptest::collection::vec((0u64..3, 0u64..500_000), 1..300),
+    ) {
+        fn raw(w: &mut Vec<usize>, _: &mut simkit::Scheduler<Vec<usize>>, data: u64) {
+            w.push(data as usize);
+        }
+        let mut sim = Sim::new(Vec::<usize>::new());
+        // Timer slots log through the world like everything else; the
+        // slot payload is the schedule index.
+        fn timer_fire(w: &mut Vec<usize>, _: &mut simkit::Scheduler<Vec<usize>>, data: u64) {
+            w.push(data as usize);
+        }
+        for (i, &(kind, t_us)) in evs.iter().enumerate() {
+            // Mix dense and sparse times: every 7th event lands far out.
+            let at = if i % 7 == 3 {
+                SimTime::from_ns(t_us * 4_096 + 300_000_000)
+            } else {
+                SimTime::from_ns(t_us)
+            };
+            match kind {
+                0 => sim.schedule_at(at, "boxed", move |w: &mut Vec<usize>, _| w.push(i)),
+                1 => sim.schedule_raw_at(at, "raw", raw, i as u64),
+                _ => {
+                    let id = sim.register_timer("tmr", timer_fire, i as u64);
+                    sim.arm_timer(id, at);
+                }
+            }
+        }
+        sim.run();
+        // Reference: stable sort by time (stability = seq order).
+        let mut expect: Vec<(u64, usize)> = evs
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, t_us))| {
+                let at = if i % 7 == 3 {
+                    t_us * 4_096 + 300_000_000
+                } else {
+                    t_us
+                };
+                (at, i)
+            })
+            .collect();
+        expect.sort_by_key(|&(at, _)| at);
+        let got: Vec<usize> = sim.world.clone();
+        let want: Vec<usize> = expect.into_iter().map(|(_, i)| i).collect();
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(sim.events_executed(), evs.len() as u64);
+    }
+
     /// Quantization is idempotent, monotone, and never in the future.
     #[test]
     fn clock_quantization(ns in any::<u64>()) {

@@ -205,7 +205,12 @@ impl Sweep {
         let outcomes = pool::run_ordered(&self.cells, jobs, |_, cell| {
             let started = Instant::now();
             let seed = cell_seed(&cell.key);
-            let result = cell.exp.run_reps_seeded(seed, cell.reps);
+            let result = cell
+                .exp
+                .plan()
+                .seed(seed.wrapping_add(1))
+                .reps(cell.reps)
+                .execute();
             CellOutcome {
                 key: cell.key.clone(),
                 seed,

@@ -23,7 +23,7 @@
 
 use std::collections::VecDeque;
 
-use decstation::CostModel;
+use decstation::{CostModel, CostTables};
 use mbuf::chain::ultrix_uses_clusters;
 use mbuf::{Chain, MbufPool};
 use simkit::{Cpu, CpuBand, SimTime};
@@ -185,6 +185,9 @@ pub struct Kernel {
     pub cfg: StackConfig,
     /// Cost model (one per host; hosts are identical DECstations).
     pub costs: CostModel,
+    /// Precomputed/memoized cost tables derived from `costs`
+    /// (rebuilt if the model is replaced; see [`CostTables`]).
+    pub tables: CostTables,
     /// The host's mbuf pool.
     pub pool: MbufPool,
     /// The single CPU.
@@ -218,9 +221,11 @@ impl Kernel {
     #[must_use]
     pub fn new(cfg: StackConfig, costs: CostModel) -> Self {
         let pcbs = PcbTable::new(cfg.pcb_org, cfg.header_prediction);
+        let tables = CostTables::new(&costs);
         let mut k = Kernel {
             cfg,
             costs,
+            tables,
             pool: MbufPool::new(),
             cpu: Cpu::new(),
             spans: SpanRecorder::new(),
@@ -283,7 +288,7 @@ impl Kernel {
     /// SYN-ACK arrived).
     pub fn connect(&mut self, now: SimTime, key: PcbKey, drv: &mut dyn TxDriver) -> SockId {
         let start = now.max(self.cpu.busy_until());
-        let mut cursor = start + SimTime::from_us_f64(self.costs.user_tx_small.fixed_us);
+        let mut cursor = start + self.tables.user_tx_small_fixed;
         let id = self.pcbs.insert(key);
         let mss_offer = crate::config::tcp_mss(drv.mtu(), self.cfg.mss_one_cluster);
         // Derive a per-connection ISS from the configured base.
@@ -338,11 +343,11 @@ impl Kernel {
         let wire = crate::options::encode_syn(&hdr, &opts);
         let (chain, _) = Chain::from_user_data(&self.pool, &wire, false);
         // Control segments pay the ordinary output-path costs.
-        let seg_cost = SimTime::from_us_f64(self.costs.tcp_out_segment_us);
+        let seg_cost = self.tables.tcp_out_segment;
         self.spans
             .span(SpanKind::TxTcpSegment, cursor, cursor + seg_cost);
         cursor += seg_cost;
-        let ip_cost = SimTime::from_us_f64(self.costs.ip_out_us);
+        let ip_cost = self.tables.ip_out;
         self.spans.span(SpanKind::TxIp, cursor, cursor + ip_cost);
         cursor += ip_cost;
         conn.tcb.rexmt_deadline = Some(cursor + rto);
@@ -502,13 +507,11 @@ impl Kernel {
             // buffer (Table 2 mcopy row).
             let (mut seg, copy_receipt) = conn.sock.snd.peek_copy(&self.pool, offset, len);
             let mcopy_cost = if copy_receipt.clusters_shared > 0 {
-                self.costs
-                    .mcopy_cluster
-                    .eval(0, copy_receipt.clusters_shared)
+                self.tables
+                    .mcopy_cluster(&self.costs, 0, copy_receipt.clusters_shared)
             } else {
-                self.costs
-                    .mcopy_small
-                    .eval(len, copy_receipt.mbufs_allocated)
+                self.tables
+                    .mcopy_small(&self.costs, len, copy_receipt.mbufs_allocated)
             };
             self.spans
                 .span(SpanKind::TxTcpMcopy, cursor, cursor + mcopy_cost);
@@ -522,11 +525,11 @@ impl Kernel {
             cursor = self.checksum_out(cursor, &mut hdr, &seg);
 
             // Remaining TCP output processing (Table 2 segment row).
-            let seg_cost = SimTime::from_us_f64(if first_segment {
-                self.costs.tcp_out_segment_us
+            let seg_cost = if first_segment {
+                self.tables.tcp_out_segment
             } else {
-                self.costs.tcp_out_segment_warm_us
-            });
+                self.tables.tcp_out_segment_warm
+            };
             self.spans
                 .span(SpanKind::TxTcpSegment, cursor, cursor + seg_cost);
             cursor += seg_cost;
@@ -540,11 +543,11 @@ impl Kernel {
             conn.tcb.note_sent(hdr.seq, len, cursor, rto);
 
             // IP output (Table 2 IP row).
-            let ip_cost = SimTime::from_us_f64(if first_segment {
-                self.costs.ip_out_us
+            let ip_cost = if first_segment {
+                self.tables.ip_out
             } else {
-                self.costs.ip_out_warm_us
-            });
+                self.tables.ip_out_warm
+            };
             self.spans.span(SpanKind::TxIp, cursor, cursor + ip_cost);
             cursor += ip_cost;
 
@@ -595,7 +598,7 @@ impl Kernel {
         conn.delack_deadline = None;
         let mut seg = Chain::new();
         cursor = self.checksum_out(cursor, &mut hdr, &seg);
-        let seg_cost = SimTime::from_us_f64(self.costs.tcp_out_segment_us);
+        let seg_cost = self.tables.tcp_out_segment;
         self.spans
             .span(SpanKind::TxTcpSegment, cursor, cursor + seg_cost);
         cursor += seg_cost;
@@ -604,7 +607,7 @@ impl Kernel {
             self.taps
                 .record(simcap::TapPoint::TcpSend, cursor, seg.to_vec());
         }
-        let ip_cost = SimTime::from_us_f64(self.costs.ip_out_us);
+        let ip_cost = self.tables.ip_out;
         self.spans.span(SpanKind::TxIp, cursor, cursor + ip_cost);
         cursor += ip_cost;
         drv.transmit(cursor, &seg, &mut self.spans)
@@ -617,9 +620,12 @@ impl Kernel {
             ChecksumMode::Standard(which) => {
                 let (payload_sum, bytes) = seg.checksum_walk();
                 hdr.tcp_cksum = hdr.tcp_checksum_with(payload_sum);
-                let cost =
-                    self.costs
-                        .kernel_cksum(which, bytes + TCPIP_HDR_LEN, seg.mbuf_count().max(1));
+                let cost = self.tables.kernel_cksum(
+                    &self.costs,
+                    which,
+                    bytes + TCPIP_HDR_LEN,
+                    seg.mbuf_count().max(1),
+                );
                 self.spans
                     .span(SpanKind::TxTcpChecksum, cursor, cursor + cost);
                 cursor += cost;
@@ -631,15 +637,15 @@ impl Kernel {
                 let (payload_sum, cost) = match seg.stored_checksum() {
                     Some(sum) => (
                         sum,
-                        self.costs
-                            .partial_combine
-                            .eval(TCPIP_HDR_LEN, seg.mbuf_count()),
+                        self.tables
+                            .partial_combine(&self.costs, TCPIP_HDR_LEN, seg.mbuf_count()),
                     ),
                     None => {
                         let (sum, bytes) = seg.checksum_walk();
                         (
                             sum,
-                            self.costs.kernel_cksum(
+                            self.tables.kernel_cksum(
+                                &self.costs,
                                 decstation::ChecksumImpl::Optimized,
                                 bytes + TCPIP_HDR_LEN,
                                 seg.mbuf_count().max(1),
@@ -671,9 +677,7 @@ impl Kernel {
         self.stats.ipq_enqueued += 1;
         let cluster = chain.iter().any(mbuf::Mbuf::is_cluster);
         self.ipq.push_back((chain, now));
-        self.ipq_ready_at = self
-            .ipq_ready_at
-            .max(now + SimTime::from_us_f64(self.costs.softintr_dispatch_us));
+        self.ipq_ready_at = self.ipq_ready_at.max(now + self.tables.softintr_dispatch);
         if self.softintr_pending {
             return None;
         }
@@ -693,9 +697,7 @@ impl Kernel {
         for (_, enq) in &mut self.ipq {
             *enq = (*enq).max(t);
         }
-        self.ipq_ready_at = self
-            .ipq_ready_at
-            .max(t + SimTime::from_us_f64(self.costs.softintr_dispatch_us));
+        self.ipq_ready_at = self.ipq_ready_at.max(t + self.tables.softintr_dispatch);
     }
 
     /// The software interrupt: drains the IP input queue.
@@ -871,7 +873,7 @@ impl Kernel {
         if self.conns[sock].tcb.state != crate::tcb::TcpState::Established
             || hdr.flags & crate::hdr::flags::FIN != 0
         {
-            let seg_cost = SimTime::from_us_f64(self.costs.tcp_in_slow.fixed_us);
+            let seg_cost = self.tables.tcp_in_slow_fixed;
             self.spans
                 .span(SpanKind::RxTcpSegment, cursor, cursor + seg_cost);
             cursor += seg_cost;
@@ -953,13 +955,13 @@ impl Kernel {
         // latency (Table 3 Wakeup row). The span is recorded by the
         // caller of syscall_read via the wakeup time we report.
         if woke_reader {
-            let run_at = cursor + SimTime::from_us_f64(self.costs.wakeup_us);
+            let run_at = cursor + self.tables.wakeup;
             self.spans.span(SpanKind::RxWakeup, cursor, run_at);
             self.conns[sock].sock.proc_state = crate::socket::ProcState::Running;
             out.wakeups.push((sock, run_at));
         }
         if woke_writer {
-            let run_at = cursor + SimTime::from_us_f64(self.costs.wakeup_us);
+            let run_at = cursor + self.tables.wakeup;
             self.conns[sock].sock.proc_state = crate::socket::ProcState::Running;
             out.writer_wakeups.push((sock, run_at));
         }
@@ -989,9 +991,9 @@ impl Kernel {
                 let hdr_sum = cksum::optimized_cksum(&hdr40);
                 let payload_sum = whole_sum.sub(hdr_sum);
                 let ok = hdr.tcp_checksum_ok(payload_sum);
-                let cost = self
-                    .costs
-                    .kernel_cksum(which, bytes, chain.mbuf_count().max(1));
+                let cost =
+                    self.tables
+                        .kernel_cksum(&self.costs, which, bytes, chain.mbuf_count().max(1));
                 (ok, cost)
             }
             ChecksumMode::Integrated => {
@@ -1007,7 +1009,9 @@ impl Kernel {
                         let hdr_sum = cksum::optimized_cksum(&hdr40);
                         let payload_sum = whole_sum.sub(hdr_sum);
                         let ok = hdr.tcp_checksum_ok(payload_sum);
-                        let cost = self.costs.partial_combine.eval(0, chain.mbuf_count());
+                        let cost = self
+                            .tables
+                            .partial_combine(&self.costs, 0, chain.mbuf_count());
                         (ok, cost)
                     }
                     None => {
@@ -1016,7 +1020,8 @@ impl Kernel {
                         let _ = chain.copy_out(0, &mut hdr40);
                         let payload_sum = whole_sum.sub(cksum::optimized_cksum(&hdr40));
                         let ok = hdr.tcp_checksum_ok(payload_sum);
-                        let cost = self.costs.kernel_cksum(
+                        let cost = self.tables.kernel_cksum(
+                            &self.costs,
                             decstation::ChecksumImpl::Optimized,
                             bytes,
                             chain.mbuf_count().max(1),
@@ -1074,7 +1079,7 @@ impl Kernel {
         let mbufs = conn.sock.rcv.chain.mbuf_count();
         let _ = conn.sock.rcv.chain.copy_out(0, &mut data);
         let _ = conn.sock.rcv.drop_front(take);
-        let cost = self.costs.user_rx.eval(take, mbufs);
+        let cost = self.tables.user_rx(&self.costs, take, mbufs);
         self.spans.span(SpanKind::RxUser, cursor, cursor + cost);
         cursor += cost;
 
@@ -1261,7 +1266,7 @@ impl Kernel {
         conn.tcb.rexmt_deadline = Some(cursor + rto);
         let mut seg = Chain::new();
         let _ = seg.prepend_header(&self.pool, &hdr.encode());
-        let seg_cost = SimTime::from_us_f64(self.costs.tcp_out_segment_us);
+        let seg_cost = self.tables.tcp_out_segment;
         self.spans
             .span(SpanKind::TxTcpSegment, cursor, cursor + seg_cost);
         cursor += seg_cost;
@@ -1269,7 +1274,7 @@ impl Kernel {
             self.taps
                 .record(simcap::TapPoint::TcpSend, cursor, seg.to_vec());
         }
-        let ip_cost = SimTime::from_us_f64(self.costs.ip_out_us);
+        let ip_cost = self.tables.ip_out;
         self.spans.span(SpanKind::TxIp, cursor, cursor + ip_cost);
         cursor += ip_cost;
         drv.transmit(cursor, &seg, &mut self.spans)
@@ -1368,7 +1373,7 @@ impl Kernel {
         conn.tcb.so_error = Some(ConnError::TimedOut);
         if conn.sock.proc_state != crate::socket::ProcState::Running {
             conn.sock.proc_state = crate::socket::ProcState::Running;
-            let run_at = now + SimTime::from_us_f64(self.costs.wakeup_us);
+            let run_at = now + self.tables.wakeup;
             self.timer_wakeups.push((sock, run_at));
         }
     }
@@ -1465,7 +1470,8 @@ impl Kernel {
         if s.checksum {
             let (sum, bytes) = chain.checksum_walk();
             hdr.udp_cksum = hdr.udp_checksum_with(sum);
-            let cost = self.costs.kernel_cksum(
+            let cost = self.tables.kernel_cksum(
+                &self.costs,
                 decstation::ChecksumImpl::Bsd,
                 bytes + crate::udp::UDPIP_HDR_LEN,
                 chain.mbuf_count().max(1),
@@ -1474,7 +1480,7 @@ impl Kernel {
                 .span(SpanKind::TxTcpChecksum, cursor, cursor + cost);
             cursor += cost;
         }
-        let udp_cost = SimTime::from_us_f64(self.costs.udp_out_us);
+        let udp_cost = self.tables.udp_out;
         self.spans
             .span(SpanKind::TxTcpSegment, cursor, cursor + udp_cost);
         cursor += udp_cost;
@@ -1483,7 +1489,7 @@ impl Kernel {
             self.taps
                 .record(simcap::TapPoint::TcpSend, cursor, chain.to_vec());
         }
-        let ip_cost = SimTime::from_us_f64(self.costs.ip_out_us);
+        let ip_cost = self.tables.ip_out;
         self.spans.span(SpanKind::TxIp, cursor, cursor + ip_cost);
         cursor += ip_cost;
         cursor = drv.transmit(cursor, &chain, &mut self.spans);
@@ -1512,9 +1518,8 @@ impl Kernel {
             };
         };
         let cost = self
-            .costs
-            .user_rx
-            .eval(data.len(), 1 + data.len() / mbuf::MCLBYTES);
+            .tables
+            .user_rx(&self.costs, data.len(), 1 + data.len() / mbuf::MCLBYTES);
         self.spans.span(SpanKind::RxUser, cursor, cursor + cost);
         cursor += cost;
         if self.taps.wants(simcap::TapPoint::SockRecv) {
@@ -1560,7 +1565,8 @@ impl Kernel {
         let _ = chain.copy_out(crate::udp::UDPIP_HDR_LEN, &mut payload);
         if hdr.udp_cksum != 0 {
             let sum = cksum::optimized_cksum(&payload);
-            let cost = self.costs.kernel_cksum(
+            let cost = self.tables.kernel_cksum(
+                &self.costs,
                 decstation::ChecksumImpl::Bsd,
                 payload.len() + crate::udp::UDPIP_HDR_LEN,
                 chain.mbuf_count().max(1),
@@ -1573,7 +1579,7 @@ impl Kernel {
                 return cursor;
             }
         }
-        let udp_cost = SimTime::from_us_f64(self.costs.udp_in_us);
+        let udp_cost = self.tables.udp_in;
         self.spans
             .span(SpanKind::RxTcpSegment, cursor, cursor + udp_cost);
         cursor += udp_cost;
@@ -1581,7 +1587,7 @@ impl Kernel {
         s.rcvq.push_back((hdr.src, hdr.sport, payload));
         if s.reader_blocked {
             s.reader_blocked = false;
-            let run_at = cursor + SimTime::from_us_f64(self.costs.wakeup_us);
+            let run_at = cursor + self.tables.wakeup;
             self.spans.span(SpanKind::RxWakeup, cursor, run_at);
             out.wakeups.push((sock, run_at));
         }
@@ -1598,7 +1604,8 @@ impl Kernel {
         let wire = chain.to_vec();
         // SYN checksums are always verified (the negotiation cannot
         // assume its own outcome).
-        let ck_cost = self.costs.kernel_cksum(
+        let ck_cost = self.tables.kernel_cksum(
+            &self.costs,
             decstation::ChecksumImpl::Bsd,
             wire.len(),
             chain.mbuf_count().max(1),
@@ -1626,7 +1633,7 @@ impl Kernel {
         ));
         let we_want_no_cksum = matches!(self.cfg.checksum, ChecksumMode::None);
 
-        let seg_cost = SimTime::from_us_f64(self.costs.tcp_in_slow.fixed_us);
+        let seg_cost = self.tables.tcp_in_slow_fixed;
         self.spans
             .span(SpanKind::RxTcpSegment, cursor, cursor + seg_cost);
         cursor += seg_cost;
@@ -1724,7 +1731,7 @@ impl Kernel {
         hdr.tcp_cksum = hdr.tcp_checksum_with(cksum::Sum16::ZERO);
         let mut seg = Chain::new();
         let _ = seg.prepend_header(&self.pool, &hdr.encode());
-        let seg_cost = SimTime::from_us_f64(self.costs.tcp_out_segment_us);
+        let seg_cost = self.tables.tcp_out_segment;
         self.spans
             .span(SpanKind::TxTcpSegment, cursor, cursor + seg_cost);
         cursor += seg_cost;
@@ -1732,7 +1739,7 @@ impl Kernel {
             self.taps
                 .record(simcap::TapPoint::TcpSend, cursor, seg.to_vec());
         }
-        let ip_cost = SimTime::from_us_f64(self.costs.ip_out_us);
+        let ip_cost = self.tables.ip_out;
         self.spans.span(SpanKind::TxIp, cursor, cursor + ip_cost);
         cursor += ip_cost;
         drv.transmit(cursor, &seg, &mut self.spans)

@@ -19,7 +19,7 @@ use tcp_atm_latency::{Experiment, NetKind};
 fn analyze(size: usize, out_dir: Option<&str>) {
     let mut e = Experiment::rpc(NetKind::Atm, size);
     e.iterations = 200;
-    let run: CaptureRun = e.run_captured(1);
+    let run: CaptureRun = e.plan().seed(1).captured().execute();
 
     println!(
         "== {size}-byte RPC over ATM ({} iterations) ==",

@@ -18,9 +18,19 @@ fn main() {
             e.iterations = 300;
             e
         };
-        let base = mk().run(1).mean_rtt_us();
-        let integ = mk().with_integrated_checksum().run(1).mean_rtt_us();
-        let none = mk().without_checksum().run(1).mean_rtt_us();
+        let base = mk().plan().seed(1).execute().mean_rtt_us();
+        let integ = mk()
+            .with_integrated_checksum()
+            .plan()
+            .seed(1)
+            .execute()
+            .mean_rtt_us();
+        let none = mk()
+            .without_checksum()
+            .plan()
+            .seed(1)
+            .execute()
+            .mean_rtt_us();
         println!(
             "{size:>6} | {base:>9.0} {integ:>10.0} {:>8.1} | {none:>9.0} {:>8.1}",
             (1.0 - integ / base) * 100.0,

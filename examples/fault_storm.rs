@@ -32,13 +32,16 @@ fn main() {
     let mut verify_failures = 0u64;
     for &size in &[1400usize, 8000] {
         let clean_sc = recovery::scenario("clean").expect("clean scenario");
-        let clean = recovery::experiment(&clean_sc, size, 120).run(7);
+        let clean = recovery::experiment(&clean_sc, size, 120)
+            .plan()
+            .seed(7)
+            .execute();
         let clean_mean = clean.mean_rtt_us();
 
         let mut e = Experiment::rpc(NetKind::Atm, size).with_faults(storm);
         e.iterations = 120;
         e.warmup = 16;
-        let r = e.run(7);
+        let r = e.plan().seed(7).execute();
 
         assert_eq!(
             r.mbufs_leaked,

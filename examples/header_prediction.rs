@@ -16,7 +16,7 @@ fn main() {
     // RPC: prediction is nearly useless (§3).
     let mut rpc = Experiment::rpc(NetKind::Atm, 200);
     rpc.iterations = 500;
-    let r = rpc.run(1);
+    let r = rpc.plan().seed(1).execute();
     let rpc_hits = r.client_tcp.predict_data_hits + r.client_tcp.predict_ack_hits;
     println!("RPC ping-pong, 200 B x {} iterations:", r.rtts.len());
     println!(
@@ -28,7 +28,7 @@ fn main() {
     // Bulk: the receiver predicts almost every data segment, the
     // sender almost every ACK.
     let bulk = Experiment::bulk(NetKind::Atm, 4000, 300);
-    let b = bulk.run(1);
+    let b = bulk.plan().seed(1).execute();
     let recv_rate =
         100.0 * b.server_tcp.predict_data_hits as f64 / b.server_tcp.predict_checks.max(1) as f64;
     let send_rate =
@@ -55,8 +55,13 @@ fn main() {
             e.iterations = 300;
             e
         };
-        let with = mk().run(1).mean_rtt_us();
-        let without = mk().without_prediction().run(1).mean_rtt_us();
+        let with = mk().plan().seed(1).execute().mean_rtt_us();
+        let without = mk()
+            .without_prediction()
+            .plan()
+            .seed(1)
+            .execute()
+            .mean_rtt_us();
         println!(
             "{size:>6} | {with:>10.0} {without:>12.0} {:>6.1}",
             (1.0 - with / without) * 100.0

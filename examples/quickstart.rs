@@ -22,7 +22,7 @@ fn main() {
         "Running {} iterations of a {size}-byte RPC echo over ATM...\n",
         exp.iterations
     );
-    let run = exp.run(1);
+    let run = exp.plan().seed(1).execute();
 
     println!(
         "round-trip time : {:.0} us (stddev {:.1})",

@@ -18,10 +18,10 @@ fn main() {
     for &size in &paper::SIZES {
         let mut a = Experiment::rpc(NetKind::Atm, size);
         a.iterations = iterations;
-        atm.push(a.run(1).mean_rtt_us());
+        atm.push(a.plan().seed(1).execute().mean_rtt_us());
         let mut e = Experiment::rpc(NetKind::Ether, size);
         e.iterations = iterations.min(200);
-        eth.push(e.run(1).mean_rtt_us());
+        eth.push(e.plan().seed(1).execute().mean_rtt_us());
         eprintln!("  measured {size} bytes...");
     }
 

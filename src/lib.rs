@@ -31,12 +31,12 @@
 //! ## Quickstart
 //!
 //! ```
-//! use tcp_atm_latency::{Experiment, NetKind};
+//! use tcp_atm_latency::prelude::*;
 //!
 //! // The paper's benchmark: an RPC echo ping-pong over ATM.
 //! let mut exp = Experiment::rpc(NetKind::Atm, 200);
 //! exp.iterations = 100;
-//! let run = exp.run(1);
+//! let run = exp.plan().seed(1).execute();
 //! println!("200-byte RTT: {:.0} us", run.mean_rtt_us());
 //! assert_eq!(run.verify_failures, 0);
 //! ```
@@ -59,7 +59,8 @@ pub use simkit;
 pub use sweep;
 pub use tcpip;
 
-pub use latency_core::capture::{CaptureRun, HostCapture};
-pub use latency_core::experiment::{Experiment, NetKind, RunResult, Workload};
+pub use latency_core::capture::{CapturePlan, CaptureRun, HostCapture};
+pub use latency_core::experiment::{Experiment, NetKind, RunPlan, RunResult, Workload};
+pub use latency_core::prelude;
 pub use latency_core::{ablation, breakdown, capture, churn, faults, micro, paper, tables};
 pub use tcpip::{ChecksumMode, StackConfig};

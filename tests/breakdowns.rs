@@ -17,7 +17,7 @@ fn breakdown_at(
     let mut e = Experiment::rpc(NetKind::Atm, size);
     e.iterations = 100;
     e.warmup = 8;
-    let r = e.run(1);
+    let r = e.plan().seed(1).execute();
     assert!(r.breakdown_iters > 0);
     (r.tx, r.rx)
 }

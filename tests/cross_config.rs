@@ -31,7 +31,7 @@ proptest! {
             1 => ChecksumMode::Integrated,
             _ => ChecksumMode::None,
         };
-        let r = e.run(seed);
+        let r = e.plan().seed(seed).execute();
         prop_assert_eq!(r.verify_failures, 0, "payloads intact");
         prop_assert_eq!(r.rtts.len(), 12);
         // RTT sanity: above the wire floor, below a loose ceiling.
@@ -39,7 +39,7 @@ proptest! {
         prop_assert!(rtt > 100.0, "rtt {rtt}");
         prop_assert!(rtt < 60_000.0, "rtt {rtt}");
         // Determinism: the same seed reproduces exactly.
-        let r2 = e.run(seed);
+        let r2 = e.plan().seed(seed).execute();
         prop_assert_eq!(r.rtts, r2.rtts);
     }
 
@@ -57,8 +57,8 @@ proptest! {
         clean.warmup = 2;
         let mut lossy = clean.clone();
         lossy.cell_loss = loss;
-        let rc = clean.run(seed);
-        let rl = lossy.run(seed);
+        let rc = clean.plan().seed(seed).execute();
+        let rl = lossy.plan().seed(seed).execute();
         prop_assert_eq!(rl.verify_failures, 0);
         prop_assert_eq!(rl.rtts.len(), 15, "all iterations completed");
         prop_assert!(
@@ -78,8 +78,8 @@ proptest! {
         let mut base = Experiment::rpc(NetKind::Atm, size);
         base.iterations = 20;
         let none = base.clone().without_checksum();
-        let rb = base.run(1).mean_rtt_us();
-        let rn = none.run(1).mean_rtt_us();
+        let rb = base.plan().seed(1).execute().mean_rtt_us();
+        let rn = none.plan().seed(1).execute().mean_rtt_us();
         prop_assert!(rn <= rb + 1.0, "removing work cannot add latency");
     }
 }

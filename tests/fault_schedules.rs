@@ -78,7 +78,7 @@ proptest! {
             e.warmup = 2;
             e
         };
-        let r = build().run(u64::from(seed));
+        let r = build().plan().seed(u64::from(seed)).execute();
         prop_assert_eq!(r.verify_failures, 0, "faults cost time, never integrity");
         prop_assert!(
             r.aborted || r.rtts.len() == 10,
@@ -88,7 +88,7 @@ proptest! {
         );
         prop_assert_eq!(r.mbufs_leaked, (0, 0), "every fault path returns its mbufs");
         // Determinism: identical schedule + seed, identical universe.
-        let again = build().run(u64::from(seed));
+        let again = build().plan().seed(u64::from(seed)).execute();
         prop_assert_eq!(&r.rtts, &again.rtts);
         prop_assert_eq!(r.events, again.events);
         prop_assert_eq!(r.enobufs, again.enobufs);

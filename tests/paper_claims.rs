@@ -19,8 +19,16 @@ fn rpc(net: NetKind, size: usize, iters: u64) -> Experiment {
 #[test]
 fn t1_atm_halves_small_message_latency() {
     for size in [4usize, 200] {
-        let atm = rpc(NetKind::Atm, size, 100).run(1).mean_rtt_us();
-        let eth = rpc(NetKind::Ether, size, 100).run(1).mean_rtt_us();
+        let atm = rpc(NetKind::Atm, size, 100)
+            .plan()
+            .seed(1)
+            .execute()
+            .mean_rtt_us();
+        let eth = rpc(NetKind::Ether, size, 100)
+            .plan()
+            .seed(1)
+            .execute()
+            .mean_rtt_us();
         let dec = (1.0 - atm / eth) * 100.0;
         assert!(
             (35.0..65.0).contains(&dec),
@@ -34,7 +42,11 @@ fn t1_atm_halves_small_message_latency() {
 #[test]
 fn t1_atm_rtts_track_paper() {
     for (i, &size) in paper::SIZES.iter().enumerate() {
-        let got = rpc(NetKind::Atm, size, 120).run(1).mean_rtt_us();
+        let got = rpc(NetKind::Atm, size, 120)
+            .plan()
+            .seed(1)
+            .execute()
+            .mean_rtt_us();
         let want = paper::T1_ATM_RTT[i];
         let err = ((got - want) / want).abs();
         assert!(
@@ -49,7 +61,11 @@ fn t1_atm_rtts_track_paper() {
 #[test]
 fn t1_ethernet_rtts_track_paper() {
     for (i, &size) in paper::SIZES.iter().enumerate() {
-        let got = rpc(NetKind::Ether, size, 60).run(1).mean_rtt_us();
+        let got = rpc(NetKind::Ether, size, 60)
+            .plan()
+            .seed(1)
+            .execute()
+            .mean_rtt_us();
         let want = paper::T1_ETHERNET_RTT[i];
         let err = ((got - want) / want).abs();
         assert!(
@@ -64,7 +80,7 @@ fn t1_ethernet_rtts_track_paper() {
 /// dominate latency for transfers larger than 200 bytes".
 #[test]
 fn s23_data_touching_dominates_large_transfers() {
-    let r = rpc(NetKind::Atm, 4000, 60).run(1);
+    let r = rpc(NetKind::Atm, 4000, 60).plan().seed(1).execute();
     let data_touching = r.tx.user + r.tx.cksum + r.rx.cksum + r.rx.user + r.rx.driver + r.tx.driver;
     let total = r.tx.total() + r.rx.total();
     assert!(
@@ -72,7 +88,7 @@ fn s23_data_touching_dominates_large_transfers() {
         "data touching {data_touching:.0} of {total:.0}"
     );
     // And NOT for tiny transfers.
-    let r4 = rpc(NetKind::Atm, 4, 60).run(1);
+    let r4 = rpc(NetKind::Atm, 4, 60).plan().seed(1).execute();
     let dt4 = r4.tx.user + r4.tx.cksum + r4.rx.cksum + r4.rx.user + r4.rx.driver + r4.tx.driver;
     let t4 = r4.tx.total() + r4.rx.total();
     assert!(
@@ -85,7 +101,7 @@ fn s23_data_touching_dominates_large_transfers() {
 /// 4-byte round trip.
 #[test]
 fn s224_scheduling_share_of_small_rtt() {
-    let r = rpc(NetKind::Atm, 4, 120).run(1);
+    let r = rpc(NetKind::Atm, 4, 120).plan().seed(1).execute();
     let sched = r.rx.ipq + r.rx.wakeup;
     assert!((55.0..85.0).contains(&sched), "IPQ+Wakeup = {sched:.1}");
     let share = 2.0 * sched / r.mean_rtt_us();
@@ -98,8 +114,8 @@ fn s224_scheduling_share_of_small_rtt() {
 #[test]
 fn s3_prediction_useless_for_rpc() {
     let base = rpc(NetKind::Atm, 200, 150);
-    let with = base.run(1);
-    let without = base.clone().without_prediction().run(1);
+    let with = base.plan().seed(1).execute();
+    let without = base.clone().without_prediction().plan().seed(1).execute();
     // Steady-state RPC: no data fast-path hits at the client.
     assert_eq!(with.client_tcp.predict_data_hits, 0);
     // Disabling prediction costs only a few percent.
@@ -111,7 +127,10 @@ fn s3_prediction_useless_for_rpc() {
 /// always — receiver on data, sender on ACKs.
 #[test]
 fn s3_prediction_works_for_bulk() {
-    let b = Experiment::bulk(NetKind::Atm, 4000, 200).run(1);
+    let b = Experiment::bulk(NetKind::Atm, 4000, 200)
+        .plan()
+        .seed(1)
+        .execute();
     let recv_rate =
         b.server_tcp.predict_data_hits as f64 / b.server_tcp.predict_checks.max(1) as f64;
     assert!(recv_rate > 0.8, "receiver fast-path rate {recv_rate:.2}");
@@ -127,7 +146,7 @@ fn s3_prediction_works_for_bulk() {
 /// disabling prediction hurts the 8 KB case more than the small ones.
 #[test]
 fn s3_8kb_case_uses_fast_path_for_second_segment() {
-    let with = rpc(NetKind::Atm, 8000, 100).run(1);
+    let with = rpc(NetKind::Atm, 8000, 100).plan().seed(1).execute();
     assert!(
         with.client_tcp.predict_data_hits > 0,
         "second response segment is predicted: {:?}",
@@ -144,10 +163,16 @@ fn s3_8kb_case_uses_fast_path_for_second_segment() {
 #[test]
 fn t6_integrated_checksum_breakeven() {
     let at = |size| {
-        let base = rpc(NetKind::Atm, size, 100).run(1).mean_rtt_us();
+        let base = rpc(NetKind::Atm, size, 100)
+            .plan()
+            .seed(1)
+            .execute()
+            .mean_rtt_us();
         let integ = rpc(NetKind::Atm, size, 100)
             .with_integrated_checksum()
-            .run(1)
+            .plan()
+            .seed(1)
+            .execute()
             .mean_rtt_us();
         (base, integ)
     };
@@ -170,10 +195,16 @@ fn t6_integrated_checksum_breakeven() {
 #[test]
 fn t7_checksum_elimination_savings() {
     let at = |size| {
-        let base = rpc(NetKind::Atm, size, 100).run(1).mean_rtt_us();
+        let base = rpc(NetKind::Atm, size, 100)
+            .plan()
+            .seed(1)
+            .execute()
+            .mean_rtt_us();
         let none = rpc(NetKind::Atm, size, 100)
             .without_checksum()
-            .run(1)
+            .plan()
+            .seed(1)
+            .execute()
             .mean_rtt_us();
         (1.0 - none / base) * 100.0
     };
@@ -194,9 +225,9 @@ fn t7_checksum_elimination_savings() {
 #[test]
 fn methodology_repetitions_agree() {
     let e = rpc(NetKind::Atm, 500, 60);
-    let a = e.run(1).mean_rtt_us();
-    let b = e.run(2).mean_rtt_us();
-    let c = e.run(3).mean_rtt_us();
+    let a = e.plan().seed(1).execute().mean_rtt_us();
+    let b = e.plan().seed(2).execute().mean_rtt_us();
+    let c = e.plan().seed(3).execute().mean_rtt_us();
     let spread = (a.max(b).max(c) - a.min(b).min(c)) / a;
     assert!(spread < 0.01, "repetitions differ by {spread:.4}");
 }
@@ -206,11 +237,11 @@ fn methodology_repetitions_agree() {
 #[test]
 fn payload_integrity_everywhere() {
     for &size in &paper::SIZES {
-        let r = rpc(NetKind::Atm, size, 40).run(5);
+        let r = rpc(NetKind::Atm, size, 40).plan().seed(5).execute();
         assert_eq!(r.verify_failures, 0, "ATM size {size}");
     }
     for &size in &[4usize, 1400, 8000] {
-        let r = rpc(NetKind::Ether, size, 25).run(5);
+        let r = rpc(NetKind::Ether, size, 25).plan().seed(5).execute();
         assert_eq!(r.verify_failures, 0, "Ether size {size}");
     }
 }
