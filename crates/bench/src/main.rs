@@ -5,7 +5,7 @@
 //! ```sh
 //! repro [all|table1|table2|table3|table4|table5|table6|table7|pcb|mbuf|predict|errors]
 //!       [faults|churn|ablation|switch|ethernet-errors|trace]
-//!       [verify [--bless] [--dump-live] [--golden-dir DIR]] [invariants] [bench]
+//!       [dc] [verify [--bless] [--dump-live] [--golden-dir DIR]] [invariants] [bench]
 //!       [--iterations N] [--reps N] [--jobs N] [--seed N] [--json FILE]
 //!       [--sweep-json FILE] [--out-dir DIR] [--full] [--quick]
 //! ```
@@ -161,6 +161,9 @@ fn main() {
     }
     if opts.what.iter().any(|w| w == "bench") {
         std::process::exit(cmd_bench(&opts));
+    }
+    if opts.what.iter().any(|w| w == "dc") {
+        std::process::exit(cmd_dc(&opts));
     }
     let mut report = Report::new(opts.iterations, opts.reps);
     let all = opts.what.iter().any(|w| w == "all");
@@ -1092,6 +1095,68 @@ fn cmd_verify(opts: &Opts) -> i32 {
         }
         shrink_fault_drifts(&live, &drifts);
     }
+    // The datacenter world golden follows the same protocol; its grid
+    // comes from `crates/world` rather than `Sweep`, but the canonical
+    // JSON is byte-compatible so the parser and comparator are shared.
+    {
+        let path = format!("{}/dc_quick.json", q.golden_dir);
+        let golden = if q.bless {
+            None
+        } else {
+            let golden_text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!(
+                        "verify: cannot read {path}: {e}\n\
+                         verify: run `repro verify --bless` to create the goldens"
+                    );
+                    return 2;
+                }
+            };
+            match oracle::parse_report(&golden_text) {
+                Ok(g) => Some(g),
+                Err(e) => {
+                    eprintln!("verify: {path}: {e}");
+                    return 2;
+                }
+            }
+        };
+        let cells = world::dc_quick_grid();
+        eprintln!(
+            "verify: dc_quick: running {} cell(s) across {} worker(s)...",
+            cells.len(),
+            q.jobs
+        );
+        let results = world::run_dc_cells(&cells, q.jobs);
+        let live_json = world::canonical_json("dc_quick", &results);
+        if q.dump_live {
+            let p = out_path(opts, "dc_quick_live.json");
+            std::fs::write(&p, &live_json).expect("write live canonical json");
+            eprintln!("verify: live canonical grid written to {}", p.display());
+        }
+        if let Some(golden) = golden {
+            let live_rep = oracle::parse_report(&live_json).expect("live canonical json parses");
+            let drifts = oracle::compare_reports(&golden, &live_rep, GOLDEN_TOL_US);
+            summary.push(("dc_quick".to_string(), results.len(), drifts.len()));
+            if drifts.is_empty() {
+                eprintln!("verify: dc_quick: {} cell(s) match {path}", results.len());
+            } else {
+                code = 1;
+                eprintln!(
+                    "verify: dc_quick: {} drift(s) against {path}:",
+                    drifts.len()
+                );
+                for d in &drifts {
+                    eprintln!("  {d}");
+                }
+            }
+        } else {
+            std::fs::create_dir_all(&q.golden_dir).expect("create golden dir");
+            std::fs::write(&path, &live_json).expect("write golden file");
+            eprintln!("verify: blessed {} cell(s) into {path}", results.len());
+            summary.push(("dc_quick".to_string(), results.len(), 0));
+        }
+    }
     if code == 0 && !q.bless {
         eprintln!("verify: clean");
     }
@@ -1210,6 +1275,24 @@ fn cmd_invariants(opts: &Opts) -> i32 {
         )
     });
     let mut failures = 0usize;
+    // Oracle scope guard: the analytic model must refuse multi-host
+    // worlds with a typed error, never extrapolate the two-host fiber
+    // path to a shared switch.
+    match oracle::predict_dc(&world::Topology::incast(32, 16, 4)) {
+        Err(oracle::PredictError::MultiHostWorld { hosts }) => {
+            eprintln!(
+                "invariants: oracle scope guard: clean (refused the {hosts}-host world with a typed error)"
+            );
+        }
+        Err(e) => {
+            failures += 1;
+            eprintln!("invariants: oracle scope guard: wrong error: {e}");
+        }
+        Ok(_) => {
+            failures += 1;
+            eprintln!("invariants: oracle scope guard: a multi-host world was accepted");
+        }
+    }
     let mut rows: Vec<String> = Vec::new();
     for (name, rep) in reports {
         if let Some(msg) = &rep.capture_skipped {
@@ -1353,4 +1436,104 @@ fn cmd_bench(opts: &Opts) -> i32 {
         return 1;
     }
     0
+}
+
+// --------------------------------------------------------------------------
+// `repro dc` — the datacenter incast study (crates/world).
+// --------------------------------------------------------------------------
+
+/// `repro dc`: the switch-centered datacenter study. Sweeps client
+/// hosts x connections/host x PCB lookup strategy x incast fan-in,
+/// reporting per-cell RTT distributions next to the server-side PCB
+/// counters the paper's §3 cost model predicts. `--quick` runs the CI
+/// grid whose canonical JSON is blessed as `tests/golden/dc_quick.json`
+/// and gated by `repro verify`; `--sweep-json FILE` writes the same
+/// canonical report for either scale.
+fn cmd_dc(opts: &Opts) -> i32 {
+    let (name, cells) = if opts.quick {
+        ("dc_quick", world::dc_quick_grid())
+    } else {
+        ("dc", world::dc_grid())
+    };
+    eprintln!(
+        "dc: {} cell(s) across {} worker(s)...",
+        cells.len(),
+        opts.jobs
+    );
+    let results = world::run_dc_cells(&cells, opts.jobs);
+    let mut code = 0;
+    println!(
+        "{:<28} {:>7} {:>9} {:>9} {:>9} {:>7} {:>6} {:>6} {:>8}",
+        "cell", "samples", "mean_us", "p50_us", "p99_us", "search", "hit%", "drops", "backlog"
+    );
+    for r in &results {
+        let dist =
+            simcap::LatencyDist::from_samples(r.rtts.iter().map(|t| t.as_ns() as i64).collect());
+        println!(
+            "{:<28} {:>7} {:>9.1} {:>9.1} {:>9.1} {:>7.2} {:>6.1} {:>6} {:>8}",
+            r.key.trim_start_matches("dc/"),
+            r.rtts.len(),
+            dist.mean_us(),
+            dist.percentile_ns(50.0) as f64 / 1_000.0,
+            dist.p99_ns() as f64 / 1_000.0,
+            r.search_len(),
+            r.cache_hit_rate() * 100.0,
+            r.switch_drops,
+            r.max_backlog_cells
+        );
+        if r.rtts.is_empty() || r.verify_failures > 0 || r.aborted_conns > 0 {
+            code = 1;
+            eprintln!(
+                "dc: {}: FAILED ({} sample(s), {} verify failure(s), {} aborted connection(s))",
+                r.key,
+                r.rtts.len(),
+                r.verify_failures,
+                r.aborted_conns
+            );
+        }
+    }
+    // The §3 ordering, made visible: per (clients, conns, fan-in)
+    // group, the mean server-side search length under each strategy.
+    // The single-entry cache's list degrades as the PCB table grows;
+    // the hash table stays flat.
+    let groups: std::collections::BTreeSet<(usize, usize, usize)> = cells
+        .iter()
+        .map(|c| {
+            (
+                c.topo.clients,
+                c.topo.conns_per_host,
+                c.topo.effective_fanin(),
+            )
+        })
+        .collect();
+    println!("\nserver-side mean search length by strategy (PCB lookup, §3):");
+    println!(
+        "{:<20} {:>8} {:>8} {:>8}",
+        "clients x conns x fanin", "mtf", "cache", "hash"
+    );
+    for (h, c, f) in groups {
+        let of = |tag: &str| {
+            results
+                .iter()
+                .find(|r| {
+                    r.key == format!("dc/h{h}/c{c}/{tag}/f{f}/i{}r1", cells[0].topo.iterations)
+                })
+                .map_or(f64::NAN, world::DcCellResult::search_len)
+        };
+        println!(
+            "h{h:<4} c{c:<4} f{f:<6} {:>8.2} {:>8.2} {:>8.2}",
+            of("mtf"),
+            of("cache"),
+            of("hash")
+        );
+    }
+    if let Some(path) = &opts.sweep_json {
+        let p = out_path(opts, path);
+        std::fs::write(&p, world::canonical_json(name, &results)).expect("write dc sweep json");
+        eprintln!("dc canonical report written to {}", p.display());
+    }
+    if code == 0 {
+        eprintln!("dc: {} cell(s) clean", results.len());
+    }
+    code
 }

@@ -112,15 +112,6 @@ pub struct CaptureRun {
     pub client_spans: SpanRecorder,
 }
 
-impl Experiment {
-    /// One captured repetition with the given seed.
-    #[deprecated(note = "use `exp.plan().seed(seed).captured().execute()`")]
-    #[must_use]
-    pub fn run_captured(&self, seed: u64) -> CaptureRun {
-        self.plan().seed(seed).captured().execute()
-    }
-}
-
 impl<'a> crate::experiment::RunPlan<'a> {
     /// Arms every capture tap: the resulting [`CapturePlan`]'s
     /// [`execute`](CapturePlan::execute) returns a [`CaptureRun`] with

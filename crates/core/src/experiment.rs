@@ -224,21 +224,6 @@ impl Experiment {
         }
     }
 
-    /// Runs one repetition with the given seed.
-    #[deprecated(note = "use `exp.plan().seed(seed).execute()`")]
-    #[must_use]
-    pub fn run(&self, seed: u64) -> RunResult {
-        self.plan().seed(seed).execute()
-    }
-
-    /// Runs one repetition with an engine observer installed: `obs`
-    /// fires after every executed event with `(world, time, label)`.
-    #[deprecated(note = "use `exp.plan().seed(seed).observer(obs).execute()`")]
-    #[must_use]
-    pub fn run_observed(&self, seed: u64, obs: simkit::ObserverFn<World>) -> RunResult {
-        self.plan().seed(seed).observer(obs).execute()
-    }
-
     pub(crate) fn run_sim_with(
         &self,
         seed: u64,
@@ -292,32 +277,13 @@ impl Experiment {
         };
         (result, w)
     }
-
-    /// Runs `reps` repetitions (different seeds) and pools the RTT
-    /// samples, as the paper's averaging did.
-    #[deprecated(note = "use `exp.plan().reps(reps).execute()`")]
-    #[must_use]
-    pub fn run_reps(&self, reps: u64) -> RunResult {
-        self.plan().reps(reps).execute()
-    }
-
-    /// Repetition seeds derived from `base_seed`: repetition `r`
-    /// (1-based) runs with seed `base_seed + r`.
-    #[deprecated(note = "use `exp.plan().seed(base_seed.wrapping_add(1)).reps(reps).execute()`")]
-    #[must_use]
-    pub fn run_reps_seeded(&self, base_seed: u64, reps: u64) -> RunResult {
-        self.plan()
-            .seed(base_seed.wrapping_add(1))
-            .reps(reps)
-            .execute()
-    }
 }
 
 /// A declaratively configured execution of an [`Experiment`], built
 /// by [`Experiment::plan`].
 ///
-/// The plan subsumes the former `run` / `run_observed` / `run_reps` /
-/// `run_reps_seeded` / `run_captured` family behind one builder:
+/// The plan is the single way to run an experiment — seed,
+/// repetitions, observers and capture are all builder state:
 ///
 /// ```
 /// use latency_core::experiment::{Experiment, NetKind};
@@ -325,8 +291,8 @@ impl Experiment {
 /// let mut exp = Experiment::rpc(NetKind::Atm, 200);
 /// exp.iterations = 20;
 /// exp.warmup = 2;
-/// let one = exp.plan().seed(7).execute(); // formerly `run(7)`
-/// let avg = exp.plan().reps(3).execute(); // formerly `run_reps(3)`
+/// let one = exp.plan().seed(7).execute();
+/// let avg = exp.plan().reps(3).execute();
 /// assert_eq!(avg.rtts.len(), 3 * one.rtts.len());
 /// ```
 ///

@@ -26,5 +26,5 @@ pub mod shrink;
 
 pub use golden::{compare_reports, parse_report, Drift, GoldenReport};
 pub use invariants::{check_experiment, InvariantReport, InvariantSet, Violation};
-pub use model::{predict, PredictError, Prediction};
+pub use model::{predict, predict_dc, PredictError, Prediction};
 pub use shrink::shrink_schedule;

@@ -66,6 +66,14 @@ pub enum PredictError {
     /// The orbit failed to reach a steady state within the walked
     /// iterations.
     NoConvergence(String),
+    /// The world spans more hosts than the two point-to-point
+    /// DECstations the model walks: per-host CPU timelines interleave
+    /// through shared-switch queueing, which the closed-form orbit
+    /// cannot price.
+    MultiHostWorld {
+        /// Hosts in the offending world.
+        hosts: usize,
+    },
 }
 
 impl fmt::Display for PredictError {
@@ -73,6 +81,11 @@ impl fmt::Display for PredictError {
         match self {
             PredictError::Unsupported(s) => write!(f, "analytic model unsupported: {s}"),
             PredictError::NoConvergence(s) => write!(f, "analytic model did not converge: {s}"),
+            PredictError::MultiHostWorld { hosts } => write!(
+                f,
+                "analytic model covers exactly two hosts on a private fiber; \
+                 this world has {hosts} hosts behind a shared switch"
+            ),
         }
     }
 }
@@ -140,6 +153,31 @@ pub fn predict(exp: &Experiment) -> Result<Prediction, PredictError> {
         samples,
         iterations: w.completed,
     })
+}
+
+/// Scope guard for the datacenter world: the analytic orbit walks the
+/// two-host point-to-point timeline, so any [`world::Topology`] is
+/// out of scope — multi-host worlds because per-host CPU timelines
+/// couple through shared-switch queueing, and even a single
+/// client-server pair because its path crosses the switch (fabric
+/// latency + output-queue serialization) rather than the private
+/// fiber the model prices. The refusal is typed so callers can tell
+/// "out of scope" from "model bug".
+///
+/// # Errors
+///
+/// Always: [`PredictError::MultiHostWorld`] for more than two hosts,
+/// [`PredictError::Unsupported`] for a switched two-host world.
+pub fn predict_dc(topo: &world::Topology) -> Result<Prediction, PredictError> {
+    let hosts = topo.hosts();
+    if hosts > 2 {
+        return Err(PredictError::MultiHostWorld { hosts });
+    }
+    Err(PredictError::Unsupported(
+        "switched datacenter path (shared-switch queueing is outside the \
+         two-host fiber model)"
+            .to_string(),
+    ))
 }
 
 fn check_supported(exp: &Experiment) -> Result<(), PredictError> {
@@ -1349,13 +1387,15 @@ impl Walker {
     }
 
     fn pcb_lookup_us(&mut self, h: usize) -> f64 {
-        let use_cache = self.cfg.header_prediction;
+        let use_cache = self.cfg.pcb_use_cache();
         if use_cache && self.hosts[h].pcb_cache_ok {
             return self.costs.pcb_cache_check_us;
         }
         let us = match self.cfg.pcb_org {
             PcbOrg::Hash => self.costs.pcb_hash_probe_us,
-            PcbOrg::List => {
+            // Move-to-front is indistinguishable from the plain list
+            // here: the lone benchmark PCB is already at the head.
+            PcbOrg::List | PcbOrg::Mtf => {
                 // The benchmark PCB sits at the list head (inserted
                 // after the ambient PCBs, newest-first), so the scan
                 // touches one entry; a failed cache probe precedes
@@ -1419,6 +1459,26 @@ mod tests {
         let mut exp = Experiment::rpc(NetKind::Atm, 200);
         exp.workload = Workload::Bulk;
         assert!(matches!(predict(&exp), Err(PredictError::Unsupported(_))));
+    }
+
+    #[test]
+    fn datacenter_worlds_are_refused_with_a_typed_error() {
+        let big = world::Topology::incast(32, 16, 4);
+        match predict_dc(&big) {
+            Err(PredictError::MultiHostWorld { hosts }) => assert_eq!(hosts, 34),
+            other => panic!("expected MultiHostWorld, got {other:?}"),
+        }
+        // Even the degenerate one-client case crosses the switch, so
+        // the two-host fiber model still refuses — but as Unsupported,
+        // not MultiHostWorld.
+        let tiny = world::Topology::incast(1, 1, 1);
+        assert_eq!(tiny.hosts(), 2);
+        assert!(matches!(
+            predict_dc(&tiny),
+            Err(PredictError::Unsupported(_))
+        ));
+        let msg = predict_dc(&big).unwrap_err().to_string();
+        assert!(msg.contains("34 hosts"), "{msg}");
     }
 
     #[test]

@@ -20,8 +20,11 @@ use std::fmt::Write as _;
 
 use crate::SweepResults;
 
-/// Finite-number JSON rendering; NaN/inf become null (like serde_json).
-fn json_num(x: f64) -> String {
+/// Finite-number JSON rendering; NaN/inf become null (like
+/// serde_json). Public so sibling report emitters (the datacenter
+/// study) stay byte-compatible with this one.
+#[must_use]
+pub fn json_num(x: f64) -> String {
     if x.is_finite() {
         // Shortest representation that round-trips.
         let s = format!("{x}");
@@ -35,7 +38,9 @@ fn json_num(x: f64) -> String {
     }
 }
 
-fn json_string(s: &str) -> String {
+/// Minimal JSON string escaping, shared with sibling emitters.
+#[must_use]
+pub fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -32,6 +32,9 @@ impl ChecksumMode {
 pub enum PcbOrg {
     /// BSD's linked list with most-recent-creation at the head.
     List,
+    /// The move-to-front variant of the list: a successful lookup
+    /// splices the PCB to the head, keeping active connections cheap.
+    Mtf,
     /// The hash table the paper suggests "could eliminate the lookup
     /// problem entirely".
     Hash,
@@ -47,6 +50,12 @@ pub struct StackConfig {
     pub header_prediction: bool,
     /// PCB organization.
     pub pcb_org: PcbOrg,
+    /// Overrides whether the single-entry PCB cache is consulted.
+    /// `None` (the default, and the paper's coupling) follows
+    /// `header_prediction`; `Some(_)` decouples the two so the
+    /// datacenter study can exercise the last-PCB-cache strategy
+    /// independently of the header-prediction fast path.
+    pub pcb_cache_override: Option<bool>,
     /// Number of ambient PCBs ahead of the benchmark connection in
     /// the list (standard daemons; §3 found "less than 50" on
     /// workstations). They cost lookup time on a cache miss.
@@ -80,6 +89,7 @@ impl Default for StackConfig {
             checksum: ChecksumMode::Standard(ChecksumImpl::Bsd),
             header_prediction: true,
             pcb_org: PcbOrg::List,
+            pcb_cache_override: None,
             ambient_pcbs: 12,
             nodelay: true,
             mss_one_cluster: true,
@@ -89,6 +99,15 @@ impl Default for StackConfig {
             rto_min_us: 500_000,
             max_rexmt_shift: 12,
         }
+    }
+}
+
+impl StackConfig {
+    /// Whether the single-entry PCB cache is consulted: the override
+    /// when set, otherwise coupled to header prediction as in §3.
+    #[must_use]
+    pub fn pcb_use_cache(&self) -> bool {
+        self.pcb_cache_override.unwrap_or(self.header_prediction)
     }
 }
 

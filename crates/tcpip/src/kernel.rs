@@ -220,7 +220,7 @@ impl Kernel {
     /// Creates a kernel with the given configuration and cost model.
     #[must_use]
     pub fn new(cfg: StackConfig, costs: CostModel) -> Self {
-        let pcbs = PcbTable::new(cfg.pcb_org, cfg.header_prediction);
+        let pcbs = PcbTable::new(cfg.pcb_org, cfg.pcb_use_cache());
         let tables = CostTables::new(&costs);
         let mut k = Kernel {
             cfg,
@@ -834,7 +834,7 @@ impl Kernel {
             let mut us = self.costs.pcb_lookup_call_us
                 + self.costs.pcb_lookup_base_us
                 + self.costs.pcb_lookup_per_entry_us * receipt.search_len as f64;
-            if self.cfg.header_prediction {
+            if self.pcbs.use_cache {
                 us += self.costs.pcb_cache_check_us; // The failed cache probe.
             }
             us

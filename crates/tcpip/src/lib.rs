@@ -49,7 +49,7 @@ pub use kernel::{
     CaptureDriver, Kernel, KernelStats, RxOutcome, RxSyscallOutcome, SockId, TxDriver, TxEmission,
     TxOutcome,
 };
-pub use pcb::{PcbKey, PcbTable};
+pub use pcb::{PcbCounters, PcbKey, PcbLookup, PcbTable};
 pub use seq::{seq_ge, seq_gt, seq_le, seq_lt};
 pub use span::{Mark, SpanKind, SpanRecorder};
 pub use tcb::{Tcb, TcpState};

@@ -1,0 +1,114 @@
+//! Property test: the three §3 PCB lookup strategies are different
+//! *cost models* over one *semantic* — for any interleaving of opens
+//! (insert), closes (remove), and lookups, all three resolve every
+//! lookup to the same PCB id. Only the counters (traversal lengths,
+//! cache hits, hash probes) may differ.
+
+use proptest::prelude::*;
+use tcpip::config::PcbOrg;
+use tcpip::{PcbKey, PcbTable};
+
+/// A small key universe so the generated interleavings actually
+/// collide: repeated opens/closes of the same endpoints, lookups of
+/// live, dead, and never-opened keys.
+fn key(idx: u8) -> PcbKey {
+    PcbKey {
+        laddr: [10, 1, 0, idx & 3],
+        lport: 1024 + u16::from(idx >> 4),
+        faddr: [10, 1, 0, 40 + (idx & 1)],
+        fport: 4242 + u16::from(idx & 7),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary interleaved open/close/lookup sequences resolve
+    /// identically under the BSD list, the move-to-front list, and
+    /// the hash table — with and without the single-entry cache.
+    #[test]
+    fn strategies_resolve_identically(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..200),
+        use_cache in any::<bool>(),
+    ) {
+        let mut tables: Vec<PcbTable> = [PcbOrg::List, PcbOrg::Mtf, PcbOrg::Hash]
+            .into_iter()
+            .map(|org| PcbTable::new(org, use_cache))
+            .collect();
+        for (op, k) in ops {
+            let k = key(k);
+            match op % 3 {
+                0 => {
+                    // Open: skip if the key is live (the kernel never
+                    // opens a duplicate five-tuple). The liveness
+                    // probe mutates only table 0's MTF/cache state,
+                    // which is fine — resolution is a pure function
+                    // of the live key set, never of access order.
+                    if tables[0].lookup(&k).id.is_none() {
+                        let ids: Vec<usize> =
+                            tables.iter_mut().map(|t| t.insert(k)).collect();
+                        prop_assert_eq!(ids[0], ids[1]);
+                        prop_assert_eq!(ids[0], ids[2]);
+                    }
+                }
+                1 => {
+                    let removed: Vec<Option<usize>> =
+                        tables.iter_mut().map(|t| t.remove(&k)).collect();
+                    prop_assert_eq!(removed[0], removed[1]);
+                    prop_assert_eq!(removed[0], removed[2]);
+                }
+                _ => {
+                    let ids: Vec<Option<usize>> =
+                        tables.iter_mut().map(|t| t.lookup(&k).id).collect();
+                    prop_assert_eq!(ids[0], ids[1], "list vs mtf");
+                    prop_assert_eq!(ids[0], ids[2], "list vs hash");
+                }
+            }
+            let lens: Vec<usize> = tables.iter().map(PcbTable::len).collect();
+            prop_assert_eq!(lens[0], lens[1]);
+            prop_assert_eq!(lens[0], lens[2]);
+        }
+    }
+
+    /// Wildcard (listener) resolution agrees across strategies too:
+    /// whatever mix of specific and wildcard PCBs is live, all three
+    /// organizations pick the same listener for an address/port.
+    #[test]
+    fn wildcard_resolution_agrees(
+        listeners in proptest::collection::vec(any::<u8>(), 0..8),
+        specifics in proptest::collection::vec(any::<u8>(), 0..8),
+        probes in proptest::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let mut tables: Vec<PcbTable> = [PcbOrg::List, PcbOrg::Mtf, PcbOrg::Hash]
+            .into_iter()
+            .map(|org| PcbTable::new(org, true))
+            .collect();
+        for &l in &listeners {
+            let k = PcbKey {
+                laddr: [10, 1, 0, l & 3],
+                lport: 1024 + u16::from(l >> 5),
+                faddr: [0, 0, 0, 0],
+                fport: 0,
+            };
+            for t in &mut tables {
+                t.insert(k);
+            }
+        }
+        for &s in &specifics {
+            let k = key(s);
+            for t in &mut tables {
+                t.insert(k);
+            }
+        }
+        for &p in &probes {
+            let laddr = [10, 1, 0, p & 3];
+            let lport = 1024 + u16::from(p >> 5);
+            let got: Vec<Option<usize>> = tables
+                .iter()
+                .map(|t| t.lookup_wildcard(laddr, lport))
+                .collect();
+            prop_assert_eq!(got[0], got[1], "list vs mtf");
+            prop_assert_eq!(got[0], got[2], "list vs hash");
+        }
+    }
+}

@@ -1,0 +1,755 @@
+//! The N-host datacenter world: many hosts, one shared cell switch.
+//!
+//! [`DcWorld`] generalizes the two-host world of `latency-core` to an
+//! arbitrary [`Topology`]: every host runs its own `tcpip` kernel with
+//! its own CPU timeline and its own TCA-100 uplink, and all traffic
+//! crosses one shared output-queued [`AtmSwitch`], so incast fan-in
+//! actually queues (and, past the port queue capacity, tail-drops into
+//! TCP's loss recovery). The event loop is the same four-event cycle —
+//! connection step, datagram arrival, software interrupt, TCP timer —
+//! with the host index packed into the raw event payload.
+//!
+//! Determinism: the world is a pure function of
+//! `(Topology, TrafficSchedule, seed)`. Per-host randomness derives
+//! from the seed by host index, the switch has its own stream, and the
+//! switch pass runs at event-execution time inside one simulation —
+//! nothing depends on wall clock or scheduling outside the sim.
+
+use atm::{AtmSwitch, LinkFault, SwitchOutcome, VcRoute};
+use decstation::CostModel;
+use simkit::{Scheduler, Sim, SimTime, TimerId};
+use tcpip::config::tcp_mss;
+use tcpip::{Kernel, PcbCounters, PcbKey, SockId};
+
+use crate::nic::{DcDelivery, DcNic};
+use crate::topology::{Topology, TrafficSchedule};
+
+/// Base port of client-side connections (`+ conn index`).
+const CLIENT_PORT: u16 = 1024;
+/// The well-known server port (one per server host; connections are
+/// demultiplexed by the client's address and port, which is exactly
+/// what makes the server's PCB table grow with fan-in).
+const SERVER_PORT: u16 = 4242;
+
+/// Where one connection endpoint is in its RPC loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ConnState {
+    /// Writing a message, `offset` bytes already accepted.
+    WantWrite(usize),
+    /// Reading the next message.
+    WantRead,
+    /// Finished (client: all iterations done; server: released).
+    Done,
+}
+
+/// One TCP connection endpoint on one host.
+pub struct DcConn {
+    /// The socket (== this connection's index in the host's `conns`).
+    pub sock: SockId,
+    /// Client side (drives the RPC loop) or server side (echoes).
+    pub client: bool,
+    /// Peer host index.
+    pub peer_host: usize,
+    /// Peer connection index on the peer host.
+    pub peer_conn: usize,
+    /// Connection identity for payload verification: the client-side
+    /// `(host, conn)` pair, identical on both endpoints.
+    pub ident: (usize, usize),
+    state: ConnState,
+    /// Completed RPCs (client) / echoed RPCs (server).
+    pub done_count: u64,
+    got: Vec<u8>,
+    t_start: SimTime,
+    /// Measured RPC round-trip times (client side only).
+    pub rtts: Vec<SimTime>,
+    /// Payload verification failures.
+    pub verify_failures: u64,
+    /// Set when the connection died (retransmit limit under faults).
+    pub aborted: bool,
+}
+
+/// One simulated host.
+pub struct DcHost {
+    /// The kernel (stack + CPU + spans).
+    pub kernel: Kernel,
+    /// The network interface.
+    pub nic: DcNic,
+    /// Connection endpoints, indexed by socket id.
+    pub conns: Vec<DcConn>,
+    /// Earliest scheduled TCP timer event, to avoid duplicates.
+    timer_at: Option<SimTime>,
+    /// Permanent engine timer slot for this host's TCP timer.
+    timer: Option<TimerId>,
+}
+
+/// The datacenter world.
+pub struct DcWorld {
+    /// The topology (plain data).
+    pub topo: Topology,
+    /// The traffic schedule (plain data).
+    pub sched: TrafficSchedule,
+    /// All hosts: clients `0..topo.clients`, then servers.
+    pub hosts: Vec<DcHost>,
+    /// The shared switch; host `h` is both input and output port `h`.
+    pub switch: AtmSwitch,
+    /// Client connections still running.
+    live_clients: usize,
+}
+
+// The parallel sweep runner builds and runs one world per cell inside
+// a worker thread; the world must be able to cross threads.
+const _: () = simkit::assert_world_send::<DcWorld>();
+
+/// The expected bytes of one RPC, a pure function of the connection
+/// identity and the iteration — so a segment delivered to the wrong
+/// connection (a PCB demultiplex bug) fails verification instead of
+/// passing silently.
+#[must_use]
+pub fn dc_pattern(size: usize, iter: u64, ident: (usize, usize)) -> Vec<u8> {
+    let salt = iter
+        .wrapping_mul(131)
+        .wrapping_add(ident.0 as u64 * 17)
+        .wrapping_add(ident.1 as u64 * 7);
+    (0..size).map(|i| ((i as u64 + salt) % 251) as u8).collect()
+}
+
+/// Seed for host `h`, derived by key so every host has an independent
+/// stream and the derivation is order-free.
+fn host_seed(seed: u64, h: usize) -> u64 {
+    seed ^ (h as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+impl DcWorld {
+    /// Builds the world: one kernel + uplink per host, the shared
+    /// switch with a per-destination VC plan, and every client-server
+    /// connection pair established administratively with aligned
+    /// sequence state (the paper measures established connections).
+    #[must_use]
+    pub fn new(topo: Topology, sched: TrafficSchedule, seed: u64) -> DcWorld {
+        assert!(topo.clients > 0, "a world needs at least one client");
+        assert!(topo.conns_per_host > 0, "at least one connection");
+        assert!(topo.conns_per_host <= 4096, "client port space");
+        let n = topo.hosts();
+        let costs = CostModel::calibrated();
+        let cfg = topo.strategy.apply(topo.stack);
+        let mut hosts = Vec::with_capacity(n);
+        for h in 0..n {
+            let hs = host_seed(seed, h);
+            let link = atm::FiberLink::new(
+                atm::LinkConfig {
+                    propagation: topo.link_delay(h),
+                    ..atm::LinkConfig::default()
+                },
+                hs,
+            );
+            let mut atm_nic = latency_core::nic::AtmNic::new(link, costs.clone(), 0, hs);
+            if let Some(faults) = &topo.faults {
+                atm_nic.arm_faults(faults, hs);
+            }
+            hosts.push(DcHost {
+                kernel: Kernel::new(cfg, costs.clone()),
+                nic: DcNic::new(h, atm_nic),
+                conns: Vec::new(),
+                timer_at: None,
+                timer: None,
+            });
+        }
+
+        let mut switch = AtmSwitch::new(n, topo.switch, host_seed(seed, n + 1));
+        for c in 0..topo.clients {
+            let srv = topo.server_of(c);
+            hosts[c].nic.add_peer(srv);
+            hosts[srv].nic.add_peer(c);
+            for (src, dst) in [(c, srv), (srv, c)] {
+                switch.add_vc(
+                    src,
+                    0,
+                    Topology::vci_to(dst),
+                    VcRoute {
+                        out_port: dst,
+                        out_vpi: 0,
+                        out_vci: Topology::vci_to(dst),
+                    },
+                );
+            }
+        }
+
+        let mss = tcp_mss(latency_core::nic::ATM_MTU, cfg.mss_one_cluster);
+        for c in 0..topo.clients {
+            let srv = topo.server_of(c);
+            for j in 0..topo.conns_per_host {
+                let lport = CLIENT_PORT + j as u16;
+                let key_c = PcbKey {
+                    laddr: Topology::addr(c),
+                    lport,
+                    faddr: Topology::addr(srv),
+                    fport: SERVER_PORT,
+                };
+                let key_s = PcbKey {
+                    laddr: Topology::addr(srv),
+                    lport: SERVER_PORT,
+                    faddr: Topology::addr(c),
+                    fport: lport,
+                };
+                let sock_c = hosts[c].kernel.create_connection(key_c, mss);
+                let sock_s = hosts[srv].kernel.create_connection(key_s, mss);
+                debug_assert_eq!(sock_c, hosts[c].conns.len());
+                debug_assert_eq!(sock_s, hosts[srv].conns.len());
+                // Align administrative sequence numbers: each side's
+                // rcv_nxt must equal the peer's snd_nxt.
+                let (c_snd, c_rcv) = {
+                    let t = hosts[c].kernel.tcb(sock_c);
+                    (t.snd_nxt, t.rcv_nxt)
+                };
+                {
+                    let t = hosts[srv].kernel.tcb_mut(sock_s);
+                    t.rcv_nxt = c_snd;
+                    t.snd_una = c_rcv;
+                    t.snd_nxt = c_rcv;
+                    t.snd_max = c_rcv;
+                }
+                let conn_s = hosts[srv].conns.len();
+                hosts[c].conns.push(DcConn {
+                    sock: sock_c,
+                    client: true,
+                    peer_host: srv,
+                    peer_conn: conn_s,
+                    ident: (c, j),
+                    state: ConnState::WantWrite(0),
+                    done_count: 0,
+                    got: Vec::new(),
+                    t_start: SimTime::ZERO,
+                    rtts: Vec::new(),
+                    verify_failures: 0,
+                    aborted: false,
+                });
+                hosts[srv].conns.push(DcConn {
+                    sock: sock_s,
+                    client: false,
+                    peer_host: c,
+                    peer_conn: sock_c,
+                    ident: (c, j),
+                    state: ConnState::WantRead,
+                    done_count: 0,
+                    got: Vec::new(),
+                    t_start: SimTime::ZERO,
+                    rtts: Vec::new(),
+                    verify_failures: 0,
+                    aborted: false,
+                });
+            }
+        }
+
+        let live_clients = topo.client_conns();
+        DcWorld {
+            topo,
+            sched,
+            hosts,
+            switch,
+            live_clients,
+        }
+    }
+
+    /// Whether every connection on every host has finished.
+    #[must_use]
+    pub fn finished(&self) -> bool {
+        self.hosts
+            .iter()
+            .all(|h| h.conns.iter().all(|c| c.state == ConnState::Done))
+    }
+
+    /// PCB lookup counters summed over `hosts` (by predicate on the
+    /// host index).
+    fn pcb_counters_where(&self, keep: impl Fn(usize) -> bool) -> PcbCounters {
+        let mut acc = PcbCounters::default();
+        for (h, host) in self.hosts.iter().enumerate() {
+            if !keep(h) {
+                continue;
+            }
+            let c = host.kernel.pcbs.counters();
+            acc.lookups += c.lookups;
+            acc.hits += c.hits;
+            acc.misses += c.misses;
+            acc.cache_hits += c.cache_hits;
+            acc.cache_misses += c.cache_misses;
+            acc.traversed += c.traversed;
+            acc.hash_probes += c.hash_probes;
+        }
+        acc
+    }
+}
+
+/// One run's pooled results.
+pub struct DcRunResult {
+    /// Every measured RPC round-trip, pooled in (client host,
+    /// connection, iteration) order — a stable order so reports are
+    /// byte-identical across `--jobs` values.
+    pub rtts: Vec<SimTime>,
+    /// Payload verification failures across every endpoint.
+    pub verify_failures: u64,
+    /// Connections that aborted (retransmit limit, under faults).
+    pub aborted_conns: u64,
+    /// Events executed by the simulation.
+    pub events: u64,
+    /// Final simulated time.
+    pub sim_time: SimTime,
+    /// PCB lookup counters summed over every host.
+    pub pcb: PcbCounters,
+    /// PCB lookup counters summed over the server hosts only — the
+    /// side whose table holds `fanin x conns_per_host` entries and
+    /// where the paper's strategy differences live.
+    pub server_pcb: PcbCounters,
+    /// Cells forwarded by the switch.
+    pub switch_forwarded: u64,
+    /// Cells tail-dropped at full output queues.
+    pub switch_drops: u64,
+    /// Largest output-queue backlog (cells) seen on any port.
+    pub max_backlog_cells: usize,
+}
+
+impl DcRunResult {
+    /// Mean traversed list entries per lookup — the paper's §3 cost
+    /// driver — on the server side.
+    #[must_use]
+    pub fn server_search_len(&self) -> f64 {
+        if self.server_pcb.lookups == 0 {
+            return 0.0;
+        }
+        self.server_pcb.traversed as f64 / self.server_pcb.lookups as f64
+    }
+
+    /// Server-side cache hit rate over cache probes (0 when the cache
+    /// is off).
+    #[must_use]
+    pub fn server_cache_hit_rate(&self) -> f64 {
+        let probes = self.server_pcb.cache_hits + self.server_pcb.cache_misses;
+        if probes == 0 {
+            return 0.0;
+        }
+        self.server_pcb.cache_hits as f64 / probes as f64
+    }
+}
+
+/// Builds and runs a world to completion.
+///
+/// # Panics
+///
+/// Panics if the event queue drains while a client connection is
+/// still waiting — a protocol deadlock, which the tests treat as a
+/// bug.
+#[must_use]
+pub fn run_dc(topo: &Topology, sched: TrafficSchedule, seed: u64) -> DcRunResult {
+    let world = DcWorld::new(topo.clone(), sched, seed);
+    let mut sim = prepare_dc(world);
+    sim.run();
+    let w = &sim.world;
+    assert!(
+        w.finished(),
+        "deadlock: event queue empty with live connections \
+         (live_clients {})",
+        w.live_clients
+    );
+    let mut rtts = Vec::new();
+    let mut verify_failures = 0;
+    let mut aborted_conns = 0;
+    for host in &w.hosts {
+        for conn in &host.conns {
+            rtts.extend_from_slice(&conn.rtts);
+            verify_failures += conn.verify_failures;
+            aborted_conns += u64::from(conn.aborted);
+        }
+    }
+    let clients = w.topo.clients;
+    let (mut fwd, mut drops, mut backlog) = (0, 0, 0usize);
+    for p in 0..w.switch.ports() {
+        let ps = w.switch.port_stats(p);
+        fwd += ps.forwarded;
+        drops += ps.queue_drops;
+        backlog = backlog.max(ps.max_backlog_cells);
+    }
+    DcRunResult {
+        rtts,
+        verify_failures,
+        aborted_conns,
+        events: sim.events_executed(),
+        sim_time: sim.now(),
+        pcb: w.pcb_counters_where(|_| true),
+        server_pcb: w.pcb_counters_where(|h| h >= clients),
+        switch_forwarded: fwd,
+        switch_drops: drops,
+        max_backlog_cells: backlog,
+    }
+}
+
+/// Packs a (host, connection) pair into a raw event payload.
+fn pack(h: usize, c: usize) -> u64 {
+    ((h as u64) << 32) | c as u64
+}
+
+/// Builds the simulation over a world: registers each host's
+/// permanent TCP-timer slot and schedules every connection's start
+/// event (servers first, at t = 0, so they are blocked in read before
+/// any client writes; clients per the traffic schedule).
+fn prepare_dc(world: DcWorld) -> Sim<DcWorld> {
+    let mut sim = Sim::new(world);
+    for h in 0..sim.world.hosts.len() {
+        let id = sim.register_timer("dc-tcp-timer", on_timer_raw, h as u64);
+        sim.world.hosts[h].timer = Some(id);
+    }
+    let clients = sim.world.topo.clients;
+    for h in clients..sim.world.hosts.len() {
+        for c in 0..sim.world.hosts[h].conns.len() {
+            sim.schedule_raw(SimTime::ZERO, "dc-conn-start", conn_step_raw, pack(h, c));
+        }
+    }
+    let sched = sim.world.sched;
+    for h in 0..clients {
+        for c in 0..sim.world.hosts[h].conns.len() {
+            sim.schedule_raw(
+                sched.start_of(h, c),
+                "dc-conn-start",
+                conn_step_raw,
+                pack(h, c),
+            );
+        }
+    }
+    sim
+}
+
+/// Raw-event trampolines (function pointer + packed payload: the
+/// steady-state loop allocates only for arrival trains).
+fn conn_step_raw(w: &mut DcWorld, s: &mut Scheduler<DcWorld>, data: u64) {
+    conn_step(w, s, (data >> 32) as usize, (data & 0xffff_ffff) as usize);
+}
+
+fn on_softintr_raw(w: &mut DcWorld, s: &mut Scheduler<DcWorld>, h: u64) {
+    on_softintr(w, s, h as usize);
+}
+
+fn on_timer_raw(w: &mut DcWorld, s: &mut Scheduler<DcWorld>, h: u64) {
+    on_timer(w, s, h as usize);
+}
+
+/// Schedules staged deliveries — running the shared-switch pass per
+/// cell — and (re)arms the TCP timer after any kernel interaction on
+/// host `h`.
+///
+/// The switch pass mirrors the inline-switch semantics of the
+/// two-host NIC exactly: lost cells stay lost, forwarded cells leave
+/// at `departure` (fabric latency + output-queue serialization) and
+/// then cross the destination's downlink, full queues tail-drop, and
+/// fabric corruption is relabeled only when the payload actually
+/// changed.
+fn flush_dc(w: &mut DcWorld, s: &mut Scheduler<DcWorld>, h: usize) {
+    for DcDelivery { dst, train } in std::mem::take(&mut w.hosts[h].nic.staged) {
+        let was_corrupt = w.switch.config.corrupt_prob > 0.0;
+        let down = w.topo.link_delay(dst);
+        let mut out = Vec::with_capacity(train.len());
+        let mut last = SimTime::ZERO;
+        let mut delivered = false;
+        for (at, fault) in train {
+            let (at, fault) = match fault {
+                LinkFault::Lost => (at, LinkFault::Lost),
+                LinkFault::Clean(c) | LinkFault::Corrupted(c) => {
+                    match w.switch.forward(h, at, &c) {
+                        SwitchOutcome::Forwarded {
+                            departure, cell, ..
+                        } => {
+                            delivered = true;
+                            let arrival = departure + down;
+                            last = last.max(arrival);
+                            if was_corrupt && cell.payload() != c.payload() {
+                                (arrival, LinkFault::Corrupted(cell))
+                            } else {
+                                (arrival, LinkFault::Clean(cell))
+                            }
+                        }
+                        SwitchOutcome::UnknownVc | SwitchOutcome::QueueFull => {
+                            (at, LinkFault::Lost)
+                        }
+                    }
+                }
+            };
+            out.push((at, fault));
+        }
+        if delivered {
+            // The hardware interrupt fires when the train's last cell
+            // reaches the destination adapter.
+            let at = last.max(s.now());
+            s.schedule_at(at, "dc-arrival", move |w, s| on_dc_arrival(w, s, dst, out));
+        }
+        // A fully-lost train arrives nowhere; TCP's retransmit timer
+        // is the recovery path.
+    }
+    if let Some(dl) = w.hosts[h].kernel.next_deadline() {
+        let stale = w.hosts[h].timer_at.is_none_or(|t| dl < t || t <= s.now());
+        if stale {
+            w.hosts[h].timer_at = Some(dl);
+            let at = dl.max(s.now());
+            let id = w.hosts[h].timer.expect("timer slot registered");
+            s.arm_timer(id, at);
+        }
+    }
+}
+
+/// ATM datagram arrival at host `h`: the hardware interrupt.
+fn on_dc_arrival(
+    w: &mut DcWorld,
+    s: &mut Scheduler<DcWorld>,
+    h: usize,
+    train: Vec<(SimTime, LinkFault)>,
+) {
+    let host = &mut w.hosts[h];
+    if let Some(at) =
+        latency_core::nic::atm_receive(&mut host.kernel, &mut host.nic.atm, s.now(), &train)
+    {
+        s.schedule_raw_at(at, "dc-softintr", on_softintr_raw, h as u64);
+    }
+}
+
+/// The software interrupt: IP/TCP input, wakeups, responses.
+fn on_softintr(w: &mut DcWorld, s: &mut Scheduler<DcWorld>, h: usize) {
+    let host = &mut w.hosts[h];
+    let out = {
+        let DcHost { kernel, nic, .. } = host;
+        kernel.ipintr(s.now(), nic)
+    };
+    flush_dc(w, s, h);
+    for (sock, run_at) in out.wakeups.iter().chain(out.writer_wakeups.iter()) {
+        let at = (*run_at).max(s.now());
+        s.schedule_raw_at(at, "dc-wakeup", conn_step_raw, pack(h, *sock));
+    }
+}
+
+/// A TCP timer event on host `h`.
+fn on_timer(w: &mut DcWorld, s: &mut Scheduler<DcWorld>, h: usize) {
+    w.hosts[h].timer_at = None;
+    let host = &mut w.hosts[h];
+    let _ = {
+        let DcHost { kernel, nic, .. } = host;
+        kernel.check_timers(s.now(), nic)
+    };
+    flush_dc(w, s, h);
+    // A timer may have aborted a connection (retransmit limit) and
+    // woken the blocked process so it can observe the error.
+    for (sock, run_at) in w.hosts[h].kernel.take_timer_wakeups() {
+        let at = run_at.max(s.now());
+        s.schedule_raw_at(at, "dc-abort-wakeup", conn_step_raw, pack(h, sock));
+    }
+}
+
+/// Marks a client connection finished and releases its server peer
+/// once no client traffic can reach it (the paper's RPC servers block
+/// in read forever; the run is over when every client is done).
+fn finish_client(w: &mut DcWorld, h: usize, c: usize) {
+    if w.hosts[h].conns[c].state != ConnState::Done {
+        w.hosts[h].conns[c].state = ConnState::Done;
+        w.live_clients -= 1;
+    }
+    if w.live_clients == 0 {
+        for host in &mut w.hosts {
+            for conn in &mut host.conns {
+                conn.state = ConnState::Done;
+            }
+        }
+    }
+}
+
+/// Aborts both endpoints of a dead connection (a real stack would RST
+/// the peer); keeps the run live under faults.
+fn abort_pair(w: &mut DcWorld, h: usize, c: usize) {
+    w.hosts[h].conns[c].aborted = true;
+    let (peer_host, peer_conn, client) = {
+        let conn = &w.hosts[h].conns[c];
+        (conn.peer_host, conn.peer_conn, conn.client)
+    };
+    w.hosts[peer_host].conns[peer_conn].state = ConnState::Done;
+    if client {
+        finish_client(w, h, c);
+    } else {
+        w.hosts[h].conns[c].state = ConnState::Done;
+        finish_client(w, peer_host, peer_conn);
+    }
+}
+
+/// Runs one connection endpoint until it blocks or finishes — the RPC
+/// loop of the two-host world's app, per connection.
+fn conn_step(w: &mut DcWorld, s: &mut Scheduler<DcWorld>, h: usize, c: usize) {
+    let mut now = s.now();
+    let size = w.topo.rpc_size;
+    let total = w.topo.warmup + w.topo.iterations;
+    loop {
+        let state = w.hosts[h].conns[c].state;
+        match state {
+            ConnState::Done => break,
+            ConnState::WantWrite(offset) => {
+                let host = &mut w.hosts[h];
+                let conn = &mut host.conns[c];
+                if conn.client && conn.done_count >= total {
+                    finish_client(w, h, c);
+                    break;
+                }
+                let data = if conn.client {
+                    dc_pattern(size, conn.done_count, conn.ident)
+                } else {
+                    // The server echoes what it received.
+                    conn.got.clone()
+                };
+                if offset == 0 && conn.client {
+                    // Start the iteration timer: read the clock just
+                    // before write(), as the benchmark did.
+                    conn.t_start = now.max(host.kernel.cpu.busy_until()).quantized();
+                }
+                let sock = conn.sock;
+                let out = {
+                    let DcHost { kernel, nic, .. } = host;
+                    kernel.syscall_write(now, sock, &data[offset..], nic)
+                };
+                flush_dc(w, s, h);
+                let conn = &mut w.hosts[h].conns[c];
+                now = out.done_at;
+                if out.error.is_some() {
+                    abort_pair(w, h, c);
+                    break;
+                }
+                if out.blocked {
+                    conn.state = ConnState::WantWrite(offset + out.accepted);
+                    break;
+                }
+                if !conn.client {
+                    conn.done_count += 1;
+                }
+                conn.got.clear();
+                conn.state = ConnState::WantRead;
+            }
+            ConnState::WantRead => {
+                let host = &mut w.hosts[h];
+                let conn = &mut host.conns[c];
+                let want = size - conn.got.len();
+                let sock = conn.sock;
+                let out = {
+                    let DcHost { kernel, nic, .. } = host;
+                    kernel.syscall_read(now, sock, want, nic)
+                };
+                flush_dc(w, s, h);
+                let conn = &mut w.hosts[h].conns[c];
+                if out.error.is_some() {
+                    abort_pair(w, h, c);
+                    break;
+                }
+                if out.blocked {
+                    break;
+                }
+                now = out.done_at;
+                conn.got.extend_from_slice(&out.data);
+                if conn.got.len() < size {
+                    continue;
+                }
+                // A full message arrived.
+                let expect = dc_pattern(size, conn.done_count, conn.ident);
+                if conn.got != expect {
+                    conn.verify_failures += 1;
+                }
+                if conn.client {
+                    if conn.done_count >= w.topo.warmup {
+                        let rtt = now.quantized().saturating_since(conn.t_start);
+                        conn.rtts.push(rtt);
+                    }
+                    conn.done_count += 1;
+                }
+                conn.state = ConnState::WantWrite(0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::PcbStrategy;
+
+    fn quick(clients: usize, fanin: usize, conns: usize) -> Topology {
+        let mut t = Topology::incast(clients, fanin, conns);
+        t.iterations = 2;
+        t.warmup = 1;
+        t
+    }
+
+    #[test]
+    fn two_host_world_completes() {
+        let r = run_dc(&quick(1, 1, 1), TrafficSchedule::staggered(), 7);
+        assert_eq!(r.rtts.len(), 2);
+        assert_eq!(r.verify_failures, 0);
+        assert_eq!(r.aborted_conns, 0);
+        assert!(r.switch_forwarded > 0, "traffic crossed the switch");
+        assert!(r.rtts.iter().all(|&t| t > SimTime::ZERO));
+    }
+
+    #[test]
+    fn incast_completes_and_measures_every_connection() {
+        let topo = quick(4, 4, 2);
+        let r = run_dc(&topo, TrafficSchedule::staggered(), 11);
+        // 4 clients x 2 conns x 2 measured iterations.
+        assert_eq!(r.rtts.len(), 16);
+        assert_eq!(r.verify_failures, 0);
+        assert!(r.server_pcb.lookups > 0);
+    }
+
+    #[test]
+    fn same_seed_is_bit_identical() {
+        let topo = quick(3, 2, 2);
+        let a = run_dc(&topo, TrafficSchedule::staggered(), 5);
+        let b = run_dc(&topo, TrafficSchedule::staggered(), 5);
+        assert_eq!(a.rtts, b.rtts);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.sim_time, b.sim_time);
+        assert_eq!(a.pcb, b.pcb);
+    }
+
+    #[test]
+    fn fanin_contention_raises_tail_latency() {
+        // Same client count and load; fan-in 1 gives every client its
+        // own server, fan-in 8 funnels them into one port.
+        let spread = run_dc(&quick(8, 1, 1), TrafficSchedule::synchronized(), 3);
+        let funnel = run_dc(&quick(8, 8, 1), TrafficSchedule::synchronized(), 3);
+        let max = |r: &DcRunResult| r.rtts.iter().copied().fold(SimTime::ZERO, SimTime::max);
+        assert!(
+            max(&funnel) > max(&spread),
+            "incast must queue: funnel {:?} vs spread {:?}",
+            max(&funnel),
+            max(&spread)
+        );
+        assert!(funnel.max_backlog_cells > spread.max_backlog_cells);
+    }
+
+    #[test]
+    fn strategies_agree_on_results_and_differ_on_traversal() {
+        let mut base = quick(2, 2, 8);
+        let mut results = Vec::new();
+        for strat in PcbStrategy::ALL {
+            base.strategy = strat;
+            results.push(run_dc(&base, TrafficSchedule::staggered(), 9));
+        }
+        for r in &results {
+            assert_eq!(r.verify_failures, 0);
+            assert_eq!(r.rtts.len(), results[0].rtts.len());
+        }
+        let hash = &results[2];
+        let mtf = &results[0];
+        assert!(
+            hash.server_search_len() < mtf.server_search_len(),
+            "hash probes beat list traversal at 16 server PCBs: {} vs {}",
+            hash.server_search_len(),
+            mtf.server_search_len()
+        );
+    }
+
+    #[test]
+    fn pattern_is_connection_unique() {
+        let a = dc_pattern(64, 0, (0, 0));
+        assert_ne!(a, dc_pattern(64, 0, (0, 1)));
+        assert_ne!(a, dc_pattern(64, 0, (1, 0)));
+        assert_ne!(a, dc_pattern(64, 1, (0, 0)));
+        assert_eq!(a, dc_pattern(64, 0, (0, 0)));
+    }
+}

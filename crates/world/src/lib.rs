@@ -1,0 +1,35 @@
+//! `world` — the N-host switch-centered datacenter topology.
+//!
+//! The paper's testbed is two DECstations on a private fiber; its §3
+//! PCB-lookup analysis, though, is about *scale*: "the time to find
+//! the PCB grows linearly with the number of open connections", and
+//! the remedies it weighs — a move-to-front list, the last-PCB
+//! single-entry cache, a hash table — only separate from one another
+//! when a host actually holds many connections. This crate builds the
+//! world where that happens:
+//!
+//! - [`Topology`] / [`TrafficSchedule`] declare the world as plain
+//!   data — clients, incast fan-in, connections per host, link
+//!   delays, switch parameters, start times — so a sweep cell is a
+//!   pure function of `(Topology, TrafficSchedule, seed)` and its
+//!   report is byte-identical at any `--jobs` value;
+//! - [`PcbStrategy`] maps the paper's three §3 lookup organizations
+//!   onto the `tcpip` stack configuration;
+//! - [`DcWorld`] runs N kernels against one shared output-queued cell
+//!   switch, so fan-in queues at the output port (and, past the queue
+//!   capacity, tail-drops into TCP loss recovery), composing with the
+//!   `faultkit` fault processes on every uplink;
+//! - [`run_dc`] pools per-connection RPC round-trips with PCB lookup
+//!   and switch contention counters for the `repro dc` study.
+
+#![warn(missing_docs)]
+
+pub mod dc;
+pub mod nic;
+pub mod study;
+pub mod topology;
+
+pub use dc::{dc_pattern, run_dc, DcConn, DcHost, DcRunResult, DcWorld};
+pub use nic::{DcDelivery, DcNic};
+pub use study::{canonical_json, dc_grid, dc_quick_grid, run_dc_cells, DcCell, DcCellResult};
+pub use topology::{PcbStrategy, Topology, TrafficSchedule};

@@ -1,0 +1,164 @@
+//! The datacenter host interface: one TCA-100 uplink into the shared
+//! switch, with per-destination AAL3/4 segmentation.
+//!
+//! [`DcNic`] reuses the point-to-point [`AtmNic`] wholesale for
+//! everything single-ended — the TX FIFO pacing, the uplink fiber and
+//! its fault processes, reassembly, the driver cost model and the
+//! error counters — and differs only on transmit: the destination is
+//! parsed from the IP header, the datagram is segmented on that
+//! destination's VC, and the staged train carries the *switch input*
+//! arrival times. The world loop owns the shared switch and turns
+//! each staged train into a delivery at the destination port.
+
+use std::collections::HashMap;
+
+use atm::{Aal34Segmenter, LinkFault};
+use latency_core::nic::AtmNic;
+use mbuf::Chain;
+use simkit::SimTime;
+use tcpip::{Mark, SpanKind, SpanRecorder, TxDriver};
+
+use crate::topology::Topology;
+
+/// A staged train headed for one destination host, timed at the
+/// switch input port.
+pub struct DcDelivery {
+    /// Destination host index (also its switch output port).
+    pub dst: usize,
+    /// Per-cell (arrival at switch input, link fault).
+    pub train: Vec<(SimTime, LinkFault)>,
+}
+
+/// The ATM interface of one datacenter host.
+pub struct DcNic {
+    /// This host's index (its switch input port).
+    pub host: usize,
+    /// The embedded point-to-point NIC: adapter, uplink, reassembly,
+    /// costs and counters. Its `seg` and `staged` fields are unused —
+    /// the per-destination segmenters and [`DcNic::staged`] replace
+    /// them; its optional inline `switch` stays `None` because the
+    /// shared switch lives in the world.
+    pub atm: AtmNic,
+    /// AAL3/4 segmentation state per destination host.
+    segs: HashMap<usize, Aal34Segmenter>,
+    /// Staged trains for the world loop.
+    pub staged: Vec<DcDelivery>,
+}
+
+impl DcNic {
+    /// Builds the interface for host `host` over its uplink NIC.
+    #[must_use]
+    pub fn new(host: usize, atm: AtmNic) -> Self {
+        DcNic {
+            host,
+            atm,
+            segs: HashMap::new(),
+            staged: Vec::new(),
+        }
+    }
+
+    /// Installs the segmentation state for a destination. The MID
+    /// carries the low bits of the sender index (10-bit field);
+    /// trains are delivered whole, so MID collisions cannot occur
+    /// mid-reassembly.
+    pub fn add_peer(&mut self, dst: usize) {
+        let mid = (self.host & 0x3ff) as u16;
+        self.segs
+            .entry(dst)
+            .or_insert_with(|| Aal34Segmenter::new(0, Topology::vci_to(dst), mid));
+    }
+}
+
+impl TxDriver for DcNic {
+    fn mtu(&self) -> usize {
+        latency_core::nic::ATM_MTU
+    }
+
+    /// The §2.2 TxDriver span, exactly as on the point-to-point path:
+    /// fixed setup, per-cell programmed-I/O copies backpressured by
+    /// the 36-cell FIFO, cells carried up the fiber to the switch
+    /// input. Switch forwarding happens later, at flush, against the
+    /// shared fabric.
+    fn transmit(&mut self, now: SimTime, packet: &Chain, spans: &mut SpanRecorder) -> SimTime {
+        let bytes = packet.to_vec();
+        let dst_addr = [bytes[16], bytes[17], bytes[18], bytes[19]];
+        let dst = Topology::host_of_addr(dst_addr).expect("destination is a topology host");
+        let seg = self.segs.get_mut(&dst).expect("peer installed at build");
+        let cells = seg.segment(&bytes);
+        let mut cursor = now + SimTime::from_us_f64(self.atm.costs.atm_tx_fixed_us);
+        let per_cell = SimTime::from_us_f64(self.atm.costs.atm_tx_per_cell_us);
+        let mut train = Vec::with_capacity(cells.len());
+        for cell in cells {
+            let admit = self.atm.adapter.tx.admit(cursor, per_cell);
+            cursor = admit.copy_end;
+            train.push(self.atm.link.carry_at(admit.wire_exit, cell));
+        }
+        if let Some(shaper) = self.atm.shaper.as_mut() {
+            shaper.shape(&mut train);
+        }
+        spans.span(SpanKind::TxDriver, now, cursor);
+        spans.mark(Mark::TxSignalled, cursor);
+        if self.atm.taps.wants(simcap::TapPoint::NicDmaTx) {
+            self.atm
+                .taps
+                .record(simcap::TapPoint::NicDmaTx, cursor, bytes);
+        }
+        self.staged.push(DcDelivery { dst, train });
+        cursor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atm::{FiberLink, LinkConfig};
+    use decstation::CostModel;
+    use tcpip::{Kernel, StackConfig};
+
+    fn nic(host: usize) -> DcNic {
+        let atm = AtmNic::new(
+            FiberLink::new(LinkConfig::default(), 7),
+            CostModel::calibrated(),
+            0,
+            7,
+        );
+        DcNic::new(host, atm)
+    }
+
+    #[test]
+    fn transmit_routes_by_ip_destination() {
+        let mut k = Kernel::new(StackConfig::default(), CostModel::calibrated());
+        let mut n = nic(0);
+        n.add_peer(3);
+        // A fake 40-byte TCP/IP header with dst = host 3, plus data.
+        let hdr = tcpip::hdr::TcpIpHeader {
+            ip_len: 40 + 100,
+            ip_id: 1,
+            ttl: 30,
+            src: Topology::addr(0),
+            dst: Topology::addr(3),
+            sport: 1024,
+            dport: 4242,
+            seq: 1,
+            ack: 1,
+            flags: tcpip::hdr::flags::ACK,
+            win: 4096,
+            tcp_cksum: 0,
+        };
+        let mut bytes = hdr.encode().to_vec();
+        bytes.extend_from_slice(&[7u8; 100]);
+        let (chain, _) = Chain::from_user_data(&k.pool, &bytes, false);
+        let done = n.transmit(SimTime::ZERO, &chain, &mut k.spans);
+        assert!(done > SimTime::ZERO);
+        assert_eq!(n.staged.len(), 1);
+        assert_eq!(n.staged[0].dst, 3);
+        // 140 CPCS bytes -> 4 cells, all on the destination VC.
+        assert_eq!(n.staged[0].train.len(), 4);
+        for (_, fault) in &n.staged[0].train {
+            let LinkFault::Clean(c) = fault else {
+                panic!("clean link")
+            };
+            assert_eq!(c.header().vci, Topology::vci_to(3));
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! The `repro dc` study: a deterministic grid over hosts x
+//! connections x PCB strategy x incast fan-in.
+//!
+//! Each grid cell is one [`Topology`] + [`TrafficSchedule`] pair; its
+//! seed derives from the cell *key* (not its position), so adding or
+//! reordering cells never changes any other cell's bytes, and cells
+//! run under `sweep::pool::run_ordered` so the report is
+//! byte-identical at any `--jobs` value. The canonical JSON replicates
+//! the `sweep.json` cell schema exactly — the oracle's report parser
+//! and the golden comparator work on it unchanged.
+
+use simkit::SimTime;
+use tcpip::PcbCounters;
+
+use crate::dc::run_dc;
+use crate::topology::{PcbStrategy, Topology, TrafficSchedule};
+
+/// One grid cell: a named, self-contained world description.
+pub struct DcCell {
+    /// The cell key; also the seed source via [`sweep::cell_seed`].
+    pub key: String,
+    /// The world.
+    pub topo: Topology,
+    /// The traffic schedule.
+    pub sched: TrafficSchedule,
+    /// Repetitions pooled into one sample set (rep `r` runs with
+    /// `seed + r`).
+    pub reps: u64,
+}
+
+impl DcCell {
+    /// Builds a cell and derives its key from the topology axes.
+    #[must_use]
+    pub fn new(topo: Topology, sched: TrafficSchedule, reps: u64) -> DcCell {
+        let key = format!(
+            "dc/h{}/c{}/{}/f{}/i{}r{}",
+            topo.clients,
+            topo.conns_per_host,
+            topo.strategy.tag(),
+            topo.effective_fanin(),
+            topo.iterations,
+            reps,
+        );
+        DcCell {
+            key,
+            topo,
+            sched,
+            reps,
+        }
+    }
+}
+
+/// One cell's pooled outcome.
+pub struct DcCellResult {
+    /// The cell key.
+    pub key: String,
+    /// The key-derived base seed.
+    pub seed: u64,
+    /// Repetitions pooled.
+    pub reps: u64,
+    /// Every measured RPC round-trip, in (rep, client host,
+    /// connection, iteration) order.
+    pub rtts: Vec<SimTime>,
+    /// Events executed, summed over reps.
+    pub events: u64,
+    /// Final simulated time (max over reps).
+    pub sim_time: SimTime,
+    /// Payload verification failures, summed.
+    pub verify_failures: u64,
+    /// Aborted connections, summed.
+    pub aborted_conns: u64,
+    /// Server-side PCB lookup counters, summed.
+    pub server_pcb: PcbCounters,
+    /// Switch cells forwarded, summed.
+    pub switch_forwarded: u64,
+    /// Switch tail drops, summed.
+    pub switch_drops: u64,
+    /// Largest output-queue backlog seen (max over reps).
+    pub max_backlog_cells: usize,
+}
+
+impl DcCellResult {
+    /// Mean traversed entries per server-side lookup.
+    #[must_use]
+    pub fn search_len(&self) -> f64 {
+        if self.server_pcb.lookups == 0 {
+            return 0.0;
+        }
+        self.server_pcb.traversed as f64 / self.server_pcb.lookups as f64
+    }
+
+    /// Server-side single-entry-cache hit rate (0 with the cache off).
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        let probes = self.server_pcb.cache_hits + self.server_pcb.cache_misses;
+        if probes == 0 {
+            return 0.0;
+        }
+        self.server_pcb.cache_hits as f64 / probes as f64
+    }
+}
+
+/// Builds the grid from explicit axes.
+fn grid(
+    clients: &[usize],
+    conns: &[usize],
+    fanins: &[usize],
+    iterations: u64,
+    reps: u64,
+) -> Vec<DcCell> {
+    let mut cells = Vec::new();
+    for &h in clients {
+        for &c in conns {
+            for strat in PcbStrategy::ALL {
+                for &f in fanins {
+                    let mut topo = Topology::incast(h, f, c);
+                    topo.iterations = iterations;
+                    topo.warmup = 1;
+                    topo.strategy = strat;
+                    let cell = DcCell::new(topo, TrafficSchedule::staggered(), reps);
+                    if cells.iter().all(|x: &DcCell| x.key != cell.key) {
+                        cells.push(cell);
+                    }
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// The full `repro dc` grid: hosts {2, 32, 256} x connections/host
+/// {1, 64} x all three strategies x fan-in {1, 16}.
+#[must_use]
+pub fn dc_grid() -> Vec<DcCell> {
+    grid(&[2, 32, 256], &[1, 64], &[1, 16], 3, 1)
+}
+
+/// The `--quick` grid (CI + golden): hosts {2, 8} x connections/host
+/// {1, 16} x all three strategies x fan-in {1, 4}.
+#[must_use]
+pub fn dc_quick_grid() -> Vec<DcCell> {
+    grid(&[2, 8], &[1, 16], &[1, 4], 2, 1)
+}
+
+/// Runs a grid on up to `jobs` workers; results come back in grid
+/// order regardless of scheduling, so downstream reports are
+/// byte-identical at any worker count.
+#[must_use]
+pub fn run_dc_cells(cells: &[DcCell], jobs: usize) -> Vec<DcCellResult> {
+    sweep::pool::run_ordered(cells, jobs, |_, cell| {
+        let seed = sweep::cell_seed(&cell.key);
+        let mut rtts = Vec::new();
+        let mut events = 0;
+        let mut sim_time = SimTime::ZERO;
+        let mut verify_failures = 0;
+        let mut aborted_conns = 0;
+        let mut server_pcb = PcbCounters::default();
+        let mut switch_forwarded = 0;
+        let mut switch_drops = 0;
+        let mut max_backlog_cells = 0;
+        for rep in 0..cell.reps.max(1) {
+            let r = run_dc(&cell.topo, cell.sched, seed.wrapping_add(rep));
+            rtts.extend(r.rtts);
+            events += r.events;
+            sim_time = sim_time.max(r.sim_time);
+            verify_failures += r.verify_failures;
+            aborted_conns += r.aborted_conns;
+            server_pcb.lookups += r.server_pcb.lookups;
+            server_pcb.hits += r.server_pcb.hits;
+            server_pcb.misses += r.server_pcb.misses;
+            server_pcb.cache_hits += r.server_pcb.cache_hits;
+            server_pcb.cache_misses += r.server_pcb.cache_misses;
+            server_pcb.traversed += r.server_pcb.traversed;
+            server_pcb.hash_probes += r.server_pcb.hash_probes;
+            switch_forwarded += r.switch_forwarded;
+            switch_drops += r.switch_drops;
+            max_backlog_cells = max_backlog_cells.max(r.max_backlog_cells);
+        }
+        DcCellResult {
+            key: cell.key.clone(),
+            seed,
+            reps: cell.reps.max(1),
+            rtts,
+            events,
+            sim_time,
+            verify_failures,
+            aborted_conns,
+            server_pcb,
+            switch_forwarded,
+            switch_drops,
+            max_backlog_cells,
+        }
+    })
+}
+
+/// The deterministic report, byte-compatible with the `sweep.json`
+/// cell schema (same fields, same formatting) so `oracle`'s parser
+/// and golden comparator apply unchanged.
+#[must_use]
+pub fn canonical_json(name: &str, results: &[DcCellResult]) -> String {
+    use std::fmt::Write as _;
+    use sweep::report::{json_num, json_string};
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"name\": {},", json_string(name));
+    out.push_str("  \"cells\": {");
+    let mut first = true;
+    for c in results {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\n    {}: {{ ", json_string(&c.key));
+        let _ = write!(out, "\"seed\": {}, ", c.seed);
+        let _ = write!(out, "\"reps\": {}, ", c.reps);
+        let _ = write!(out, "\"samples\": {}, ", c.rtts.len());
+        let _ = write!(
+            out,
+            "\"mean_us\": {}, ",
+            json_num(latency_core::stats::mean_us(&c.rtts))
+        );
+        let _ = write!(
+            out,
+            "\"stddev_us\": {}, ",
+            json_num(latency_core::stats::stddev_us(&c.rtts))
+        );
+        let _ = write!(
+            out,
+            "\"min_us\": {}, ",
+            json_num(latency_core::stats::min_us(&c.rtts))
+        );
+        let _ = write!(
+            out,
+            "\"max_us\": {}, ",
+            json_num(latency_core::stats::max_us(&c.rtts))
+        );
+        let _ = write!(out, "\"events\": {}, ", c.events);
+        let _ = write!(
+            out,
+            "\"sim_time_us\": {}, ",
+            json_num(c.sim_time.as_us_f64())
+        );
+        let _ = write!(out, "\"verify_failures\": {} }}", c.verify_failures);
+    }
+    if results.is_empty() {
+        out.push('}');
+    } else {
+        out.push_str("\n  }");
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_grid_has_unique_keys_and_expected_axes() {
+        let g = dc_quick_grid();
+        for (i, a) in g.iter().enumerate() {
+            for b in &g[i + 1..] {
+                assert_ne!(a.key, b.key);
+            }
+        }
+        // 2 client counts x 2 conn counts x 3 strategies x 2 fan-ins,
+        // minus nothing (fan-in 4 clamps to 2 only when clients = 2,
+        // which aliases with... it clamps to 2, distinct from 1).
+        assert_eq!(g.len(), 24);
+        assert!(g.iter().all(|c| c.topo.iterations == 2));
+    }
+
+    #[test]
+    fn full_grid_covers_the_acceptance_axes() {
+        let g = dc_grid();
+        assert_eq!(g.len(), 36);
+        assert!(g.iter().any(|c| c.topo.clients == 256));
+        assert!(g.iter().any(|c| c.topo.conns_per_host == 64));
+        assert!(g.iter().any(|c| c.key.contains("/hash/")));
+        assert!(g.iter().any(|c| c.key.contains("/cache/")));
+        assert!(g.iter().any(|c| c.key.contains("/mtf/")));
+    }
+
+    #[test]
+    fn seeds_derive_from_keys_not_positions() {
+        let g = dc_quick_grid();
+        let r = run_dc_cells(&g[..2], 1);
+        assert_eq!(r[0].seed, sweep::cell_seed(&g[0].key));
+        assert_eq!(r[1].seed, sweep::cell_seed(&g[1].key));
+    }
+
+    #[test]
+    fn report_is_byte_identical_across_jobs() {
+        // A tiny two-cell grid keeps this test fast; the full quick
+        // grid is exercised by the repro binary's CI determinism diff.
+        let cells: Vec<DcCell> = dc_quick_grid().into_iter().take(2).collect();
+        let a = canonical_json("dc_tiny", &run_dc_cells(&cells, 1));
+        let b = canonical_json("dc_tiny", &run_dc_cells(&cells, 4));
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\n  \"name\": \"dc_tiny\","));
+    }
+}

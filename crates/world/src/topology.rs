@@ -1,0 +1,288 @@
+//! Declarative topology and traffic description.
+//!
+//! A [`Topology`] is plain data: how many client hosts, how wide the
+//! incast fan-in is (clients per server), how many concurrent TCP
+//! connections each client runs, per-link delays and the switch
+//! configuration. A [`TrafficSchedule`] is equally plain: when each
+//! client connection issues its first RPC. Both are functions of
+//! configuration only — never of execution order — so a sweep cell's
+//! world is fully determined by `(Topology, TrafficSchedule, seed)`
+//! and stays byte-identical at any `--jobs` value.
+
+use atm::SwitchConfig;
+use simkit::SimTime;
+use tcpip::config::PcbOrg;
+use tcpip::StackConfig;
+
+/// The paper's three PCB lookup strategies (§3), as a grid axis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PcbStrategy {
+    /// Move-to-front linked list.
+    Mtf,
+    /// BSD list with the last-PCB single-entry cache in front.
+    LastPcb,
+    /// Hash table.
+    Hash,
+}
+
+impl PcbStrategy {
+    /// Every strategy, in report order.
+    pub const ALL: [PcbStrategy; 3] = [PcbStrategy::Mtf, PcbStrategy::LastPcb, PcbStrategy::Hash];
+
+    /// The key fragment naming this strategy.
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            PcbStrategy::Mtf => "mtf",
+            PcbStrategy::LastPcb => "cache",
+            PcbStrategy::Hash => "hash",
+        }
+    }
+
+    /// Applies the strategy to a stack configuration. The cache
+    /// override decouples the single-entry cache from header
+    /// prediction so each strategy is exercised in isolation.
+    #[must_use]
+    pub fn apply(self, cfg: StackConfig) -> StackConfig {
+        match self {
+            PcbStrategy::Mtf => StackConfig {
+                pcb_org: PcbOrg::Mtf,
+                pcb_cache_override: Some(false),
+                ..cfg
+            },
+            PcbStrategy::LastPcb => StackConfig {
+                pcb_org: PcbOrg::List,
+                pcb_cache_override: Some(true),
+                ..cfg
+            },
+            PcbStrategy::Hash => StackConfig {
+                pcb_org: PcbOrg::Hash,
+                pcb_cache_override: Some(false),
+                ..cfg
+            },
+        }
+    }
+}
+
+/// A declarative N-host datacenter topology: `clients` client hosts
+/// and `ceil(clients / fanin)` server hosts, all ports of one
+/// output-queued cell switch. Client `c` talks to server
+/// `clients + c / fanin`, so `fanin` clients converge on each server
+/// — the incast axis.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    /// Number of client hosts.
+    pub clients: usize,
+    /// Clients per server (incast fan-in); clamped to `clients`.
+    pub fanin: usize,
+    /// Concurrent TCP connections per client host.
+    pub conns_per_host: usize,
+    /// RPC message size in bytes (each RPC is an echoed message).
+    pub rpc_size: usize,
+    /// Measured RPCs per connection.
+    pub iterations: u64,
+    /// Unmeasured leading RPCs per connection.
+    pub warmup: u64,
+    /// PCB lookup strategy on every host.
+    pub strategy: PcbStrategy,
+    /// Host-to-switch propagation delay of host 0.
+    pub base_delay: SimTime,
+    /// Extra propagation per host index (a rack-position spread; zero
+    /// for an equidistant fabric).
+    pub delay_step: SimTime,
+    /// The shared cell switch.
+    pub switch: SwitchConfig,
+    /// Base stack configuration; [`PcbStrategy::apply`] runs on top.
+    pub stack: StackConfig,
+    /// Optional fault schedule armed on every host's uplink.
+    pub faults: Option<faultkit::FaultSchedule>,
+}
+
+impl Topology {
+    /// An incast topology with the defaults of the `repro dc` study:
+    /// 200-byte RPCs, 3 measured iterations after 1 warm-up, 2 µs base
+    /// delay with a 10 ns per-host spread, default switch.
+    #[must_use]
+    pub fn incast(clients: usize, fanin: usize, conns_per_host: usize) -> Self {
+        Topology {
+            clients,
+            fanin,
+            conns_per_host,
+            rpc_size: 200,
+            iterations: 3,
+            warmup: 1,
+            strategy: PcbStrategy::Hash,
+            base_delay: SimTime::from_us(2),
+            delay_step: SimTime::from_ns(10),
+            switch: SwitchConfig::default(),
+            stack: StackConfig::default(),
+            faults: None,
+        }
+    }
+
+    /// Effective fan-in (clamped to the client count).
+    #[must_use]
+    pub fn effective_fanin(&self) -> usize {
+        self.fanin.clamp(1, self.clients.max(1))
+    }
+
+    /// Number of server hosts.
+    #[must_use]
+    pub fn servers(&self) -> usize {
+        self.clients.div_ceil(self.effective_fanin())
+    }
+
+    /// Total hosts (clients then servers, in switch-port order).
+    #[must_use]
+    pub fn hosts(&self) -> usize {
+        self.clients + self.servers()
+    }
+
+    /// The server host index assigned to a client host.
+    #[must_use]
+    pub fn server_of(&self, client: usize) -> usize {
+        self.clients + client / self.effective_fanin()
+    }
+
+    /// The IP address of host `h`.
+    #[must_use]
+    pub fn addr(h: usize) -> [u8; 4] {
+        assert!(h < 60_000, "host index fits the address/VCI plan");
+        [10, 1, (h >> 8) as u8, (h & 0xff) as u8]
+    }
+
+    /// Inverse of [`Topology::addr`].
+    #[must_use]
+    pub fn host_of_addr(addr: [u8; 4]) -> Option<usize> {
+        if addr[0] != 10 || addr[1] != 1 {
+            return None;
+        }
+        Some((usize::from(addr[2]) << 8) | usize::from(addr[3]))
+    }
+
+    /// The VCI a sender uses for cells destined to host `dst` (the
+    /// switch routes on `(in_port, vpi, vci)`, so a per-destination
+    /// VCI is enough for any number of senders).
+    #[must_use]
+    pub fn vci_to(dst: usize) -> u16 {
+        64 + dst as u16
+    }
+
+    /// Host-to-switch propagation delay of host `h` (symmetric:
+    /// uplink and downlink).
+    #[must_use]
+    pub fn link_delay(&self, h: usize) -> SimTime {
+        self.base_delay + self.delay_step * h as u64
+    }
+
+    /// Total client connections.
+    #[must_use]
+    pub fn client_conns(&self) -> usize {
+        self.clients * self.conns_per_host
+    }
+}
+
+/// When each client connection starts: plain data, a pure function of
+/// `(host, conn)` indices.
+#[derive(Clone, Copy, Debug)]
+pub struct TrafficSchedule {
+    /// Delay before the first connection of each successive host.
+    pub host_stagger: SimTime,
+    /// Delay between successive connection starts on one host.
+    pub conn_stagger: SimTime,
+}
+
+impl TrafficSchedule {
+    /// The `repro dc` default: a light de-phasing stagger so hosts do
+    /// not run in artificial lockstep.
+    #[must_use]
+    pub fn staggered() -> Self {
+        TrafficSchedule {
+            host_stagger: SimTime::from_ns(3_100),
+            conn_stagger: SimTime::from_ns(7_300),
+        }
+    }
+
+    /// Every client connection fires at t = 0: maximal synchronized
+    /// incast pressure.
+    #[must_use]
+    pub fn synchronized() -> Self {
+        TrafficSchedule {
+            host_stagger: SimTime::ZERO,
+            conn_stagger: SimTime::ZERO,
+        }
+    }
+
+    /// Start time of connection `conn` on client host `host`.
+    #[must_use]
+    pub fn start_of(&self, host: usize, conn: usize) -> SimTime {
+        self.host_stagger * host as u64 + self.conn_stagger * conn as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incast_shape() {
+        let t = Topology::incast(32, 16, 4);
+        assert_eq!(t.servers(), 2);
+        assert_eq!(t.hosts(), 34);
+        assert_eq!(t.server_of(0), 32);
+        assert_eq!(t.server_of(15), 32);
+        assert_eq!(t.server_of(16), 33);
+        assert_eq!(t.server_of(31), 33);
+    }
+
+    #[test]
+    fn fanin_clamps_to_clients() {
+        let t = Topology::incast(2, 16, 1);
+        assert_eq!(t.effective_fanin(), 2);
+        assert_eq!(t.servers(), 1);
+        assert_eq!(t.server_of(1), 2);
+    }
+
+    #[test]
+    fn addr_roundtrip() {
+        for h in [0usize, 1, 255, 256, 4095] {
+            assert_eq!(Topology::host_of_addr(Topology::addr(h)), Some(h));
+        }
+        assert_eq!(Topology::host_of_addr([10, 0, 0, 1]), None);
+    }
+
+    #[test]
+    fn link_delays_spread() {
+        let t = Topology::incast(4, 4, 1);
+        assert_eq!(t.link_delay(0), SimTime::from_us(2));
+        assert!(t.link_delay(3) > t.link_delay(0));
+    }
+
+    #[test]
+    fn schedule_is_a_pure_function() {
+        let s = TrafficSchedule::staggered();
+        assert_eq!(s.start_of(0, 0), SimTime::ZERO);
+        assert_eq!(s.start_of(1, 1), s.host_stagger + s.conn_stagger);
+        assert!(s.start_of(1, 0) > s.start_of(0, 0));
+        assert!(s.start_of(0, 1) > s.start_of(0, 0));
+        assert_eq!(
+            TrafficSchedule::synchronized().start_of(9, 9),
+            SimTime::ZERO
+        );
+    }
+
+    #[test]
+    fn strategies_map_to_stack_config() {
+        let base = StackConfig::default();
+        let m = PcbStrategy::Mtf.apply(base);
+        assert_eq!(m.pcb_org, PcbOrg::Mtf);
+        assert_eq!(m.pcb_cache_override, Some(false));
+        let c = PcbStrategy::LastPcb.apply(base);
+        assert_eq!(c.pcb_org, PcbOrg::List);
+        assert_eq!(c.pcb_cache_override, Some(true));
+        assert!(c.pcb_use_cache());
+        let h = PcbStrategy::Hash.apply(base);
+        assert_eq!(h.pcb_org, PcbOrg::Hash);
+        assert!(!h.pcb_use_cache());
+    }
+}

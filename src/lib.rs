@@ -58,6 +58,7 @@ pub use simcap;
 pub use simkit;
 pub use sweep;
 pub use tcpip;
+pub use world;
 
 pub use latency_core::capture::{CapturePlan, CaptureRun, HostCapture};
 pub use latency_core::experiment::{Experiment, NetKind, RunPlan, RunResult, Workload};
