@@ -5,7 +5,7 @@
 //! ```sh
 //! repro [all|table1|table2|table3|table4|table5|table6|table7|pcb|mbuf|predict|errors]
 //!       [faults|churn|ablation|switch|ethernet-errors|trace]
-//!       [dc] [verify [--bless] [--dump-live] [--golden-dir DIR]] [invariants] [bench]
+//!       [dc] [tails] [verify [--bless] [--dump-live] [--golden-dir DIR]] [invariants] [bench]
 //!       [--iterations N] [--reps N] [--jobs N] [--seed N] [--json FILE]
 //!       [--sweep-json FILE] [--out-dir DIR] [--full] [--quick]
 //! ```
@@ -164,6 +164,9 @@ fn main() {
     }
     if opts.what.iter().any(|w| w == "dc") {
         std::process::exit(cmd_dc(&opts));
+    }
+    if opts.what.iter().any(|w| w == "tails") {
+        std::process::exit(cmd_tails(&opts));
     }
     let mut report = Report::new(opts.iterations, opts.reps);
     let all = opts.what.iter().any(|w| w == "all");
@@ -1095,66 +1098,43 @@ fn cmd_verify(opts: &Opts) -> i32 {
         }
         shrink_fault_drifts(&live, &drifts);
     }
-    // The datacenter world golden follows the same protocol; its grid
-    // comes from `crates/world` rather than `Sweep`, but the canonical
-    // JSON is byte-compatible so the parser and comparator are shared.
+    // The world-crate goldens (datacenter incast, tail-at-scale
+    // fan-out) follow the same protocol; their grids come from
+    // `crates/world` rather than `Sweep`, but the canonical JSON is
+    // schema-compatible so the parser and comparator are shared (the
+    // tails report's extra percentile fields ride in the comparator's
+    // `extras`).
     {
-        let path = format!("{}/dc_quick.json", q.golden_dir);
-        let golden = if q.bless {
-            None
-        } else {
-            let golden_text = match std::fs::read_to_string(&path) {
-                Ok(t) => t,
-                Err(e) => {
-                    eprintln!(
-                        "verify: cannot read {path}: {e}\n\
-                         verify: run `repro verify --bless` to create the goldens"
-                    );
-                    return 2;
-                }
-            };
-            match oracle::parse_report(&golden_text) {
-                Ok(g) => Some(g),
-                Err(e) => {
-                    eprintln!("verify: {path}: {e}");
-                    return 2;
-                }
-            }
-        };
         let cells = world::dc_quick_grid();
-        eprintln!(
-            "verify: dc_quick: running {} cell(s) across {} worker(s)...",
-            cells.len(),
-            q.jobs
-        );
-        let results = world::run_dc_cells(&cells, q.jobs);
-        let live_json = world::canonical_json("dc_quick", &results);
-        if q.dump_live {
-            let p = out_path(opts, "dc_quick_live.json");
-            std::fs::write(&p, &live_json).expect("write live canonical json");
-            eprintln!("verify: live canonical grid written to {}", p.display());
+        let count = cells.len();
+        if let Some(rc) = verify_world_grid(
+            opts,
+            &q,
+            "dc_quick",
+            count,
+            || world::canonical_json("dc_quick", &world::run_dc_cells(&cells, q.jobs)),
+            &mut summary,
+            &mut code,
+        ) {
+            return rc;
         }
-        if let Some(golden) = golden {
-            let live_rep = oracle::parse_report(&live_json).expect("live canonical json parses");
-            let drifts = oracle::compare_reports(&golden, &live_rep, GOLDEN_TOL_US);
-            summary.push(("dc_quick".to_string(), results.len(), drifts.len()));
-            if drifts.is_empty() {
-                eprintln!("verify: dc_quick: {} cell(s) match {path}", results.len());
-            } else {
-                code = 1;
-                eprintln!(
-                    "verify: dc_quick: {} drift(s) against {path}:",
-                    drifts.len()
-                );
-                for d in &drifts {
-                    eprintln!("  {d}");
-                }
-            }
-        } else {
-            std::fs::create_dir_all(&q.golden_dir).expect("create golden dir");
-            std::fs::write(&path, &live_json).expect("write golden file");
-            eprintln!("verify: blessed {} cell(s) into {path}", results.len());
-            summary.push(("dc_quick".to_string(), results.len(), 0));
+    }
+    {
+        let cells = world::tails_quick_grid();
+        let count = cells.len();
+        if let Some(rc) = verify_world_grid(
+            opts,
+            &q,
+            "tails_quick",
+            count,
+            || {
+                let results = world::run_tails_cells(&cells, q.jobs);
+                world::tails_canonical_json("tails_quick", &cells, &results)
+            },
+            &mut summary,
+            &mut code,
+        ) {
+            return rc;
         }
     }
     if code == 0 && !q.bless {
@@ -1177,6 +1157,76 @@ fn cmd_verify(opts: &Opts) -> i32 {
         eprintln!("verify summary written to {}", p.display());
     }
     code
+}
+
+/// Golden-gates one world-crate grid under the sweep grids' protocol:
+/// read (or bless) `<golden_dir>/<name>.json`, produce the live
+/// canonical JSON, diff with the shared comparator. The golden is
+/// read *before* `live` runs the grid, so a missing or corrupt file
+/// fails fast. Returns `Some(2)` on a hard failure the caller must
+/// propagate; drift sets `*code = 1` and records into `summary` like
+/// every other grid.
+fn verify_world_grid(
+    opts: &Opts,
+    q: &Opts,
+    name: &str,
+    cells: usize,
+    live: impl FnOnce() -> String,
+    summary: &mut Vec<(String, usize, usize)>,
+    code: &mut i32,
+) -> Option<i32> {
+    let path = format!("{}/{name}.json", q.golden_dir);
+    let golden = if q.bless {
+        None
+    } else {
+        let golden_text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!(
+                    "verify: cannot read {path}: {e}\n\
+                     verify: run `repro verify --bless` to create the goldens"
+                );
+                return Some(2);
+            }
+        };
+        match oracle::parse_report(&golden_text) {
+            Ok(g) => Some(g),
+            Err(e) => {
+                eprintln!("verify: {path}: {e}");
+                return Some(2);
+            }
+        }
+    };
+    eprintln!(
+        "verify: {name}: running {cells} cell(s) across {} worker(s)...",
+        q.jobs
+    );
+    let live_json = live();
+    if q.dump_live {
+        let p = out_path(opts, &format!("{name}_live.json"));
+        std::fs::write(&p, &live_json).expect("write live canonical json");
+        eprintln!("verify: live canonical grid written to {}", p.display());
+    }
+    if let Some(golden) = golden {
+        let live_rep = oracle::parse_report(&live_json).expect("live canonical json parses");
+        let drifts = oracle::compare_reports(&golden, &live_rep, GOLDEN_TOL_US);
+        summary.push((name.to_string(), cells, drifts.len()));
+        if drifts.is_empty() {
+            eprintln!("verify: {name}: {cells} cell(s) match {path}");
+        } else {
+            *code = 1;
+            eprintln!("verify: {name}: {} drift(s) against {path}:", drifts.len());
+            for d in &drifts {
+                eprintln!("  {d}");
+            }
+        }
+    } else {
+        std::fs::create_dir_all(&q.golden_dir).expect("create golden dir");
+        std::fs::write(&path, &live_json).expect("write golden file");
+        eprintln!("verify: blessed {cells} cell(s) into {path}");
+        summary.push((name.to_string(), cells, 0));
+    }
+    None
 }
 
 /// Integrity anomalies in a drifted fault cell (payload corruption
@@ -1291,6 +1341,24 @@ fn cmd_invariants(opts: &Opts) -> i32 {
         Ok(_) => {
             failures += 1;
             eprintln!("invariants: oracle scope guard: a multi-host world was accepted");
+        }
+    }
+    // Fan-out worlds get the more specific refusal: completion is the
+    // max over N coupled sub-requests (an order statistic), wrong for
+    // the per-connection orbit regardless of host count.
+    match oracle::predict_dc(&world::Topology::fanout(4, 16)) {
+        Err(oracle::PredictError::FanoutWorld { width }) => {
+            eprintln!(
+                "invariants: oracle scope guard: clean (refused the width-{width} fan-out world with a typed error)"
+            );
+        }
+        Err(e) => {
+            failures += 1;
+            eprintln!("invariants: oracle fan-out scope guard: wrong error: {e}");
+        }
+        Ok(_) => {
+            failures += 1;
+            eprintln!("invariants: oracle fan-out scope guard: a fan-out world was accepted");
         }
     }
     let mut rows: Vec<String> = Vec::new();
@@ -1534,6 +1602,63 @@ fn cmd_dc(opts: &Opts) -> i32 {
     }
     if code == 0 {
         eprintln!("dc: {} cell(s) clean", results.len());
+    }
+    code
+}
+
+// --------------------------------------------------------------------------
+// `repro tails` — the tail-at-scale fan-out study (crates/world).
+// --------------------------------------------------------------------------
+
+/// `repro tails`: the fan-out/wait-for-all completion-tail study. Each
+/// client issues one logical request as N parallel sub-requests to N
+/// distinct servers and completes on the slowest reply; the table
+/// reports completion p50/p99/p999 and the tail-amplification ratio
+/// (p99 at fan-out N over p99 at fan-out 1) per faultkit scenario,
+/// with and without background churn traffic. `--quick` runs the CI
+/// grid whose canonical JSON is blessed as
+/// `tests/golden/tails_quick.json` and gated by `repro verify`;
+/// `--sweep-json FILE` writes the canonical report for either scale.
+///
+/// Unlike `repro dc`, retransmit-limit aborts are *data*, not
+/// failures: the mbuf-exhaustion regime is expected to kill client
+/// rounds, and the table flags such cells with `!`. Only payload
+/// corruption or a cell that silently produced nothing fail the run.
+fn cmd_tails(opts: &Opts) -> i32 {
+    let (name, cells) = if opts.quick {
+        ("tails_quick", world::tails_quick_grid())
+    } else {
+        ("tails", world::tails_grid())
+    };
+    eprintln!(
+        "tails: {} cell(s) across {} worker(s)...",
+        cells.len(),
+        opts.jobs
+    );
+    let results = world::run_tails_cells(&cells, opts.jobs);
+    let rows = world::tails_rows(&cells, &results);
+    print!("{}", latency_core::tails::format_table(&rows));
+    let mut code = 0;
+    for (c, r) in cells.iter().zip(&results) {
+        if r.verify_failures > 0 || (r.completions.is_empty() && r.fanout_aborts == 0) {
+            code = 1;
+            eprintln!(
+                "tails: {}: FAILED ({} completion(s), {} verify failure(s), {} abort(s))",
+                c.cell.key,
+                r.completions.len(),
+                r.verify_failures,
+                r.fanout_aborts
+            );
+        }
+    }
+    if let Some(path) = &opts.sweep_json {
+        let p = out_path(opts, path);
+        std::fs::write(&p, world::tails_canonical_json(name, &cells, &results))
+            .expect("write tails sweep json");
+        eprintln!("tails canonical report written to {}", p.display());
+    }
+    if code == 0 {
+        eprintln!("tails: {} cell(s) clean", results.len());
     }
     code
 }

@@ -54,6 +54,7 @@ pub mod paper;
 pub mod recovery;
 pub mod stats;
 pub mod tables;
+pub mod tails;
 pub mod world;
 
 pub use breakdown::{compute_breakdown_samples, RxBreakdown, TxBreakdown};

@@ -189,13 +189,42 @@ pub fn reduce(sc_name: &str, size: usize, r: &RunResult, clean_mean_us: f64) -> 
 
 /// The RTT sample set as a capture-style latency distribution
 /// (`simcap`'s nearest-rank percentiles over nanoseconds).
+///
+/// A sample above `i64::MAX` nanoseconds (≈292 years of simulated
+/// time) cannot be represented in the distribution; it trips a debug
+/// assertion here because a clamped sample would masquerade as a real
+/// tail maximum. Release callers that must tolerate it use
+/// [`rtt_dist_counted`] and surface the count.
 #[must_use]
 pub fn rtt_dist(rtts: &[SimTime]) -> LatencyDist {
-    LatencyDist::from_samples(
-        rtts.iter()
-            .map(|t| i64::try_from(t.as_ns()).unwrap_or(i64::MAX))
-            .collect(),
-    )
+    let (dist, saturated) = rtt_dist_counted(rtts);
+    debug_assert_eq!(
+        saturated, 0,
+        "{saturated} RTT sample(s) overflowed i64 nanoseconds and were \
+         clamped to i64::MAX — the distribution's tail is a lie"
+    );
+    dist
+}
+
+/// [`rtt_dist`] with the saturation made explicit: returns the
+/// distribution plus how many samples were clamped to `i64::MAX` ns
+/// because they did not fit in a signed 64-bit nanosecond count.
+///
+/// A non-zero count means the max (and any percentile that lands on a
+/// clamped sample) is a floor, not a measurement.
+#[must_use]
+pub fn rtt_dist_counted(rtts: &[SimTime]) -> (LatencyDist, u64) {
+    let mut saturated = 0u64;
+    let samples = rtts
+        .iter()
+        .map(|t| {
+            i64::try_from(t.as_ns()).unwrap_or_else(|_| {
+                saturated += 1;
+                i64::MAX
+            })
+        })
+        .collect();
+    (LatencyDist::from_samples(samples), saturated)
 }
 
 /// Formats the study as a table, one row per scenario × size.
@@ -350,6 +379,21 @@ mod tests {
             "the abort came from the retransmit limit: {r:?}"
         );
         assert!(r.events < 10_000, "the run terminated promptly: {r:?}");
+    }
+
+    #[test]
+    fn rtt_dist_counts_saturated_samples_instead_of_hiding_them() {
+        let fits = SimTime::from_ns(1_000);
+        let overflows = SimTime::from_ns(u64::MAX);
+        let (dist, saturated) = rtt_dist_counted(&[fits, overflows, overflows]);
+        assert_eq!(saturated, 2);
+        assert_eq!(dist.count(), 3);
+        assert_eq!(dist.max_ns(), i64::MAX, "clamped, and reported as such");
+        // The in-range path stays exact and reports zero saturation.
+        let (dist, saturated) = rtt_dist_counted(&[fits]);
+        assert_eq!(saturated, 0);
+        assert_eq!(dist.samples(), &[1_000]);
+        assert_eq!(rtt_dist(&[fits]).samples(), &[1_000]);
     }
 
     #[test]

@@ -1,0 +1,326 @@
+//! The tail-at-scale fan-out study.
+//!
+//! The paper's tables price one round trip between two hosts; modern
+//! datacenter services price the *slowest of N*. A client that fans a
+//! logical request out to N servers and waits for every reply turns a
+//! rare per-server hiccup into a common per-request one: if a single
+//! sub-request lands in the slow tail with probability `p`, the
+//! logical request does with probability `1 - (1 - p)^N`. At N = 64
+//! a 1-in-100 hiccup hits nearly half of all requests — the p99
+//! becomes the p50's problem ("Deconstructing the Tail at Scale
+//! Effect", PAPERS.md).
+//!
+//! Each study cell runs the fan-out/wait-for-all world from
+//! `crates/world` under one faultkit regime, with or without
+//! background churn traffic, and reduces the per-request completion
+//! times (the max over the N sub-request RTTs) to p50 / p99 / p999
+//! plus the **tail-amplification ratio**: p99 at fan-out N divided by
+//! p99 at fan-out 1 in the same regime. The paper-predicted signature
+//! is amplification growing with N while the median stays near flat.
+//!
+//! Percentile hygiene matters more here than anywhere else in the
+//! repo, so this module leans on the guarded accessors: p999 is
+//! `None` (rendered `-`, JSON `null`) below `simcap`'s minimum sample
+//! floor, and clamped RTT samples are counted, never silently folded
+//! into the max (see [`crate::recovery::rtt_dist_counted`]).
+
+use faultkit::{FaultSchedule, GilbertElliott};
+use simkit::SimTime;
+
+use crate::recovery::{rtt_dist_counted, Scenario};
+
+/// The study's fault regimes, clean baseline first.
+///
+/// Order is part of the report: tables and canonical JSON render in
+/// this order. Names are stable sweep-key components.
+#[must_use]
+pub fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "clean",
+            blurb: "no injected faults (tail from contention alone)",
+            faults: FaultSchedule::default(),
+        },
+        Scenario {
+            name: "burst-loss",
+            blurb: "rare short cell-loss bursts (GE light) on server uplinks",
+            faults: FaultSchedule::default().with_atm_loss(GilbertElliott::light_bursts()),
+        },
+        Scenario {
+            name: "fifo-overrun",
+            blurb: "8-cell server RX FIFO + 12-cell drain stalls",
+            faults: FaultSchedule::default()
+                .with_rx_fifo_cells(8)
+                .with_rx_contention(0.002, 12),
+        },
+        Scenario {
+            name: "mbuf-exhaustion",
+            blurb: "server pools sized below the incast burst: ENOBUFS sheds",
+            faults: FaultSchedule::default().with_mbuf_limit(12),
+        },
+    ]
+}
+
+/// The scenario named `name`, if the study defines it.
+#[must_use]
+pub fn scenario(name: &str) -> Option<Scenario> {
+    scenarios().into_iter().find(|s| s.name == name)
+}
+
+/// One row of the tails table: a scenario × fan-out × churn cell.
+#[derive(Clone, Debug)]
+pub struct TailsRow {
+    /// Scenario name.
+    pub scenario: String,
+    /// Fan-out width N (sub-requests per logical request).
+    pub fanout: usize,
+    /// Whether background churn traffic shared the fabric.
+    pub churn: bool,
+    /// Measured logical-request completions.
+    pub samples: u64,
+    /// Client hosts whose fan-out round was aborted by the retransmit
+    /// limit (their remaining rounds are missing from `samples`).
+    pub aborted: u64,
+    /// Completion samples clamped to `i64::MAX` ns (must be zero for
+    /// the tail columns to be trustworthy).
+    pub saturated: u64,
+    /// Mean completion in µs.
+    pub mean_us: f64,
+    /// Median completion in µs.
+    pub p50_us: f64,
+    /// 99th-percentile completion in µs.
+    pub p99_us: f64,
+    /// 99.9th-percentile completion in µs; `None` when the cell holds
+    /// fewer than [`simcap::P999_MIN_SAMPLES`] samples (nearest-rank
+    /// p999 would just repeat the max).
+    pub p999_us: Option<f64>,
+    /// Worst completion in µs.
+    pub max_us: f64,
+    /// `p50 / p50(fan-out 1)` within the same scenario × churn group;
+    /// `None` until [`amplify`] runs or when the baseline is missing
+    /// or degenerate.
+    pub amp_p50: Option<f64>,
+    /// `p99 / p99(fan-out 1)` — the tail-amplification ratio.
+    pub amp_p99: Option<f64>,
+}
+
+/// Reduces one cell's completion times to a row.
+///
+/// Amplification columns start `None`; call [`amplify`] once every
+/// row of the study exists, so each cell can find its fan-out-1
+/// baseline.
+#[must_use]
+pub fn reduce(
+    scenario: &str,
+    fanout: usize,
+    churn: bool,
+    completions: &[SimTime],
+    aborted: u64,
+) -> TailsRow {
+    let (dist, saturated) = rtt_dist_counted(completions);
+    let us = |ns: i64| ns as f64 / 1000.0;
+    TailsRow {
+        scenario: scenario.to_string(),
+        fanout,
+        churn,
+        samples: completions.len() as u64,
+        aborted,
+        saturated,
+        mean_us: dist.mean_us(),
+        p50_us: us(dist.percentile_ns(50.0)),
+        p99_us: us(dist.percentile_ns(99.0)),
+        p999_us: dist.p999_ns().map(us),
+        max_us: us(dist.max_ns()),
+        amp_p50: None,
+        amp_p99: None,
+    }
+}
+
+/// Fills the amplification columns: each row is divided by the
+/// fan-out-1 row of the same scenario × churn group.
+///
+/// A row with no baseline (the group has no fan-out-1 cell, or the
+/// baseline percentile is zero or itself unsampled) keeps `None` —
+/// rendered as `-` / JSON `null` rather than a made-up ratio.
+pub fn amplify(rows: &mut [TailsRow]) {
+    let bases: Vec<(String, bool, f64, f64)> = rows
+        .iter()
+        .filter(|r| r.fanout == 1 && r.samples > 0)
+        .map(|r| (r.scenario.clone(), r.churn, r.p50_us, r.p99_us))
+        .collect();
+    for row in rows.iter_mut() {
+        let base = bases
+            .iter()
+            .find(|(s, c, _, _)| *s == row.scenario && *c == row.churn);
+        if let Some((_, _, b50, b99)) = base {
+            if row.samples > 0 {
+                row.amp_p50 = (*b50 > 0.0).then(|| row.p50_us / b50);
+                row.amp_p99 = (*b99 > 0.0).then(|| row.p99_us / b99);
+            }
+        }
+    }
+}
+
+/// Formats the study as a table, one row per scenario × fan-out ×
+/// churn cell, in the given order.
+#[must_use]
+pub fn format_table(rows: &[TailsRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from(
+        "tail at scale (fan-out/wait-for-all RPC over the switched ATM\n\
+         fabric): completion time = max over N parallel sub-requests\n",
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:>4} {:>6} | {:>9} {:>9} {:>9} {:>9} {:>10} | {:>8} {:>8} | {:>5}",
+        "scenario",
+        "N",
+        "churn",
+        "mean(us)",
+        "p50(us)",
+        "p99(us)",
+        "p999(us)",
+        "worst(us)",
+        "amp(p50)",
+        "amp(p99)",
+        "n"
+    );
+    let opt = |v: Option<f64>, width: usize, prec: usize| -> String {
+        match v {
+            Some(x) => format!("{x:>width$.prec$}"),
+            None => format!("{:>width$}", "-"),
+        }
+    };
+    for r in rows {
+        if r.samples == 0 {
+            let _ = writeln!(
+                out,
+                "{:<16} {:>4} {:>6} | {:>9} {:>9} {:>9} {:>9} {:>10} | {:>8} {:>8} | {:>4}!",
+                r.scenario,
+                r.fanout,
+                if r.churn { "on" } else { "off" },
+                "-",
+                "-",
+                "-",
+                "-",
+                "-",
+                "-",
+                "-",
+                0,
+            );
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "{:<16} {:>4} {:>6} | {:>9.0} {:>9.0} {:>9.0} {} {:>10.0} | {} {} | {:>4}{}",
+            r.scenario,
+            r.fanout,
+            if r.churn { "on" } else { "off" },
+            r.mean_us,
+            r.p50_us,
+            r.p99_us,
+            opt(r.p999_us, 9, 0),
+            r.max_us,
+            opt(r.amp_p50, 8, 2),
+            opt(r.amp_p99, 8, 2),
+            r.samples,
+            if r.aborted > 0 { "!" } else { "" },
+        );
+    }
+    out.push_str(
+        "(p999 '-' = under the 1000-sample nearest-rank floor; '!' =\n\
+         some client rounds hit the retransmit-limit abort; amp = ratio\n\
+         to the fan-out-1 cell of the same scenario x churn group.)\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_us(us)
+    }
+
+    #[test]
+    fn scenario_names_are_unique_and_clean_first() {
+        let all = scenarios();
+        assert_eq!(all[0].name, "clean");
+        assert!(all[0].faults.is_clean());
+        let mut names: Vec<_> = all.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+        assert!(scenario("burst-loss").is_some());
+        assert!(scenario("nope").is_none());
+    }
+
+    #[test]
+    fn reduce_refuses_fake_p999_on_small_cells() {
+        let row = reduce("clean", 4, false, &[t(100), t(110), t(500)], 0);
+        assert_eq!(row.samples, 3);
+        assert_eq!(row.p999_us, None, "3 samples cannot estimate p999");
+        assert_eq!(row.saturated, 0);
+        assert!(row.p99_us >= row.p50_us);
+        assert!((row.max_us - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reduce_reports_p999_above_the_sample_floor() {
+        let samples: Vec<SimTime> = (1..=2000).map(t).collect();
+        let row = reduce("clean", 16, true, &samples, 0);
+        assert_eq!(row.samples, 2000);
+        let p999 = row.p999_us.expect("2000 samples clear the floor");
+        assert!(p999 < row.max_us, "p999 {p999} must not collapse to max");
+    }
+
+    #[test]
+    fn amplify_divides_by_the_matching_fanout_1_cell() {
+        let mut rows = vec![
+            reduce("clean", 1, false, &[t(100), t(100), t(100)], 0),
+            reduce("clean", 16, false, &[t(100), t(120), t(300)], 0),
+            // Different churn setting: must NOT share the baseline.
+            reduce("clean", 16, true, &[t(400), t(400), t(400)], 0),
+        ];
+        amplify(&mut rows);
+        assert_eq!(rows[0].amp_p99, Some(1.0), "baseline divides itself");
+        assert_eq!(rows[0].amp_p50, Some(1.0));
+        assert!((rows[1].amp_p99.unwrap() - 3.0).abs() < 1e-9);
+        assert!((rows[1].amp_p50.unwrap() - 1.2).abs() < 1e-9);
+        assert_eq!(rows[2].amp_p99, None, "churn group has no fan-out-1 cell");
+    }
+
+    #[test]
+    fn amplify_skips_empty_and_degenerate_baselines() {
+        let mut rows = vec![
+            reduce("clean", 1, false, &[], 1),
+            reduce("clean", 4, false, &[t(10)], 0),
+            reduce("burst-loss", 1, false, &[SimTime::ZERO], 0),
+            reduce("burst-loss", 4, false, &[t(10)], 0),
+        ];
+        amplify(&mut rows);
+        assert_eq!(rows[1].amp_p99, None, "empty baseline yields no ratio");
+        assert_eq!(
+            rows[3].amp_p99, None,
+            "zero-valued baseline percentile yields no ratio"
+        );
+    }
+
+    #[test]
+    fn table_renders_sampled_empty_and_unsampled_rows() {
+        let mut rows = vec![
+            reduce("clean", 1, false, &[t(100), t(110)], 0),
+            reduce("clean", 64, true, &[t(100), t(900)], 2),
+            reduce("mbuf-exhaustion", 64, true, &[], 4),
+        ];
+        amplify(&mut rows);
+        let text = format_table(&rows);
+        assert!(text.contains("scenario"));
+        assert!(text.contains("amp(p99)"));
+        assert!(text.contains("mbuf-exhaustion"));
+        assert!(text.contains('!'), "aborted rows are flagged");
+        // Under-sampled p999 renders as '-', not a number.
+        assert!(text.contains(" - "));
+    }
+}

@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// One cell's blessed numbers.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct GoldenCell {
     /// Derived FNV seed for the cell.
     pub seed: u64,
@@ -34,6 +34,12 @@ pub struct GoldenCell {
     pub sim_time_us: Option<f64>,
     /// Payload verification failures.
     pub verify_failures: u64,
+    /// Study-specific numeric fields beyond the base schema (the
+    /// tails report appends `p50_us`, `amp_p99`, …). Kept by name so
+    /// new studies get golden-gated without a parser change; `None`
+    /// records a blessed `null` (e.g. an under-sampled p999) and must
+    /// match as `null`.
+    pub extras: BTreeMap<String, Option<f64>>,
 }
 
 /// A parsed canonical sweep report.
@@ -51,7 +57,7 @@ pub struct Drift {
     /// Grid key of the drifting cell (empty for report-level drift).
     pub key: String,
     /// Which field drifted.
-    pub field: &'static str,
+    pub field: String,
     /// The blessed value.
     pub golden: String,
     /// The live value.
@@ -248,7 +254,7 @@ pub fn parse_report(text: &str) -> Result<GoldenReport, String> {
                             sc.i += 1;
                         }
                     }
-                    let cell = GoldenCell {
+                    let mut cell = GoldenCell {
                         seed: take_u64(&fields, "seed").map_err(|e| format!("{cell_key}: {e}"))?,
                         reps: take_u64(&fields, "reps").map_err(|e| format!("{cell_key}: {e}"))?,
                         samples: take_u64(&fields, "samples")
@@ -267,7 +273,23 @@ pub fn parse_report(text: &str) -> Result<GoldenReport, String> {
                             .map_err(|e| format!("{cell_key}: {e}"))?,
                         verify_failures: take_u64(&fields, "verify_failures")
                             .map_err(|e| format!("{cell_key}: {e}"))?,
+                        extras: BTreeMap::new(),
                     };
+                    for base in [
+                        "seed",
+                        "reps",
+                        "samples",
+                        "mean_us",
+                        "stddev_us",
+                        "min_us",
+                        "max_us",
+                        "events",
+                        "sim_time_us",
+                        "verify_failures",
+                    ] {
+                        fields.remove(base);
+                    }
+                    cell.extras = fields;
                     report.cells.insert(cell_key, cell);
                     if sc.peek() == Some(b',') {
                         sc.i += 1;
@@ -290,11 +312,11 @@ pub fn parse_report(text: &str) -> Result<GoldenReport, String> {
 // Comparator.
 // --------------------------------------------------------------------------
 
-fn cmp_exact(drifts: &mut Vec<Drift>, key: &str, field: &'static str, g: u64, l: u64) {
+fn cmp_exact(drifts: &mut Vec<Drift>, key: &str, field: &str, g: u64, l: u64) {
     if g != l {
         drifts.push(Drift {
             key: key.to_string(),
-            field,
+            field: field.to_string(),
             golden: g.to_string(),
             live: l.to_string(),
         });
@@ -304,7 +326,7 @@ fn cmp_exact(drifts: &mut Vec<Drift>, key: &str, field: &'static str, g: u64, l:
 fn cmp_tol(
     drifts: &mut Vec<Drift>,
     key: &str,
-    field: &'static str,
+    field: &str,
     g: Option<f64>,
     l: Option<f64>,
     tol_us: f64,
@@ -318,7 +340,7 @@ fn cmp_tol(
     if !ok {
         drifts.push(Drift {
             key: key.to_string(),
-            field,
+            field: field.to_string(),
             golden: show(g),
             live: show(l),
         });
@@ -341,7 +363,7 @@ pub fn compare_reports(golden: &GoldenReport, live: &GoldenReport, tol_us: f64) 
     if golden.name != live.name {
         drifts.push(Drift {
             key: String::new(),
-            field: "name",
+            field: "name".to_string(),
             golden: golden.name.clone(),
             live: live.name.clone(),
         });
@@ -350,7 +372,7 @@ pub fn compare_reports(golden: &GoldenReport, live: &GoldenReport, tol_us: f64) 
         let Some(l) = live.cells.get(key) else {
             drifts.push(Drift {
                 key: key.clone(),
-                field: "cell",
+                field: "cell".to_string(),
                 golden: "present".into(),
                 live: "missing".into(),
             });
@@ -386,12 +408,37 @@ pub fn compare_reports(golden: &GoldenReport, live: &GoldenReport, tol_us: f64) 
             l.sim_time_us,
             tol_us,
         );
+        // Study-specific extras compare pairwise by name: a field
+        // present on only one side is drift (the cell schema itself
+        // changed), a blessed `null` must stay `null`, and numeric
+        // values share the statistics tolerance.
+        for (name, gv) in &g.extras {
+            match l.extras.get(name) {
+                Some(lv) => cmp_tol(&mut drifts, key, name, *gv, *lv, tol_us),
+                None => drifts.push(Drift {
+                    key: key.clone(),
+                    field: name.clone(),
+                    golden: gv.map_or("null".to_string(), |x| format!("{x}")),
+                    live: "absent".into(),
+                }),
+            }
+        }
+        for (name, lv) in &l.extras {
+            if !g.extras.contains_key(name) {
+                drifts.push(Drift {
+                    key: key.clone(),
+                    field: name.clone(),
+                    golden: "absent".into(),
+                    live: lv.map_or("null".to_string(), |x| format!("{x}")),
+                });
+            }
+        }
     }
     for key in live.cells.keys() {
         if !golden.cells.contains_key(key) {
             drifts.push(Drift {
                 key: key.clone(),
-                field: "cell",
+                field: "cell".to_string(),
                 golden: "missing".into(),
                 live: "present".into(),
             });
@@ -458,6 +505,64 @@ mod tests {
         l.cells.insert("rpc/atm/9000/base/i200r1".into(), cell);
         let drifts = compare_reports(&g, &l, 0.1);
         assert_eq!(drifts.len(), 2);
+    }
+
+    const TAILS_SAMPLE: &str = concat!(
+        "{\n",
+        "  \"name\": \"tails_quick\",\n",
+        "  \"cells\": {\n",
+        "    \"tails/clean/f4/solo/i6r1\": { \"seed\": 42, \"reps\": 1, ",
+        "\"samples\": 12, \"mean_us\": 744.2, \"stddev_us\": 0.5, ",
+        "\"min_us\": 744.0, \"max_us\": 745.0, \"events\": 12345, ",
+        "\"sim_time_us\": 160000.5, \"verify_failures\": 0, ",
+        "\"p50_us\": 744.1, \"p99_us\": 745.0, \"p999_us\": null, ",
+        "\"amp_p50\": 1.0, \"amp_p99\": 1.3, \"fanout_aborts\": 0 }\n",
+        "  }\n",
+        "}\n"
+    );
+
+    #[test]
+    fn extras_parse_compare_and_gate_nulls() {
+        let g = parse_report(TAILS_SAMPLE).expect("parse");
+        let c = &g.cells["tails/clean/f4/solo/i6r1"];
+        assert_eq!(c.extras.get("p999_us"), Some(&None));
+        assert_eq!(c.extras.get("amp_p99"), Some(&Some(1.3)));
+        assert!(!c.extras.contains_key("mean_us"), "base fields stay typed");
+        assert!(compare_reports(&g, &g, 0.0).is_empty());
+
+        // Numeric extra drifting beyond tolerance is reported by name.
+        let mut l = g.clone();
+        *l.cells
+            .get_mut("tails/clean/f4/solo/i6r1")
+            .unwrap()
+            .extras
+            .get_mut("p99_us")
+            .unwrap() = Some(745.2);
+        let drifts = compare_reports(&g, &l, 0.05);
+        assert_eq!(drifts.len(), 1);
+        assert_eq!(drifts[0].field, "p99_us");
+
+        // A blessed null replaced by a number is drift even within
+        // tolerance: the cell's sampling adequacy changed.
+        let mut l = g.clone();
+        *l.cells
+            .get_mut("tails/clean/f4/solo/i6r1")
+            .unwrap()
+            .extras
+            .get_mut("p999_us")
+            .unwrap() = Some(745.0);
+        assert_eq!(compare_reports(&g, &l, 1e9).len(), 1);
+
+        // A vanished extra field is drift, as is a new one.
+        let mut l = g.clone();
+        l.cells
+            .get_mut("tails/clean/f4/solo/i6r1")
+            .unwrap()
+            .extras
+            .remove("amp_p50");
+        let drifts = compare_reports(&g, &l, 0.05);
+        assert_eq!(drifts.len(), 1);
+        assert_eq!(drifts[0].live, "absent");
     }
 
     #[test]

@@ -74,6 +74,14 @@ pub enum PredictError {
         /// Hosts in the offending world.
         hosts: usize,
     },
+    /// The world is a fan-out/wait-for-all client: its completion time
+    /// is the *max* over N coupled sub-request RTTs, an order
+    /// statistic the per-connection orbit cannot express even before
+    /// the shared switch enters the picture.
+    FanoutWorld {
+        /// Fan-out width N of the offending world.
+        width: usize,
+    },
 }
 
 impl fmt::Display for PredictError {
@@ -85,6 +93,12 @@ impl fmt::Display for PredictError {
                 f,
                 "analytic model covers exactly two hosts on a private fiber; \
                  this world has {hosts} hosts behind a shared switch"
+            ),
+            PredictError::FanoutWorld { width } => write!(
+                f,
+                "analytic model prices one connection's round trip; a \
+                 fan-out world completes on the slowest of {width} parallel \
+                 sub-requests (an order statistic, not an orbit)"
             ),
         }
     }
@@ -166,9 +180,17 @@ pub fn predict(exp: &Experiment) -> Result<Prediction, PredictError> {
 ///
 /// # Errors
 ///
-/// Always: [`PredictError::MultiHostWorld`] for more than two hosts,
+/// Always: [`PredictError::FanoutWorld`] for a fan-out/wait-for-all
+/// world (the most specific refusal — completion is an order
+/// statistic, wrong for the model regardless of host count),
+/// [`PredictError::MultiHostWorld`] for more than two hosts,
 /// [`PredictError::Unsupported`] for a switched two-host world.
 pub fn predict_dc(topo: &world::Topology) -> Result<Prediction, PredictError> {
+    if topo.fanout_width > 0 {
+        return Err(PredictError::FanoutWorld {
+            width: topo.fanout_width,
+        });
+    }
     let hosts = topo.hosts();
     if hosts > 2 {
         return Err(PredictError::MultiHostWorld { hosts });
@@ -1479,6 +1501,25 @@ mod tests {
         ));
         let msg = predict_dc(&big).unwrap_err().to_string();
         assert!(msg.contains("34 hosts"), "{msg}");
+    }
+
+    #[test]
+    fn fanout_worlds_are_refused_before_the_host_count_check() {
+        let fo = world::Topology::fanout(4, 16);
+        match predict_dc(&fo) {
+            Err(PredictError::FanoutWorld { width }) => assert_eq!(width, 16),
+            other => panic!("expected FanoutWorld, got {other:?}"),
+        }
+        // Even a width-1 fan-out world is refused as FanoutWorld, not
+        // mistaken for a point-to-point pair: the barrier semantics
+        // (and the switch) are still there.
+        let narrow = world::Topology::fanout(1, 1);
+        match predict_dc(&narrow) {
+            Err(PredictError::FanoutWorld { width }) => assert_eq!(width, 1),
+            other => panic!("expected FanoutWorld, got {other:?}"),
+        }
+        let msg = predict_dc(&fo).unwrap_err().to_string();
+        assert!(msg.contains("slowest of 16"), "{msg}");
     }
 
     #[test]

@@ -4,12 +4,22 @@
 //! measurement points. The analyzer parses both captures, matches
 //! segments by (src, dst, sport, dport, seq, ack) with FIFO order for
 //! duplicates (retransmissions), and reduces the timestamp deltas to
-//! a distribution: min / median / p99 / max plus a log2 histogram —
-//! tails, not just the means the paper's tables report.
+//! a distribution: min / median / p99 / p999 / max plus a log2
+//! histogram — tails, not just the means the paper's tables report.
+//! The p999 accessor is guarded: nearest-rank 99.9% needs at least
+//! [`P999_MIN_SAMPLES`] samples before it reports anything other than
+//! the maximum, so [`LatencyDist::p999_ns`] returns `None` below that.
 
 use crate::packet::{parse, TcpKey};
 use crate::pcap::Capture;
 use std::collections::{HashMap, VecDeque};
+
+/// Minimum sample count for a meaningful nearest-rank p999.
+///
+/// With `n < 1000` the nearest-rank formula `ceil(0.999 * n)` lands on
+/// rank `n` — the maximum — so a "p999" on a smaller set is just `max`
+/// wearing a percentile costume.
+pub const P999_MIN_SAMPLES: usize = 1000;
 
 /// An ordered latency sample set (nanoseconds; signed so a reversed
 /// tap pair is visible instead of wrapping).
@@ -51,6 +61,13 @@ impl LatencyDist {
     /// or above 100 to the maximum, so out-of-range requests can never
     /// index past the sample vector (a one-sample distribution returns
     /// that sample for every `p`).
+    ///
+    /// The nearest rank is `ceil(p/100 * n)` computed with a 1e-9
+    /// guard band: `p/100 * n` is not exact in binary floating point
+    /// (e.g. `99.9/100 * 1000` evaluates to `999.0000000000001`), and
+    /// without the guard the stray ulp pushes `ceil` one rank too
+    /// high — p999 of exactly 1000 samples would silently report the
+    /// maximum instead of rank 999.
     #[must_use]
     pub fn percentile_ns(&self, p: f64) -> i64 {
         if self.samples.is_empty() {
@@ -67,8 +84,8 @@ impl LatencyDist {
             clippy::cast_sign_loss,
             clippy::cast_precision_loss
         )]
-        let rank =
-            ((p / 100.0 * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
+        let rank = ((p / 100.0 * self.samples.len() as f64 - 1e-9).ceil() as usize)
+            .clamp(1, self.samples.len());
         self.samples[rank - 1]
     }
 
@@ -82,6 +99,22 @@ impl LatencyDist {
     #[must_use]
     pub fn p99_ns(&self) -> i64 {
         self.percentile_ns(99.0)
+    }
+
+    /// 99.9th percentile in ns, or `None` when the distribution holds
+    /// fewer than [`P999_MIN_SAMPLES`] samples.
+    ///
+    /// Below that floor, nearest-rank p999 collapses to [`max_ns`]
+    /// (`ceil(0.999 * n) == n` for all `n < 1000`), which would let a
+    /// single outlier masquerade as a tail estimate. Callers that want
+    /// the clamped value anyway can still ask
+    /// [`percentile_ns`]`(99.9)` explicitly.
+    ///
+    /// [`max_ns`]: LatencyDist::max_ns
+    /// [`percentile_ns`]: LatencyDist::percentile_ns
+    #[must_use]
+    pub fn p999_ns(&self) -> Option<i64> {
+        (self.count() >= P999_MIN_SAMPLES).then(|| self.percentile_ns(99.9))
     }
 
     /// Mean in µs.
@@ -309,6 +342,42 @@ mod tests {
         assert_eq!(d.p99_ns(), 7);
         // Empty stays the documented 0.
         assert_eq!(LatencyDist::default().percentile_ns(50.0), 0);
+    }
+
+    #[test]
+    fn nearest_rank_is_robust_to_float_noise() {
+        // 0.99 * 100 evaluates to 99.00000000000001; without the guard
+        // band, ceil would land on rank 100 (the max) instead of the
+        // mathematically correct rank 99.
+        let d = LatencyDist::from_samples((0..100).collect());
+        assert_eq!(d.p99_ns(), 98);
+        // 0.5 * 4 is exact; the guard must not pull it down a rank.
+        let d = LatencyDist::from_samples(vec![1, 2, 3, 4]);
+        assert_eq!(d.median_ns(), 2);
+    }
+
+    #[test]
+    fn p999_refuses_undersampled_distributions() {
+        // 999 samples: nearest-rank p999 would be rank 999 == max, a
+        // fake tail. The guarded accessor refuses.
+        let d = LatencyDist::from_samples((0..999).collect());
+        assert_eq!(d.count(), P999_MIN_SAMPLES - 1);
+        assert_eq!(d.p999_ns(), None);
+        // But the raw percentile still answers (with the clamped max).
+        assert_eq!(d.percentile_ns(99.9), d.max_ns());
+        assert_eq!(LatencyDist::default().p999_ns(), None);
+    }
+
+    #[test]
+    fn p999_at_and_above_the_sample_floor() {
+        // Exactly 1000 samples 0..=999: ceil(0.999 * 1000) = 999, so
+        // p999 is the 999th-ranked sample (value 998), NOT the max.
+        let d = LatencyDist::from_samples((0..1000).collect());
+        assert_eq!(d.p999_ns(), Some(998));
+        assert!(d.p999_ns().unwrap() < d.max_ns());
+        // 2000 samples: rank ceil(1998.0) = 1998 -> value 1997.
+        let d = LatencyDist::from_samples((0..2000).collect());
+        assert_eq!(d.p999_ns(), Some(1997));
     }
 
     #[test]

@@ -38,6 +38,9 @@ enum ConnState {
     WantWrite(usize),
     /// Reading the next message.
     WantRead,
+    /// Sub-request done, waiting for the host's other fan-out
+    /// connections to finish the round (fan-out clients only).
+    AtBarrier,
     /// Finished (client: all iterations done; server: released).
     Done,
 }
@@ -66,6 +69,48 @@ pub struct DcConn {
     pub verify_failures: u64,
     /// Set when the connection died (retransmit limit under faults).
     pub aborted: bool,
+    /// This connection's RPC size in bytes (per-connection because
+    /// churn traffic runs a different size than the measured flows).
+    size: usize,
+    /// Rounds the client side runs (`warmup + iterations`;
+    /// `u64::MAX` for background churn, which never finishes on its
+    /// own).
+    total: u64,
+    /// Background churn connection: never measured, never counted
+    /// toward run completion.
+    background: bool,
+    /// Idle time between rounds (churn pacing; `ZERO` = closed loop).
+    think: SimTime,
+    /// When the last train from this connection's peer landed (the
+    /// hardware interrupt for its last cell). Fan-out clients end the
+    /// sub-request RTT here — "the slowest reply lands" — so the
+    /// client CPU's serialized protocol processing of N near-
+    /// simultaneous replies prices the *next* round's start, not the
+    /// completion being measured. Each fan-out connection has a
+    /// distinct peer server, so the sender identifies the connection
+    /// without TCP demultiplexing.
+    last_arrival: SimTime,
+}
+
+/// Fan-out/wait-for-all bookkeeping for one client host: the host's
+/// `width` connections each carry one sub-request per round, and the
+/// logical request completes when the slowest reply lands.
+pub struct FanoutCtl {
+    /// Fan-out width (== the host's connection count).
+    pub width: usize,
+    /// Sub-requests still outstanding in the current round.
+    pending: usize,
+    /// Completed barrier rounds.
+    round: u64,
+    /// Slowest sub-request RTT seen in the current round.
+    round_max: SimTime,
+    /// Per-round completion times (max over the round's sub-request
+    /// RTTs), recorded after warm-up.
+    pub completions: Vec<SimTime>,
+    /// Set when the retransmit limit killed one of the host's
+    /// sub-request connections: the remaining rounds can never
+    /// complete, so the whole fan-out host aborts.
+    pub aborted: bool,
 }
 
 /// One simulated host.
@@ -80,6 +125,9 @@ pub struct DcHost {
     timer_at: Option<SimTime>,
     /// Permanent engine timer slot for this host's TCP timer.
     timer: Option<TimerId>,
+    /// Fan-out barrier state (measured client hosts of a fan-out
+    /// world only).
+    pub fanout: Option<FanoutCtl>,
 }
 
 /// The datacenter world.
@@ -94,6 +142,8 @@ pub struct DcWorld {
     pub switch: AtmSwitch,
     /// Client connections still running.
     live_clients: usize,
+    /// The world seed; churn think-time draws derive from it.
+    seed: u64,
 }
 
 // The parallel sweep runner builds and runs one world per cell inside
@@ -119,6 +169,15 @@ fn host_seed(seed: u64, h: usize) -> u64 {
     seed ^ (h as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
+/// splitmix64 finalizer: one strong mixing step, used to turn a
+/// `(seed, host, conn, round)` tuple into an independent draw.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 impl DcWorld {
     /// Builds the world: one kernel + uplink per host, the shared
     /// switch with a per-destination VC plan, and every client-server
@@ -129,7 +188,14 @@ impl DcWorld {
         assert!(topo.clients > 0, "a world needs at least one client");
         assert!(topo.conns_per_host > 0, "at least one connection");
         assert!(topo.conns_per_host <= 4096, "client port space");
+        if topo.fanout_width > 0 {
+            assert_eq!(
+                topo.conns_per_host, topo.fanout_width,
+                "fan-out wiring: one connection per server"
+            );
+        }
         let n = topo.hosts();
+        let measured = topo.measured_hosts();
         let costs = CostModel::calibrated();
         let cfg = topo.strategy.apply(topo.stack);
         let mut hosts = Vec::with_capacity(n);
@@ -143,41 +209,78 @@ impl DcWorld {
                 hs,
             );
             let mut atm_nic = latency_core::nic::AtmNic::new(link, costs.clone(), 0, hs);
-            if let Some(faults) = &topo.faults {
-                atm_nic.arm_faults(faults, hs);
+            // Churn uplinks carry no fault schedule: per-cell jitter
+            // would break the FIFO order of a multi-cell AAL5 train
+            // and the reassembler would drop the PDU. The aperiodic
+            // think-time draw is the churn RNG stream instead.
+            if h < measured {
+                if let Some(faults) = &topo.faults {
+                    if topo.faults_apply_to(h) {
+                        atm_nic.arm_faults(faults, hs);
+                    }
+                }
             }
+            let fanout = (topo.fanout_width > 0 && h < topo.clients).then(|| FanoutCtl {
+                width: topo.fanout_width,
+                pending: topo.fanout_width,
+                round: 0,
+                round_max: SimTime::ZERO,
+                completions: Vec::new(),
+                aborted: false,
+            });
             hosts.push(DcHost {
                 kernel: Kernel::new(cfg, costs.clone()),
                 nic: DcNic::new(h, atm_nic),
                 conns: Vec::new(),
                 timer_at: None,
                 timer: None,
+                fanout,
             });
         }
 
+        // Client-side hosts in wiring order: measured clients, then
+        // churn hosts.
+        let client_side: Vec<usize> = (0..topo.clients).chain(measured..n).collect();
+
         let mut switch = AtmSwitch::new(n, topo.switch, host_seed(seed, n + 1));
-        for c in 0..topo.clients {
-            let srv = topo.server_of(c);
-            hosts[c].nic.add_peer(srv);
-            hosts[srv].nic.add_peer(c);
-            for (src, dst) in [(c, srv), (srv, c)] {
-                switch.add_vc(
-                    src,
-                    0,
-                    Topology::vci_to(dst),
-                    VcRoute {
-                        out_port: dst,
-                        out_vpi: 0,
-                        out_vci: Topology::vci_to(dst),
-                    },
-                );
+        for &c in &client_side {
+            let mut wired: Vec<usize> = Vec::new();
+            for j in 0..topo.conns_of(c) {
+                let srv = topo.peer_server(c, j);
+                if wired.contains(&srv) {
+                    continue;
+                }
+                wired.push(srv);
+                hosts[c].nic.add_peer(srv);
+                hosts[srv].nic.add_peer(c);
+                for (src, dst) in [(c, srv), (srv, c)] {
+                    switch.add_vc(
+                        src,
+                        0,
+                        Topology::vci_to(dst),
+                        VcRoute {
+                            out_port: dst,
+                            out_vpi: 0,
+                            out_vci: Topology::vci_to(dst),
+                        },
+                    );
+                }
             }
         }
 
         let mss = tcp_mss(latency_core::nic::ATM_MTU, cfg.mss_one_cluster);
-        for c in 0..topo.clients {
-            let srv = topo.server_of(c);
-            for j in 0..topo.conns_per_host {
+        for &c in &client_side {
+            let background = c >= measured;
+            for j in 0..topo.conns_of(c) {
+                let srv = topo.peer_server(c, j);
+                let (size, total, think) = if background {
+                    let ch = topo.churn.as_ref().expect("churn host implies config");
+                    // Per-server echo size: the heterogeneous hiccup
+                    // severity that keeps max-of-N growing with N.
+                    (ch.size_for(srv - topo.clients), u64::MAX, ch.think)
+                } else {
+                    (topo.rpc_size, topo.warmup + topo.iterations, SimTime::ZERO)
+                };
                 let lport = CLIENT_PORT + j as u16;
                 let key_c = PcbKey {
                     laddr: Topology::addr(c),
@@ -222,6 +325,11 @@ impl DcWorld {
                     rtts: Vec::new(),
                     verify_failures: 0,
                     aborted: false,
+                    size,
+                    total,
+                    background,
+                    think,
+                    last_arrival: SimTime::ZERO,
                 });
                 hosts[srv].conns.push(DcConn {
                     sock: sock_s,
@@ -236,6 +344,11 @@ impl DcWorld {
                     rtts: Vec::new(),
                     verify_failures: 0,
                     aborted: false,
+                    size,
+                    total,
+                    background,
+                    think: SimTime::ZERO,
+                    last_arrival: SimTime::ZERO,
                 });
             }
         }
@@ -247,6 +360,7 @@ impl DcWorld {
             hosts,
             switch,
             live_clients,
+            seed,
         }
     }
 
@@ -289,6 +403,12 @@ pub struct DcRunResult {
     pub verify_failures: u64,
     /// Connections that aborted (retransmit limit, under faults).
     pub aborted_conns: u64,
+    /// Fan-out worlds: per-logical-request completion times (the max
+    /// over each round's sub-request RTTs), pooled in client-host
+    /// order. Empty in classic incast mode.
+    pub completions: Vec<SimTime>,
+    /// Fan-out client hosts whose rounds were cut short by an abort.
+    pub fanout_aborts: u64,
     /// Events executed by the simulation.
     pub events: u64,
     /// Final simulated time.
@@ -339,24 +459,22 @@ impl DcRunResult {
 /// bug.
 #[must_use]
 pub fn run_dc(topo: &Topology, sched: TrafficSchedule, seed: u64) -> DcRunResult {
-    let world = DcWorld::new(topo.clone(), sched, seed);
-    let mut sim = prepare_dc(world);
-    sim.run();
+    let sim = run_dc_sim(topo, sched, seed);
     let w = &sim.world;
-    assert!(
-        w.finished(),
-        "deadlock: event queue empty with live connections \
-         (live_clients {})",
-        w.live_clients
-    );
     let mut rtts = Vec::new();
     let mut verify_failures = 0;
     let mut aborted_conns = 0;
+    let mut completions = Vec::new();
+    let mut fanout_aborts = 0;
     for host in &w.hosts {
         for conn in &host.conns {
             rtts.extend_from_slice(&conn.rtts);
             verify_failures += conn.verify_failures;
             aborted_conns += u64::from(conn.aborted);
+        }
+        if let Some(ctl) = &host.fanout {
+            completions.extend_from_slice(&ctl.completions);
+            fanout_aborts += u64::from(ctl.aborted);
         }
     }
     let clients = w.topo.clients;
@@ -371,14 +489,47 @@ pub fn run_dc(topo: &Topology, sched: TrafficSchedule, seed: u64) -> DcRunResult
         rtts,
         verify_failures,
         aborted_conns,
+        completions,
+        fanout_aborts,
         events: sim.events_executed(),
         sim_time: sim.now(),
         pcb: w.pcb_counters_where(|_| true),
-        server_pcb: w.pcb_counters_where(|h| h >= clients),
+        server_pcb: w.pcb_counters_where(|h| h >= clients && h < w.topo.measured_hosts()),
         switch_forwarded: fwd,
         switch_drops: drops,
         max_backlog_cells: backlog,
     }
+}
+
+/// Builds and runs a world, returning the final world state — tests
+/// inspect per-connection sub-request RTTs and per-host fan-out
+/// completions directly.
+///
+/// # Panics
+///
+/// Panics on protocol deadlock, like [`run_dc`].
+#[must_use]
+pub fn run_dc_world(topo: &Topology, sched: TrafficSchedule, seed: u64) -> DcWorld {
+    run_dc_sim(topo, sched, seed).world
+}
+
+fn run_dc_sim(topo: &Topology, sched: TrafficSchedule, seed: u64) -> Sim<DcWorld> {
+    let world = DcWorld::new(topo.clone(), sched, seed);
+    let mut sim = prepare_dc(world);
+    if sim.world.topo.churn.is_some() {
+        // Churn connections never finish on their own: stop when the
+        // measured clients are done instead of draining the queue.
+        let _ = sim.run_while(|w| !w.finished());
+    } else {
+        sim.run();
+    }
+    assert!(
+        sim.world.finished(),
+        "deadlock: event queue empty with live connections \
+         (live_clients {})",
+        sim.world.live_clients
+    );
+    sim
 }
 
 /// Packs a (host, connection) pair into a raw event payload.
@@ -397,20 +548,47 @@ fn prepare_dc(world: DcWorld) -> Sim<DcWorld> {
         sim.world.hosts[h].timer = Some(id);
     }
     let clients = sim.world.topo.clients;
-    for h in clients..sim.world.hosts.len() {
+    let measured = sim.world.topo.measured_hosts();
+    for h in clients..measured {
         for c in 0..sim.world.hosts[h].conns.len() {
             sim.schedule_raw(SimTime::ZERO, "dc-conn-start", conn_step_raw, pack(h, c));
         }
     }
     let sched = sim.world.sched;
+    let fanout = sim.world.topo.fanout_width > 0;
     for h in 0..clients {
         for c in 0..sim.world.hosts[h].conns.len() {
-            sim.schedule_raw(
-                sched.start_of(h, c),
-                "dc-conn-start",
-                conn_step_raw,
-                pack(h, c),
-            );
+            // A fan-out host issues its whole round at once: every
+            // sub-request starts at the host's slot (the client CPU
+            // serializes the actual writes).
+            let at = if fanout {
+                sched.start_of(h, 0)
+            } else {
+                sched.start_of(h, c)
+            };
+            sim.schedule_raw(at, "dc-conn-start", conn_step_raw, pack(h, c));
+        }
+    }
+    // Churn connections spread their first rounds across one think
+    // period so the background load starts de-phased instead of as
+    // one burst.
+    if let Some(ch) = sim.world.topo.churn.clone() {
+        let servers = sim.world.topo.servers() as u64;
+        let clients = sim.world.topo.clients;
+        for h in measured..sim.world.hosts.len() {
+            for c in 0..sim.world.hosts[h].conns.len() {
+                // Spread by the global server index so the whole
+                // churn population covers one think period even when
+                // it is sliced across several churn hosts.
+                let srv = (sim.world.topo.peer_server(h, c) - clients) as u64;
+                let spread = SimTime::from_ns(ch.think.as_ns() / servers * srv);
+                sim.schedule_raw(
+                    sched.start_of(h, c) + spread,
+                    "dc-churn-start",
+                    conn_step_raw,
+                    pack(h, c),
+                );
+            }
         }
     }
     sim
@@ -476,7 +654,9 @@ fn flush_dc(w: &mut DcWorld, s: &mut Scheduler<DcWorld>, h: usize) {
             // The hardware interrupt fires when the train's last cell
             // reaches the destination adapter.
             let at = last.max(s.now());
-            s.schedule_at(at, "dc-arrival", move |w, s| on_dc_arrival(w, s, dst, out));
+            s.schedule_at(at, "dc-arrival", move |w, s| {
+                on_dc_arrival(w, s, h, dst, out)
+            });
         }
         // A fully-lost train arrives nowhere; TCP's retransmit timer
         // is the recovery path.
@@ -492,13 +672,26 @@ fn flush_dc(w: &mut DcWorld, s: &mut Scheduler<DcWorld>, h: usize) {
     }
 }
 
-/// ATM datagram arrival at host `h`: the hardware interrupt.
+/// ATM datagram arrival at host `h` from host `src`: the hardware
+/// interrupt.
 fn on_dc_arrival(
     w: &mut DcWorld,
     s: &mut Scheduler<DcWorld>,
+    src: usize,
     h: usize,
     train: Vec<(SimTime, LinkFault)>,
 ) {
+    // Fan-out landing stamp: on a fan-out client, connection `c`
+    // talks exclusively to server `clients + h*width + c` (the
+    // client's private server block), so the sender maps to the
+    // connection without waiting for TCP demultiplexing (which runs
+    // serialized on the client CPU, after this interrupt).
+    if w.hosts[h].fanout.is_some() {
+        let first = w.topo.clients + h * w.topo.fanout_width;
+        if (first..first + w.topo.fanout_width).contains(&src) {
+            w.hosts[h].conns[src - first].last_arrival = s.now();
+        }
+    }
     let host = &mut w.hosts[h];
     if let Some(at) =
         latency_core::nic::atm_receive(&mut host.kernel, &mut host.nic.atm, s.now(), &train)
@@ -544,7 +737,11 @@ fn on_timer(w: &mut DcWorld, s: &mut Scheduler<DcWorld>, h: usize) {
 fn finish_client(w: &mut DcWorld, h: usize, c: usize) {
     if w.hosts[h].conns[c].state != ConnState::Done {
         w.hosts[h].conns[c].state = ConnState::Done;
-        w.live_clients -= 1;
+        // Background churn runs until the measured clients are done;
+        // it never counts toward completion.
+        if !w.hosts[h].conns[c].background {
+            w.live_clients -= 1;
+        }
     }
     if w.live_clients == 0 {
         for host in &mut w.hosts {
@@ -557,12 +754,21 @@ fn finish_client(w: &mut DcWorld, h: usize, c: usize) {
 
 /// Aborts both endpoints of a dead connection (a real stack would RST
 /// the peer); keeps the run live under faults.
+///
+/// On a fan-out host the whole logical request dies with any one of
+/// its sub-request connections — no future round can complete — so
+/// the abort widens to every connection of that client host.
 fn abort_pair(w: &mut DcWorld, h: usize, c: usize) {
     w.hosts[h].conns[c].aborted = true;
     let (peer_host, peer_conn, client) = {
         let conn = &w.hosts[h].conns[c];
         (conn.peer_host, conn.peer_conn, conn.client)
     };
+    let client_host = if client { h } else { peer_host };
+    if w.hosts[client_host].fanout.is_some() {
+        abort_fanout_host(w, client_host);
+        return;
+    }
     w.hosts[peer_host].conns[peer_conn].state = ConnState::Done;
     if client {
         finish_client(w, h, c);
@@ -572,20 +778,37 @@ fn abort_pair(w: &mut DcWorld, h: usize, c: usize) {
     }
 }
 
+/// Kills a fan-out client host: releases every server peer and
+/// finishes every sub-request connection. The host's completed
+/// rounds stay in `FanoutCtl::completions`; the aborted flag marks
+/// the truncation.
+fn abort_fanout_host(w: &mut DcWorld, ch: usize) {
+    if let Some(ctl) = &mut w.hosts[ch].fanout {
+        ctl.aborted = true;
+    }
+    for j in 0..w.hosts[ch].conns.len() {
+        let (ph, pc) = {
+            let conn = &w.hosts[ch].conns[j];
+            (conn.peer_host, conn.peer_conn)
+        };
+        w.hosts[ph].conns[pc].state = ConnState::Done;
+        finish_client(w, ch, j);
+    }
+}
+
 /// Runs one connection endpoint until it blocks or finishes — the RPC
 /// loop of the two-host world's app, per connection.
 fn conn_step(w: &mut DcWorld, s: &mut Scheduler<DcWorld>, h: usize, c: usize) {
     let mut now = s.now();
-    let size = w.topo.rpc_size;
-    let total = w.topo.warmup + w.topo.iterations;
     loop {
         let state = w.hosts[h].conns[c].state;
         match state {
-            ConnState::Done => break,
+            ConnState::Done | ConnState::AtBarrier => break,
             ConnState::WantWrite(offset) => {
                 let host = &mut w.hosts[h];
                 let conn = &mut host.conns[c];
-                if conn.client && conn.done_count >= total {
+                let size = conn.size;
+                if conn.client && conn.done_count >= conn.total {
                     finish_client(w, h, c);
                     break;
                 }
@@ -625,6 +848,7 @@ fn conn_step(w: &mut DcWorld, s: &mut Scheduler<DcWorld>, h: usize, c: usize) {
             ConnState::WantRead => {
                 let host = &mut w.hosts[h];
                 let conn = &mut host.conns[c];
+                let size = conn.size;
                 let want = size - conn.got.len();
                 let sock = conn.sock;
                 let out = {
@@ -650,16 +874,98 @@ fn conn_step(w: &mut DcWorld, s: &mut Scheduler<DcWorld>, h: usize, c: usize) {
                 if conn.got != expect {
                     conn.verify_failures += 1;
                 }
-                if conn.client {
-                    if conn.done_count >= w.topo.warmup {
-                        let rtt = now.quantized().saturating_since(conn.t_start);
-                        conn.rtts.push(rtt);
-                    }
-                    conn.done_count += 1;
+                if !conn.client {
+                    conn.state = ConnState::WantWrite(0);
+                    continue;
                 }
+                // Fan-out sub-requests end when the reply *lands* (the
+                // last train from the peer server); everyone else ends
+                // at read completion, as the benchmark did. The
+                // landing stamp keeps the client CPU's serialized
+                // processing of N near-simultaneous replies out of the
+                // measured completion — it delays the next round, not
+                // this one's slowest-reply arrival.
+                let landed = conn.last_arrival;
+                let is_fanout = landed > SimTime::ZERO && !conn.background;
+                let end = if is_fanout { landed } else { now };
+                let rtt = end.quantized().saturating_since(conn.t_start);
+                if !conn.background && conn.done_count >= w.topo.warmup {
+                    conn.rtts.push(rtt);
+                }
+                conn.done_count += 1;
                 conn.state = ConnState::WantWrite(0);
+                let think = conn.think;
+                let rounds = conn.done_count;
+                if w.hosts[h].fanout.is_some() {
+                    // The sub-request is done; the logical request is
+                    // done when the host's slowest one is.
+                    fanout_reply(w, s, h, c, rtt, now);
+                    break;
+                }
+                if think > SimTime::ZERO {
+                    // Churn pacing: idle before the next round, drawn
+                    // uniformly from [think, 2*think). A fixed period
+                    // would phase-lock with the measured rounds and
+                    // turn the collision rate into a per-seed lottery;
+                    // the draw makes background arrivals aperiodic, so
+                    // fan-out amplification reflects probability, not
+                    // phase.
+                    let draw = splitmix64(host_seed(w.seed, h) ^ ((c as u64) << 40) ^ rounds)
+                        % think.as_ns().max(1);
+                    let at = now.max(s.now()) + think + SimTime::from_ns(draw);
+                    s.schedule_raw_at(at, "dc-churn-next", conn_step_raw, pack(h, c));
+                    break;
+                }
             }
         }
+    }
+}
+
+/// A fan-out sub-request's reply landed on client host `h`: update
+/// the wait-for-all barrier. The last reply of a round records the
+/// logical completion (the round's slowest sub-request RTT) and
+/// either releases every connection into the next round or, after the
+/// final round, finishes the host.
+fn fanout_reply(
+    w: &mut DcWorld,
+    s: &mut Scheduler<DcWorld>,
+    h: usize,
+    c: usize,
+    rtt: SimTime,
+    now: SimTime,
+) {
+    let warmup = w.topo.warmup;
+    let total = w.hosts[h].conns[c].total;
+    let (pending, round, width) = {
+        let ctl = w.hosts[h].fanout.as_mut().expect("fan-out host");
+        ctl.round_max = ctl.round_max.max(rtt);
+        ctl.pending -= 1;
+        (ctl.pending, ctl.round, ctl.width)
+    };
+    if pending > 0 {
+        w.hosts[h].conns[c].state = ConnState::AtBarrier;
+        return;
+    }
+    {
+        let ctl = w.hosts[h].fanout.as_mut().expect("fan-out host");
+        if round >= warmup {
+            let done = ctl.round_max;
+            ctl.completions.push(done);
+        }
+        ctl.round += 1;
+        ctl.round_max = SimTime::ZERO;
+    }
+    if round + 1 >= total {
+        for j in 0..w.hosts[h].conns.len() {
+            finish_client(w, h, j);
+        }
+        return;
+    }
+    w.hosts[h].fanout.as_mut().expect("fan-out host").pending = width;
+    let at = now.max(s.now());
+    for j in 0..w.hosts[h].conns.len() {
+        w.hosts[h].conns[j].state = ConnState::WantWrite(0);
+        s.schedule_raw_at(at, "dc-fanout-next", conn_step_raw, pack(h, j));
     }
 }
 
@@ -742,6 +1048,72 @@ mod tests {
             hash.server_search_len(),
             mtf.server_search_len()
         );
+    }
+
+    #[test]
+    fn fanout_world_completes_and_records_completions() {
+        let mut t = Topology::fanout(2, 4);
+        t.iterations = 3;
+        t.warmup = 1;
+        let r = run_dc(&t, TrafficSchedule::staggered(), 7);
+        // 2 clients x 3 measured logical requests.
+        assert_eq!(r.completions.len(), 6);
+        // Sub-request RTTs: 2 clients x 4 conns x 3 measured rounds.
+        assert_eq!(r.rtts.len(), 24);
+        assert_eq!(r.verify_failures, 0);
+        assert_eq!(r.fanout_aborts, 0);
+        assert!(r.completions.iter().all(|&t| t > SimTime::ZERO));
+    }
+
+    #[test]
+    fn fanout_completion_is_the_rounds_slowest_subrequest() {
+        let mut t = Topology::fanout(1, 4);
+        t.iterations = 4;
+        t.warmup = 1;
+        let w = run_dc_world(&t, TrafficSchedule::staggered(), 3);
+        let ctl = w.hosts[0].fanout.as_ref().expect("fan-out client");
+        assert_eq!(ctl.completions.len(), 4);
+        for r in 0..4 {
+            let slowest = (0..4)
+                .map(|j| w.hosts[0].conns[j].rtts[r])
+                .max()
+                .expect("four sub-requests");
+            assert_eq!(ctl.completions[r], slowest, "round {r}");
+        }
+    }
+
+    #[test]
+    fn fanout_width_one_matches_subrequest_rtts_exactly() {
+        let mut t = Topology::fanout(2, 1);
+        t.iterations = 3;
+        t.warmup = 1;
+        let r = run_dc(&t, TrafficSchedule::staggered(), 9);
+        assert_eq!(r.completions, r.rtts, "N=1: the sub-request IS the request");
+    }
+
+    #[test]
+    fn fanout_same_seed_is_bit_identical() {
+        let mut t = Topology::fanout(2, 4);
+        t.iterations = 2;
+        t.warmup = 1;
+        t.churn = Some(crate::topology::ChurnTraffic::background());
+        let a = run_dc(&t, TrafficSchedule::staggered(), 5);
+        let b = run_dc(&t, TrafficSchedule::staggered(), 5);
+        assert_eq!(a.completions, b.completions);
+        assert_eq!(a.rtts, b.rtts);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.sim_time, b.sim_time);
+    }
+
+    #[test]
+    fn churn_world_stops_when_measured_clients_finish() {
+        let mut t = Topology::fanout(1, 2);
+        t.iterations = 2;
+        t.warmup = 1;
+        t.churn = Some(crate::topology::ChurnTraffic::background());
+        let r = run_dc(&t, TrafficSchedule::staggered(), 5);
+        assert_eq!(r.completions.len(), 2);
+        assert_eq!(r.verify_failures, 0);
     }
 
     #[test]

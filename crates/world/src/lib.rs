@@ -21,6 +21,14 @@
 //!   `faultkit` fault processes on every uplink;
 //! - [`run_dc`] pools per-connection RPC round-trips with PCB lookup
 //!   and switch contention counters for the `repro dc` study.
+//!
+//! The same machinery hosts the `repro tails` study: a fan-out
+//! topology ([`Topology::fanout`]) turns each client into a
+//! fan-out/wait-for-all RPC issuer — one logical request becomes N
+//! parallel sub-requests to N distinct servers, completing when the
+//! slowest reply lands — optionally with background churn traffic
+//! ([`topology::ChurnTraffic`]) sharing the fabric and fault
+//! schedules scoped to the servers ([`topology::FaultScope`]).
 
 #![warn(missing_docs)]
 
@@ -31,5 +39,9 @@ pub mod topology;
 
 pub use dc::{dc_pattern, run_dc, DcConn, DcHost, DcRunResult, DcWorld};
 pub use nic::{DcDelivery, DcNic};
-pub use study::{canonical_json, dc_grid, dc_quick_grid, run_dc_cells, DcCell, DcCellResult};
-pub use topology::{PcbStrategy, Topology, TrafficSchedule};
+pub use study::{
+    canonical_json, dc_grid, dc_quick_grid, rep_seed, run_dc_cells, run_tails_cells,
+    tails_canonical_json, tails_grid, tails_quick_grid, tails_rows, DcCell, DcCellResult,
+    TailsCell,
+};
+pub use topology::{ChurnTraffic, FaultScope, PcbStrategy, Topology, TrafficSchedule};

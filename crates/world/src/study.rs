@@ -1,5 +1,9 @@
-//! The `repro dc` study: a deterministic grid over hosts x
-//! connections x PCB strategy x incast fan-in.
+//! The `repro dc` and `repro tails` studies: deterministic grids over
+//! datacenter worlds.
+//!
+//! `repro dc` sweeps hosts x connections x PCB strategy x incast
+//! fan-in; `repro tails` sweeps fan-out width x fault scenario x
+//! background churn over the fan-out/wait-for-all world.
 //!
 //! Each grid cell is one [`Topology`] + [`TrafficSchedule`] pair; its
 //! seed derives from the cell *key* (not its position), so adding or
@@ -7,13 +11,22 @@
 //! run under `sweep::pool::run_ordered` so the report is
 //! byte-identical at any `--jobs` value. The canonical JSON replicates
 //! the `sweep.json` cell schema exactly — the oracle's report parser
-//! and the golden comparator work on it unchanged.
+//! and the golden comparator work on it unchanged (the tails report
+//! appends extra per-cell percentile fields, which the parser carries
+//! as extras and the comparator checks pairwise).
+//!
+//! Repetition seeding: rep 0 runs on the key-derived base seed (so
+//! single-rep grids — every golden — are untouched), and rep `r > 0`
+//! folds the rep into the key hash (`cell_seed("<key>/r<r>")`).
+//! The older `seed + rep` derivation could collide with an adjacent
+//! cell's base seed, silently correlating cells that must be
+//! independent.
 
 use simkit::SimTime;
 use tcpip::PcbCounters;
 
 use crate::dc::run_dc;
-use crate::topology::{PcbStrategy, Topology, TrafficSchedule};
+use crate::topology::{ChurnTraffic, FaultScope, PcbStrategy, Topology, TrafficSchedule};
 
 /// One grid cell: a named, self-contained world description.
 pub struct DcCell {
@@ -23,8 +36,10 @@ pub struct DcCell {
     pub topo: Topology,
     /// The traffic schedule.
     pub sched: TrafficSchedule,
-    /// Repetitions pooled into one sample set (rep `r` runs with
-    /// `seed + r`).
+    /// Repetitions pooled into one sample set. Rep 0 runs on the
+    /// key-derived base seed; rep `r > 0` runs on
+    /// `cell_seed("<key>/r<r>")`, independent of every cell's base
+    /// seed by construction.
     pub reps: u64,
 }
 
@@ -77,6 +92,12 @@ pub struct DcCellResult {
     pub switch_drops: u64,
     /// Largest output-queue backlog seen (max over reps).
     pub max_backlog_cells: usize,
+    /// Fan-out logical-request completions (max over each round's N
+    /// sub-request RTTs), pooled across reps. Empty for incast cells.
+    pub completions: Vec<SimTime>,
+    /// Client hosts whose fan-out rounds were killed by the
+    /// retransmit-limit abort, summed over reps.
+    pub fanout_aborts: u64,
 }
 
 impl DcCellResult {
@@ -142,55 +163,82 @@ pub fn dc_quick_grid() -> Vec<DcCell> {
     grid(&[2, 8], &[1, 16], &[1, 4], 2, 1)
 }
 
+/// The seed for repetition `rep` of the cell named `key`.
+///
+/// Rep 0 is the base seed itself — single-rep grids (every golden)
+/// see exactly the bytes they always did. Higher reps fold the rep
+/// number into the key *hash* rather than adding it to the seed: the
+/// old `base + rep` walk could land on a neighboring cell's base seed
+/// (cell seeds are only 32 bits of FNV output), silently correlating
+/// cells the grid treats as independent.
+#[must_use]
+pub fn rep_seed(key: &str, rep: u64) -> u64 {
+    let base = sweep::cell_seed(key);
+    if rep == 0 {
+        base
+    } else {
+        sweep::cell_seed(&format!("{key}/r{rep}"))
+    }
+}
+
+/// Runs one cell: every rep on its [`rep_seed`], outcomes pooled.
+fn run_one_cell(cell: &DcCell) -> DcCellResult {
+    let seed = sweep::cell_seed(&cell.key);
+    let mut rtts = Vec::new();
+    let mut events = 0;
+    let mut sim_time = SimTime::ZERO;
+    let mut verify_failures = 0;
+    let mut aborted_conns = 0;
+    let mut server_pcb = PcbCounters::default();
+    let mut switch_forwarded = 0;
+    let mut switch_drops = 0;
+    let mut max_backlog_cells = 0;
+    let mut completions = Vec::new();
+    let mut fanout_aborts = 0;
+    for rep in 0..cell.reps.max(1) {
+        let r = run_dc(&cell.topo, cell.sched, rep_seed(&cell.key, rep));
+        rtts.extend(r.rtts);
+        events += r.events;
+        sim_time = sim_time.max(r.sim_time);
+        verify_failures += r.verify_failures;
+        aborted_conns += r.aborted_conns;
+        server_pcb.lookups += r.server_pcb.lookups;
+        server_pcb.hits += r.server_pcb.hits;
+        server_pcb.misses += r.server_pcb.misses;
+        server_pcb.cache_hits += r.server_pcb.cache_hits;
+        server_pcb.cache_misses += r.server_pcb.cache_misses;
+        server_pcb.traversed += r.server_pcb.traversed;
+        server_pcb.hash_probes += r.server_pcb.hash_probes;
+        switch_forwarded += r.switch_forwarded;
+        switch_drops += r.switch_drops;
+        max_backlog_cells = max_backlog_cells.max(r.max_backlog_cells);
+        completions.extend(r.completions);
+        fanout_aborts += r.fanout_aborts;
+    }
+    DcCellResult {
+        key: cell.key.clone(),
+        seed,
+        reps: cell.reps.max(1),
+        rtts,
+        events,
+        sim_time,
+        verify_failures,
+        aborted_conns,
+        server_pcb,
+        switch_forwarded,
+        switch_drops,
+        max_backlog_cells,
+        completions,
+        fanout_aborts,
+    }
+}
+
 /// Runs a grid on up to `jobs` workers; results come back in grid
 /// order regardless of scheduling, so downstream reports are
 /// byte-identical at any worker count.
 #[must_use]
 pub fn run_dc_cells(cells: &[DcCell], jobs: usize) -> Vec<DcCellResult> {
-    sweep::pool::run_ordered(cells, jobs, |_, cell| {
-        let seed = sweep::cell_seed(&cell.key);
-        let mut rtts = Vec::new();
-        let mut events = 0;
-        let mut sim_time = SimTime::ZERO;
-        let mut verify_failures = 0;
-        let mut aborted_conns = 0;
-        let mut server_pcb = PcbCounters::default();
-        let mut switch_forwarded = 0;
-        let mut switch_drops = 0;
-        let mut max_backlog_cells = 0;
-        for rep in 0..cell.reps.max(1) {
-            let r = run_dc(&cell.topo, cell.sched, seed.wrapping_add(rep));
-            rtts.extend(r.rtts);
-            events += r.events;
-            sim_time = sim_time.max(r.sim_time);
-            verify_failures += r.verify_failures;
-            aborted_conns += r.aborted_conns;
-            server_pcb.lookups += r.server_pcb.lookups;
-            server_pcb.hits += r.server_pcb.hits;
-            server_pcb.misses += r.server_pcb.misses;
-            server_pcb.cache_hits += r.server_pcb.cache_hits;
-            server_pcb.cache_misses += r.server_pcb.cache_misses;
-            server_pcb.traversed += r.server_pcb.traversed;
-            server_pcb.hash_probes += r.server_pcb.hash_probes;
-            switch_forwarded += r.switch_forwarded;
-            switch_drops += r.switch_drops;
-            max_backlog_cells = max_backlog_cells.max(r.max_backlog_cells);
-        }
-        DcCellResult {
-            key: cell.key.clone(),
-            seed,
-            reps: cell.reps.max(1),
-            rtts,
-            events,
-            sim_time,
-            verify_failures,
-            aborted_conns,
-            server_pcb,
-            switch_forwarded,
-            switch_drops,
-            max_backlog_cells,
-        }
-    })
+    sweep::pool::run_ordered(cells, jobs, |_, cell| run_one_cell(cell))
 }
 
 /// The deterministic report, byte-compatible with the `sweep.json`
@@ -251,6 +299,194 @@ pub fn canonical_json(name: &str, results: &[DcCellResult]) -> String {
     out
 }
 
+/// One `repro tails` cell: a fan-out world plus the study axes the
+/// reducer needs back out (scenario name, width, churn flag).
+pub struct TailsCell {
+    /// The underlying world cell (key, topology, schedule, reps).
+    pub cell: DcCell,
+    /// Scenario name from [`latency_core::tails::scenarios`].
+    pub scenario: String,
+    /// Fan-out width N.
+    pub width: usize,
+    /// Whether background churn traffic shares the fabric.
+    pub churn: bool,
+}
+
+/// Builds the tails grid from explicit axes: every scenario x every
+/// fan-out width x churn {off, on}.
+fn tails_grid_from(
+    widths: &[usize],
+    clients: usize,
+    iterations: u64,
+    warmup: u64,
+    reps: u64,
+) -> Vec<TailsCell> {
+    let mut cells = Vec::new();
+    for sc in latency_core::tails::scenarios() {
+        for &w in widths {
+            for churn in [false, true] {
+                let mut topo = Topology::fanout(clients, w);
+                topo.iterations = iterations;
+                topo.warmup = warmup;
+                if !sc.faults.is_clean() {
+                    topo.faults = Some(sc.faults);
+                    // The story is "a server hiccups", not "the whole
+                    // fabric is broken": clients stay clean so every
+                    // tail in the data came from the remote side.
+                    topo.fault_scope = FaultScope::ServersOnly;
+                }
+                if churn {
+                    topo.churn = Some(ChurnTraffic::background());
+                }
+                let key = format!(
+                    "tails/{}/f{}/{}/i{}r{}",
+                    sc.name,
+                    w,
+                    if churn { "churn" } else { "solo" },
+                    iterations,
+                    reps,
+                );
+                cells.push(TailsCell {
+                    cell: DcCell {
+                        key,
+                        topo,
+                        sched: TrafficSchedule::staggered(),
+                        reps,
+                    },
+                    scenario: sc.name.to_string(),
+                    width: w,
+                    churn,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// The full `repro tails` grid: fan-out {1, 4, 16, 64} x all four
+/// scenarios x churn {off, on}, sized so every un-aborted cell clears
+/// the p999 sample floor three times over (4 clients x 250 measured
+/// rounds x 3 reps = 3000 completions — a p99 estimate stable enough
+/// for the amplification ratio to be trusted).
+#[must_use]
+pub fn tails_grid() -> Vec<TailsCell> {
+    tails_grid_from(&[1, 4, 16, 64], 4, 250, 2, 3)
+}
+
+/// The `--quick` grid (CI + golden): fan-out {1, 4, 16} x all four
+/// scenarios x churn {off, on}, 2 clients x 6 measured rounds. Small
+/// enough for CI; its p999 column is honestly `null` throughout.
+#[must_use]
+pub fn tails_quick_grid() -> Vec<TailsCell> {
+    tails_grid_from(&[1, 4, 16], 2, 6, 1, 1)
+}
+
+/// Runs a tails grid; same ordered pool as [`run_dc_cells`], so the
+/// report is byte-identical at any `--jobs` value.
+#[must_use]
+pub fn run_tails_cells(cells: &[TailsCell], jobs: usize) -> Vec<DcCellResult> {
+    sweep::pool::run_ordered(cells, jobs, |_, tc| run_one_cell(&tc.cell))
+}
+
+/// Reduces grid results to table rows, amplification filled in.
+#[must_use]
+pub fn tails_rows(
+    cells: &[TailsCell],
+    results: &[DcCellResult],
+) -> Vec<latency_core::tails::TailsRow> {
+    assert_eq!(
+        cells.len(),
+        results.len(),
+        "rows require one result per cell"
+    );
+    let mut rows: Vec<_> = cells
+        .iter()
+        .zip(results)
+        .map(|(tc, r)| {
+            latency_core::tails::reduce(
+                &tc.scenario,
+                tc.width,
+                tc.churn,
+                &r.completions,
+                r.fanout_aborts,
+            )
+        })
+        .collect();
+    latency_core::tails::amplify(&mut rows);
+    rows
+}
+
+/// The deterministic tails report: the `sweep.json` cell schema (over
+/// *completion* samples) plus tails-only fields appended after
+/// `verify_failures`. The oracle's parser carries unknown numeric
+/// fields as extras and the golden comparator checks them pairwise;
+/// `null` marks an honestly-unavailable statistic (under-sampled p999,
+/// missing amplification baseline) and must match as `null`.
+#[must_use]
+pub fn tails_canonical_json(name: &str, cells: &[TailsCell], results: &[DcCellResult]) -> String {
+    use std::fmt::Write as _;
+    use sweep::report::{json_num, json_string};
+    let rows = tails_rows(cells, results);
+    let opt = |v: Option<f64>| v.map_or_else(|| "null".to_string(), json_num);
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"name\": {},", json_string(name));
+    out.push_str("  \"cells\": {");
+    let mut first = true;
+    for (c, row) in results.iter().zip(&rows) {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\n    {}: {{ ", json_string(&c.key));
+        let _ = write!(out, "\"seed\": {}, ", c.seed);
+        let _ = write!(out, "\"reps\": {}, ", c.reps);
+        let _ = write!(out, "\"samples\": {}, ", c.completions.len());
+        let _ = write!(
+            out,
+            "\"mean_us\": {}, ",
+            json_num(latency_core::stats::mean_us(&c.completions))
+        );
+        let _ = write!(
+            out,
+            "\"stddev_us\": {}, ",
+            json_num(latency_core::stats::stddev_us(&c.completions))
+        );
+        let _ = write!(
+            out,
+            "\"min_us\": {}, ",
+            json_num(latency_core::stats::min_us(&c.completions))
+        );
+        let _ = write!(
+            out,
+            "\"max_us\": {}, ",
+            json_num(latency_core::stats::max_us(&c.completions))
+        );
+        let _ = write!(out, "\"events\": {}, ", c.events);
+        let _ = write!(
+            out,
+            "\"sim_time_us\": {}, ",
+            json_num(c.sim_time.as_us_f64())
+        );
+        let _ = write!(out, "\"verify_failures\": {}, ", c.verify_failures);
+        let p50 = (row.samples > 0).then_some(row.p50_us);
+        let p99 = (row.samples > 0).then_some(row.p99_us);
+        let _ = write!(out, "\"p50_us\": {}, ", opt(p50));
+        let _ = write!(out, "\"p99_us\": {}, ", opt(p99));
+        let _ = write!(out, "\"p999_us\": {}, ", opt(row.p999_us));
+        let _ = write!(out, "\"amp_p50\": {}, ", opt(row.amp_p50));
+        let _ = write!(out, "\"amp_p99\": {}, ", opt(row.amp_p99));
+        let _ = write!(out, "\"fanout_aborts\": {} }}", c.fanout_aborts);
+    }
+    if results.is_empty() {
+        out.push('}');
+    } else {
+        out.push_str("\n  }");
+    }
+    out.push_str("\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,5 +534,70 @@ mod tests {
         let b = canonical_json("dc_tiny", &run_dc_cells(&cells, 4));
         assert_eq!(a, b);
         assert!(a.starts_with("{\n  \"name\": \"dc_tiny\","));
+    }
+
+    #[test]
+    fn rep_zero_keeps_the_base_seed_and_later_reps_leave_the_walk() {
+        // Rep 0 must stay the key-derived base seed: that is what every
+        // blessed golden ran on, and the fix must not move their bytes.
+        let key = "dc/h2/c1/list/f1/i2r1";
+        assert_eq!(rep_seed(key, 0), sweep::cell_seed(key));
+        // Later reps must NOT be base + rep: that walk can collide with
+        // a neighboring cell's base seed. The key-folded derivation is
+        // also distinct per rep.
+        let base = sweep::cell_seed(key);
+        let r1 = rep_seed(key, 1);
+        let r2 = rep_seed(key, 2);
+        assert_ne!(r1, base.wrapping_add(1), "rep 1 left the additive walk");
+        assert_ne!(r1, r2);
+        assert_ne!(r1, base);
+        assert_eq!(r1, sweep::cell_seed("dc/h2/c1/list/f1/i2r1/r1"));
+    }
+
+    #[test]
+    fn tails_quick_grid_covers_all_axes() {
+        let g = tails_quick_grid();
+        // 4 scenarios x 3 widths x churn {off, on}.
+        assert_eq!(g.len(), 24);
+        for (i, a) in g.iter().enumerate() {
+            for b in &g[i + 1..] {
+                assert_ne!(a.cell.key, b.cell.key);
+            }
+        }
+        assert!(g.iter().any(|c| c.scenario == "mbuf-exhaustion"));
+        assert!(g.iter().any(|c| c.width == 16 && c.churn));
+        // Clean cells carry no fault schedule; faulty cells scope the
+        // schedule to servers so client NICs stay pristine.
+        for c in &g {
+            assert_eq!(c.cell.topo.fanout_width, c.width);
+            assert_eq!(c.cell.topo.churn.is_some(), c.churn);
+            if c.scenario == "clean" {
+                assert!(c.cell.topo.faults.is_none());
+            } else {
+                assert!(c.cell.topo.faults.is_some());
+                assert_eq!(c.cell.topo.fault_scope, FaultScope::ServersOnly);
+            }
+        }
+        let full = tails_grid();
+        assert_eq!(full.len(), 32);
+        assert!(full.iter().any(|c| c.width == 64));
+    }
+
+    #[test]
+    fn tails_report_is_byte_identical_across_jobs() {
+        // Two clean cells (widths 1 and 4) exercise the amplification
+        // join; the full quick grid runs in the CI determinism diff.
+        let cells: Vec<TailsCell> = tails_quick_grid()
+            .into_iter()
+            .filter(|c| c.scenario == "clean" && !c.churn && c.width <= 4)
+            .collect();
+        assert_eq!(cells.len(), 2);
+        let a = tails_canonical_json("tails_tiny", &cells, &run_tails_cells(&cells, 1));
+        let b = tails_canonical_json("tails_tiny", &cells, &run_tails_cells(&cells, 4));
+        assert_eq!(a, b);
+        // The width-1 cell is its own baseline: amp_p99 is exactly 1.
+        assert!(a.contains("\"amp_p99\": 1.0"), "{a}");
+        // p999 on a 12-sample quick cell must be null, never a number.
+        assert!(a.contains("\"p999_us\": null"));
     }
 }

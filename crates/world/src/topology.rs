@@ -64,11 +64,105 @@ impl PcbStrategy {
     }
 }
 
+/// Which hosts a [`Topology::faults`] schedule is armed on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultScope {
+    /// Every measured host (clients and servers) — the `repro dc`
+    /// behavior. Background churn hosts are never fault-armed; their
+    /// only randomness is the aperiodic think-time draw.
+    AllHosts,
+    /// Server hosts only: the tails study's "server hiccup" story,
+    /// where the client fabric is healthy and the slowness lives on
+    /// the far side of the fan-out.
+    ServersOnly,
+}
+
+/// Background best-effort traffic sharing the fabric with the
+/// measured flows.
+///
+/// The churn hosts together run one paced RPC connection **per server
+/// host** (so the per-server background duty stays constant as the
+/// fan-out axis widens — the tail-at-scale comparison across widths
+/// would be confounded otherwise), each host covering a contiguous
+/// slice of at most `servers_per_host` servers so the think-time
+/// pacing is set by `think`, not by a saturated churn CPU. A churn
+/// connection echoes `rpc_size` bytes, then idles a uniformly drawn
+/// `[think, 2*think)` before the next round; that draw is the RNG
+/// stream that de-phases the background load from the measured rounds
+/// (per-cell jitter would break the FIFO order of a multi-cell AAL5
+/// train, so churn uplinks carry no fault schedule at all). Churn
+/// connections are never measured and never counted toward run
+/// completion.
+#[derive(Clone, Debug)]
+pub struct ChurnTraffic {
+    /// Most servers one churn host covers (ports added after the
+    /// servers; the host count is `ceil(servers / servers_per_host)`).
+    pub servers_per_host: usize,
+    /// Largest background RPC size in bytes; each server's churn
+    /// connection echoes a fixed per-server size drawn from
+    /// `[rpc_size/4, rpc_size]` (see [`ChurnTraffic::size_for`]).
+    /// Bigger echoes hold the server CPU and its switch output queue
+    /// longer, so the per-server hiccup *severity* is heterogeneous —
+    /// which is what keeps the max-of-N completion growing with the
+    /// fan-out width instead of saturating at one fixed hiccup cost.
+    pub rpc_size: usize,
+    /// Base idle time between one churn connection's rounds; the
+    /// actual idle is drawn uniformly from `[think, 2*think)` each
+    /// round so the background arrivals stay aperiodic (a fixed
+    /// period would phase-lock with the measured rounds). Sets the
+    /// per-server background duty cycle.
+    pub think: SimTime,
+}
+
+impl ChurnTraffic {
+    /// The tails-study default: per-server echo sizes in 500..2000
+    /// bytes and a 300 ms base think time. The duty is sparse on
+    /// purpose: a fan-out-1 request collides with a background echo
+    /// well under 1% of the time (its p99 stays at the clean
+    /// baseline), while a fan-out-64 request watches 64 servers at
+    /// once and its p99 climbs the severity distribution — the
+    /// tail-at-scale signature.
+    #[must_use]
+    pub fn background() -> Self {
+        ChurnTraffic {
+            servers_per_host: 8,
+            rpc_size: 2000,
+            think: SimTime::from_ms(300),
+        }
+    }
+
+    /// The churn echo size for (0-based) server index `srv`: a fixed
+    /// per-server draw from `[rpc_size/4, rpc_size]`, uniform via a
+    /// splitmix64 hash of the index. Pure topology — independent of
+    /// the world seed — so a cell's layout is part of its identity.
+    #[must_use]
+    pub fn size_for(&self, srv: usize) -> usize {
+        let lo = self.rpc_size / 4;
+        let span = (self.rpc_size - lo).max(1);
+        let mut z = (srv as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        lo + (z % span as u64) as usize
+    }
+}
+
 /// A declarative N-host datacenter topology: `clients` client hosts
 /// and `ceil(clients / fanin)` server hosts, all ports of one
 /// output-queued cell switch. Client `c` talks to server
 /// `clients + c / fanin`, so `fanin` clients converge on each server
 /// — the incast axis.
+///
+/// With `fanout_width > 0` the wiring flips from incast to
+/// fan-out/wait-for-all: every client host gets its **own disjoint
+/// block** of `fanout_width` server hosts (`clients * fanout_width`
+/// servers in all) and opens one connection to each server in its
+/// block, so a client's `fanout_width` sub-requests form one logical
+/// request that completes when the slowest reply lands (the tails
+/// axis). Disjoint blocks keep the per-server load at one sub-request
+/// per round at every width — the baseline a shared server pool would
+/// contaminate with cross-client contention. Optional [`ChurnTraffic`]
+/// hosts are appended after the servers.
 #[derive(Clone, Debug)]
 pub struct Topology {
     /// Number of client hosts.
@@ -96,6 +190,15 @@ pub struct Topology {
     pub stack: StackConfig,
     /// Optional fault schedule armed on every host's uplink.
     pub faults: Option<faultkit::FaultSchedule>,
+    /// Hosts the fault schedule is armed on.
+    pub fault_scope: FaultScope,
+    /// Fan-out width N (0 = classic incast wiring). When positive,
+    /// `conns_per_host` must equal the width: connection `j` of client
+    /// `h` goes to server `clients + h * fanout_width + j`, its own
+    /// disjoint server block.
+    pub fanout_width: usize,
+    /// Optional background churn traffic.
+    pub churn: Option<ChurnTraffic>,
 }
 
 impl Topology {
@@ -117,6 +220,36 @@ impl Topology {
             switch: SwitchConfig::default(),
             stack: StackConfig::default(),
             faults: None,
+            fault_scope: FaultScope::AllHosts,
+            fanout_width: 0,
+            churn: None,
+        }
+    }
+
+    /// A fan-out/wait-for-all topology with the defaults of the
+    /// `repro tails` study: a disjoint block of `width` server hosts
+    /// per client, one connection from each client to every server in
+    /// its block, 200-byte sub-requests, 2 µs base delay with a 10 ns
+    /// per-host spread, default switch.
+    #[must_use]
+    pub fn fanout(clients: usize, width: usize) -> Self {
+        assert!(width > 0, "a fan-out world needs at least one server");
+        Topology {
+            clients,
+            fanin: clients,
+            conns_per_host: width,
+            rpc_size: 200,
+            iterations: 3,
+            warmup: 1,
+            strategy: PcbStrategy::Hash,
+            base_delay: SimTime::from_us(2),
+            delay_step: SimTime::from_ns(10),
+            switch: SwitchConfig::default(),
+            stack: StackConfig::default(),
+            faults: None,
+            fault_scope: FaultScope::AllHosts,
+            fanout_width: width,
+            churn: None,
         }
     }
 
@@ -129,19 +262,91 @@ impl Topology {
     /// Number of server hosts.
     #[must_use]
     pub fn servers(&self) -> usize {
-        self.clients.div_ceil(self.effective_fanin())
+        if self.fanout_width > 0 {
+            // Disjoint per-client server sets: every width sees the
+            // same per-server load (one sub-request per round), so the
+            // fan-out axis varies only the order statistic, not the
+            // contention baseline.
+            self.clients * self.fanout_width
+        } else {
+            self.clients.div_ceil(self.effective_fanin())
+        }
     }
 
-    /// Total hosts (clients then servers, in switch-port order).
+    /// Number of background churn hosts.
     #[must_use]
-    pub fn hosts(&self) -> usize {
+    pub fn churn_hosts(&self) -> usize {
+        self.churn
+            .as_ref()
+            .map_or(0, |c| self.servers().div_ceil(c.servers_per_host.max(1)))
+    }
+
+    /// The `[lo, hi)` slice of server indices (0-based, relative to
+    /// the first server) that churn host `k` covers.
+    fn churn_slice(&self, k: usize) -> (usize, usize) {
+        let per = self.churn.as_ref().map_or(1, |c| c.servers_per_host.max(1));
+        (
+            (k * per).min(self.servers()),
+            ((k + 1) * per).min(self.servers()),
+        )
+    }
+
+    /// Measured hosts: clients then servers, in switch-port order.
+    #[must_use]
+    pub fn measured_hosts(&self) -> usize {
         self.clients + self.servers()
     }
 
-    /// The server host index assigned to a client host.
+    /// Total hosts (clients, then servers, then churn hosts, in
+    /// switch-port order).
+    #[must_use]
+    pub fn hosts(&self) -> usize {
+        self.measured_hosts() + self.churn_hosts()
+    }
+
+    /// The server host index assigned to a client host (classic
+    /// incast wiring; fan-out worlds route per connection, see
+    /// [`Topology::peer_server`]).
     #[must_use]
     pub fn server_of(&self, client: usize) -> usize {
         self.clients + client / self.effective_fanin()
+    }
+
+    /// The server host that connection `conn` of client-side host `h`
+    /// (a measured client or a churn host) targets.
+    #[must_use]
+    pub fn peer_server(&self, h: usize, conn: usize) -> usize {
+        if h >= self.measured_hosts() {
+            // Churn host: one connection per server in its slice.
+            let (lo, _) = self.churn_slice(h - self.measured_hosts());
+            self.clients + lo + conn
+        } else if self.fanout_width > 0 {
+            // Client h's private server block.
+            self.clients + h * self.fanout_width + conn
+        } else {
+            self.server_of(h)
+        }
+    }
+
+    /// Connection count on client-side host `h` (a measured client or
+    /// a churn host).
+    #[must_use]
+    pub fn conns_of(&self, h: usize) -> usize {
+        if h >= self.measured_hosts() {
+            let (lo, hi) = self.churn_slice(h - self.measured_hosts());
+            hi - lo
+        } else {
+            self.conns_per_host
+        }
+    }
+
+    /// Whether the fault schedule is armed on host `h`.
+    #[must_use]
+    pub fn faults_apply_to(&self, h: usize) -> bool {
+        match self.fault_scope {
+            FaultScope::AllHosts => h < self.measured_hosts(),
+            FaultScope::ServersOnly => (self.clients..self.measured_hosts()).contains(&h),
+        }
     }
 
     /// The IP address of host `h`.
@@ -269,6 +474,69 @@ mod tests {
             TrafficSchedule::synchronized().start_of(9, 9),
             SimTime::ZERO
         );
+    }
+
+    #[test]
+    fn fanout_shape() {
+        let t = Topology::fanout(2, 16);
+        assert_eq!(t.servers(), 32, "a disjoint block per client");
+        assert_eq!(t.measured_hosts(), 34);
+        assert_eq!(t.hosts(), 34);
+        assert_eq!(t.conns_per_host, 16);
+        // Connection j of client h goes to server clients + h*16 + j.
+        assert_eq!(t.peer_server(0, 0), 2);
+        assert_eq!(t.peer_server(0, 15), 17);
+        assert_eq!(t.peer_server(1, 0), 18);
+        assert_eq!(t.peer_server(1, 15), 33);
+        // Classic topologies keep the incast wiring.
+        let inc = Topology::incast(4, 2, 1);
+        assert_eq!(inc.peer_server(0, 0), inc.server_of(0));
+        assert_eq!(inc.peer_server(3, 0), inc.server_of(3));
+    }
+
+    #[test]
+    fn churn_hosts_append_after_servers() {
+        let mut t = Topology::fanout(2, 4);
+        t.churn = Some(ChurnTraffic::background());
+        // 8 servers, 8 per churn host -> one churn host covers all.
+        assert_eq!(t.servers(), 8);
+        assert_eq!(t.measured_hosts(), 10);
+        assert_eq!(t.churn_hosts(), 1);
+        assert_eq!(t.hosts(), 11);
+        // The churn host runs one connection per server, in order.
+        assert_eq!(t.conns_of(10), 8);
+        assert_eq!(t.peer_server(10, 0), 2);
+        assert_eq!(t.peer_server(10, 7), 9);
+        // Measured clients keep their own connection count.
+        assert_eq!(t.conns_of(0), 4);
+        // Wider worlds split the servers across churn hosts in
+        // contiguous slices of at most servers_per_host each.
+        let mut w = Topology::fanout(4, 5);
+        w.churn = Some(ChurnTraffic::background());
+        assert_eq!(w.servers(), 20);
+        assert_eq!(w.churn_hosts(), 3);
+        assert_eq!(w.hosts(), 27);
+        assert_eq!(w.conns_of(24), 8);
+        assert_eq!(w.conns_of(25), 8);
+        assert_eq!(w.conns_of(26), 4, "the last slice takes the remainder");
+        assert_eq!(w.peer_server(24, 0), 4);
+        assert_eq!(w.peer_server(25, 0), 12);
+        assert_eq!(w.peer_server(26, 3), 23, "the last server is covered");
+    }
+
+    #[test]
+    fn fault_scope_selects_hosts() {
+        let mut t = Topology::fanout(2, 4);
+        t.churn = Some(ChurnTraffic::background());
+        assert!(t.faults_apply_to(0), "AllHosts arms clients");
+        assert!(t.faults_apply_to(9), "AllHosts arms servers");
+        assert!(!t.faults_apply_to(10), "churn hosts are never fault-armed");
+        t.fault_scope = FaultScope::ServersOnly;
+        assert!(!t.faults_apply_to(0));
+        assert!(!t.faults_apply_to(1));
+        assert!(t.faults_apply_to(2));
+        assert!(t.faults_apply_to(9));
+        assert!(!t.faults_apply_to(10));
     }
 
     #[test]
