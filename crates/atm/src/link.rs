@@ -78,6 +78,14 @@ pub struct FiberLink {
     /// i.i.d. process; when absent the link behaves exactly as before
     /// (no extra RNG draws).
     pub burst: Option<faultkit::LossProcess>,
+    /// Optional deterministic up/down schedule (faultkit). While the
+    /// link is down every offered cell is dropped before the loss and
+    /// error processes run; the flap itself consumes no RNG, so the
+    /// drop decision is a pure function of the cell's wire-exit time.
+    pub flap: Option<faultkit::FlapSchedule>,
+    /// Cells dropped by the flap schedule (also counted in
+    /// `cells_lost`).
+    pub cells_flapped: u64,
     /// Raw-cell capture tap (`LinkCell`): every delivered 53-byte
     /// cell, stamped at its arrival time. Zero-cost unless armed.
     pub taps: simcap::TapSet,
@@ -94,6 +102,8 @@ impl FiberLink {
             cells_lost: 0,
             cells_corrupted: 0,
             burst: None,
+            flap: None,
+            cells_flapped: 0,
             taps: simcap::TapSet::off(),
         }
     }
@@ -101,6 +111,11 @@ impl FiberLink {
     /// Arms a deterministic burst-loss process on this direction.
     pub fn arm_burst_loss(&mut self, model: faultkit::GilbertElliott, seed: u64) {
         self.burst = Some(faultkit::LossProcess::new(model, seed));
+    }
+
+    /// Arms a deterministic up/down schedule on this direction.
+    pub fn arm_flap(&mut self, schedule: faultkit::FlapSchedule) {
+        self.flap = Some(schedule);
     }
 
     /// Carries one cell, applying the loss then error processes.
@@ -147,6 +162,12 @@ impl FiberLink {
     /// are recorded with their 53 raw bytes at the arrival timestamp.
     pub fn carry_at(&mut self, wire_exit: SimTime, cell: Cell) -> (SimTime, LinkFault) {
         let at = self.arrival(wire_exit);
+        if self.flap.as_ref().is_some_and(|f| f.is_down(wire_exit)) {
+            self.cells_carried += 1;
+            self.cells_lost += 1;
+            self.cells_flapped += 1;
+            return (at, LinkFault::Lost);
+        }
         let fault = self.carry(cell);
         if self.taps.wants(simcap::TapPoint::LinkCell) {
             if let LinkFault::Clean(c) | LinkFault::Corrupted(c) = &fault {
@@ -174,6 +195,30 @@ mod tests {
             },
             [0x5a; CELL_PAYLOAD],
         )
+    }
+
+    #[test]
+    fn flap_drops_only_inside_down_windows() {
+        let mut link = FiberLink::new(LinkConfig::default(), 9);
+        link.arm_flap(faultkit::FlapSchedule::new(
+            SimTime::from_us(10),
+            SimTime::from_us(100),
+            SimTime::from_us(20),
+        ));
+        let (_, f) = link.carry_at(SimTime::from_us(5), a_cell());
+        assert!(matches!(f, LinkFault::Clean(_)), "up before the window");
+        let (at, f) = link.carry_at(SimTime::from_us(15), a_cell());
+        assert!(matches!(f, LinkFault::Lost), "down inside [10, 30)");
+        assert_eq!(
+            at,
+            link.arrival(SimTime::from_us(15)),
+            "arrival still computed"
+        );
+        let (_, f) = link.carry_at(SimTime::from_us(30), a_cell());
+        assert!(matches!(f, LinkFault::Clean(_)), "window end is up again");
+        assert_eq!(link.cells_flapped, 1);
+        assert_eq!(link.cells_lost, 1);
+        assert_eq!(link.cells_carried, 3);
     }
 
     #[test]

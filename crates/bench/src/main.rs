@@ -168,6 +168,9 @@ fn main() {
     if opts.what.iter().any(|w| w == "tails") {
         std::process::exit(cmd_tails(&opts));
     }
+    if opts.what.iter().any(|w| w == "hedge") {
+        std::process::exit(cmd_hedge(&opts));
+    }
     let mut report = Report::new(opts.iterations, opts.reps);
     let all = opts.what.iter().any(|w| w == "all");
     let want = |k: &str| all || opts.what.iter().any(|w| w == k);
@@ -1137,6 +1140,24 @@ fn cmd_verify(opts: &Opts) -> i32 {
             return rc;
         }
     }
+    {
+        let cells = world::hedge_quick_grid();
+        let count = cells.len();
+        if let Some(rc) = verify_world_grid(
+            opts,
+            &q,
+            "hedge_quick",
+            count,
+            || {
+                let results = world::run_hedge_cells(&cells, q.jobs);
+                world::hedge_canonical_json("hedge_quick", &cells, &results)
+            },
+            &mut summary,
+            &mut code,
+        ) {
+            return rc;
+        }
+    }
     if code == 0 && !q.bless {
         eprintln!("verify: clean");
     }
@@ -1341,6 +1362,30 @@ fn cmd_invariants(opts: &Opts) -> i32 {
         Ok(_) => {
             failures += 1;
             eprintln!("invariants: oracle scope guard: a multi-host world was accepted");
+        }
+    }
+    // Mitigation-enabled worlds get the most specific refusal of all:
+    // the tail-tolerance control layer (hedge races, retry budgets,
+    // deadlines) shapes completion before topology even matters.
+    {
+        let mut topo = world::Topology::fanout(4, 16);
+        topo.tail = world::mitigation_policy(latency_core::hedge::Mitigation::Hedge, 16);
+        match oracle::predict_dc(&topo) {
+            Err(oracle::PredictError::MitigatedWorld { .. }) => {
+                eprintln!(
+                    "invariants: oracle scope guard: clean (refused the tail-mitigated world with a typed error)"
+                );
+            }
+            Err(e) => {
+                failures += 1;
+                eprintln!("invariants: oracle mitigation scope guard: wrong error: {e}");
+            }
+            Ok(_) => {
+                failures += 1;
+                eprintln!(
+                    "invariants: oracle mitigation scope guard: a mitigated world was accepted"
+                );
+            }
         }
     }
     // Fan-out worlds get the more specific refusal: completion is the
@@ -1659,6 +1704,68 @@ fn cmd_tails(opts: &Opts) -> i32 {
     }
     if code == 0 {
         eprintln!("tails: {} cell(s) clean", results.len());
+    }
+    code
+}
+
+// --------------------------------------------------------------------------
+// `repro hedge` — the tail-tolerance study (crates/world).
+// --------------------------------------------------------------------------
+
+/// `repro hedge`: the tail-tolerant RPC study. Every cell runs the
+/// fan-out-16 world under one fault regime (clean, burst-loss, host
+/// pause windows, link flap) and one mitigation (none, deadline,
+/// budgeted retries, hedged requests, hedge + first-K-of-N), and the
+/// table prices each mitigation's p50/p99/p999 against the
+/// unmitigated baseline — `amp(p99) < 1` means the mitigation cut the
+/// tail — next to its cost counters (hedges won/wasted, retries
+/// issued/suppressed, deadline busts). `--quick` runs the CI grid
+/// blessed as `tests/golden/hedge_quick.json` and gated by `repro
+/// verify`; `--sweep-json FILE` writes the canonical report.
+///
+/// Like `repro tails`, retransmit-limit aborts are data (`!` rows);
+/// payload corruption, an empty un-aborted cell, or a leaked mbuf
+/// after teardown (cancelled/hedged requests must clean up) fail the
+/// run.
+fn cmd_hedge(opts: &Opts) -> i32 {
+    let (name, cells) = if opts.quick {
+        ("hedge_quick", world::hedge_quick_grid())
+    } else {
+        ("hedge", world::hedge_grid())
+    };
+    eprintln!(
+        "hedge: {} cell(s) across {} worker(s)...",
+        cells.len(),
+        opts.jobs
+    );
+    let results = world::run_hedge_cells(&cells, opts.jobs);
+    let rows = world::hedge_rows(&cells, &results);
+    print!("{}", latency_core::hedge::format_table(&rows));
+    let mut code = 0;
+    for (c, r) in cells.iter().zip(&results) {
+        if r.verify_failures > 0
+            || r.mbufs_leaked > 0
+            || (r.completions.is_empty() && r.fanout_aborts == 0)
+        {
+            code = 1;
+            eprintln!(
+                "hedge: {}: FAILED ({} completion(s), {} verify failure(s), {} abort(s), {} leaked mbuf(s))",
+                c.cell.key,
+                r.completions.len(),
+                r.verify_failures,
+                r.fanout_aborts,
+                r.mbufs_leaked
+            );
+        }
+    }
+    if let Some(path) = &opts.sweep_json {
+        let p = out_path(opts, path);
+        std::fs::write(&p, world::hedge_canonical_json(name, &cells, &results))
+            .expect("write hedge sweep json");
+        eprintln!("hedge canonical report written to {}", p.display());
+    }
+    if code == 0 {
+        eprintln!("hedge: {} cell(s) clean", results.len());
     }
     code
 }

@@ -1,0 +1,373 @@
+//! The tail-tolerance (`repro hedge`) study.
+//!
+//! The tails study (see [`crate::tails`]) establishes the problem:
+//! fan-out turns rare per-server hiccups into common per-request
+//! stalls. This study prices the *mitigations* from "The Tail at
+//! Scale" (PAPERS.md) against each other on the same fan-out-16
+//! world: request deadlines, budgeted application-level retries,
+//! hedged requests to replica servers, and partial (`first K of N`)
+//! fan-out — each under the same deterministic fault regimes.
+//!
+//! Every mitigation has a cost column, not just a latency column:
+//! hedges won vs. wasted, retries issued vs. suppressed by the token
+//! bucket, requests that traded completeness for the deadline, and
+//! stragglers cancelled past the quorum. A mitigation that "wins" the
+//! p99 while wasting most of its hedges or starving its retry budget
+//! is visible as such — the study reports the trade, not a verdict.
+
+use faultkit::{FaultSchedule, FlapSchedule, GilbertElliott, PauseSchedule};
+use simkit::SimTime;
+
+use crate::recovery::{rtt_dist_counted, Scenario};
+
+/// The study's fault regimes, clean baseline first.
+///
+/// Order is part of the report. The pause and flap schedules are pure
+/// time functions (no RNG): their windows land identically in every
+/// cell, so mitigation columns differ only by the mitigation.
+#[must_use]
+pub fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "clean",
+            blurb: "no injected faults (tail from contention alone)",
+            faults: FaultSchedule::default(),
+        },
+        Scenario {
+            name: "burst-loss",
+            blurb: "rare short cell-loss bursts (GE light) on server uplinks",
+            faults: FaultSchedule::default().with_atm_loss(GilbertElliott::light_bursts()),
+        },
+        Scenario {
+            name: "host-pause",
+            blurb: "servers stall 3 ms every 25 ms (GC-style pause windows)",
+            faults: FaultSchedule::default().with_host_pause(PauseSchedule::new(
+                SimTime::from_ms(1),
+                SimTime::from_ms(25),
+                SimTime::from_ms(3),
+            )),
+        },
+        Scenario {
+            name: "link-flap",
+            blurb: "server uplinks drop everything 2 ms every 30 ms",
+            faults: FaultSchedule::default().with_link_flap(FlapSchedule::new(
+                SimTime::from_us(500),
+                SimTime::from_ms(30),
+                SimTime::from_ms(2),
+            )),
+        },
+    ]
+}
+
+/// The scenario named `name`, if the study defines it.
+#[must_use]
+pub fn scenario(name: &str) -> Option<Scenario> {
+    scenarios().into_iter().find(|s| s.name == name)
+}
+
+/// One mitigation column of the study. The world crate maps each
+/// variant onto a `TailPolicy`; this crate only needs the identity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mitigation {
+    /// Classic wait-for-all: the tails-study baseline.
+    None,
+    /// A 10 ms request deadline; stragglers cancelled, the outcome
+    /// typed `DeadlineExceeded`.
+    Deadline,
+    /// Budgeted application-level retries (exponential backoff,
+    /// key-derived jitter, token-bucket budget).
+    Retry,
+    /// Hedged requests: reissue the slowest outstanding sub-request
+    /// to a replica after the running-p95 delay, take the first reply.
+    Hedge,
+    /// Hedging plus partial fan-out: the request completes at the
+    /// K-th fastest slot (K = N - 2) instead of the slowest.
+    HedgeQuorum,
+}
+
+/// Every mitigation, in report order (baseline first).
+pub const MITIGATIONS: [Mitigation; 5] = [
+    Mitigation::None,
+    Mitigation::Deadline,
+    Mitigation::Retry,
+    Mitigation::Hedge,
+    Mitigation::HedgeQuorum,
+];
+
+impl Mitigation {
+    /// Stable sweep-key component.
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            Mitigation::None => "none",
+            Mitigation::Deadline => "deadline",
+            Mitigation::Retry => "retry",
+            Mitigation::Hedge => "hedge",
+            Mitigation::HedgeQuorum => "hedge-kofn",
+        }
+    }
+}
+
+/// Mitigation-cost counters carried next to a cell's latency columns.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MitigationCost {
+    /// Hedged requests issued.
+    pub hedges_issued: u64,
+    /// Hedges whose replica reply won the slot.
+    pub hedges_won: u64,
+    /// Hedges beaten by their own primary — pure extra load.
+    pub hedges_wasted: u64,
+    /// Application-level retries written.
+    pub retries_issued: u64,
+    /// Retries suppressed by an empty budget bucket.
+    pub budget_exhausted: u64,
+    /// Logical requests that recorded `DeadlineExceeded`.
+    pub deadline_exceeded: u64,
+    /// Sub-request results discarded as stragglers.
+    pub cancelled: u64,
+}
+
+/// One row of the hedge table: a scenario × mitigation cell at fixed
+/// fan-out.
+#[derive(Clone, Debug)]
+pub struct HedgeRow {
+    /// Scenario name.
+    pub scenario: String,
+    /// Mitigation tag.
+    pub mitigation: String,
+    /// Fan-out width N.
+    pub fanout: usize,
+    /// Measured logical-request completions.
+    pub samples: u64,
+    /// Client hosts aborted by the retransmit limit.
+    pub aborted: u64,
+    /// Completion samples clamped to `i64::MAX` ns.
+    pub saturated: u64,
+    /// Mean completion in µs.
+    pub mean_us: f64,
+    /// Median completion in µs.
+    pub p50_us: f64,
+    /// 99th-percentile completion in µs.
+    pub p99_us: f64,
+    /// 99.9th-percentile completion; `None` under the sample floor.
+    pub p999_us: Option<f64>,
+    /// Worst completion in µs.
+    pub max_us: f64,
+    /// `p99 / p99(no mitigation)` within the same scenario — below
+    /// 1.0 means the mitigation cut the tail. `None` until
+    /// [`amplify`] runs or when the baseline is missing.
+    pub amp_p99: Option<f64>,
+    /// The mitigation's cost counters.
+    pub cost: MitigationCost,
+}
+
+/// Reduces one cell's completion times plus its cost counters to a
+/// row. Call [`amplify`] once every row exists.
+#[must_use]
+pub fn reduce(
+    scenario: &str,
+    mitigation: &str,
+    fanout: usize,
+    completions: &[SimTime],
+    aborted: u64,
+    cost: MitigationCost,
+) -> HedgeRow {
+    let (dist, saturated) = rtt_dist_counted(completions);
+    let us = |ns: i64| ns as f64 / 1000.0;
+    HedgeRow {
+        scenario: scenario.to_string(),
+        mitigation: mitigation.to_string(),
+        fanout,
+        samples: completions.len() as u64,
+        aborted,
+        saturated,
+        mean_us: dist.mean_us(),
+        p50_us: us(dist.percentile_ns(50.0)),
+        p99_us: us(dist.percentile_ns(99.0)),
+        p999_us: dist.p999_ns().map(us),
+        max_us: us(dist.max_ns()),
+        amp_p99: None,
+        cost,
+    }
+}
+
+/// Fills the `amp_p99` column: each row divided by the no-mitigation
+/// row of the same scenario. Rows without a usable baseline keep
+/// `None` (rendered `-` / JSON `null`).
+pub fn amplify(rows: &mut [HedgeRow]) {
+    let bases: Vec<(String, f64)> = rows
+        .iter()
+        .filter(|r| r.mitigation == "none" && r.samples > 0)
+        .map(|r| (r.scenario.clone(), r.p99_us))
+        .collect();
+    for row in rows.iter_mut() {
+        let base = bases.iter().find(|(s, _)| *s == row.scenario);
+        if let Some((_, b99)) = base {
+            if row.samples > 0 {
+                row.amp_p99 = (*b99 > 0.0).then(|| row.p99_us / b99);
+            }
+        }
+    }
+}
+
+/// Formats the study as a table, one row per scenario × mitigation
+/// cell, in the given order.
+#[must_use]
+pub fn format_table(rows: &[HedgeRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from(
+        "tail tolerance (fan-out RPC under mitigation): completion =\n\
+         K-th fastest sub-request capped by the deadline, vs. classic\n\
+         wait-for-all in the same fault regime\n",
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:<11} {:>4} | {:>8} {:>8} {:>8} {:>8} | {:>8} | {:>11} {:>7} {:>7} {:>5} | {:>5}",
+        "scenario",
+        "mitigation",
+        "N",
+        "p50(us)",
+        "p99(us)",
+        "p999(us)",
+        "max(us)",
+        "amp(p99)",
+        "hedge w/l/i",
+        "retry",
+        "no-tok",
+        "ddl",
+        "n"
+    );
+    let opt = |v: Option<f64>, width: usize, prec: usize| -> String {
+        match v {
+            Some(x) => format!("{x:>width$.prec$}"),
+            None => format!("{:>width$}", "-"),
+        }
+    };
+    for r in rows {
+        if r.samples == 0 {
+            let _ = writeln!(
+                out,
+                "{:<12} {:<11} {:>4} | {:>8} {:>8} {:>8} {:>8} | {:>8} | {:>11} {:>7} {:>7} {:>5} | {:>4}!",
+                r.scenario, r.mitigation, r.fanout, "-", "-", "-", "-", "-", "-", "-", "-", "-", 0,
+            );
+            continue;
+        }
+        let hedge = format!(
+            "{}/{}/{}",
+            r.cost.hedges_won, r.cost.hedges_wasted, r.cost.hedges_issued
+        );
+        let _ = writeln!(
+            out,
+            "{:<12} {:<11} {:>4} | {:>8.0} {:>8.0} {} {:>8.0} | {} | {:>11} {:>7} {:>7} {:>5} | {:>4}{}",
+            r.scenario,
+            r.mitigation,
+            r.fanout,
+            r.p50_us,
+            r.p99_us,
+            opt(r.p999_us, 8, 0),
+            r.max_us,
+            opt(r.amp_p99, 8, 2),
+            hedge,
+            r.cost.retries_issued,
+            r.cost.budget_exhausted,
+            r.cost.deadline_exceeded,
+            r.samples,
+            if r.aborted > 0 { "!" } else { "" },
+        );
+    }
+    out.push_str(
+        "(amp(p99) = p99 / p99(none) in the same scenario, <1 = the\n\
+         mitigation cut the tail; hedge w/l/i = hedges won/wasted/\n\
+         issued; no-tok = retries suppressed by the budget; ddl =\n\
+         requests past their deadline; '!' = retransmit-limit aborts.)\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_us(us)
+    }
+
+    #[test]
+    fn scenario_names_are_unique_and_clean_first() {
+        let all = scenarios();
+        assert_eq!(all[0].name, "clean");
+        assert!(all[0].faults.is_clean());
+        let mut names: Vec<_> = all.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+        assert!(scenario("host-pause").is_some());
+        assert!(scenario("link-flap").is_some());
+        assert!(scenario("nope").is_none());
+    }
+
+    #[test]
+    fn mitigation_tags_are_unique_and_baseline_first() {
+        assert_eq!(MITIGATIONS[0], Mitigation::None);
+        let mut tags: Vec<_> = MITIGATIONS.iter().map(|m| m.tag()).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), MITIGATIONS.len());
+    }
+
+    #[test]
+    fn pause_and_flap_scenarios_carry_pure_time_schedules() {
+        let pause = scenario("host-pause").unwrap();
+        assert!(pause.faults.host_pause.is_some());
+        assert!(pause.faults.atm_loss.is_none(), "pause is RNG-free");
+        let flap = scenario("link-flap").unwrap();
+        assert!(flap.faults.link_flap.is_some());
+        assert!(flap.faults.atm_loss.is_none(), "flap is RNG-free");
+    }
+
+    #[test]
+    fn amplify_divides_by_the_no_mitigation_cell() {
+        let cost = MitigationCost::default();
+        let mut rows = vec![
+            reduce("clean", "none", 16, &[t(100), t(100), t(300)], 0, cost),
+            reduce("clean", "hedge", 16, &[t(100), t(100), t(150)], 0, cost),
+            // Different scenario: must NOT share the baseline.
+            reduce("burst-loss", "hedge", 16, &[t(600)], 0, cost),
+        ];
+        amplify(&mut rows);
+        assert_eq!(rows[0].amp_p99, Some(1.0), "baseline divides itself");
+        assert!((rows[1].amp_p99.unwrap() - 0.5).abs() < 1e-9);
+        assert_eq!(rows[2].amp_p99, None, "no baseline in its scenario");
+    }
+
+    #[test]
+    fn reduce_refuses_fake_p999_and_table_renders_costs() {
+        let cost = MitigationCost {
+            hedges_issued: 5,
+            hedges_won: 3,
+            hedges_wasted: 2,
+            retries_issued: 7,
+            budget_exhausted: 1,
+            deadline_exceeded: 2,
+            cancelled: 4,
+        };
+        let mut rows = vec![
+            reduce(
+                "clean",
+                "none",
+                16,
+                &[t(100), t(110)],
+                0,
+                MitigationCost::default(),
+            ),
+            reduce("clean", "hedge", 16, &[t(90), t(95)], 1, cost),
+            reduce("link-flap", "retry", 16, &[], 2, MitigationCost::default()),
+        ];
+        assert_eq!(rows[1].p999_us, None, "2 samples cannot estimate p999");
+        amplify(&mut rows);
+        let text = format_table(&rows);
+        assert!(text.contains("3/2/5"), "hedge won/wasted/issued: {text}");
+        assert!(text.contains('!'), "aborted rows are flagged");
+        assert!(text.contains("link-flap"));
+    }
+}

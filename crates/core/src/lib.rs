@@ -48,6 +48,7 @@ pub mod capture;
 pub mod churn;
 pub mod experiment;
 pub mod faults;
+pub mod hedge;
 pub mod micro;
 pub mod nic;
 pub mod paper;

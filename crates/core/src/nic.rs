@@ -129,6 +129,9 @@ impl AtmNic {
         if let Some(cells) = faults.rx_fifo_cells {
             self.adapter.rx = atm::RxFifo::new(cells);
         }
+        if let Some(flap) = faults.link_flap {
+            self.link.arm_flap(flap);
+        }
     }
 
     /// Routes this direction through an ATM switch: the VC used by

@@ -22,6 +22,11 @@
 //! - [`ContentionCfg`] / [`ContentionProcess`] — receive-side DMA/bus
 //!   contention: the adapter's RX FIFO drain stalls for a burst of
 //!   cell times, so a small FIFO overruns and sheds cells.
+//! - [`PauseSchedule`] / [`FlapSchedule`] — deterministic periodic
+//!   windows during which a host stops servicing events (GC/scheduler
+//!   stall) or a link drops every cell (flap). These are pure
+//!   functions of time — no RNG stream — so arming them never
+//!   perturbs any other process's draws.
 //! - [`FaultSchedule`] — the composable, plain-data description of all
 //!   of the above plus the mbuf-pool limit, carried by an experiment
 //!   and armed per host.
@@ -325,6 +330,114 @@ impl ContentionProcess {
     }
 }
 
+/// A deterministic host pause/resume schedule: the host stops
+/// servicing events during periodic windows, modeling GC or scheduler
+/// stalls.
+///
+/// Unlike the stochastic processes above, a pause schedule is a pure
+/// function of time — no RNG stream, so arming it cannot perturb any
+/// other process's draws. Pause windows are half-open:
+/// `[start + k*period, start + k*period + pause)` for `k = 0, 1, ...`.
+/// The constructor requires `pause < period`, so every window has an
+/// interior resume point and any deferred event eventually runs — a
+/// paused run always terminates.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PauseSchedule {
+    /// Start of the first pause window.
+    pub start: SimTime,
+    /// Distance between consecutive window starts.
+    pub period: SimTime,
+    /// Length of each window (strictly less than `period`).
+    pub pause: SimTime,
+}
+
+impl PauseSchedule {
+    /// Builds a periodic pause schedule.
+    ///
+    /// # Panics
+    /// If `pause >= period` or `period` is zero — such a schedule
+    /// would pause forever and hang the run.
+    #[must_use]
+    pub fn new(start: SimTime, period: SimTime, pause: SimTime) -> Self {
+        assert!(period > SimTime::ZERO, "pause period must be positive");
+        assert!(
+            pause < period,
+            "pause must be shorter than its period or the host never resumes"
+        );
+        PauseSchedule {
+            start,
+            period,
+            pause,
+        }
+    }
+
+    /// If `t` falls inside a pause window, the time the host resumes
+    /// (the window's exclusive end); `None` when the host is live.
+    #[must_use]
+    pub fn resume_after(&self, t: SimTime) -> Option<SimTime> {
+        if t < self.start || self.pause == SimTime::ZERO {
+            return None;
+        }
+        let since = t.saturating_since(self.start).as_ns();
+        let phase = since % self.period.as_ns();
+        if phase < self.pause.as_ns() {
+            let window_start = t.saturating_since(SimTime::from_ns(phase));
+            Some(window_start + self.pause)
+        } else {
+            None
+        }
+    }
+}
+
+/// A deterministic link up/down schedule: the link drops every cell
+/// offered while down, forcing the stack into RTO-driven recovery.
+///
+/// Like [`PauseSchedule`] this is a pure function of time with no RNG
+/// stream. Down windows are half-open:
+/// `[start + k*period, start + k*period + down)` for `k = 0, 1, ...`,
+/// and the constructor requires `down < period` so the link always
+/// comes back up.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FlapSchedule {
+    /// Start of the first down window.
+    pub start: SimTime,
+    /// Distance between consecutive window starts.
+    pub period: SimTime,
+    /// Length of each down window (strictly less than `period`).
+    pub down: SimTime,
+}
+
+impl FlapSchedule {
+    /// Builds a periodic link-flap schedule.
+    ///
+    /// # Panics
+    /// If `down >= period` or `period` is zero — such a link would
+    /// never carry another cell.
+    #[must_use]
+    pub fn new(start: SimTime, period: SimTime, down: SimTime) -> Self {
+        assert!(period > SimTime::ZERO, "flap period must be positive");
+        assert!(
+            down < period,
+            "down-time must be shorter than its period or the link never recovers"
+        );
+        FlapSchedule {
+            start,
+            period,
+            down,
+        }
+    }
+
+    /// Whether the link is down (dropping cells) at time `t`.
+    #[must_use]
+    pub fn is_down(&self, t: SimTime) -> bool {
+        if t < self.start || self.down == SimTime::ZERO {
+            return false;
+        }
+        let since = t.saturating_since(self.start).as_ns();
+        since % self.period.as_ns() < self.down.as_ns()
+    }
+}
+
 /// A composable, plain-data fault schedule.
 ///
 /// The schedule is configuration only — `Clone + Send`, carried by an
@@ -347,6 +460,11 @@ pub struct FaultSchedule {
     /// Cap on outstanding mbufs per host pool; receive-path
     /// allocations beyond it fail with `ENOBUFS` (counted drops).
     pub mbuf_limit: Option<u64>,
+    /// Periodic host pause/resume windows (GC / scheduler stalls).
+    pub host_pause: Option<PauseSchedule>,
+    /// Periodic link up/down windows (cells offered while down are
+    /// dropped).
+    pub link_flap: Option<FlapSchedule>,
 }
 
 impl FaultSchedule {
@@ -410,6 +528,20 @@ impl FaultSchedule {
         self
     }
 
+    /// Sets periodic host pause/resume windows.
+    #[must_use]
+    pub fn with_host_pause(mut self, schedule: PauseSchedule) -> Self {
+        self.host_pause = Some(schedule);
+        self
+    }
+
+    /// Sets periodic link up/down windows.
+    #[must_use]
+    pub fn with_link_flap(mut self, schedule: FlapSchedule) -> Self {
+        self.link_flap = Some(schedule);
+        self
+    }
+
     /// Whether the schedule injects nothing at all.
     #[must_use]
     pub fn is_clean(&self) -> bool {
@@ -419,6 +551,8 @@ impl FaultSchedule {
             && self.rx_fifo_cells.is_none()
             && self.ether_loss.is_none()
             && self.mbuf_limit.is_none()
+            && self.host_pause.is_none()
+            && self.link_flap.is_none()
     }
 }
 
@@ -433,6 +567,84 @@ mod tests {
         assert!(!FaultSchedule::default().with_reorder(0.1).is_clean());
         assert!(!FaultSchedule::default().with_mbuf_limit(64).is_clean());
         assert!(!FaultSchedule::default().with_rx_fifo_cells(8).is_clean());
+        let pause = PauseSchedule::new(
+            SimTime::from_us(10),
+            SimTime::from_us(100),
+            SimTime::from_us(20),
+        );
+        assert!(!FaultSchedule::default().with_host_pause(pause).is_clean());
+        let flap = FlapSchedule::new(
+            SimTime::from_us(10),
+            SimTime::from_us(100),
+            SimTime::from_us(20),
+        );
+        assert!(!FaultSchedule::default().with_link_flap(flap).is_clean());
+    }
+
+    #[test]
+    fn pause_windows_are_half_open_and_periodic() {
+        let p = PauseSchedule::new(
+            SimTime::from_us(10),
+            SimTime::from_us(100),
+            SimTime::from_us(20),
+        );
+        // Before the first window.
+        assert_eq!(p.resume_after(SimTime::ZERO), None);
+        assert_eq!(p.resume_after(SimTime::from_us(9)), None);
+        // Inside [10, 30): resumes at 30.
+        assert_eq!(
+            p.resume_after(SimTime::from_us(10)),
+            Some(SimTime::from_us(30))
+        );
+        assert_eq!(
+            p.resume_after(SimTime::from_ns(29_999)),
+            Some(SimTime::from_us(30))
+        );
+        // The window end itself is live (half-open).
+        assert_eq!(p.resume_after(SimTime::from_us(30)), None);
+        assert_eq!(p.resume_after(SimTime::from_us(75)), None);
+        // Second window [110, 130).
+        assert_eq!(
+            p.resume_after(SimTime::from_us(111)),
+            Some(SimTime::from_us(130))
+        );
+        // The resume point is never inside a window: deferring to it
+        // terminates.
+        for us in 0..400u64 {
+            let t = SimTime::from_us(us);
+            if let Some(r) = p.resume_after(t) {
+                assert!(r > t);
+                assert_eq!(p.resume_after(r), None, "resume point {us} still paused");
+            }
+        }
+    }
+
+    #[test]
+    fn flap_windows_are_half_open_and_periodic() {
+        let f = FlapSchedule::new(
+            SimTime::from_us(5),
+            SimTime::from_us(50),
+            SimTime::from_us(10),
+        );
+        assert!(!f.is_down(SimTime::ZERO));
+        assert!(!f.is_down(SimTime::from_ns(4_999)));
+        assert!(f.is_down(SimTime::from_us(5)));
+        assert!(f.is_down(SimTime::from_ns(14_999)));
+        assert!(!f.is_down(SimTime::from_us(15)));
+        assert!(f.is_down(SimTime::from_us(57)));
+        assert!(!f.is_down(SimTime::from_us(70)));
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than its period")]
+    fn pause_longer_than_period_is_rejected() {
+        let _ = PauseSchedule::new(SimTime::ZERO, SimTime::from_us(10), SimTime::from_us(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than its period")]
+    fn flap_longer_than_period_is_rejected() {
+        let _ = FlapSchedule::new(SimTime::ZERO, SimTime::from_us(10), SimTime::from_us(10));
     }
 
     #[test]

@@ -82,6 +82,15 @@ pub enum PredictError {
         /// Fan-out width N of the offending world.
         width: usize,
     },
+    /// The world arms a tail-tolerance policy (deadline, retries,
+    /// hedging, or partial fan-out): completion depends on control
+    /// decisions taken *during* the request — which copy answered
+    /// first, whether the budget had a token — not on any per-
+    /// connection orbit.
+    MitigatedWorld {
+        /// The offending policy, rendered for the message.
+        policy: String,
+    },
 }
 
 impl fmt::Display for PredictError {
@@ -93,6 +102,13 @@ impl fmt::Display for PredictError {
                 f,
                 "analytic model covers exactly two hosts on a private fiber; \
                  this world has {hosts} hosts behind a shared switch"
+            ),
+            PredictError::MitigatedWorld { policy } => write!(
+                f,
+                "analytic model prices one connection's round trip; a \
+                 tail-tolerant world ({policy}) completes on control-layer \
+                 decisions (hedge races, retry budgets, deadlines), not an \
+                 orbit"
             ),
             PredictError::FanoutWorld { width } => write!(
                 f,
@@ -180,12 +196,21 @@ pub fn predict(exp: &Experiment) -> Result<Prediction, PredictError> {
 ///
 /// # Errors
 ///
-/// Always: [`PredictError::FanoutWorld`] for a fan-out/wait-for-all
-/// world (the most specific refusal — completion is an order
-/// statistic, wrong for the model regardless of host count),
-/// [`PredictError::MultiHostWorld`] for more than two hosts,
-/// [`PredictError::Unsupported`] for a switched two-host world.
+/// Always: [`PredictError::MitigatedWorld`] for a world with an armed
+/// tail-tolerance policy (the most specific refusal — the control
+/// layer's choices shape completion before topology even matters),
+/// then [`PredictError::FanoutWorld`] for a fan-out/wait-for-all
+/// world (completion is an order statistic, wrong for the model
+/// regardless of host count), [`PredictError::MultiHostWorld`] for
+/// more than two hosts, [`PredictError::Unsupported`] for a switched
+/// two-host world.
 pub fn predict_dc(topo: &world::Topology) -> Result<Prediction, PredictError> {
+    if topo.mitigated() {
+        let policy = topo
+            .tail
+            .map_or_else(|| "tail policy".to_string(), |t| format!("{t:?}"));
+        return Err(PredictError::MitigatedWorld { policy });
+    }
     if topo.fanout_width > 0 {
         return Err(PredictError::FanoutWorld {
             width: topo.fanout_width,
@@ -1520,6 +1545,30 @@ mod tests {
         }
         let msg = predict_dc(&fo).unwrap_err().to_string();
         assert!(msg.contains("slowest of 16"), "{msg}");
+    }
+
+    #[test]
+    fn mitigated_worlds_are_refused_before_the_fanout_check() {
+        let mut topo = world::Topology::fanout(4, 16);
+        topo.tail = Some(world::TailPolicy {
+            deadline: Some(simkit::SimTime::from_ms(10)),
+            ..world::TailPolicy::default()
+        });
+        match predict_dc(&topo) {
+            Err(PredictError::MitigatedWorld { policy }) => {
+                assert!(policy.contains("deadline"), "{policy}");
+            }
+            other => panic!("expected MitigatedWorld, got {other:?}"),
+        }
+        let msg = predict_dc(&topo).unwrap_err().to_string();
+        assert!(msg.contains("tail-tolerant"), "{msg}");
+        // A no-op policy normalizes away: the refusal falls through to
+        // the fan-out check, exactly like the classic world.
+        topo.tail = Some(world::TailPolicy::default());
+        assert!(matches!(
+            predict_dc(&topo),
+            Err(PredictError::FanoutWorld { width: 16 })
+        ));
     }
 
     #[test]

@@ -216,6 +216,70 @@ fn karn_acks_of_retransmitted_data_neither_sample_nor_reset_backoff() {
 }
 
 #[test]
+fn app_write_during_rto_backoff_preserves_karn_state() {
+    let cfg = StackConfig::default();
+    let (mut a, _b, sa, _sb) = pair(cfg);
+    let mut da = CaptureDriver::new(MTU);
+    let floor = SimTime::from_us(cfg.rto_min_us);
+
+    // First request; the network loses it and two retransmissions.
+    let _ = a.syscall_write(SimTime::ZERO, sa, &[4u8; 400], &mut da);
+    da.packets.clear();
+    let mut t = SimTime::ZERO;
+    for fire in 1..=2u32 {
+        let dl = a.next_deadline().expect("rexmt armed");
+        t = dl + SimTime::from_us(1);
+        let _ = a.check_timers(t, &mut da);
+        da.packets.clear();
+        assert_eq!(a.tcb(sa).rexmt_shift, fire);
+    }
+    let shift = a.tcb(sa).rexmt_shift;
+    let recover = a.tcb(sa).rexmt_recover.expect("recovery point pinned");
+    let deadline = a
+        .tcb(sa)
+        .rexmt_deadline
+        .expect("timer armed for the next fire");
+    assert_eq!(a.tcb(sa).rto(&cfg), floor * 4, "backed off twice");
+
+    // The application gives up waiting and reissues the request
+    // mid-backoff — the tail-tolerant retry path. The write must not
+    // touch the retransmission machinery: Karn's backed-off shift and
+    // the pinned recovery point hold, and the armed (backed-off)
+    // deadline is neither cleared nor shortened to a fresh RTO.
+    t += SimTime::from_ms(1);
+    let out = a.syscall_write(t, sa, &[4u8; 400], &mut da);
+    assert_eq!(out.accepted, 400, "socket buffer has room for the retry");
+    da.packets.clear(); // Whatever it sent is lost like the rest.
+    assert_eq!(
+        a.tcb(sa).rexmt_shift,
+        shift,
+        "app-level retry must not reset the backoff"
+    );
+    assert_eq!(
+        a.tcb(sa).rexmt_recover,
+        Some(recover),
+        "recovery point holds across the retry"
+    );
+    assert_eq!(
+        a.tcb(sa).rexmt_deadline,
+        Some(deadline),
+        "retry neither re-arms nor shortens the backed-off deadline"
+    );
+
+    // The next fire continues the existing backoff sequence instead
+    // of restarting it.
+    let dl = a.next_deadline().expect("rexmt still armed");
+    assert_eq!(dl, deadline, "next fire is the pre-retry deadline");
+    let _ = a.check_timers(dl + SimTime::from_us(1), &mut da);
+    assert_eq!(
+        a.tcb(sa).rexmt_shift,
+        shift + 1,
+        "backoff continues, not restarts"
+    );
+    assert_eq!(a.tcb(sa).rto(&cfg), floor * 8);
+}
+
+#[test]
 fn fast_retransmit_fires_on_exactly_the_third_duplicate_ack() {
     let cfg = StackConfig::default();
     let (mut a, mut b, sa, sb) = pair(cfg);

@@ -22,7 +22,7 @@ use tcpip::config::tcp_mss;
 use tcpip::{Kernel, PcbCounters, PcbKey, SockId};
 
 use crate::nic::{DcDelivery, DcNic};
-use crate::topology::{Topology, TrafficSchedule};
+use crate::topology::{TailPolicy, Topology, TrafficSchedule};
 
 /// Base port of client-side connections (`+ conn index`).
 const CLIENT_PORT: u16 = 1024;
@@ -41,6 +41,9 @@ enum ConnState {
     /// Sub-request done, waiting for the host's other fan-out
     /// connections to finish the round (fan-out clients only).
     AtBarrier,
+    /// Parked replica connection of a hedged fan-out world: it carries
+    /// no traffic until the hedge trigger activates it for a round.
+    Idle,
     /// Finished (client: all iterations done; server: released).
     Done,
 }
@@ -90,27 +93,94 @@ pub struct DcConn {
     /// distinct peer server, so the sender identifies the connection
     /// without TCP demultiplexing.
     last_arrival: SimTime,
+    /// Messages fully written on this connection (client side): the
+    /// payload-pattern index of the next outgoing message. Equal to
+    /// `done_count` on classic paths; diverges under application
+    /// retries, which reissue a round's request on the same stream.
+    sent: u64,
+    /// Full messages read back (client side): the pattern index the
+    /// next incoming echo must verify against.
+    rcvd: u64,
+    /// Copies of the current round's request written on this stream
+    /// (initial send + retries); mitigated fan-out only.
+    round_sent: u32,
+    /// Echoes of the current round received so far; mitigated fan-out
+    /// only. A connection parks at the barrier only once
+    /// `round_rcvd == round_sent`, draining late retry echoes first.
+    round_rcvd: u32,
+}
+
+/// Typed outcome of one logical fan-out request (mitigated worlds).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RequestOutcome {
+    /// The request completed within its deadline (or no deadline was
+    /// set).
+    Ok,
+    /// The deadline passed before the quorum completed: the recorded
+    /// completion is the deadline itself and the stragglers were
+    /// cancelled.
+    DeadlineExceeded,
 }
 
 /// Fan-out/wait-for-all bookkeeping for one client host: the host's
 /// `width` connections each carry one sub-request per round, and the
 /// logical request completes when the slowest reply lands.
+///
+/// With a [`TailPolicy`] armed the barrier turns into a tail-tolerant
+/// control loop: each of the `width` *slots* resolves at its first
+/// reply (primary or hedged replica), the logical completion is the
+/// K-th smallest slot time capped by the deadline, and late copies
+/// drain through the barrier without being re-measured.
 pub struct FanoutCtl {
-    /// Fan-out width (== the host's connection count).
+    /// Fan-out width (== the host's primary connection count).
     pub width: usize,
-    /// Sub-requests still outstanding in the current round.
+    /// Connections still mid-round (primaries plus the activated
+    /// replica, if any).
     pending: usize,
     /// Completed barrier rounds.
     round: u64,
     /// Slowest sub-request RTT seen in the current round.
     round_max: SimTime,
-    /// Per-round completion times (max over the round's sub-request
-    /// RTTs), recorded after warm-up.
+    /// Per-round completion times, recorded after warm-up: the max
+    /// over the round's sub-request RTTs (wait-for-all), or the
+    /// policy's K-th smallest capped by the deadline (mitigated).
     pub completions: Vec<SimTime>,
     /// Set when the retransmit limit killed one of the host's
     /// sub-request connections: the remaining rounds can never
     /// complete, so the whole fan-out host aborts.
     pub aborted: bool,
+    /// The tail-tolerance policy, normalized: `None` when the
+    /// topology carries no policy *or* an all-default one, so a no-op
+    /// policy runs the classic wait-for-all path event-for-event.
+    tail: Option<TailPolicy>,
+    /// First-reply time of each slot this round (`width` entries in
+    /// mitigated mode, empty otherwise).
+    slot_rtt: Vec<Option<SimTime>>,
+    /// When the current round was released.
+    round_start: SimTime,
+    /// Retry tokens left in the per-client budget bucket.
+    tokens: u32,
+    /// The slot hedged this round, if the hedge trigger fired.
+    hedged_slot: Option<usize>,
+    /// Running p95 of resolved slot times — the adaptive hedge delay.
+    p95: simcap::StreamingP95,
+    /// Typed per-request outcomes, parallel to `completions`.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Hedged requests issued.
+    pub hedges_issued: u64,
+    /// Hedges whose replica reply resolved the slot first.
+    pub hedges_won: u64,
+    /// Hedges beaten by their own primary — pure extra load.
+    pub hedges_wasted: u64,
+    /// Application-level retries written.
+    pub retries_issued: u64,
+    /// Retries suppressed by an empty budget bucket.
+    pub budget_exhausted: u64,
+    /// Rounds that recorded `DeadlineExceeded`.
+    pub deadline_exceeded: u64,
+    /// Sub-request results discarded as stragglers (slots slower than
+    /// the recorded completion: beyond the quorum or the deadline).
+    pub cancelled: u64,
 }
 
 /// One simulated host.
@@ -128,6 +198,10 @@ pub struct DcHost {
     /// Fan-out barrier state (measured client hosts of a fan-out
     /// world only).
     pub fanout: Option<FanoutCtl>,
+    /// Deterministic pause/resume windows (faultkit `host_pause`):
+    /// every event targeting this host while it is paused is deferred
+    /// to the window's end, modeling a GC or scheduler stall.
+    pause: Option<faultkit::PauseSchedule>,
 }
 
 /// The datacenter world.
@@ -220,6 +294,9 @@ impl DcWorld {
                     }
                 }
             }
+            // A no-op policy normalizes to None: the classic
+            // wait-for-all path runs event-for-event.
+            let tail = topo.tail.filter(|t| !t.is_noop());
             let fanout = (topo.fanout_width > 0 && h < topo.clients).then(|| FanoutCtl {
                 width: topo.fanout_width,
                 pending: topo.fanout_width,
@@ -227,7 +304,32 @@ impl DcWorld {
                 round_max: SimTime::ZERO,
                 completions: Vec::new(),
                 aborted: false,
+                tail,
+                slot_rtt: if tail.is_some() {
+                    vec![None; topo.fanout_width]
+                } else {
+                    Vec::new()
+                },
+                round_start: SimTime::ZERO,
+                tokens: tail.and_then(|t| t.retry).map_or(0, |r| r.budget),
+                hedged_slot: None,
+                p95: simcap::StreamingP95::new(),
+                outcomes: Vec::new(),
+                hedges_issued: 0,
+                hedges_won: 0,
+                hedges_wasted: 0,
+                retries_issued: 0,
+                budget_exhausted: 0,
+                deadline_exceeded: 0,
+                cancelled: 0,
             });
+            // Host pause windows follow the fault scope, like every
+            // other injector; churn hosts are never fault-armed.
+            let pause = if h < measured && topo.faults_apply_to(h) {
+                topo.faults.as_ref().and_then(|f| f.host_pause)
+            } else {
+                None
+            };
             hosts.push(DcHost {
                 kernel: Kernel::new(cfg, costs.clone()),
                 nic: DcNic::new(h, atm_nic),
@@ -235,6 +337,7 @@ impl DcWorld {
                 timer_at: None,
                 timer: None,
                 fanout,
+                pause,
             });
         }
 
@@ -312,13 +415,21 @@ impl DcWorld {
                     t.snd_max = c_rcv;
                 }
                 let conn_s = hosts[srv].conns.len();
+                // Replica connections of a hedged fan-out client park
+                // idle until a hedge trigger activates them.
+                let replica =
+                    !background && topo.replicated() && c < topo.clients && j >= topo.fanout_width;
                 hosts[c].conns.push(DcConn {
                     sock: sock_c,
                     client: true,
                     peer_host: srv,
                     peer_conn: conn_s,
                     ident: (c, j),
-                    state: ConnState::WantWrite(0),
+                    state: if replica {
+                        ConnState::Idle
+                    } else {
+                        ConnState::WantWrite(0)
+                    },
                     done_count: 0,
                     got: Vec::new(),
                     t_start: SimTime::ZERO,
@@ -330,6 +441,10 @@ impl DcWorld {
                     background,
                     think,
                     last_arrival: SimTime::ZERO,
+                    sent: 0,
+                    rcvd: 0,
+                    round_sent: 0,
+                    round_rcvd: 0,
                 });
                 hosts[srv].conns.push(DcConn {
                     sock: sock_s,
@@ -349,6 +464,10 @@ impl DcWorld {
                     background,
                     think: SimTime::ZERO,
                     last_arrival: SimTime::ZERO,
+                    sent: 0,
+                    rcvd: 0,
+                    round_sent: 0,
+                    round_rcvd: 0,
                 });
             }
         }
@@ -425,6 +544,24 @@ pub struct DcRunResult {
     pub switch_drops: u64,
     /// Largest output-queue backlog (cells) seen on any port.
     pub max_backlog_cells: usize,
+    /// Mbufs still outstanding after world teardown, summed over every
+    /// host pool — covers cancelled and hedged sub-requests too, whose
+    /// connections must release their buffers like any other.
+    pub mbufs_leaked: u64,
+    /// Hedged requests issued across every fan-out client.
+    pub hedges_issued: u64,
+    /// Hedges whose replica reply won the slot.
+    pub hedges_won: u64,
+    /// Hedges beaten by their own primary.
+    pub hedges_wasted: u64,
+    /// Application-level retries written.
+    pub retries_issued: u64,
+    /// Retries suppressed by an empty budget bucket.
+    pub budget_exhausted: u64,
+    /// Logical requests that recorded `DeadlineExceeded`.
+    pub deadline_exceeded: u64,
+    /// Sub-request results discarded as stragglers.
+    pub cancelled: u64,
 }
 
 impl DcRunResult {
@@ -466,6 +603,9 @@ pub fn run_dc(topo: &Topology, sched: TrafficSchedule, seed: u64) -> DcRunResult
     let mut aborted_conns = 0;
     let mut completions = Vec::new();
     let mut fanout_aborts = 0;
+    let (mut hedges_issued, mut hedges_won, mut hedges_wasted) = (0, 0, 0);
+    let (mut retries_issued, mut budget_exhausted) = (0, 0);
+    let (mut deadline_exceeded, mut cancelled) = (0, 0);
     for host in &w.hosts {
         for conn in &host.conns {
             rtts.extend_from_slice(&conn.rtts);
@@ -475,6 +615,13 @@ pub fn run_dc(topo: &Topology, sched: TrafficSchedule, seed: u64) -> DcRunResult
         if let Some(ctl) = &host.fanout {
             completions.extend_from_slice(&ctl.completions);
             fanout_aborts += u64::from(ctl.aborted);
+            hedges_issued += ctl.hedges_issued;
+            hedges_won += ctl.hedges_won;
+            hedges_wasted += ctl.hedges_wasted;
+            retries_issued += ctl.retries_issued;
+            budget_exhausted += ctl.budget_exhausted;
+            deadline_exceeded += ctl.deadline_exceeded;
+            cancelled += ctl.cancelled;
         }
     }
     let clients = w.topo.clients;
@@ -485,7 +632,7 @@ pub fn run_dc(topo: &Topology, sched: TrafficSchedule, seed: u64) -> DcRunResult
         drops += ps.queue_drops;
         backlog = backlog.max(ps.max_backlog_cells);
     }
-    DcRunResult {
+    let mut result = DcRunResult {
         rtts,
         verify_failures,
         aborted_conns,
@@ -498,7 +645,22 @@ pub fn run_dc(topo: &Topology, sched: TrafficSchedule, seed: u64) -> DcRunResult
         switch_forwarded: fwd,
         switch_drops: drops,
         max_backlog_cells: backlog,
-    }
+        mbufs_leaked: 0,
+        hedges_issued,
+        hedges_won,
+        hedges_wasted,
+        retries_issued,
+        budget_exhausted,
+        deadline_exceeded,
+        cancelled,
+    };
+    // Teardown frees every chain still held by sockets, queues and
+    // adapters — including the connections of cancelled or hedged
+    // sub-requests; whatever remains outstanding is a genuine leak.
+    let pools: Vec<_> = w.hosts.iter().map(|h| h.kernel.pool.clone()).collect();
+    drop(sim);
+    result.mbufs_leaked = pools.iter().map(|p| p.stats().mbufs_outstanding()).sum();
+    result
 }
 
 /// Builds and runs a world, returning the final world state — tests
@@ -557,7 +719,25 @@ fn prepare_dc(world: DcWorld) -> Sim<DcWorld> {
     let sched = sim.world.sched;
     let fanout = sim.world.topo.fanout_width > 0;
     for h in 0..clients {
+        // A mitigated fan-out host re-arms its control events (hedge
+        // trigger, retry timers, token refill) at each round start.
+        let mitigated = sim.world.hosts[h]
+            .fanout
+            .as_ref()
+            .is_some_and(|f| f.tail.is_some());
+        if mitigated {
+            sim.schedule_raw(
+                sched.start_of(h, 0),
+                "dc-round-arm",
+                on_round_arm_raw,
+                h as u64,
+            );
+        }
         for c in 0..sim.world.hosts[h].conns.len() {
+            // Hedge replicas park idle until their trigger fires.
+            if sim.world.hosts[h].conns[c].state == ConnState::Idle {
+                continue;
+            }
             // A fan-out host issues its whole round at once: every
             // sub-request starts at the host's slot (the client CPU
             // serializes the actual writes).
@@ -594,17 +774,40 @@ fn prepare_dc(world: DcWorld) -> Sim<DcWorld> {
     sim
 }
 
+/// If host `h` is inside a pause window at `now`, the time it
+/// resumes. Every event entry point defers itself to that instant —
+/// a paused host stops servicing *everything* (arrivals, timers,
+/// process steps), exactly like a GC or scheduler stall. The resume
+/// point is outside the window (faultkit invariant), so a deferred
+/// event runs on its second attempt: pauses delay, never hang.
+fn paused_until(w: &DcWorld, h: usize, now: SimTime) -> Option<SimTime> {
+    w.hosts[h].pause.and_then(|p| p.resume_after(now))
+}
+
 /// Raw-event trampolines (function pointer + packed payload: the
 /// steady-state loop allocates only for arrival trains).
 fn conn_step_raw(w: &mut DcWorld, s: &mut Scheduler<DcWorld>, data: u64) {
-    conn_step(w, s, (data >> 32) as usize, (data & 0xffff_ffff) as usize);
+    let h = (data >> 32) as usize;
+    if let Some(resume) = paused_until(w, h, s.now()) {
+        s.schedule_raw_at(resume, "dc-paused-step", conn_step_raw, data);
+        return;
+    }
+    conn_step(w, s, h, (data & 0xffff_ffff) as usize);
 }
 
 fn on_softintr_raw(w: &mut DcWorld, s: &mut Scheduler<DcWorld>, h: u64) {
+    if let Some(resume) = paused_until(w, h as usize, s.now()) {
+        s.schedule_raw_at(resume, "dc-paused-softintr", on_softintr_raw, h);
+        return;
+    }
     on_softintr(w, s, h as usize);
 }
 
 fn on_timer_raw(w: &mut DcWorld, s: &mut Scheduler<DcWorld>, h: u64) {
+    if let Some(resume) = paused_until(w, h as usize, s.now()) {
+        s.schedule_raw_at(resume, "dc-paused-timer", on_timer_raw, h);
+        return;
+    }
     on_timer(w, s, h as usize);
 }
 
@@ -681,14 +884,23 @@ fn on_dc_arrival(
     h: usize,
     train: Vec<(SimTime, LinkFault)>,
 ) {
+    // A paused host's adapter holds the interrupt until it resumes.
+    if let Some(resume) = paused_until(w, h, s.now()) {
+        s.schedule_at(resume, "dc-paused-arrival", move |w, s| {
+            on_dc_arrival(w, s, src, h, train)
+        });
+        return;
+    }
     // Fan-out landing stamp: on a fan-out client, connection `c`
-    // talks exclusively to server `clients + h*width + c` (the
-    // client's private server block), so the sender maps to the
-    // connection without waiting for TCP demultiplexing (which runs
-    // serialized on the client CPU, after this interrupt).
+    // talks exclusively to server `clients + h*span + c` (the
+    // client's private server block, primaries then replicas), so the
+    // sender maps to the connection without waiting for TCP
+    // demultiplexing (which runs serialized on the client CPU, after
+    // this interrupt).
     if w.hosts[h].fanout.is_some() {
-        let first = w.topo.clients + h * w.topo.fanout_width;
-        if (first..first + w.topo.fanout_width).contains(&src) {
+        let span = w.topo.fanout_conns();
+        let first = w.topo.clients + h * span;
+        if (first..first + span).contains(&src) {
             w.hosts[h].conns[src - first].last_arrival = s.now();
         }
     }
@@ -800,20 +1012,28 @@ fn abort_fanout_host(w: &mut DcWorld, ch: usize) {
 /// loop of the two-host world's app, per connection.
 fn conn_step(w: &mut DcWorld, s: &mut Scheduler<DcWorld>, h: usize, c: usize) {
     let mut now = s.now();
+    // A mitigated fan-out host's round lifecycle is owned by its
+    // control layer (release/record/finish), not by per-connection
+    // done-counts — retries make done_count exceed the round index.
+    let ctl_managed = w.hosts[h].fanout.as_ref().is_some_and(|f| f.tail.is_some());
     loop {
         let state = w.hosts[h].conns[c].state;
         match state {
-            ConnState::Done | ConnState::AtBarrier => break,
+            ConnState::Done | ConnState::AtBarrier | ConnState::Idle => break,
             ConnState::WantWrite(offset) => {
                 let host = &mut w.hosts[h];
                 let conn = &mut host.conns[c];
                 let size = conn.size;
-                if conn.client && conn.done_count >= conn.total {
+                if conn.client && !ctl_managed && conn.done_count >= conn.total {
                     finish_client(w, h, c);
                     break;
                 }
                 let data = if conn.client {
-                    dc_pattern(size, conn.done_count, conn.ident)
+                    // `sent` equals `done_count` on classic paths and
+                    // indexes past any retried copies on mitigated
+                    // ones, so every message on the stream carries a
+                    // distinct pattern.
+                    dc_pattern(size, conn.sent, conn.ident)
                 } else {
                     // The server echoes what it received.
                     conn.got.clone()
@@ -839,10 +1059,18 @@ fn conn_step(w: &mut DcWorld, s: &mut Scheduler<DcWorld>, h: usize, c: usize) {
                     conn.state = ConnState::WantWrite(offset + out.accepted);
                     break;
                 }
-                if !conn.client {
+                if conn.client {
+                    conn.sent += 1;
+                } else {
                     conn.done_count += 1;
                 }
-                conn.got.clear();
+                // Mitigated clients clear per-echo in the control
+                // layer instead: a retry write can interleave with a
+                // partially-assembled echo, which must survive the
+                // write.
+                if !(ctl_managed && conn.client) {
+                    conn.got.clear();
+                }
                 conn.state = ConnState::WantRead;
             }
             ConnState::WantRead => {
@@ -869,8 +1097,16 @@ fn conn_step(w: &mut DcWorld, s: &mut Scheduler<DcWorld>, h: usize, c: usize) {
                 if conn.got.len() < size {
                     continue;
                 }
-                // A full message arrived.
-                let expect = dc_pattern(size, conn.done_count, conn.ident);
+                // A full message arrived. Clients verify against the
+                // receive index (echoes land in send order on the
+                // in-order stream, including retried copies); servers
+                // verify against their own echo count.
+                let idx = if conn.client {
+                    conn.rcvd
+                } else {
+                    conn.done_count
+                };
+                let expect = dc_pattern(size, idx, conn.ident);
                 if conn.got != expect {
                     conn.verify_failures += 1;
                 }
@@ -878,6 +1114,7 @@ fn conn_step(w: &mut DcWorld, s: &mut Scheduler<DcWorld>, h: usize, c: usize) {
                     conn.state = ConnState::WantWrite(0);
                     continue;
                 }
+                conn.rcvd += 1;
                 // Fan-out sub-requests end when the reply *lands* (the
                 // last train from the peer server); everyone else ends
                 // at read completion, as the benchmark did. The
@@ -889,6 +1126,17 @@ fn conn_step(w: &mut DcWorld, s: &mut Scheduler<DcWorld>, h: usize, c: usize) {
                 let is_fanout = landed > SimTime::ZERO && !conn.background;
                 let end = if is_fanout { landed } else { now };
                 let rtt = end.quantized().saturating_since(conn.t_start);
+                if ctl_managed {
+                    // Tail-tolerant round: the control layer decides
+                    // what this echo means (first reply, retry
+                    // duplicate, hedge outcome) and owns the round
+                    // release / host finish.
+                    conn.round_rcvd += 1;
+                    if fanout_reply_tail(w, s, h, c, rtt, end, now) {
+                        continue;
+                    }
+                    break;
+                }
                 if !conn.background && conn.done_count >= w.topo.warmup {
                     conn.rtts.push(rtt);
                 }
@@ -967,6 +1215,380 @@ fn fanout_reply(
         w.hosts[h].conns[j].state = ConnState::WantWrite(0);
         s.schedule_raw_at(at, "dc-fanout-next", conn_step_raw, pack(h, j));
     }
+}
+
+/// The mitigated counterpart of [`fanout_reply`]: one full echo
+/// arrived on connection `c` of tail-tolerant fan-out host `h`.
+///
+/// Returns `true` when the connection should keep reading (late retry
+/// copies of the round are still in flight on its stream) and `false`
+/// when it parked or the round ended. The round barrier itself is
+/// unchanged — every stream drains before release — but the *recorded*
+/// completion is the policy's: the K-th smallest slot time capped by
+/// the deadline. Slots slower than that are counted as cancelled
+/// stragglers; they drain through the barrier without being
+/// re-measured (see DESIGN §2.17 on observational cancellation).
+fn fanout_reply_tail(
+    w: &mut DcWorld,
+    s: &mut Scheduler<DcWorld>,
+    h: usize,
+    c: usize,
+    rtt: SimTime,
+    end: SimTime,
+    now: SimTime,
+) -> bool {
+    let warmup = w.topo.warmup;
+    let total = w.hosts[h].conns[c].total;
+    let width = w.hosts[h].fanout.as_ref().expect("fan-out host").width;
+    let slot = if c < width { c } else { c - width };
+    let first_echo = w.hosts[h].conns[c].round_rcvd == 1;
+    w.hosts[h].conns[c].got.clear();
+    if first_echo {
+        // A slot resolves at its first reply from either path; a
+        // replica's reply is timed from the *primary's* request start,
+        // since both race to answer the same logical sub-request.
+        let slot_time = if c < width {
+            rtt
+        } else {
+            end.quantized()
+                .saturating_since(w.hosts[h].conns[slot].t_start)
+        };
+        let ctl = w.hosts[h].fanout.as_mut().expect("fan-out host");
+        if ctl.slot_rtt[slot].is_none() {
+            ctl.slot_rtt[slot] = Some(slot_time);
+            ctl.p95.observe(slot_time);
+            if ctl.hedged_slot == Some(slot) {
+                // Scored when the slot resolves: the replica either
+                // beat the primary or duplicated work it lost to.
+                if c >= width {
+                    ctl.hedges_won += 1;
+                } else {
+                    ctl.hedges_wasted += 1;
+                }
+            }
+        }
+        if ctl.round >= warmup {
+            w.hosts[h].conns[c].rtts.push(rtt);
+        }
+    }
+    {
+        let conn = &w.hosts[h].conns[c];
+        if conn.round_sent > conn.round_rcvd {
+            // Retry copies of this round are still owed echoes on this
+            // stream: drain them before parking at the barrier.
+            return true;
+        }
+    }
+    let (pending, round) = {
+        let ctl = w.hosts[h].fanout.as_mut().expect("fan-out host");
+        ctl.pending -= 1;
+        (ctl.pending, ctl.round)
+    };
+    if pending > 0 {
+        w.hosts[h].conns[c].state = if c < width {
+            ConnState::AtBarrier
+        } else {
+            ConnState::Idle
+        };
+        return false;
+    }
+    // Barrier: every stream drained, so every slot resolved. Record
+    // the policy's completion, not the slowest straggler's.
+    {
+        let ctl = w.hosts[h].fanout.as_mut().expect("fan-out host");
+        let tail = ctl.tail.expect("mitigated fan-out host");
+        let mut times: Vec<SimTime> = ctl
+            .slot_rtt
+            .iter()
+            .map(|t| t.expect("every slot resolves by the barrier"))
+            .collect();
+        times.sort_unstable();
+        let k = if tail.quorum == 0 {
+            width
+        } else {
+            tail.quorum.min(width)
+        };
+        let kth = times[k - 1];
+        let (completion, outcome) = match tail.deadline {
+            Some(d) if kth > d => (d, RequestOutcome::DeadlineExceeded),
+            _ => (kth, RequestOutcome::Ok),
+        };
+        ctl.cancelled += times.iter().filter(|&&t| t > completion).count() as u64;
+        if outcome == RequestOutcome::DeadlineExceeded {
+            ctl.deadline_exceeded += 1;
+        }
+        if round >= warmup {
+            ctl.completions.push(completion);
+            ctl.outcomes.push(outcome);
+        }
+        ctl.round += 1;
+    }
+    if round + 1 >= total {
+        for j in 0..w.hosts[h].conns.len() {
+            finish_client(w, h, j);
+        }
+        return false;
+    }
+    // Release the next round: primaries write, replicas park idle
+    // until the hedge trigger activates one.
+    let at = now.max(s.now());
+    w.hosts[h].fanout.as_mut().expect("fan-out host").pending = width;
+    for j in 0..w.hosts[h].conns.len() {
+        if j < width {
+            w.hosts[h].conns[j].state = ConnState::WantWrite(0);
+            s.schedule_raw_at(at, "dc-fanout-next", conn_step_raw, pack(h, j));
+        } else {
+            w.hosts[h].conns[j].state = ConnState::Idle;
+        }
+    }
+    arm_round(w, s, h, at);
+    false
+}
+
+/// Arms one tail-tolerant round on fan-out host `h` released at `at`:
+/// resets the slot scoreboard, refills the retry token bucket, and
+/// schedules the round's hedge trigger and first-retry timers. Stale
+/// timers from earlier rounds no-op via the round guard in their
+/// handlers.
+fn arm_round(w: &mut DcWorld, s: &mut Scheduler<DcWorld>, h: usize, at: SimTime) {
+    let (tail, width, round) = {
+        let Some(ctl) = w.hosts[h].fanout.as_mut() else {
+            return;
+        };
+        if ctl.aborted {
+            return;
+        }
+        let Some(tail) = ctl.tail else {
+            return;
+        };
+        ctl.round_start = at;
+        for slot in ctl.slot_rtt.iter_mut() {
+            *slot = None;
+        }
+        ctl.hedged_slot = None;
+        if let Some(rp) = tail.retry {
+            if ctl.round > 0 {
+                // Token-bucket refill, once per round; the first round
+                // starts from the full budget set at construction.
+                ctl.tokens = (ctl.tokens + rp.refill).min(rp.budget);
+            }
+        }
+        (tail, ctl.width, ctl.round)
+    };
+    for (j, conn) in w.hosts[h].conns.iter_mut().enumerate() {
+        conn.round_sent = u32::from(j < width);
+        conn.round_rcvd = 0;
+    }
+    if let Some(hp) = tail.hedge {
+        // Adaptive trigger: the running p95 of resolved slot times,
+        // falling back to the configured initial delay until the
+        // estimator has seen a sample.
+        let delay = hp.delay.unwrap_or_else(|| {
+            let ctl = w.hosts[h].fanout.as_ref().expect("fan-out host");
+            ctl.p95.estimate().unwrap_or(hp.initial)
+        });
+        s.schedule_raw_at(
+            at + delay,
+            "dc-hedge",
+            on_hedge_raw,
+            pack(h, round as usize),
+        );
+    }
+    if let Some(rp) = tail.retry {
+        if rp.max_attempts > 1 {
+            for slot in 0..width {
+                let jitter = retry_jitter(w.seed, h, slot, round, 1, rp.jitter);
+                s.schedule_raw_at(
+                    at + rp.backoff + jitter,
+                    "dc-retry",
+                    on_retry_raw,
+                    pack_retry(h, slot, round, 1),
+                );
+            }
+        }
+    }
+}
+
+/// First-round arm for a mitigated fan-out host (scheduled by
+/// `prepare_dc` at the host's traffic slot; later rounds re-arm at the
+/// barrier release).
+fn on_round_arm_raw(w: &mut DcWorld, s: &mut Scheduler<DcWorld>, h: u64) {
+    if let Some(resume) = paused_until(w, h as usize, s.now()) {
+        s.schedule_raw_at(resume, "dc-paused-arm", on_round_arm_raw, h);
+        return;
+    }
+    arm_round(w, s, h as usize, s.now());
+}
+
+fn on_hedge_raw(w: &mut DcWorld, s: &mut Scheduler<DcWorld>, data: u64) {
+    let h = (data >> 32) as usize;
+    if let Some(resume) = paused_until(w, h, s.now()) {
+        s.schedule_raw_at(resume, "dc-paused-hedge", on_hedge_raw, data);
+        return;
+    }
+    on_hedge(w, s, h, data & 0xffff_ffff);
+}
+
+/// The hedge trigger for round `round` on host `h`: reissue the
+/// slowest outstanding sub-request to its replica server, race the
+/// copies, take the first reply.
+fn on_hedge(w: &mut DcWorld, s: &mut Scheduler<DcWorld>, h: usize, round: u64) {
+    let slot = {
+        let Some(ctl) = w.hosts[h].fanout.as_ref() else {
+            return;
+        };
+        // Stale trigger (the round already ended), an aborted host, or
+        // a round that already hedged: no-op.
+        if ctl.aborted || ctl.tail.is_none() || ctl.round != round || ctl.hedged_slot.is_some() {
+            return;
+        }
+        // "Slowest outstanding": the round's sub-requests all started
+        // together, so every unresolved slot is equally late; take the
+        // first. If all resolved, the barrier is imminent.
+        match ctl.slot_rtt.iter().position(Option::is_none) {
+            Some(slot) => slot,
+            None => return,
+        }
+    };
+    let width = w.hosts[h].fanout.as_ref().expect("fan-out host").width;
+    let rc = width + slot;
+    if rc >= w.hosts[h].conns.len() || w.hosts[h].conns[rc].state != ConnState::Idle {
+        return;
+    }
+    {
+        let ctl = w.hosts[h].fanout.as_mut().expect("fan-out host");
+        ctl.hedged_slot = Some(slot);
+        ctl.hedges_issued += 1;
+        ctl.pending += 1;
+    }
+    let conn = &mut w.hosts[h].conns[rc];
+    conn.state = ConnState::WantWrite(0);
+    conn.round_sent = 1;
+    conn.round_rcvd = 0;
+    s.schedule_raw_at(s.now(), "dc-hedge-send", conn_step_raw, pack(h, rc));
+}
+
+/// Packs a retry timer payload: host, slot, round (low 20 bits — the
+/// handler compares masked, and stale timers are at most one round
+/// old), attempt.
+fn pack_retry(h: usize, slot: usize, round: u64, attempt: u32) -> u64 {
+    ((h as u64) << 48) | ((slot as u64) << 36) | ((round & 0xf_ffff) << 16) | u64::from(attempt)
+}
+
+fn on_retry_raw(w: &mut DcWorld, s: &mut Scheduler<DcWorld>, data: u64) {
+    let h = (data >> 48) as usize;
+    if let Some(resume) = paused_until(w, h, s.now()) {
+        s.schedule_raw_at(resume, "dc-paused-retry", on_retry_raw, data);
+        return;
+    }
+    let slot = ((data >> 36) & 0xfff) as usize;
+    let round = (data >> 16) & 0xf_ffff;
+    let attempt = (data & 0xffff) as u32;
+    on_retry(w, s, h, slot, round, attempt);
+}
+
+/// Application-level retry timer for `slot` of round `round`: if the
+/// slot is still unresolved and the budget has a token, write another
+/// copy of the round's request on the same stream and chain the next
+/// attempt at doubled backoff.
+fn on_retry(
+    w: &mut DcWorld,
+    s: &mut Scheduler<DcWorld>,
+    h: usize,
+    slot: usize,
+    round: u64,
+    attempt: u32,
+) {
+    let rp = {
+        let Some(ctl) = w.hosts[h].fanout.as_ref() else {
+            return;
+        };
+        let Some(rp) = ctl.tail.and_then(|t| t.retry) else {
+            return;
+        };
+        if ctl.aborted || (ctl.round & 0xf_ffff) != round || ctl.slot_rtt[slot].is_some() {
+            return;
+        }
+        rp
+    };
+    {
+        // Only retry a fully-written, still-waiting request: a primary
+        // mid-write resolves through the normal continuation, and
+        // interleaving a second copy into a partial first would
+        // corrupt the stream.
+        let conn = &w.hosts[h].conns[slot];
+        if conn.state != ConnState::WantRead || conn.aborted {
+            return;
+        }
+    }
+    {
+        let ctl = w.hosts[h].fanout.as_mut().expect("fan-out host");
+        if ctl.tokens == 0 {
+            ctl.budget_exhausted += 1;
+            return;
+        }
+        ctl.tokens -= 1;
+        ctl.retries_issued += 1;
+    }
+    let now = s.now();
+    let (sock, data) = {
+        let conn = &w.hosts[h].conns[slot];
+        (conn.sock, dc_pattern(conn.size, conn.sent, conn.ident))
+    };
+    let out = {
+        let host = &mut w.hosts[h];
+        let DcHost { kernel, nic, .. } = host;
+        kernel.syscall_write(now, sock, &data, nic)
+    };
+    flush_dc(w, s, h);
+    if out.error.is_some() {
+        abort_pair(w, h, slot);
+        return;
+    }
+    if out.blocked {
+        if out.accepted > 0 {
+            // A partial copy entered the stream; the writer-wakeup
+            // machinery completes it (effectively unreachable: the
+            // socket buffer dwarfs a handful of small RPC copies).
+            let conn = &mut w.hosts[h].conns[slot];
+            conn.state = ConnState::WantWrite(out.accepted);
+            conn.round_sent += 1;
+        }
+        // accepted == 0 leaves the stream untouched: the token is
+        // spent, the copy never went out.
+    } else {
+        let conn = &mut w.hosts[h].conns[slot];
+        conn.sent += 1;
+        conn.round_sent += 1;
+    }
+    if attempt + 1 < rp.max_attempts {
+        let backoff = SimTime::from_ns(rp.backoff.as_ns() << attempt);
+        let jitter = retry_jitter(w.seed, h, slot, round, attempt + 1, rp.jitter);
+        s.schedule_raw_at(
+            now + backoff + jitter,
+            "dc-retry",
+            on_retry_raw,
+            pack_retry(h, slot, round, attempt + 1),
+        );
+    }
+}
+
+/// Deterministic key-derived retry jitter in `[0, jitter)`: a pure
+/// function of `(seed, host, slot, round, attempt)`, so the schedule
+/// is byte-identical at any sweep worker count.
+fn retry_jitter(
+    seed: u64,
+    h: usize,
+    slot: usize,
+    round: u64,
+    attempt: u32,
+    jitter: SimTime,
+) -> SimTime {
+    if jitter == SimTime::ZERO {
+        return SimTime::ZERO;
+    }
+    let key = host_seed(seed, h) ^ ((slot as u64) << 40) ^ (round << 8) ^ u64::from(attempt);
+    SimTime::from_ns(splitmix64(key) % jitter.as_ns())
 }
 
 #[cfg(test)]
@@ -1114,6 +1736,107 @@ mod tests {
         let r = run_dc(&t, TrafficSchedule::staggered(), 5);
         assert_eq!(r.completions.len(), 2);
         assert_eq!(r.verify_failures, 0);
+    }
+
+    #[test]
+    fn noop_tail_policy_is_byte_identical_to_classic() {
+        // An all-default TailPolicy normalizes away: the classic
+        // wait-for-all path must run event-for-event.
+        let mut t = Topology::fanout(2, 4);
+        t.iterations = 2;
+        t.warmup = 1;
+        let classic = run_dc(&t, TrafficSchedule::staggered(), 5);
+        t.tail = Some(crate::topology::TailPolicy::default());
+        let noop = run_dc(&t, TrafficSchedule::staggered(), 5);
+        assert_eq!(classic.rtts, noop.rtts);
+        assert_eq!(classic.completions, noop.completions);
+        assert_eq!(classic.events, noop.events);
+        assert_eq!(classic.sim_time, noop.sim_time);
+        assert_eq!(noop.hedges_issued, 0);
+        assert_eq!(noop.retries_issued, 0);
+    }
+
+    #[test]
+    fn deadline_caps_completions_and_types_the_outcome() {
+        let mut t = Topology::fanout(1, 4);
+        t.iterations = 4;
+        t.warmup = 1;
+        let base = run_dc(&t, TrafficSchedule::staggered(), 3);
+        // A deadline strictly below the slowest clean-run completion
+        // must cap that round and mark it DeadlineExceeded. (One
+        // quantum below: clean deterministic rounds can all complete
+        // in exactly the same time.)
+        let slowest = base.completions.iter().copied().max().unwrap();
+        let deadline = SimTime::from_ns(slowest.as_ns() - 40);
+        t.tail = Some(crate::topology::TailPolicy {
+            deadline: Some(deadline),
+            ..Default::default()
+        });
+        let capped = run_dc(&t, TrafficSchedule::staggered(), 3);
+        assert_eq!(capped.completions.len(), base.completions.len());
+        assert!(capped.deadline_exceeded > 0, "no round hit the deadline");
+        assert!(capped.cancelled > 0, "no straggler was cancelled");
+        assert!(capped
+            .completions
+            .iter()
+            .all(|&c| c <= deadline.max(slowest)));
+        assert!(
+            capped.completions.contains(&deadline),
+            "an exceeded round records the deadline itself"
+        );
+        assert_eq!(capped.mbufs_leaked, 0);
+    }
+
+    #[test]
+    fn hedged_world_issues_hedges_and_scores_them() {
+        let mut t = Topology::fanout(1, 4);
+        t.iterations = 6;
+        t.warmup = 1;
+        t.tail = Some(crate::topology::TailPolicy {
+            hedge: Some(crate::topology::HedgePolicy {
+                // Hedge almost immediately so every round hedges.
+                delay: Some(SimTime::from_us(100)),
+                ..Default::default()
+            }),
+            ..Default::default()
+        });
+        let r = run_dc(&t, TrafficSchedule::staggered(), 7);
+        assert_eq!(r.completions.len(), 6);
+        assert_eq!(r.verify_failures, 0);
+        assert!(r.hedges_issued > 0, "no hedge fired");
+        assert_eq!(r.hedges_won + r.hedges_wasted, r.hedges_issued);
+        assert_eq!(r.mbufs_leaked, 0);
+    }
+
+    #[test]
+    fn retry_budget_bounds_retries_per_round() {
+        let mut t = Topology::fanout(1, 2);
+        t.iterations = 4;
+        t.warmup = 0;
+        t.tail = Some(crate::topology::TailPolicy {
+            retry: Some(crate::topology::RetryPolicy {
+                max_attempts: 4,
+                // Backoff far below the RTT: every attempt fires
+                // before the first echo lands.
+                backoff: SimTime::from_us(50),
+                jitter: SimTime::ZERO,
+                budget: 3,
+                refill: 1,
+            }),
+            ..Default::default()
+        });
+        let r = run_dc(&t, TrafficSchedule::staggered(), 11);
+        assert_eq!(r.completions.len(), 4);
+        assert_eq!(r.verify_failures, 0, "retried echoes must still verify");
+        assert!(r.retries_issued > 0, "no retry fired");
+        assert!(
+            r.budget_exhausted > 0,
+            "the token bucket never ran dry: {} retries",
+            r.retries_issued
+        );
+        // 3 initial tokens + 1 per round refill across 3 releases.
+        assert!(r.retries_issued <= 6, "budget leak: {}", r.retries_issued);
+        assert_eq!(r.mbufs_leaked, 0);
     }
 
     #[test]

@@ -29,6 +29,14 @@
 //! slowest reply lands — optionally with background churn traffic
 //! ([`topology::ChurnTraffic`]) sharing the fabric and fault
 //! schedules scoped to the servers ([`topology::FaultScope`]).
+//!
+//! On top of the fan-out world sits the tail-tolerant RPC control
+//! layer (the `repro hedge` study): a [`topology::TailPolicy`] arms
+//! per-request deadlines with typed `DeadlineExceeded` outcomes,
+//! budgeted application-level retries, hedged requests against
+//! replica servers, and partial (`first K of N`) fan-out — each
+//! priced against the unmitigated baseline under deterministic host
+//! pause and link-flap fault schedules.
 
 #![warn(missing_docs)]
 
@@ -37,11 +45,15 @@ pub mod nic;
 pub mod study;
 pub mod topology;
 
-pub use dc::{dc_pattern, run_dc, DcConn, DcHost, DcRunResult, DcWorld};
+pub use dc::{dc_pattern, run_dc, DcConn, DcHost, DcRunResult, DcWorld, RequestOutcome};
 pub use nic::{DcDelivery, DcNic};
 pub use study::{
-    canonical_json, dc_grid, dc_quick_grid, rep_seed, run_dc_cells, run_tails_cells,
+    canonical_json, dc_grid, dc_quick_grid, hedge_canonical_json, hedge_grid, hedge_quick_grid,
+    hedge_rows, mitigation_policy, rep_seed, run_dc_cells, run_hedge_cells, run_tails_cells,
     tails_canonical_json, tails_grid, tails_quick_grid, tails_rows, DcCell, DcCellResult,
-    TailsCell,
+    HedgeCell, TailsCell,
 };
-pub use topology::{ChurnTraffic, FaultScope, PcbStrategy, Topology, TrafficSchedule};
+pub use topology::{
+    ChurnTraffic, FaultScope, HedgePolicy, PcbStrategy, RetryPolicy, TailPolicy, Topology,
+    TrafficSchedule,
+};

@@ -22,11 +22,15 @@
 //! cell's base seed, silently correlating cells that must be
 //! independent.
 
+use latency_core::hedge::{Mitigation, MitigationCost, MITIGATIONS};
 use simkit::SimTime;
 use tcpip::PcbCounters;
 
 use crate::dc::run_dc;
-use crate::topology::{ChurnTraffic, FaultScope, PcbStrategy, Topology, TrafficSchedule};
+use crate::topology::{
+    ChurnTraffic, FaultScope, HedgePolicy, PcbStrategy, RetryPolicy, TailPolicy, Topology,
+    TrafficSchedule,
+};
 
 /// One grid cell: a named, self-contained world description.
 pub struct DcCell {
@@ -93,11 +97,18 @@ pub struct DcCellResult {
     /// Largest output-queue backlog seen (max over reps).
     pub max_backlog_cells: usize,
     /// Fan-out logical-request completions (max over each round's N
-    /// sub-request RTTs), pooled across reps. Empty for incast cells.
+    /// sub-request RTTs, or the tail policy's K-th-fastest capped by
+    /// the deadline), pooled across reps. Empty for incast cells.
     pub completions: Vec<SimTime>,
     /// Client hosts whose fan-out rounds were killed by the
     /// retransmit-limit abort, summed over reps.
     pub fanout_aborts: u64,
+    /// Mbufs still outstanding after world teardown, summed over reps
+    /// (must be zero: cancelled and hedged requests may not leak).
+    pub mbufs_leaked: u64,
+    /// Tail-mitigation cost counters, summed over reps. All zero for
+    /// unmitigated cells.
+    pub cost: MitigationCost,
 }
 
 impl DcCellResult {
@@ -195,6 +206,8 @@ fn run_one_cell(cell: &DcCell) -> DcCellResult {
     let mut max_backlog_cells = 0;
     let mut completions = Vec::new();
     let mut fanout_aborts = 0;
+    let mut mbufs_leaked = 0;
+    let mut cost = MitigationCost::default();
     for rep in 0..cell.reps.max(1) {
         let r = run_dc(&cell.topo, cell.sched, rep_seed(&cell.key, rep));
         rtts.extend(r.rtts);
@@ -214,6 +227,14 @@ fn run_one_cell(cell: &DcCell) -> DcCellResult {
         max_backlog_cells = max_backlog_cells.max(r.max_backlog_cells);
         completions.extend(r.completions);
         fanout_aborts += r.fanout_aborts;
+        mbufs_leaked += r.mbufs_leaked;
+        cost.hedges_issued += r.hedges_issued;
+        cost.hedges_won += r.hedges_won;
+        cost.hedges_wasted += r.hedges_wasted;
+        cost.retries_issued += r.retries_issued;
+        cost.budget_exhausted += r.budget_exhausted;
+        cost.deadline_exceeded += r.deadline_exceeded;
+        cost.cancelled += r.cancelled;
     }
     DcCellResult {
         key: cell.key.clone(),
@@ -230,6 +251,8 @@ fn run_one_cell(cell: &DcCell) -> DcCellResult {
         max_backlog_cells,
         completions,
         fanout_aborts,
+        mbufs_leaked,
+        cost,
     }
 }
 
@@ -487,6 +510,220 @@ pub fn tails_canonical_json(name: &str, cells: &[TailsCell], results: &[DcCellRe
     out
 }
 
+/// One `repro hedge` cell: a fan-out-16 world under one fault regime
+/// and one tail mitigation.
+pub struct HedgeCell {
+    /// The underlying world cell (key, topology, schedule, reps).
+    pub cell: DcCell,
+    /// Scenario name from [`latency_core::hedge::scenarios`].
+    pub scenario: String,
+    /// The mitigation this cell runs under.
+    pub mitigation: Mitigation,
+    /// Fan-out width N.
+    pub width: usize,
+}
+
+/// Maps a study mitigation onto the world's [`TailPolicy`].
+///
+/// `None` for the baseline: the topology carries no policy at all, so
+/// the cell runs the classic wait-for-all path event-for-event.
+#[must_use]
+pub fn mitigation_policy(m: Mitigation, width: usize) -> Option<TailPolicy> {
+    match m {
+        Mitigation::None => None,
+        Mitigation::Deadline => Some(TailPolicy {
+            deadline: Some(SimTime::from_ms(10)),
+            ..TailPolicy::default()
+        }),
+        Mitigation::Retry => Some(TailPolicy {
+            retry: Some(RetryPolicy::default()),
+            ..TailPolicy::default()
+        }),
+        Mitigation::Hedge => Some(TailPolicy {
+            hedge: Some(HedgePolicy::default()),
+            ..TailPolicy::default()
+        }),
+        Mitigation::HedgeQuorum => Some(TailPolicy {
+            hedge: Some(HedgePolicy::default()),
+            quorum: width.saturating_sub(2).max(1),
+            ..TailPolicy::default()
+        }),
+    }
+}
+
+/// Builds the hedge grid: every scenario x every mitigation at one
+/// fan-out width.
+fn hedge_grid_from(
+    width: usize,
+    clients: usize,
+    iterations: u64,
+    warmup: u64,
+    reps: u64,
+) -> Vec<HedgeCell> {
+    let mut cells = Vec::new();
+    for sc in latency_core::hedge::scenarios() {
+        for m in MITIGATIONS {
+            let mut topo = Topology::fanout(clients, width);
+            topo.iterations = iterations;
+            topo.warmup = warmup;
+            if !sc.faults.is_clean() {
+                topo.faults = Some(sc.faults);
+                // Same story as the tails study: the servers hiccup,
+                // the clients stay clean, every tail is remote.
+                topo.fault_scope = FaultScope::ServersOnly;
+            }
+            topo.tail = mitigation_policy(m, width);
+            let key = format!(
+                "hedge/{}/{}/f{}/i{}r{}",
+                sc.name,
+                m.tag(),
+                width,
+                iterations,
+                reps,
+            );
+            cells.push(HedgeCell {
+                cell: DcCell {
+                    key,
+                    topo,
+                    sched: TrafficSchedule::staggered(),
+                    reps,
+                },
+                scenario: sc.name.to_string(),
+                mitigation: m,
+                width,
+            });
+        }
+    }
+    cells
+}
+
+/// The full `repro hedge` grid: all four scenarios x all five
+/// mitigations at fan-out 16, sized to clear the p999 sample floor
+/// (4 clients x 150 measured rounds x 2 reps = 1200 completions per
+/// cell).
+#[must_use]
+pub fn hedge_grid() -> Vec<HedgeCell> {
+    hedge_grid_from(16, 4, 150, 2, 2)
+}
+
+/// The `--quick` grid (CI + golden): the same 4 x 5 cells at 2
+/// clients x 6 measured rounds. Its p999 column is honestly `null`.
+#[must_use]
+pub fn hedge_quick_grid() -> Vec<HedgeCell> {
+    hedge_grid_from(16, 2, 6, 1, 1)
+}
+
+/// Runs a hedge grid; same ordered pool as [`run_dc_cells`], so the
+/// report is byte-identical at any `--jobs` value.
+#[must_use]
+pub fn run_hedge_cells(cells: &[HedgeCell], jobs: usize) -> Vec<DcCellResult> {
+    sweep::pool::run_ordered(cells, jobs, |_, hc| run_one_cell(&hc.cell))
+}
+
+/// Reduces grid results to table rows, `amp_p99` filled in.
+#[must_use]
+pub fn hedge_rows(
+    cells: &[HedgeCell],
+    results: &[DcCellResult],
+) -> Vec<latency_core::hedge::HedgeRow> {
+    assert_eq!(
+        cells.len(),
+        results.len(),
+        "rows require one result per cell"
+    );
+    let mut rows: Vec<_> = cells
+        .iter()
+        .zip(results)
+        .map(|(hc, r)| {
+            latency_core::hedge::reduce(
+                &hc.scenario,
+                hc.mitigation.tag(),
+                hc.width,
+                &r.completions,
+                r.fanout_aborts,
+                r.cost,
+            )
+        })
+        .collect();
+    latency_core::hedge::amplify(&mut rows);
+    rows
+}
+
+/// The deterministic hedge report: the `sweep.json` cell schema over
+/// completion samples, plus the percentile, amplification, and
+/// mitigation-cost fields appended after `verify_failures`.
+#[must_use]
+pub fn hedge_canonical_json(name: &str, cells: &[HedgeCell], results: &[DcCellResult]) -> String {
+    use std::fmt::Write as _;
+    use sweep::report::{json_num, json_string};
+    let rows = hedge_rows(cells, results);
+    let opt = |v: Option<f64>| v.map_or_else(|| "null".to_string(), json_num);
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"name\": {},", json_string(name));
+    out.push_str("  \"cells\": {");
+    let mut first = true;
+    for (c, row) in results.iter().zip(&rows) {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\n    {}: {{ ", json_string(&c.key));
+        let _ = write!(out, "\"seed\": {}, ", c.seed);
+        let _ = write!(out, "\"reps\": {}, ", c.reps);
+        let _ = write!(out, "\"samples\": {}, ", c.completions.len());
+        let _ = write!(
+            out,
+            "\"mean_us\": {}, ",
+            json_num(latency_core::stats::mean_us(&c.completions))
+        );
+        let _ = write!(
+            out,
+            "\"stddev_us\": {}, ",
+            json_num(latency_core::stats::stddev_us(&c.completions))
+        );
+        let _ = write!(
+            out,
+            "\"min_us\": {}, ",
+            json_num(latency_core::stats::min_us(&c.completions))
+        );
+        let _ = write!(
+            out,
+            "\"max_us\": {}, ",
+            json_num(latency_core::stats::max_us(&c.completions))
+        );
+        let _ = write!(out, "\"events\": {}, ", c.events);
+        let _ = write!(
+            out,
+            "\"sim_time_us\": {}, ",
+            json_num(c.sim_time.as_us_f64())
+        );
+        let _ = write!(out, "\"verify_failures\": {}, ", c.verify_failures);
+        let p50 = (row.samples > 0).then_some(row.p50_us);
+        let p99 = (row.samples > 0).then_some(row.p99_us);
+        let _ = write!(out, "\"p50_us\": {}, ", opt(p50));
+        let _ = write!(out, "\"p99_us\": {}, ", opt(p99));
+        let _ = write!(out, "\"p999_us\": {}, ", opt(row.p999_us));
+        let _ = write!(out, "\"amp_p99\": {}, ", opt(row.amp_p99));
+        let _ = write!(out, "\"hedges_issued\": {}, ", c.cost.hedges_issued);
+        let _ = write!(out, "\"hedges_won\": {}, ", c.cost.hedges_won);
+        let _ = write!(out, "\"hedges_wasted\": {}, ", c.cost.hedges_wasted);
+        let _ = write!(out, "\"retries_issued\": {}, ", c.cost.retries_issued);
+        let _ = write!(out, "\"budget_exhausted\": {}, ", c.cost.budget_exhausted);
+        let _ = write!(out, "\"deadline_exceeded\": {}, ", c.cost.deadline_exceeded);
+        let _ = write!(out, "\"cancelled\": {}, ", c.cost.cancelled);
+        let _ = write!(out, "\"mbufs_leaked\": {}, ", c.mbufs_leaked);
+        let _ = write!(out, "\"fanout_aborts\": {} }}", c.fanout_aborts);
+    }
+    if results.is_empty() {
+        out.push('}');
+    } else {
+        out.push_str("\n  }");
+    }
+    out.push_str("\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -581,6 +818,76 @@ mod tests {
         let full = tails_grid();
         assert_eq!(full.len(), 32);
         assert!(full.iter().any(|c| c.width == 64));
+    }
+
+    #[test]
+    fn hedge_quick_grid_covers_all_axes() {
+        let g = hedge_quick_grid();
+        // 4 scenarios x 5 mitigations.
+        assert_eq!(g.len(), 20);
+        for (i, a) in g.iter().enumerate() {
+            for b in &g[i + 1..] {
+                assert_ne!(a.cell.key, b.cell.key);
+            }
+        }
+        for c in &g {
+            assert_eq!(c.width, 16);
+            assert_eq!(c.cell.topo.fanout_width, 16);
+            match c.mitigation {
+                Mitigation::None => assert!(c.cell.topo.tail.is_none()),
+                _ => assert!(c.cell.topo.tail.is_some()),
+            }
+            // Hedging doubles the server blocks (replicas); the other
+            // mitigations must not.
+            let replicated = matches!(c.mitigation, Mitigation::Hedge | Mitigation::HedgeQuorum);
+            assert_eq!(c.cell.topo.replicated(), replicated, "{}", c.cell.key);
+            if c.scenario == "clean" {
+                assert!(c.cell.topo.faults.is_none());
+            } else {
+                assert!(c.cell.topo.faults.is_some());
+                assert_eq!(c.cell.topo.fault_scope, FaultScope::ServersOnly);
+            }
+        }
+        assert!(g.iter().any(|c| c.scenario == "host-pause"));
+        assert!(g.iter().any(|c| c.scenario == "link-flap"));
+        let full = hedge_grid();
+        assert_eq!(full.len(), 20);
+        // Full cells clear the p999 floor: 4 clients x 150 x 2 reps.
+        assert!(full
+            .iter()
+            .all(|c| c.cell.topo.clients as u64 * c.cell.topo.iterations * c.cell.reps >= 1000));
+    }
+
+    #[test]
+    fn hedge_kofn_policy_sets_the_quorum() {
+        let p = mitigation_policy(Mitigation::HedgeQuorum, 16).unwrap();
+        assert_eq!(p.quorum, 14);
+        assert!(p.hedge.is_some());
+        assert_eq!(mitigation_policy(Mitigation::None, 16), None);
+        let d = mitigation_policy(Mitigation::Deadline, 16).unwrap();
+        assert_eq!(d.deadline, Some(SimTime::from_ms(10)));
+    }
+
+    #[test]
+    fn hedge_report_is_byte_identical_across_jobs() {
+        // One clean pair (baseline + hedge) keeps this fast; the full
+        // quick grid runs in the CI determinism diff.
+        let cells: Vec<HedgeCell> = hedge_quick_grid()
+            .into_iter()
+            .filter(|c| {
+                c.scenario == "clean"
+                    && matches!(c.mitigation, Mitigation::None | Mitigation::Hedge)
+            })
+            .collect();
+        assert_eq!(cells.len(), 2);
+        let a = hedge_canonical_json("hedge_tiny", &cells, &run_hedge_cells(&cells, 1));
+        let b = hedge_canonical_json("hedge_tiny", &cells, &run_hedge_cells(&cells, 4));
+        assert_eq!(a, b);
+        // The no-mitigation cell is its own baseline.
+        assert!(a.contains("\"amp_p99\": 1.0"), "{a}");
+        // Cancelled/hedged teardown must leak nothing.
+        assert!(a.contains("\"mbufs_leaked\": 0"), "{a}");
+        assert!(!a.contains("\"mbufs_leaked\": 1"), "{a}");
     }
 
     #[test]

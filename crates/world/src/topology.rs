@@ -147,6 +147,105 @@ impl ChurnTraffic {
     }
 }
 
+/// Application-level retry policy, as plain data.
+///
+/// Retries are issued by the fan-out control layer on the *same*
+/// connection (the transport keeps its own RTO state; see DESIGN
+/// §2.17): a duplicate copy of the request is written after an
+/// exponentially backed-off delay with key-derived deterministic
+/// jitter, bounded by `max_attempts` and by a per-client token
+/// *budget* so retries degrade gracefully under overload instead of
+/// amplifying it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per sub-request per round, including the first
+    /// send (so 1 means "never retry").
+    pub max_attempts: u32,
+    /// Delay from the round start to the first retry; each further
+    /// attempt doubles it.
+    pub backoff: SimTime,
+    /// Maximum key-derived jitter added to each retry delay; the draw
+    /// is a pure hash of `(seed, host, slot, round, attempt)`, so it
+    /// is reproducible at any worker count.
+    pub jitter: SimTime,
+    /// Token-bucket capacity of the per-client retry budget.
+    pub budget: u32,
+    /// Tokens returned to the bucket at each round start (capped at
+    /// `budget`).
+    pub refill: u32,
+}
+
+impl Default for RetryPolicy {
+    /// The hedge study's bounded-retry default: up to 3 retries per
+    /// slot per round at 2 ms/4 ms/8 ms (+≤1 ms jitter), from a
+    /// 16-token bucket refilling 4 tokens per round.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            backoff: SimTime::from_ms(2),
+            jitter: SimTime::from_ms(1),
+            budget: 16,
+            refill: 4,
+        }
+    }
+}
+
+/// Hedged-request policy, as plain data.
+///
+/// When armed, every fan-out client gets a replica server per primary
+/// (the topology doubles its server block) and, once per round, may
+/// reissue the slowest outstanding sub-request to the replica after
+/// the hedge delay, taking whichever reply lands first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HedgePolicy {
+    /// Fixed hedge delay; `None` tracks the running p95 of completed
+    /// sub-requests with a [`simcap::StreamingP95`] estimator instead.
+    pub delay: Option<SimTime>,
+    /// Delay used while the estimator has no sample yet (first round).
+    pub initial: SimTime,
+}
+
+impl Default for HedgePolicy {
+    /// Hedge at the running p95, 2 ms until the estimator warms up.
+    fn default() -> Self {
+        HedgePolicy {
+            delay: None,
+            initial: SimTime::from_ms(2),
+        }
+    }
+}
+
+/// Tail-tolerance policy for fan-out worlds, as plain data.
+///
+/// `None` on [`Topology::tail`] (or an all-default policy) reproduces
+/// the PR-7 wait-for-all behavior event-for-event: no control events
+/// are scheduled, no replica servers exist, and no extra RNG is drawn
+/// — the existing goldens cannot move.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TailPolicy {
+    /// Per-logical-request deadline: a round still outstanding at the
+    /// deadline records the deadline as its completion with a typed
+    /// `DeadlineExceeded` outcome, instead of waiting out the RTO
+    /// tail. Stragglers are cancelled (drained administratively).
+    pub deadline: Option<SimTime>,
+    /// Bounded, budgeted application-level retries.
+    pub retry: Option<RetryPolicy>,
+    /// Hedged requests to replica servers.
+    pub hedge: Option<HedgePolicy>,
+    /// Partial fan-out: the round completes at the K-th sub-request
+    /// reply (`first K of N`); 0 means wait for all N.
+    pub quorum: usize,
+}
+
+impl TailPolicy {
+    /// Whether the policy changes anything at all relative to
+    /// wait-for-all.
+    #[must_use]
+    pub fn is_noop(&self) -> bool {
+        self.deadline.is_none() && self.retry.is_none() && self.hedge.is_none() && self.quorum == 0
+    }
+}
+
 /// A declarative N-host datacenter topology: `clients` client hosts
 /// and `ceil(clients / fanin)` server hosts, all ports of one
 /// output-queued cell switch. Client `c` talks to server
@@ -199,6 +298,11 @@ pub struct Topology {
     pub fanout_width: usize,
     /// Optional background churn traffic.
     pub churn: Option<ChurnTraffic>,
+    /// Optional tail-tolerance policy (fan-out worlds only). With a
+    /// hedge policy armed, every client's server block doubles: its
+    /// first `fanout_width` connections go to the primaries, the next
+    /// `fanout_width` to the replicas.
+    pub tail: Option<TailPolicy>,
 }
 
 impl Topology {
@@ -223,6 +327,7 @@ impl Topology {
             fault_scope: FaultScope::AllHosts,
             fanout_width: 0,
             churn: None,
+            tail: None,
         }
     }
 
@@ -250,6 +355,7 @@ impl Topology {
             fault_scope: FaultScope::AllHosts,
             fanout_width: width,
             churn: None,
+            tail: None,
         }
     }
 
@@ -259,6 +365,26 @@ impl Topology {
         self.fanin.clamp(1, self.clients.max(1))
     }
 
+    /// Whether any tail-tolerance mitigation is armed.
+    #[must_use]
+    pub fn mitigated(&self) -> bool {
+        self.tail.as_ref().is_some_and(|t| !t.is_noop())
+    }
+
+    /// Whether the fan-out server blocks carry replicas (hedging
+    /// armed).
+    #[must_use]
+    pub fn replicated(&self) -> bool {
+        self.fanout_width > 0 && self.tail.as_ref().is_some_and(|t| t.hedge.is_some())
+    }
+
+    /// Connections per fan-out client host: one per primary server,
+    /// plus one per replica when hedging is armed.
+    #[must_use]
+    pub fn fanout_conns(&self) -> usize {
+        self.fanout_width * if self.replicated() { 2 } else { 1 }
+    }
+
     /// Number of server hosts.
     #[must_use]
     pub fn servers(&self) -> usize {
@@ -266,8 +392,9 @@ impl Topology {
             // Disjoint per-client server sets: every width sees the
             // same per-server load (one sub-request per round), so the
             // fan-out axis varies only the order statistic, not the
-            // contention baseline.
-            self.clients * self.fanout_width
+            // contention baseline. Hedging doubles each block with
+            // replica servers.
+            self.clients * self.fanout_conns()
         } else {
             self.clients.div_ceil(self.effective_fanin())
         }
@@ -321,8 +448,9 @@ impl Topology {
             let (lo, _) = self.churn_slice(h - self.measured_hosts());
             self.clients + lo + conn
         } else if self.fanout_width > 0 {
-            // Client h's private server block.
-            self.clients + h * self.fanout_width + conn
+            // Client h's private server block: primaries at
+            // conn < fanout_width, replicas (if any) after them.
+            self.clients + h * self.fanout_conns() + conn
         } else {
             self.server_of(h)
         }
@@ -335,6 +463,8 @@ impl Topology {
         if h >= self.measured_hosts() {
             let (lo, hi) = self.churn_slice(h - self.measured_hosts());
             hi - lo
+        } else if self.fanout_width > 0 && h < self.clients {
+            self.fanout_conns()
         } else {
             self.conns_per_host
         }
@@ -380,10 +510,15 @@ impl Topology {
         self.base_delay + self.delay_step * h as u64
     }
 
-    /// Total client connections.
+    /// Total client connections (including replica connections in a
+    /// hedged fan-out world).
     #[must_use]
     pub fn client_conns(&self) -> usize {
-        self.clients * self.conns_per_host
+        if self.fanout_width > 0 {
+            self.clients * self.fanout_conns()
+        } else {
+            self.clients * self.conns_per_host
+        }
     }
 }
 
@@ -428,6 +563,40 @@ impl TrafficSchedule {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn hedged_fanout_doubles_server_blocks() {
+        let mut t = Topology::fanout(2, 3);
+        assert_eq!(t.servers(), 6);
+        assert_eq!(t.fanout_conns(), 3);
+        assert!(!t.replicated() && !t.mitigated());
+        t.tail = Some(TailPolicy {
+            hedge: Some(HedgePolicy::default()),
+            ..TailPolicy::default()
+        });
+        assert!(t.replicated() && t.mitigated());
+        assert_eq!(t.servers(), 12);
+        assert_eq!(t.fanout_conns(), 6);
+        assert_eq!(t.conns_of(0), 6);
+        assert_eq!(t.client_conns(), 12);
+        // Primaries first, replicas after them, per-client blocks
+        // disjoint.
+        assert_eq!(t.peer_server(0, 0), 2);
+        assert_eq!(t.peer_server(0, 3), 5);
+        assert_eq!(t.peer_server(1, 0), 8);
+        assert_eq!(t.peer_server(1, 5), 13);
+        // A non-hedge mitigation leaves the wiring untouched.
+        t.tail = Some(TailPolicy {
+            deadline: Some(SimTime::from_ms(10)),
+            ..TailPolicy::default()
+        });
+        assert!(t.mitigated() && !t.replicated());
+        assert_eq!(t.servers(), 6);
+        assert_eq!(t.conns_of(0), 3);
+        // An all-default policy is a no-op.
+        t.tail = Some(TailPolicy::default());
+        assert!(!t.mitigated());
+    }
 
     #[test]
     fn incast_shape() {

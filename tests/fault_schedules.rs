@@ -4,10 +4,12 @@
 //! only verified payload, returns every mbuf at teardown, and
 //! reproduces byte-identically regardless of worker count.
 
-use faultkit::{FaultSchedule, GilbertElliott};
+use faultkit::{FaultSchedule, FlapSchedule, GilbertElliott, PauseSchedule};
 use latency_core::experiment::{Experiment, NetKind};
 use proptest::prelude::*;
+use simkit::SimTime;
 use sweep::Sweep;
+use world::{run_dc, FaultScope, HedgePolicy, RetryPolicy, TailPolicy, Topology, TrafficSchedule};
 
 /// Scales a `u16` draw onto `[0, max_prob]`.
 fn prob(raw: u16, max_prob: f64) -> f64 {
@@ -93,6 +95,109 @@ proptest! {
         prop_assert_eq!(r.events, again.events);
         prop_assert_eq!(r.enobufs, again.enobufs);
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The pure-time injectors obey the same contract as the RNG-driven
+    /// ones: any host-pause / link-flap schedule — any phase, period,
+    /// and window length, against a mitigated or unmitigated fan-out
+    /// world — terminates with every round measured or a typed abort,
+    /// never corrupts payload, returns every mbuf, and reproduces
+    /// exactly from the same seed.
+    #[test]
+    fn any_pause_or_flap_schedule_degrades_gracefully(
+        pause in proptest::option::of((0u64..20_000, 1_000u64..40_000, any::<u16>())),
+        flap in proptest::option::of((0u64..20_000, 1_000u64..40_000, any::<u16>())),
+        mitigated in any::<bool>(),
+        seed in any::<u16>(),
+    ) {
+        let mut f = FaultSchedule::default();
+        if let Some((start, period, frac)) = pause {
+            // Window length strictly inside the period, as the
+            // constructor demands.
+            let len = u64::from(frac) % period.max(2).saturating_sub(1) + 1;
+            f = f.with_host_pause(PauseSchedule::new(
+                SimTime::from_us(start),
+                SimTime::from_us(period),
+                SimTime::from_us(len),
+            ));
+        }
+        if let Some((start, period, frac)) = flap {
+            let len = u64::from(frac) % period.max(2).saturating_sub(1) + 1;
+            f = f.with_link_flap(FlapSchedule::new(
+                SimTime::from_us(start),
+                SimTime::from_us(period),
+                SimTime::from_us(len),
+            ));
+        }
+        let build = || {
+            let mut t = Topology::fanout(2, 4);
+            t.iterations = 4;
+            t.warmup = 1;
+            if mitigated {
+                // Every mitigation at once: the injectors must compose
+                // with deadlines, retries, hedging, and partial fan-out.
+                t.tail = Some(TailPolicy {
+                    deadline: Some(SimTime::from_ms(10)),
+                    retry: Some(RetryPolicy::default()),
+                    hedge: Some(HedgePolicy::default()),
+                    quorum: 3,
+                });
+            }
+            if !f.is_clean() {
+                t.faults = Some(f);
+                t.fault_scope = FaultScope::ServersOnly;
+            }
+            t
+        };
+        let t = build();
+        let r = run_dc(&t, TrafficSchedule::staggered(), u64::from(seed));
+        prop_assert_eq!(r.verify_failures, 0, "pauses and flaps cost time, never integrity");
+        let measured = t.clients * t.iterations as usize;
+        prop_assert!(
+            r.fanout_aborts > 0 || r.completions.len() == measured,
+            "terminate by completing or by typed abort: {} of {} rounds, aborts={}",
+            r.completions.len(),
+            measured,
+            r.fanout_aborts
+        );
+        prop_assert_eq!(r.mbufs_leaked, 0, "every pause/flap path returns its mbufs");
+        // Determinism: identical schedule + seed, identical universe.
+        let again = run_dc(&build(), TrafficSchedule::staggered(), u64::from(seed));
+        prop_assert_eq!(&r.rtts, &again.rtts);
+        prop_assert_eq!(&r.completions, &again.completions);
+        prop_assert_eq!(r.cancelled, again.cancelled);
+        prop_assert_eq!(r.hedges_issued, again.hedges_issued);
+        prop_assert_eq!(r.retries_issued, again.retries_issued);
+    }
+}
+
+/// The `repro hedge` determinism contract for the pure-time injector
+/// scenarios: the pause and flap cells of the quick grid render to the
+/// same canonical bytes at every worker count.
+#[test]
+fn pause_and_flap_hedge_cells_are_byte_identical_across_worker_counts() {
+    let cells: Vec<_> = world::hedge_quick_grid()
+        .into_iter()
+        .filter(|c| c.scenario == "host-pause" || c.scenario == "link-flap")
+        .collect();
+    assert!(
+        !cells.is_empty(),
+        "quick grid covers the injector scenarios"
+    );
+    let serial = world::hedge_canonical_json(
+        "fault-prop-hedge",
+        &cells,
+        &world::run_hedge_cells(&cells, 1),
+    );
+    let parallel = world::hedge_canonical_json(
+        "fault-prop-hedge",
+        &cells,
+        &world::run_hedge_cells(&cells, 4),
+    );
+    assert_eq!(serial, parallel);
 }
 
 /// The `repro faults` determinism contract: the fault study's
