@@ -22,6 +22,7 @@ use std::collections::HashMap;
 
 use simkit::{SimRng, SimTime};
 
+use crate::aal5::PT_END_OF_PDU;
 use crate::cell::{Cell, CellHeader};
 
 /// Route entry: where a VC leaves the switch and as what.
@@ -33,6 +34,73 @@ pub struct VcRoute {
     pub out_vpi: u8,
     /// Outgoing VCI.
     pub out_vci: u16,
+}
+
+/// What a UBR output queue does when cells press against its
+/// capacity.
+///
+/// On UBR there is no reservation: when TCP overruns a queue, the
+/// switch's only lever is *which* cells it throws away. Tail drop
+/// judges each cell alone and so tends to clip cells out of the middle
+/// of AAL5 trains — every surviving sibling of a clipped cell is then
+/// wasted bandwidth, because the end-to-end AAL5 CRC rejects the
+/// reassembled PDU anyway. The packet-aware policies avoid exactly
+/// that waste.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DropPolicy {
+    /// Plain tail drop (the seed behaviour): each cell is judged
+    /// alone against the queue capacity.
+    #[default]
+    Tail,
+    /// Early Packet Discard: when a *new* AAL5 train's first cell
+    /// arrives and the backlog has reached `threshold_cells`, the
+    /// whole train — every cell through its end-of-PDU marker — is
+    /// refused before any of it commits queue space.
+    Epd {
+        /// Backlog (in cells) at or beyond which new trains are
+        /// refused. Sensible values sit below `queue_cells` by at
+        /// least one PDU's worth of cells.
+        threshold_cells: usize,
+    },
+    /// Partial Packet Discard: once one cell of a train is lost to a
+    /// full queue, the train's remaining cells are discarded too —
+    /// they could only waste downstream bandwidth on a PDU the AAL5
+    /// CRC will reject — except the end-of-PDU marker, which is
+    /// forwarded so the reassembler still sees the PDU boundary and
+    /// does not merge the ruined train into the next one.
+    Ppd,
+}
+
+impl DropPolicy {
+    /// Short lowercase name for table keys and CLI flags.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DropPolicy::Tail => "tail",
+            DropPolicy::Epd { .. } => "epd",
+            DropPolicy::Ppd => "ppd",
+        }
+    }
+}
+
+/// How the packet-aware policies recognize the end of a train.
+///
+/// AAL5 puts the PDU boundary where a switch can see it — the AUU bit
+/// of the cell header's PT field — which is exactly what made EPD
+/// practical in real hardware. AAL3/4 buries the boundary inside the
+/// SAR header (first payload byte), invisible to a header-only
+/// switch. Since the adaptation layer running on a VC is part of this
+/// model's experiment configuration, the switch may be told to peek:
+/// with [`TrainMarking::Aal34SegType`] it reads the SAR segment type
+/// and treats EOM/SSM cells as train ends.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TrainMarking {
+    /// AAL5: end-of-PDU when the header PT field's AUU bit is set.
+    #[default]
+    Aal5Pt,
+    /// AAL3/4: end-of-PDU when the SAR segment type (top two bits of
+    /// payload byte 0) is EOM (`0b01`) or SSM (`0b11`).
+    Aal34SegType,
 }
 
 /// Configuration of a switch.
@@ -47,6 +115,11 @@ pub struct SwitchConfig {
     /// Probability that the fabric corrupts a payload bit in a cell —
     /// the §4.2.1 error source #1.
     pub corrupt_prob: f64,
+    /// Cell-drop policy at the output queues.
+    pub drop_policy: DropPolicy,
+    /// How the packet-aware policies find train boundaries (ignored
+    /// under [`DropPolicy::Tail`]).
+    pub marking: TrainMarking,
 }
 
 impl Default for SwitchConfig {
@@ -58,6 +131,8 @@ impl Default for SwitchConfig {
             cell_time: SimTime::from_ns(3_029),
             queue_cells: 256,
             corrupt_prob: 0.0,
+            drop_policy: DropPolicy::Tail,
+            marking: TrainMarking::Aal5Pt,
         }
     }
 }
@@ -70,6 +145,11 @@ pub struct PortStats {
     pub forwarded: u64,
     /// Cells tail-dropped at this port's full queue.
     pub queue_drops: u64,
+    /// Cells discarded by Early Packet Discard (whole refused trains).
+    pub epd_drops: u64,
+    /// Cells discarded by Partial Packet Discard (train remainders
+    /// after a tail-dropped cell).
+    pub ppd_drops: u64,
     /// Largest queue occupancy (in cells) seen at any arrival.
     pub max_backlog_cells: usize,
 }
@@ -97,6 +177,19 @@ pub enum SwitchOutcome {
     UnknownVc,
     /// Output queue full: tail drop.
     QueueFull,
+    /// Discarded by the packet-aware drop policy (EPD refusing a new
+    /// train, or PPD dropping the remainder of a ruined one).
+    Discarded,
+}
+
+/// Per-VC AAL5 train tracking for the packet-aware drop policies.
+#[derive(Clone, Copy, Debug, Default)]
+struct TrainState {
+    /// A train has started (some cell seen) and its end-of-PDU marker
+    /// has not yet arrived.
+    mid_train: bool,
+    /// The rest of this train is being discarded.
+    discarding: bool,
 }
 
 /// The switch.
@@ -105,6 +198,7 @@ pub struct AtmSwitch {
     pub config: SwitchConfig,
     routes: HashMap<(usize, u8, u16), VcRoute>,
     ports: Vec<OutPort>,
+    trains: HashMap<(usize, u8, u16), TrainState>,
     rng: SimRng,
     /// Cells forwarded.
     pub forwarded: u64,
@@ -112,6 +206,10 @@ pub struct AtmSwitch {
     pub unknown_vc_drops: u64,
     /// Cells dropped on full output queues.
     pub queue_drops: u64,
+    /// Cells discarded by Early Packet Discard.
+    pub epd_drops: u64,
+    /// Cells discarded by Partial Packet Discard.
+    pub ppd_drops: u64,
     /// Cells whose payload the fabric corrupted (invisibly).
     pub corrupted: u64,
 }
@@ -124,10 +222,13 @@ impl AtmSwitch {
             config,
             routes: HashMap::new(),
             ports: vec![OutPort::default(); n_ports],
+            trains: HashMap::new(),
             rng: SimRng::seed_stream(seed, 0x5c),
             forwarded: 0,
             unknown_vc_drops: 0,
             queue_drops: 0,
+            epd_drops: 0,
+            ppd_drops: 0,
             corrupted: 0,
         }
     }
@@ -154,17 +255,95 @@ impl AtmSwitch {
             .as_ns()
             .div_ceil(self.config.cell_time.as_ns().max(1)) as usize;
         port.stats.max_backlog_cells = port.stats.max_backlog_cells.max(backlog);
-        if backlog >= self.config.queue_cells {
-            self.queue_drops += 1;
-            port.stats.queue_drops += 1;
-            return SwitchOutcome::QueueFull;
+        let policy = self.config.drop_policy;
+        if policy == DropPolicy::Tail {
+            // The seed path: each cell judged alone, no train state
+            // touched (per-VC tracking exists only for the
+            // packet-aware policies).
+            if backlog >= self.config.queue_cells {
+                return self.tail_drop(route.out_port);
+            }
+            return self.admit(route, arrival, cell);
         }
+
+        let key = (in_port, h.vpi, h.vci);
+        let eom = match self.config.marking {
+            TrainMarking::Aal5Pt => h.pt & PT_END_OF_PDU != 0,
+            // SAR segment type EOM (0b01) or SSM (0b11): bit 6 of the
+            // first payload byte.
+            TrainMarking::Aal34SegType => cell.payload()[0] & 0x40 != 0,
+        };
+        let mut train = self.trains.get(&key).copied().unwrap_or_default();
+        // EPD decides at a train's first cell, before any of it
+        // commits queue space.
+        if let DropPolicy::Epd { threshold_cells } = policy {
+            if !train.mid_train && backlog >= threshold_cells {
+                train.discarding = true;
+            }
+        }
+        let discarding = train.discarding;
+        // The end-of-PDU cell closes the train either way.
+        train.mid_train = !eom;
+        if eom {
+            train.discarding = false;
+        }
+
+        if discarding {
+            // PPD forwards the marker so the reassembler still sees
+            // the PDU boundary; EPD refused the whole train, marker
+            // included. The marker is admitted even at a full queue —
+            // one cell of headroom spent on keeping PDU boundaries
+            // intact, as switches that reserve slots for end-of-PDU
+            // cells do.
+            self.trains.insert(key, train);
+            if policy == DropPolicy::Ppd && eom {
+                return self.admit(route, arrival, cell);
+            }
+            return self.policy_drop(policy, route.out_port);
+        }
+        if backlog >= self.config.queue_cells {
+            // Overflow on a committed train: its queued cells are
+            // already wasted downstream, so discard the remainder
+            // too rather than spend more line time on it (PPD
+            // behaviour; EPD switches fall back to the same rule).
+            if !eom {
+                train.discarding = true;
+            }
+            self.trains.insert(key, train);
+            return self.tail_drop(route.out_port);
+        }
+        self.trains.insert(key, train);
+        self.admit(route, arrival, cell)
+    }
+
+    /// Tail-drops a cell at a full output queue.
+    fn tail_drop(&mut self, out_port: usize) -> SwitchOutcome {
+        self.queue_drops += 1;
+        self.ports[out_port].stats.queue_drops += 1;
+        SwitchOutcome::QueueFull
+    }
+
+    /// Discards a cell under the packet-aware policy in force.
+    fn policy_drop(&mut self, policy: DropPolicy, out_port: usize) -> SwitchOutcome {
+        if matches!(policy, DropPolicy::Epd { .. }) {
+            self.epd_drops += 1;
+            self.ports[out_port].stats.epd_drops += 1;
+        } else {
+            self.ppd_drops += 1;
+            self.ports[out_port].stats.ppd_drops += 1;
+        }
+        SwitchOutcome::Discarded
+    }
+
+    /// Admits a cell to an output queue: VPI/VCI rewrite, optional
+    /// fabric corruption, serialization scheduling.
+    fn admit(&mut self, route: VcRoute, arrival: SimTime, cell: &Cell) -> SwitchOutcome {
         // VPI/VCI rewrite with a fresh HEC (header protection is
         // hop-by-hop); the payload is copied through untouched.
         let new_header = CellHeader {
             vpi: route.out_vpi,
             vci: route.out_vci,
-            ..h
+            ..cell.header()
         };
         let mut out = Cell::new(new_header, *cell.payload());
         if self.rng.chance(self.config.corrupt_prob) {
@@ -175,6 +354,7 @@ impl AtmSwitch {
             out.flip_bit(bit);
             self.corrupted += 1;
         }
+        let port = &mut self.ports[route.out_port];
         let start = (arrival + self.config.latency).max(port.busy_until);
         let departure = start + self.config.cell_time;
         port.busy_until = departure;
@@ -321,6 +501,184 @@ mod tests {
             PortStats::default(),
             "idle port untouched"
         );
+    }
+
+    fn pt_cell(vci: u16, pt: u8) -> Cell {
+        Cell::new(
+            CellHeader {
+                gfc: 0,
+                vpi: 0,
+                vci,
+                pt,
+                clp: false,
+            },
+            [0x5a; CELL_PAYLOAD],
+        )
+    }
+
+    /// A switch with a tiny queue and the given policy, one VC 42 on
+    /// port 0 → port 1.
+    fn tiny_switch(policy: DropPolicy, queue_cells: usize) -> AtmSwitch {
+        let mut sw = AtmSwitch::new(
+            2,
+            SwitchConfig {
+                queue_cells,
+                drop_policy: policy,
+                ..SwitchConfig::default()
+            },
+            7,
+        );
+        sw.add_vc(
+            0,
+            0,
+            42,
+            VcRoute {
+                out_port: 1,
+                out_vpi: 0,
+                out_vci: 42,
+            },
+        );
+        sw
+    }
+
+    /// Sends a train of `n` cells at `t`, returning the outcomes.
+    fn send_train(sw: &mut AtmSwitch, t: SimTime, n: usize) -> Vec<SwitchOutcome> {
+        (0..n)
+            .map(|i| {
+                let pt = if i == n - 1 { PT_END_OF_PDU } else { 0 };
+                sw.forward(0, t, &pt_cell(42, pt))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn epd_refuses_a_whole_train_at_threshold() {
+        let mut sw = tiny_switch(DropPolicy::Epd { threshold_cells: 2 }, 64);
+        let t = SimTime::from_us(1);
+        // First train of 4 commits (backlog 0 < 2 at its first cell).
+        let first = send_train(&mut sw, t, 4);
+        assert!(first
+            .iter()
+            .all(|o| matches!(o, SwitchOutcome::Forwarded { .. })));
+        // Second train arrives with 4 cells backlogged: refused whole,
+        // marker included.
+        let second = send_train(&mut sw, t, 4);
+        assert!(second.iter().all(|o| *o == SwitchOutcome::Discarded));
+        assert_eq!(sw.epd_drops, 4);
+        assert_eq!(sw.port_stats(1).epd_drops, 4);
+        assert_eq!(sw.queue_drops, 0, "EPD refuses before tail drop");
+        // A later train, once the queue drains, commits again.
+        let later = send_train(&mut sw, SimTime::from_ms(10), 4);
+        assert!(later
+            .iter()
+            .all(|o| matches!(o, SwitchOutcome::Forwarded { .. })));
+    }
+
+    #[test]
+    fn ppd_drops_remainder_but_keeps_the_marker() {
+        let mut sw = tiny_switch(DropPolicy::Ppd, 4);
+        let t = SimTime::from_us(1);
+        let outs = send_train(&mut sw, t, 10);
+        // Some prefix forwards, one cell tail-drops, the remainder is
+        // policy-discarded — except the final marker cell, forwarded
+        // to delimit the ruined PDU.
+        let first_loss = outs
+            .iter()
+            .position(|o| *o == SwitchOutcome::QueueFull)
+            .expect("a 10-cell train into a 4-cell queue must drop");
+        for (i, o) in outs.iter().enumerate() {
+            match i {
+                _ if i < first_loss => {
+                    assert!(
+                        matches!(o, SwitchOutcome::Forwarded { .. }),
+                        "cell {i}: {o:?}"
+                    );
+                }
+                _ if i == first_loss => {}
+                _ if i < outs.len() - 1 => {
+                    assert_eq!(*o, SwitchOutcome::Discarded, "cell {i}");
+                }
+                _ => {
+                    assert!(
+                        matches!(o, SwitchOutcome::Forwarded { .. }),
+                        "end-of-PDU marker forwarded: {o:?}"
+                    );
+                }
+            }
+        }
+        assert_eq!(sw.queue_drops, 1, "only the first lost cell tail-drops");
+        assert_eq!(sw.ppd_drops as usize, outs.len() - first_loss - 2);
+        assert_eq!(sw.port_stats(1).ppd_drops, sw.ppd_drops);
+        // The next train starts with a clean slate (one cell: the
+        // fixed latency counts toward backlog, so same-instant bursts
+        // into this tiny queue would tail-drop on their own).
+        let next = send_train(&mut sw, SimTime::from_ms(10), 1);
+        assert!(matches!(next[0], SwitchOutcome::Forwarded { .. }));
+    }
+
+    #[test]
+    fn epd_single_cell_train_refusal_resets_state() {
+        let mut sw = tiny_switch(DropPolicy::Epd { threshold_cells: 1 }, 64);
+        let t = SimTime::from_us(1);
+        assert!(matches!(
+            send_train(&mut sw, t, 1)[0],
+            SwitchOutcome::Forwarded { .. }
+        ));
+        // Backlog now 1 >= threshold: single-cell train refused.
+        assert_eq!(send_train(&mut sw, t, 1)[0], SwitchOutcome::Discarded);
+        // Drained: forwarded again — the refusal did not wedge the VC.
+        assert!(matches!(
+            send_train(&mut sw, SimTime::from_ms(5), 1)[0],
+            SwitchOutcome::Forwarded { .. }
+        ));
+        assert_eq!(sw.epd_drops, 1);
+    }
+
+    #[test]
+    fn aal34_marking_sees_sar_train_boundaries() {
+        // AAL3/4 cells all carry PT 0 — the boundary is in the SAR
+        // header. With Aal34SegType marking, EPD still refuses whole
+        // trains; with the (wrong) default AAL5 marking it would never
+        // see a train end and wedge the VC in mid-train state.
+        use crate::aal34::Aal34Segmenter;
+        let mut sw = tiny_switch(DropPolicy::Epd { threshold_cells: 2 }, 64);
+        sw.config.marking = TrainMarking::Aal34SegType;
+        let mut seg = Aal34Segmenter::new(0, 42, 1);
+        let t = SimTime::from_us(1);
+        let first: Vec<_> = seg
+            .segment(&[0xa5; 150])
+            .iter()
+            .map(|c| sw.forward(0, t, c))
+            .collect();
+        assert_eq!(first.len(), 4, "150 bytes = BOM + 2 COM + EOM");
+        assert!(first
+            .iter()
+            .all(|o| matches!(o, SwitchOutcome::Forwarded { .. })));
+        // Backlog now past the threshold: next train refused whole.
+        let second: Vec<_> = seg
+            .segment(&[0x5a; 150])
+            .iter()
+            .map(|c| sw.forward(0, t, c))
+            .collect();
+        assert!(second.iter().all(|o| *o == SwitchOutcome::Discarded));
+        assert_eq!(sw.epd_drops, 4);
+        // The EOM closed the refused train: a later one commits again.
+        let later: Vec<_> = seg
+            .segment(&[0x11; 150])
+            .iter()
+            .map(|c| sw.forward(0, SimTime::from_ms(10), c))
+            .collect();
+        assert!(later
+            .iter()
+            .all(|o| matches!(o, SwitchOutcome::Forwarded { .. })));
+    }
+
+    #[test]
+    fn drop_policy_names() {
+        assert_eq!(DropPolicy::Tail.name(), "tail");
+        assert_eq!(DropPolicy::Epd { threshold_cells: 8 }.name(), "epd");
+        assert_eq!(DropPolicy::Ppd.name(), "ppd");
+        assert_eq!(SwitchConfig::default().drop_policy, DropPolicy::Tail);
     }
 
     #[test]

@@ -1,0 +1,255 @@
+//! Drop-policy conformance: AAL5 trains through the output-queued
+//! switch under Tail / EPD / PPD, validated end-to-end against the
+//! reassembler.
+//!
+//! The properties mirror what the cc study relies on: EPD refuses
+//! whole trains (no queue space wasted on doomed PDUs), PPD stops
+//! spending line time on a train once one of its cells is lost but
+//! preserves the PDU boundary, and both are invisible when the queue
+//! never fills.
+
+use atm::{
+    aal5_segment, Aal5Reassembler, AtmSwitch, DropPolicy, SwitchConfig, SwitchOutcome, VcRoute,
+};
+use simkit::SimTime;
+
+const VCI: u16 = 42;
+
+fn switch_with(policy: DropPolicy, queue_cells: usize) -> AtmSwitch {
+    let mut sw = AtmSwitch::new(
+        2,
+        SwitchConfig {
+            queue_cells,
+            drop_policy: policy,
+            ..SwitchConfig::default()
+        },
+        11,
+    );
+    sw.add_vc(
+        0,
+        0,
+        VCI,
+        VcRoute {
+            out_port: 1,
+            out_vpi: 0,
+            out_vci: VCI,
+        },
+    );
+    sw
+}
+
+fn datagram(len: usize, seed: u8) -> Vec<u8> {
+    (0..len)
+        .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+        .collect()
+}
+
+/// Pushes `data` as one AAL5 train at `t`, feeding whatever the
+/// switch forwards into `reasm`. Returns the per-cell outcomes and
+/// any datagram the reassembler completed.
+fn send_pdu(
+    sw: &mut AtmSwitch,
+    reasm: &mut Aal5Reassembler,
+    t: SimTime,
+    data: &[u8],
+) -> (Vec<SwitchOutcome>, Option<Vec<u8>>) {
+    let mut outcomes = Vec::new();
+    let mut delivered = None;
+    for cell in aal5_segment(0, VCI, data) {
+        let out = sw.forward(0, t, &cell);
+        if let SwitchOutcome::Forwarded { cell: fwd, .. } = &out {
+            if let Ok(Some(d)) = reasm.push(fwd) {
+                delivered = Some(d);
+            }
+        }
+        outcomes.push(out);
+    }
+    (outcomes, delivered)
+}
+
+/// With queues that never fill, every policy forwards every cell and
+/// the delivered bytes are identical — the packet-aware policies are
+/// pure overload behaviour, invisible on clean paths.
+#[test]
+fn policies_identical_when_buffers_never_fill() {
+    let policies = [
+        DropPolicy::Tail,
+        DropPolicy::Epd {
+            threshold_cells: 200,
+        },
+        DropPolicy::Ppd,
+    ];
+    let mut delivered_sets = Vec::new();
+    for policy in policies {
+        let mut sw = switch_with(policy, 256);
+        let mut reasm = Aal5Reassembler::new(9188);
+        let mut got = Vec::new();
+        for (i, len) in [500usize, 4040, 1400, 8040].iter().enumerate() {
+            let data = datagram(*len, i as u8);
+            // Space trains out so the queue fully drains between them.
+            let t = SimTime::from_ms(1 + i as u64);
+            let (outs, d) = send_pdu(&mut sw, &mut reasm, t, &data);
+            assert!(
+                outs.iter()
+                    .all(|o| matches!(o, SwitchOutcome::Forwarded { .. })),
+                "{}: all cells forwarded on an empty queue",
+                policy.name()
+            );
+            got.push(d.expect("PDU reassembles"));
+            assert_eq!(got[i], data);
+        }
+        assert_eq!(sw.queue_drops, 0);
+        assert_eq!(sw.epd_drops, 0);
+        assert_eq!(sw.ppd_drops, 0);
+        delivered_sets.push(got);
+    }
+    assert_eq!(delivered_sets[0], delivered_sets[1]);
+    assert_eq!(delivered_sets[0], delivered_sets[2]);
+}
+
+/// Once EPD commits to refusing a train, none of its cells reaches
+/// the output — the reassembler never even sees the train.
+#[test]
+fn epd_never_forwards_a_refused_train() {
+    let mut sw = switch_with(DropPolicy::Epd { threshold_cells: 8 }, 256);
+    let mut reasm = Aal5Reassembler::new(9188);
+    let t = SimTime::from_ms(1);
+    // First train commits and fills the backlog past the threshold.
+    let first = datagram(4040, 1);
+    let (outs, d) = send_pdu(&mut sw, &mut reasm, t, &first);
+    assert!(outs
+        .iter()
+        .all(|o| matches!(o, SwitchOutcome::Forwarded { .. })));
+    assert_eq!(d.expect("first PDU delivered"), first);
+    // Second train arrives against that backlog: refused in full.
+    let (outs, d) = send_pdu(&mut sw, &mut reasm, t, &datagram(4040, 2));
+    assert!(
+        outs.iter().all(|o| *o == SwitchOutcome::Discarded),
+        "every cell of a refused train is discarded: {outs:?}"
+    );
+    assert_eq!(d, None);
+    assert_eq!(sw.epd_drops, outs.len() as u64);
+    assert_eq!(
+        reasm.datagrams_dropped, 0,
+        "a cleanly refused train never reaches the reassembler, so it \
+         costs no reassembly failure"
+    );
+    // After the queue drains, the next train delivers: the refusal
+    // left no residue in either the switch or the reassembler.
+    let third = datagram(4040, 3);
+    let (_, d) = send_pdu(&mut sw, &mut reasm, SimTime::from_ms(50), &third);
+    assert_eq!(d.expect("third PDU delivered"), third);
+}
+
+/// PPD: after the first tail-dropped cell of a train, the remainder
+/// is policy-discarded except the end-of-PDU marker, which delimits
+/// the ruined PDU so the next one reassembles cleanly.
+#[test]
+fn ppd_drops_remainder_except_marker() {
+    let mut sw = switch_with(DropPolicy::Ppd, 16);
+    let mut reasm = Aal5Reassembler::new(9188);
+    let t = SimTime::from_ms(1);
+    let (outs, d) = send_pdu(&mut sw, &mut reasm, t, &datagram(4040, 1));
+    let first_loss = outs
+        .iter()
+        .position(|o| *o == SwitchOutcome::QueueFull)
+        .expect("an 85-cell train into a 16-cell queue must overflow");
+    for (i, o) in outs.iter().enumerate() {
+        if i < first_loss {
+            assert!(
+                matches!(o, SwitchOutcome::Forwarded { .. }),
+                "cell {i}: {o:?}"
+            );
+        } else if i == first_loss {
+            assert_eq!(*o, SwitchOutcome::QueueFull);
+        } else if i < outs.len() - 1 {
+            assert_eq!(*o, SwitchOutcome::Discarded, "cell {i}: {o:?}");
+        } else {
+            assert!(
+                matches!(o, SwitchOutcome::Forwarded { .. }),
+                "marker cell forwarded: {o:?}"
+            );
+        }
+    }
+    assert_eq!(d, None, "the ruined PDU fails reassembly");
+    assert_eq!(reasm.datagrams_dropped, 1, "rejected at the marker");
+    assert_eq!(sw.queue_drops, 1, "exactly one cell charged to the queue");
+    assert_eq!(sw.ppd_drops as usize, outs.len() - first_loss - 2);
+    // The boundary survived: the next train, sent once the queue
+    // drains, is not merged into the ruined one. (It must also fit
+    // the 16-cell queue as a same-instant burst, so keep it small.)
+    let next = datagram(500, 2);
+    let (_, d) = send_pdu(&mut sw, &mut reasm, SimTime::from_ms(50), &next);
+    assert_eq!(d.expect("next PDU delivered"), next);
+}
+
+/// Tail drop clips mid-train cells, so the marker-less merge failure
+/// mode exists: without the boundary, the next PDU is ruined too.
+/// (This is the waste EPD/PPD exist to avoid.)
+#[test]
+fn tail_drop_wastes_the_surviving_siblings() {
+    let mut sw = switch_with(DropPolicy::Tail, 16);
+    let mut reasm = Aal5Reassembler::new(9188);
+    let (outs, d) = send_pdu(&mut sw, &mut reasm, SimTime::from_ms(1), &datagram(4040, 1));
+    let forwarded = outs
+        .iter()
+        .filter(|o| matches!(o, SwitchOutcome::Forwarded { .. }))
+        .count();
+    assert!(forwarded > 0 && forwarded < outs.len(), "a partial train");
+    assert_eq!(d, None, "partial train cannot reassemble");
+    assert_eq!(
+        sw.queue_drops as usize,
+        outs.len() - forwarded,
+        "tail drop charges every clipped cell to the queue"
+    );
+    assert_eq!(sw.ppd_drops, 0);
+    assert_eq!(sw.epd_drops, 0);
+}
+
+/// Per-port counters sum to the switch-wide totals across a mixed
+/// workload on two output ports.
+#[test]
+fn port_stats_sum_to_switch_totals() {
+    let mut sw = AtmSwitch::new(
+        3,
+        SwitchConfig {
+            queue_cells: 16,
+            drop_policy: DropPolicy::Ppd,
+            ..SwitchConfig::default()
+        },
+        13,
+    );
+    for (vci, out_port) in [(VCI, 1), (VCI + 1, 2)] {
+        sw.add_vc(
+            0,
+            0,
+            vci,
+            VcRoute {
+                out_port,
+                out_vpi: 0,
+                out_vci: vci,
+            },
+        );
+    }
+    let t = SimTime::from_ms(1);
+    for (i, vci) in [VCI, VCI + 1, VCI, VCI + 1].iter().enumerate() {
+        for cell in aal5_segment(0, *vci, &datagram(4040, i as u8)) {
+            let _ = sw.forward(0, t, &cell);
+        }
+    }
+    let summed = (0..sw.ports()).fold((0u64, 0u64, 0u64, 0u64), |(f, q, e, p), i| {
+        let s = sw.port_stats(i);
+        (
+            f + s.forwarded,
+            q + s.queue_drops,
+            e + s.epd_drops,
+            p + s.ppd_drops,
+        )
+    });
+    assert_eq!(summed.0, sw.forwarded);
+    assert_eq!(summed.1, sw.queue_drops);
+    assert_eq!(summed.2, sw.epd_drops);
+    assert_eq!(summed.3, sw.ppd_drops);
+    assert!(sw.queue_drops > 0, "the workload overflowed");
+    assert!(sw.ppd_drops > 0, "PPD engaged");
+}

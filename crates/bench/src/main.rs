@@ -5,7 +5,8 @@
 //! ```sh
 //! repro [all|table1|table2|table3|table4|table5|table6|table7|pcb|mbuf|predict|errors]
 //!       [faults|churn|ablation|switch|ethernet-errors|trace]
-//!       [dc] [tails] [verify [--bless] [--dump-live] [--golden-dir DIR]] [invariants] [bench]
+//!       [dc] [tails] [hedge] [cc]
+//!       [verify [--bless] [--dump-live] [--golden-dir DIR]] [invariants] [bench]
 //!       [--iterations N] [--reps N] [--jobs N] [--seed N] [--json FILE]
 //!       [--sweep-json FILE] [--out-dir DIR] [--full] [--quick]
 //! ```
@@ -170,6 +171,9 @@ fn main() {
     }
     if opts.what.iter().any(|w| w == "hedge") {
         std::process::exit(cmd_hedge(&opts));
+    }
+    if opts.what.iter().any(|w| w == "cc") {
+        std::process::exit(cmd_cc(&opts));
     }
     let mut report = Report::new(opts.iterations, opts.reps);
     let all = opts.what.iter().any(|w| w == "all");
@@ -1158,6 +1162,24 @@ fn cmd_verify(opts: &Opts) -> i32 {
             return rc;
         }
     }
+    {
+        let cells = world::cc_quick_grid();
+        let count = cells.len();
+        if let Some(rc) = verify_world_grid(
+            opts,
+            &q,
+            "cc_quick",
+            count,
+            || {
+                let results = world::run_cc_cells(&cells, q.jobs);
+                world::cc_canonical_json("cc_quick", &cells, &results)
+            },
+            &mut summary,
+            &mut code,
+        ) {
+            return rc;
+        }
+    }
     if code == 0 && !q.bless {
         eprintln!("verify: clean");
     }
@@ -1766,6 +1788,95 @@ fn cmd_hedge(opts: &Opts) -> i32 {
     }
     if code == 0 {
         eprintln!("hedge: {} cell(s) clean", results.len());
+    }
+    code
+}
+
+// --------------------------------------------------------------------------
+// `repro cc` — congestion control x UBR drop policy (crates/world).
+// --------------------------------------------------------------------------
+
+/// `repro cc`: the congestion-control study. Every cell runs a
+/// cold-start 4-client incast (16 kB RPCs into one server port) under
+/// one sender variant (Tahoe, Reno, NewReno, SACK), one UBR cell-drop
+/// policy (tail, EPD, PPD), and one switch buffer size, and the table
+/// reports goodput next to the recovery-latency percentiles and the
+/// loss ledger (retransmits, RTO fires, cells dropped per policy).
+/// `--quick` runs the CI grid blessed as `tests/golden/cc_quick.json`
+/// and gated by `repro verify`; `--sweep-json FILE` writes the
+/// canonical report for either scale.
+///
+/// Retransmissions and RTOs are the study's *data*; only payload
+/// corruption, a leaked mbuf, or a cell that produced no samples at
+/// all fail the run.
+fn cmd_cc(opts: &Opts) -> i32 {
+    let (name, cells) = if opts.quick {
+        ("cc_quick", world::cc_quick_grid())
+    } else {
+        ("cc", world::cc_grid())
+    };
+    eprintln!(
+        "cc: {} cell(s) across {} worker(s)...",
+        cells.len(),
+        opts.jobs
+    );
+    let results = world::run_cc_cells(&cells, opts.jobs);
+    let rows = world::cc_rows(&cells, &results);
+    println!(
+        "{:<8} {:<5} {:>5} {:>7} {:>8} {:>9} {:>9} {:>10} {:>7} {:>4} {:>6} {:>6} {:>6}",
+        "variant",
+        "drop",
+        "queue",
+        "samples",
+        "goodput",
+        "p50_us",
+        "p99_us",
+        "max_us",
+        "rexmit",
+        "rto",
+        "qdrop",
+        "epd",
+        "ppd"
+    );
+    for row in &rows {
+        println!(
+            "{:<8} {:<5} {:>5} {:>7} {:>8.2} {:>9.1} {:>9.1} {:>10.1} {:>7} {:>4} {:>6} {:>6} {:>6}",
+            row.variant,
+            row.policy,
+            row.queue_cells,
+            row.samples,
+            row.goodput_mbps,
+            row.p50_us,
+            row.p99_us,
+            row.max_us,
+            row.rexmits,
+            row.rto_fires,
+            row.queue_drops,
+            row.epd_drops,
+            row.ppd_drops
+        );
+    }
+    let mut code = 0;
+    for (c, r) in cells.iter().zip(&results) {
+        if r.verify_failures > 0 || r.mbufs_leaked > 0 || r.rtts.is_empty() {
+            code = 1;
+            eprintln!(
+                "cc: {}: FAILED ({} sample(s), {} verify failure(s), {} leaked mbuf(s))",
+                c.cell.key,
+                r.rtts.len(),
+                r.verify_failures,
+                r.mbufs_leaked
+            );
+        }
+    }
+    if let Some(path) = &opts.sweep_json {
+        let p = out_path(opts, path);
+        std::fs::write(&p, world::cc_canonical_json(name, &cells, &results))
+            .expect("write cc sweep json");
+        eprintln!("cc canonical report written to {}", p.display());
+    }
+    if code == 0 {
+        eprintln!("cc: {} cell(s) clean", results.len());
     }
     code
 }

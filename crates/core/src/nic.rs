@@ -192,7 +192,9 @@ impl TxDriver for AtmNic {
                                 LinkFault::Clean(cell)
                             }
                         }
-                        SwitchOutcome::UnknownVc | SwitchOutcome::QueueFull => LinkFault::Lost,
+                        SwitchOutcome::UnknownVc
+                        | SwitchOutcome::QueueFull
+                        | SwitchOutcome::Discarded => LinkFault::Lost,
                     }
                 }
             };

@@ -91,6 +91,17 @@ pub enum PredictError {
         /// The offending policy, rendered for the message.
         policy: String,
     },
+    /// The world's throughput is shaped by congestion-control
+    /// dynamics: a cold-start congestion window or a non-tail-drop
+    /// switch policy. The orbit walker prices one steady-state clean
+    /// round trip; slow start, fast recovery, and policy-driven
+    /// whole-train refusals are trajectories through cwnd/ssthresh
+    /// state that a fixed-point orbit cannot express.
+    CwndLimitedWorld {
+        /// What arms the dynamics, rendered for the message (the
+        /// cold-start window, the drop policy, or both).
+        dynamics: String,
+    },
 }
 
 impl fmt::Display for PredictError {
@@ -115,6 +126,13 @@ impl fmt::Display for PredictError {
                 "analytic model prices one connection's round trip; a \
                  fan-out world completes on the slowest of {width} parallel \
                  sub-requests (an order statistic, not an orbit)"
+            ),
+            PredictError::CwndLimitedWorld { dynamics } => write!(
+                f,
+                "analytic model walks one steady-state clean orbit; a \
+                 cwnd-limited world ({dynamics}) completes on congestion \
+                 trajectories — slow start, fast recovery, policy-refused \
+                 trains — not a fixed point"
             ),
         }
     }
@@ -201,7 +219,9 @@ pub fn predict(exp: &Experiment) -> Result<Prediction, PredictError> {
 /// layer's choices shape completion before topology even matters),
 /// then [`PredictError::FanoutWorld`] for a fan-out/wait-for-all
 /// world (completion is an order statistic, wrong for the model
-/// regardless of host count), [`PredictError::MultiHostWorld`] for
+/// regardless of host count), [`PredictError::CwndLimitedWorld`] for
+/// a world with armed congestion-control dynamics (cold-start cwnd or
+/// a non-tail drop policy), [`PredictError::MultiHostWorld`] for
 /// more than two hosts, [`PredictError::Unsupported`] for a switched
 /// two-host world.
 pub fn predict_dc(topo: &world::Topology) -> Result<Prediction, PredictError> {
@@ -215,6 +235,24 @@ pub fn predict_dc(topo: &world::Topology) -> Result<Prediction, PredictError> {
         return Err(PredictError::FanoutWorld {
             width: topo.fanout_width,
         });
+    }
+    let cold = topo.stack.initial_cwnd_segs.is_some();
+    let policy_armed = topo.switch.drop_policy != atm::DropPolicy::Tail;
+    if cold || policy_armed {
+        let dynamics = match (cold, policy_armed) {
+            (true, true) => format!(
+                "cold-start cwnd {} segs + {} drop",
+                topo.stack.initial_cwnd_segs.unwrap_or(0),
+                topo.switch.drop_policy.name()
+            ),
+            (true, false) => format!(
+                "cold-start cwnd {} segs",
+                topo.stack.initial_cwnd_segs.unwrap_or(0)
+            ),
+            (false, true) => format!("{} drop", topo.switch.drop_policy.name()),
+            (false, false) => unreachable!(),
+        };
+        return Err(PredictError::CwndLimitedWorld { dynamics });
     }
     let hosts = topo.hosts();
     if hosts > 2 {
@@ -1568,6 +1606,50 @@ mod tests {
         assert!(matches!(
             predict_dc(&topo),
             Err(PredictError::FanoutWorld { width: 16 })
+        ));
+    }
+
+    #[test]
+    fn cwnd_limited_worlds_are_refused_before_the_host_count_check() {
+        // A cold-start window arms slow start: the orbit is a
+        // trajectory, not a fixed point — even on a 2-host world that
+        // would otherwise fall through to Unsupported.
+        let mut topo = world::Topology::incast(1, 1, 1);
+        assert_eq!(topo.hosts(), 2);
+        topo.stack.initial_cwnd_segs = Some(2);
+        match predict_dc(&topo) {
+            Err(PredictError::CwndLimitedWorld { dynamics }) => {
+                assert!(dynamics.contains("cold-start cwnd 2 segs"), "{dynamics}");
+            }
+            other => panic!("expected CwndLimitedWorld, got {other:?}"),
+        }
+        // A non-tail drop policy alone is enough: whole-train refusals
+        // reshape the loss pattern the warm stack would never see.
+        let mut topo = world::Topology::incast(4, 4, 1);
+        topo.switch.drop_policy = atm::DropPolicy::Epd {
+            threshold_cells: 64,
+        };
+        match predict_dc(&topo) {
+            Err(PredictError::CwndLimitedWorld { dynamics }) => {
+                assert!(dynamics.contains("epd drop"), "{dynamics}");
+            }
+            other => panic!("expected CwndLimitedWorld, got {other:?}"),
+        }
+        // Both armed: the message names both.
+        topo.stack.initial_cwnd_segs = Some(2);
+        let msg = predict_dc(&topo).unwrap_err().to_string();
+        assert!(msg.contains("cold-start cwnd 2 segs + epd drop"), "{msg}");
+        assert!(msg.contains("not a fixed point"), "{msg}");
+        // The mitigation refusal still wins over the cwnd one.
+        let mut topo = world::Topology::fanout(4, 16);
+        topo.stack.initial_cwnd_segs = Some(2);
+        topo.tail = Some(world::TailPolicy {
+            deadline: Some(simkit::SimTime::from_ms(10)),
+            ..world::TailPolicy::default()
+        });
+        assert!(matches!(
+            predict_dc(&topo),
+            Err(PredictError::MitigatedWorld { .. })
         ));
     }
 

@@ -27,6 +27,69 @@ impl ChecksumMode {
     }
 }
 
+/// Congestion-control variant (RFC 5681/6582/2018 family).
+///
+/// The seed stack recovered like 4.4BSD's fast retransmit but had no
+/// congestion-window dynamics beyond slow start; the variants here
+/// layer the loss-recovery state machines over the same Jacobson
+/// RTO/Karn machinery so the cc study can compare them. All variants
+/// share the RFC 5681 slow-start / congestion-avoidance arithmetic
+/// already in the stack; they differ only in what happens on the
+/// third duplicate ACK and during recovery.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CcVariant {
+    /// Fast retransmit then slow start from `cwnd = 1 MSS`
+    /// (go-back-N: `snd_nxt` rewinds to `snd_una`).
+    Tahoe,
+    /// Fast recovery: `cwnd = ssthresh + 3·MSS`, inflate per dup ACK,
+    /// deflate to `ssthresh` on the first new ACK (RFC 5681 §3.2).
+    Reno,
+    /// Reno plus the RFC 6582 partial-ACK rule: an ACK that advances
+    /// `snd_una` but not past `recover` retransmits the next hole and
+    /// stays in recovery. The default: it is what 4.4BSD's successors
+    /// shipped, and its clean path (no loss, cwnd never binding) is
+    /// event-for-event identical to the seed stack.
+    #[default]
+    NewReno,
+    /// Sender scoreboard built from SACK blocks (RFC 2018) driving
+    /// selective retransmission of holes, pipe-limited (RFC 6675
+    /// style), with NewReno-style recovery exit at `recover`.
+    Sack,
+}
+
+impl CcVariant {
+    /// Short lowercase name for table keys and CLI flags.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CcVariant::Tahoe => "tahoe",
+            CcVariant::Reno => "reno",
+            CcVariant::NewReno => "newreno",
+            CcVariant::Sack => "sack",
+        }
+    }
+
+    /// Parses a variant name as produced by [`CcVariant::name`].
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "tahoe" => Some(CcVariant::Tahoe),
+            "reno" => Some(CcVariant::Reno),
+            "newreno" => Some(CcVariant::NewReno),
+            "sack" => Some(CcVariant::Sack),
+            _ => None,
+        }
+    }
+
+    /// All variants, in study order.
+    pub const ALL: [CcVariant; 4] = [
+        CcVariant::Tahoe,
+        CcVariant::Reno,
+        CcVariant::NewReno,
+        CcVariant::Sack,
+    ];
+}
+
 /// PCB lookup organization (§3).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PcbOrg {
@@ -81,6 +144,15 @@ pub struct StackConfig {
     /// aborted with `ETIMEDOUT` (BSD `TCP_MAXRXTSHIFT`). Guarantees
     /// every faulted run terminates instead of retrying forever.
     pub max_rexmt_shift: u32,
+    /// Congestion-control variant.
+    pub cc: CcVariant,
+    /// Initial congestion window in segments. `None` (the default,
+    /// and the seed behaviour) starts warm with `cwnd = sockbuf`, so
+    /// cwnd never binds on clean paths and the pre-CC goldens hold
+    /// byte-identical. `Some(n)` cold-starts `cwnd = n·MSS` with
+    /// `ssthresh = sockbuf` so the cc study actually exercises slow
+    /// start and recovery.
+    pub initial_cwnd_segs: Option<u32>,
 }
 
 impl Default for StackConfig {
@@ -98,6 +170,8 @@ impl Default for StackConfig {
             delack_us: 200_000,
             rto_min_us: 500_000,
             max_rexmt_shift: 12,
+            cc: CcVariant::NewReno,
+            initial_cwnd_segs: None,
         }
     }
 }
@@ -161,6 +235,17 @@ mod tests {
     fn mss_tiny_mtu() {
         assert_eq!(tcp_mss(40, true), 0);
         assert_eq!(tcp_mss(576, true), 536);
+    }
+
+    #[test]
+    fn cc_variant_names_roundtrip() {
+        for v in CcVariant::ALL {
+            assert_eq!(CcVariant::parse(v.name()), Some(v));
+        }
+        assert_eq!(CcVariant::parse("cubic"), None);
+        assert_eq!(CcVariant::default(), CcVariant::NewReno);
+        assert_eq!(StackConfig::default().cc, CcVariant::NewReno);
+        assert!(StackConfig::default().initial_cwnd_segs.is_none());
     }
 
     #[test]

@@ -28,8 +28,9 @@ use mbuf::chain::ultrix_uses_clusters;
 use mbuf::{Chain, MbufPool};
 use simkit::{Cpu, CpuBand, SimTime};
 
-use crate::config::{ChecksumMode, StackConfig};
+use crate::config::{CcVariant, ChecksumMode, StackConfig};
 use crate::hdr::{TcpIpHeader, TCPIP_HDR_LEN};
+use crate::options::{encode_sack_option, parse_sack_blocks};
 use crate::pcb::{PcbKey, PcbTable};
 use crate::span::{Mark, SpanKind, SpanRecorder};
 use crate::tcb::{ConnError, Prediction, Tcb};
@@ -385,6 +386,14 @@ impl Kernel {
         &mut self.conns[sock].tcb
     }
 
+    /// Segments retransmitted, summed over every TCP connection —
+    /// RTO and fast retransmits both (harness reporting; the split
+    /// is visible as [`KernelStats::rto_fires`]).
+    #[must_use]
+    pub fn rexmits_total(&self) -> u64 {
+        self.conns.iter().map(|c| c.tcb.stats.rexmits).sum()
+    }
+
     /// Receive-buffer occupancy (harness).
     #[must_use]
     pub fn rcv_buffered(&self, sock: SockId) -> usize {
@@ -596,13 +605,32 @@ impl Kernel {
         let rcv_space = conn.sock.rcv.space();
         let mut hdr = conn.tcb.build_ack_header(rcv_space);
         conn.delack_deadline = None;
-        let mut seg = Chain::new();
+        // SACK blocks ride in the option space of pure ACKs when the
+        // variant is enabled (RFC 2018); the checksum covers them as
+        // payload of the doff-5 base header, so both sides agree.
+        let sack_opt = if self.cfg.cc == CcVariant::Sack {
+            encode_sack_option(&conn.tcb.sack_blocks())
+        } else {
+            Vec::new()
+        };
+        let mut seg = if sack_opt.is_empty() {
+            Chain::new()
+        } else {
+            hdr.ip_len = (TCPIP_HDR_LEN + sack_opt.len()) as u16;
+            Chain::from_user_data(&self.pool, &sack_opt, false).0
+        };
         cursor = self.checksum_out(cursor, &mut hdr, &seg);
         let seg_cost = self.tables.tcp_out_segment;
         self.spans
             .span(SpanKind::TxTcpSegment, cursor, cursor + seg_cost);
         cursor += seg_cost;
-        let _ = seg.prepend_header(&self.pool, &hdr.encode());
+        let mut wire = hdr.encode();
+        if !sack_opt.is_empty() {
+            // Patch the data offset for the options (the checksum was
+            // computed over the doff-5 encode on both ends).
+            wire[32] = ((((20 + sack_opt.len()) / 4) as u8) << 4) | (wire[32] & 0x0f);
+        }
+        let _ = seg.prepend_header(&self.pool, &wire);
         if self.taps.wants(simcap::TapPoint::TcpSend) {
             self.taps
                 .record(simcap::TapPoint::TcpSend, cursor, seg.to_vec());
@@ -790,7 +818,18 @@ impl Kernel {
         if hdr.flags & crate::hdr::flags::SYN != 0 {
             return self.handshake_input(cursor, &chain, drv);
         }
-        let payload_len = hdr.payload_len();
+        // Data offset: established-flow segments normally carry the
+        // bare 20-byte TCP header (doff 5), but SACK blocks ride in
+        // the option space of pure ACKs when the variant is enabled.
+        let mut b32 = [0u8; 1];
+        let _ = chain.copy_out(32, &mut b32);
+        let doff = usize::from(b32[0] >> 4);
+        if !(5..=15).contains(&doff) {
+            self.stats.tcp_cksum_drops += 1;
+            return cursor;
+        }
+        let hdr_len = 20 + doff * 4;
+        let payload_len = usize::from(hdr.ip_len).saturating_sub(hdr_len);
 
         // Checksum verification (Table 3 checksum row).
         if self.cfg.checksum.verifies() {
@@ -813,9 +852,19 @@ impl Kernel {
             None
         };
 
-        // Strip the 40-byte header; the payload chain is what gets
-        // appended to the receive buffer.
-        let _ = chain.trim_front(TCPIP_HDR_LEN);
+        // Lift any SACK blocks out of the option space before the
+        // header is stripped.
+        let sacks = if doff > 5 {
+            let mut opts = vec![0u8; hdr_len - TCPIP_HDR_LEN];
+            let _ = chain.copy_out(TCPIP_HDR_LEN, &mut opts);
+            parse_sack_blocks(&opts)
+        } else {
+            Vec::new()
+        };
+
+        // Strip the header (and options); the payload chain is what
+        // gets appended to the receive buffer.
+        let _ = chain.trim_front(hdr_len);
         debug_assert_eq!(chain.len(), payload_len);
 
         // Demultiplex: PCB cache, then the configured organization.
@@ -885,7 +934,7 @@ impl Kernel {
         // Header prediction (§3).
         let conn = &mut self.conns[sock];
         conn.tcb.stats.predict_checks += 1;
-        let prediction = if self.cfg.header_prediction {
+        let prediction = if self.cfg.header_prediction && doff == 5 {
             conn.tcb.predict(&hdr, payload_len)
         } else {
             Prediction::Slow
@@ -897,7 +946,7 @@ impl Kernel {
         match prediction {
             Prediction::FastAck => {
                 conn.tcb.stats.predict_ack_hits += 1;
-                let res = conn.tcb.process_ack(hdr.ack, hdr.win, cursor);
+                let res = conn.tcb.process_ack(hdr.ack, hdr.win, true, &[], cursor);
                 let _ = conn.sock.snd.drop_front(res.newly_acked);
                 if conn.sock.proc_state == crate::socket::ProcState::BlockedInWrite
                     && conn.sock.snd.space() > 0
@@ -919,7 +968,9 @@ impl Kernel {
             }
             Prediction::Slow => {
                 let mbufs = chain.mbuf_count();
-                let ack_res = conn.tcb.process_ack(hdr.ack, hdr.win, cursor);
+                let ack_res =
+                    conn.tcb
+                        .process_ack(hdr.ack, hdr.win, payload_len == 0, &sacks, cursor);
                 let _ = conn.sock.snd.drop_front(ack_res.newly_acked);
                 if ack_res.newly_acked > 0
                     && conn.sock.proc_state == crate::socket::ProcState::BlockedInWrite
@@ -940,9 +991,6 @@ impl Kernel {
                 }
                 let slow = self.costs.tcp_in_slow.us(payload_len, mbufs) + lookup_us;
                 cursor += SimTime::from_us_f64(slow);
-                if ack_res.fast_retransmit {
-                    conn.tcb.stats.rexmits += 1;
-                }
             }
         }
         self.spans.span(SpanKind::RxTcpSegment, seg_start, cursor);
@@ -1210,6 +1258,7 @@ impl Kernel {
                     conn.tcb.cwnd = conn.tcb.mss;
                     conn.tcb.snd_nxt = conn.tcb.snd_una;
                     conn.tcb.rexmt_deadline = None;
+                    conn.tcb.on_rto();
                     cursor = self.tcp_output(cursor, sock, drv);
                 } else if dl <= now {
                     conn.tcb.rexmt_deadline = None;

@@ -43,7 +43,7 @@ pub mod span;
 pub mod tcb;
 pub mod udp;
 
-pub use config::{ChecksumMode, PcbOrg, StackConfig};
+pub use config::{CcVariant, ChecksumMode, PcbOrg, StackConfig};
 pub use hdr::TcpIpHeader;
 pub use kernel::{
     CaptureDriver, Kernel, KernelStats, RxOutcome, RxSyscallOutcome, SockId, TxDriver, TxEmission,

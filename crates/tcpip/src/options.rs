@@ -28,6 +28,8 @@ pub mod kind {
     pub const NOP: u8 = 1;
     /// Maximum segment size.
     pub const MSS: u8 = 2;
+    /// Selective acknowledgment blocks (RFC 2018).
+    pub const SACK: u8 = 5;
     /// Alternate checksum request (RFC 1146).
     pub const ALT_CKSUM_REQ: u8 = 14;
 }
@@ -95,6 +97,57 @@ pub fn parse_options(mut b: &[u8]) -> Vec<TcpOption> {
                         out.push(TcpOption::AltChecksum(b[2]));
                     }
                     _ => {}
+                }
+                b = &b[len..];
+            }
+        }
+    }
+    out
+}
+
+/// Encodes a SACK option (RFC 2018) for up to three `[start, end)`
+/// blocks, NOP-padded to a 4-byte boundary. Returns an empty vec for
+/// no blocks so plain ACKs keep the bare 40-byte header.
+#[must_use]
+pub fn encode_sack_option(blocks: &[(u32, u32)]) -> Vec<u8> {
+    if blocks.is_empty() {
+        return Vec::new();
+    }
+    let blocks = &blocks[..blocks.len().min(3)];
+    let mut out = Vec::with_capacity(4 + 8 * blocks.len());
+    out.push(kind::SACK);
+    out.push((2 + 8 * blocks.len()) as u8);
+    for &(start, end) in blocks {
+        out.extend_from_slice(&start.to_be_bytes());
+        out.extend_from_slice(&end.to_be_bytes());
+    }
+    while out.len() % 4 != 0 {
+        out.push(kind::NOP);
+    }
+    out
+}
+
+/// Extracts SACK blocks from an options region. Blocks of other
+/// kinds are skipped exactly as in [`parse_options`].
+#[must_use]
+pub fn parse_sack_blocks(mut b: &[u8]) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    while let Some(&k) = b.first() {
+        match k {
+            kind::EOL => break,
+            kind::NOP => b = &b[1..],
+            _ => {
+                let Some(&len) = b.get(1) else { break };
+                let len = len as usize;
+                if len < 2 || len > b.len() {
+                    break;
+                }
+                if k == kind::SACK && len >= 10 && (len - 2).is_multiple_of(8) {
+                    for blk in b[2..len].chunks_exact(8) {
+                        let start = u32::from_be_bytes([blk[0], blk[1], blk[2], blk[3]]);
+                        let end = u32::from_be_bytes([blk[4], blk[5], blk[6], blk[7]]);
+                        out.push((start, end));
+                    }
                 }
                 b = &b[len..];
             }
@@ -239,6 +292,26 @@ mod tests {
         // Zero length byte.
         let b = vec![kind::MSS, 0, 1, 2];
         assert!(parse_options(&b).is_empty());
+    }
+
+    #[test]
+    fn sack_option_roundtrip() {
+        assert!(encode_sack_option(&[]).is_empty());
+        let blocks = [(1000, 2000), (3000, 4000)];
+        let bytes = encode_sack_option(&blocks);
+        assert_eq!(bytes.len() % 4, 0);
+        assert_eq!(bytes[0], kind::SACK);
+        assert_eq!(bytes[1], 18);
+        assert_eq!(parse_sack_blocks(&bytes), blocks.to_vec());
+        // Four blocks clip to three (the option space allows three
+        // alongside nothing else in our 40-byte-budget world).
+        let four = [(1, 2), (3, 4), (5, 6), (7, 8)];
+        assert_eq!(parse_sack_blocks(&encode_sack_option(&four)).len(), 3);
+        // Other kinds are skipped around the SACK blocks.
+        let mut b = encode_options(&[TcpOption::Mss(4096)]);
+        b.extend_from_slice(&encode_sack_option(&blocks));
+        assert_eq!(parse_sack_blocks(&b), blocks.to_vec());
+        assert!(parse_sack_blocks(&[kind::SACK, 9, 0, 0, 0, 0, 0, 0, 0]).is_empty());
     }
 
     #[test]

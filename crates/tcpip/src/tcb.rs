@@ -25,7 +25,7 @@
 use mbuf::Chain;
 use simkit::SimTime;
 
-use crate::config::StackConfig;
+use crate::config::{CcVariant, StackConfig};
 use crate::hdr::{flags, TcpIpHeader};
 use crate::pcb::PcbKey;
 use crate::seq::{seq_diff, seq_gt, seq_le, seq_lt};
@@ -178,6 +178,37 @@ pub struct Tcb {
     pub ip_id: u16,
     /// Counters.
     pub stats: TcpStats,
+    /// Congestion-control variant.
+    pub cc: CcVariant,
+    /// Whether the RFC 5681/6582/6675 machinery is armed. Cold starts
+    /// (`initial_cwnd_segs: Some(_)`) arm it; the warm seed start
+    /// keeps the pre-CC stack's ACK processing bit-for-bit — including
+    /// its idiosyncratic counting of data-bearing segments as
+    /// duplicate ACKs — so the original goldens stay byte-identical.
+    pub cc_armed: bool,
+    /// In fast recovery (Reno/NewReno inflation, SACK scoreboard
+    /// retransmission). Tahoe never sets this: it falls back to slow
+    /// start instead.
+    pub in_recovery: bool,
+    /// The recovery point: `snd_max` when the last loss-recovery
+    /// episode (fast retransmit or RTO) began. An ACK at or above it
+    /// ends recovery (RFC 6582's `recover`); a third duplicate ACK
+    /// below it must not start a new episode.
+    pub recover: u32,
+    /// A single forced retransmission `(seq, len)` queued by fast
+    /// retransmit or a NewReno partial ACK; consumed by
+    /// [`Tcb::next_send`]/[`Tcb::note_sent`] ahead of normal sending.
+    pub force_rexmt: Option<(u32, usize)>,
+    /// Sender SACK scoreboard: disjoint SACKed ranges `[start, end)`,
+    /// ascending, clipped to `(snd_una, snd_max]`.
+    pub sacked: Vec<(u32, u32)>,
+    /// Highest sequence retransmitted by the SACK scoreboard this
+    /// episode (RFC 6675 `HighRxt`): holes below it are not resent
+    /// again until an RTO.
+    pub high_rxt: u32,
+    /// Bytes retransmitted and not yet acknowledged this episode;
+    /// counted into [`Tcb::pipe`] so scoreboard resends self-clock.
+    pub rexmt_out: usize,
     nodelay: bool,
 }
 
@@ -188,6 +219,13 @@ impl Tcb {
     #[must_use]
     pub fn established(key: PcbKey, id: usize, mss: usize, cfg: &StackConfig) -> Self {
         let iss = cfg.iss;
+        // Warm start (the seed behaviour, and the paper's steady-state
+        // measurements): cwnd never binds on a clean path. Cold start
+        // (the cc study) begins in slow start from a few segments.
+        let cwnd = match cfg.initial_cwnd_segs {
+            None => cfg.sockbuf,
+            Some(n) => (n as usize).max(1) * mss.max(1),
+        };
         Tcb {
             state: TcpState::Established,
             key,
@@ -197,9 +235,7 @@ impl Tcb {
             snd_nxt: iss,
             snd_max: iss,
             snd_wnd: cfg.sockbuf,
-            // Established and warm: past slow start, as the paper's
-            // steady-state measurements are.
-            cwnd: cfg.sockbuf,
+            cwnd,
             ssthresh: cfg.sockbuf,
             rcv_nxt: iss ^ 0x5a5a_0000,
             rcv_adv_wnd: cfg.sockbuf,
@@ -218,6 +254,14 @@ impl Tcb {
             so_error: None,
             ip_id: 1,
             stats: TcpStats::default(),
+            cc: cfg.cc,
+            cc_armed: cfg.initial_cwnd_segs.is_some(),
+            in_recovery: false,
+            recover: iss,
+            force_rexmt: None,
+            sacked: Vec::new(),
+            high_rxt: iss,
+            rexmt_out: 0,
             nodelay: cfg.nodelay,
         }
     }
@@ -240,6 +284,8 @@ impl Tcb {
         t.snd_una = iss;
         t.snd_nxt = iss;
         t.snd_max = iss;
+        t.recover = iss;
+        t.high_rxt = iss;
         t.rcv_nxt = 0;
         t
     }
@@ -253,8 +299,42 @@ impl Tcb {
     /// Decides the next transmission given `sndbuf_len` bytes
     /// buffered: returns `(offset_in_sndbuf, len)` or `None` when
     /// nothing should be sent now (empty, window-limited, or Nagle).
+    ///
+    /// A forced retransmission (fast retransmit, NewReno partial ACK)
+    /// takes precedence; during SACK recovery the scoreboard drives
+    /// hole retransmission, pipe-limited, ahead of new data.
     #[must_use]
     pub fn next_send(&self, sndbuf_len: usize) -> Option<(usize, usize)> {
+        if let Some((seq, len)) = self.force_rexmt {
+            let offset = seq_diff(self.snd_una, seq) as usize;
+            let len = len.min(sndbuf_len.saturating_sub(offset)).min(self.mss);
+            if len > 0 {
+                return Some((offset, len));
+            }
+        }
+        if self.cc == CcVariant::Sack && self.in_recovery {
+            let pipe = self.pipe();
+            if pipe >= self.cwnd {
+                return None;
+            }
+            if let Some((seq, len)) = self.sack_next_hole() {
+                let offset = seq_diff(self.snd_una, seq) as usize;
+                let len = len.min(sndbuf_len.saturating_sub(offset));
+                if len > 0 {
+                    return Some((offset, len));
+                }
+            }
+            // No holes left below snd_nxt: forward-transmit new data,
+            // still pipe-limited (RFC 6675 NextSeg rule 2).
+            let offset = self.flight_size();
+            let avail = sndbuf_len.saturating_sub(offset);
+            let allowed = self.snd_wnd.saturating_sub(offset);
+            let len = avail.min(allowed).min(self.mss);
+            if len == 0 {
+                return None;
+            }
+            return Some((offset, len));
+        }
         let offset = seq_diff(self.snd_una, self.snd_nxt) as usize;
         let avail = sndbuf_len.saturating_sub(offset);
         let wnd = self.snd_wnd.min(self.cwnd);
@@ -269,6 +349,125 @@ impl Tcb {
             return None;
         }
         Some((offset, len))
+    }
+
+    /// RFC 6675-style `pipe`: an estimate of bytes in the network —
+    /// flight minus what the scoreboard says arrived, plus what this
+    /// episode retransmitted and has not yet seen acknowledged.
+    #[must_use]
+    pub fn pipe(&self) -> usize {
+        self.flight_size().saturating_sub(self.sacked_bytes()) + self.rexmt_out
+    }
+
+    /// Total bytes covered by the SACK scoreboard.
+    #[must_use]
+    pub fn sacked_bytes(&self) -> usize {
+        self.sacked
+            .iter()
+            .map(|&(s, e)| seq_diff(s, e) as usize)
+            .sum()
+    }
+
+    /// The next scoreboard hole to retransmit: the first unSACKed
+    /// range at or above `high_rxt` and below `snd_nxt`, capped at
+    /// one MSS and at the next SACKed range.
+    fn sack_next_hole(&self) -> Option<(u32, usize)> {
+        let mut s = if seq_gt(self.high_rxt, self.snd_una) {
+            self.high_rxt
+        } else {
+            self.snd_una
+        };
+        while seq_lt(s, self.snd_nxt) {
+            if let Some(&(_, e)) = self
+                .sacked
+                .iter()
+                .find(|&&(bs, be)| seq_le(bs, s) && seq_lt(s, be))
+            {
+                s = e;
+                continue;
+            }
+            let mut end = self.snd_nxt;
+            for &(bs, _) in &self.sacked {
+                if seq_gt(bs, s) && seq_lt(bs, end) {
+                    end = bs;
+                }
+            }
+            let len = (seq_diff(s, end) as usize).min(self.mss);
+            return Some((s, len));
+        }
+        None
+    }
+
+    /// Folds incoming SACK blocks into the sender scoreboard,
+    /// clipping to `(snd_una, snd_max]` and keeping the ranges
+    /// disjoint and ascending.
+    pub fn sack_update(&mut self, blocks: &[(u32, u32)]) {
+        for &(bs, be) in blocks {
+            let mut s = bs;
+            let mut e = be;
+            if seq_lt(s, self.snd_una) {
+                s = self.snd_una;
+            }
+            if seq_gt(e, self.snd_max) {
+                e = self.snd_max;
+            }
+            if !seq_lt(s, e) {
+                continue;
+            }
+            let pos = self
+                .sacked
+                .iter()
+                .position(|&(os, _)| seq_gt(os, s))
+                .unwrap_or(self.sacked.len());
+            self.sacked.insert(pos, (s, e));
+        }
+        let mut merged: Vec<(u32, u32)> = Vec::with_capacity(self.sacked.len());
+        for &(s, e) in &self.sacked {
+            if let Some(last) = merged.last_mut() {
+                if seq_le(s, last.1) {
+                    if seq_gt(e, last.1) {
+                        last.1 = e;
+                    }
+                    continue;
+                }
+            }
+            merged.push((s, e));
+        }
+        self.sacked = merged;
+    }
+
+    /// Drops scoreboard ranges cumulatively acknowledged.
+    fn sack_prune(&mut self) {
+        let una = self.snd_una;
+        self.sacked.retain(|&(_, e)| seq_gt(e, una));
+        for b in &mut self.sacked {
+            if seq_lt(b.0, una) {
+                b.0 = una;
+            }
+        }
+    }
+
+    /// Receiver side: up to three SACK blocks describing the
+    /// out-of-order data queued for reassembly, as disjoint ascending
+    /// ranges. Empty when nothing is queued (the pure ACK stays the
+    /// bare 40-byte header).
+    #[must_use]
+    pub fn sack_blocks(&self) -> Vec<(u32, u32)> {
+        let mut out: Vec<(u32, u32)> = Vec::new();
+        for (s, c) in &self.reasm {
+            let e = s.wrapping_add(c.len() as u32);
+            if let Some(last) = out.last_mut() {
+                if seq_le(*s, last.1) {
+                    if seq_gt(e, last.1) {
+                        last.1 = e;
+                    }
+                    continue;
+                }
+            }
+            out.push((*s, e));
+        }
+        out.truncate(3);
+        out
     }
 
     /// Builds the header for a data segment of `len` bytes at
@@ -303,6 +502,24 @@ impl Tcb {
     /// IP.
     pub fn note_sent(&mut self, seq: u32, len: usize, now: SimTime, rto: SimTime) {
         let end = seq.wrapping_add(len as u32);
+        // A forced retransmission (fast retransmit, NewReno partial
+        // ACK) is consumed by the send that matches its sequence.
+        if len > 0 && self.force_rexmt.is_some_and(|(fs, _)| fs == seq) {
+            self.force_rexmt = None;
+            self.stats.rexmits += 1;
+        } else if len > 0
+            && self.in_recovery
+            && self.cc == CcVariant::Sack
+            && seq_lt(seq, self.snd_nxt)
+        {
+            // A scoreboard hole resend: advance HighRxt so the hole is
+            // not resent again this episode, and count it into pipe.
+            if seq_gt(end, self.high_rxt) {
+                self.high_rxt = end;
+            }
+            self.rexmt_out += len;
+            self.stats.rexmits += 1;
+        }
         // Karn: time only first transmissions (seq at snd_max), one
         // segment at a time.
         if len > 0 && seq == self.snd_max && self.rtt_timed.is_none() {
@@ -391,27 +608,65 @@ impl Tcb {
         Prediction::Slow
     }
 
-    /// Processes the acknowledgment field. Returns the number of
-    /// newly acknowledged bytes (to drop from the send buffer) and
-    /// whether a fast retransmit should fire.
-    pub fn process_ack(&mut self, ack: u32, peer_win: u16, now: SimTime) -> AckOutcome {
+    /// Processes the acknowledgment field. `pure` says the segment
+    /// carried no payload: when the CC machinery is armed, only pure
+    /// ACKs count as duplicates — a data-carrying segment whose ACK
+    /// field merely repeats `snd_una` is the peer talking, not the
+    /// network signalling loss. (Unarmed, the seed stack's counting —
+    /// which had that off-by-one and counted data segments too — is
+    /// preserved bit-for-bit.) `sacks` are any SACK blocks the
+    /// segment carried. Returns the number of newly acknowledged
+    /// bytes (to drop from the send buffer) and whether a fast
+    /// retransmit fired.
+    pub fn process_ack(
+        &mut self,
+        ack: u32,
+        peer_win: u16,
+        pure: bool,
+        sacks: &[(u32, u32)],
+        now: SimTime,
+    ) -> AckOutcome {
         self.snd_wnd = usize::from(peer_win);
+        if self.cc == CcVariant::Sack && !sacks.is_empty() {
+            self.sack_update(sacks);
+        }
         if seq_le(ack, self.snd_una) {
             // Not a new ACK: count duplicates when data is in flight.
-            if ack == self.snd_una && self.flight_size() > 0 {
+            // A SACK-carrying pure ACK counts like any other dup —
+            // the blocks refine *what* to resend, not *whether* loss
+            // was signalled.
+            if (pure || !self.cc_armed) && ack == self.snd_una && self.flight_size() > 0 {
                 self.dupacks += 1;
                 if self.dupacks == 3 {
-                    // Fast retransmit: halve the window, resend from
-                    // snd_una. Karn: the resend invalidates any RTT
-                    // measurement and pins the recovery point.
-                    self.ssthresh = (self.flight_size() / 2).max(2 * self.mss);
-                    self.cwnd = self.ssthresh;
-                    self.snd_nxt = self.snd_una;
-                    self.note_retransmit();
-                    return AckOutcome {
-                        newly_acked: 0,
-                        fast_retransmit: true,
-                    };
+                    if !self.cc_armed {
+                        // Seed-compatible fast retransmit (the 4.4BSD
+                        // alpha behaviour the original goldens were
+                        // blessed under): halve the window and
+                        // go-back-N from snd_una. Karn: the resend
+                        // invalidates any RTT measurement and pins
+                        // the recovery point.
+                        self.ssthresh = (self.flight_size() / 2).max(2 * self.mss);
+                        self.cwnd = self.ssthresh;
+                        self.snd_nxt = self.snd_una;
+                        self.note_retransmit();
+                        self.stats.rexmits += 1;
+                        return AckOutcome {
+                            newly_acked: 0,
+                            fast_retransmit: true,
+                        };
+                    }
+                    if !self.in_recovery && seq_le(self.recover, self.snd_una) {
+                        self.enter_fast_recovery();
+                        return AckOutcome {
+                            newly_acked: 0,
+                            fast_retransmit: true,
+                        };
+                    }
+                }
+                if self.in_recovery && matches!(self.cc, CcVariant::Reno | CcVariant::NewReno) {
+                    // Fast-recovery inflation: each further dup means
+                    // one more segment left the network.
+                    self.cwnd += self.mss;
                 }
             }
             return AckOutcome {
@@ -441,6 +696,17 @@ impl Tcb {
         if seq_lt(self.snd_nxt, self.snd_una) {
             self.snd_nxt = self.snd_una;
         }
+        if self
+            .force_rexmt
+            .is_some_and(|(fs, _)| seq_lt(fs, self.snd_una))
+        {
+            self.force_rexmt = None;
+        }
+        self.sack_prune();
+        if seq_lt(self.high_rxt, self.snd_una) {
+            self.high_rxt = self.snd_una;
+        }
+        self.rexmt_out = self.rexmt_out.saturating_sub(newly);
         self.dupacks = 0;
         // Karn: keep the backed-off RTO until the ACK covers the
         // recovery point; an ACK of retransmitted data is ambiguous.
@@ -452,16 +718,105 @@ impl Tcb {
             }
         }
         self.rexmt_deadline = None; // Kernel re-arms if data remains.
-                                    // Congestion window growth: slow start then linear.
-        if self.cwnd < self.ssthresh {
-            self.cwnd += self.mss;
+        if self.in_recovery {
+            if seq_lt(ack, self.recover) {
+                // Partial ACK: the window held more than one loss.
+                match self.cc {
+                    CcVariant::NewReno => {
+                        // RFC 6582: retransmit the next hole without
+                        // leaving recovery; deflate by the new data
+                        // acknowledged, then add back one MSS.
+                        let remaining = self.flight_size();
+                        self.force_rexmt = Some((self.snd_una, self.mss.min(remaining.max(1))));
+                        self.cwnd = self.cwnd.saturating_sub(newly).max(self.mss) + self.mss;
+                    }
+                    CcVariant::Sack => {
+                        // The scoreboard keeps driving retransmission;
+                        // pipe shrank by `newly` above.
+                    }
+                    CcVariant::Reno | CcVariant::Tahoe => {
+                        // Classic Reno leaves recovery on the first
+                        // new ACK; the remaining losses must earn a
+                        // fresh dup-ACK volley or wait for the RTO.
+                        self.exit_recovery();
+                    }
+                }
+            } else {
+                // Full ACK: the whole pre-loss window is covered.
+                self.exit_recovery();
+            }
         } else {
-            self.cwnd += (self.mss * self.mss / self.cwnd).max(1);
+            if seq_lt(self.recover, self.snd_una) {
+                self.recover = self.snd_una;
+            }
+            // Congestion window growth: slow start then linear —
+            // exactly the seed stack's arithmetic (RFC 5681 with the
+            // BSD increment).
+            if self.cwnd < self.ssthresh {
+                self.cwnd += self.mss;
+            } else {
+                self.cwnd += (self.mss * self.mss / self.cwnd).max(1);
+            }
         }
         AckOutcome {
             newly_acked: newly,
             fast_retransmit: false,
         }
+    }
+
+    /// The third duplicate ACK: halve `ssthresh`, pin the recovery
+    /// point, and dispatch on the variant's recovery style.
+    fn enter_fast_recovery(&mut self) {
+        let flight = self.flight_size();
+        self.ssthresh = (flight / 2).max(2 * self.mss);
+        self.recover = self.snd_max;
+        // Karn: the resend invalidates any RTT measurement and pins
+        // the backoff recovery point.
+        self.note_retransmit();
+        match self.cc {
+            CcVariant::Tahoe => {
+                // Fast retransmit then slow start: go-back-N from
+                // snd_una with a one-segment window.
+                self.cwnd = self.mss;
+                self.snd_nxt = self.snd_una;
+                self.stats.rexmits += 1;
+            }
+            CcVariant::Reno | CcVariant::NewReno => {
+                // Fast recovery: resend only the missing segment;
+                // inflate by the three dups already received.
+                self.cwnd = self.ssthresh + 3 * self.mss;
+                self.in_recovery = true;
+                self.force_rexmt = Some((self.snd_una, self.mss.min(flight)));
+            }
+            CcVariant::Sack => {
+                // Scoreboard recovery: pipe-limited hole resends.
+                self.cwnd = self.ssthresh;
+                self.in_recovery = true;
+                self.high_rxt = self.snd_una;
+                self.rexmt_out = 0;
+            }
+        }
+    }
+
+    /// Leaves fast recovery: deflate to `ssthresh` (RFC 5681 §3.2
+    /// step 6) and clear the episode's retransmission state.
+    fn exit_recovery(&mut self) {
+        self.in_recovery = false;
+        self.cwnd = self.ssthresh;
+        self.force_rexmt = None;
+        self.rexmt_out = 0;
+    }
+
+    /// Clears loss-recovery state when the retransmission timer
+    /// fires: the kernel rewinds to go-back-N slow start, which
+    /// supersedes any in-progress fast recovery or scoreboard.
+    pub fn on_rto(&mut self) {
+        self.in_recovery = false;
+        self.recover = self.snd_max;
+        self.force_rexmt = None;
+        self.sacked.clear();
+        self.high_rxt = self.snd_una;
+        self.rexmt_out = 0;
     }
 
     /// Accepts a data segment. In-order data (plus any reassembly-
@@ -649,7 +1004,13 @@ mod tests {
         assert_eq!(t.next_send(5000), None, "Nagle holds the 904-byte tail");
         // The ACK frees it (the kernel also drops the acked bytes
         // from the send buffer, so 904 remain).
-        let _ = t.process_ack(t.snd_una.wrapping_add(4096), 16384, SimTime::ZERO);
+        let _ = t.process_ack(
+            t.snd_una.wrapping_add(4096),
+            16384,
+            true,
+            &[],
+            SimTime::ZERO,
+        );
         assert_eq!(t.next_send(904), Some((0, 904)));
     }
 
@@ -660,7 +1021,13 @@ mod tests {
         t.ssthresh = 100_000;
         t.note_sent(t.snd_nxt, 4096, SimTime::ZERO, SimTime::from_ms(500));
         let una = t.snd_una;
-        let out = t.process_ack(una.wrapping_add(4096), 16384, SimTime::from_us(600));
+        let out = t.process_ack(
+            una.wrapping_add(4096),
+            16384,
+            true,
+            &[],
+            SimTime::from_us(600),
+        );
         assert_eq!(out.newly_acked, 4096);
         assert!(!out.fast_retransmit);
         assert_eq!(t.snd_una, una.wrapping_add(4096));
@@ -668,26 +1035,158 @@ mod tests {
         assert_eq!(t.flight_size(), 0);
     }
 
-    #[test]
-    fn triple_dupack_triggers_fast_retransmit() {
-        let mut t = tcb();
+    /// Sends two segments and feeds three duplicate ACKs; returns the
+    /// Tcb right after the fast retransmit fired.
+    fn tripled(cc: CcVariant) -> Tcb {
+        let mut c = cfg();
+        c.cc = cc;
+        // Cold start arms the RFC machinery; 4 segments = sockbuf.
+        c.initial_cwnd_segs = Some(4);
+        let key = tcb().key;
+        let mut t = Tcb::established(key, 0, 4096, &c);
         t.note_sent(t.snd_nxt, 4096, SimTime::ZERO, SimTime::from_ms(500));
         t.note_sent(t.snd_nxt, 4096, SimTime::ZERO, SimTime::from_ms(500));
         let una = t.snd_una;
         for i in 0..2 {
-            let out = t.process_ack(una, 16384, SimTime::ZERO);
+            let out = t.process_ack(una, 16384, true, &[], SimTime::ZERO);
             assert!(!out.fast_retransmit, "dup {i}");
         }
-        let out = t.process_ack(una, 16384, SimTime::ZERO);
-        assert!(out.fast_retransmit);
-        assert_eq!(t.snd_nxt, t.snd_una, "resend from snd_una");
-        assert!(t.cwnd <= 4096 * 2);
+        let out = t.process_ack(una, 16384, true, &[], SimTime::ZERO);
+        assert!(out.fast_retransmit, "third dup fires ({})", cc.name());
         assert_eq!(
             t.rexmt_recover,
             Some(t.snd_max),
             "Karn recovery point pinned by the fast retransmit"
         );
         assert!(t.rtt_timed.is_none(), "RTT measurement cancelled");
+        t
+    }
+
+    #[test]
+    fn triple_dupack_tahoe_goes_back_n() {
+        let t = tripled(CcVariant::Tahoe);
+        assert_eq!(t.snd_nxt, t.snd_una, "resend from snd_una");
+        assert_eq!(t.cwnd, t.mss, "slow start restart");
+        assert_eq!(t.ssthresh, 8192, "max(flight/2, 2·MSS) = 2·MSS here");
+        assert!(!t.in_recovery);
+        assert_eq!(t.stats.rexmits, 1, "the go-back-N resend is counted");
+    }
+
+    #[test]
+    fn triple_dupack_reno_enters_fast_recovery() {
+        for cc in [CcVariant::Reno, CcVariant::NewReno] {
+            let mut t = tripled(cc);
+            assert!(t.in_recovery);
+            assert_eq!(t.ssthresh, 8192);
+            assert_eq!(t.cwnd, 8192 + 3 * 4096, "ssthresh + 3 MSS");
+            assert_eq!(
+                t.force_rexmt,
+                Some((t.snd_una, 4096)),
+                "only the missing segment is resent"
+            );
+            assert_eq!(t.snd_nxt, t.snd_max, "no go-back-N");
+            // A fourth dup inflates by one MSS.
+            let una = t.snd_una;
+            let _ = t.process_ack(una, 16384, true, &[], SimTime::ZERO);
+            assert_eq!(t.cwnd, 8192 + 4 * 4096, "inflation per extra dup");
+            // The full ACK deflates to ssthresh and leaves recovery.
+            let _ = t.process_ack(t.snd_max, 16384, true, &[], SimTime::ZERO);
+            assert!(!t.in_recovery);
+            assert_eq!(t.cwnd, t.ssthresh, "deflate on exit");
+        }
+    }
+
+    #[test]
+    fn triple_dupack_sack_uses_scoreboard() {
+        let mut t = tripled(CcVariant::Sack);
+        assert!(t.in_recovery);
+        assert_eq!(t.cwnd, t.ssthresh, "no +3 inflation under SACK");
+        assert_eq!(t.high_rxt, t.snd_una);
+        let _ = t.process_ack(t.snd_max, 16384, true, &[], SimTime::ZERO);
+        assert!(!t.in_recovery);
+    }
+
+    #[test]
+    fn data_bearing_segments_never_count_as_dup_acks_when_armed() {
+        // A segment carrying payload whose ACK field repeats snd_una
+        // is the peer sending, not a loss signal (RFC 5681 §2's
+        // duplicate definition). Only the armed machinery applies the
+        // fix; the seed-compatible warm start keeps the old counting.
+        let mut c = cfg();
+        c.initial_cwnd_segs = Some(4);
+        let key = tcb().key;
+        let mut t = Tcb::established(key, 0, 4096, &c);
+        t.note_sent(t.snd_nxt, 4096, SimTime::ZERO, SimTime::from_ms(500));
+        let una = t.snd_una;
+        for _ in 0..5 {
+            let out = t.process_ack(una, 16384, false, &[], SimTime::ZERO);
+            assert!(!out.fast_retransmit);
+        }
+        assert_eq!(t.dupacks, 0, "impure ACKs never advance the counter");
+    }
+
+    #[test]
+    fn sack_carrying_pure_ack_still_counts_as_dup() {
+        let mut c = cfg();
+        c.cc = CcVariant::Sack;
+        c.initial_cwnd_segs = Some(4);
+        let key = tcb().key;
+        let mut t = Tcb::established(key, 0, 4096, &c);
+        for _ in 0..3 {
+            t.note_sent(t.snd_nxt, 4096, SimTime::ZERO, SimTime::from_ms(500));
+        }
+        let una = t.snd_una;
+        let blk = (una.wrapping_add(4096), una.wrapping_add(8192));
+        for _ in 0..2 {
+            let out = t.process_ack(una, 16384, true, &[blk], SimTime::ZERO);
+            assert!(!out.fast_retransmit);
+        }
+        let out = t.process_ack(una, 16384, true, &[blk], SimTime::ZERO);
+        assert!(out.fast_retransmit, "SACK blocks don't disqualify a dup");
+        assert_eq!(t.sacked, vec![blk], "scoreboard recorded the block");
+    }
+
+    #[test]
+    fn warm_start_keeps_the_seed_fast_retransmit_bit_for_bit() {
+        // Unarmed (warm start), the pre-CC behaviour survives: data-
+        // bearing dups count, the third fires a go-back-N halving
+        // regardless of variant, and there is no recovery state.
+        let mut t = tcb();
+        assert!(!t.cc_armed);
+        t.note_sent(t.snd_nxt, 4096, SimTime::ZERO, SimTime::from_ms(500));
+        t.note_sent(t.snd_nxt, 4096, SimTime::ZERO, SimTime::from_ms(500));
+        let una = t.snd_una;
+        for _ in 0..2 {
+            let out = t.process_ack(una, 16384, false, &[], SimTime::ZERO);
+            assert!(!out.fast_retransmit);
+        }
+        let out = t.process_ack(una, 16384, false, &[], SimTime::ZERO);
+        assert!(out.fast_retransmit, "impure dups count when unarmed");
+        assert_eq!(t.snd_nxt, t.snd_una, "go-back-N");
+        assert_eq!(t.cwnd, t.ssthresh);
+        assert!(!t.in_recovery);
+        assert_eq!(t.stats.rexmits, 1);
+        assert_eq!(t.rexmt_recover, Some(t.snd_max));
+    }
+
+    #[test]
+    fn dupack_reentry_blocked_until_recover_passed() {
+        // RFC 6582 heuristic: after a retransmit episode, stale dups
+        // below `recover` must not trigger a second window reduction.
+        let mut t = tripled(CcVariant::NewReno);
+        let _ = t.process_ack(t.snd_max, 16384, true, &[], SimTime::ZERO);
+        assert!(!t.in_recovery);
+        t.note_sent(t.snd_nxt, 4096, SimTime::ZERO, SimTime::from_ms(500));
+        let cwnd_before = t.cwnd;
+        let una = t.snd_una;
+        for _ in 0..3 {
+            let out = t.process_ack(una, 16384, true, &[], SimTime::ZERO);
+            // recover == snd_una here, so seq_le(recover, snd_una)
+            // holds and re-entry is permitted — this is a fresh
+            // episode, not a stale storm.
+            let _ = out;
+        }
+        assert!(t.in_recovery || t.cwnd <= cwnd_before);
     }
 
     #[test]
@@ -798,7 +1297,13 @@ mod tests {
         // Sender side wrap.
         assert_eq!(t.next_send(8000), Some((0, 4096)));
         t.note_sent(t.snd_nxt, 4096, SimTime::ZERO, SimTime::from_ms(500));
-        let out = t.process_ack(t.snd_una.wrapping_add(4096), 16384, SimTime::ZERO);
+        let out = t.process_ack(
+            t.snd_una.wrapping_add(4096),
+            16384,
+            true,
+            &[],
+            SimTime::ZERO,
+        );
         assert_eq!(out.newly_acked, 4096);
     }
 
@@ -827,7 +1332,13 @@ mod tests {
         t.note_sent(t.snd_nxt, 1000, SimTime::ZERO, SimTime::from_ms(500));
         assert!(t.rtt_timed.is_some(), "first transmission is timed");
         let una = t.snd_una;
-        let _ = t.process_ack(una.wrapping_add(1000), 16384, SimTime::from_us(600));
+        let _ = t.process_ack(
+            una.wrapping_add(1000),
+            16384,
+            true,
+            &[],
+            SimTime::from_us(600),
+        );
         assert_eq!(t.rtt_samples, 1);
         assert!((t.srtt_us - 600.0).abs() < 1e-9);
         assert!((t.rttvar_us - 300.0).abs() < 1e-9);
@@ -853,7 +1364,13 @@ mod tests {
             "retransmissions are never timed (seq < snd_max)"
         );
         let una = t.snd_una;
-        let _ = t.process_ack(una.wrapping_add(1000), 16384, SimTime::from_ms(501));
+        let _ = t.process_ack(
+            una.wrapping_add(1000),
+            16384,
+            true,
+            &[],
+            SimTime::from_ms(501),
+        );
         assert_eq!(t.rtt_samples, 0, "ambiguous ACK produced no sample");
     }
 
@@ -869,10 +1386,22 @@ mod tests {
         let una = t.snd_una;
         // ACK of the retransmitted segment only: ambiguous, backoff
         // must hold.
-        let _ = t.process_ack(una.wrapping_add(1000), 16384, SimTime::from_ms(600));
+        let _ = t.process_ack(
+            una.wrapping_add(1000),
+            16384,
+            true,
+            &[],
+            SimTime::from_ms(600),
+        );
         assert_eq!(t.rexmt_shift, 2, "backoff held on ambiguous ACK");
         // ACK covering the recovery point clears it.
-        let _ = t.process_ack(una.wrapping_add(2000), 16384, SimTime::from_ms(700));
+        let _ = t.process_ack(
+            una.wrapping_add(2000),
+            16384,
+            true,
+            &[],
+            SimTime::from_ms(700),
+        );
         assert_eq!(t.rexmt_shift, 0);
         assert_eq!(t.rexmt_recover, None);
     }

@@ -1,0 +1,366 @@
+//! Conformance traces for the congestion-control variants: each test
+//! drives a control block through a scripted segment/ACK/loss
+//! sequence and asserts the **exact** cwnd/ssthresh trajectory against
+//! a hand-derived RFC 5681/6582/6675 table.
+//!
+//! The tables are derived on round numbers (MSS = 1024, socket buffer
+//! 16384) so every intermediate value can be checked by eye:
+//!
+//! - slow start adds one MSS per new ACK, congestion avoidance adds
+//!   `MSS²/cwnd` (RFC 5681 §3.1, the BSD increment);
+//! - a single loss: Tahoe restarts slow start at 1 MSS, Reno enters
+//!   fast recovery at `ssthresh + 3·MSS` and deflates on the new ACK
+//!   (RFC 5681 §3.2);
+//! - two losses in one window: NewReno retransmits on the partial ACK
+//!   without leaving recovery and halves once (RFC 6582 §3), Reno
+//!   leaves recovery on the partial ACK and the `recover` gate blocks
+//!   a second fast retransmit (RFC 6582 §4's "avoid multiple fast
+//!   retransmits"), leaving the second hole to the RTO;
+//! - SACK recovery is pipe-limited and retransmits holes in sequence
+//!   order (RFC 6675 NextSeg);
+//! - ssthresh is `max(flight/2, 2·MSS)` after both a fast retransmit
+//!   and an RTO, but cwnd restarts at 1 MSS only after the RTO.
+//!
+//! `tcb.rs` unit-tests the entry/exit arithmetic in isolation; these
+//! traces pin the *whole trajectory*, event by event.
+
+use simkit::SimTime;
+use tcpip::tcb::AckOutcome;
+use tcpip::{CcVariant, PcbKey, StackConfig, Tcb};
+
+/// Round-number MSS so the tables below can be checked by hand.
+const MSS: usize = 1024;
+/// Peer receive window (the default socket buffer): never the binding
+/// constraint in these traces.
+const WIN: u16 = 16 * 1024;
+
+/// An established, armed control block with `cwnd = segs·MSS`.
+fn tcb(cc: CcVariant, segs: u32) -> Tcb {
+    let cfg = StackConfig {
+        cc,
+        initial_cwnd_segs: Some(segs),
+        ..StackConfig::default()
+    };
+    let key = PcbKey {
+        laddr: [10, 0, 0, 1],
+        lport: 1,
+        faddr: [10, 0, 0, 2],
+        fport: 2,
+    };
+    Tcb::established(key, 0, MSS, &cfg)
+}
+
+/// Registers `segs` MSS segments as handed to IP, exactly as the
+/// kernel's output path does.
+fn send(t: &mut Tcb, segs: usize) {
+    for _ in 0..segs {
+        let seq = t.snd_nxt;
+        t.note_sent(seq, MSS, SimTime::ZERO, SimTime::from_us(500_000));
+    }
+}
+
+/// A cumulative ACK up to `ack`.
+fn ack_to(t: &mut Tcb, ack: u32) -> AckOutcome {
+    t.process_ack(ack, WIN, true, &[], SimTime::ZERO)
+}
+
+/// A pure duplicate ACK (optionally SACK-tagged).
+fn dup(t: &mut Tcb, sacks: &[(u32, u32)]) -> AckOutcome {
+    let una = t.snd_una;
+    t.process_ack(una, WIN, true, sacks, SimTime::ZERO)
+}
+
+#[test]
+fn slow_start_adds_one_mss_per_ack_in_every_variant() {
+    for cc in CcVariant::ALL {
+        let mut t = tcb(cc, 2);
+        assert_eq!(t.cwnd, 2 * MSS, "{cc:?}: cold start at 2 segments");
+        assert_eq!(t.ssthresh, 16 * 1024, "{cc:?}: ssthresh starts at sockbuf");
+        send(&mut t, 8);
+        // RFC 5681 §3.1: cwnd += MSS per new ACK while below ssthresh.
+        // Hand table from 2048: 3072, 4096, ..., 10240.
+        for k in 1..=8u32 {
+            let una = t.snd_una;
+            ack_to(&mut t, una.wrapping_add(MSS as u32));
+            assert_eq!(t.cwnd, (2 + k as usize) * MSS, "{cc:?}: ack {k}");
+            assert_eq!(t.ssthresh, 16 * 1024, "{cc:?}: no loss, no halving");
+        }
+    }
+}
+
+#[test]
+fn congestion_avoidance_grows_by_mss_squared_over_cwnd() {
+    // Past ssthresh the BSD increment is max(MSS²/cwnd, 1) per ACK.
+    // Hand table from cwnd = 8192, ssthresh = 4096 (MSS² = 1048576):
+    //   8192 + 128 = 8320
+    //   8320 + 126 = 8446
+    //   8446 + 124 = 8570
+    //   8570 + 122 = 8692
+    let mut t = tcb(CcVariant::NewReno, 8);
+    t.ssthresh = 4 * MSS;
+    send(&mut t, 12);
+    let expect = [8320usize, 8446, 8570, 8692];
+    for (k, want) in expect.into_iter().enumerate() {
+        let una = t.snd_una;
+        ack_to(&mut t, una.wrapping_add(MSS as u32));
+        assert_eq!(t.cwnd, want, "CA ack {}", k + 1);
+    }
+}
+
+#[test]
+fn single_loss_tahoe_restarts_slow_start_from_one_mss() {
+    // 8 segments in flight, the first lost; the receiver's dup-ACK
+    // volley arrives. RFC 5681 trace:
+    //   dup 1   cwnd 8192  ssthresh 16384  (counted, nothing resent)
+    //   dup 2   cwnd 8192  ssthresh 16384
+    //   dup 3   cwnd 1024  ssthresh 4096   go-back-N from snd_una
+    //   new ACK cwnd 2048  ssthresh 4096   slow start again
+    let mut t = tcb(CcVariant::Tahoe, 8);
+    let s = t.snd_una;
+    send(&mut t, 8);
+    assert_eq!(t.flight_size(), 8 * MSS);
+
+    for k in 1..=2u32 {
+        let out = dup(&mut t, &[]);
+        assert!(!out.fast_retransmit, "dup {k} must not fire");
+        assert_eq!(t.cwnd, 8 * MSS);
+        assert_eq!(t.dupacks, k);
+    }
+    let out = dup(&mut t, &[]);
+    assert!(out.fast_retransmit, "third dup fires");
+    assert_eq!(t.ssthresh, 4 * MSS, "max(flight/2, 2·MSS) = 4096");
+    assert_eq!(t.cwnd, MSS, "Tahoe: slow-start restart");
+    assert_eq!(t.snd_nxt, s, "go-back-N rewind");
+    assert_eq!(t.stats.rexmits, 1);
+    assert!(!t.in_recovery, "Tahoe has no recovery phase");
+
+    // The rewind emptied the flight, so a replayed dup no longer
+    // counts (there is nothing outstanding for it to signal about).
+    let out = dup(&mut t, &[]);
+    assert!(!out.fast_retransmit);
+    assert_eq!(t.dupacks, 3, "no flight, no dup counting");
+
+    // Go-back-N resend of the head, then its cumulative ACK: slow
+    // start from 1 MSS toward the halved ssthresh.
+    send(&mut t, 1);
+    ack_to(&mut t, s.wrapping_add(2 * MSS as u32));
+    assert_eq!(t.cwnd, 2 * MSS, "slow start: 1024 + 1024");
+    assert_eq!(t.ssthresh, 4 * MSS);
+}
+
+#[test]
+fn single_loss_reno_inflates_then_deflates_to_half() {
+    // Same scripted loss as the Tahoe trace. RFC 5681 §3.2 trace:
+    //   dup 3    cwnd 7168   (ssthresh 4096 + 3·MSS), enter recovery
+    //   dup 4    cwnd 8192   (+MSS inflation)
+    //   dup 5    cwnd 9216
+    //   full ACK cwnd 4096   (deflate to ssthresh, leave recovery)
+    let mut t = tcb(CcVariant::Reno, 8);
+    let s = t.snd_una;
+    send(&mut t, 8);
+
+    dup(&mut t, &[]);
+    dup(&mut t, &[]);
+    let out = dup(&mut t, &[]);
+    assert!(out.fast_retransmit);
+    assert_eq!(t.ssthresh, 4 * MSS);
+    assert_eq!(t.cwnd, 7 * MSS, "ssthresh + 3·MSS");
+    assert!(t.in_recovery);
+    assert_eq!(
+        t.force_rexmt,
+        Some((s, MSS)),
+        "resend exactly the missing head"
+    );
+
+    // The retransmission leaves through the normal output path.
+    t.note_sent(s, MSS, SimTime::ZERO, SimTime::from_us(500_000));
+    assert_eq!(t.stats.rexmits, 1);
+    assert_eq!(t.force_rexmt, None, "consumed by the matching send");
+
+    let _ = dup(&mut t, &[]);
+    assert_eq!(t.cwnd, 8 * MSS, "inflation per extra dup");
+    let _ = dup(&mut t, &[]);
+    assert_eq!(t.cwnd, 9 * MSS);
+
+    // The head repaired the only hole: the full ACK covers the whole
+    // pre-loss window.
+    ack_to(&mut t, s.wrapping_add(8 * MSS as u32));
+    assert!(!t.in_recovery);
+    assert_eq!(t.cwnd, 4 * MSS, "deflate to ssthresh on exit");
+    assert_eq!(t.dupacks, 0);
+}
+
+#[test]
+fn double_loss_newreno_retransmits_on_the_partial_ack() {
+    // 8 segments, losses at segments 0 and 3. RFC 6582 §3 trace:
+    //   dup 3        cwnd 7168  enter recovery, resend segment 0
+    //   partial ACK  cwnd 5120  (7168 − 3072 + 1024), resend seg 3,
+    //                           STAY in recovery
+    //   full ACK     cwnd 4096  deflate, leave recovery
+    // One window, one halving — the RFC 6582 improvement over Reno.
+    let mut t = tcb(CcVariant::NewReno, 8);
+    let s = t.snd_una;
+    send(&mut t, 8);
+    let recover = t.snd_max;
+
+    dup(&mut t, &[]);
+    dup(&mut t, &[]);
+    assert!(dup(&mut t, &[]).fast_retransmit);
+    assert_eq!(t.ssthresh, 4 * MSS);
+    assert_eq!(t.cwnd, 7 * MSS);
+    t.note_sent(s, MSS, SimTime::ZERO, SimTime::from_us(500_000));
+    assert_eq!(t.stats.rexmits, 1);
+
+    // Segment 0 repaired: the receiver acknowledges up to the second
+    // hole. The partial ACK stops short of `recover`.
+    let partial = s.wrapping_add(3 * MSS as u32);
+    ack_to(&mut t, partial);
+    assert!(t.in_recovery, "partial ACK must not end recovery");
+    assert_eq!(t.cwnd, 5 * MSS, "deflate by newly acked, add one MSS");
+    assert_eq!(
+        t.force_rexmt,
+        Some((partial, MSS)),
+        "retransmit the next hole without new dup ACKs"
+    );
+    t.note_sent(partial, MSS, SimTime::ZERO, SimTime::from_us(500_000));
+    assert_eq!(t.stats.rexmits, 2);
+
+    // Segment 3 repaired: the cumulative ACK reaches `recover`.
+    ack_to(&mut t, recover);
+    assert!(!t.in_recovery);
+    assert_eq!(t.cwnd, 4 * MSS, "one halving for the whole episode");
+    assert_eq!(t.ssthresh, 4 * MSS);
+}
+
+#[test]
+fn double_loss_reno_exits_early_and_the_recover_gate_blocks_refire() {
+    // Same double loss under classic Reno. The partial ACK ends
+    // recovery (RFC 5681 knows no partial-ACK rule), and the second
+    // hole's dup-ACK volley hits RFC 6582 §4's `recover` gate: no
+    // second fast retransmit for the same window, so the second loss
+    // waits for the RTO. This trace is why the cc study shows Reno
+    // *slower* than Tahoe under multi-loss windows (Fall & Floyd's
+    // classic result): Tahoe's go-back-N repairs both holes in one
+    // slow-start ramp, Reno stalls into the timer.
+    let mut t = tcb(CcVariant::Reno, 8);
+    let s = t.snd_una;
+    send(&mut t, 8);
+
+    dup(&mut t, &[]);
+    dup(&mut t, &[]);
+    assert!(dup(&mut t, &[]).fast_retransmit);
+    assert_eq!(t.cwnd, 7 * MSS);
+    t.note_sent(s, MSS, SimTime::ZERO, SimTime::from_us(500_000));
+
+    let partial = s.wrapping_add(3 * MSS as u32);
+    ack_to(&mut t, partial);
+    assert!(!t.in_recovery, "Reno leaves recovery on the first new ACK");
+    assert_eq!(t.cwnd, 4 * MSS, "deflated to ssthresh");
+
+    // The receiver is still missing segment 3: a fresh dup volley.
+    for k in 1..=4u32 {
+        let out = dup(&mut t, &[]);
+        assert!(
+            !out.fast_retransmit,
+            "dup {k}: the recover gate must block a second fire"
+        );
+    }
+    assert_eq!(t.dupacks, 4);
+    assert_eq!(t.cwnd, 4 * MSS, "no inflation outside recovery");
+    assert_eq!(t.stats.rexmits, 1, "only the first hole was resent");
+}
+
+#[test]
+fn sack_recovery_is_pipe_limited_and_resends_holes_in_order() {
+    // 8 segments, losses at segments 0 and 3; every dup ACK carries
+    // the receiver's SACK blocks. RFC 6675 trace (flight 8192):
+    //   dup 3 (seg 4 SACKed)  enter: cwnd = ssthresh = 4096,
+    //                         pipe = 8192 − 3072 = 5120 ≥ cwnd → hold
+    //   dup 4 (seg 5 SACKed)  pipe = 4096 ≥ cwnd → hold
+    //   dup 5 (seg 6 SACKed)  pipe = 3072 < cwnd → resend hole 1
+    //                         (segment 0), pipe back to 4096 → hold
+    //   dup 6 (seg 7 SACKed)  pipe = 3072 < cwnd → resend hole 2
+    //                         (segment 3): strict sequence order
+    let mut t = tcb(CcVariant::Sack, 8);
+    let s = t.snd_una;
+    send(&mut t, 8);
+    let seg = |k: u32| s.wrapping_add(k * MSS as u32);
+
+    dup(&mut t, &[(seg(1), seg(2))]);
+    dup(&mut t, &[(seg(1), seg(3))]);
+    let out = dup(&mut t, &[(seg(4), seg(5)), (seg(1), seg(3))]);
+    assert!(out.fast_retransmit);
+    assert_eq!(t.ssthresh, 4 * MSS);
+    assert_eq!(t.cwnd, 4 * MSS, "no +3 inflation under SACK");
+    assert!(t.in_recovery);
+    assert_eq!(t.sacked, vec![(seg(1), seg(3)), (seg(4), seg(5))]);
+    assert_eq!(t.pipe(), 5 * MSS);
+    assert_eq!(t.next_send(8 * MSS), None, "pipe ≥ cwnd: hold");
+
+    dup(&mut t, &[(seg(4), seg(6))]);
+    assert_eq!(t.pipe(), 4 * MSS);
+    assert_eq!(t.next_send(8 * MSS), None, "still pipe-limited");
+
+    dup(&mut t, &[(seg(4), seg(7))]);
+    assert_eq!(t.pipe(), 3 * MSS);
+    assert_eq!(
+        t.next_send(8 * MSS),
+        Some((0, MSS)),
+        "first hole: segment 0"
+    );
+    t.note_sent(s, MSS, SimTime::ZERO, SimTime::from_us(500_000));
+    assert_eq!(t.stats.rexmits, 1);
+    assert_eq!(t.high_rxt, seg(1), "HighRxt past the resent hole");
+    assert_eq!(t.pipe(), 4 * MSS, "the resend counts into pipe");
+    assert_eq!(t.next_send(8 * MSS), None);
+
+    dup(&mut t, &[(seg(4), seg(8))]);
+    assert_eq!(t.pipe(), 3 * MSS);
+    assert_eq!(
+        t.next_send(8 * MSS),
+        Some((3 * MSS, MSS)),
+        "second hole: segment 3, in sequence order"
+    );
+    t.note_sent(seg(3), MSS, SimTime::ZERO, SimTime::from_us(500_000));
+    assert_eq!(t.stats.rexmits, 2);
+
+    // Segment 0 lands: partial ACK up to the second hole, scoreboard
+    // pruned, recovery continues.
+    ack_to(&mut t, seg(3));
+    assert!(t.in_recovery);
+    assert_eq!(t.sacked, vec![(seg(4), seg(8))]);
+
+    // Segment 3 lands: the full ACK ends the episode at ssthresh.
+    ack_to(&mut t, seg(8));
+    assert!(!t.in_recovery);
+    assert_eq!(t.cwnd, 4 * MSS);
+    assert_eq!(t.sacked, Vec::new(), "scoreboard drained");
+}
+
+#[test]
+fn ssthresh_halves_identically_but_cwnd_differs_rto_vs_fast_retransmit() {
+    // Both loss signals set ssthresh = max(flight/2, 2·MSS); they
+    // differ in where cwnd restarts. Fast retransmit (Reno): cwnd =
+    // ssthresh + 3·MSS. RTO (kernel timer arithmetic, asserted here
+    // against the same formula): cwnd = 1 MSS.
+    let mut t = tcb(CcVariant::Reno, 8);
+    send(&mut t, 8);
+    dup(&mut t, &[]);
+    dup(&mut t, &[]);
+    assert!(dup(&mut t, &[]).fast_retransmit);
+    assert_eq!(t.ssthresh, 4 * MSS);
+    assert_eq!(t.cwnd, 7 * MSS, "fast retransmit keeps half + 3 in flight");
+
+    // The RTO path (kernel.rs check_timers) applies the same ssthresh
+    // rule then collapses to one segment; on_rto clears the episode.
+    let mut t = tcb(CcVariant::Reno, 8);
+    send(&mut t, 8);
+    t.ssthresh = (t.flight_size() / 2).max(2 * t.mss);
+    t.cwnd = t.mss;
+    t.snd_nxt = t.snd_una;
+    t.on_rto();
+    assert_eq!(t.ssthresh, 4 * MSS, "same halving rule as fast retransmit");
+    assert_eq!(t.cwnd, MSS, "but slow-start restart from one segment");
+    assert!(!t.in_recovery);
+    assert_eq!(t.sacked, Vec::new());
+}

@@ -73,7 +73,7 @@ proptest! {
         let mut total_acked = 0usize;
         for a in acks {
             let ack = iss.wrapping_add(a % 70_000);
-            let out = tcb.process_ack(ack, 16384, SimTime::ZERO);
+            let out = tcb.process_ack(ack, 16384, true, &[], SimTime::ZERO);
             prop_assert!(tcpip::seq_ge(tcb.snd_una, prev), "snd_una went backwards");
             prop_assert!(tcpip::seq_le(tcb.snd_una, tcb.snd_max), "acked unsent data");
             total_acked += out.newly_acked;

@@ -17,7 +17,7 @@ use decstation::CostModel;
 use mbuf::Chain;
 use simkit::SimTime;
 use tcpip::config::tcp_mss;
-use tcpip::{CaptureDriver, Kernel, PcbKey, SockId, StackConfig};
+use tcpip::{CaptureDriver, CcVariant, Kernel, PcbKey, SockId, StackConfig};
 
 const MTU: usize = 9188;
 
@@ -277,6 +277,134 @@ fn app_write_during_rto_backoff_preserves_karn_state() {
         "backoff continues, not restarts"
     );
     assert_eq!(a.tcb(sa).rto(&cfg), floor * 8);
+}
+
+/// The 3rd-dup-ACK edge, parameterized over every armed variant: the
+/// counting rules are shared (a SACK-carrying pure ACK is still a
+/// dup; the 2nd dup must not fire; the 4th must not re-fire), while
+/// the recovery state entered differs per RFC. Driven through the
+/// kernel plumbing end to end — the receiver really emits the dups
+/// (and, under SACK, the blocks), and recovery really repairs the
+/// stream.
+#[test]
+fn armed_variants_fire_on_exactly_the_third_duplicate_ack() {
+    for cc in CcVariant::ALL {
+        let cfg = StackConfig {
+            cc,
+            initial_cwnd_segs: Some(8),
+            ..StackConfig::default()
+        };
+        let (mut a, mut b, sa, sb) = pair(cfg);
+        let mut da = CaptureDriver::new(MTU);
+        let mut db = CaptureDriver::new(MTU);
+        let mss = a.tcb(sa).mss;
+
+        // Four segments; the first is lost, the rest each force an
+        // immediate duplicate ACK out of the receiver.
+        let data: Vec<u8> = (0..4 * mss).map(|i| (i % 251) as u8).collect();
+        let mut t = SimTime::ZERO;
+        let _ = a.syscall_write(t, sa, &data, &mut da);
+        assert_eq!(da.packets.len(), 4, "{cc:?}: four MSS segments");
+        let pkts: Vec<_> = da.packets.drain(..).collect();
+        for p in &pkts[1..] {
+            t += SimTime::from_ms(1);
+            deliver(&mut b, &mut db, t, p);
+        }
+        let dups: Vec<_> = db.packets.drain(..).collect();
+        assert_eq!(dups.len(), 3, "{cc:?}: one dup per gap arrival");
+
+        // Dups 1 and 2: counted, never fired — SACK blocks included.
+        for (n, dupack) in dups.iter().take(2).enumerate() {
+            t += SimTime::from_ms(1);
+            deliver(&mut a, &mut da, t, dupack);
+            assert_eq!(a.tcb(sa).dupacks, n as u32 + 1, "{cc:?}");
+            assert_eq!(a.tcb(sa).stats.rexmits, 0, "{cc:?}: dup {} fired", n + 1);
+        }
+        if cc == CcVariant::Sack {
+            assert!(
+                !a.tcb(sa).sacked.is_empty(),
+                "the dups carried SACK blocks into the scoreboard"
+            );
+        }
+
+        // Dup 3: exactly one retransmission of the head, and the
+        // variant's recovery state.
+        t += SimTime::from_ms(1);
+        deliver(&mut a, &mut da, t, &dups[2]);
+        assert_eq!(a.tcb(sa).stats.rexmits, 1, "{cc:?}: third dup fires once");
+        assert_eq!(a.stats.rto_fires, 0, "{cc:?}: no timer involved");
+        assert!(!da.packets.is_empty(), "{cc:?}: the head was resent");
+        let flight = 4 * mss;
+        let ssthresh = (flight / 2).max(2 * mss);
+        assert_eq!(a.tcb(sa).ssthresh, ssthresh, "{cc:?}");
+        match cc {
+            CcVariant::Tahoe => {
+                assert_eq!(a.tcb(sa).cwnd, mss, "slow-start restart");
+                assert!(!a.tcb(sa).in_recovery);
+            }
+            CcVariant::Reno | CcVariant::NewReno => {
+                assert_eq!(a.tcb(sa).cwnd, ssthresh + 3 * mss, "inflated entry");
+                assert!(a.tcb(sa).in_recovery);
+            }
+            CcVariant::Sack => {
+                assert_eq!(a.tcb(sa).cwnd, ssthresh, "no +3 under SACK");
+                assert!(a.tcb(sa).in_recovery);
+            }
+        }
+        let resent: Vec<_> = da.packets.drain(..).collect();
+
+        // Dup 4 (replayed): counted, must not re-fire.
+        t += SimTime::from_ms(1);
+        deliver(&mut a, &mut da, t, &dups[2]);
+        assert_eq!(a.tcb(sa).dupacks, 4, "{cc:?}");
+        assert_eq!(a.tcb(sa).stats.rexmits, 1, "{cc:?}: dup 4 re-fired");
+        da.packets.clear(); // Reno inflation may release new data.
+
+        // Recovery repairs the stream; whatever the variant resent,
+        // the receiver ends with the exact bytes.
+        for p in &resent {
+            t += SimTime::from_ms(1);
+            deliver(&mut b, &mut db, t, p);
+        }
+        let mut acks = vec![force_ack(&mut b, &mut db, t)];
+        acks.append(&mut db.packets);
+        for ackp in &acks {
+            t += SimTime::from_ms(1);
+            deliver(&mut a, &mut da, t, ackp);
+        }
+        // Anything still unacknowledged (Tahoe's rewind leaves the
+        // tail to normal transmission) drains through the timer path.
+        for _ in 0..8 {
+            if a.tcb(sa).flight_size() == 0 && b.rcv_buffered(sb) == 4 * mss {
+                break;
+            }
+            let pkts: Vec<_> = da.packets.drain(..).collect();
+            for p in pkts {
+                t += SimTime::from_ms(1);
+                deliver(&mut b, &mut db, t, &p);
+            }
+            if b.rcv_buffered(sb) < 4 * mss || db.packets.is_empty() {
+                if let Some(dl) = b.next_deadline() {
+                    t = t.max(dl) + SimTime::from_us(1);
+                    let _ = b.check_timers(t, &mut db);
+                }
+            }
+            let pkts: Vec<_> = db.packets.drain(..).collect();
+            for p in pkts {
+                t += SimTime::from_ms(1);
+                deliver(&mut a, &mut da, t, &p);
+            }
+            if a.tcb(sa).flight_size() > 0 && da.packets.is_empty() {
+                if let Some(dl) = a.next_deadline() {
+                    t = t.max(dl) + SimTime::from_us(1);
+                    let _ = a.check_timers(t, &mut da);
+                }
+            }
+        }
+        assert_eq!(a.tcb(sa).dupacks, 0, "{cc:?}: new ACK reset the count");
+        let got = b.syscall_read(t, sb, 4 * mss, &mut db);
+        assert_eq!(got.data, data, "{cc:?}: payload intact through recovery");
+    }
 }
 
 #[test]

@@ -332,7 +332,7 @@ impl DcWorld {
             };
             hosts.push(DcHost {
                 kernel: Kernel::new(cfg, costs.clone()),
-                nic: DcNic::new(h, atm_nic),
+                nic: DcNic::new(h, atm_nic, topo.mtu),
                 conns: Vec::new(),
                 timer_at: None,
                 timer: None,
@@ -371,7 +371,7 @@ impl DcWorld {
             }
         }
 
-        let mss = tcp_mss(latency_core::nic::ATM_MTU, cfg.mss_one_cluster);
+        let mss = tcp_mss(topo.mtu, cfg.mss_one_cluster);
         for &c in &client_side {
             let background = c >= measured;
             for j in 0..topo.conns_of(c) {
@@ -542,8 +542,18 @@ pub struct DcRunResult {
     pub switch_forwarded: u64,
     /// Cells tail-dropped at full output queues.
     pub switch_drops: u64,
+    /// Cells discarded by Early Packet Discard (whole refused trains).
+    pub epd_drops: u64,
+    /// Cells discarded by Partial Packet Discard (train remainders).
+    pub ppd_drops: u64,
     /// Largest output-queue backlog (cells) seen on any port.
     pub max_backlog_cells: usize,
+    /// Segments retransmitted (RTO + fast), summed over every host.
+    pub rexmits: u64,
+    /// Retransmission timeouts fired, summed over every host — the
+    /// expensive recovery path the fast-recovery variants exist to
+    /// avoid.
+    pub rto_fires: u64,
     /// Mbufs still outstanding after world teardown, summed over every
     /// host pool — covers cancelled and hedged sub-requests too, whose
     /// connections must release their buffers like any other.
@@ -626,12 +636,17 @@ pub fn run_dc(topo: &Topology, sched: TrafficSchedule, seed: u64) -> DcRunResult
     }
     let clients = w.topo.clients;
     let (mut fwd, mut drops, mut backlog) = (0, 0, 0usize);
+    let (mut epd, mut ppd) = (0, 0);
     for p in 0..w.switch.ports() {
         let ps = w.switch.port_stats(p);
         fwd += ps.forwarded;
         drops += ps.queue_drops;
+        epd += ps.epd_drops;
+        ppd += ps.ppd_drops;
         backlog = backlog.max(ps.max_backlog_cells);
     }
+    let rexmits = w.hosts.iter().map(|h| h.kernel.rexmits_total()).sum();
+    let rto_fires = w.hosts.iter().map(|h| h.kernel.stats.rto_fires).sum();
     let mut result = DcRunResult {
         rtts,
         verify_failures,
@@ -644,7 +659,11 @@ pub fn run_dc(topo: &Topology, sched: TrafficSchedule, seed: u64) -> DcRunResult
         server_pcb: w.pcb_counters_where(|h| h >= clients && h < w.topo.measured_hosts()),
         switch_forwarded: fwd,
         switch_drops: drops,
+        epd_drops: epd,
+        ppd_drops: ppd,
         max_backlog_cells: backlog,
+        rexmits,
+        rto_fires,
         mbufs_leaked: 0,
         hedges_issued,
         hedges_won,
@@ -845,9 +864,9 @@ fn flush_dc(w: &mut DcWorld, s: &mut Scheduler<DcWorld>, h: usize) {
                                 (arrival, LinkFault::Clean(cell))
                             }
                         }
-                        SwitchOutcome::UnknownVc | SwitchOutcome::QueueFull => {
-                            (at, LinkFault::Lost)
-                        }
+                        SwitchOutcome::UnknownVc
+                        | SwitchOutcome::QueueFull
+                        | SwitchOutcome::Discarded => (at, LinkFault::Lost),
                     }
                 }
             };

@@ -43,17 +43,21 @@ pub struct DcNic {
     segs: HashMap<usize, Aal34Segmenter>,
     /// Staged trains for the world loop.
     pub staged: Vec<DcDelivery>,
+    /// The MTU advertised to the stack (MSS derives from it). The
+    /// topology sets it; 9188 is the plain ATM default.
+    mtu: usize,
 }
 
 impl DcNic {
     /// Builds the interface for host `host` over its uplink NIC.
     #[must_use]
-    pub fn new(host: usize, atm: AtmNic) -> Self {
+    pub fn new(host: usize, atm: AtmNic, mtu: usize) -> Self {
         DcNic {
             host,
             atm,
             segs: HashMap::new(),
             staged: Vec::new(),
+            mtu,
         }
     }
 
@@ -71,7 +75,7 @@ impl DcNic {
 
 impl TxDriver for DcNic {
     fn mtu(&self) -> usize {
-        latency_core::nic::ATM_MTU
+        self.mtu
     }
 
     /// The §2.2 TxDriver span, exactly as on the point-to-point path:
@@ -122,7 +126,7 @@ mod tests {
             0,
             7,
         );
-        DcNic::new(host, atm)
+        DcNic::new(host, atm, latency_core::nic::ATM_MTU)
     }
 
     #[test]

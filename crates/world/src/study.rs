@@ -22,9 +22,10 @@
 //! cell's base seed, silently correlating cells that must be
 //! independent.
 
+use atm::{DropPolicy, TrainMarking};
 use latency_core::hedge::{Mitigation, MitigationCost, MITIGATIONS};
 use simkit::SimTime;
-use tcpip::PcbCounters;
+use tcpip::{CcVariant, PcbCounters};
 
 use crate::dc::run_dc;
 use crate::topology::{
@@ -94,8 +95,16 @@ pub struct DcCellResult {
     pub switch_forwarded: u64,
     /// Switch tail drops, summed.
     pub switch_drops: u64,
+    /// Cells discarded by Early Packet Discard, summed.
+    pub epd_drops: u64,
+    /// Cells discarded by Partial Packet Discard, summed.
+    pub ppd_drops: u64,
     /// Largest output-queue backlog seen (max over reps).
     pub max_backlog_cells: usize,
+    /// Segments retransmitted (RTO + fast), summed over hosts and reps.
+    pub rexmits: u64,
+    /// Retransmission timeouts fired, summed over hosts and reps.
+    pub rto_fires: u64,
     /// Fan-out logical-request completions (max over each round's N
     /// sub-request RTTs, or the tail policy's K-th-fastest capped by
     /// the deadline), pooled across reps. Empty for incast cells.
@@ -203,7 +212,11 @@ fn run_one_cell(cell: &DcCell) -> DcCellResult {
     let mut server_pcb = PcbCounters::default();
     let mut switch_forwarded = 0;
     let mut switch_drops = 0;
+    let mut epd_drops = 0;
+    let mut ppd_drops = 0;
     let mut max_backlog_cells = 0;
+    let mut rexmits = 0;
+    let mut rto_fires = 0;
     let mut completions = Vec::new();
     let mut fanout_aborts = 0;
     let mut mbufs_leaked = 0;
@@ -224,7 +237,11 @@ fn run_one_cell(cell: &DcCell) -> DcCellResult {
         server_pcb.hash_probes += r.server_pcb.hash_probes;
         switch_forwarded += r.switch_forwarded;
         switch_drops += r.switch_drops;
+        epd_drops += r.epd_drops;
+        ppd_drops += r.ppd_drops;
         max_backlog_cells = max_backlog_cells.max(r.max_backlog_cells);
+        rexmits += r.rexmits;
+        rto_fires += r.rto_fires;
         completions.extend(r.completions);
         fanout_aborts += r.fanout_aborts;
         mbufs_leaked += r.mbufs_leaked;
@@ -248,7 +265,11 @@ fn run_one_cell(cell: &DcCell) -> DcCellResult {
         server_pcb,
         switch_forwarded,
         switch_drops,
+        epd_drops,
+        ppd_drops,
         max_backlog_cells,
+        rexmits,
+        rto_fires,
         completions,
         fanout_aborts,
         mbufs_leaked,
@@ -390,10 +411,64 @@ fn tails_grid_from(
 /// scenarios x churn {off, on}, sized so every un-aborted cell clears
 /// the p999 sample floor three times over (4 clients x 250 measured
 /// rounds x 3 reps = 3000 completions — a p99 estimate stable enough
-/// for the amplification ratio to be trusted).
+/// for the amplification ratio to be trusted), plus the `+reno`
+/// headline re-runs ([`arm_cold_reno`]).
 #[must_use]
 pub fn tails_grid() -> Vec<TailsCell> {
-    tails_grid_from(&[1, 4, 16, 64], 4, 250, 2, 3)
+    let mut cells = tails_grid_from(&[1, 4, 16, 64], 4, 250, 2, 3);
+    cells.extend(tails_reno_rerun());
+    cells
+}
+
+/// Arms the cc-study transport on a fan-out topology: cold-start Reno
+/// over the classical-IP MTU with 16 kB sub-requests, so the
+/// congestion window actually binds. The original tails/hedge worlds
+/// move 200-byte single-segment sub-requests — cwnd never constrains
+/// one segment, so arming a variant there changes nothing; the `+reno`
+/// re-runs swap in the transport configuration of the cc study and
+/// keep everything else (faults, scope, schedule) from the headline
+/// cell.
+fn arm_cold_reno(topo: &mut Topology) {
+    topo.mtu = 1500;
+    topo.rpc_size = 16_000;
+    topo.stack.cc = CcVariant::Reno;
+    topo.stack.initial_cwnd_segs = Some(2);
+}
+
+/// The `+reno` re-runs of the tails headline cells: every scenario at
+/// fan-out {1, 16}, churn off, under [`arm_cold_reno`]. Width 1 rides
+/// along as the in-family amplification baseline — `amplify` groups by
+/// the scenario label, so `burst-loss+reno/f16` is priced against
+/// `burst-loss+reno/f1`, not against the warm-stack cells. Shallower
+/// than the base family (60 rounds, one rep): the column of interest
+/// is the p99 shift under cwnd dynamics, not a p999 floor.
+fn tails_reno_rerun() -> Vec<TailsCell> {
+    let mut cells = Vec::new();
+    for sc in latency_core::tails::scenarios() {
+        for &w in &[1usize, 16] {
+            let mut topo = Topology::fanout(4, w);
+            topo.iterations = 60;
+            topo.warmup = 2;
+            if !sc.faults.is_clean() {
+                topo.faults = Some(sc.faults);
+                topo.fault_scope = FaultScope::ServersOnly;
+            }
+            arm_cold_reno(&mut topo);
+            let key = format!("tails/{}+reno/f{w}/solo/i60r1", sc.name);
+            cells.push(TailsCell {
+                cell: DcCell {
+                    key,
+                    topo,
+                    sched: TrafficSchedule::staggered(),
+                    reps: 1,
+                },
+                scenario: format!("{}+reno", sc.name),
+                width: w,
+                churn: false,
+            });
+        }
+    }
+    cells
 }
 
 /// The `--quick` grid (CI + golden): fan-out {1, 4, 16} x all four
@@ -600,10 +675,48 @@ fn hedge_grid_from(
 /// The full `repro hedge` grid: all four scenarios x all five
 /// mitigations at fan-out 16, sized to clear the p999 sample floor
 /// (4 clients x 150 measured rounds x 2 reps = 1200 completions per
-/// cell).
+/// cell), plus the `+reno` headline re-runs ([`arm_cold_reno`]).
 #[must_use]
 pub fn hedge_grid() -> Vec<HedgeCell> {
-    hedge_grid_from(16, 4, 150, 2, 2)
+    let mut cells = hedge_grid_from(16, 4, 150, 2, 2);
+    cells.extend(hedge_reno_rerun());
+    cells
+}
+
+/// The `+reno` re-runs of the hedge headline cells: every scenario at
+/// fan-out 16 under the baseline and the retry mitigation, with
+/// [`arm_cold_reno`] dynamics. The pairing targets the retry-storm
+/// column: `retries_issued` and `amp_p99` (priced against the
+/// in-family `+reno`/`none` baseline) show how slow-start restarts
+/// after loss stretch sub-request completions into the retry window.
+fn hedge_reno_rerun() -> Vec<HedgeCell> {
+    let mut cells = Vec::new();
+    for sc in latency_core::hedge::scenarios() {
+        for m in [Mitigation::None, Mitigation::Retry] {
+            let mut topo = Topology::fanout(4, 16);
+            topo.iterations = 60;
+            topo.warmup = 2;
+            if !sc.faults.is_clean() {
+                topo.faults = Some(sc.faults);
+                topo.fault_scope = FaultScope::ServersOnly;
+            }
+            topo.tail = mitigation_policy(m, 16);
+            arm_cold_reno(&mut topo);
+            let key = format!("hedge/{}+reno/{}/f16/i60r1", sc.name, m.tag());
+            cells.push(HedgeCell {
+                cell: DcCell {
+                    key,
+                    topo,
+                    sched: TrafficSchedule::staggered(),
+                    reps: 1,
+                },
+                scenario: format!("{}+reno", sc.name),
+                mitigation: m,
+                width: 16,
+            });
+        }
+    }
+    cells
 }
 
 /// The `--quick` grid (CI + golden): the same 4 x 5 cells at 2
@@ -724,6 +837,271 @@ pub fn hedge_canonical_json(name: &str, cells: &[HedgeCell], results: &[DcCellRe
     out
 }
 
+/// One `repro cc` cell: an incast world under one congestion-control
+/// variant, one cell-drop policy, and one switch buffer size.
+pub struct CcCell {
+    /// The underlying world cell (key, topology, schedule, reps).
+    pub cell: DcCell,
+    /// The sender-side congestion-control variant.
+    pub variant: CcVariant,
+    /// The switch's UBR cell-drop policy.
+    pub policy: DropPolicy,
+    /// The switch's output-queue capacity in cells.
+    pub queue_cells: usize,
+}
+
+/// The drop policies the cc study sweeps for a given buffer size.
+///
+/// The EPD threshold sits at half the queue: early refusal needs
+/// headroom below capacity to be "early" at all, and half is the
+/// classic rule of thumb — deep enough to admit a committed train's
+/// tail, shallow enough to refuse new trains before tail drop starts.
+#[must_use]
+pub fn cc_policies(queue_cells: usize) -> [DropPolicy; 3] {
+    [
+        DropPolicy::Tail,
+        DropPolicy::Epd {
+            threshold_cells: (queue_cells / 2).max(1),
+        },
+        DropPolicy::Ppd,
+    ]
+}
+
+/// Builds the cc grid: every variant x every drop policy x every
+/// buffer size, over a 4-client incast into one server port.
+///
+/// The worlds start **cold** (`initial_cwnd_segs = Some(2)`) so slow
+/// start, loss recovery and the variant differences are actually on
+/// the wire, and the switch reads AAL3/4 SAR segment types for train
+/// boundaries — the adaptation layer the world's NICs run.
+fn cc_grid_from(buffers: &[usize], rpc_size: usize, iterations: u64, warmup: u64) -> Vec<CcCell> {
+    let mut cells = Vec::new();
+    for variant in CcVariant::ALL {
+        for &q in buffers {
+            for policy in cc_policies(q) {
+                let mut topo = Topology::incast(4, 4, 1);
+                topo.rpc_size = rpc_size;
+                topo.iterations = iterations;
+                topo.warmup = warmup;
+                // Classical-IP LIS MTU: MSS 1460 instead of the ATM
+                // 9188. A 16 kB RPC is then ~11 segments, so a loss
+                // leaves enough trailing segments to generate the dup
+                // ACKs fast retransmit needs — with page-sized
+                // segments every window fits in 4 and all recovery
+                // collapses into RTOs, erasing the variant contrast.
+                topo.mtu = 1500;
+                topo.stack.cc = variant;
+                topo.stack.initial_cwnd_segs = Some(2);
+                topo.switch.queue_cells = q;
+                topo.switch.drop_policy = policy;
+                topo.switch.marking = TrainMarking::Aal34SegType;
+                let key = format!(
+                    "cc/{}/{}/q{}/i{}r1",
+                    variant.name(),
+                    policy.name(),
+                    q,
+                    iterations,
+                );
+                cells.push(CcCell {
+                    cell: DcCell {
+                        key,
+                        topo,
+                        sched: TrafficSchedule::staggered(),
+                        reps: 1,
+                    },
+                    variant,
+                    policy,
+                    queue_cells: q,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// The full `repro cc` grid: 4 variants x 3 policies x buffers
+/// {128, 256, 512, 1024} cells, 16 kB RPCs, 3 measured rounds.
+///
+/// 128 cells is barely more than one 16 kB request's worth of AAL3/4
+/// cells, so a 4-way incast overruns it hard; 1024 gives the fabric
+/// real room. The cc worlds are loss-deterministic (overflow, not a
+/// fault process), so the full grid widens along the *buffer* axis
+/// rather than re-running the same cell under more seeds or deeper
+/// into steady-state congestion, where every variant collapses into
+/// back-to-back RTO towers and the contrast washes out.
+#[must_use]
+pub fn cc_grid() -> Vec<CcCell> {
+    cc_grid_from(&[128, 256, 512, 1024], 16_000, 3, 1)
+}
+
+/// The `--quick` grid (CI + golden): the {128, 512} buffer subset,
+/// 24 cells.
+#[must_use]
+pub fn cc_quick_grid() -> Vec<CcCell> {
+    cc_grid_from(&[128, 512], 16_000, 3, 1)
+}
+
+/// Runs a cc grid; same ordered pool as [`run_dc_cells`], so the
+/// report is byte-identical at any `--jobs` value.
+#[must_use]
+pub fn run_cc_cells(cells: &[CcCell], jobs: usize) -> Vec<DcCellResult> {
+    sweep::pool::run_ordered(cells, jobs, |_, cc| run_one_cell(&cc.cell))
+}
+
+/// One reduced cc-study row: goodput, recovery-latency percentiles,
+/// and the loss ledger for one (variant, policy, buffer) cell.
+pub struct CcRow {
+    /// Congestion-control variant name.
+    pub variant: &'static str,
+    /// Drop-policy name.
+    pub policy: &'static str,
+    /// Switch queue capacity in cells.
+    pub queue_cells: usize,
+    /// Measured RPC round-trips.
+    pub samples: usize,
+    /// Per-flow application goodput in Mbit/s over the measured RPCs:
+    /// one round trip's request+echo payload bits over the mean round
+    /// trip. Recovery stalls (RTO towers especially) land in the mean,
+    /// so wasted windows show up here even though the final simulated
+    /// time — which also spans warmup and trailing timer drain — does
+    /// not enter the figure.
+    pub goodput_mbps: f64,
+    /// Median RPC round-trip in µs.
+    pub p50_us: f64,
+    /// 99th-percentile RPC round-trip in µs — recovery latency lives
+    /// in this tail: a round trip is slow exactly when its segments
+    /// needed retransmission.
+    pub p99_us: f64,
+    /// Worst RPC round-trip in µs.
+    pub max_us: f64,
+    /// Segments retransmitted (RTO + fast), all hosts.
+    pub rexmits: u64,
+    /// Retransmission timeouts fired, all hosts.
+    pub rto_fires: u64,
+    /// Cells tail-dropped at full queues.
+    pub queue_drops: u64,
+    /// Cells refused whole by EPD.
+    pub epd_drops: u64,
+    /// Train remainders discarded by PPD.
+    pub ppd_drops: u64,
+    /// Connections aborted at the retransmit limit.
+    pub aborted_conns: u64,
+}
+
+/// Reduces cc grid results to table rows.
+///
+/// # Panics
+///
+/// Panics if `cells` and `results` disagree in length.
+#[must_use]
+pub fn cc_rows(cells: &[CcCell], results: &[DcCellResult]) -> Vec<CcRow> {
+    assert_eq!(
+        cells.len(),
+        results.len(),
+        "rows require one result per cell"
+    );
+    cells
+        .iter()
+        .zip(results)
+        .map(|(cc, r)| {
+            let (dist, _) = latency_core::recovery::rtt_dist_counted(&r.rtts);
+            let us = |ns: i64| ns as f64 / 1_000.0;
+            let rpc_bits = (cc.cell.topo.rpc_size * 2 * 8) as f64;
+            let mean_us = latency_core::stats::mean_us(&r.rtts);
+            let goodput_mbps = if mean_us > 0.0 {
+                rpc_bits / mean_us
+            } else {
+                0.0
+            };
+            CcRow {
+                variant: cc.variant.name(),
+                policy: cc.policy.name(),
+                queue_cells: cc.queue_cells,
+                samples: r.rtts.len(),
+                goodput_mbps,
+                p50_us: us(dist.percentile_ns(50.0)),
+                p99_us: us(dist.percentile_ns(99.0)),
+                max_us: us(dist.max_ns()),
+                rexmits: r.rexmits,
+                rto_fires: r.rto_fires,
+                queue_drops: r.switch_drops,
+                epd_drops: r.epd_drops,
+                ppd_drops: r.ppd_drops,
+                aborted_conns: r.aborted_conns,
+            }
+        })
+        .collect()
+}
+
+/// The deterministic cc report: the `sweep.json` cell schema over RPC
+/// round-trip samples, plus the goodput, percentile, retransmission
+/// and drop-ledger fields appended after `verify_failures`.
+#[must_use]
+pub fn cc_canonical_json(name: &str, cells: &[CcCell], results: &[DcCellResult]) -> String {
+    use std::fmt::Write as _;
+    use sweep::report::{json_num, json_string};
+    let rows = cc_rows(cells, results);
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"name\": {},", json_string(name));
+    out.push_str("  \"cells\": {");
+    let mut first = true;
+    for (c, row) in results.iter().zip(&rows) {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\n    {}: {{ ", json_string(&c.key));
+        let _ = write!(out, "\"seed\": {}, ", c.seed);
+        let _ = write!(out, "\"reps\": {}, ", c.reps);
+        let _ = write!(out, "\"samples\": {}, ", c.rtts.len());
+        let _ = write!(
+            out,
+            "\"mean_us\": {}, ",
+            json_num(latency_core::stats::mean_us(&c.rtts))
+        );
+        let _ = write!(
+            out,
+            "\"stddev_us\": {}, ",
+            json_num(latency_core::stats::stddev_us(&c.rtts))
+        );
+        let _ = write!(
+            out,
+            "\"min_us\": {}, ",
+            json_num(latency_core::stats::min_us(&c.rtts))
+        );
+        let _ = write!(
+            out,
+            "\"max_us\": {}, ",
+            json_num(latency_core::stats::max_us(&c.rtts))
+        );
+        let _ = write!(out, "\"events\": {}, ", c.events);
+        let _ = write!(
+            out,
+            "\"sim_time_us\": {}, ",
+            json_num(c.sim_time.as_us_f64())
+        );
+        let _ = write!(out, "\"verify_failures\": {}, ", c.verify_failures);
+        let _ = write!(out, "\"goodput_mbps\": {}, ", json_num(row.goodput_mbps));
+        let _ = write!(out, "\"p50_us\": {}, ", json_num(row.p50_us));
+        let _ = write!(out, "\"p99_us\": {}, ", json_num(row.p99_us));
+        let _ = write!(out, "\"rexmits\": {}, ", row.rexmits);
+        let _ = write!(out, "\"rto_fires\": {}, ", row.rto_fires);
+        let _ = write!(out, "\"queue_drops\": {}, ", row.queue_drops);
+        let _ = write!(out, "\"epd_drops\": {}, ", row.epd_drops);
+        let _ = write!(out, "\"ppd_drops\": {}, ", row.ppd_drops);
+        let _ = write!(out, "\"aborted_conns\": {}, ", row.aborted_conns);
+        let _ = write!(out, "\"mbufs_leaked\": {} }}", c.mbufs_leaked);
+    }
+    if results.is_empty() {
+        out.push('}');
+    } else {
+        out.push_str("\n  }");
+    }
+    out.push_str("\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -816,8 +1194,30 @@ mod tests {
             }
         }
         let full = tails_grid();
-        assert_eq!(full.len(), 32);
+        // 32 warm-stack cells + 8 `+reno` re-runs (4 scenarios x
+        // widths {1, 16}).
+        assert_eq!(full.len(), 40);
         assert!(full.iter().any(|c| c.width == 64));
+        let reno: Vec<_> = full
+            .iter()
+            .filter(|c| c.scenario.ends_with("+reno"))
+            .collect();
+        assert_eq!(reno.len(), 8);
+        for c in &reno {
+            // The re-runs arm the cc-study transport; width 1 rides
+            // along as the in-family amplification baseline.
+            assert_eq!(c.cell.topo.stack.cc, CcVariant::Reno);
+            assert_eq!(c.cell.topo.stack.initial_cwnd_segs, Some(2));
+            assert_eq!(c.cell.topo.mtu, 1500);
+            assert_eq!(c.cell.topo.rpc_size, 16_000);
+            assert!(c.width == 1 || c.width == 16);
+        }
+        // Warm-stack cells stay warm: the re-runs must not leak cc
+        // arming into the headline family (goldens depend on it).
+        assert!(full
+            .iter()
+            .filter(|c| !c.scenario.ends_with("+reno"))
+            .all(|c| c.cell.topo.stack.initial_cwnd_segs.is_none()));
     }
 
     #[test]
@@ -851,11 +1251,25 @@ mod tests {
         assert!(g.iter().any(|c| c.scenario == "host-pause"));
         assert!(g.iter().any(|c| c.scenario == "link-flap"));
         let full = hedge_grid();
-        assert_eq!(full.len(), 20);
-        // Full cells clear the p999 floor: 4 clients x 150 x 2 reps.
+        // 20 warm-stack cells + 8 `+reno` re-runs (4 scenarios x
+        // {none, retry}).
+        assert_eq!(full.len(), 28);
+        // Warm full cells clear the p999 floor: 4 clients x 150 x 2
+        // reps. The `+reno` contrast family is shallower by design.
         assert!(full
             .iter()
+            .filter(|c| !c.scenario.ends_with("+reno"))
             .all(|c| c.cell.topo.clients as u64 * c.cell.topo.iterations * c.cell.reps >= 1000));
+        let reno: Vec<_> = full
+            .iter()
+            .filter(|c| c.scenario.ends_with("+reno"))
+            .collect();
+        assert_eq!(reno.len(), 8);
+        for c in &reno {
+            assert_eq!(c.cell.topo.stack.cc, CcVariant::Reno);
+            assert_eq!(c.cell.topo.stack.initial_cwnd_segs, Some(2));
+            assert!(matches!(c.mitigation, Mitigation::None | Mitigation::Retry));
+        }
     }
 
     #[test]
@@ -888,6 +1302,62 @@ mod tests {
         // Cancelled/hedged teardown must leak nothing.
         assert!(a.contains("\"mbufs_leaked\": 0"), "{a}");
         assert!(!a.contains("\"mbufs_leaked\": 1"), "{a}");
+    }
+
+    #[test]
+    fn cc_quick_grid_covers_all_axes() {
+        let g = cc_quick_grid();
+        // 4 variants x 3 policies x 2 buffer sizes.
+        assert_eq!(g.len(), 24);
+        for (i, a) in g.iter().enumerate() {
+            for b in &g[i + 1..] {
+                assert_ne!(a.cell.key, b.cell.key);
+            }
+        }
+        for c in &g {
+            // Cold start and SAR-aware marking on every cell: the
+            // study is meaningless without either.
+            assert_eq!(c.cell.topo.stack.initial_cwnd_segs, Some(2));
+            assert_eq!(c.cell.topo.stack.cc, c.variant);
+            assert_eq!(c.cell.topo.switch.drop_policy, c.policy);
+            assert_eq!(c.cell.topo.switch.queue_cells, c.queue_cells);
+            assert_eq!(c.cell.topo.switch.marking, TrainMarking::Aal34SegType);
+            assert_eq!(c.cell.reps, 1);
+        }
+        assert!(g.iter().any(|c| c.variant == CcVariant::Sack
+            && c.policy == DropPolicy::Ppd
+            && c.queue_cells == 128));
+        // EPD thresholds sit at half the queue.
+        assert!(g.iter().any(|c| c.policy
+            == DropPolicy::Epd {
+                threshold_cells: 64
+            }
+            && c.queue_cells == 128));
+        let full = cc_grid();
+        // Full widens along the buffer axis; same rounds per cell.
+        assert_eq!(full.len(), 48);
+        assert!(full.iter().all(|c| c.cell.topo.iterations == 3));
+        assert!(full.iter().any(|c| c.queue_cells == 1024));
+    }
+
+    #[test]
+    fn cc_report_is_byte_identical_across_jobs() {
+        // One variant pair on the small buffer keeps this fast; the
+        // full quick grid runs in the CI determinism diff.
+        let cells: Vec<CcCell> = cc_quick_grid()
+            .into_iter()
+            .filter(|c| {
+                c.queue_cells == 128
+                    && c.variant == CcVariant::NewReno
+                    && c.policy != DropPolicy::Ppd
+            })
+            .collect();
+        assert_eq!(cells.len(), 2);
+        let a = cc_canonical_json("cc_tiny", &cells, &run_cc_cells(&cells, 1));
+        let b = cc_canonical_json("cc_tiny", &cells, &run_cc_cells(&cells, 4));
+        assert_eq!(a, b);
+        assert!(a.contains("\"goodput_mbps\": "));
+        assert!(a.contains("\"mbufs_leaked\": 0"), "{a}");
     }
 
     #[test]

@@ -287,6 +287,11 @@ pub struct Topology {
     pub switch: SwitchConfig,
     /// Base stack configuration; [`PcbStrategy::apply`] runs on top.
     pub stack: StackConfig,
+    /// Interface MTU every host's NIC advertises (MSS derives from it
+    /// BSD-style). The default is the ATM MTU of 9188; the cc study
+    /// drops it to 1500 — the classical-IP-over-ATM LIS configuration
+    /// — so windows hold enough segments for dup-ACK-driven recovery.
+    pub mtu: usize,
     /// Optional fault schedule armed on every host's uplink.
     pub faults: Option<faultkit::FaultSchedule>,
     /// Hosts the fault schedule is armed on.
@@ -323,6 +328,7 @@ impl Topology {
             delay_step: SimTime::from_ns(10),
             switch: SwitchConfig::default(),
             stack: StackConfig::default(),
+            mtu: latency_core::nic::ATM_MTU,
             faults: None,
             fault_scope: FaultScope::AllHosts,
             fanout_width: 0,
@@ -351,6 +357,7 @@ impl Topology {
             delay_step: SimTime::from_ns(10),
             switch: SwitchConfig::default(),
             stack: StackConfig::default(),
+            mtu: latency_core::nic::ATM_MTU,
             faults: None,
             fault_scope: FaultScope::AllHosts,
             fanout_width: width,
