@@ -8,7 +8,7 @@
 //!       [dc] [tails] [hedge] [cc]
 //!       [verify [--bless] [--dump-live] [--golden-dir DIR]] [invariants] [bench]
 //!       [--iterations N] [--reps N] [--jobs N] [--seed N] [--json FILE]
-//!       [--sweep-json FILE] [--out-dir DIR] [--full] [--quick]
+//!       [--sweep-json FILE] [--out-dir DIR] [--full] [--quick] [--sketch]
 //! ```
 //!
 //! The second group are extension experiments beyond the paper's
@@ -43,6 +43,7 @@ mod report;
 use latency_core::experiment::{Experiment, NetKind};
 use latency_core::{faults, micro, paper, tables};
 use report::Report;
+use simcap::Quantiles as _;
 use sweep::grid::Variant;
 use sweep::{Sweep, SweepResults};
 
@@ -67,6 +68,10 @@ struct Opts {
     /// JSON under `--out-dir`, for byte-level comparison in tests/CI.
     dump_live: bool,
     golden_dir: String,
+    /// Record study completions in mergeable-sketch mode instead of
+    /// exact pooled samples; under `bench`, also run the
+    /// million-sample sketch benchmark and gate on it.
+    sketch: bool,
 }
 
 fn parse_args() -> Opts {
@@ -82,6 +87,7 @@ fn parse_args() -> Opts {
     let mut bless = false;
     let mut dump_live = false;
     let mut golden_dir = String::from("tests/golden");
+    let mut sketch = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -107,6 +113,7 @@ fn parse_args() -> Opts {
             "--bless" => bless = true,
             "--dump-live" => dump_live = true,
             "--golden-dir" => golden_dir = args.next().expect("--golden-dir DIR"),
+            "--sketch" => sketch = true,
             "--full" => {
                 iterations = 40_000;
                 reps = 3;
@@ -137,6 +144,16 @@ fn parse_args() -> Opts {
         bless,
         dump_live,
         golden_dir,
+        sketch,
+    }
+}
+
+/// The observation mode the study subcommands run under.
+fn obs_mode(opts: &Opts) -> latency_core::ObsMode {
+    if opts.sketch {
+        latency_core::ObsMode::Sketch
+    } else {
+        latency_core::ObsMode::Exact
     }
 }
 
@@ -1007,6 +1024,8 @@ fn golden_scale(opts: &Opts) -> Opts {
         bless: opts.bless,
         dump_live: opts.dump_live,
         golden_dir: opts.golden_dir.clone(),
+        // Goldens are blessed in exact mode; verify never sketches.
+        sketch: false,
     }
 }
 
@@ -1518,6 +1537,14 @@ fn cmd_bench(opts: &Opts) -> i32 {
         }
     }
 
+    let sketch = if opts.sketch {
+        let samples = if opts.quick { 100_000 } else { 1_000_000 };
+        eprintln!("bench: sketch-mode observability ({samples} samples, 16 shards)...");
+        Some(perfkit::sketch_bench(samples, 16, opts.seed))
+    } else {
+        None
+    };
+
     let report = perfkit::BenchReport {
         series: perfkit::BENCH_SERIES,
         quick: opts.quick,
@@ -1525,6 +1552,7 @@ fn cmd_bench(opts: &Opts) -> i32 {
         engine,
         rtt,
         sweeps,
+        sketch,
     };
     println!(
         "bench: engine          {:>12.0} events/s (heap baseline)",
@@ -1556,6 +1584,21 @@ fn cmd_bench(opts: &Opts) -> i32 {
             b.events_per_sec()
         );
     }
+    if let Some(sk) = &report.sketch {
+        println!(
+            "bench: sketch {:>7} samples {:>12.0} samples/s  {:>7} B retained",
+            sk.samples,
+            sk.samples_per_sec(),
+            sk.memory_bytes
+        );
+        println!(
+            "bench: sketch p99 {} ns vs exact {} ns ({:.3}% drift), jobs 1==4: {}",
+            sk.sketch_p99_ns,
+            sk.exact_p99_ns,
+            sk.p99_drift() * 100.0,
+            sk.jobs_byte_identical
+        );
+    }
     let file = opts
         .json
         .clone()
@@ -1569,6 +1612,36 @@ fn cmd_bench(opts: &Opts) -> i32 {
             report.engine.speedup()
         );
         return 1;
+    }
+    // The --sketch gates: bounded memory, bounded p99 drift, and
+    // worker-count independence — the three claims DESIGN.md §2.19
+    // makes for sketch-mode observability.
+    if let Some(sk) = &report.sketch {
+        let mut bad = false;
+        // MAX_MEMORY_BYTES bounds the bucket arrays; the recorder adds
+        // fixed-size struct overhead on top, so allow a small slack.
+        let ceiling = simcap::MAX_MEMORY_BYTES + 1024;
+        if sk.memory_bytes > ceiling {
+            eprintln!(
+                "bench: FAIL: sketch retained {} B, over the {} B ceiling",
+                sk.memory_bytes, ceiling
+            );
+            bad = true;
+        }
+        if sk.p99_drift() >= 0.01 {
+            eprintln!(
+                "bench: FAIL: sketch p99 drift {:.4} exceeds the 1% gate",
+                sk.p99_drift()
+            );
+            bad = true;
+        }
+        if !sk.jobs_byte_identical {
+            eprintln!("bench: FAIL: sketch merge differs between --jobs 1 and --jobs 4");
+            bad = true;
+        }
+        if bad {
+            return 1;
+        }
     }
     0
 }
@@ -1595,22 +1668,21 @@ fn cmd_dc(opts: &Opts) -> i32 {
         cells.len(),
         opts.jobs
     );
-    let results = world::run_dc_cells(&cells, opts.jobs);
+    let results = world::run_dc_cells_with(&cells, opts.jobs, obs_mode(opts));
     let mut code = 0;
     println!(
         "{:<28} {:>7} {:>9} {:>9} {:>9} {:>7} {:>6} {:>6} {:>8}",
         "cell", "samples", "mean_us", "p50_us", "p99_us", "search", "hit%", "drops", "backlog"
     );
     for r in &results {
-        let dist =
-            simcap::LatencyDist::from_samples(r.rtts.iter().map(|t| t.as_ns() as i64).collect());
+        let rec = r.rtts.recorder();
         println!(
             "{:<28} {:>7} {:>9.1} {:>9.1} {:>9.1} {:>7.2} {:>6.1} {:>6} {:>8}",
             r.key.trim_start_matches("dc/"),
             r.rtts.len(),
-            dist.mean_us(),
-            dist.percentile_ns(50.0) as f64 / 1_000.0,
-            dist.p99_ns() as f64 / 1_000.0,
+            rec.mean_us(),
+            rec.percentile_ns(50.0).unwrap_or(0) as f64 / 1_000.0,
+            rec.p99_ns().unwrap_or(0) as f64 / 1_000.0,
             r.search_len(),
             r.cache_hit_rate() * 100.0,
             r.switch_drops,
@@ -1702,7 +1774,7 @@ fn cmd_tails(opts: &Opts) -> i32 {
         cells.len(),
         opts.jobs
     );
-    let results = world::run_tails_cells(&cells, opts.jobs);
+    let results = world::run_tails_cells_with(&cells, opts.jobs, obs_mode(opts));
     let rows = world::tails_rows(&cells, &results);
     print!("{}", latency_core::tails::format_table(&rows));
     let mut code = 0;
@@ -1760,7 +1832,7 @@ fn cmd_hedge(opts: &Opts) -> i32 {
         cells.len(),
         opts.jobs
     );
-    let results = world::run_hedge_cells(&cells, opts.jobs);
+    let results = world::run_hedge_cells_with(&cells, opts.jobs, obs_mode(opts));
     let rows = world::hedge_rows(&cells, &results);
     print!("{}", latency_core::hedge::format_table(&rows));
     let mut code = 0;
@@ -1820,7 +1892,7 @@ fn cmd_cc(opts: &Opts) -> i32 {
         cells.len(),
         opts.jobs
     );
-    let results = world::run_cc_cells(&cells, opts.jobs);
+    let results = world::run_cc_cells_with(&cells, opts.jobs, obs_mode(opts));
     let rows = world::cc_rows(&cells, &results);
     println!(
         "{:<8} {:<5} {:>5} {:>7} {:>8} {:>9} {:>9} {:>10} {:>7} {:>4} {:>6} {:>6} {:>6}",

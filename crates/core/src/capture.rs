@@ -39,14 +39,23 @@ pub struct HostCapture {
     pub frames: Vec<CapturedFrame>,
     /// Whether the medium was Ethernet (selects pcap link types).
     pub ether: bool,
+    /// Flight-recorder snapshots frozen by triggers (RTO, abort,
+    /// deadline, invariant) during the run. Empty outside flight
+    /// mode (see [`CapturePlan::flight`]).
+    pub snapshots: Vec<simcap::TriggerSnapshot>,
 }
 
 impl HostCapture {
     fn drain(host: &mut Host, ether: bool) -> Self {
+        let snapshots = host.kernel.taps.take_snapshots();
         let mut frames = host.kernel.taps.take();
         frames.extend(host.nic.take_taps());
         frames.sort_by_key(|f| f.at);
-        HostCapture { frames, ether }
+        HostCapture {
+            frames,
+            ether,
+            snapshots,
+        }
     }
 
     /// Frames observed at one tap point, in timestamp order.
@@ -129,6 +138,8 @@ impl<'a> crate::experiment::RunPlan<'a> {
         CapturePlan {
             exp: self.exp,
             seed: self.seed,
+            obs: self.obs,
+            flight: None,
             observers: self.observers,
         }
     }
@@ -139,10 +150,39 @@ impl<'a> crate::experiment::RunPlan<'a> {
 pub struct CapturePlan<'a> {
     exp: &'a Experiment,
     seed: u64,
+    obs: crate::obs::ObsMode,
+    flight: Option<usize>,
     observers: Vec<simkit::ObserverFn<crate::world::World>>,
 }
 
 impl CapturePlan<'_> {
+    /// Switches the kernel taps to flight-recorder mode: only the
+    /// last `last_k` frames per tap point are retained, and a trigger
+    /// (RTO, connection abort, missed deadline, invariant violation)
+    /// freezes the window into a pcapng-ready
+    /// [`simcap::TriggerSnapshot`] on [`HostCapture::snapshots`].
+    /// Full captures stay the default; flight mode is for long runs
+    /// where retaining everything would swamp memory but the frames
+    /// *around an anomaly* are exactly what a postmortem needs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `last_k` is zero.
+    #[must_use]
+    pub fn flight(mut self, last_k: usize) -> Self {
+        assert!(last_k >= 1, "a flight window needs at least one frame");
+        self.flight = Some(last_k);
+        self
+    }
+
+    /// Sets the observability mode for the result's RTT samples (see
+    /// [`RunPlan::observe`](crate::experiment::RunPlan::observe)).
+    #[must_use]
+    pub fn observe(mut self, mode: crate::obs::ObsMode) -> Self {
+        self.obs = mode;
+        self
+    }
+
     /// Arms a read-only per-event observer (see
     /// [`RunPlan::observer`](crate::experiment::RunPlan::observer)).
     #[must_use]
@@ -162,9 +202,13 @@ impl CapturePlan<'_> {
     #[must_use]
     pub fn execute(self) -> CaptureRun {
         let shared = crate::experiment::share_observers(self.observers);
-        let (result, mut w) =
-            self.exp
-                .run_sim_with(self.seed, true, crate::experiment::fan_out(&shared));
+        let (mut result, mut w) = self.exp.run_sim_with(
+            self.seed,
+            true,
+            self.flight,
+            crate::experiment::fan_out(&shared),
+        );
+        result.obs = self.obs;
         let ether = self.exp.net == NetKind::Ether;
         let client_spans = w.hosts[0].kernel.spans.clone();
         let client = HostCapture::drain(&mut w.hosts[0], ether);
@@ -583,7 +627,11 @@ mod tests {
                 "hop `{}` should match one data segment per iteration",
                 row.label
             );
-            assert!(row.report.dist.min_ns() >= 0, "hop `{}`", row.label);
+            assert!(
+                row.report.dist.min_ns().is_some_and(|m| m >= 0),
+                "hop `{}`",
+                row.label
+            );
         }
     }
 

@@ -220,6 +220,7 @@ impl Experiment {
             exp: self,
             seed: 1,
             reps: 1,
+            obs: crate::obs::ObsMode::Exact,
             observers: Vec::new(),
         }
     }
@@ -228,10 +229,12 @@ impl Experiment {
         &self,
         seed: u64,
         capture: bool,
+        flight: Option<usize>,
         obs: Option<simkit::ObserverFn<World>>,
     ) -> (RunResult, World) {
         let mut world = self.build_world(seed);
         world.capture = capture;
+        world.flight_k = flight;
         let sim = match obs {
             Some(obs) => crate::world::run_world_observed(world, obs),
             None => run_world(world),
@@ -244,6 +247,7 @@ impl Experiment {
         let (tx, rx, breakdown_iters) = compute_breakdowns(&client.kernel.spans);
         let (client_nic_stats, server_nic_stats) = (nic_stats(&client.nic), nic_stats(&server.nic));
         let result = RunResult {
+            obs: crate::obs::ObsMode::Exact,
             rtts: client.app.stats.rtts.clone(),
             tx,
             rx,
@@ -321,6 +325,7 @@ pub struct RunPlan<'a> {
     pub(crate) exp: &'a Experiment,
     pub(crate) seed: u64,
     pub(crate) reps: u64,
+    pub(crate) obs: crate::obs::ObsMode,
     pub(crate) observers: Vec<simkit::ObserverFn<World>>,
 }
 
@@ -337,6 +342,18 @@ impl RunPlan<'_> {
     #[must_use]
     pub fn reps(mut self, reps: u64) -> Self {
         self.reps = reps;
+        self
+    }
+
+    /// Sets the observability mode for the pooled RTT samples
+    /// (default [`crate::obs::ObsMode::Exact`]). The mode selects what
+    /// [`RunResult::samples`] and [`RunResult::recorder`] retain:
+    /// exact keeps every sample (the historical numbers, byte for
+    /// byte), sketch answers quantiles from a bounded
+    /// [`simcap::QuantileSketch`].
+    #[must_use]
+    pub fn observe(mut self, mode: crate::obs::ObsMode) -> Self {
+        self.obs = mode;
         self
     }
 
@@ -380,6 +397,7 @@ impl RunPlan<'_> {
             acc.tx = avg_tx(&acc.tx, &r.tx, k);
             acc.rx = avg_rx(&acc.rx, &r.rx, k);
         }
+        acc.obs = self.obs;
         acc
     }
 }
@@ -414,7 +432,7 @@ pub(crate) fn fan_out(shared: &SharedObservers) -> Option<simkit::ObserverFn<Wor
 
 /// One repetition: build, run, tear down, account for leaks.
 fn run_single(exp: &Experiment, seed: u64, shared: &SharedObservers) -> RunResult {
-    let (mut result, world) = exp.run_sim_with(seed, false, fan_out(shared));
+    let (mut result, world) = exp.run_sim_with(seed, false, None, fan_out(shared));
     let pools = (
         world.hosts[0].kernel.pool.clone(),
         world.hosts[1].kernel.pool.clone(),
@@ -543,6 +561,9 @@ pub struct RunResult {
     pub events: u64,
     /// Final simulation time.
     pub sim_time: SimTime,
+    /// The observability mode the plan ran under (what
+    /// [`RunResult::samples`] retains).
+    pub obs: crate::obs::ObsMode,
 }
 
 impl RunResult {
@@ -550,6 +571,22 @@ impl RunResult {
     #[must_use]
     pub fn mean_rtt_us(&self) -> f64 {
         stats::mean_us(&self.rtts)
+    }
+
+    /// The pooled RTT samples in the plan's observability mode (see
+    /// [`RunPlan::observe`]).
+    #[must_use]
+    pub fn samples(&self) -> crate::obs::Samples {
+        let mut s = crate::obs::Samples::new(self.obs);
+        s.extend_from(&self.rtts);
+        s
+    }
+
+    /// A unified [`simcap::Recorder`] over the pooled RTTs, in the
+    /// plan's observability mode.
+    #[must_use]
+    pub fn recorder(&self) -> simcap::Recorder {
+        self.samples().recorder()
     }
 
     /// RTT standard deviation in microseconds.

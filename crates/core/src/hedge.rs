@@ -16,9 +16,11 @@
 //! is visible as such — the study reports the trade, not a verdict.
 
 use faultkit::{FaultSchedule, FlapSchedule, GilbertElliott, PauseSchedule};
+use simcap::Quantiles as _;
 use simkit::SimTime;
 
-use crate::recovery::{rtt_dist_counted, Scenario};
+use crate::obs::Samples;
+use crate::recovery::Scenario;
 
 /// The study's fault regimes, clean baseline first.
 ///
@@ -168,11 +170,12 @@ pub fn reduce(
     scenario: &str,
     mitigation: &str,
     fanout: usize,
-    completions: &[SimTime],
+    completions: &Samples,
     aborted: u64,
     cost: MitigationCost,
 ) -> HedgeRow {
-    let (dist, saturated) = rtt_dist_counted(completions);
+    let rec = completions.recorder();
+    #[allow(clippy::cast_precision_loss)]
     let us = |ns: i64| ns as f64 / 1000.0;
     HedgeRow {
         scenario: scenario.to_string(),
@@ -180,12 +183,12 @@ pub fn reduce(
         fanout,
         samples: completions.len() as u64,
         aborted,
-        saturated,
-        mean_us: dist.mean_us(),
-        p50_us: us(dist.percentile_ns(50.0)),
-        p99_us: us(dist.percentile_ns(99.0)),
-        p999_us: dist.p999_ns().map(us),
-        max_us: us(dist.max_ns()),
+        saturated: rec.saturated(),
+        mean_us: rec.mean_us(),
+        p50_us: us(rec.percentile_ns(50.0).unwrap_or(0)),
+        p99_us: us(rec.percentile_ns(99.0).unwrap_or(0)),
+        p999_us: rec.p999_ns().map(us),
+        max_us: us(rec.max_ns().unwrap_or(0)),
         amp_p99: None,
         cost,
     }
@@ -292,6 +295,12 @@ mod tests {
         SimTime::from_us(us)
     }
 
+    fn pool(ts: &[SimTime]) -> Samples {
+        let mut s = Samples::new(crate::obs::ObsMode::Exact);
+        s.extend_from(ts);
+        s
+    }
+
     #[test]
     fn scenario_names_are_unique_and_clean_first() {
         let all = scenarios();
@@ -329,10 +338,24 @@ mod tests {
     fn amplify_divides_by_the_no_mitigation_cell() {
         let cost = MitigationCost::default();
         let mut rows = vec![
-            reduce("clean", "none", 16, &[t(100), t(100), t(300)], 0, cost),
-            reduce("clean", "hedge", 16, &[t(100), t(100), t(150)], 0, cost),
+            reduce(
+                "clean",
+                "none",
+                16,
+                &pool(&[t(100), t(100), t(300)]),
+                0,
+                cost,
+            ),
+            reduce(
+                "clean",
+                "hedge",
+                16,
+                &pool(&[t(100), t(100), t(150)]),
+                0,
+                cost,
+            ),
             // Different scenario: must NOT share the baseline.
-            reduce("burst-loss", "hedge", 16, &[t(600)], 0, cost),
+            reduce("burst-loss", "hedge", 16, &pool(&[t(600)]), 0, cost),
         ];
         amplify(&mut rows);
         assert_eq!(rows[0].amp_p99, Some(1.0), "baseline divides itself");
@@ -356,12 +379,19 @@ mod tests {
                 "clean",
                 "none",
                 16,
-                &[t(100), t(110)],
+                &pool(&[t(100), t(110)]),
                 0,
                 MitigationCost::default(),
             ),
-            reduce("clean", "hedge", 16, &[t(90), t(95)], 1, cost),
-            reduce("link-flap", "retry", 16, &[], 2, MitigationCost::default()),
+            reduce("clean", "hedge", 16, &pool(&[t(90), t(95)]), 1, cost),
+            reduce(
+                "link-flap",
+                "retry",
+                16,
+                &pool(&[]),
+                2,
+                MitigationCost::default(),
+            ),
         ];
         assert_eq!(rows[1].p999_us, None, "2 samples cannot estimate p999");
         amplify(&mut rows);

@@ -51,6 +51,7 @@ pub mod faults;
 pub mod hedge;
 pub mod micro;
 pub mod nic;
+pub mod obs;
 pub mod paper;
 pub mod recovery;
 pub mod stats;
@@ -61,6 +62,7 @@ pub mod world;
 pub use breakdown::{compute_breakdown_samples, RxBreakdown, TxBreakdown};
 pub use capture::{CapturePlan, CaptureRun, HostCapture};
 pub use experiment::{Experiment, NetKind, RunPlan, RunResult};
+pub use obs::{ObsMode, Samples};
 pub use world::{Host, World};
 
 /// One-stop imports for writing experiments: the experiment and plan

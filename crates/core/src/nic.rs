@@ -563,21 +563,32 @@ impl Nic {
 
     /// Configures and arms every NIC- and medium-level capture tap
     /// (datagram taps on the NIC, raw cells/frames on the link).
-    pub fn arm_taps(&mut self) {
+    /// `flight_k` selects flight-recorder rings of that depth instead
+    /// of unbounded full capture.
+    pub fn arm_taps_mode(&mut self, flight_k: Option<usize>) {
+        let fresh = || match flight_k {
+            Some(k) => simcap::TapSet::flight(k),
+            None => simcap::TapSet::all(),
+        };
         match self {
             Nic::Atm(a) => {
-                a.taps = simcap::TapSet::all();
+                a.taps = fresh();
                 a.taps.arm();
-                a.link.taps = simcap::TapSet::all();
+                a.link.taps = fresh();
                 a.link.taps.arm();
             }
             Nic::Ether(e) => {
-                e.taps = simcap::TapSet::all();
+                e.taps = fresh();
                 e.taps.arm();
-                e.wire.taps = simcap::TapSet::all();
+                e.wire.taps = fresh();
                 e.wire.taps.arm();
             }
         }
+    }
+
+    /// [`Nic::arm_taps_mode`] in full-capture mode.
+    pub fn arm_taps(&mut self) {
+        self.arm_taps_mode(None);
     }
 
     /// Drains every frame captured by this NIC and its medium, merged

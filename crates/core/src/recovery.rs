@@ -15,7 +15,7 @@
 //! handful of RTTs. Mean alone hides that; p99 shows it.
 
 use faultkit::{FaultSchedule, GilbertElliott};
-use simcap::LatencyDist;
+use simcap::{LatencyDist, Quantiles as _};
 use simkit::SimTime;
 
 use crate::experiment::{Experiment, NetKind, RunResult};
@@ -155,11 +155,19 @@ pub struct RecoveryRow {
 /// clean round trips at p99" reads directly off the table.
 #[must_use]
 pub fn reduce(sc_name: &str, size: usize, r: &RunResult, clean_mean_us: f64) -> RecoveryRow {
-    let dist = rtt_dist(&r.rtts);
-    let p50_us = dist.percentile_ns(50.0) as f64 / 1000.0;
-    let p90_us = dist.percentile_ns(90.0) as f64 / 1000.0;
-    let p99_us = dist.percentile_ns(99.0) as f64 / 1000.0;
-    let max_us = dist.max_ns() as f64 / 1000.0;
+    let rec = simcap::Recorder::from_times(&r.rtts);
+    debug_assert_eq!(
+        rec.saturated(),
+        0,
+        "RTT sample(s) overflowed i64 nanoseconds and were clamped to \
+         i64::MAX — the distribution's tail is a lie"
+    );
+    #[allow(clippy::cast_precision_loss)]
+    let us = |ns: Option<i64>| ns.unwrap_or(0) as f64 / 1000.0;
+    let p50_us = us(rec.percentile_ns(50.0));
+    let p90_us = us(rec.percentile_ns(90.0));
+    let p99_us = us(rec.percentile_ns(99.0));
+    let max_us = us(rec.max_ns());
     let mean_us = r.mean_rtt_us();
     let unit = if clean_mean_us > 0.0 {
         clean_mean_us
@@ -193,38 +201,45 @@ pub fn reduce(sc_name: &str, size: usize, r: &RunResult, clean_mean_us: f64) -> 
 /// A sample above `i64::MAX` nanoseconds (≈292 years of simulated
 /// time) cannot be represented in the distribution; it trips a debug
 /// assertion here because a clamped sample would masquerade as a real
-/// tail maximum. Release callers that must tolerate it use
-/// [`rtt_dist_counted`] and surface the count.
+/// tail maximum.
+#[deprecated(
+    since = "0.2.0",
+    note = "use simcap::Recorder::from_times — the unified Recorder \
+            API (dist() for the exact distribution)"
+)]
 #[must_use]
 pub fn rtt_dist(rtts: &[SimTime]) -> LatencyDist {
-    let (dist, saturated) = rtt_dist_counted(rtts);
+    let rec = simcap::Recorder::from_times(rtts);
     debug_assert_eq!(
-        saturated, 0,
-        "{saturated} RTT sample(s) overflowed i64 nanoseconds and were \
-         clamped to i64::MAX — the distribution's tail is a lie"
+        rec.saturated(),
+        0,
+        "RTT sample(s) overflowed i64 nanoseconds and were clamped to \
+         i64::MAX — the distribution's tail is a lie"
     );
-    dist
+    rec.dist()
+        .expect("an exact-mode recorder always has a dist")
 }
 
-/// [`rtt_dist`] with the saturation made explicit: returns the
-/// distribution plus how many samples were clamped to `i64::MAX` ns
-/// because they did not fit in a signed 64-bit nanosecond count.
+/// The saturation-explicit variant: the distribution plus how many
+/// samples were clamped to `i64::MAX` ns because they did not fit in
+/// a signed 64-bit nanosecond count.
 ///
 /// A non-zero count means the max (and any percentile that lands on a
 /// clamped sample) is a floor, not a measurement.
+#[deprecated(
+    since = "0.2.0",
+    note = "use simcap::Recorder::from_times — the unified Recorder \
+            API (saturated() for the clamp count)"
+)]
 #[must_use]
 pub fn rtt_dist_counted(rtts: &[SimTime]) -> (LatencyDist, u64) {
-    let mut saturated = 0u64;
-    let samples = rtts
-        .iter()
-        .map(|t| {
-            i64::try_from(t.as_ns()).unwrap_or_else(|_| {
-                saturated += 1;
-                i64::MAX
-            })
-        })
-        .collect();
-    (LatencyDist::from_samples(samples), saturated)
+    let rec = simcap::Recorder::from_times(rtts);
+    let saturated = rec.saturated();
+    (
+        rec.dist()
+            .expect("an exact-mode recorder always has a dist"),
+        saturated,
+    )
 }
 
 /// Formats the study as a table, one row per scenario × size.
@@ -382,13 +397,18 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn rtt_dist_counts_saturated_samples_instead_of_hiding_them() {
         let fits = SimTime::from_ns(1_000);
         let overflows = SimTime::from_ns(u64::MAX);
         let (dist, saturated) = rtt_dist_counted(&[fits, overflows, overflows]);
         assert_eq!(saturated, 2);
         assert_eq!(dist.count(), 3);
-        assert_eq!(dist.max_ns(), i64::MAX, "clamped, and reported as such");
+        assert_eq!(
+            dist.max_ns(),
+            Some(i64::MAX),
+            "clamped, and reported as such"
+        );
         // The in-range path stays exact and reports zero saturation.
         let (dist, saturated) = rtt_dist_counted(&[fits]);
         assert_eq!(saturated, 0);

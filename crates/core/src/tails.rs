@@ -22,12 +22,13 @@
 //! repo, so this module leans on the guarded accessors: p999 is
 //! `None` (rendered `-`, JSON `null`) below `simcap`'s minimum sample
 //! floor, and clamped RTT samples are counted, never silently folded
-//! into the max (see [`crate::recovery::rtt_dist_counted`]).
+//! into the max (the [`simcap::Recorder`] saturation accounting).
 
 use faultkit::{FaultSchedule, GilbertElliott};
-use simkit::SimTime;
+use simcap::Quantiles as _;
 
-use crate::recovery::{rtt_dist_counted, Scenario};
+use crate::obs::Samples;
+use crate::recovery::Scenario;
 
 /// The study's fault regimes, clean baseline first.
 ///
@@ -114,10 +115,11 @@ pub fn reduce(
     scenario: &str,
     fanout: usize,
     churn: bool,
-    completions: &[SimTime],
+    completions: &Samples,
     aborted: u64,
 ) -> TailsRow {
-    let (dist, saturated) = rtt_dist_counted(completions);
+    let rec = completions.recorder();
+    #[allow(clippy::cast_precision_loss)]
     let us = |ns: i64| ns as f64 / 1000.0;
     TailsRow {
         scenario: scenario.to_string(),
@@ -125,12 +127,12 @@ pub fn reduce(
         churn,
         samples: completions.len() as u64,
         aborted,
-        saturated,
-        mean_us: dist.mean_us(),
-        p50_us: us(dist.percentile_ns(50.0)),
-        p99_us: us(dist.percentile_ns(99.0)),
-        p999_us: dist.p999_ns().map(us),
-        max_us: us(dist.max_ns()),
+        saturated: rec.saturated(),
+        mean_us: rec.mean_us(),
+        p50_us: us(rec.percentile_ns(50.0).unwrap_or(0)),
+        p99_us: us(rec.percentile_ns(99.0).unwrap_or(0)),
+        p999_us: rec.p999_ns().map(us),
+        max_us: us(rec.max_ns().unwrap_or(0)),
         amp_p50: None,
         amp_p99: None,
     }
@@ -238,9 +240,17 @@ pub fn format_table(rows: &[TailsRow]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::obs::ObsMode;
+    use simkit::SimTime;
 
     fn t(us: u64) -> SimTime {
         SimTime::from_us(us)
+    }
+
+    fn pool(ts: &[SimTime]) -> Samples {
+        let mut s = Samples::new(ObsMode::Exact);
+        s.extend_from(ts);
+        s
     }
 
     #[test]
@@ -258,7 +268,7 @@ mod tests {
 
     #[test]
     fn reduce_refuses_fake_p999_on_small_cells() {
-        let row = reduce("clean", 4, false, &[t(100), t(110), t(500)], 0);
+        let row = reduce("clean", 4, false, &pool(&[t(100), t(110), t(500)]), 0);
         assert_eq!(row.samples, 3);
         assert_eq!(row.p999_us, None, "3 samples cannot estimate p999");
         assert_eq!(row.saturated, 0);
@@ -269,7 +279,7 @@ mod tests {
     #[test]
     fn reduce_reports_p999_above_the_sample_floor() {
         let samples: Vec<SimTime> = (1..=2000).map(t).collect();
-        let row = reduce("clean", 16, true, &samples, 0);
+        let row = reduce("clean", 16, true, &pool(&samples), 0);
         assert_eq!(row.samples, 2000);
         let p999 = row.p999_us.expect("2000 samples clear the floor");
         assert!(p999 < row.max_us, "p999 {p999} must not collapse to max");
@@ -278,10 +288,10 @@ mod tests {
     #[test]
     fn amplify_divides_by_the_matching_fanout_1_cell() {
         let mut rows = vec![
-            reduce("clean", 1, false, &[t(100), t(100), t(100)], 0),
-            reduce("clean", 16, false, &[t(100), t(120), t(300)], 0),
+            reduce("clean", 1, false, &pool(&[t(100), t(100), t(100)]), 0),
+            reduce("clean", 16, false, &pool(&[t(100), t(120), t(300)]), 0),
             // Different churn setting: must NOT share the baseline.
-            reduce("clean", 16, true, &[t(400), t(400), t(400)], 0),
+            reduce("clean", 16, true, &pool(&[t(400), t(400), t(400)]), 0),
         ];
         amplify(&mut rows);
         assert_eq!(rows[0].amp_p99, Some(1.0), "baseline divides itself");
@@ -294,10 +304,10 @@ mod tests {
     #[test]
     fn amplify_skips_empty_and_degenerate_baselines() {
         let mut rows = vec![
-            reduce("clean", 1, false, &[], 1),
-            reduce("clean", 4, false, &[t(10)], 0),
-            reduce("burst-loss", 1, false, &[SimTime::ZERO], 0),
-            reduce("burst-loss", 4, false, &[t(10)], 0),
+            reduce("clean", 1, false, &pool(&[]), 1),
+            reduce("clean", 4, false, &pool(&[t(10)]), 0),
+            reduce("burst-loss", 1, false, &pool(&[SimTime::ZERO]), 0),
+            reduce("burst-loss", 4, false, &pool(&[t(10)]), 0),
         ];
         amplify(&mut rows);
         assert_eq!(rows[1].amp_p99, None, "empty baseline yields no ratio");
@@ -310,9 +320,9 @@ mod tests {
     #[test]
     fn table_renders_sampled_empty_and_unsampled_rows() {
         let mut rows = vec![
-            reduce("clean", 1, false, &[t(100), t(110)], 0),
-            reduce("clean", 64, true, &[t(100), t(900)], 2),
-            reduce("mbuf-exhaustion", 64, true, &[], 4),
+            reduce("clean", 1, false, &pool(&[t(100), t(110)]), 0),
+            reduce("clean", 64, true, &pool(&[t(100), t(900)]), 2),
+            reduce("mbuf-exhaustion", 64, true, &pool(&[]), 4),
         ];
         amplify(&mut rows);
         let text = format_table(&rows);

@@ -52,6 +52,11 @@ pub struct World {
     /// When true, every capture tap (kernel, NIC, medium) is armed at
     /// measurement start, alongside the span recorders.
     pub capture: bool,
+    /// When set alongside `capture`, kernel taps run as a flight
+    /// recorder retaining only the last K frames per tap point;
+    /// triggers ([`simcap::TriggerReason`]) freeze pcapng-ready
+    /// snapshots instead of the run retaining everything.
+    pub flight_k: Option<usize>,
 }
 
 // The parallel sweep runner builds and runs one world per cell inside
@@ -101,6 +106,7 @@ impl World {
                 ],
                 measuring: false,
                 capture: false,
+                flight_k: None,
             };
         }
         let key_c = PcbKey {
@@ -154,6 +160,7 @@ impl World {
             ],
             measuring: false,
             capture: false,
+            flight_k: None,
         }
     }
 
@@ -385,14 +392,18 @@ fn app_step_inner(w: &mut World, s: &mut Scheduler<World>, h: usize) {
                 if h == 0 && host.app.measuring() && !w.measuring {
                     w.measuring = true;
                     let capture = w.capture;
+                    let flight_k = w.flight_k;
                     for host in &mut w.hosts {
                         host.kernel.spans.enabled = true;
                         if capture {
                             // Captures cover exactly the measured
                             // iterations, like the span recorders.
-                            host.kernel.taps = simcap::TapSet::all();
+                            host.kernel.taps = match flight_k {
+                                Some(k) => simcap::TapSet::flight(k),
+                                None => simcap::TapSet::all(),
+                            };
                             host.kernel.taps.arm();
-                            host.nic.arm_taps();
+                            host.nic.arm_taps_mode(flight_k);
                         }
                     }
                 }

@@ -1,0 +1,119 @@
+//! Flight-recorder integration: under burst loss the data RTO fires
+//! and must freeze a pcapng-renderable window of the frames that led
+//! up to it; on a clean run nothing triggers and the rings must hold
+//! at most K frames per tap — constant memory no matter how long the
+//! run is.
+
+use latency_core::recovery;
+use std::collections::HashMap;
+
+const LAST_K: usize = 32;
+
+fn scenario(name: &str) -> recovery::Scenario {
+    recovery::scenarios()
+        .into_iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("missing scenario {name}"))
+}
+
+#[test]
+fn burst_loss_rto_freezes_a_pcapng_window() {
+    let sc = scenario("heavy-bursts");
+    let run = recovery::experiment(&sc, 1400, 60)
+        .plan()
+        .seed(11)
+        .captured()
+        .flight(LAST_K)
+        .execute();
+    assert!(
+        run.result.client_kernel.rto_fires + run.result.server_kernel.rto_fires > 0,
+        "heavy-bursts must fire the data RTO for this test to mean anything"
+    );
+    let snaps: Vec<_> = run
+        .client
+        .snapshots
+        .iter()
+        .chain(run.server.snapshots.iter())
+        .collect();
+    assert!(
+        !snaps.is_empty(),
+        "RTO fired {} time(s) but no flight-recorder snapshot was frozen",
+        run.result.client_kernel.rto_fires + run.result.server_kernel.rto_fires
+    );
+    for snap in snaps {
+        assert_eq!(snap.reason, simcap::TriggerReason::Rto);
+        assert!(
+            !snap.frames.is_empty(),
+            "a trigger snapshot must carry the window that preceded it"
+        );
+        // The window is the recent past: every frame precedes the
+        // trigger instant, and the whole window renders to pcapng.
+        for f in &snap.frames {
+            assert!(
+                f.at <= snap.at,
+                "window frame at {:?} is after the trigger at {:?}",
+                f.at,
+                snap.at
+            );
+        }
+        let bytes = snap.to_pcapng_bytes(simcap::LINKTYPE_USER0);
+        let cap = simcap::read_any(&bytes).expect("snapshot must parse back");
+        assert_eq!(cap.records.len(), snap.frames.len());
+    }
+}
+
+#[test]
+fn clean_flight_run_retains_at_most_k_frames_per_tap() {
+    let sc = scenario("clean");
+    let run = recovery::experiment(&sc, 1400, 200)
+        .plan()
+        .seed(3)
+        .captured()
+        .flight(LAST_K)
+        .execute();
+    assert_eq!(
+        run.result.client_kernel.rto_fires + run.result.server_kernel.rto_fires,
+        0,
+        "clean run must not retransmit"
+    );
+    for (side, cap) in [("client", &run.client), ("server", &run.server)] {
+        assert!(
+            cap.snapshots.is_empty(),
+            "{side}: clean run froze {} snapshot(s)",
+            cap.snapshots.len()
+        );
+        // 200 iterations push far more than K frames through every
+        // tap; the rings must have evicted down to the last K each.
+        let mut per_tap: HashMap<simcap::TapPoint, usize> = HashMap::new();
+        for f in &cap.frames {
+            *per_tap.entry(f.tap).or_default() += 1;
+        }
+        assert!(!per_tap.is_empty(), "{side}: no frames retained at all");
+        for (tap, n) in per_tap {
+            assert!(
+                n <= LAST_K,
+                "{side}: tap {tap:?} retained {n} frames, over the K={LAST_K} ring"
+            );
+        }
+    }
+}
+
+#[test]
+fn full_capture_is_unaffected_by_flight_mode_existing() {
+    // The default (non-flight) capture of the same scenario keeps
+    // growing past K — flight mode is opt-in, not a new global cap.
+    let sc = scenario("clean");
+    let run = recovery::experiment(&sc, 1400, 200)
+        .plan()
+        .seed(3)
+        .captured()
+        .execute();
+    let mut per_tap: HashMap<simcap::TapPoint, usize> = HashMap::new();
+    for f in &run.client.frames {
+        *per_tap.entry(f.tap).or_default() += 1;
+    }
+    assert!(
+        per_tap.values().any(|&n| n > LAST_K),
+        "200 iterations should exceed K frames on at least one tap"
+    );
+}

@@ -248,6 +248,148 @@ pub fn measure_rtt(net: NetKind, size: usize, iterations: u64, seed: u64) -> Rtt
     }
 }
 
+/// The `--sketch` observability benchmark: a synthetic million-sample
+/// fan-out completion stream pushed through per-shard sketch-mode
+/// recorders, merged in shard (grid) order, and gated three ways —
+/// retained memory stays under the sketch's documented ceiling, the
+/// merged sketch p99 stays within 1% of the exact nearest-rank p99
+/// over the same stream, and the merged result is byte-identical
+/// whether the shards ran on 1 worker or 4.
+pub struct SketchBench {
+    /// Samples streamed (across all shards).
+    pub samples: u64,
+    /// Shards the stream was split into (one recorder each).
+    pub shards: usize,
+    /// Wall-clock seconds for the sharded sketch pass (jobs = 4).
+    pub wall_s: f64,
+    /// Bytes retained by the merged sketch recorder.
+    pub memory_bytes: usize,
+    /// Exact nearest-rank p99 over the full stream, in ns.
+    pub exact_p99_ns: i64,
+    /// Merged-sketch p99, in ns.
+    pub sketch_p99_ns: i64,
+    /// Whether the jobs=1 and jobs=4 merges agreed bit for bit
+    /// (count, sum, min, max, and every probed percentile).
+    pub jobs_byte_identical: bool,
+}
+
+impl SketchBench {
+    /// `|sketch − exact| / exact` at p99 (0 when exact is 0).
+    #[must_use]
+    pub fn p99_drift(&self) -> f64 {
+        if self.exact_p99_ns == 0 {
+            return 0.0;
+        }
+        (self.sketch_p99_ns - self.exact_p99_ns).abs() as f64 / self.exact_p99_ns as f64
+    }
+
+    /// Samples per wall-clock second through the sharded sketch pass.
+    #[must_use]
+    pub fn samples_per_sec(&self) -> f64 {
+        self.samples as f64 / self.wall_s
+    }
+}
+
+/// Sequential splitmix64: the standard 64-bit finalizer-based PRNG,
+/// deterministic per (seed, shard) by construction.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One synthetic fan-out completion time in ns: a ~50–250 µs body
+/// with a 1-in-64 heavy tail stretching into tens of ms — the shape
+/// the tails study produces, scaled to exercise many sketch octaves.
+fn synthetic_completion_ns(r: u64, tail: u64) -> i64 {
+    let body = 50_000 + (r % 200_000);
+    let spike = if r.is_multiple_of(64) {
+        tail % 50_000_000
+    } else {
+        0
+    };
+    (body + spike) as i64
+}
+
+/// Runs the sharded sketch pass at one worker count and returns the
+/// merged recorder (shards merged in shard order).
+fn sketch_pass(samples: u64, shards: usize, seed: u64, jobs: usize) -> simcap::Recorder {
+    let per_shard = samples / shards as u64;
+    let shard_ids: Vec<u64> = (0..shards as u64).collect();
+    let parts = sweep::pool::run_ordered(&shard_ids, jobs, |_, &shard| {
+        let mut state = seed ^ (shard.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1);
+        let mut rec = simcap::Recorder::sketched();
+        for _ in 0..per_shard {
+            let r = splitmix64(&mut state);
+            let tail = splitmix64(&mut state);
+            rec.observe_ns(synthetic_completion_ns(r, tail));
+        }
+        rec
+    });
+    let mut merged = simcap::Recorder::sketched();
+    for part in &parts {
+        merged.merge(part);
+    }
+    merged
+}
+
+/// Measures the sketch-mode observability path on a synthetic stream
+/// of `samples` completions split across `shards` recorders.
+///
+/// The exact reference pools every sample and takes the nearest-rank
+/// p99 (the same rule `simcap::LatencyDist` applies); the sketch pass
+/// runs twice, at 1 and 4 workers, and the two merges must agree bit
+/// for bit — the gates themselves are applied by the caller.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero or `samples < shards`.
+#[must_use]
+pub fn sketch_bench(samples: u64, shards: usize, seed: u64) -> SketchBench {
+    use simcap::Quantiles;
+    assert!(shards >= 1 && samples >= shards as u64);
+    // Exact reference: pool the identical stream, nearest-rank p99.
+    let per_shard = samples / shards as u64;
+    let mut exact: Vec<i64> = Vec::with_capacity((per_shard * shards as u64) as usize);
+    for shard in 0..shards as u64 {
+        let mut state = seed ^ (shard.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1);
+        for _ in 0..per_shard {
+            let r = splitmix64(&mut state);
+            let tail = splitmix64(&mut state);
+            exact.push(synthetic_completion_ns(r, tail));
+        }
+    }
+    let exact_dist = simcap::LatencyDist::from_samples(exact);
+
+    let t = Instant::now();
+    let merged = sketch_pass(samples, shards, seed, 4);
+    let wall_s = t.elapsed().as_secs_f64();
+    let single = sketch_pass(samples, shards, seed, 1);
+
+    let probe = |r: &simcap::Recorder| {
+        (
+            Quantiles::count(r),
+            r.percentile_ns(50.0),
+            r.percentile_ns(99.0),
+            r.percentile_ns(99.9),
+            Quantiles::min_ns(r),
+            Quantiles::max_ns(r),
+            r.mean_us().to_bits(),
+        )
+    };
+    SketchBench {
+        samples: per_shard * shards as u64,
+        shards,
+        wall_s,
+        memory_bytes: merged.memory_bytes(),
+        exact_p99_ns: simcap::LatencyDist::percentile_ns(&exact_dist, 99.0),
+        sketch_p99_ns: merged.percentile_ns(99.0).unwrap_or(0),
+        jobs_byte_identical: probe(&merged) == probe(&single),
+    }
+}
+
 /// Wall-clock for one whole sweep grid at one worker count.
 pub struct SweepBench {
     /// Grid name (from [`Sweep::new`]).
@@ -310,6 +452,8 @@ pub struct BenchReport {
     pub rtt: Vec<RttBench>,
     /// Whole-grid timings, one entry per (grid, jobs) pair.
     pub sweeps: Vec<SweepBench>,
+    /// Sketch-mode observability benchmark (`--sketch` only).
+    pub sketch: Option<SketchBench>,
 }
 
 impl BenchReport {
@@ -380,7 +524,24 @@ impl BenchReport {
                 if i + 1 < self.sweeps.len() { "," } else { "" }
             ));
         }
-        s.push_str("  ]\n}\n");
+        s.push_str("  ]");
+        if let Some(sk) = &self.sketch {
+            s.push_str(&format!(
+                ",\n  \"sketch\": {{\"samples\": {}, \"shards\": {}, \"wall_s\": {:.6}, \
+                 \"samples_per_sec\": {:.1}, \"memory_bytes\": {}, \"exact_p99_ns\": {}, \
+                 \"sketch_p99_ns\": {}, \"p99_drift\": {:.6}, \"jobs_byte_identical\": {}}}",
+                sk.samples,
+                sk.shards,
+                sk.wall_s,
+                sk.samples_per_sec(),
+                sk.memory_bytes,
+                sk.exact_p99_ns,
+                sk.sketch_p99_ns,
+                sk.p99_drift(),
+                sk.jobs_byte_identical
+            ));
+        }
+        s.push_str("\n}\n");
         s
     }
 }
@@ -422,6 +583,7 @@ mod tests {
             engine: engine_bench(20_000, 1),
             rtt: vec![measure_rtt(NetKind::Atm, 200, 10, 1)],
             sweeps: Vec::new(),
+            sketch: None,
         };
         let json = report.to_json();
         for key in [
@@ -436,6 +598,41 @@ mod tests {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         // Balanced braces: a cheap structural check without a parser.
+        let open = json.matches(['{', '[']).count();
+        let close = json.matches(['}', ']']).count();
+        assert_eq!(open, close);
+    }
+
+    #[test]
+    fn sketch_bench_meets_its_own_gates_at_small_scale() {
+        let b = sketch_bench(40_000, 8, 42);
+        assert_eq!(b.samples, 40_000);
+        assert!(b.jobs_byte_identical, "jobs 1 vs 4 merges diverged");
+        assert!(
+            b.p99_drift() < 0.01,
+            "sketch p99 {} vs exact {} drift {:.4}",
+            b.sketch_p99_ns,
+            b.exact_p99_ns,
+            b.p99_drift()
+        );
+        assert!(b.memory_bytes <= simcap::MAX_MEMORY_BYTES);
+    }
+
+    #[test]
+    fn report_serializes_the_sketch_section_when_present() {
+        let report = BenchReport {
+            series: BENCH_SERIES,
+            quick: true,
+            seed: 1,
+            engine: engine_bench(20_000, 1),
+            rtt: Vec::new(),
+            sweeps: Vec::new(),
+            sketch: Some(sketch_bench(4_000, 4, 7)),
+        };
+        let json = report.to_json();
+        for key in ["\"sketch\":", "\"p99_drift\"", "\"jobs_byte_identical\""] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
         let open = json.matches(['{', '[']).count();
         let close = json.matches(['}', ']']).count();
         assert_eq!(open, close);

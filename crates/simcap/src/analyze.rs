@@ -42,16 +42,21 @@ impl LatencyDist {
         self.samples.len()
     }
 
-    /// Smallest sample in ns (0 when empty).
+    /// Smallest sample in ns, `None` when empty.
+    ///
+    /// (Earlier versions returned a silent `0` on an empty
+    /// distribution — indistinguishable from a real zero-latency
+    /// sample. The `Option` makes "no data" typed; tables render it
+    /// as `-`.)
     #[must_use]
-    pub fn min_ns(&self) -> i64 {
-        self.samples.first().copied().unwrap_or(0)
+    pub fn min_ns(&self) -> Option<i64> {
+        self.samples.first().copied()
     }
 
-    /// Largest sample in ns (0 when empty).
+    /// Largest sample in ns, `None` when empty.
     #[must_use]
-    pub fn max_ns(&self) -> i64 {
-        self.samples.last().copied().unwrap_or(0)
+    pub fn max_ns(&self) -> Option<i64> {
+        self.samples.last().copied()
     }
 
     /// Nearest-rank percentile in ns (0 when empty).
@@ -74,10 +79,10 @@ impl LatencyDist {
             return 0;
         }
         if p.is_nan() || p <= 0.0 {
-            return self.min_ns();
+            return self.samples[0];
         }
         if p >= 100.0 {
-            return self.max_ns();
+            return self.samples[self.samples.len() - 1];
         }
         #[allow(
             clippy::cast_possible_truncation,
@@ -146,7 +151,7 @@ impl LatencyDist {
         }
         let mut out = Vec::new();
         if negatives > 0 {
-            out.push((self.min_ns(), 0, negatives));
+            out.push((self.samples[0], 0, negatives));
         }
         let mut idxs: Vec<u32> = buckets.keys().copied().collect();
         idxs.sort_unstable();
@@ -231,17 +236,23 @@ pub fn hop_between(a: &Capture, b: &Capture, data_only: bool) -> HopReport {
     }
 }
 
-/// Renders a one-line min/median/p99/max summary in µs.
+/// Renders a one-line min/median/p99/max summary in µs. An empty
+/// report (no matched segments) renders `-` for every statistic
+/// instead of fake zeros.
 #[must_use]
 pub fn summary_line(r: &HopReport) -> String {
     #[allow(clippy::cast_precision_loss)]
-    let us = |ns: i64| ns as f64 / 1000.0;
+    let us = |ns: Option<i64>| match ns {
+        Some(ns) => format!("{:>9.3}", ns as f64 / 1000.0),
+        None => format!("{:>9}", "-"),
+    };
+    let pct = |p: f64| (r.dist.count() > 0).then(|| r.dist.percentile_ns(p));
     format!(
-        "n={:<6} min {:>9.3} µs   median {:>9.3} µs   p99 {:>9.3} µs   max {:>9.3} µs",
+        "n={:<6} min {} µs   median {} µs   p99 {} µs   max {} µs",
         r.matched,
         us(r.dist.min_ns()),
-        us(r.dist.median_ns()),
-        us(r.dist.p99_ns()),
+        us(pct(50.0)),
+        us(pct(99.0)),
         us(r.dist.max_ns()),
     )
 }
@@ -294,10 +305,13 @@ mod tests {
         assert_eq!(r.skipped_a, 1);
         // FIFO pairs: 150-100=50, 290-200=90, 360-300=60.
         assert_eq!(r.dist.samples(), &[50, 60, 90]);
-        assert_eq!(r.dist.min_ns(), 50);
+        assert_eq!(r.dist.min_ns(), Some(50));
         assert_eq!(r.dist.median_ns(), 60);
         assert_eq!(r.dist.p99_ns(), 90);
-        assert_eq!(r.dist.max_ns(), 90);
+        assert_eq!(r.dist.max_ns(), Some(90));
+        // Empty distributions have typed absence, not silent zeros.
+        assert_eq!(LatencyDist::default().min_ns(), None);
+        assert_eq!(LatencyDist::default().max_ns(), None);
     }
 
     #[test]
@@ -364,7 +378,7 @@ mod tests {
         assert_eq!(d.count(), P999_MIN_SAMPLES - 1);
         assert_eq!(d.p999_ns(), None);
         // But the raw percentile still answers (with the clamped max).
-        assert_eq!(d.percentile_ns(99.9), d.max_ns());
+        assert_eq!(Some(d.percentile_ns(99.9)), d.max_ns());
         assert_eq!(LatencyDist::default().p999_ns(), None);
     }
 
@@ -374,7 +388,7 @@ mod tests {
         // p999 is the 999th-ranked sample (value 998), NOT the max.
         let d = LatencyDist::from_samples((0..1000).collect());
         assert_eq!(d.p999_ns(), Some(998));
-        assert!(d.p999_ns().unwrap() < d.max_ns());
+        assert!(d.p999_ns().unwrap() < d.max_ns().unwrap());
         // 2000 samples: rank ceil(1998.0) = 1998 -> value 1997.
         let d = LatencyDist::from_samples((0..2000).collect());
         assert_eq!(d.p999_ns(), Some(1997));

@@ -20,12 +20,18 @@ use simkit::time::SimTime;
 /// when the sample is above, down by a 128th when below. The estimate
 /// is a pure function of the observation sequence — no RNG, no
 /// allocation — so it is byte-reproducible at any sweep worker count.
+#[deprecated(
+    since = "0.2.0",
+    note = "use simcap::Recorder::upper_only() — the same update rule \
+            behind the unified Recorder API (upper_estimate())"
+)]
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StreamingP95 {
     est_ns: Option<u64>,
     samples: u64,
 }
 
+#[allow(deprecated)]
 impl StreamingP95 {
     /// An empty tracker.
     #[must_use]
@@ -65,6 +71,7 @@ impl StreamingP95 {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 

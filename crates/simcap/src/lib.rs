@@ -20,6 +20,11 @@
 //!   Ethernet records;
 //! - [`analyze`]: FIFO same-packet matching between two captures and
 //!   min/median/p99/max + histogram reduction;
+//! - [`sketch`] / [`recorder`]: the streaming observability layer —
+//!   a mergeable log-linear quantile sketch with byte-deterministic
+//!   integer merges, and the [`Recorder`] that unifies exact,
+//!   sketched and trigger-only measurement behind one [`Quantiles`]
+//!   read interface;
 //! - the `capdiff` binary: the same analysis as a CLI over capture
 //!   files.
 
@@ -30,11 +35,16 @@ pub mod estimator;
 pub mod packet;
 pub mod pcap;
 pub mod pcapng;
+pub mod recorder;
+pub mod sketch;
 pub mod tap;
 
 pub use analyze::{hop_between, HopReport, LatencyDist, P999_MIN_SAMPLES};
+#[allow(deprecated)]
 pub use estimator::StreamingP95;
 pub use packet::TcpKey;
 pub use pcap::{CapError, Capture, PcapWriter, LINKTYPE_EN10MB, LINKTYPE_RAW, LINKTYPE_USER0};
 pub use pcapng::{read_any, PcapngWriter};
-pub use tap::{CapturedFrame, TapPoint, TapSet};
+pub use recorder::{Quantiles, Recorder, RecorderMode};
+pub use sketch::{QuantileSketch, MAX_MEMORY_BYTES, RELATIVE_ERROR};
+pub use tap::{CaptureMode, CapturedFrame, TapPoint, TapSet, TriggerReason, TriggerSnapshot};

@@ -1,0 +1,422 @@
+//! Mergeable quantile sketch: HDR-histogram-style log-linear buckets.
+//!
+//! [`QuantileSketch`] trades exact sample retention for a fixed-size
+//! bucket array: every nanosecond value lands in a bucket whose width
+//! is at most `2^-SUB_BITS` of its magnitude, so any reported quantile
+//! is within a documented relative error of the exact nearest-rank
+//! value — while memory stays bounded (≤ [`MAX_MEMORY_BYTES`]) no
+//! matter how many samples arrive.
+//!
+//! Determinism is load-bearing here (the sweep runner promises
+//! byte-identical reports at any `--jobs`):
+//!
+//! - **No floats touch the merge path.** Observation maps a value to a
+//!   bucket index with shifts and compares; merging adds `u64` counts
+//!   element-wise and folds exact integer aggregates (count, min, max,
+//!   `i128` sum, saturating `u128` sum of squares). Integer addition
+//!   is associative and commutative, and saturating addition of
+//!   non-negative integers is too (`min(total, MAX)` regardless of
+//!   grouping), so *any* merge order yields the same sketch.
+//! - **Queries are a pure function of the sketch.** Two sketches with
+//!   equal buckets and aggregates answer every quantile identically.
+//!
+//! Together: per-shard sketches merged in deterministic grid order
+//! (what `sweep::pool::run_ordered` provides) produce byte-identical
+//! output at `--jobs 1` and `--jobs N` — and, stronger, at any order.
+
+/// Sub-bucket resolution: each power-of-two range is split into
+/// `2^SUB_BITS` linear sub-buckets, so bucket width ≤ `2^-SUB_BITS`
+/// of the value's magnitude.
+pub const SUB_BITS: u32 = 8;
+
+/// Number of exact unit-width buckets at the bottom of the scale
+/// (values `0..SUB_COUNT` are recorded exactly).
+pub const SUB_COUNT: u64 = 1 << SUB_BITS;
+
+const HALF: u64 = SUB_COUNT / 2;
+
+/// Worst-case sub-bucket count for the full `i64` magnitude range
+/// (including `|i64::MIN| == 2^63` on the negative side): `SUB_COUNT`
+/// exact buckets plus `HALF` per remaining octave.
+const MAX_BUCKETS: usize = (SUB_COUNT + (64 - SUB_BITS as u64) * HALF) as usize;
+
+/// Upper bound on one sketch's bucket storage (both signs fully
+/// populated), excluding the struct header. The dense count vectors
+/// grow on demand, so typical sketches are far smaller.
+pub const MAX_MEMORY_BYTES: usize = 2 * MAX_BUCKETS * 8;
+
+/// Documented relative-error bound of any reported quantile: the
+/// bucket midpoint is within `±2^-SUB_BITS` of every sample the
+/// bucket holds (see [`QuantileSketch::percentile_ns`]).
+#[allow(clippy::cast_precision_loss)]
+pub const RELATIVE_ERROR: f64 = 1.0 / SUB_COUNT as f64;
+
+/// A mergeable log-linear quantile sketch over signed nanosecond
+/// samples.
+///
+/// Positive magnitudes and negative magnitudes each get a dense,
+/// grow-on-demand count vector; zero lives in the positive vector's
+/// first bucket. Count, min, max, sum and sum-of-squares are tracked
+/// exactly in integers, so `count`/`min_ns`/`max_ns`/`mean_us` are
+/// exact and only interior quantiles are approximate.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QuantileSketch {
+    /// Counts for samples ≥ 0, indexed by [`bucket_index`].
+    pos: Vec<u64>,
+    /// Counts for samples < 0, indexed by [`bucket_index`] of the
+    /// magnitude.
+    neg: Vec<u64>,
+    count: u64,
+    min: i64,
+    max: i64,
+    sum: i128,
+    /// Saturating sum of squared samples (ns²); saturation is sticky
+    /// and order-independent, and in practice unreachable (10⁹ samples
+    /// of 10 s each stay below `u128::MAX`).
+    sum_sq: u128,
+}
+
+/// Maps a magnitude to its bucket index: exact below [`SUB_COUNT`],
+/// log-linear above (top `SUB_BITS` significant bits, i.e. `HALF`
+/// sub-buckets per octave).
+#[inline]
+#[must_use]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_COUNT {
+        #[allow(clippy::cast_possible_truncation)]
+        return v as usize;
+    }
+    let bits = 64 - v.leading_zeros(); // > SUB_BITS here
+    let e = bits - SUB_BITS;
+    let m = v >> e; // in [HALF*2 / 2, SUB_COUNT) == [HALF, SUB_COUNT)
+    #[allow(clippy::cast_possible_truncation)]
+    {
+        (SUB_COUNT + (u64::from(e) - 1) * HALF + (m - HALF)) as usize
+    }
+}
+
+/// Inverse of [`bucket_index`]: the inclusive `(lo, hi)` magnitude
+/// range of a bucket.
+#[must_use]
+fn bucket_bounds(index: usize) -> (u64, u64) {
+    let index = index as u64;
+    if index < SUB_COUNT {
+        return (index, index);
+    }
+    let e = (index - SUB_COUNT) / HALF + 1;
+    let m = HALF + (index - SUB_COUNT) % HALF;
+    let lo = m << e;
+    let hi = ((m + 1) << e) - 1;
+    (lo, hi)
+}
+
+/// The representative magnitude reported for a bucket: its midpoint.
+/// Exact buckets report the value itself; log-linear buckets are off
+/// by at most half the bucket width, i.e. `2^-SUB_BITS` of the
+/// magnitude ([`RELATIVE_ERROR`]).
+#[must_use]
+fn bucket_rep(index: usize) -> u64 {
+    let (lo, hi) = bucket_bounds(index);
+    lo + (hi - lo) / 2
+}
+
+impl QuantileSketch {
+    /// An empty sketch.
+    #[must_use]
+    pub fn new() -> Self {
+        QuantileSketch::default()
+    }
+
+    /// Records one signed nanosecond sample.
+    pub fn observe_ns(&mut self, ns: i64) {
+        let idx = bucket_index(ns.unsigned_abs());
+        let side = if ns < 0 { &mut self.neg } else { &mut self.pos };
+        if side.len() <= idx {
+            side.resize(idx + 1, 0);
+        }
+        side[idx] += 1;
+        if self.count == 0 {
+            self.min = ns;
+            self.max = ns;
+        } else {
+            self.min = self.min.min(ns);
+            self.max = self.max.max(ns);
+        }
+        self.count += 1;
+        self.sum += i128::from(ns);
+        self.sum_sq = self
+            .sum_sq
+            .saturating_add(u128::from(ns.unsigned_abs()) * u128::from(ns.unsigned_abs()));
+    }
+
+    /// Merges `other` into `self`. Pure integer arithmetic: the result
+    /// is independent of merge order and grouping.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        if other.count == 0 {
+            return;
+        }
+        if self.pos.len() < other.pos.len() {
+            self.pos.resize(other.pos.len(), 0);
+        }
+        for (dst, src) in self.pos.iter_mut().zip(&other.pos) {
+            *dst += *src;
+        }
+        if self.neg.len() < other.neg.len() {
+            self.neg.resize(other.neg.len(), 0);
+        }
+        for (dst, src) in self.neg.iter_mut().zip(&other.neg) {
+            *dst += *src;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sum_sq = self.sum_sq.saturating_add(other.sum_sq);
+    }
+
+    /// Number of samples recorded (exact).
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest sample (exact), `None` when empty.
+    #[must_use]
+    pub fn min_ns(&self) -> Option<i64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample (exact), `None` when empty.
+    #[must_use]
+    pub fn max_ns(&self) -> Option<i64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Sum of all samples in ns (exact).
+    #[must_use]
+    pub fn sum_ns(&self) -> i128 {
+        self.sum
+    }
+
+    /// Mean in µs (exact integer sum, one float division at the end).
+    #[must_use]
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.sum as f64 / self.count as f64 / 1000.0
+        }
+    }
+
+    /// Population standard deviation in µs, from the exact integer
+    /// sum and (saturating) sum of squares.
+    #[must_use]
+    pub fn stddev_us(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            let n = self.count as f64;
+            let mean_ns = self.sum as f64 / n;
+            let var = (self.sum_sq as f64 / n - mean_ns * mean_ns).max(0.0);
+            var.sqrt() / 1000.0
+        }
+    }
+
+    /// Nearest-rank percentile in ns, `None` when empty.
+    ///
+    /// Same rank convention as `LatencyDist::percentile_ns` (clamping
+    /// and the 1e-9 guard band included); the returned value is the
+    /// midpoint of the bucket holding the ranked sample, clamped into
+    /// `[min, max]`, so it differs from the exact nearest-rank sample
+    /// by at most [`RELATIVE_ERROR`] of its magnitude.
+    #[must_use]
+    pub fn percentile_ns(&self, p: f64) -> Option<i64> {
+        if self.count == 0 {
+            return None;
+        }
+        if p.is_nan() || p <= 0.0 {
+            return Some(self.min);
+        }
+        if p >= 100.0 {
+            return Some(self.max);
+        }
+        #[allow(
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss,
+            clippy::cast_precision_loss
+        )]
+        let rank = (((p / 100.0 * self.count as f64 - 1e-9).ceil()) as u64).clamp(1, self.count);
+        Some(self.value_at_rank(rank))
+    }
+
+    /// The representative value of the bucket holding the `rank`-th
+    /// smallest sample (1-based), clamped to the exact `[min, max]`.
+    fn value_at_rank(&self, rank: u64) -> i64 {
+        debug_assert!(rank >= 1 && rank <= self.count);
+        let mut seen = 0u64;
+        // Negative magnitudes in descending magnitude order == ascending value.
+        for idx in (0..self.neg.len()).rev() {
+            let c = self.neg[idx];
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            if seen >= rank {
+                #[allow(clippy::cast_possible_wrap)]
+                let v = -(bucket_rep(idx).min(i64::MAX as u64) as i64);
+                return v.clamp(self.min, self.max);
+            }
+        }
+        for (idx, &c) in self.pos.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            if seen >= rank {
+                #[allow(clippy::cast_possible_wrap)]
+                let v = bucket_rep(idx).min(i64::MAX as u64) as i64;
+                return v.clamp(self.min, self.max);
+            }
+        }
+        // Counts always sum to `count`; unreachable for valid ranks.
+        self.max
+    }
+
+    /// Bytes held by the bucket storage plus the struct header. The
+    /// bound callers can rely on is `MAX_MEMORY_BYTES +
+    /// size_of::<QuantileSketch>()`.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<QuantileSketch>() + (self.pos.capacity() + self.neg.capacity()) * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_roundtrip_exact_below_sub_count() {
+        for v in 0..SUB_COUNT {
+            let idx = bucket_index(v);
+            assert_eq!(bucket_bounds(idx), (v, v));
+            assert_eq!(bucket_rep(idx), v);
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_cover_and_order() {
+        // Indexes are monotone in value and bounds tile the range.
+        let mut prev_idx = 0;
+        for v in [
+            0u64,
+            1,
+            SUB_COUNT - 1,
+            SUB_COUNT,
+            SUB_COUNT + 1,
+            1000,
+            65_535,
+            65_536,
+            u64::from(u32::MAX),
+            1 << 40,
+            i64::MAX as u64,
+        ] {
+            let idx = bucket_index(v);
+            let (lo, hi) = bucket_bounds(idx);
+            assert!(lo <= v && v <= hi, "v={v} idx={idx} lo={lo} hi={hi}");
+            assert!(idx >= prev_idx, "indexes must be monotone");
+            assert!(idx < MAX_BUCKETS);
+            prev_idx = idx;
+        }
+    }
+
+    #[test]
+    fn relative_error_bound_holds_per_bucket() {
+        for v in [300u64, 1_000, 123_456, 987_654_321, 1 << 50] {
+            let rep = bucket_rep(bucket_index(v));
+            let err = rep.abs_diff(v) as f64 / v as f64;
+            assert!(err <= RELATIVE_ERROR, "v={v} rep={rep} err={err}");
+        }
+    }
+
+    #[test]
+    fn exact_aggregates_and_percentiles() {
+        let mut s = QuantileSketch::new();
+        for v in [10i64, 20, 30, 40, 50] {
+            s.observe_ns(v);
+        }
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.min_ns(), Some(10));
+        assert_eq!(s.max_ns(), Some(50));
+        assert_eq!(s.sum_ns(), 150);
+        assert!((s.mean_us() - 0.030).abs() < 1e-12);
+        // Values below SUB_COUNT are exact.
+        assert_eq!(s.percentile_ns(50.0), Some(30));
+        assert_eq!(s.percentile_ns(100.0), Some(50));
+        assert_eq!(s.percentile_ns(0.0), Some(10));
+        assert_eq!(QuantileSketch::new().percentile_ns(50.0), None);
+    }
+
+    #[test]
+    fn negatives_sort_before_positives() {
+        let mut s = QuantileSketch::new();
+        for v in [-300i64, -5, 0, 7, 900] {
+            s.observe_ns(v);
+        }
+        assert_eq!(s.min_ns(), Some(-300));
+        assert_eq!(s.max_ns(), Some(900));
+        // Rank 1 = most negative; small magnitudes exact.
+        assert_eq!(s.percentile_ns(1.0), Some(-300));
+        assert_eq!(s.percentile_ns(40.0), Some(-5));
+        assert_eq!(s.percentile_ns(60.0), Some(0));
+    }
+
+    #[test]
+    fn merge_matches_single_stream() {
+        let mut all = QuantileSketch::new();
+        let mut a = QuantileSketch::new();
+        let mut b = QuantileSketch::new();
+        for i in 0..1000i64 {
+            let v = (i * 7919) % 100_000 - 50; // a few negatives
+            all.observe_ns(v);
+            if i % 2 == 0 {
+                a.observe_ns(v);
+            } else {
+                b.observe_ns(v);
+            }
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, all);
+        assert_eq!(ba, all);
+    }
+
+    #[test]
+    fn memory_stays_bounded() {
+        let mut s = QuantileSketch::new();
+        let mut x = 1u64;
+        for _ in 0..1_000_000 {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            #[allow(clippy::cast_possible_wrap)]
+            s.observe_ns((x >> 1) as i64);
+        }
+        assert_eq!(s.count(), 1_000_000);
+        assert!(
+            s.memory_bytes() <= MAX_MEMORY_BYTES + std::mem::size_of::<QuantileSketch>(),
+            "memory {} over bound {}",
+            s.memory_bytes(),
+            MAX_MEMORY_BYTES
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! Property tests for the mergeable quantile sketch and the
+//! [`simcap::Recorder`] built on it: merging is associative and
+//! order-independent (the foundation of byte-identical reports at any
+//! `--jobs`), sharding a stream never changes the merged answer, and
+//! the sketch's percentiles stay within the documented
+//! [`simcap::RELATIVE_ERROR`] of the exact nearest-rank reference.
+
+use proptest::prelude::*;
+use proptest::TestRng;
+use simcap::{LatencyDist, QuantileSketch, Quantiles, Recorder, P999_MIN_SAMPLES, RELATIVE_ERROR};
+
+/// A latency sample in ns: spans sub-µs to tens of seconds, hitting
+/// both the exact sub-bucket range (one bucket per value below 256)
+/// and many log-linear octaves above it.
+struct SampleNs;
+
+impl Strategy for SampleNs {
+    type Value = i64;
+    #[allow(clippy::cast_possible_wrap)]
+    fn generate(&self, rng: &mut TestRng) -> i64 {
+        match rng.below(3) {
+            0 => rng.below(256) as i64,
+            1 => 256 + rng.below(1_000_000 - 256) as i64,
+            _ => 1_000_000 + rng.below(50_000_000_000 - 1_000_000) as i64,
+        }
+    }
+}
+
+fn sample_ns() -> SampleNs {
+    SampleNs
+}
+
+fn sketch_of(samples: &[i64]) -> QuantileSketch {
+    let mut s = QuantileSketch::new();
+    for &v in samples {
+        s.observe_ns(v);
+    }
+    s
+}
+
+/// Sketch state probe: count, sum, extremes, and a dense percentile
+/// ladder. Two sketches that agree here produce byte-identical
+/// canonical JSON downstream.
+fn probe(s: &QuantileSketch) -> (u64, i128, Option<i64>, Option<i64>, Vec<Option<i64>>) {
+    let ladder = (0..=1000)
+        .map(|i| s.percentile_ns(f64::from(i) / 10.0))
+        .collect();
+    (s.count(), s.sum_ns(), s.min_ns(), s.max_ns(), ladder)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// (a ⊔ b) ⊔ c == a ⊔ (b ⊔ c): merge is associative, so a grid
+    /// can be merged shard by shard in any grouping.
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(sample_ns(), 0..200),
+        b in proptest::collection::vec(sample_ns(), 0..200),
+        c in proptest::collection::vec(sample_ns(), 0..200),
+    ) {
+        let (sa, sb, sc) = (sketch_of(&a), sketch_of(&b), sketch_of(&c));
+
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(probe(&left), probe(&right));
+    }
+
+    /// a ⊔ b == b ⊔ a: merge order never matters, so only the final
+    /// grid order (not worker scheduling) shapes the merged sketch.
+    #[test]
+    fn merge_is_commutative(
+        a in proptest::collection::vec(sample_ns(), 0..300),
+        b in proptest::collection::vec(sample_ns(), 0..300),
+    ) {
+        let (sa, sb) = (sketch_of(&a), sketch_of(&b));
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(probe(&ab), probe(&ba));
+    }
+
+    /// Splitting one stream into shards and merging the shard
+    /// sketches gives exactly the single-sketch answer — the jobs
+    /// 1-vs-N identity, minus the thread pool.
+    #[test]
+    fn sharded_merge_equals_single_pass(
+        samples in proptest::collection::vec(sample_ns(), 1..600),
+        shards in 1usize..8,
+    ) {
+        let single = sketch_of(&samples);
+        let mut merged = QuantileSketch::new();
+        for chunk in samples.chunks(samples.len().div_ceil(shards)) {
+            merged.merge(&sketch_of(chunk));
+        }
+        prop_assert_eq!(probe(&single), probe(&merged));
+    }
+
+    /// Every sketch percentile lands within RELATIVE_ERROR of the
+    /// exact nearest-rank percentile over the same samples.
+    #[test]
+    fn percentiles_match_exact_within_documented_error(
+        samples in proptest::collection::vec(sample_ns(), 1..500),
+    ) {
+        let sketch = sketch_of(&samples);
+        let exact = LatencyDist::from_samples(samples);
+        for p in [0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
+            let e = LatencyDist::percentile_ns(&exact, p);
+            let s = sketch.percentile_ns(p).expect("non-empty sketch");
+            let tol = (e.abs() as f64 * RELATIVE_ERROR).ceil() as i64 + 1;
+            prop_assert!(
+                (s - e).abs() <= tol,
+                "p{p}: sketch {s} vs exact {e} (tol {tol})"
+            );
+        }
+    }
+
+    /// The Recorder's p999 floor holds in both modes: below
+    /// P999_MIN_SAMPLES the p999 is None, at or above it is Some.
+    #[test]
+    fn p999_floor_is_mode_independent(
+        n in 1usize..2000,
+        seed in any::<u64>(),
+    ) {
+        let mut exact = Recorder::exact();
+        let mut sketched = Recorder::sketched();
+        let mut x = seed | 1;
+        for _ in 0..n {
+            // xorshift: arbitrary positive ns values.
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let v = (x % 1_000_000_000) as i64;
+            exact.observe_ns(v);
+            sketched.observe_ns(v);
+        }
+        prop_assert_eq!(exact.p999_ns().is_some(), n >= P999_MIN_SAMPLES);
+        prop_assert_eq!(sketched.p999_ns().is_some(), n >= P999_MIN_SAMPLES);
+    }
+}
+
+/// Recorder::merge matches sketch merge semantics and keeps the
+/// saturated-sample tally additive across shards.
+#[test]
+fn recorder_merge_is_shard_order_stable() {
+    let shards: Vec<Vec<i64>> = (0..5u64)
+        .map(|s| {
+            (0..200u64)
+                .map(|i| ((s * 7919 + i * 104_729) % 40_000_000) as i64)
+                .collect()
+        })
+        .collect();
+    let mut grid_order = Recorder::sketched();
+    for shard in &shards {
+        let mut r = Recorder::sketched();
+        for &v in shard {
+            r.observe_ns(v);
+        }
+        grid_order.merge(&r);
+    }
+    let mut single = Recorder::sketched();
+    for shard in &shards {
+        for &v in shard {
+            single.observe_ns(v);
+        }
+    }
+    assert_eq!(Quantiles::count(&grid_order), Quantiles::count(&single));
+    for p in [50.0, 90.0, 99.0, 99.9] {
+        assert_eq!(grid_order.percentile_ns(p), single.percentile_ns(p));
+    }
+    assert_eq!(grid_order.mean_us().to_bits(), single.mean_us().to_bits());
+}

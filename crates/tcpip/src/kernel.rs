@@ -1225,6 +1225,7 @@ impl Kernel {
                     // FIN retransmission (backed off like data, so the
                     // abort limit above is reachable).
                     self.stats.rto_fires += 1;
+                    self.taps.trigger(simcap::TriggerReason::Rto, now);
                     conn.tcb.stats.rexmits += 1;
                     conn.tcb.rexmt_shift = (conn.tcb.rexmt_shift + 1).min(self.cfg.max_rexmt_shift);
                     conn.tcb.note_retransmit();
@@ -1237,6 +1238,7 @@ impl Kernel {
                 {
                     // Handshake retransmission.
                     self.stats.rto_fires += 1;
+                    self.taps.trigger(simcap::TriggerReason::Rto, now);
                     conn.tcb.stats.rexmits += 1;
                     conn.tcb.rexmt_shift = (conn.tcb.rexmt_shift + 1).min(self.cfg.max_rexmt_shift);
                     conn.tcb.note_retransmit();
@@ -1251,6 +1253,7 @@ impl Kernel {
                     // the retransmit cancels the RTT measurement and
                     // pins the recovery point.
                     self.stats.rto_fires += 1;
+                    self.taps.trigger(simcap::TriggerReason::Rto, now);
                     conn.tcb.stats.rexmits += 1;
                     conn.tcb.rexmt_shift = (conn.tcb.rexmt_shift + 1).min(self.cfg.max_rexmt_shift);
                     conn.tcb.note_retransmit();
@@ -1417,6 +1420,7 @@ impl Kernel {
     /// sleeping forever.
     fn abort_connection(&mut self, sock: SockId, now: SimTime) {
         self.stats.conn_aborts += 1;
+        self.taps.trigger(simcap::TriggerReason::Abort, now);
         self.reclaim(sock);
         let conn = &mut self.conns[sock];
         conn.tcb.so_error = Some(ConnError::TimedOut);

@@ -162,8 +162,9 @@ pub struct FanoutCtl {
     tokens: u32,
     /// The slot hedged this round, if the hedge trigger fired.
     hedged_slot: Option<usize>,
-    /// Running p95 of resolved slot times — the adaptive hedge delay.
-    p95: simcap::StreamingP95,
+    /// Running upper-tail estimate of resolved slot times — the
+    /// adaptive hedge delay (an upper-only [`simcap::Recorder`]).
+    p95: simcap::Recorder,
     /// Typed per-request outcomes, parallel to `completions`.
     pub outcomes: Vec<RequestOutcome>,
     /// Hedged requests issued.
@@ -313,7 +314,7 @@ impl DcWorld {
                 round_start: SimTime::ZERO,
                 tokens: tail.and_then(|t| t.retry).map_or(0, |r| r.budget),
                 hedged_slot: None,
-                p95: simcap::StreamingP95::new(),
+                p95: simcap::Recorder::upper_only(),
                 outcomes: Vec::new(),
                 hedges_issued: 0,
                 hedges_won: 0,
@@ -1313,6 +1314,7 @@ fn fanout_reply_tail(
     }
     // Barrier: every stream drained, so every slot resolved. Record
     // the policy's completion, not the slowest straggler's.
+    let mut deadline_hit = false;
     {
         let ctl = w.hosts[h].fanout.as_mut().expect("fan-out host");
         let tail = ctl.tail.expect("mitigated fan-out host");
@@ -1335,12 +1337,21 @@ fn fanout_reply_tail(
         ctl.cancelled += times.iter().filter(|&&t| t > completion).count() as u64;
         if outcome == RequestOutcome::DeadlineExceeded {
             ctl.deadline_exceeded += 1;
+            deadline_hit = true;
         }
         if round >= warmup {
             ctl.completions.push(completion);
             ctl.outcomes.push(outcome);
         }
         ctl.round += 1;
+    }
+    if deadline_hit {
+        // Flight recorder: a missed deadline is a trigger-worthy
+        // anomaly — freeze the window around the straggling round.
+        w.hosts[h]
+            .kernel
+            .taps
+            .trigger(simcap::TriggerReason::DeadlineExceeded, now);
     }
     if round + 1 >= total {
         for j in 0..w.hosts[h].conns.len() {
@@ -1404,7 +1415,7 @@ fn arm_round(w: &mut DcWorld, s: &mut Scheduler<DcWorld>, h: usize, at: SimTime)
         // estimator has seen a sample.
         let delay = hp.delay.unwrap_or_else(|| {
             let ctl = w.hosts[h].fanout.as_ref().expect("fan-out host");
-            ctl.p95.estimate().unwrap_or(hp.initial)
+            ctl.p95.upper_estimate().unwrap_or(hp.initial)
         });
         s.schedule_raw_at(
             at + delay,

@@ -24,6 +24,8 @@
 
 use atm::{DropPolicy, TrainMarking};
 use latency_core::hedge::{Mitigation, MitigationCost, MITIGATIONS};
+use latency_core::{ObsMode, Samples};
+use simcap::Quantiles as _;
 use simkit::SimTime;
 use tcpip::{CcVariant, PcbCounters};
 
@@ -79,8 +81,9 @@ pub struct DcCellResult {
     /// Repetitions pooled.
     pub reps: u64,
     /// Every measured RPC round-trip, in (rep, client host,
-    /// connection, iteration) order.
-    pub rtts: Vec<SimTime>,
+    /// connection, iteration) order — exact by default, a bounded
+    /// sketch under [`ObsMode::Sketch`].
+    pub rtts: Samples,
     /// Events executed, summed over reps.
     pub events: u64,
     /// Final simulated time (max over reps).
@@ -108,7 +111,7 @@ pub struct DcCellResult {
     /// Fan-out logical-request completions (max over each round's N
     /// sub-request RTTs, or the tail policy's K-th-fastest capped by
     /// the deadline), pooled across reps. Empty for incast cells.
-    pub completions: Vec<SimTime>,
+    pub completions: Samples,
     /// Client hosts whose fan-out rounds were killed by the
     /// retransmit-limit abort, summed over reps.
     pub fanout_aborts: u64,
@@ -201,10 +204,11 @@ pub fn rep_seed(key: &str, rep: u64) -> u64 {
     }
 }
 
-/// Runs one cell: every rep on its [`rep_seed`], outcomes pooled.
-fn run_one_cell(cell: &DcCell) -> DcCellResult {
+/// Runs one cell: every rep on its [`rep_seed`], outcomes pooled
+/// into `mode`-appropriate containers.
+fn run_one_cell(cell: &DcCell, mode: ObsMode) -> DcCellResult {
     let seed = sweep::cell_seed(&cell.key);
-    let mut rtts = Vec::new();
+    let mut rtts = Samples::new(mode);
     let mut events = 0;
     let mut sim_time = SimTime::ZERO;
     let mut verify_failures = 0;
@@ -217,13 +221,13 @@ fn run_one_cell(cell: &DcCell) -> DcCellResult {
     let mut max_backlog_cells = 0;
     let mut rexmits = 0;
     let mut rto_fires = 0;
-    let mut completions = Vec::new();
+    let mut completions = Samples::new(mode);
     let mut fanout_aborts = 0;
     let mut mbufs_leaked = 0;
     let mut cost = MitigationCost::default();
     for rep in 0..cell.reps.max(1) {
         let r = run_dc(&cell.topo, cell.sched, rep_seed(&cell.key, rep));
-        rtts.extend(r.rtts);
+        rtts.extend_from(&r.rtts);
         events += r.events;
         sim_time = sim_time.max(r.sim_time);
         verify_failures += r.verify_failures;
@@ -242,7 +246,7 @@ fn run_one_cell(cell: &DcCell) -> DcCellResult {
         max_backlog_cells = max_backlog_cells.max(r.max_backlog_cells);
         rexmits += r.rexmits;
         rto_fires += r.rto_fires;
-        completions.extend(r.completions);
+        completions.extend_from(&r.completions);
         fanout_aborts += r.fanout_aborts;
         mbufs_leaked += r.mbufs_leaked;
         cost.hedges_issued += r.hedges_issued;
@@ -282,7 +286,15 @@ fn run_one_cell(cell: &DcCell) -> DcCellResult {
 /// byte-identical at any worker count.
 #[must_use]
 pub fn run_dc_cells(cells: &[DcCell], jobs: usize) -> Vec<DcCellResult> {
-    sweep::pool::run_ordered(cells, jobs, |_, cell| run_one_cell(cell))
+    run_dc_cells_with(cells, jobs, ObsMode::Exact)
+}
+
+/// [`run_dc_cells`] with an explicit retention mode (`--sketch` passes
+/// [`ObsMode::Sketch`]); the grid-order pool keeps either mode
+/// byte-identical at any `--jobs` value.
+#[must_use]
+pub fn run_dc_cells_with(cells: &[DcCell], jobs: usize, mode: ObsMode) -> Vec<DcCellResult> {
+    sweep::pool::run_ordered(cells, jobs, move |_, cell| run_one_cell(cell, mode))
 }
 
 /// The deterministic report, byte-compatible with the `sweep.json`
@@ -306,26 +318,10 @@ pub fn canonical_json(name: &str, results: &[DcCellResult]) -> String {
         let _ = write!(out, "\"seed\": {}, ", c.seed);
         let _ = write!(out, "\"reps\": {}, ", c.reps);
         let _ = write!(out, "\"samples\": {}, ", c.rtts.len());
-        let _ = write!(
-            out,
-            "\"mean_us\": {}, ",
-            json_num(latency_core::stats::mean_us(&c.rtts))
-        );
-        let _ = write!(
-            out,
-            "\"stddev_us\": {}, ",
-            json_num(latency_core::stats::stddev_us(&c.rtts))
-        );
-        let _ = write!(
-            out,
-            "\"min_us\": {}, ",
-            json_num(latency_core::stats::min_us(&c.rtts))
-        );
-        let _ = write!(
-            out,
-            "\"max_us\": {}, ",
-            json_num(latency_core::stats::max_us(&c.rtts))
-        );
+        let _ = write!(out, "\"mean_us\": {}, ", json_num(c.rtts.mean_us()));
+        let _ = write!(out, "\"stddev_us\": {}, ", json_num(c.rtts.stddev_us()));
+        let _ = write!(out, "\"min_us\": {}, ", json_num(c.rtts.min_us()));
+        let _ = write!(out, "\"max_us\": {}, ", json_num(c.rtts.max_us()));
         let _ = write!(out, "\"events\": {}, ", c.events);
         let _ = write!(
             out,
@@ -483,7 +479,13 @@ pub fn tails_quick_grid() -> Vec<TailsCell> {
 /// report is byte-identical at any `--jobs` value.
 #[must_use]
 pub fn run_tails_cells(cells: &[TailsCell], jobs: usize) -> Vec<DcCellResult> {
-    sweep::pool::run_ordered(cells, jobs, |_, tc| run_one_cell(&tc.cell))
+    run_tails_cells_with(cells, jobs, ObsMode::Exact)
+}
+
+/// [`run_tails_cells`] with an explicit retention mode.
+#[must_use]
+pub fn run_tails_cells_with(cells: &[TailsCell], jobs: usize, mode: ObsMode) -> Vec<DcCellResult> {
+    sweep::pool::run_ordered(cells, jobs, move |_, tc| run_one_cell(&tc.cell, mode))
 }
 
 /// Reduces grid results to table rows, amplification filled in.
@@ -540,26 +542,14 @@ pub fn tails_canonical_json(name: &str, cells: &[TailsCell], results: &[DcCellRe
         let _ = write!(out, "\"seed\": {}, ", c.seed);
         let _ = write!(out, "\"reps\": {}, ", c.reps);
         let _ = write!(out, "\"samples\": {}, ", c.completions.len());
-        let _ = write!(
-            out,
-            "\"mean_us\": {}, ",
-            json_num(latency_core::stats::mean_us(&c.completions))
-        );
+        let _ = write!(out, "\"mean_us\": {}, ", json_num(c.completions.mean_us()));
         let _ = write!(
             out,
             "\"stddev_us\": {}, ",
-            json_num(latency_core::stats::stddev_us(&c.completions))
+            json_num(c.completions.stddev_us())
         );
-        let _ = write!(
-            out,
-            "\"min_us\": {}, ",
-            json_num(latency_core::stats::min_us(&c.completions))
-        );
-        let _ = write!(
-            out,
-            "\"max_us\": {}, ",
-            json_num(latency_core::stats::max_us(&c.completions))
-        );
+        let _ = write!(out, "\"min_us\": {}, ", json_num(c.completions.min_us()));
+        let _ = write!(out, "\"max_us\": {}, ", json_num(c.completions.max_us()));
         let _ = write!(out, "\"events\": {}, ", c.events);
         let _ = write!(
             out,
@@ -730,7 +720,13 @@ pub fn hedge_quick_grid() -> Vec<HedgeCell> {
 /// report is byte-identical at any `--jobs` value.
 #[must_use]
 pub fn run_hedge_cells(cells: &[HedgeCell], jobs: usize) -> Vec<DcCellResult> {
-    sweep::pool::run_ordered(cells, jobs, |_, hc| run_one_cell(&hc.cell))
+    run_hedge_cells_with(cells, jobs, ObsMode::Exact)
+}
+
+/// [`run_hedge_cells`] with an explicit retention mode.
+#[must_use]
+pub fn run_hedge_cells_with(cells: &[HedgeCell], jobs: usize, mode: ObsMode) -> Vec<DcCellResult> {
+    sweep::pool::run_ordered(cells, jobs, move |_, hc| run_one_cell(&hc.cell, mode))
 }
 
 /// Reduces grid results to table rows, `amp_p99` filled in.
@@ -785,26 +781,14 @@ pub fn hedge_canonical_json(name: &str, cells: &[HedgeCell], results: &[DcCellRe
         let _ = write!(out, "\"seed\": {}, ", c.seed);
         let _ = write!(out, "\"reps\": {}, ", c.reps);
         let _ = write!(out, "\"samples\": {}, ", c.completions.len());
-        let _ = write!(
-            out,
-            "\"mean_us\": {}, ",
-            json_num(latency_core::stats::mean_us(&c.completions))
-        );
+        let _ = write!(out, "\"mean_us\": {}, ", json_num(c.completions.mean_us()));
         let _ = write!(
             out,
             "\"stddev_us\": {}, ",
-            json_num(latency_core::stats::stddev_us(&c.completions))
+            json_num(c.completions.stddev_us())
         );
-        let _ = write!(
-            out,
-            "\"min_us\": {}, ",
-            json_num(latency_core::stats::min_us(&c.completions))
-        );
-        let _ = write!(
-            out,
-            "\"max_us\": {}, ",
-            json_num(latency_core::stats::max_us(&c.completions))
-        );
+        let _ = write!(out, "\"min_us\": {}, ", json_num(c.completions.min_us()));
+        let _ = write!(out, "\"max_us\": {}, ", json_num(c.completions.max_us()));
         let _ = write!(out, "\"events\": {}, ", c.events);
         let _ = write!(
             out,
@@ -945,7 +929,13 @@ pub fn cc_quick_grid() -> Vec<CcCell> {
 /// report is byte-identical at any `--jobs` value.
 #[must_use]
 pub fn run_cc_cells(cells: &[CcCell], jobs: usize) -> Vec<DcCellResult> {
-    sweep::pool::run_ordered(cells, jobs, |_, cc| run_one_cell(&cc.cell))
+    run_cc_cells_with(cells, jobs, ObsMode::Exact)
+}
+
+/// [`run_cc_cells`] with an explicit retention mode.
+#[must_use]
+pub fn run_cc_cells_with(cells: &[CcCell], jobs: usize, mode: ObsMode) -> Vec<DcCellResult> {
+    sweep::pool::run_ordered(cells, jobs, move |_, cc| run_one_cell(&cc.cell, mode))
 }
 
 /// One reduced cc-study row: goodput, recovery-latency percentiles,
@@ -1004,10 +994,10 @@ pub fn cc_rows(cells: &[CcCell], results: &[DcCellResult]) -> Vec<CcRow> {
         .iter()
         .zip(results)
         .map(|(cc, r)| {
-            let (dist, _) = latency_core::recovery::rtt_dist_counted(&r.rtts);
+            let rec = r.rtts.recorder();
             let us = |ns: i64| ns as f64 / 1_000.0;
             let rpc_bits = (cc.cell.topo.rpc_size * 2 * 8) as f64;
-            let mean_us = latency_core::stats::mean_us(&r.rtts);
+            let mean_us = r.rtts.mean_us();
             let goodput_mbps = if mean_us > 0.0 {
                 rpc_bits / mean_us
             } else {
@@ -1019,9 +1009,9 @@ pub fn cc_rows(cells: &[CcCell], results: &[DcCellResult]) -> Vec<CcRow> {
                 queue_cells: cc.queue_cells,
                 samples: r.rtts.len(),
                 goodput_mbps,
-                p50_us: us(dist.percentile_ns(50.0)),
-                p99_us: us(dist.percentile_ns(99.0)),
-                max_us: us(dist.max_ns()),
+                p50_us: us(rec.percentile_ns(50.0).unwrap_or(0)),
+                p99_us: us(rec.percentile_ns(99.0).unwrap_or(0)),
+                max_us: us(rec.max_ns().unwrap_or(0)),
                 rexmits: r.rexmits,
                 rto_fires: r.rto_fires,
                 queue_drops: r.switch_drops,
@@ -1055,26 +1045,10 @@ pub fn cc_canonical_json(name: &str, cells: &[CcCell], results: &[DcCellResult])
         let _ = write!(out, "\"seed\": {}, ", c.seed);
         let _ = write!(out, "\"reps\": {}, ", c.reps);
         let _ = write!(out, "\"samples\": {}, ", c.rtts.len());
-        let _ = write!(
-            out,
-            "\"mean_us\": {}, ",
-            json_num(latency_core::stats::mean_us(&c.rtts))
-        );
-        let _ = write!(
-            out,
-            "\"stddev_us\": {}, ",
-            json_num(latency_core::stats::stddev_us(&c.rtts))
-        );
-        let _ = write!(
-            out,
-            "\"min_us\": {}, ",
-            json_num(latency_core::stats::min_us(&c.rtts))
-        );
-        let _ = write!(
-            out,
-            "\"max_us\": {}, ",
-            json_num(latency_core::stats::max_us(&c.rtts))
-        );
+        let _ = write!(out, "\"mean_us\": {}, ", json_num(c.rtts.mean_us()));
+        let _ = write!(out, "\"stddev_us\": {}, ", json_num(c.rtts.stddev_us()));
+        let _ = write!(out, "\"min_us\": {}, ", json_num(c.rtts.min_us()));
+        let _ = write!(out, "\"max_us\": {}, ", json_num(c.rtts.max_us()));
         let _ = write!(out, "\"events\": {}, ", c.events);
         let _ = write!(
             out,

@@ -65,3 +65,30 @@ fn tails_quick_report_is_byte_identical_across_jobs() {
         assert_eq!(one, many, "jobs {jobs} changed the report bytes");
     }
 }
+
+/// The same identity holds in sketch mode: per-shard sketches merged
+/// in grid order are integer-exact, so `--sketch --jobs N` renders
+/// the same bytes as `--sketch --jobs 1`.
+#[test]
+fn tails_quick_sketch_report_is_byte_identical_across_jobs() {
+    use latency_core::ObsMode;
+    use world::run_tails_cells_with;
+
+    let cells = tails_quick_grid();
+    let one = tails_canonical_json(
+        "tails_quick",
+        &cells,
+        &run_tails_cells_with(&cells, 1, ObsMode::Sketch),
+    );
+    for jobs in [2usize, 4] {
+        let many = tails_canonical_json(
+            "tails_quick",
+            &cells,
+            &run_tails_cells_with(&cells, jobs, ObsMode::Sketch),
+        );
+        assert_eq!(
+            one, many,
+            "sketch mode: jobs {jobs} changed the report bytes"
+        );
+    }
+}

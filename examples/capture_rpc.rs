@@ -38,10 +38,10 @@ fn analyze(size: usize, out_dir: Option<&str>) {
             "     {:<28} n={:<4} min {:>8.2}  median {:>8.2}  p99 {:>8.2}  max {:>8.2} µs",
             row.label,
             row.report.matched,
-            d.min_ns() as f64 / 1000.0,
+            d.min_ns().unwrap_or(0) as f64 / 1000.0,
             d.median_ns() as f64 / 1000.0,
             d.p99_ns() as f64 / 1000.0,
-            d.max_ns() as f64 / 1000.0,
+            d.max_ns().unwrap_or(0) as f64 / 1000.0,
         );
     }
 
